@@ -1,0 +1,89 @@
+//! E10 — logging & recovery: WAL encode/append, undo cost, replay rate.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_common::{Oid, Tid};
+use asset_core::Database;
+use asset_storage::{LogManager, LogRecord, ObjectCache};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_recovery");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    g.bench_function("log_record_encode", |b| {
+        let rec = LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(vec![0u8; 64]),
+            after: Some(vec![1u8; 64]),
+        };
+        b.iter(|| black_box(rec.encode_frame()));
+    });
+
+    g.bench_function("log_append_mem", |b| {
+        let log = LogManager::in_memory();
+        let rec = LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(vec![0u8; 64]),
+            after: Some(vec![1u8; 64]),
+        };
+        b.iter(|| {
+            log.append(black_box(&rec)).unwrap();
+        });
+    });
+
+    for writes in [10usize, 100] {
+        g.bench_with_input(BenchmarkId::new("abort_undo", writes), &writes, |b, &n| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, n, 0);
+            b.iter(|| {
+                let o = oids.clone();
+                let t = db
+                    .initiate(move |ctx| {
+                        for oid in &o {
+                            ctx.write(*oid, enc_i64(7))?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                db.begin(t).unwrap();
+                db.wait(t).unwrap();
+                assert!(db.abort(t).unwrap());
+                db.retire_terminated();
+            });
+        });
+    }
+
+    for txns in [500usize, 2_000] {
+        g.bench_with_input(BenchmarkId::new("replay", txns), &txns, |b, &txns| {
+            // build a log once, replay it repeatedly
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, 32, 0);
+            for i in 0..txns {
+                let oid = oids[i % oids.len()];
+                assert!(db.run(move |ctx| ctx.write(oid, enc_i64(i as i64))).unwrap());
+                if i % 256 == 255 {
+                    db.retire_terminated();
+                }
+            }
+            b.iter(|| {
+                let report = asset_storage::recover(
+                    db.engine().log(),
+                    &ObjectCache::new(),
+                    db.engine().store(),
+                )
+                .unwrap();
+                assert!(report.winners > 0);
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E11 — contingent transactions: cascade cost by position of the first
+//! viable alternative.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_core::{Database, TxnCtx};
+use asset_models::run_contingent;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_contingent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_contingent");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    for winner in [0usize, 3, 7] {
+        g.bench_with_input(
+            BenchmarkId::new("winner_at_position", winner),
+            &winner,
+            |b, &winner| {
+                let db = Database::in_memory();
+                let sink = setup_counters(&db, 1, 0)[0];
+                b.iter(|| {
+                    let alternatives = (0..8)
+                        .map(|i| {
+                            let viable = i == winner;
+                            Box::new(move |ctx: &TxnCtx| {
+                                if viable {
+                                    ctx.write(sink, enc_i64(i as i64))
+                                } else {
+                                    ctx.abort_self::<()>().map(|_| ())
+                                }
+                            })
+                                as Box<
+                                    dyn FnOnce(&TxnCtx) -> asset_common::Result<()> + Send,
+                                >
+                        })
+                        .collect();
+                    assert_eq!(run_contingent(&db, alternatives).unwrap(), Some(winner));
+                    db.retire_terminated();
+                });
+            },
+        );
+    }
+
+    g.bench_function("all_fail", |b| {
+        let db = Database::in_memory();
+        b.iter(|| {
+            let alternatives = (0..4)
+                .map(|_| {
+                    Box::new(|ctx: &TxnCtx| ctx.abort_self::<()>().map(|_| ()))
+                        as Box<dyn FnOnce(&TxnCtx) -> asset_common::Result<()> + Send>
+                })
+                .collect();
+            assert_eq!(run_contingent(&db, alternatives).unwrap(), None);
+            db.retire_terminated();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_contingent);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E12 — ablation microbenchmarks: MLT semantic ops vs flat transactions
+//! on a hot counter, and the EOS spin latch vs `parking_lot::RwLock`.
+
+use asset_core::{Database, Handle};
+use asset_mlt::{run_mlt, EscrowCounter, MltOutcome, SemanticLockTable};
+use asset_storage::Latch;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_ablations");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    g.bench_function("flat_txn_increment", |b| {
+        let db = Database::in_memory();
+        let h: Handle<i64> = Handle::from_oid(db.new_oid());
+        assert!(db.run(move |ctx| ctx.put(h, &0)).unwrap());
+        b.iter(|| {
+            assert!(db.run(move |ctx| ctx.modify(h, |v| v + 1)).unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("mlt_session_one_increment", |b| {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 0).unwrap();
+        b.iter(|| {
+            let out = run_mlt(&db, &sem, move |mlt| counter.add(mlt, 1)).unwrap();
+            assert_eq!(out, MltOutcome::Committed);
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("mlt_abort_with_logical_undo", |b| {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 0).unwrap();
+        b.iter(|| {
+            let out = run_mlt(&db, &sem, move |mlt| {
+                counter.add(mlt, 1)?;
+                mlt.ctx().abort_self::<()>().map(|_| ())
+            })
+            .unwrap();
+            assert_eq!(out, MltOutcome::Undone { inverses_run: 1 });
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("eos_latch_x_cycle", |b| {
+        let latch = Latch::new();
+        b.iter(|| {
+            let _g = latch.exclusive();
+        });
+    });
+
+    g.bench_function("parking_lot_rwlock_w_cycle", |b| {
+        let rw = parking_lot::RwLock::new(());
+        b.iter(|| {
+            let _g = rw.write();
+        });
+    });
+
+    g.bench_function("eos_latch_s_cycle", |b| {
+        let latch = Latch::new();
+        b.iter(|| {
+            let _g = latch.shared();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

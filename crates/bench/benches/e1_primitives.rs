@@ -1,0 +1,77 @@
+//! E1 — cost of the basic primitives: the initiate/begin/commit cycle,
+//! its pieces, and single-write transactions.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_core::Database;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_primitives");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    g.bench_function("initiate_abort_retire", |b| {
+        let db = Database::in_memory();
+        b.iter(|| {
+            let t = db.initiate(|_| Ok(())).unwrap();
+            black_box(t);
+            db.abort(t).unwrap();
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("noop_txn_cycle", |b| {
+        let db = Database::in_memory();
+        b.iter(|| {
+            let t = db.initiate(|_| Ok(())).unwrap();
+            db.begin(t).unwrap();
+            assert!(db.commit(t).unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("single_write_txn", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        b.iter(|| {
+            assert!(db.run(move |ctx| ctx.write(oid, enc_i64(1))).unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("ten_write_txn", |b| {
+        let db = Database::in_memory();
+        let oids = setup_counters(&db, 10, 0);
+        b.iter(|| {
+            let o = oids.clone();
+            assert!(db
+                .run(move |ctx| {
+                    for oid in &o {
+                        ctx.write(*oid, enc_i64(1))?;
+                    }
+                    Ok(())
+                })
+                .unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("abort_single_write", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        b.iter(|| {
+            let t = db.initiate(move |ctx| ctx.write(oid, enc_i64(2))).unwrap();
+            db.begin(t).unwrap();
+            db.wait(t).unwrap();
+            assert!(db.abort(t).unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

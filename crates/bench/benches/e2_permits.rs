@@ -1,0 +1,65 @@
+//! E2 — permit machinery vs strict locking on a shared object: the cost of
+//! the permit-suspend-regrant cycle compared with uncontended and
+//! blocked-handoff locking.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_common::{ObSet, OpSet};
+use asset_core::Database;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_permits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_permits");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    // two completed transactions ping-ponging writes on one object via
+    // mutual permits: measures the suspend/regrant path of §4.2 step 1b/2b
+    g.bench_function("pingpong_write_via_permits", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        // two idle holders that never complete (they only lend identity)
+        let t1 = db.initiate(|_| Ok(())).unwrap();
+        let t2 = db.initiate(|_| Ok(())).unwrap();
+        db.permit(t1, Some(t2), ObSet::one(oid), OpSet::ALL).unwrap();
+        db.permit(t2, Some(t1), ObSet::one(oid), OpSet::ALL).unwrap();
+        // seed: t1 takes the lock
+        db.locks()
+            .lock(t1, oid, asset_common::Operation::Write, None)
+            .unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            let (from, to) = if flip { (t2, t1) } else { (t1, t2) };
+            let _ = from;
+            db.locks()
+                .lock(to, oid, asset_common::Operation::Write, None)
+                .unwrap();
+            flip = !flip;
+        });
+    });
+
+    g.bench_function("uncontended_write_txn", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        b.iter(|| {
+            assert!(db.run(move |ctx| ctx.write(oid, enc_i64(1))).unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    // the permit grant itself (insert into the doubly-hashed PD table)
+    g.bench_function("permit_grant", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        let t1 = db.initiate(|_| Ok(())).unwrap();
+        let t2 = db.initiate(|_| Ok(())).unwrap();
+        b.iter(|| {
+            db.permit(t1, Some(t2), ObSet::one(oid), OpSet::ALL).unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_permits);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E3 — nested transactions: subtransaction cost (permit + child thread +
+//! delegate + child commit) vs flat writes, across depth and fanout.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_common::{Oid, Result};
+use asset_core::{Database, TxnCtx};
+use asset_models::{required_subtransaction, run_atomic};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn descend(ctx: &TxnCtx, oids: &[Oid]) -> Result<()> {
+    let Some((first, rest)) = oids.split_first() else { return Ok(()) };
+    let first = *first;
+    let rest = rest.to_vec();
+    required_subtransaction(ctx, move |c| {
+        c.write(first, enc_i64(1))?;
+        descend(c, &rest)
+    })
+}
+
+fn bench_nested(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_nested");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    for depth in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("flat_writes", depth), &depth, |b, &d| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, d, 0);
+            b.iter(|| {
+                let o = oids.clone();
+                assert!(run_atomic(&db, move |ctx| {
+                    for oid in &o {
+                        ctx.write(*oid, enc_i64(1))?;
+                    }
+                    Ok(())
+                })
+                .unwrap());
+                db.retire_terminated();
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("nested_depth", depth), &depth, |b, &d| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, d, 0);
+            b.iter(|| {
+                let o = oids.clone();
+                assert!(run_atomic(&db, move |ctx| descend(ctx, &o)).unwrap());
+                db.retire_terminated();
+            });
+        });
+    }
+
+    for fanout in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("nested_fanout", fanout), &fanout, |b, &f| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, f, 0);
+            b.iter(|| {
+                let o = oids.clone();
+                assert!(run_atomic(&db, move |ctx| {
+                    for oid in &o {
+                        let oid = *oid;
+                        required_subtransaction(ctx, move |c| c.write(oid, enc_i64(1)))?;
+                    }
+                    Ok(())
+                })
+                .unwrap());
+                db.retire_terminated();
+            });
+        });
+    }
+
+    // child abort containment: the failure path
+    g.bench_function("child_abort_contained", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        b.iter(|| {
+            assert!(run_atomic(&db, move |ctx| {
+                let out = asset_models::subtransaction(ctx, move |c| {
+                    c.write(oid, enc_i64(9))?;
+                    c.abort_self::<()>().map(|_| ())
+                })?;
+                assert_eq!(out, asset_models::SubtxnOutcome::Aborted);
+                Ok(())
+            })
+            .unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E4 — sagas: per-step commit cost vs flat transaction, and the
+//! compensation path as a function of abort position.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_core::{Database, TxnCtx};
+use asset_models::{run_atomic, Saga, SagaOutcome};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_saga(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_saga");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    for steps in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("saga_commit", steps), &steps, |b, &n| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, n, 0);
+            b.iter(|| {
+                let mut saga = Saga::new();
+                for (s, oid) in oids.iter().enumerate() {
+                    let oid = *oid;
+                    saga = saga.step(
+                        format!("s{s}"),
+                        move |ctx: &TxnCtx| ctx.write(oid, enc_i64(1)),
+                        move |ctx: &TxnCtx| ctx.write(oid, enc_i64(0)),
+                    );
+                }
+                let (outcome, _) = saga.run(&db).unwrap();
+                assert_eq!(outcome, SagaOutcome::Committed);
+                db.retire_terminated();
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("flat_equivalent", steps), &steps, |b, &n| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, n, 0);
+            b.iter(|| {
+                let o = oids.clone();
+                assert!(run_atomic(&db, move |ctx| {
+                    for oid in &o {
+                        ctx.write(*oid, enc_i64(1))?;
+                    }
+                    Ok(())
+                })
+                .unwrap());
+                db.retire_terminated();
+            });
+        });
+    }
+
+    for abort_at in [1usize, 4, 7] {
+        g.bench_with_input(
+            BenchmarkId::new("compensation_depth", abort_at),
+            &abort_at,
+            |b, &k| {
+                let db = Database::in_memory();
+                let oids = setup_counters(&db, 8, 0);
+                b.iter(|| {
+                    let mut saga = Saga::new();
+                    for (s, oid) in oids.iter().enumerate() {
+                        let oid = *oid;
+                        let fails = s == k;
+                        saga = saga.step(
+                            format!("s{s}"),
+                            move |ctx: &TxnCtx| {
+                                if fails {
+                                    return ctx.abort_self();
+                                }
+                                ctx.write(oid, enc_i64(1))
+                            },
+                            move |ctx: &TxnCtx| ctx.write(oid, enc_i64(0)),
+                        );
+                    }
+                    let (outcome, _) = saga.run(&db).unwrap();
+                    assert_eq!(outcome, SagaOutcome::Compensated { failed_step: k });
+                    db.retire_terminated();
+                });
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_saga);
+criterion_main!(benches);

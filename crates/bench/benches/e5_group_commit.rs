@@ -1,0 +1,64 @@
+//! E5 — group commit resolution vs group size, and AD abort chains.
+
+use asset_common::{DepType, Tid};
+use asset_core::Database;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_group_commit");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("gc_group_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let db = Database::in_memory();
+                let tids: Vec<Tid> =
+                    (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+                for w in tids.windows(2) {
+                    db.form_dependency(DepType::GC, w[0], w[1]).unwrap();
+                }
+                db.begin_many(&tids).unwrap();
+                assert!(db.commit(tids[0]).unwrap());
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("ad_abort_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let db = Database::in_memory();
+                let tids: Vec<Tid> =
+                    (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+                for w in tids.windows(2) {
+                    db.form_dependency(DepType::AD, w[0], w[1]).unwrap();
+                }
+                db.begin_many(&tids).unwrap();
+                for t in &tids {
+                    db.wait(*t).unwrap();
+                }
+                assert!(db.abort(tids[0]).unwrap());
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("cd_chain_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let db = Database::in_memory();
+                let tids: Vec<Tid> =
+                    (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+                for w in tids.windows(2) {
+                    db.form_dependency(DepType::CD, w[0], w[1]).unwrap();
+                }
+                db.begin_many(&tids).unwrap();
+                // commit in dependency order: head first
+                for t in &tids {
+                    assert!(db.commit(*t).unwrap());
+                }
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_group_commit);
+criterion_main!(benches);

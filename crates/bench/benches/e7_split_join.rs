@@ -1,0 +1,76 @@
+//! E7 — split/join: split-off cost, join cost, and delegation cost as a
+//! function of the delegated set size.
+
+use asset_bench::workload::{enc_i64, setup_counters};
+use asset_common::ObSet;
+use asset_core::Database;
+use asset_models::{join, run_atomic, split};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_split_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_split_join");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    g.bench_function("split_and_commit", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        b.iter(|| {
+            assert!(run_atomic(&db, move |ctx| {
+                ctx.write(oid, enc_i64(1))?;
+                let s = split(ctx, ObSet::one(oid), |_| Ok(()))?;
+                ctx.commit(s)?;
+                Ok(())
+            })
+            .unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("split_then_join", |b| {
+        let db = Database::in_memory();
+        let oid = setup_counters(&db, 1, 0)[0];
+        b.iter(|| {
+            assert!(run_atomic(&db, move |ctx| {
+                let me = ctx.id();
+                let s = split(ctx, ObSet::empty(), move |c| c.write(oid, enc_i64(2)))?;
+                assert!(join(ctx, s, me)?);
+                Ok(())
+            })
+            .unwrap());
+            db.retire_terminated();
+        });
+    });
+
+    for n in [1usize, 16, 256] {
+        g.bench_with_input(BenchmarkId::new("delegate_n_objects", n), &n, |b, &n| {
+            let db = Database::in_memory();
+            let oids = setup_counters(&db, n, 0);
+            b.iter(|| {
+                let o = oids.clone();
+                let receiver = db.initiate(|_| Ok(())).unwrap();
+                let worker = db
+                    .initiate(move |ctx| {
+                        for oid in &o {
+                            ctx.write(*oid, enc_i64(1))?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                db.begin(worker).unwrap();
+                db.wait(worker).unwrap();
+                db.delegate(worker, receiver, None).unwrap();
+                db.begin(receiver).unwrap();
+                assert!(db.commit(receiver).unwrap());
+                assert!(db.commit(worker).unwrap());
+                db.retire_terminated();
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_join);
+criterion_main!(benches);

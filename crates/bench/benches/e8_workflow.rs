@@ -1,0 +1,52 @@
+//! E8 — the appendix travel workflow: full activity latency on the happy
+//! path, the fallback path, and the compensation path.
+
+use asset_core::Database;
+use asset_models::workflow::travel::{run_x_conference, TravelWorld};
+use asset_models::WorkflowOutcome;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_workflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_workflow");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+
+    g.bench_function("happy_path", |b| {
+        let db = Database::in_memory();
+        let world = TravelWorld::setup(&db, u32::MAX as u64, 1, 1, u32::MAX as u64, 1, 1)
+            .unwrap();
+        b.iter(|| {
+            let (outcome, _) = run_x_conference(&db, &world).unwrap();
+            assert_eq!(outcome, WorkflowOutcome::Completed);
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("flight_fallback_to_american", |b| {
+        let db = Database::in_memory();
+        let world =
+            TravelWorld::setup(&db, 0, 0, u32::MAX as u64, u32::MAX as u64, 1, 1).unwrap();
+        b.iter(|| {
+            let (outcome, results) = run_x_conference(&db, &world).unwrap();
+            assert_eq!(outcome, WorkflowOutcome::Completed);
+            assert_eq!(results[0].chosen.as_deref(), Some("American"));
+            db.retire_terminated();
+        });
+    });
+
+    g.bench_function("hotel_failure_compensates_flight", |b| {
+        let db = Database::in_memory();
+        let world = TravelWorld::setup(&db, u32::MAX as u64, 1, 1, 0, 1, 1).unwrap();
+        b.iter(|| {
+            let (outcome, _) = run_x_conference(&db, &world).unwrap();
+            assert_eq!(outcome, WorkflowOutcome::Failed { failed_step: 1 });
+            db.retire_terminated();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_workflow);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E9 — the Figure 1 / §4.1 descriptor structures in isolation: lock
+//! table, permit table (direct, transitive, miss), dependency graph.
+
+use asset_common::{DepType, ObSet, Oid, OpSet, Operation, Tid};
+use asset_dep::DepGraph;
+use asset_lock::{LockTable, Permit, PermitTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_structures");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+
+    g.bench_function("lock_acquire_covered", |b| {
+        let locks = LockTable::new();
+        locks.lock(Tid(1), Oid(1), Operation::Write, None).unwrap();
+        b.iter(|| {
+            // re-grant fast path: own covering lock (§4.2 step 1a)
+            locks.lock(Tid(1), Oid(1), Operation::Write, None).unwrap();
+        });
+    });
+
+    g.bench_function("lock_acquire_release_cycle", |b| {
+        let locks = LockTable::new();
+        b.iter(|| {
+            locks.lock(Tid(1), Oid(1), Operation::Write, None).unwrap();
+            locks.release_all(Tid(1));
+        });
+    });
+
+    for chain in [1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("permit_check_chain", chain),
+            &chain,
+            |b, &chain| {
+                let mut permits = PermitTable::new();
+                for i in 0..chain {
+                    permits.insert(Permit {
+                        grantor: Tid(i as u64 + 1),
+                        grantee: Some(Tid(i as u64 + 2)),
+                        obs: ObSet::one(Oid(7)),
+                        ops: OpSet::ALL,
+                    });
+                }
+                let target = Tid(chain as u64 + 1);
+                b.iter(|| {
+                    assert!(permits.permits(
+                        black_box(Tid(1)),
+                        black_box(target),
+                        Oid(7),
+                        Operation::Write
+                    ));
+                });
+            },
+        );
+    }
+
+    for size in [10usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("permit_miss", size), &size, |b, &size| {
+            let mut permits = PermitTable::new();
+            for i in 0..size {
+                permits.insert(Permit {
+                    grantor: Tid(i as u64 + 10),
+                    grantee: Some(Tid(i as u64 + 5_000)),
+                    obs: ObSet::one(Oid(i as u64)),
+                    ops: OpSet::ALL,
+                });
+            }
+            b.iter(|| {
+                assert!(!permits.permits(black_box(Tid(1)), Tid(2), Oid(3), Operation::Read));
+            });
+        });
+    }
+
+    g.bench_function("dep_form_gate_commit", |b| {
+        let mut graph = DepGraph::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let a = Tid(2 * i + 1);
+            let bb = Tid(2 * i + 2);
+            graph.form(DepType::AD, a, bb).unwrap();
+            let _ = black_box(graph.commit_gate(bb));
+            graph.committed(&[a, bb]);
+            graph.retire(a);
+            graph.retire(bb);
+            i += 1;
+        });
+    });
+
+    g.bench_function("gc_component_of_8", |b| {
+        let mut graph = DepGraph::new();
+        for i in 0..7u64 {
+            graph.form(DepType::GC, Tid(i + 1), Tid(i + 2)).unwrap();
+        }
+        b.iter(|| {
+            assert_eq!(black_box(graph.gc_component(Tid(4))).len(), 8);
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

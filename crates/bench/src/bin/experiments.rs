@@ -1,0 +1,50 @@
+//! The experiment harness: prints the E1–E11 tables of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run -p asset-bench --release --bin experiments           # full suite
+//! cargo run -p asset-bench --release --bin experiments -- quick  # smoke scale
+//! cargo run -p asset-bench --release --bin experiments -- e2 e4  # a subset
+//! ```
+
+use asset_bench::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let selected: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "quick").collect();
+
+    println!("ASSET experiment suite (scale factor {:.2})", scale.factor);
+    println!("paper: Biliris/Dar/Gehani/Jagadish/Ramamritham, SIGMOD 1994");
+    if !cfg!(debug_assertions) {
+        println!("build: release");
+    } else {
+        println!("build: DEBUG — timings are not meaningful; use --release");
+    }
+
+    type Exp = (&'static str, fn(Scale) -> asset_bench::Table);
+    let all: Vec<Exp> = vec![
+        ("e1", experiments::e1_primitives),
+        ("e2", experiments::e2_permits_vs_2pl),
+        ("e3", experiments::e3_nested),
+        ("e4", experiments::e4_sagas),
+        ("e5", experiments::e5_group_commit),
+        ("e6", experiments::e6_cursor_stability),
+        ("e7", experiments::e7_split_early_release),
+        ("e8", experiments::e8_workflow),
+        ("e9", experiments::e9_structures),
+        ("e10", experiments::e10_recovery),
+        ("e11", experiments::e11_contingent),
+        ("e12", experiments::e12_ablations),
+    ];
+
+    for (name, f) in &all {
+        if !selected.is_empty() && !selected.contains(name) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let table = f(scale);
+        println!("{table}");
+        println!("   [{name} took {:.2?}]", start.elapsed());
+    }
+}

@@ -1,0 +1,343 @@
+//! E1 (primitive costs), E5 (group commit), E9 (lock/permit/dependency
+//! structures — Figure 1), E10 (logging & recovery).
+
+use super::Scale;
+use crate::table::{fmt_duration, fmt_rate, Table};
+use crate::workload::{enc_i64, setup_counters};
+use asset_common::{DepType, ObSet, Oid, OpSet, Operation, Tid};
+use asset_core::Database;
+use asset_dep::DepGraph;
+use asset_lock::{LockTable, Permit, PermitTable};
+use asset_storage::{LogManager, LogRecord};
+use std::time::Instant;
+
+/// E1 — cost of the basic primitives (§2.1): latency of the
+/// initiate/begin/commit cycle and throughput of disjoint transactions at
+/// increasing concurrency.
+pub fn e1_primitives(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E1: primitive costs",
+        "initiate/begin/commit cycle latency; throughput of disjoint 1-write transactions vs concurrency",
+    )
+    .headers(&["concurrency", "txns", "wall time", "throughput", "mean latency"]);
+
+    // single-thread latency of a no-op transaction cycle
+    let db = Database::in_memory();
+    let n = scale.n(2_000);
+    let start = Instant::now();
+    for _ in 0..n {
+        let t = db.initiate(|_| Ok(())).unwrap();
+        db.begin(t).unwrap();
+        assert!(db.commit(t).unwrap());
+    }
+    let elapsed = start.elapsed();
+    db.retire_terminated();
+    table.row(vec![
+        "1 (no-op)".into(),
+        n.to_string(),
+        fmt_duration(elapsed),
+        fmt_rate(n as u64, elapsed),
+        fmt_duration(elapsed / n as u32),
+    ]);
+
+    // throughput of single-write transactions at increasing concurrency
+    for threads in [1usize, 2, 4, 8, 16] {
+        let db = Database::in_memory();
+        let per_thread = scale.n(400);
+        let oids = setup_counters(&db, threads, 0);
+        let elapsed = crate::workload::parallel_time(threads, |i| {
+            let oid = oids[i];
+            for v in 0..per_thread {
+                let ok = db
+                    .run(move |ctx| ctx.write(oid, enc_i64(v as i64)))
+                    .unwrap();
+                assert!(ok);
+            }
+        });
+        let total = (threads * per_thread) as u64;
+        table.row(vec![
+            threads.to_string(),
+            total.to_string(),
+            fmt_duration(elapsed),
+            fmt_rate(total, elapsed),
+            fmt_duration(elapsed / total as u32),
+        ]);
+    }
+    table
+}
+
+/// E5 — group commit (§3.1.2): GC resolution latency vs group size, and
+/// abort propagation down AD chains.
+pub fn e5_group_commit(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E5: group commit & abort propagation",
+        "time to resolve a GC group of size n from one commit call; time to propagate an abort down an AD chain",
+    )
+    .headers(&["mode", "n", "iterations", "mean time"]);
+
+    for n in [2usize, 4, 8, 16, 32] {
+        let iters = scale.n(60);
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..iters {
+            let db = Database::in_memory();
+            let tids: Vec<Tid> = (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+            for w in tids.windows(2) {
+                db.form_dependency(DepType::GC, w[0], w[1]).unwrap();
+            }
+            db.begin_many(&tids).unwrap();
+            // wait until all completed so we time only the group resolution
+            for t in &tids {
+                db.wait(*t).unwrap();
+            }
+            let start = Instant::now();
+            assert!(db.commit(tids[0]).unwrap());
+            total += start.elapsed();
+        }
+        table.row(vec![
+            "GC commit".into(),
+            n.to_string(),
+            iters.to_string(),
+            fmt_duration(total / iters as u32),
+        ]);
+    }
+
+    for n in [2usize, 4, 8, 16, 32] {
+        let iters = scale.n(60);
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..iters {
+            let db = Database::in_memory();
+            let tids: Vec<Tid> = (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+            for w in tids.windows(2) {
+                db.form_dependency(DepType::AD, w[0], w[1]).unwrap();
+            }
+            db.begin_many(&tids).unwrap();
+            for t in &tids {
+                db.wait(*t).unwrap();
+            }
+            let start = Instant::now();
+            assert!(db.abort(tids[0]).unwrap());
+            // abort of the head propagates through the whole chain
+            total += start.elapsed();
+            for t in &tids {
+                assert!(db.status(*t).unwrap().is_abort_path());
+            }
+        }
+        table.row(vec![
+            "AD abort chain".into(),
+            n.to_string(),
+            iters.to_string(),
+            fmt_duration(total / iters as u32),
+        ]);
+    }
+    table
+}
+
+/// E9 — the Figure 1 / §4.1 structures in isolation: lock acquire+release,
+/// direct and transitive permit checks, dependency insert + gate
+/// evaluation.
+pub fn e9_structures(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E9: lock/permit/dependency structures (Figure 1)",
+        "microbenchmarks of the doubly-hashed descriptor structures",
+    )
+    .headers(&["operation", "param", "ops", "mean time", "rate"]);
+
+    // lock acquire + release, uncontended
+    let n = scale.n(100_000);
+    let locks = LockTable::new();
+    let start = Instant::now();
+    for i in 0..n {
+        locks
+            .lock(Tid(1), Oid(i as u64 % 64), Operation::Write, None)
+            .unwrap();
+        if i % 64 == 63 {
+            locks.release_all(Tid(1));
+        }
+    }
+    locks.release_all(Tid(1));
+    let elapsed = start.elapsed();
+    table.row(vec![
+        "write-lock (uncontended)".into(),
+        "64 objects".into(),
+        n.to_string(),
+        fmt_duration(elapsed / n as u32),
+        fmt_rate(n as u64, elapsed),
+    ]);
+
+    // permit check: direct and through transitive chains
+    for chain in [1usize, 2, 4, 8] {
+        let mut permits = PermitTable::new();
+        // build a chain t1 -> t2 -> ... -> t(chain+1)
+        for i in 0..chain {
+            permits.insert(Permit {
+                grantor: Tid(i as u64 + 1),
+                grantee: Some(Tid(i as u64 + 2)),
+                obs: ObSet::one(Oid(7)),
+                ops: OpSet::ALL,
+            });
+        }
+        let target = Tid(chain as u64 + 1);
+        let n = scale.n(200_000);
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for _ in 0..n {
+            if permits.permits(Tid(1), target, Oid(7), Operation::Write) {
+                hits += 1;
+            }
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(hits, n);
+        table.row(vec![
+            "permit check".into(),
+            format!("chain len {chain}"),
+            n.to_string(),
+            fmt_duration(elapsed / n as u32),
+            fmt_rate(n as u64, elapsed),
+        ]);
+    }
+
+    // permit check miss with a populated table (hash-scaling sanity)
+    for size in [10usize, 100, 1000] {
+        let mut permits = PermitTable::new();
+        for i in 0..size {
+            permits.insert(Permit {
+                grantor: Tid(i as u64 + 10),
+                grantee: Some(Tid(i as u64 + 5_000)),
+                obs: ObSet::one(Oid(i as u64)),
+                ops: OpSet::ALL,
+            });
+        }
+        let n = scale.n(200_000);
+        let start = Instant::now();
+        for _ in 0..n {
+            // grantor with no permits: the by-grantor hash lookup must be
+            // O(1) regardless of table size
+            assert!(!permits.permits(Tid(1), Tid(2), Oid(3), Operation::Read));
+        }
+        let elapsed = start.elapsed();
+        table.row(vec![
+            "permit miss".into(),
+            format!("{size} PDs"),
+            n.to_string(),
+            fmt_duration(elapsed / n as u32),
+            fmt_rate(n as u64, elapsed),
+        ]);
+    }
+
+    // dependency insert + commit-gate evaluation
+    let n = scale.n(50_000);
+    let mut graph = DepGraph::new();
+    let start = Instant::now();
+    for i in 0..n {
+        let a = Tid(2 * i as u64 + 1);
+        let b = Tid(2 * i as u64 + 2);
+        graph.form(DepType::CD, a, b).unwrap();
+        let _ = graph.commit_gate(b);
+        graph.committed(&[a]);
+        let _ = graph.commit_gate(b);
+        graph.committed(&[b]);
+        graph.retire(a);
+        graph.retire(b);
+    }
+    let elapsed = start.elapsed();
+    table.row(vec![
+        "CD form+gate+commit".into(),
+        "pairs".into(),
+        n.to_string(),
+        fmt_duration(elapsed / n as u32),
+        fmt_rate(n as u64, elapsed),
+    ]);
+    table
+}
+
+/// E10 — §4.2 logging & recovery: WAL append throughput, abort-undo cost
+/// vs update count, restart recovery time vs log size.
+pub fn e10_recovery(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E10: logging & recovery",
+        "WAL append throughput; abort undo cost vs writes; restart recovery time vs log records",
+    )
+    .headers(&["operation", "param", "count", "time", "rate"]);
+
+    // raw log append throughput (in-memory backend: measures encoding)
+    let n = scale.n(200_000);
+    let log = LogManager::in_memory();
+    let rec = LogRecord::Update {
+        tid: Tid(1),
+        oid: Oid(1),
+        before: Some(vec![0u8; 64]),
+        after: Some(vec![1u8; 64]),
+    };
+    let start = Instant::now();
+    for _ in 0..n {
+        log.append(&rec).unwrap();
+    }
+    let elapsed = start.elapsed();
+    table.row(vec![
+        "WAL append".into(),
+        "64B images".into(),
+        n.to_string(),
+        fmt_duration(elapsed / n as u32),
+        fmt_rate(n as u64, elapsed),
+    ]);
+
+    // abort undo cost vs number of updates
+    for writes in [10usize, 100, 1000] {
+        let db = Database::in_memory();
+        let oids = setup_counters(&db, writes, 0);
+        let o2 = oids.clone();
+        let t = db
+            .initiate(move |ctx| {
+                for oid in &o2 {
+                    ctx.write(*oid, enc_i64(42))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        db.begin(t).unwrap();
+        db.wait(t).unwrap();
+        let start = Instant::now();
+        assert!(db.abort(t).unwrap());
+        let elapsed = start.elapsed();
+        table.row(vec![
+            "abort undo".into(),
+            format!("{writes} writes"),
+            "1".into(),
+            fmt_duration(elapsed),
+            fmt_rate(writes as u64, elapsed),
+        ]);
+    }
+
+    // restart recovery time vs log size
+    for txns in [1_000usize, 5_000, 20_000] {
+        let txns = scale.n(txns);
+        let db = Database::in_memory();
+        let oids = setup_counters(&db, 64, 0);
+        for i in 0..txns {
+            let oid = oids[i % oids.len()];
+            assert!(db.run(move |ctx| ctx.write(oid, enc_i64(i as i64))).unwrap());
+            if i % 256 == 255 {
+                db.retire_terminated();
+            }
+        }
+        let records = db.engine().log().records_appended();
+        // simulate crash: rebuild cache from log + store
+        let start = Instant::now();
+        let report = asset_storage::recover(
+            db.engine().log(),
+            &asset_storage::ObjectCache::new(),
+            db.engine().store(),
+        )
+        .unwrap();
+        let elapsed = start.elapsed();
+        assert!(report.winners > 0);
+        table.row(vec![
+            "restart recovery".into(),
+            format!("{records} log records"),
+            "1".into(),
+            fmt_duration(elapsed),
+            fmt_rate(records, elapsed),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,128 @@
+//! Minimal fixed-width table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A printable result table: the harness's equivalent of a paper table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id + name, e.g. `"E2: permits vs strict 2PL"`.
+    pub title: String,
+    /// One-line description of workload and parameters.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, caption: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            caption: caption.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the headers.
+    #[must_use]
+    pub fn headers(mut self, headers: &[&str]) -> Table {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        writeln!(f, "   {}", self.caption)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "   ")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "| {:<width$} ", cell, width = widths[i])?;
+            }
+            writeln!(f, "|")
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "   {}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a `Duration` with adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Format an ops/second rate.
+pub fn fmt_rate(ops: u64, elapsed: std::time::Duration) -> String {
+    let per_sec = ops as f64 / elapsed.as_secs_f64();
+    if per_sec >= 1e6 {
+        format!("{:.2} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1} K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} /s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0: demo", "demo caption").headers(&["param", "value"]);
+        t.row(vec!["threads".into(), "8".into()]);
+        t.row(vec!["x".into(), "123456".into()]);
+        let s = t.to_string();
+        assert!(s.contains("E0: demo"));
+        assert!(s.contains("| param"));
+        assert!(s.contains("| 123456"));
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+
+    #[test]
+    fn rate_units() {
+        assert!(fmt_rate(2_000_000, Duration::from_secs(1)).contains("M/s"));
+        assert!(fmt_rate(5_000, Duration::from_secs(1)).contains("K/s"));
+        assert!(fmt_rate(10, Duration::from_secs(1)).contains("/s"));
+    }
+}

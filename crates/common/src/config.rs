@@ -1,0 +1,146 @@
+//! System configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How strictly the log is forced to stable storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Durability {
+    /// `fsync` on every commit record (the paper's implied behaviour).
+    Strict,
+    /// Buffered writes, flushed by the OS; crash loses the tail. Useful for
+    /// benchmarks that measure everything but the disk.
+    Buffered,
+    /// Keep the log purely in memory; restart recovery works only within
+    /// the process (used by tests that exercise the recovery algorithms
+    /// without touching a filesystem).
+    InMemory,
+}
+
+/// Configuration for a [`Database`](https://docs.rs/asset-core) instance.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum number of live (not yet retired) transactions. `initiate`
+    /// fails with `ResourceExhausted` beyond this — per §4.2 of the paper.
+    pub max_transactions: usize,
+    /// How long a lock request waits before failing with `LockTimeout`.
+    /// `None` waits forever (deadlock detection still applies).
+    pub lock_wait_timeout: Option<Duration>,
+    /// How often the deadlock detector scans the waits-for graph.
+    pub deadlock_check_interval: Duration,
+    /// Page size in bytes for the heap file (must be a power of two,
+    /// >= 512).
+    pub page_size: usize,
+    /// Number of pages the buffer pool caches.
+    pub buffer_pool_pages: usize,
+    /// Directory for the heap file and log; `None` selects fully in-memory
+    /// operation (implies `Durability::InMemory`).
+    pub data_dir: Option<PathBuf>,
+    /// Log durability mode.
+    pub durability: Durability,
+    /// Spin iterations before a latch acquisition starts yielding.
+    pub latch_spin_limit: u32,
+}
+
+impl Config {
+    /// A fully in-memory configuration — the default for examples and tests.
+    pub fn in_memory() -> Config {
+        Config {
+            max_transactions: 4096,
+            lock_wait_timeout: Some(Duration::from_secs(10)),
+            deadlock_check_interval: Duration::from_millis(50),
+            page_size: 4096,
+            buffer_pool_pages: 1024,
+            data_dir: None,
+            durability: Durability::InMemory,
+            latch_spin_limit: 64,
+        }
+        .validate()
+    }
+
+    /// An on-disk configuration rooted at `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Config {
+        Config {
+            data_dir: Some(dir.into()),
+            durability: Durability::Strict,
+            ..Config::in_memory()
+        }
+        .validate()
+    }
+
+    /// Clamp/verify invariants; panics on nonsensical values so that a bad
+    /// configuration fails loudly at startup rather than corrupting pages.
+    fn validate(self) -> Config {
+        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
+        assert!(self.page_size >= 512, "page_size must be >= 512");
+        assert!(self.max_transactions >= 1, "max_transactions must be >= 1");
+        assert!(self.buffer_pool_pages >= 8, "buffer_pool_pages must be >= 8");
+        self
+    }
+
+    /// Builder-style: set the transaction cap.
+    #[must_use]
+    pub fn with_max_transactions(mut self, n: usize) -> Config {
+        self.max_transactions = n;
+        self.validate()
+    }
+
+    /// Builder-style: set the lock-wait timeout.
+    #[must_use]
+    pub fn with_lock_timeout(mut self, d: Option<Duration>) -> Config {
+        self.lock_wait_timeout = d;
+        self
+    }
+
+    /// Builder-style: set durability.
+    #[must_use]
+    pub fn with_durability(mut self, d: Durability) -> Config {
+        self.durability = d;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::in_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_defaults() {
+        let c = Config::in_memory();
+        assert!(c.data_dir.is_none());
+        assert_eq!(c.durability, Durability::InMemory);
+        assert!(c.page_size.is_power_of_two());
+    }
+
+    #[test]
+    fn on_disk_defaults() {
+        let c = Config::on_disk("/tmp/x");
+        assert!(c.data_dir.is_some());
+        assert_eq!(c.durability, Durability::Strict);
+    }
+
+    #[test]
+    fn builders() {
+        let c = Config::in_memory()
+            .with_max_transactions(10)
+            .with_lock_timeout(None)
+            .with_durability(Durability::Buffered);
+        assert_eq!(c.max_transactions, 10);
+        assert!(c.lock_wait_timeout.is_none());
+        assert_eq!(c.durability, Durability::Buffered);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        let mut c = Config::in_memory();
+        c.page_size = 1000;
+        let _ = c.validate();
+    }
+}

@@ -1,0 +1,170 @@
+//! The transaction status machine.
+
+use std::fmt;
+
+/// The lifecycle states of an ASSET transaction (paper §2.1 and §4.2).
+///
+/// ```text
+/// Initiated --begin--> Running --code returns--> Completed
+///     |                   |                          |
+///     |                   +-------- commit --> Committing --> Committed
+///     |                   |                          |
+///     +------- abort -> Aborting <---- abort --------+
+///                           |
+///                           v
+///                        Aborted
+/// ```
+///
+/// * *Initiated*: registered via `initiate`, not yet begun.
+/// * *Running*: `begin` issued; the transaction's function is executing.
+/// * *Completed*: the function returned; locks are **retained** and changes
+///   are **not** durable until an explicit `commit`.
+/// * *Committing* / *Aborting*: the §4.2 protocols are in progress. A
+///   transaction that another transaction's abort marks as doomed sits in
+///   *Aborting* until its own `commit`/`abort` call performs the undo steps.
+/// * *Committed* / *Aborted*: terminal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TxnStatus {
+    /// Registered but not yet executing.
+    Initiated,
+    /// Executing its function.
+    Running,
+    /// Function finished; awaiting commit/abort.
+    Completed,
+    /// Commit protocol in progress (may block on dependencies).
+    Committing,
+    /// Terminal: effects durable, locks released.
+    Committed,
+    /// Abort requested or forced; undo pending or in progress.
+    Aborting,
+    /// Terminal: effects undone, locks released.
+    Aborted,
+}
+
+impl TxnStatus {
+    /// Has the transaction been terminated (committed or aborted)?
+    #[inline]
+    pub fn is_terminated(self) -> bool {
+        matches!(self, TxnStatus::Committed | TxnStatus::Aborted)
+    }
+
+    /// Is the transaction *active* in the paper's sense — it has begun
+    /// executing and has not terminated (running or completed)?
+    #[inline]
+    pub fn is_active(self) -> bool {
+        matches!(
+            self,
+            TxnStatus::Running
+                | TxnStatus::Completed
+                | TxnStatus::Committing
+                | TxnStatus::Aborting
+        )
+    }
+
+    /// Has the transaction's code finished executing (successfully or not)?
+    #[inline]
+    pub fn is_complete(self) -> bool {
+        matches!(
+            self,
+            TxnStatus::Completed
+                | TxnStatus::Committing
+                | TxnStatus::Committed
+                | TxnStatus::Aborted
+        )
+    }
+
+    /// Is the transaction doomed or gone — aborting or aborted?
+    #[inline]
+    pub fn is_abort_path(self) -> bool {
+        matches!(self, TxnStatus::Aborting | TxnStatus::Aborted)
+    }
+
+    /// Is `next` a legal successor state of `self`?
+    ///
+    /// Used by debug assertions in the transaction manager; the status
+    /// machine is the paper's, plus the rule that any non-terminal state may
+    /// transition to `Aborting` (aborts can strike at any time, including
+    /// before `begin`).
+    pub fn can_transition_to(self, next: TxnStatus) -> bool {
+        use TxnStatus::*;
+        match (self, next) {
+            (Initiated, Running) => true,
+            (Running, Completed) => true,
+            (Completed, Committing) => true,
+            (Committing, Committed) => true,
+            // commit discovered a doomed transaction, or abort was called
+            (Initiated | Running | Completed | Committing, Aborting) => true,
+            (Aborting, Aborted) => true,
+            // re-entrant commit retry keeps status at Committing
+            (Committing, Committing) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TxnStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnStatus::Initiated => "initiated",
+            TxnStatus::Running => "running",
+            TxnStatus::Completed => "completed",
+            TxnStatus::Committing => "committing",
+            TxnStatus::Committed => "committed",
+            TxnStatus::Aborting => "aborting",
+            TxnStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TxnStatus::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Committed.is_terminated());
+        assert!(Aborted.is_terminated());
+        assert!(!Running.is_terminated());
+
+        assert!(Running.is_active());
+        assert!(Completed.is_active());
+        assert!(!Initiated.is_active());
+        assert!(!Committed.is_active());
+
+        assert!(Completed.is_complete());
+        assert!(Committed.is_complete());
+        assert!(!Running.is_complete());
+
+        assert!(Aborting.is_abort_path());
+        assert!(Aborted.is_abort_path());
+        assert!(!Committing.is_abort_path());
+    }
+
+    #[test]
+    fn legal_transitions() {
+        assert!(Initiated.can_transition_to(Running));
+        assert!(Running.can_transition_to(Completed));
+        assert!(Completed.can_transition_to(Committing));
+        assert!(Committing.can_transition_to(Committed));
+        assert!(Committing.can_transition_to(Aborting));
+        assert!(Aborting.can_transition_to(Aborted));
+        assert!(Initiated.can_transition_to(Aborting));
+    }
+
+    #[test]
+    fn illegal_transitions() {
+        assert!(!Committed.can_transition_to(Aborting));
+        assert!(!Aborted.can_transition_to(Running));
+        assert!(!Initiated.can_transition_to(Completed));
+        assert!(!Running.can_transition_to(Committing));
+        assert!(!Committed.can_transition_to(Committed));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Running.to_string(), "running");
+        assert_eq!(Committed.to_string(), "committed");
+    }
+}

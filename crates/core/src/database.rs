@@ -1,0 +1,736 @@
+//! The ASSET transaction manager: the paper's primitives over the EOS-style
+//! substrate.
+//!
+//! `Database` owns the storage engine, the lock table, the dependency graph
+//! and the transaction table (TDs). Every primitive of §2 is a method here;
+//! [`TxnCtx`](crate::context::TxnCtx) proxies them with `self()` filled in
+//! for code running inside a transaction.
+//!
+//! ## Execution model
+//!
+//! `initiate` registers a closure; `begin` spawns a thread that runs it
+//! with a `TxnCtx`. When the closure returns `Ok`, the transaction is
+//! *completed* — locks retained, changes not durable — until an explicit
+//! `commit` runs the §4.2 protocol. Returning `Err` (or panicking) aborts.
+//!
+//! ## Commit protocol (paper §4.2, `commit(ti)`)
+//!
+//! The mark-based group-commit discovery of the paper is implemented as GC
+//! *component* evaluation: the committing transaction's whole GC component
+//! must be gate-free and fully executed, then the component commits
+//! atomically under one forced log record. AD gates wait for the parent to
+//! commit (and doom on its abort); CD gates wait for termination either
+//! way. Blocked commits park on a condition variable and "retry starting at
+//! step 1" on every termination event.
+//!
+//! ## Abort protocol (paper §4.2, `abort(ti)`)
+//!
+//! Install before images in reverse order, log `Abort`, release locks and
+//! permits, propagate along incoming AD/GC edges (CD edges are dropped),
+//! then mark aborted. A *running* victim is marked `Aborting` and its lock
+//! waits are poisoned; its own thread performs the steps when the closure
+//! unwinds — the paper's "mark tj in its TD structure as aborting".
+
+use crate::context::TxnCtx;
+use asset_common::{
+    AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus,
+};
+use asset_common::ids::IdGen;
+use asset_dep::{CommitGate, DepGraph};
+use asset_lock::{LockStats, LockTable};
+use asset_storage::{LogRecord, RecoveryReport, StorageEngine};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The closure a transaction executes.
+pub type Job = Box<dyn FnOnce(&TxnCtx) -> Result<()> + Send + 'static>;
+
+/// One undo-log entry: installing `before` over `oid` reverses one update.
+#[derive(Clone, Debug)]
+pub(crate) struct UndoEntry {
+    pub seq: u64,
+    pub oid: Oid,
+    pub before: Option<Vec<u8>>,
+}
+
+/// A transaction descriptor (the paper's TD).
+pub(crate) struct TxnSlot {
+    pub parent: Tid,
+    pub status: TxnStatus,
+    pub job: Option<Job>,
+    /// In-memory undo chain; delegation splices entries between slots.
+    pub undo: Vec<UndoEntry>,
+    /// Abort steps already performed? (guards against double undo when
+    /// commit/abort/wrapper race to finalize an `Aborting` transaction)
+    pub abort_performed: bool,
+    /// Is the transaction's thread still executing its closure? While it
+    /// is, abort only *marks* (§4.2: "mark tj in its TD structure as
+    /// aborting"); the undo steps run when the thread finishes, so a late
+    /// in-flight write can never land after its own undo.
+    pub thread_live: bool,
+}
+
+pub(crate) struct DbInner {
+    pub config: Config,
+    pub engine: StorageEngine,
+    pub locks: LockTable,
+    pub deps: Mutex<DepGraph>,
+    pub txns: Mutex<HashMap<Tid, TxnSlot>>,
+    /// Signalled on every status change; commit/wait park here.
+    pub status_cv: Condvar,
+    pub tid_gen: IdGen,
+    pub oid_gen: IdGen,
+    pub undo_seq: AtomicU64,
+    /// Non-terminated transaction count (kept in lockstep with status
+    /// transitions under the `txns` mutex; read without it).
+    pub live_count: AtomicUsize,
+}
+
+/// A point-in-time statistics snapshot of a [`Database`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DatabaseStats {
+    /// Transactions registered but not begun.
+    pub initiated: usize,
+    /// Transactions executing their closure.
+    pub running: usize,
+    /// Completed (or committing) transactions awaiting the commit point.
+    pub completed: usize,
+    /// Committed transactions still in the table (not yet retired).
+    pub committed: usize,
+    /// Aborting/aborted transactions still in the table.
+    pub aborted: usize,
+    /// Lock-manager counters.
+    pub locks: LockStats,
+    /// Live permit descriptors.
+    pub permits: usize,
+    /// Live CD/AD dependency edges.
+    pub dep_edges: usize,
+    /// Live GC links.
+    pub gc_links: usize,
+    /// Records appended to the log by this process.
+    pub log_records: u64,
+}
+
+impl std::fmt::Display for DatabaseStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "txns: {} initiated / {} running / {} completed / {} committed / {} aborted",
+            self.initiated, self.running, self.completed, self.committed, self.aborted
+        )?;
+        writeln!(
+            f,
+            "locks: {} grants, {} blocks, {} suspensions, {} deadlocks, {} timeouts",
+            self.locks.grants,
+            self.locks.blocks,
+            self.locks.suspensions,
+            self.locks.deadlocks,
+            self.locks.timeouts
+        )?;
+        write!(
+            f,
+            "permits: {}; dependencies: {} CD/AD + {} GC; log records: {}",
+            self.permits, self.dep_edges, self.gc_links, self.log_records
+        )
+    }
+}
+
+/// A handle to an ASSET database. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Open a database per `config`, running restart recovery. Returns the
+    /// handle and the recovery report.
+    pub fn open(config: Config) -> Result<(Database, RecoveryReport)> {
+        let (engine, report) = StorageEngine::open(&config)?;
+        let tid_gen = IdGen::new();
+        tid_gen.bump_past(report.max_tid);
+        let oid_gen = IdGen::new();
+        let max_oid = engine.store().oids().iter().map(|o| o.raw()).max().unwrap_or(0);
+        oid_gen.bump_past(max_oid);
+        let inner = Arc::new(DbInner {
+            config,
+            engine,
+            locks: LockTable::new(),
+            deps: Mutex::new(DepGraph::new()),
+            txns: Mutex::new(HashMap::new()),
+            status_cv: Condvar::new(),
+            tid_gen,
+            oid_gen,
+            undo_seq: AtomicU64::new(1),
+            live_count: AtomicUsize::new(0),
+        });
+        Ok((Database { inner }, report))
+    }
+
+    /// An in-memory database with default configuration (tests, examples).
+    pub fn in_memory() -> Database {
+        Database::open(Config::in_memory()).expect("in-memory open cannot fail").0
+    }
+
+    // --- basic primitives (paper §2.1) ---------------------------------
+
+    /// `initiate(f, args)`: register a new transaction that will execute
+    /// `f`. (Arguments are closure captures in Rust.) Fails with
+    /// `ResourceExhausted` when the configured transaction cap is reached.
+    pub fn initiate(
+        &self,
+        f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
+    ) -> Result<Tid> {
+        self.initiate_with_parent(Tid::NULL, Box::new(f))
+    }
+
+    pub(crate) fn initiate_with_parent(&self, parent: Tid, job: Job) -> Result<Tid> {
+        let mut txns = self.inner.txns.lock();
+        let live = self.inner.live_count.load(Ordering::Relaxed);
+        if live >= self.inner.config.max_transactions {
+            return Err(AssetError::ResourceExhausted {
+                limit: self.inner.config.max_transactions,
+            });
+        }
+        self.inner.live_count.fetch_add(1, Ordering::Relaxed);
+        let tid = Tid(self.inner.tid_gen.next());
+        txns.insert(
+            tid,
+            TxnSlot {
+                parent,
+                status: TxnStatus::Initiated,
+                job: Some(job),
+                undo: Vec::new(),
+                abort_performed: false,
+                thread_live: false,
+            },
+        );
+        self.inner.deps.lock().register(tid);
+        Ok(tid)
+    }
+
+    /// `begin(t)`: start execution of `t` on its own thread.
+    ///
+    /// Beginning a transaction that was already doomed (e.g. aborted
+    /// through a dependency formed before it started — the point of
+    /// separating `initiate` from `begin`) is a benign no-op: the paper's
+    /// `begin` returns 0 there, and the subsequent `commit` reports the
+    /// abort. Beginning a transaction in any other non-`Initiated` state is
+    /// a programming error.
+    pub fn begin(&self, t: Tid) -> Result<()> {
+        let job = {
+            let mut txns = self.inner.txns.lock();
+            let slot = txns.get_mut(&t).ok_or(AssetError::TxnNotFound(t))?;
+            if slot.status.is_abort_path() {
+                return Ok(()); // doomed before it started; commit reports it
+            }
+            if slot.status != TxnStatus::Initiated {
+                return Err(AssetError::InvalidState { tid: t, status: slot.status, op: "begin" });
+            }
+            slot.status = TxnStatus::Running;
+            slot.thread_live = true;
+            self.inner.engine.log_record(&LogRecord::Begin { tid: t })?;
+            slot.job.take().expect("initiated transaction has a job")
+        };
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("asset-{t}"))
+            .spawn(move || run_job(inner, t, job))
+            .expect("thread spawn");
+        Ok(())
+    }
+
+    /// `begin(t1, ..., tn)`: start several transactions.
+    pub fn begin_many(&self, ts: &[Tid]) -> Result<()> {
+        for t in ts {
+            self.begin(*t)?;
+        }
+        Ok(())
+    }
+
+    /// `wait(t)`: block until `t`'s code has completed. Returns `true` on
+    /// completion (or if already committed), `false` if `t` aborted.
+    pub fn wait(&self, t: Tid) -> Result<bool> {
+        let mut txns = self.inner.txns.lock();
+        loop {
+            let slot = txns.get(&t).ok_or(AssetError::TxnNotFound(t))?;
+            match slot.status {
+                TxnStatus::Completed | TxnStatus::Committing | TxnStatus::Committed => {
+                    return Ok(true)
+                }
+                TxnStatus::Aborted => return Ok(false),
+                TxnStatus::Initiated | TxnStatus::Running | TxnStatus::Aborting => {
+                    // Aborting is transient (the victim's thread finalizes
+                    // it); report failure only once the undo has run.
+                    self.inner.status_cv.wait(&mut txns);
+                }
+            }
+        }
+    }
+
+    /// `commit(t)`: the §4.2 commit protocol. Blocks until `t` completes
+    /// execution and every dependency gate opens. Returns `true` if `t`
+    /// (and its GC group) committed, `false` if it aborted.
+    pub fn commit(&self, t: Tid) -> Result<bool> {
+        let mut txns = self.inner.txns.lock();
+        loop {
+            // Step 1: status check.
+            let status = txns.get(&t).ok_or(AssetError::TxnNotFound(t))?.status;
+            match status {
+                TxnStatus::Committed => return Ok(true),
+                TxnStatus::Aborted => return Ok(false),
+                TxnStatus::Aborting => {
+                    // transient: the victim's own thread (or the aborter)
+                    // finalizes the undo; wait for it rather than racing
+                    self.abort_locked(&mut txns, t);
+                    if txns.get(&t).map(|s| s.status) != Some(TxnStatus::Aborted) {
+                        self.inner.status_cv.wait(&mut txns);
+                    }
+                    continue;
+                }
+                TxnStatus::Initiated | TxnStatus::Running => {
+                    // blocking primitive: wait for completion
+                    self.inner.status_cv.wait(&mut txns);
+                    continue;
+                }
+                TxnStatus::Completed | TxnStatus::Committing => {}
+            }
+            txns.get_mut(&t).unwrap().status = TxnStatus::Committing;
+
+            // Steps 2–3: dependency gates over the GC component.
+            let gate = self.inner.deps.lock().commit_gate(t);
+            match gate {
+                CommitGate::Doomed(group) => {
+                    for m in &group {
+                        self.abort_locked(&mut txns, *m);
+                    }
+                    return Ok(false);
+                }
+                CommitGate::WaitOn(_) => {
+                    self.inner.status_cv.wait(&mut txns);
+                }
+                CommitGate::Ready(group) => {
+                    // every member must have completed execution (the
+                    // paper's commit(tj) invocation inside step 2c-ii is a
+                    // blocking wait for the partner)
+                    let mut incomplete = false;
+                    let mut doomed = false;
+                    for m in &group {
+                        match txns.get(m).map(|s| s.status) {
+                            Some(TxnStatus::Initiated) | Some(TxnStatus::Running) => {
+                                incomplete = true
+                            }
+                            Some(TxnStatus::Aborting) | Some(TxnStatus::Aborted) => doomed = true,
+                            Some(_) => {}
+                            None => {
+                                return Err(AssetError::TxnNotFound(*m));
+                            }
+                        }
+                    }
+                    if doomed {
+                        for m in &group {
+                            self.abort_locked(&mut txns, *m);
+                        }
+                        return Ok(false);
+                    }
+                    if incomplete {
+                        self.inner.status_cv.wait(&mut txns);
+                        continue;
+                    }
+                    // Step 4: commit point — one forced record for the group.
+                    self.inner
+                        .engine
+                        .log_record(&LogRecord::Commit { tids: group.clone() })?;
+                    // Steps 5–6: statuses, dependency cleanup, lock release.
+                    for m in &group {
+                        let slot = txns.get_mut(m).expect("group member exists");
+                        slot.status = TxnStatus::Committed;
+                        slot.undo.clear();
+                        self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+                        self.inner.locks.release_all(*m);
+                    }
+                    self.inner.deps.lock().committed(&group);
+                    self.inner.status_cv.notify_all();
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// `abort(t)`: returns `true` if the abort succeeds (or `t` was already
+    /// aborted), `false` if `t` has already committed.
+    pub fn abort(&self, t: Tid) -> Result<bool> {
+        let mut txns = self.inner.txns.lock();
+        let status = txns.get(&t).ok_or(AssetError::TxnNotFound(t))?.status;
+        match status {
+            TxnStatus::Committed => Ok(false),
+            TxnStatus::Aborted => Ok(true),
+            _ => {
+                self.abort_locked(&mut txns, t);
+                Ok(true)
+            }
+        }
+    }
+
+    /// `self()` and `parent()` are on [`TxnCtx`]; this is the parent query
+    /// by tid.
+    pub fn parent_of(&self, t: Tid) -> Result<Tid> {
+        let txns = self.inner.txns.lock();
+        txns.get(&t).map(|s| s.parent).ok_or(AssetError::TxnNotFound(t))
+    }
+
+    /// Status query (the paper mentions status primitives without listing
+    /// them).
+    pub fn status(&self, t: Tid) -> Result<TxnStatus> {
+        let txns = self.inner.txns.lock();
+        txns.get(&t).map(|s| s.status).ok_or(AssetError::TxnNotFound(t))
+    }
+
+    /// Has `t` committed? (One of the paper's unnamed status queries.)
+    pub fn is_committed(&self, t: Tid) -> Result<bool> {
+        Ok(self.status(t)? == TxnStatus::Committed)
+    }
+
+    /// Has `t` aborted or is it doomed ("determine whether a transaction
+    /// has aborted", §2.1)?
+    pub fn is_aborted(&self, t: Tid) -> Result<bool> {
+        Ok(self.status(t)?.is_abort_path())
+    }
+
+    /// Is `t` active in the paper's sense — begun and not terminated?
+    pub fn is_active(&self, t: Tid) -> Result<bool> {
+        Ok(self.status(t)?.is_active())
+    }
+
+    // --- new primitives (paper §2.2) ------------------------------------
+
+    /// `delegate(ti, tj, ob_set)` / `delegate(ti, tj)` (with `obs: None`):
+    /// transfer responsibility for `ti`'s operations to `tj` — locks,
+    /// permits granted, and undo responsibility all move; a `Delegate`
+    /// record makes the transfer crash-safe.
+    pub fn delegate(&self, from: Tid, to: Tid, obs: Option<ObSet>) -> Result<()> {
+        let mut txns = self.inner.txns.lock();
+        if !txns.contains_key(&from) {
+            return Err(AssetError::TxnNotFound(from));
+        }
+        if !txns.contains_key(&to) {
+            return Err(AssetError::TxnNotFound(to));
+        }
+        if from == to {
+            return Ok(());
+        }
+        // splice undo entries
+        let moved: Vec<UndoEntry> = {
+            let slot = txns.get_mut(&from).unwrap();
+            match &obs {
+                None => std::mem::take(&mut slot.undo),
+                Some(set) => {
+                    let (take, keep): (Vec<_>, Vec<_>) =
+                        slot.undo.drain(..).partition(|u| set.contains(u.oid));
+                    slot.undo = keep;
+                    take
+                }
+            }
+        };
+        {
+            let dst = txns.get_mut(&to).unwrap();
+            dst.undo.extend(moved);
+            dst.undo.sort_by_key(|u| u.seq);
+        }
+        // locks + permit re-attribution
+        self.inner.locks.delegate(from, to, obs.as_ref());
+        // crash safety
+        let logged_obs = obs.as_ref().map(|set| match set {
+            ObSet::All => None,
+            ObSet::Objects(s) => Some(s.iter().copied().collect::<Vec<_>>()),
+        });
+        let logged_obs = match logged_obs {
+            None => None,              // delegate-all
+            Some(None) => None,        // ObSet::All == delegate-all
+            Some(Some(v)) => Some(v),
+        };
+        self.inner
+            .engine
+            .log_record(&LogRecord::Delegate { from, to, obs: logged_obs })?;
+        drop(txns);
+        self.inner.status_cv.notify_all();
+        Ok(())
+    }
+
+    /// `permit(ti, tj, ob_set, operations)` and its wildcard forms:
+    /// `grantee: None` = any transaction, `ObSet::All` = any object,
+    /// `OpSet::ALL` = any operation.
+    pub fn permit(
+        &self,
+        grantor: Tid,
+        grantee: Option<Tid>,
+        obs: ObSet,
+        ops: OpSet,
+    ) -> Result<()> {
+        self.inner.locks.permit(grantor, grantee, obs, ops);
+        Ok(())
+    }
+
+    /// The paper's `permit(ti, tj, operations)` — materialize the object
+    /// set from what `grantor` has accessed or has permission to access,
+    /// at call time (§4.2).
+    pub fn permit_accessed(&self, grantor: Tid, grantee: Option<Tid>, ops: OpSet) -> Result<()> {
+        self.inner.locks.permit_accessed(grantor, grantee, ops);
+        Ok(())
+    }
+
+    /// `form_dependency(type, ti, tj)` with the paper's argument order:
+    /// * CD — `tj` cannot commit before `ti` commits;
+    /// * AD — if `ti` aborts, `tj` must abort;
+    /// * GC — both commit or neither.
+    pub fn form_dependency(&self, kind: DepType, ti: Tid, tj: Tid) -> Result<()> {
+        // hold txns lock to order against commits, then deps
+        let txns = self.inner.txns.lock();
+        if !txns.contains_key(&ti) {
+            return Err(AssetError::TxnNotFound(ti));
+        }
+        if !txns.contains_key(&tj) {
+            return Err(AssetError::TxnNotFound(tj));
+        }
+        let mut deps = self.inner.deps.lock();
+        // transfer terminal knowledge so retroactive dooming works
+        for t in [ti, tj] {
+            match txns.get(&t).unwrap().status {
+                TxnStatus::Committed => deps.committed(&[t]),
+                TxnStatus::Aborted => {
+                    let _ = deps.aborted(t);
+                }
+                _ => deps.register(t),
+            }
+        }
+        deps.form(kind, ti, tj)?;
+        drop(deps);
+        drop(txns);
+        self.inner.status_cv.notify_all();
+        Ok(())
+    }
+
+    // --- convenience -----------------------------------------------------
+
+    /// Initiate, begin and commit a transaction in one call — the code the
+    /// O++ compiler emits for `trans { ... }` (§3.1.1). Returns `true` if
+    /// it committed.
+    pub fn run(&self, f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static) -> Result<bool> {
+        let t = self.initiate(f)?;
+        self.begin(t)?;
+        self.commit(t)
+    }
+
+    /// Allocate a fresh object id.
+    pub fn new_oid(&self) -> Oid {
+        Oid(self.inner.oid_gen.next())
+    }
+
+    /// Read an object's last installed image without any locking — a dirty
+    /// diagnostic peek for tests and benchmarks, not a primitive.
+    pub fn peek(&self, oid: Oid) -> Result<Option<Vec<u8>>> {
+        self.inner.engine.read_object(oid)
+    }
+
+    /// Quiescent checkpoint; fails if any transaction is not terminated.
+    pub fn checkpoint(&self) -> Result<()> {
+        let txns = self.inner.txns.lock();
+        if let Some((tid, slot)) =
+            txns.iter().find(|(_, s)| !s.status.is_terminated())
+        {
+            return Err(AssetError::InvalidState {
+                tid: *tid,
+                status: slot.status,
+                op: "checkpoint",
+            });
+        }
+        self.inner.engine.checkpoint()
+    }
+
+    /// Compact the write-ahead log while long-lived transactions are still
+    /// in flight — the fuzzy counterpart to [`checkpoint`](Self::checkpoint).
+    ///
+    /// Settled history (committed and aborted work) is dropped from the
+    /// log; the pending updates of live transactions are re-logged under
+    /// their *current* owner (delegations folded in). Requires only that no
+    /// transaction is actively `Running` (completed-but-uncommitted
+    /// transactions — the ones that block a quiescent checkpoint — are
+    /// fine); fails with `InvalidState` otherwise.
+    pub fn compact_log(&self) -> Result<asset_storage::CompactionReport> {
+        let txns = self.inner.txns.lock();
+        if let Some((tid, slot)) = txns
+            .iter()
+            .find(|(_, s)| matches!(s.status, TxnStatus::Running))
+        {
+            return Err(AssetError::InvalidState {
+                tid: *tid,
+                status: slot.status,
+                op: "compact_log",
+            });
+        }
+        let live: std::collections::HashSet<Tid> = txns
+            .iter()
+            .filter(|(_, s)| !s.status.is_terminated())
+            .map(|(t, _)| *t)
+            .collect();
+        // holding the table lock keeps commits/aborts (which append) out
+        self.inner.engine.compact_log(&live)
+    }
+
+    /// Drop the descriptors of terminated transactions; returns how many
+    /// were retired.
+    pub fn retire_terminated(&self) -> usize {
+        let mut txns = self.inner.txns.lock();
+        let dead: Vec<Tid> = txns
+            .iter()
+            .filter(|(_, s)| s.status.is_terminated())
+            .map(|(t, _)| *t)
+            .collect();
+        let mut deps = self.inner.deps.lock();
+        for t in &dead {
+            txns.remove(t);
+            deps.retire(*t);
+        }
+        dead.len()
+    }
+
+    /// Lock-manager statistics.
+    pub fn lock_stats(&self) -> LockStats {
+        self.inner.locks.stats()
+    }
+
+    /// Aggregate statistics across the whole facility — transaction
+    /// counts, lock-manager counters, dependency-graph sizes, permit
+    /// count, log volume.
+    pub fn stats(&self) -> DatabaseStats {
+        let (initiated, running, completed, committed, aborted) = {
+            let txns = self.inner.txns.lock();
+            let mut c = (0usize, 0usize, 0usize, 0usize, 0usize);
+            for s in txns.values() {
+                match s.status {
+                    TxnStatus::Initiated => c.0 += 1,
+                    TxnStatus::Running => c.1 += 1,
+                    TxnStatus::Completed | TxnStatus::Committing => c.2 += 1,
+                    TxnStatus::Committed => c.3 += 1,
+                    TxnStatus::Aborting | TxnStatus::Aborted => c.4 += 1,
+                }
+            }
+            c
+        };
+        let (dep_edges, gc_links) = {
+            let deps = self.inner.deps.lock();
+            (deps.edge_count(), deps.gc_link_count())
+        };
+        DatabaseStats {
+            initiated,
+            running,
+            completed,
+            committed,
+            aborted,
+            locks: self.inner.locks.stats(),
+            permits: self.inner.locks.permit_count(),
+            dep_edges,
+            gc_links,
+            log_records: self.inner.engine.log().records_appended(),
+        }
+    }
+
+    /// Direct access to the lock table (diagnostics, benches).
+    pub fn locks(&self) -> &LockTable {
+        &self.inner.locks
+    }
+
+    /// Direct access to the storage engine (diagnostics, benches).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.inner.engine
+    }
+
+    /// Number of live (non-terminated) transactions.
+    pub fn live_transactions(&self) -> usize {
+        self.inner.live_count.load(Ordering::Relaxed)
+    }
+
+    // --- abort machinery --------------------------------------------------
+
+    /// Abort `t` (and propagate), holding the transaction-table lock.
+    /// Running victims are marked and poisoned; their threads finalize.
+    pub(crate) fn abort_locked(&self, txns: &mut MutexGuard<'_, HashMap<Tid, TxnSlot>>, t: Tid) {
+        let mut queue = vec![t];
+        while let Some(x) = queue.pop() {
+            let Some(slot) = txns.get_mut(&x) else { continue };
+            match slot.status {
+                TxnStatus::Committed | TxnStatus::Aborted => continue,
+                TxnStatus::Running => {
+                    // mark; the transaction's own thread performs the steps
+                    slot.status = TxnStatus::Aborting;
+                    self.inner.locks.poison(x);
+                }
+                TxnStatus::Aborting if slot.thread_live => {
+                    // already marked; its thread will finalize
+                }
+                _ => {
+                    if slot.abort_performed {
+                        continue;
+                    }
+                    slot.abort_performed = true;
+                    slot.status = TxnStatus::Aborting;
+                    // §4.2 abort step 2: install before images, newest
+                    // first, logging a CLR per step so restart recovery
+                    // replays the rollback instead of re-deriving it (and
+                    // never clobbers later committed overwrites)
+                    let mut undo = std::mem::take(&mut slot.undo);
+                    undo.sort_by_key(|u| std::cmp::Reverse(u.seq));
+                    for u in undo {
+                        // best-effort: failing to undo one image must not
+                        // strand the rest
+                        let _ = self.inner.engine.install_image(u.oid, u.before.clone());
+                        let _ = self
+                            .inner
+                            .engine
+                            .log_record(&LogRecord::Clr { oid: u.oid, image: u.before });
+                    }
+                    let _ = self.inner.engine.log_record(&LogRecord::Abort { tid: x });
+                    // step 3: release locks and permits
+                    self.inner.locks.release_all(x);
+                    // steps 4–5: propagate along incoming AD/GC, drop CD
+                    let victims = self.inner.deps.lock().aborted(x);
+                    queue.extend(victims);
+                    // step 6: aborted
+                    txns.get_mut(&x).expect("slot still present").status = TxnStatus::Aborted;
+                    self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inner.status_cv.notify_all();
+    }
+
+}
+
+/// Thread body for `begin`: run the job, then complete or abort.
+fn run_job(inner: Arc<DbInner>, tid: Tid, job: Job) {
+    let db = Database { inner: Arc::clone(&inner) };
+    let ctx = TxnCtx::new(db.clone(), tid);
+    let outcome = catch_unwind(AssertUnwindSafe(|| job(&ctx)));
+    let succeeded = matches!(outcome, Ok(Ok(())));
+    let mut txns = inner.txns.lock();
+    let Some(slot) = txns.get_mut(&tid) else { return };
+    slot.thread_live = false;
+    match slot.status {
+        TxnStatus::Running if succeeded => {
+            slot.status = TxnStatus::Completed;
+            inner.status_cv.notify_all();
+        }
+        TxnStatus::Running => {
+            // job failed or panicked: abort
+            slot.status = TxnStatus::Aborting;
+            db.abort_locked(&mut txns, tid);
+        }
+        TxnStatus::Aborting => {
+            // doomed while running: finalize the abort now
+            db.abort_locked(&mut txns, tid);
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,49 @@
+//! # asset-core
+//!
+//! The ASSET transaction facility (Biliris, Dar, Gehani, Jagadish,
+//! Ramamritham — SIGMOD 1994): a small set of transaction primitives from
+//! which arbitrary extended transaction models are composed.
+//!
+//! * **Basic primitives** — [`Database::initiate`], [`Database::begin`],
+//!   [`Database::commit`] (blocking), [`Database::wait`],
+//!   [`Database::abort`], plus `self()`/`parent()` on [`TxnCtx`].
+//! * **New primitives** — [`Database::delegate`] (transfer responsibility
+//!   for uncommitted operations), [`Database::permit`] (let another
+//!   transaction perform conflicting operations, transitively), and
+//!   [`Database::form_dependency`] (CD / AD / GC).
+//!
+//! Transactions execute as closures on their own threads; completion is
+//! distinct from commit (locks are retained and changes stay volatile until
+//! the explicit `commit` runs the paper's §4.2 protocol).
+//!
+//! ```
+//! use asset_core::Database;
+//!
+//! let db = Database::in_memory();
+//! let account = db.new_oid();
+//! let committed = db.run(move |ctx| {
+//!     ctx.write(account, vec![100])?;
+//!     Ok(())
+//! }).unwrap();
+//! assert!(committed);
+//! assert_eq!(db.peek(account).unwrap().unwrap(), vec![100]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+mod context;
+mod database;
+
+#[cfg(test)]
+mod tests;
+
+pub use codec::{Handle, ObjectCodec, RawBytes};
+pub use context::TxnCtx;
+pub use database::{Database, DatabaseStats, Job};
+
+// Re-export the vocabulary so `asset_core` is self-sufficient to use.
+pub use asset_common::{
+    AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result,
+    Tid, TxnStatus,
+};

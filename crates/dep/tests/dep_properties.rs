@@ -1,0 +1,152 @@
+//! Property tests for the dependency graph: gate correctness under random
+//! edge sets and termination orders, cycle prevention, and group-commit
+//! component algebra.
+
+use asset_common::{DepType, Tid};
+use asset_dep::{CommitGate, DepGraph, TermState};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum GraphOp {
+    Form(u8, u64, u64), // kind (0=CD,1=AD,2=GC), ti, tj
+    Commit(u64),
+    Abort(u64),
+}
+
+fn arb_graph_op() -> impl Strategy<Value = GraphOp> {
+    prop_oneof![
+        (0u8..3, 1u64..8, 1u64..8).prop_map(|(k, a, b)| GraphOp::Form(k, a, b)),
+        (1u64..8).prop_map(GraphOp::Commit),
+        (1u64..8).prop_map(GraphOp::Abort),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever happens, a `Ready` gate is truthful: every member of the
+    /// returned group is active and no member has an unsatisfied external
+    /// AD/CD edge. And the CD/AD subgraph stays acyclic.
+    #[test]
+    fn gates_are_sound(ops in proptest::collection::vec(arb_graph_op(), 0..60)) {
+        let mut g = DepGraph::new();
+        for t in 1..8 {
+            g.register(Tid(t));
+        }
+        for op in ops {
+            match op {
+                GraphOp::Form(k, a, b) => {
+                    let kind = match k { 0 => DepType::CD, 1 => DepType::AD, _ => DepType::GC };
+                    // may fail (cycle/self) — that's the contract
+                    let _ = g.form(kind, Tid(a), Tid(b));
+                }
+                GraphOp::Commit(t) => {
+                    if g.state(Tid(t)) == TermState::Active && !g.is_doomed(Tid(t)) {
+                        // only commit when the graph itself says Ready —
+                        // mirroring the manager's behavior
+                        if let CommitGate::Ready(group) = g.commit_gate(Tid(t)) {
+                            for m in &group {
+                                prop_assert_eq!(g.state(*m), TermState::Active);
+                            }
+                            g.committed(&group);
+                            for m in &group {
+                                prop_assert_eq!(g.state(*m), TermState::Committed);
+                            }
+                        }
+                    }
+                }
+                GraphOp::Abort(t) => {
+                    if g.state(Tid(t)) == TermState::Active {
+                        let mut queue = g.aborted(Tid(t));
+                        let mut seen = HashSet::new();
+                        while let Some(v) = queue.pop() {
+                            if seen.insert(v) && g.state(v) == TermState::Active {
+                                queue.extend(g.aborted(v));
+                            }
+                        }
+                    }
+                }
+            }
+            // soundness sweep: no committed transaction is doomed
+            for t in 1..8 {
+                if g.state(Tid(t)) == TermState::Committed {
+                    prop_assert!(!g.is_doomed(Tid(t)), "t{t} committed but doomed");
+                }
+            }
+        }
+    }
+
+    /// GC components partition the registered transactions: membership is
+    /// symmetric and transitive.
+    #[test]
+    fn gc_components_partition(
+        links in proptest::collection::vec((1u64..10, 1u64..10), 0..15)
+    ) {
+        let mut g = DepGraph::new();
+        for t in 1..10 {
+            g.register(Tid(t));
+        }
+        for (a, b) in links {
+            if a != b {
+                g.form(DepType::GC, Tid(a), Tid(b)).unwrap();
+            }
+        }
+        for t in 1..10u64 {
+            let comp = g.gc_component(Tid(t));
+            prop_assert!(comp.contains(&Tid(t)), "reflexive");
+            for m in &comp {
+                let other = g.gc_component(*m);
+                prop_assert_eq!(&comp, &other, "t{} and {} disagree", t, m);
+            }
+        }
+    }
+
+    /// Cycle prevention is exact for chains: a chain a→b→...→z accepts a
+    /// forward extension and rejects exactly the closing edges.
+    #[test]
+    fn chain_cycle_prevention(len in 2usize..7) {
+        let mut g = DepGraph::new();
+        // build dependent-chain: t(i+1) waits on t(i)
+        for i in 1..len as u64 {
+            g.form(DepType::CD, Tid(i), Tid(i + 1)).unwrap();
+        }
+        // every back edge (t1 waits on t_k, k>1) closes a cycle
+        for k in 2..=len as u64 {
+            let err = g.form(DepType::AD, Tid(k), Tid(1));
+            prop_assert!(err.is_err(), "t1 waits on t{k} must be rejected");
+        }
+        // an independent transaction can hook on anywhere
+        g.form(DepType::CD, Tid(len as u64), Tid(99)).unwrap();
+    }
+
+    /// AD chains doom everything downstream of an abort; CD chains doom
+    /// nothing.
+    #[test]
+    fn abort_propagation_depth(kind_ad in any::<bool>(), len in 2usize..8) {
+        let mut g = DepGraph::new();
+        let kind = if kind_ad { DepType::AD } else { DepType::CD };
+        for i in 1..len as u64 {
+            g.form(kind, Tid(i), Tid(i + 1)).unwrap();
+        }
+        // abort the head; manager-style propagation loop
+        let mut queue = g.aborted(Tid(1));
+        let mut doomed = HashSet::new();
+        while let Some(v) = queue.pop() {
+            if doomed.insert(v) {
+                queue.extend(g.aborted(v));
+            }
+        }
+        if kind_ad {
+            prop_assert_eq!(doomed.len(), len - 1, "whole chain doomed");
+        } else {
+            prop_assert!(doomed.is_empty(), "CD dependents survive");
+            // the head's direct dependent is released; the rest still wait
+            // on their (live) predecessors and become ready one by one
+            for t in 2..=len as u64 {
+                prop_assert_eq!(g.commit_gate(Tid(t)), CommitGate::Ready(vec![Tid(t)]));
+                g.committed(&[Tid(t)]);
+            }
+        }
+    }
+}

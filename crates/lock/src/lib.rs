@@ -1,0 +1,20 @@
+//! # asset-lock
+//!
+//! The ASSET lock manager (paper §4): transaction-duration read/write locks
+//! organized as object descriptors (OD) with lists of lock-request
+//! descriptors (LRD), a doubly-hashed permit-descriptor (PD) table with
+//! **transitive** permission semantics, permit-driven lock *suspension*,
+//! delegation of locks between transactions, and a waits-for-graph deadlock
+//! detector (our addition; the paper is silent on data deadlocks).
+//!
+//! Layered *above* the storage crate's latches: a latch protects one
+//! physical access, a lock protects a transaction's claim until commit,
+//! abort or delegation.
+
+#![warn(missing_docs)]
+
+pub mod permit;
+pub mod table;
+
+pub use permit::{Permit, PermitTable};
+pub use table::{LockStats, LockTable, Lrd, PendingReq};

@@ -1,0 +1,246 @@
+//! An escrow counter: the canonical semantically-concurrent object.
+//!
+//! Increments and decrements commute with each other, so any number of MLT
+//! parents may adjust the counter concurrently; only *observing* the value
+//! conflicts. Bounded decrement enforces a floor: because each decrement's
+//! open-nested operation serializes physically on the object for an
+//! instant, the check always sees the true committed value — the counter
+//! can never be driven below the floor, no matter how many parents race.
+
+use crate::semantic::{CommutativityTable, OpClass};
+use crate::session::MltSession;
+use asset_common::{AssetError, Result};
+use asset_core::{Database, Handle};
+
+/// Operation class: increment.
+pub const INC: OpClass = OpClass(0);
+/// Operation class: decrement.
+pub const DEC: OpClass = OpClass(1);
+/// Operation class: observe (read the exact value).
+pub const OBS: OpClass = OpClass(2);
+
+/// The commutativity table for counters: adjustments commute with each
+/// other; observation only with itself.
+pub fn counter_commutativity() -> CommutativityTable {
+    CommutativityTable::exclusive()
+        .commuting(INC, INC)
+        .commuting(DEC, DEC)
+        .commuting(INC, DEC)
+        .commuting(OBS, OBS)
+}
+
+/// A persistent counter with escrow semantics under MLT.
+#[derive(Clone, Copy, Debug)]
+pub struct EscrowCounter {
+    handle: Handle<i64>,
+}
+
+impl EscrowCounter {
+    /// Create a counter with `initial` value (runs its own transaction).
+    pub fn create(db: &Database, initial: i64) -> Result<EscrowCounter> {
+        let handle = Handle::from_oid(db.new_oid());
+        let ok = db.run(move |ctx| ctx.put(handle, &initial))?;
+        if !ok {
+            return Err(AssetError::TxnAborted(asset_common::Tid::NULL));
+        }
+        Ok(EscrowCounter { handle })
+    }
+
+    /// Wrap an existing counter object.
+    pub fn wrap(handle: Handle<i64>) -> EscrowCounter {
+        EscrowCounter { handle }
+    }
+
+    /// The underlying typed handle.
+    pub fn handle(&self) -> Handle<i64> {
+        self.handle
+    }
+
+    /// Add `delta` (positive increment). Commutes with other adjustments.
+    pub fn add(&self, mlt: &MltSession<'_>, delta: i64) -> Result<()> {
+        let h = self.handle;
+        mlt.op(
+            h.oid(),
+            INC,
+            &counter_commutativity(),
+            move |c| c.modify(h, |v| v + delta),
+            move |c| c.modify(h, |v| v - delta),
+        )
+    }
+
+    /// Subtract `delta`, failing (without effect) if the result would fall
+    /// below `floor`. The open-nested check-and-decrement is atomic at the
+    /// object level, so the floor holds under any concurrency.
+    pub fn sub_bounded(&self, mlt: &MltSession<'_>, delta: i64, floor: i64) -> Result<()> {
+        let h = self.handle;
+        mlt.op(
+            h.oid(),
+            DEC,
+            &counter_commutativity(),
+            move |c| {
+                // write-lock first: avoids the read->write upgrade deadlock
+                // between concurrent decrement operations
+                c.lock_exclusive(h.oid())?;
+                let v = c.get(h)?.ok_or(AssetError::ObjectNotFound(h.oid()))?;
+                if v - delta < floor {
+                    return c.abort_self(); // insufficient escrow
+                }
+                c.put(h, &(v - delta))
+            },
+            move |c| c.modify(h, |v| v + delta),
+        )
+    }
+
+    /// Observe the exact value (conflicts with in-flight adjustments by
+    /// other parents — they must terminate first).
+    pub fn observe(&self, mlt: &MltSession<'_>) -> Result<i64> {
+        let h = self.handle;
+        mlt.op(
+            h.oid(),
+            OBS,
+            &counter_commutativity(),
+            move |c| c.get(h)?.ok_or(AssetError::ObjectNotFound(h.oid())),
+            |_| Ok(()), // observation needs no undo
+        )
+    }
+
+    /// Committed value, outside any transaction (diagnostics).
+    pub fn peek(&self, db: &Database) -> i64 {
+        db.peek(self.handle.oid())
+            .ok()
+            .flatten()
+            .map(|b| i64::from_le_bytes(b.try_into().expect("i64 counter")))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::SemanticLockTable;
+    use crate::session::{run_mlt, MltOutcome};
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_adds_all_land() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 0).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let db = db.clone();
+                let sem = Arc::clone(&sem);
+                scope.spawn(move || {
+                    let out = run_mlt(&db, &sem, move |mlt| {
+                        for _ in 0..25 {
+                            counter.add(mlt, 1)?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                    assert_eq!(out, MltOutcome::Committed);
+                });
+            }
+        });
+        assert_eq!(counter.peek(&db), 100);
+    }
+
+    #[test]
+    fn escrow_floor_holds_under_concurrency() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 10).unwrap();
+        let granted = Arc::new(std::sync::atomic::AtomicI64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let db = db.clone();
+                let sem = Arc::clone(&sem);
+                let granted = Arc::clone(&granted);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let g2 = Arc::clone(&granted);
+                        let _ = run_mlt(&db, &sem, move |mlt| {
+                            if counter.sub_bounded(mlt, 1, 0).is_ok() {
+                                g2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let final_value = counter.peek(&db);
+        let granted = granted.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(final_value >= 0, "floor never violated: {final_value}");
+        assert_eq!(final_value + granted, 10, "units conserved");
+        assert_eq!(granted, 10, "exactly the escrow was handed out");
+    }
+
+    #[test]
+    fn abort_refunds_via_inverse() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 50).unwrap();
+        let out = run_mlt(&db, &sem, move |mlt| {
+            counter.sub_bounded(mlt, 20, 0)?;
+            counter.add(mlt, 5)?;
+            mlt.ctx().abort_self::<()>().map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(out, MltOutcome::Undone { inverses_run: 2 });
+        assert_eq!(counter.peek(&db), 50);
+    }
+
+    #[test]
+    fn failed_sub_has_no_effect_and_parent_continues() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 3).unwrap();
+        let out = run_mlt(&db, &sem, move |mlt| {
+            assert!(counter.sub_bounded(mlt, 10, 0).is_err(), "insufficient escrow");
+            counter.add(mlt, 2)?; // parent continues after the failed op
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, MltOutcome::Committed);
+        assert_eq!(counter.peek(&db), 5);
+    }
+
+    #[test]
+    fn observe_blocks_while_adjusters_are_live() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let counter = EscrowCounter::create(&db, 0).unwrap();
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let g2 = Arc::clone(&gate);
+        let sem2 = Arc::clone(&sem);
+        let db2 = db.clone();
+        let adjuster = std::thread::spawn(move || {
+            run_mlt(&db2, &sem2, move |mlt| {
+                counter.add(mlt, 1)?;
+                while !g2.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(())
+            })
+            .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // an observer now: must block on the semantic lock (INC vs OBS)
+        let db3 = db.clone();
+        let sem3 = Arc::clone(&sem);
+        let observer = std::thread::spawn(move || {
+            run_mlt(&db3, &sem3, move |mlt| {
+                let v = counter.observe(mlt)?;
+                assert_eq!(v, 1, "observer saw the adjuster's committed op only after it finished");
+                Ok(())
+            })
+            .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        gate.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(adjuster.join().unwrap(), MltOutcome::Committed);
+        assert_eq!(observer.join().unwrap(), MltOutcome::Committed);
+    }
+}

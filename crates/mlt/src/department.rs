@@ -1,0 +1,264 @@
+//! The paper's own §5 example: *"operations to increase an existing
+//! employee's salary and to add a new employee to a department commute"*.
+//!
+//! A `Department` is one persistent object holding its employee roster.
+//! Under plain ASSET locking, any two updates to the department conflict.
+//! Under MLT, `add_employee` and `raise_salary` are declared commuting
+//! operation classes, so hiring and a raise proceed concurrently even in
+//! different long-lived parents — with logical undo (fire the hire, lower
+//! the raise) if a parent aborts.
+
+use crate::semantic::{CommutativityTable, OpClass};
+use crate::session::MltSession;
+use asset_common::{AssetError, Result};
+use asset_core::{Database, Handle};
+
+/// Operation class: add a new employee.
+pub const ADD_EMPLOYEE: OpClass = OpClass(0);
+/// Operation class: raise an existing employee's salary.
+pub const RAISE_SALARY: OpClass = OpClass(1);
+/// Operation class: read the roster (payroll report).
+pub const READ_ROSTER: OpClass = OpClass(2);
+
+/// Commutativity: hiring and raises commute with themselves and each
+/// other (they touch different parts of the object, or append); reading
+/// the roster conflicts with both.
+pub fn department_commutativity() -> CommutativityTable {
+    CommutativityTable::exclusive()
+        .commuting(ADD_EMPLOYEE, ADD_EMPLOYEE)
+        .commuting(RAISE_SALARY, RAISE_SALARY)
+        .commuting(ADD_EMPLOYEE, RAISE_SALARY)
+        .commuting(READ_ROSTER, READ_ROSTER)
+}
+
+type Roster = Vec<(String, u64)>;
+
+/// A department object: a persistent employee roster.
+#[derive(Clone, Copy, Debug)]
+pub struct Department {
+    handle: Handle<Roster>,
+}
+
+impl Department {
+    /// Create an empty department.
+    pub fn create(db: &Database) -> Result<Department> {
+        let handle = Handle::from_oid(db.new_oid());
+        let ok = db.run(move |ctx| ctx.put(handle, &Roster::new()))?;
+        if !ok {
+            return Err(AssetError::TxnAborted(asset_common::Tid::NULL));
+        }
+        Ok(Department { handle })
+    }
+
+    /// Hire `name` at `salary`. Fails if the name is taken. Inverse: fire.
+    pub fn add_employee(
+        &self,
+        mlt: &MltSession<'_>,
+        name: impl Into<String>,
+        salary: u64,
+    ) -> Result<()> {
+        let h = self.handle;
+        let name = name.into();
+        let name2 = name.clone();
+        mlt.op(
+            h.oid(),
+            ADD_EMPLOYEE,
+            &department_commutativity(),
+            move |c| {
+                c.lock_exclusive(h.oid())?; // no read->write upgrade window
+                let mut roster = c.get(h)?.unwrap_or_default();
+                if roster.iter().any(|(n, _)| *n == name) {
+                    return c.abort_self(); // duplicate hire
+                }
+                roster.push((name, salary));
+                c.put(h, &roster)
+            },
+            move |c| {
+                c.lock_exclusive(h.oid())?;
+                let mut roster = c.get(h)?.unwrap_or_default();
+                roster.retain(|(n, _)| *n != name2);
+                c.put(h, &roster)
+            },
+        )
+    }
+
+    /// Raise `name`'s salary by `amount`. Fails if absent. Inverse: lower.
+    pub fn raise_salary(
+        &self,
+        mlt: &MltSession<'_>,
+        name: impl Into<String>,
+        amount: u64,
+    ) -> Result<()> {
+        let h = self.handle;
+        let name = name.into();
+        let name2 = name.clone();
+        mlt.op(
+            h.oid(),
+            RAISE_SALARY,
+            &department_commutativity(),
+            move |c| {
+                c.lock_exclusive(h.oid())?; // no read->write upgrade window
+                let mut roster = c.get(h)?.unwrap_or_default();
+                match roster.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, s)) => *s += amount,
+                    None => return c.abort_self(),
+                }
+                c.put(h, &roster)
+            },
+            move |c| {
+                c.lock_exclusive(h.oid())?;
+                let mut roster = c.get(h)?.unwrap_or_default();
+                if let Some((_, s)) = roster.iter_mut().find(|(n, _)| *n == name2) {
+                    *s = s.saturating_sub(amount);
+                }
+                c.put(h, &roster)
+            },
+        )
+    }
+
+    /// Read the roster (payroll): conflicts with in-flight hires/raises.
+    pub fn roster(&self, mlt: &MltSession<'_>) -> Result<Roster> {
+        let h = self.handle;
+        mlt.op(
+            h.oid(),
+            READ_ROSTER,
+            &department_commutativity(),
+            move |c| Ok(c.get(h)?.unwrap_or_default()),
+            |_| Ok(()),
+        )
+    }
+
+    /// Committed roster, outside any transaction (diagnostics).
+    pub fn peek(&self, db: &Database) -> Roster {
+        use asset_core::ObjectCodec;
+        db.peek(self.handle.oid())
+            .ok()
+            .flatten()
+            .and_then(|b| Roster::decode(&b).ok())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::SemanticLockTable;
+    use crate::session::{run_mlt, MltOutcome};
+    use std::sync::Arc;
+
+    #[test]
+    fn hire_and_raise_in_one_parent() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let dept = Department::create(&db).unwrap();
+        let out = run_mlt(&db, &sem, move |mlt| {
+            dept.add_employee(mlt, "ada", 100)?;
+            dept.add_employee(mlt, "grace", 110)?;
+            dept.raise_salary(mlt, "ada", 20)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, MltOutcome::Committed);
+        let roster = dept.peek(&db);
+        assert_eq!(roster.len(), 2);
+        assert!(roster.contains(&("ada".into(), 120)));
+    }
+
+    #[test]
+    fn the_papers_commuting_pair_runs_concurrently() {
+        // one parent hires, another gives a raise — the §5 example.
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let dept = Department::create(&db).unwrap();
+        assert_eq!(
+            run_mlt(&db, &sem, move |mlt| dept.add_employee(mlt, "ada", 100)).unwrap(),
+            MltOutcome::Committed
+        );
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|scope| {
+            let db1 = db.clone();
+            let sem1 = Arc::clone(&sem);
+            let b1 = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let out = run_mlt(&db1, &sem1, move |mlt| {
+                    dept.add_employee(mlt, "grace", 110)?;
+                    b1.wait(); // both parents hold their semantic locks here
+                    Ok(())
+                })
+                .unwrap();
+                assert_eq!(out, MltOutcome::Committed);
+            });
+            let db2 = db.clone();
+            let sem2 = Arc::clone(&sem);
+            let b2 = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let out = run_mlt(&db2, &sem2, move |mlt| {
+                    dept.raise_salary(mlt, "ada", 25)?;
+                    b2.wait(); // would deadlock if the classes conflicted
+                    Ok(())
+                })
+                .unwrap();
+                assert_eq!(out, MltOutcome::Committed);
+            });
+        });
+        let roster = dept.peek(&db);
+        assert_eq!(roster.len(), 2);
+        assert!(roster.contains(&("ada".into(), 125)));
+        assert!(roster.contains(&("grace".into(), 110)));
+    }
+
+    #[test]
+    fn aborted_hiring_spree_is_fired_again() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let dept = Department::create(&db).unwrap();
+        assert_eq!(
+            run_mlt(&db, &sem, move |mlt| dept.add_employee(mlt, "ada", 100)).unwrap(),
+            MltOutcome::Committed
+        );
+        let out = run_mlt(&db, &sem, move |mlt| {
+            dept.add_employee(mlt, "bob", 90)?;
+            dept.raise_salary(mlt, "ada", 50)?;
+            mlt.ctx().abort_self::<()>().map(|_| ())
+        })
+        .unwrap();
+        assert_eq!(out, MltOutcome::Undone { inverses_run: 2 });
+        let roster = dept.peek(&db);
+        assert_eq!(roster, vec![("ada".to_string(), 100)], "hire undone, raise undone");
+    }
+
+    #[test]
+    fn duplicate_hire_fails_cleanly() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let dept = Department::create(&db).unwrap();
+        let out = run_mlt(&db, &sem, move |mlt| {
+            dept.add_employee(mlt, "ada", 100)?;
+            assert!(dept.add_employee(mlt, "ada", 200).is_err());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, MltOutcome::Committed);
+        assert_eq!(dept.peek(&db), vec![("ada".to_string(), 100)]);
+    }
+
+    #[test]
+    fn payroll_report_is_consistent() {
+        let db = Database::in_memory();
+        let sem = Arc::new(SemanticLockTable::new());
+        let dept = Department::create(&db).unwrap();
+        run_mlt(&db, &sem, move |mlt| {
+            dept.add_employee(mlt, "ada", 100)?;
+            dept.add_employee(mlt, "grace", 110)
+        })
+        .unwrap();
+        let out = run_mlt(&db, &sem, move |mlt| {
+            let roster = dept.roster(mlt)?;
+            let total: u64 = roster.iter().map(|(_, s)| s).sum();
+            assert_eq!(total, 210);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out, MltOutcome::Committed);
+    }
+}

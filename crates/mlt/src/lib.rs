@@ -1,0 +1,30 @@
+//! # asset-mlt
+//!
+//! Multi-level transactions with semantic concurrency control — the ASSET
+//! paper's §5 future-work direction ("exploit the concurrency semantics
+//! inherent in objects ... Concepts and mechanisms from Multi-level
+//! transactions [Weikum, ref 23] will come into play"), realized on top of
+//! the ASSET primitives:
+//!
+//! * [`semantic`] — a lock table whose modes are *operation classes* and
+//!   whose conflicts are *non-commutativity*;
+//! * [`session`] — open-nested semantic operations (each commits
+//!   immediately, releasing its low-level locks) with **logical undo**
+//!   (inverse operations run on parent abort, in reverse order — the saga
+//!   compensation loop one level down);
+//! * [`counter`] — an escrow counter (increments/decrements commute;
+//!   bounded decrement never violates its floor under any concurrency);
+//! * [`department`] — the paper's own example: hiring a new employee and
+//!   raising an existing employee's salary commute.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod department;
+pub mod semantic;
+pub mod session;
+
+pub use counter::EscrowCounter;
+pub use department::Department;
+pub use semantic::{CommutativityTable, OpClass, SemanticLockTable, SemanticStats};
+pub use session::{run_mlt, MltOutcome, MltSession};

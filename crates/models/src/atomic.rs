@@ -1,0 +1,120 @@
+//! Atomic transactions (§3.1.1) — what the O++ compiler emits for
+//! `trans { ... }`:
+//!
+//! ```text
+//! tid t;
+//! if ((t = initiate(f)) != NULL) {
+//!     if (begin(t)) {
+//!         commit(t);
+//!     }
+//! }
+//! ```
+
+use asset_core::{Database, Result, TxnCtx};
+use std::sync::Arc;
+
+/// Run `f` as an atomic transaction. Returns `true` if it committed.
+pub fn run_atomic(
+    db: &Database,
+    f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
+) -> Result<bool> {
+    let t = db.initiate(f)?;
+    db.begin(t)?;
+    db.commit(t)
+}
+
+/// Outcome of [`run_atomic_retrying`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetryOutcome {
+    /// Committed after the given number of attempts (1 = first try).
+    Committed {
+        /// Attempts used.
+        attempts: u32,
+    },
+    /// Still aborted after exhausting the budget.
+    GaveUp {
+        /// Attempts used.
+        attempts: u32,
+    },
+}
+
+/// A retryable transaction body: runs once per attempt, shared via `Arc`.
+pub type RetryableAction = Arc<dyn Fn(&TxnCtx) -> Result<()> + Send + Sync>;
+
+/// Run `f` as an atomic transaction, retrying on abort (deadlock victims,
+/// lock timeouts) up to `max_attempts` times. The closure runs once per
+/// attempt, so it must be `Fn` and is shared via `Arc`.
+pub fn run_atomic_retrying(
+    db: &Database,
+    f: RetryableAction,
+    max_attempts: u32,
+) -> Result<RetryOutcome> {
+    assert!(max_attempts >= 1);
+    for attempt in 1..=max_attempts {
+        let g = Arc::clone(&f);
+        let committed = run_atomic(db, move |ctx| g(ctx))?;
+        if committed {
+            return Ok(RetryOutcome::Committed { attempts: attempt });
+        }
+    }
+    Ok(RetryOutcome::GaveUp { attempts: max_attempts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn commits() {
+        let db = Database::in_memory();
+        let oid = db.new_oid();
+        assert!(run_atomic(&db, move |ctx| ctx.write(oid, b"x".to_vec())).unwrap());
+        assert_eq!(db.peek(oid).unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn abort_leaves_no_trace() {
+        let db = Database::in_memory();
+        let oid = db.new_oid();
+        let committed = run_atomic(&db, move |ctx| {
+            ctx.write(oid, b"x".to_vec())?;
+            ctx.abort_self::<()>().map(|_| ())
+        })
+        .unwrap();
+        assert!(!committed);
+        assert_eq!(db.peek(oid).unwrap(), None);
+    }
+
+    #[test]
+    fn retrying_succeeds_on_later_attempt() {
+        let db = Database::in_memory();
+        let tries = Arc::new(AtomicU32::new(0));
+        let t2 = Arc::clone(&tries);
+        let out = run_atomic_retrying(
+            &db,
+            Arc::new(move |ctx: &TxnCtx| {
+                if t2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    ctx.abort_self::<()>().map(|_| ())
+                } else {
+                    Ok(())
+                }
+            }),
+            5,
+        )
+        .unwrap();
+        assert_eq!(out, RetryOutcome::Committed { attempts: 3 });
+    }
+
+    #[test]
+    fn retrying_gives_up() {
+        let db = Database::in_memory();
+        let out = run_atomic_retrying(
+            &db,
+            Arc::new(|ctx: &TxnCtx| ctx.abort_self::<()>().map(|_| ())),
+            3,
+        )
+        .unwrap();
+        assert_eq!(out, RetryOutcome::GaveUp { attempts: 3 });
+    }
+}

@@ -1,0 +1,135 @@
+//! Distributed transactions (§3.1.2): components run in parallel and commit
+//! only as a group, via pairwise GC dependencies:
+//!
+//! ```text
+//! t1 = initiate(f1); ... tn = initiate(fn);
+//! form_dependency(GC, t1, t2); ... form_dependency(GC, tn-1, tn);
+//! begin(t1, t2, ..., tn);
+//! commit(t1); commit(t2); ... commit(tn);
+//! ```
+//!
+//! `commit(t1)` accomplishes the group commit; the later commits just
+//! report the outcome (the paper: "the remaining commit invocations simply
+//! return 1 ... Later commit invocations simply return 0").
+
+use asset_core::{Database, DepType, Result, TxnCtx};
+
+/// A component of a distributed transaction.
+pub type Component = Box<dyn FnOnce(&TxnCtx) -> Result<()> + Send + 'static>;
+
+/// Run `components` as one distributed transaction. Returns `true` if the
+/// whole group committed, `false` if it aborted (any component failure
+/// aborts every component).
+pub fn run_distributed(db: &Database, components: Vec<Component>) -> Result<bool> {
+    assert!(!components.is_empty(), "a distributed transaction needs components");
+    let mut tids = Vec::with_capacity(components.len());
+    for f in components {
+        tids.push(db.initiate(f)?);
+    }
+    // pairwise group-commit dependencies chain the component set into one
+    // GC component
+    for w in tids.windows(2) {
+        db.form_dependency(DepType::GC, w[0], w[1])?;
+    }
+    db.begin_many(&tids)?;
+    let outcome = db.commit(tids[0])?;
+    // the remaining commits are no-ops that must agree with the outcome
+    for t in &tids[1..] {
+        debug_assert_eq!(db.commit(*t)?, outcome);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asset_common::TxnStatus;
+
+    #[test]
+    fn all_components_commit_together() {
+        let db = Database::in_memory();
+        let (a, b, c) = (db.new_oid(), db.new_oid(), db.new_oid());
+        let committed = run_distributed(
+            &db,
+            vec![
+                Box::new(move |ctx: &TxnCtx| ctx.write(a, b"1".to_vec())),
+                Box::new(move |ctx: &TxnCtx| ctx.write(b, b"2".to_vec())),
+                Box::new(move |ctx: &TxnCtx| ctx.write(c, b"3".to_vec())),
+            ],
+        )
+        .unwrap();
+        assert!(committed);
+        assert_eq!(db.peek(a).unwrap().unwrap(), b"1");
+        assert_eq!(db.peek(b).unwrap().unwrap(), b"2");
+        assert_eq!(db.peek(c).unwrap().unwrap(), b"3");
+    }
+
+    #[test]
+    fn one_failure_aborts_the_group() {
+        let db = Database::in_memory();
+        let (a, b) = (db.new_oid(), db.new_oid());
+        let committed = run_distributed(
+            &db,
+            vec![
+                Box::new(move |ctx: &TxnCtx| ctx.write(a, b"1".to_vec())),
+                Box::new(move |ctx: &TxnCtx| {
+                    ctx.write(b, b"2".to_vec())?;
+                    ctx.abort_self::<()>().map(|_| ())
+                }),
+            ],
+        )
+        .unwrap();
+        assert!(!committed);
+        assert_eq!(db.peek(a).unwrap(), None, "partner's write rolled back");
+        assert_eq!(db.peek(b).unwrap(), None);
+    }
+
+    #[test]
+    fn single_component_degenerates_to_atomic() {
+        let db = Database::in_memory();
+        let a = db.new_oid();
+        let committed = run_distributed(
+            &db,
+            vec![Box::new(move |ctx: &TxnCtx| ctx.write(a, b"solo".to_vec()))],
+        )
+        .unwrap();
+        assert!(committed);
+        assert_eq!(db.peek(a).unwrap().unwrap(), b"solo");
+    }
+
+    #[test]
+    fn components_run_in_parallel() {
+        // both components wait on a shared barrier: only parallel execution
+        // can complete
+        let db = Database::in_memory();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let (b1, b2) = (barrier.clone(), barrier.clone());
+        let committed = run_distributed(
+            &db,
+            vec![
+                Box::new(move |_: &TxnCtx| {
+                    b1.wait();
+                    Ok(())
+                }),
+                Box::new(move |_: &TxnCtx| {
+                    b2.wait();
+                    Ok(())
+                }),
+            ],
+        )
+        .unwrap();
+        assert!(committed);
+    }
+
+    #[test]
+    fn statuses_terminal_after_group_commit() {
+        let db = Database::in_memory();
+        let t1 = db.initiate(|_| Ok(())).unwrap();
+        let t2 = db.initiate(|_| Ok(())).unwrap();
+        db.form_dependency(DepType::GC, t1, t2).unwrap();
+        db.begin_many(&[t1, t2]).unwrap();
+        assert!(db.commit(t2).unwrap(), "commit via any member works");
+        assert_eq!(db.status(t1).unwrap(), TxnStatus::Committed);
+        assert_eq!(db.status(t2).unwrap(), TxnStatus::Committed);
+    }
+}

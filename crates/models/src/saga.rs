@@ -1,0 +1,340 @@
+//! Sagas (§3.1.6, after Garcia-Molina & Salem).
+//!
+//! A saga is a sequence of component transactions `t1..tn`, each with a
+//! compensating transaction `ct1..ct(n-1)`. Components commit immediately
+//! (exposing partial results — isolation is per component). If component
+//! `k+1` fails, the committed prefix is compensated in reverse order:
+//! `t1 .. tk ctk .. ct1`. A compensating transaction is retried until it
+//! commits, exactly as the paper's synthesized `do { ... } while
+//! (!commit(ct))` loop.
+
+use asset_core::{Database, Result, TxnCtx};
+use std::sync::Arc;
+
+/// A step's action or compensation, retry-able and thus `Fn` + shared.
+pub type SagaAction = Arc<dyn Fn(&TxnCtx) -> Result<()> + Send + Sync>;
+
+/// One saga component with its optional compensation. The final component
+/// of a saga needs no compensation (its commit commits the saga).
+pub struct SagaStep {
+    /// Human-readable step name (reports, traces).
+    pub name: String,
+    action: SagaAction,
+    compensation: Option<SagaAction>,
+}
+
+impl SagaStep {
+    /// A step with a compensation.
+    pub fn new(
+        name: impl Into<String>,
+        action: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
+        compensation: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
+    ) -> SagaStep {
+        SagaStep {
+            name: name.into(),
+            action: Arc::new(action),
+            compensation: Some(Arc::new(compensation)),
+        }
+    }
+
+    /// A step without a compensation (legal for the final step; an earlier
+    /// uncompensated step simply skips its slot during rollback).
+    pub fn uncompensated(
+        name: impl Into<String>,
+        action: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
+    ) -> SagaStep {
+        SagaStep { name: name.into(), action: Arc::new(action), compensation: None }
+    }
+}
+
+/// The observable history of a saga run: which components committed and
+/// which compensations ran, in order. Useful for asserting the paper's
+/// `t1 .. tk ctk .. ct1` shape.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SagaTrace {
+    /// Names of events in execution order: `"step"` for a committed
+    /// component, `"~step"` for its compensation.
+    pub events: Vec<String>,
+}
+
+/// Outcome of a saga.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SagaOutcome {
+    /// Every component committed.
+    Committed,
+    /// Component `failed_step` aborted; the committed prefix was
+    /// compensated in reverse order.
+    Compensated {
+        /// Index of the failed component.
+        failed_step: usize,
+    },
+}
+
+/// A saga: ordered steps executed as independent atomic transactions.
+pub struct Saga {
+    steps: Vec<SagaStep>,
+    /// Bound on compensation retries (a safety valve on the paper's
+    /// retry-forever loop; `None` = retry forever).
+    max_compensation_retries: Option<u32>,
+}
+
+impl Saga {
+    /// Start building a saga.
+    pub fn new() -> Saga {
+        Saga { steps: Vec::new(), max_compensation_retries: None }
+    }
+
+    /// Append a step.
+    #[must_use]
+    pub fn step(
+        mut self,
+        name: impl Into<String>,
+        action: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
+        compensation: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
+    ) -> Saga {
+        self.steps.push(SagaStep::new(name, action, compensation));
+        self
+    }
+
+    /// Append a step with no compensation (typically the last).
+    #[must_use]
+    pub fn final_step(
+        mut self,
+        name: impl Into<String>,
+        action: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
+    ) -> Saga {
+        self.steps.push(SagaStep::uncompensated(name, action));
+        self
+    }
+
+    /// Append a pre-built step.
+    #[must_use]
+    pub fn push(mut self, step: SagaStep) -> Saga {
+        self.steps.push(step);
+        self
+    }
+
+    /// Bound compensation retries (default: unbounded, per the paper).
+    #[must_use]
+    pub fn with_max_compensation_retries(mut self, n: u32) -> Saga {
+        self.max_compensation_retries = Some(n);
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is the saga empty?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Execute the saga. Returns the outcome and the event trace.
+    pub fn run(self, db: &Database) -> Result<(SagaOutcome, SagaTrace)> {
+        let mut trace = SagaTrace::default();
+        let mut committed_prefix: Vec<&SagaStep> = Vec::new();
+        let mut failed: Option<usize> = None;
+
+        for (i, step) in self.steps.iter().enumerate() {
+            let action = Arc::clone(&step.action);
+            let t = db.initiate(move |ctx| action(ctx))?;
+            db.begin(t)?;
+            if db.commit(t)? {
+                trace.events.push(step.name.clone());
+                committed_prefix.push(step);
+            } else {
+                failed = Some(i);
+                break;
+            }
+        }
+
+        let Some(failed_step) = failed else {
+            return Ok((SagaOutcome::Committed, trace));
+        };
+
+        // compensate the committed prefix in reverse commit order
+        for step in committed_prefix.iter().rev() {
+            let Some(comp) = &step.compensation else { continue };
+            let mut attempts = 0u32;
+            loop {
+                let c = Arc::clone(comp);
+                let ct = db.initiate(move |ctx| c(ctx))?;
+                db.begin(ct)?;
+                if db.commit(ct)? {
+                    trace.events.push(format!("~{}", step.name));
+                    break;
+                }
+                attempts += 1;
+                if let Some(max) = self.max_compensation_retries {
+                    if attempts >= max {
+                        // surface the stuck compensation rather than spin
+                        return Err(asset_common::AssetError::TxnAborted(ct));
+                    }
+                }
+            }
+        }
+        Ok((SagaOutcome::Compensated { failed_step }, trace))
+    }
+}
+
+impl Default for Saga {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asset_common::Oid;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// write a tag, compensated by deleting it
+    fn tagged_step(name: &str, oid: Oid, tag: &'static [u8]) -> SagaStep {
+        SagaStep::new(
+            name,
+            move |ctx: &TxnCtx| ctx.write(oid, tag.to_vec()),
+            move |ctx: &TxnCtx| ctx.delete(oid),
+        )
+    }
+
+    #[test]
+    fn all_steps_commit() {
+        let db = Database::in_memory();
+        let (a, b, c) = (db.new_oid(), db.new_oid(), db.new_oid());
+        let saga = Saga::new()
+            .push(tagged_step("s1", a, b"1"))
+            .push(tagged_step("s2", b, b"2"))
+            .final_step("s3", move |ctx| ctx.write(c, b"3".to_vec()));
+        let (outcome, trace) = saga.run(&db).unwrap();
+        assert_eq!(outcome, SagaOutcome::Committed);
+        assert_eq!(trace.events, vec!["s1", "s2", "s3"]);
+        assert_eq!(db.peek(a).unwrap().unwrap(), b"1");
+        assert_eq!(db.peek(c).unwrap().unwrap(), b"3");
+    }
+
+    #[test]
+    fn failure_compensates_prefix_in_reverse() {
+        let db = Database::in_memory();
+        let (a, b, c) = (db.new_oid(), db.new_oid(), db.new_oid());
+        let saga = Saga::new()
+            .push(tagged_step("s1", a, b"1"))
+            .push(tagged_step("s2", b, b"2"))
+            .step(
+                "s3",
+                move |ctx| {
+                    ctx.write(c, b"3".to_vec())?;
+                    ctx.abort_self::<()>().map(|_| ())
+                },
+                |_| Ok(()),
+            )
+            .final_step("s4", |_| Ok(()));
+        let (outcome, trace) = saga.run(&db).unwrap();
+        assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 2 });
+        // the paper's shape: t1 t2 ct2 ct1
+        assert_eq!(trace.events, vec!["s1", "s2", "~s2", "~s1"]);
+        assert_eq!(db.peek(a).unwrap(), None, "compensated away");
+        assert_eq!(db.peek(b).unwrap(), None);
+        assert_eq!(db.peek(c).unwrap(), None, "failed step rolled back atomically");
+    }
+
+    #[test]
+    fn components_commit_immediately_and_are_visible() {
+        // unlike a flat transaction, a saga's early components are durable
+        // (and visible) before the saga finishes
+        let db = Database::in_memory();
+        let a = db.new_oid();
+        let dbc = db.clone();
+        let saga = Saga::new()
+            .push(tagged_step("s1", a, b"1"))
+            .final_step("probe", move |_| {
+                // while the saga is still running, s1's commit is visible
+                assert_eq!(dbc.peek(a)?.unwrap(), b"1");
+                Ok(())
+            });
+        let (outcome, _) = saga.run(&db).unwrap();
+        assert_eq!(outcome, SagaOutcome::Committed);
+    }
+
+    #[test]
+    fn compensation_retries_until_commit() {
+        let db = Database::in_memory();
+        let a = db.new_oid();
+        let attempts = Arc::new(AtomicU32::new(0));
+        let at = Arc::clone(&attempts);
+        let saga = Saga::new()
+            .step(
+                "s1",
+                move |ctx| ctx.write(a, b"1".to_vec()),
+                move |ctx| {
+                    // compensation fails twice before succeeding — the
+                    // paper's do/while retry loop must absorb that
+                    if at.fetch_add(1, Ordering::SeqCst) < 2 {
+                        ctx.abort_self::<()>().map(|_| ())
+                    } else {
+                        ctx.delete(a)
+                    }
+                },
+            )
+            .final_step("s2", |ctx| ctx.abort_self::<()>().map(|_| ()));
+        let (outcome, trace) = saga.run(&db).unwrap();
+        assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 1 });
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        assert_eq!(trace.events, vec!["s1", "~s1"]);
+        assert_eq!(db.peek(a).unwrap(), None);
+    }
+
+    #[test]
+    fn bounded_retries_surface_stuck_compensation() {
+        let db = Database::in_memory();
+        let a = db.new_oid();
+        let saga = Saga::new()
+            .step(
+                "s1",
+                move |ctx| ctx.write(a, b"1".to_vec()),
+                |ctx| ctx.abort_self::<()>().map(|_| ()), // always fails
+            )
+            .final_step("s2", |ctx| ctx.abort_self::<()>().map(|_| ()))
+            .with_max_compensation_retries(3);
+        assert!(saga.run(&db).is_err());
+    }
+
+    #[test]
+    fn first_step_failure_needs_no_compensation() {
+        let db = Database::in_memory();
+        let saga = Saga::new()
+            .step("s1", |ctx| ctx.abort_self::<()>().map(|_| ()), |_| Ok(()))
+            .final_step("s2", |_| Ok(()));
+        let (outcome, trace) = saga.run(&db).unwrap();
+        assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 0 });
+        assert!(trace.events.is_empty());
+    }
+
+    #[test]
+    fn semantic_compensation_counter_example() {
+        // compensation is semantic, not physical: increment compensated by
+        // decrement, interleaving with other sagas' effects preserved
+        let db = Database::in_memory();
+        let counter = db.new_oid();
+        assert!(crate::atomic::run_atomic(&db, move |ctx| {
+            ctx.write(counter, 10u64.to_le_bytes().to_vec())
+        })
+        .unwrap());
+
+        let bump = move |ctx: &TxnCtx, delta: i64| {
+            ctx.update(counter, |cur| {
+                let v = u64::from_le_bytes(cur.unwrap().try_into().unwrap());
+                (v as i64 + delta).to_le_bytes().to_vec()
+            })
+        };
+        let saga = Saga::new()
+            .step("add5", move |ctx| bump(ctx, 5), move |ctx| bump(ctx, -5))
+            .final_step("fail", |ctx| ctx.abort_self::<()>().map(|_| ()));
+        let (outcome, _) = saga.run(&db).unwrap();
+        assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 1 });
+        let v = u64::from_le_bytes(db.peek(counter).unwrap().unwrap().try_into().unwrap());
+        assert_eq!(v, 10, "semantically undone");
+    }
+}

@@ -1,0 +1,319 @@
+//! The shared object cache (paper §4: "the application operates directly on
+//! the objects in a shared cache without first copying the object to its
+//! private address space").
+//!
+//! Each cached object carries its own [`Latch`]; reads take it in S mode,
+//! writes in X mode, exactly as the paper's `read`/`write` algorithms
+//! prescribe. The latch protects the *physical* integrity of one access;
+//! transaction-duration isolation is the lock manager's job, layered above.
+//!
+//! The cache is sharded to keep lookup contention away from the per-object
+//! latches it exists to showcase.
+
+use crate::latch::Latch;
+use crate::store::ObjectStore;
+use asset_common::{Oid, Result};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SHARDS: usize = 16;
+
+struct ObjData {
+    /// Current payload; `None` is a tombstone (object absent/deleted).
+    bytes: Option<Vec<u8>>,
+    /// Differs from the store's copy?
+    dirty: bool,
+}
+
+/// One object resident in the shared cache.
+///
+/// Payload access goes through [`read_with`](CachedObject::read_with) /
+/// [`write_with`](CachedObject::write_with), which acquire the object latch
+/// in the appropriate mode. The `UnsafeCell` is sound because every access
+/// path holds the latch: S holders only take `&`, the X holder is unique.
+pub struct CachedObject {
+    latch: Latch,
+    data: UnsafeCell<ObjData>,
+}
+
+// SAFETY: all access to `data` is mediated by `latch` (S for shared reads,
+// X for exclusive writes), implemented in the two accessors below.
+unsafe impl Sync for CachedObject {}
+unsafe impl Send for CachedObject {}
+
+impl CachedObject {
+    fn new(bytes: Option<Vec<u8>>, dirty: bool) -> CachedObject {
+        CachedObject {
+            latch: Latch::new(),
+            data: UnsafeCell::new(ObjData { bytes, dirty }),
+        }
+    }
+
+    /// Read the payload under an S latch.
+    pub fn read_with<R>(&self, f: impl FnOnce(Option<&[u8]>) -> R) -> R {
+        let _g = self.latch.shared();
+        // SAFETY: S latch held; no X holder exists, so a shared view is safe.
+        let data = unsafe { &*self.data.get() };
+        f(data.bytes.as_deref())
+    }
+
+    /// Replace the payload under an X latch; returns the before image.
+    /// `None` deletes the object (tombstone).
+    pub fn install(&self, after: Option<Vec<u8>>) -> Option<Vec<u8>> {
+        let _g = self.latch.exclusive();
+        // SAFETY: X latch held; we are the unique accessor.
+        let data = unsafe { &mut *self.data.get() };
+        data.dirty = true;
+        std::mem::replace(&mut data.bytes, after)
+    }
+
+    /// Mutate the payload in place under an X latch.
+    pub fn write_with<R>(&self, f: impl FnOnce(&mut Option<Vec<u8>>) -> R) -> R {
+        let _g = self.latch.exclusive();
+        // SAFETY: X latch held.
+        let data = unsafe { &mut *self.data.get() };
+        data.dirty = true;
+        f(&mut data.bytes)
+    }
+
+    /// The object latch (exposed for the lock manager's OD linkage and for
+    /// diagnostics).
+    pub fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    fn take_if_dirty(&self) -> Option<Option<Vec<u8>>> {
+        let _g = self.latch.shared();
+        // SAFETY: S latch held; we only read and flip `dirty` under an
+        // additional X upgrade below.
+        let data = unsafe { &*self.data.get() };
+        if data.dirty {
+            Some(data.bytes.clone())
+        } else {
+            None
+        }
+    }
+
+    fn clear_dirty(&self) {
+        let _g = self.latch.exclusive();
+        // SAFETY: X latch held.
+        let data = unsafe { &mut *self.data.get() };
+        data.dirty = false;
+    }
+}
+
+/// The shared object cache.
+pub struct ObjectCache {
+    shards: Vec<Mutex<HashMap<Oid, Arc<CachedObject>>>>,
+}
+
+impl ObjectCache {
+    /// An empty cache.
+    pub fn new() -> ObjectCache {
+        ObjectCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, oid: Oid) -> &Mutex<HashMap<Oid, Arc<CachedObject>>> {
+        // Avalanche the oid so sequential ids spread across shards.
+        let mut h = oid.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Fetch (or fault in from `store`) the cache entry for `oid`.
+    pub fn entry(&self, oid: Oid, store: &ObjectStore) -> Result<Arc<CachedObject>> {
+        {
+            let shard = self.shard(oid).lock();
+            if let Some(e) = shard.get(&oid) {
+                return Ok(Arc::clone(e));
+            }
+        }
+        // Miss: load outside the shard lock, then race-insert.
+        let loaded = store.get(oid)?;
+        let mut shard = self.shard(oid).lock();
+        let entry = shard
+            .entry(oid)
+            .or_insert_with(|| Arc::new(CachedObject::new(loaded, false)));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Fetch the entry if it is already resident.
+    pub fn peek(&self, oid: Oid) -> Option<Arc<CachedObject>> {
+        self.shard(oid).lock().get(&oid).cloned()
+    }
+
+    /// Insert/overwrite an entry directly (used by recovery, which builds
+    /// state from the log rather than the store).
+    pub fn install(&self, oid: Oid, bytes: Option<Vec<u8>>) {
+        let mut shard = self.shard(oid).lock();
+        match shard.get(&oid) {
+            Some(e) => {
+                e.install(bytes);
+            }
+            None => {
+                shard.insert(oid, Arc::new(CachedObject::new(bytes, true)));
+            }
+        }
+    }
+
+    /// Write all dirty entries back to `store`; tombstones become deletes.
+    pub fn flush(&self, store: &ObjectStore) -> Result<usize> {
+        let mut flushed = 0;
+        for shard in &self.shards {
+            let entries: Vec<(Oid, Arc<CachedObject>)> = {
+                let s = shard.lock();
+                s.iter().map(|(k, v)| (*k, Arc::clone(v))).collect()
+            };
+            for (oid, entry) in entries {
+                if let Some(bytes) = entry.take_if_dirty() {
+                    match bytes {
+                        Some(b) => store.put(oid, &b)?,
+                        None => {
+                            store.delete(oid)?;
+                        }
+                    }
+                    entry.clear_dirty();
+                    flushed += 1;
+                }
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop clean entries (cache pressure relief; dirty entries stay).
+    pub fn evict_clean(&self) {
+        for shard in &self.shards {
+            shard.lock().retain(|_, e| e.take_if_dirty().is_some());
+        }
+    }
+}
+
+impl Default for ObjectCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heapfile::MemPageStore;
+
+    fn store() -> ObjectStore {
+        ObjectStore::open(Arc::new(MemPageStore::new(512)), 16).unwrap()
+    }
+
+    #[test]
+    fn entry_faults_in_from_store() {
+        let s = store();
+        s.put(Oid(1), b"persisted").unwrap();
+        let c = ObjectCache::new();
+        let e = c.entry(Oid(1), &s).unwrap();
+        e.read_with(|b| assert_eq!(b.unwrap(), b"persisted"));
+        // absent object: tombstone entry
+        let e2 = c.entry(Oid(2), &s).unwrap();
+        e2.read_with(|b| assert!(b.is_none()));
+    }
+
+    #[test]
+    fn install_returns_before_image() {
+        let s = store();
+        let c = ObjectCache::new();
+        let e = c.entry(Oid(1), &s).unwrap();
+        assert_eq!(e.install(Some(b"v1".to_vec())), None);
+        assert_eq!(e.install(Some(b"v2".to_vec())), Some(b"v1".to_vec()));
+        assert_eq!(e.install(None), Some(b"v2".to_vec()));
+        e.read_with(|b| assert!(b.is_none()));
+    }
+
+    #[test]
+    fn flush_persists_dirty_entries() {
+        let s = store();
+        s.put(Oid(3), b"old").unwrap();
+        let c = ObjectCache::new();
+        c.entry(Oid(1), &s).unwrap().install(Some(b"one".to_vec()));
+        c.entry(Oid(2), &s).unwrap().install(Some(b"two".to_vec()));
+        c.entry(Oid(3), &s).unwrap().install(None); // delete
+        let flushed = c.flush(&s).unwrap();
+        assert_eq!(flushed, 3);
+        assert_eq!(s.get(Oid(1)).unwrap().unwrap(), b"one");
+        assert_eq!(s.get(Oid(2)).unwrap().unwrap(), b"two");
+        assert_eq!(s.get(Oid(3)).unwrap(), None);
+        // second flush is a no-op
+        assert_eq!(c.flush(&s).unwrap(), 0);
+    }
+
+    #[test]
+    fn peek_only_sees_resident() {
+        let s = store();
+        s.put(Oid(1), b"x").unwrap();
+        let c = ObjectCache::new();
+        assert!(c.peek(Oid(1)).is_none());
+        c.entry(Oid(1), &s).unwrap();
+        assert!(c.peek(Oid(1)).is_some());
+    }
+
+    #[test]
+    fn concurrent_read_write_with_latches() {
+        let s = Arc::new(store());
+        let c = Arc::new(ObjectCache::new());
+        let e = c.entry(Oid(1), &s).unwrap();
+        e.install(Some(vec![0u8; 8]));
+        let mut handles = vec![];
+        for t in 0..4 {
+            let c = Arc::clone(&c);
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let e = c.entry(Oid(1), &s).unwrap();
+                for i in 0..1000u64 {
+                    if t % 2 == 0 {
+                        e.write_with(|b| {
+                            let bytes = b.as_mut().unwrap();
+                            // write a self-consistent pattern
+                            let v = (i % 250) as u8;
+                            bytes.iter_mut().for_each(|x| *x = v);
+                        });
+                    } else {
+                        e.read_with(|b| {
+                            let bytes = b.unwrap();
+                            let first = bytes[0];
+                            assert!(
+                                bytes.iter().all(|&x| x == first),
+                                "torn read under latches"
+                            );
+                        });
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn evict_clean_keeps_dirty() {
+        let s = store();
+        s.put(Oid(1), b"a").unwrap();
+        let c = ObjectCache::new();
+        c.entry(Oid(1), &s).unwrap(); // clean
+        c.entry(Oid(2), &s).unwrap().install(Some(b"b".to_vec())); // dirty
+        c.evict_clean();
+        assert!(c.peek(Oid(1)).is_none());
+        assert!(c.peek(Oid(2)).is_some());
+    }
+}

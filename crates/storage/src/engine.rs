@@ -1,0 +1,275 @@
+//! The storage engine facade: shared cache + object store + WAL, assembled
+//! per a [`Config`]. This is the substrate `asset-core` builds the
+//! transaction primitives on.
+
+use crate::cache::ObjectCache;
+use crate::heapfile::{FilePageStore, MemPageStore, PageStore};
+use crate::log::{LogManager, LogRecord};
+use crate::recovery::{recover, RecoveryReport};
+use crate::store::ObjectStore;
+use asset_common::{Config, Durability, Lsn, Oid, Result, Tid};
+use std::sync::Arc;
+
+/// The assembled storage substrate.
+///
+/// All object access during normal operation goes through the shared cache
+/// (the paper's mode of operation); the store is the persistent home,
+/// written at checkpoints, flushes and recovery.
+pub struct StorageEngine {
+    cache: ObjectCache,
+    store: ObjectStore,
+    log: LogManager,
+    durability: Durability,
+}
+
+impl StorageEngine {
+    /// Build an engine from `config`, running restart recovery if a log
+    /// with records exists.
+    pub fn open(config: &Config) -> Result<(StorageEngine, RecoveryReport)> {
+        let (page_store, log): (Arc<dyn PageStore>, LogManager) = match &config.data_dir {
+            None => (
+                Arc::new(MemPageStore::new(config.page_size)),
+                LogManager::in_memory(),
+            ),
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let heap = FilePageStore::open(&dir.join("heap.db"), config.page_size)?;
+                let log = LogManager::open(&dir.join("wal.log"), config.durability)?;
+                (Arc::new(heap), log)
+            }
+        };
+        let store = ObjectStore::open(page_store, config.buffer_pool_pages)?;
+        let cache = ObjectCache::new();
+        let engine = StorageEngine { cache, store, log, durability: config.durability };
+        let report = recover(&engine.log, &engine.cache, &engine.store)?;
+        Ok((engine, report))
+    }
+
+    /// The shared object cache.
+    pub fn cache(&self) -> &ObjectCache {
+        &self.cache
+    }
+
+    /// The persistent object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The write-ahead log.
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// Read `oid` through the cache (S-latched read; paper `read` algorithm
+    /// steps 2–4 — locking is the caller's responsibility, step 1).
+    pub fn read_object(&self, oid: Oid) -> Result<Option<Vec<u8>>> {
+        let entry = self.cache.entry(oid, &self.store)?;
+        Ok(entry.read_with(|b| b.map(|s| s.to_vec())))
+    }
+
+    /// Write `oid` through the cache on behalf of `tid`, logging before and
+    /// after images (paper `write` algorithm steps 2–6). Returns the before
+    /// image.
+    pub fn write_object(
+        &self,
+        tid: Tid,
+        oid: Oid,
+        after: Option<Vec<u8>>,
+    ) -> Result<Option<Vec<u8>>> {
+        let entry = self.cache.entry(oid, &self.store)?;
+        // The X latch inside `install` makes read-before + write atomic
+        // with respect to other accessors; the log record is written after
+        // the update, before the latch effects become commit-relevant (the
+        // commit record is what matters for WAL, and it is forced).
+        let before = entry.install(after.clone());
+        self.log.append(&LogRecord::Update { tid, oid, before: before.clone(), after })?;
+        Ok(before)
+    }
+
+    /// Install an image without logging (undo during abort; recovery).
+    pub fn install_image(&self, oid: Oid, image: Option<Vec<u8>>) -> Result<()> {
+        let entry = self.cache.entry(oid, &self.store)?;
+        entry.install(image);
+        Ok(())
+    }
+
+    /// Log a record (commit/abort/delegate/begin), forcing commits under
+    /// strict durability.
+    pub fn log_record(&self, rec: &LogRecord) -> Result<Lsn> {
+        match rec {
+            LogRecord::Commit { .. } => self.log.append_forced(rec),
+            _ => self.log.append(rec),
+        }
+    }
+
+    /// Quiescent checkpoint: flush the cache and pool, truncate the log,
+    /// and write a checkpoint marker. The caller must guarantee no
+    /// transaction is active.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.cache.flush(&self.store)?;
+        self.store.flush()?;
+        self.log.truncate()?;
+        self.log.append(&LogRecord::Checkpoint)?;
+        if self.durability == Durability::Strict {
+            self.log.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Re-run restart recovery (test hook: simulates a crash by discarding
+    /// the cache and rebuilding from log + store).
+    pub fn simulate_crash_and_recover(&mut self) -> Result<RecoveryReport> {
+        self.cache = ObjectCache::new();
+        recover(&self.log, &self.cache, &self.store)
+    }
+
+    /// Compact the log while transactions in `live` are still in flight —
+    /// the fuzzy-checkpoint counterpart to [`checkpoint`](Self::checkpoint):
+    ///
+    /// 1. flush the cache and pool (all current images are in the store);
+    /// 2. analyze the log (applying delegations) to find the pending
+    ///    updates each live transaction is responsible for;
+    /// 3. rewrite the log as: `Checkpoint` marker, then for each live
+    ///    transaction a fresh `Begin` and its pending updates (attributed
+    ///    to the *current* owner — delegation records become unnecessary).
+    ///
+    /// The caller must guarantee no transaction appends concurrently
+    /// (the transaction manager holds its table lock and checks that no
+    /// transaction is `Running`).
+    pub fn compact_log(&self, live: &std::collections::HashSet<Tid>) -> Result<CompactionReport> {
+        self.cache.flush(&self.store)?;
+        self.store.flush()?;
+        let records = self.log.scan()?;
+        let before = records.len();
+        let analysis = crate::recovery::analyze(&records);
+        self.log.truncate()?;
+        self.log.append(&LogRecord::Checkpoint)?;
+        let mut after = 1usize;
+        let mut owners: Vec<Tid> = analysis
+            .pending
+            .keys()
+            .copied()
+            .filter(|t| live.contains(t))
+            .collect();
+        owners.sort_unstable();
+        for owner in owners {
+            self.log.append(&LogRecord::Begin { tid: owner })?;
+            after += 1;
+            for u in &analysis.pending[&owner] {
+                self.log.append(&LogRecord::Update {
+                    tid: owner,
+                    oid: u.oid,
+                    before: u.before.clone(),
+                    after: u.after.clone(),
+                })?;
+                after += 1;
+            }
+        }
+        if self.durability == Durability::Strict {
+            self.log.flush()?;
+        }
+        Ok(CompactionReport { records_before: before, records_after: after })
+    }
+}
+
+/// Result of a [`StorageEngine::compact_log`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Log records before compaction.
+    pub records_before: usize,
+    /// Log records after (checkpoint marker + live transactions' state).
+    pub records_after: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_engine() -> StorageEngine {
+        StorageEngine::open(&Config::in_memory()).unwrap().0
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let e = mem_engine();
+        assert_eq!(e.read_object(Oid(1)).unwrap(), None);
+        let before = e.write_object(Tid(1), Oid(1), Some(b"v1".to_vec())).unwrap();
+        assert_eq!(before, None);
+        assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"v1");
+        let before = e.write_object(Tid(1), Oid(1), Some(b"v2".to_vec())).unwrap();
+        assert_eq!(before.unwrap(), b"v1");
+    }
+
+    #[test]
+    fn crash_without_commit_rolls_back() {
+        let mut e = mem_engine();
+        e.write_object(Tid(1), Oid(1), Some(b"dirty".to_vec())).unwrap();
+        let report = e.simulate_crash_and_recover().unwrap();
+        assert_eq!(report.losers, 1);
+        assert_eq!(e.read_object(Oid(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn crash_after_commit_record_replays() {
+        let mut e = mem_engine();
+        e.write_object(Tid(1), Oid(1), Some(b"durable".to_vec())).unwrap();
+        e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        let report = e.simulate_crash_and_recover().unwrap();
+        assert_eq!(report.winners, 1);
+        assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"durable");
+    }
+
+    #[test]
+    fn checkpoint_then_recover_is_clean() {
+        let mut e = mem_engine();
+        e.write_object(Tid(1), Oid(1), Some(b"x".to_vec())).unwrap();
+        e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        e.checkpoint().unwrap();
+        let report = e.simulate_crash_and_recover().unwrap();
+        assert_eq!(report.redone, 0, "checkpoint settled everything");
+        assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn on_disk_engine_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("asset-eng-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = Config::on_disk(&dir);
+        {
+            let (e, _) = StorageEngine::open(&config).unwrap();
+            e.write_object(Tid(1), Oid(42), Some(b"persists".to_vec())).unwrap();
+            e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+            // no checkpoint, no flush: recovery must rebuild from the log
+        }
+        let (e, report) = StorageEngine::open(&config).unwrap();
+        assert_eq!(report.winners, 1);
+        assert_eq!(e.read_object(Oid(42)).unwrap().unwrap(), b"persists");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn on_disk_uncommitted_rolls_back_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("asset-eng2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = Config::on_disk(&dir);
+        {
+            let (e, _) = StorageEngine::open(&config).unwrap();
+            e.write_object(Tid(1), Oid(1), Some(b"committed".to_vec())).unwrap();
+            e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+            e.write_object(Tid(2), Oid(1), Some(b"uncommitted".to_vec())).unwrap();
+            e.log.flush().unwrap();
+        }
+        let (e, _) = StorageEngine::open(&config).unwrap();
+        assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"committed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn install_image_is_not_logged() {
+        let e = mem_engine();
+        let n0 = e.log.records_appended();
+        e.install_image(Oid(1), Some(b"quiet".to_vec())).unwrap();
+        assert_eq!(e.log.records_appended(), n0);
+        assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"quiet");
+    }
+}

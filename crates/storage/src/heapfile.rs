@@ -1,0 +1,213 @@
+//! Page stores: the persistent home of pages.
+//!
+//! [`PageStore`] abstracts over an in-memory page array (used by tests,
+//! examples and benchmarks — the paper's shared-memory cache mode with no
+//! disk) and a real file ([`FilePageStore`]) using positioned reads/writes.
+
+use crate::page::{Page, PageId};
+use asset_common::{AssetError, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// The persistent home of fixed-size pages.
+pub trait PageStore: Send + Sync {
+    /// Page size in bytes.
+    fn page_size(&self) -> usize;
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u32;
+    /// Read page `pid` into a fresh buffer.
+    fn read_page(&self, pid: PageId) -> Result<Page>;
+    /// Write `page` as page `pid`.
+    fn write_page(&self, pid: PageId, page: &Page) -> Result<()>;
+    /// Allocate a new zeroed page; returns its id.
+    fn allocate(&self) -> Result<PageId>;
+    /// Flush to stable storage.
+    fn sync(&self) -> Result<()>;
+}
+
+/// An in-memory page store.
+pub struct MemPageStore {
+    page_size: usize,
+    pages: Mutex<Vec<Page>>,
+}
+
+impl MemPageStore {
+    /// New empty store.
+    pub fn new(page_size: usize) -> MemPageStore {
+        MemPageStore { page_size, pages: Mutex::new(Vec::new()) }
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.pages.lock().len() as u32
+    }
+
+    fn read_page(&self, pid: PageId) -> Result<Page> {
+        let pages = self.pages.lock();
+        pages
+            .get(pid as usize)
+            .cloned()
+            .ok_or_else(|| AssetError::Corrupt(format!("read of unallocated page {pid}")))
+    }
+
+    fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
+        let mut pages = self.pages.lock();
+        match pages.get_mut(pid as usize) {
+            Some(slot) => {
+                *slot = page.clone();
+                Ok(())
+            }
+            None => Err(AssetError::Corrupt(format!("write to unallocated page {pid}"))),
+        }
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        let pid = pages.len() as PageId;
+        pages.push(Page::zeroed(self.page_size));
+        Ok(pid)
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A file-backed page store using positioned I/O.
+pub struct FilePageStore {
+    page_size: usize,
+    file: File,
+    num_pages: Mutex<u32>,
+}
+
+impl FilePageStore {
+    /// Open (creating if absent) the heap file at `path`.
+    pub fn open(path: &Path, page_size: usize) -> Result<FilePageStore> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(AssetError::Corrupt(format!(
+                "heap file length {len} is not a multiple of page size {page_size}"
+            )));
+        }
+        let num_pages = (len / page_size as u64) as u32;
+        Ok(FilePageStore { page_size, file, num_pages: Mutex::new(num_pages) })
+    }
+}
+
+impl PageStore for FilePageStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u32 {
+        *self.num_pages.lock()
+    }
+
+    fn read_page(&self, pid: PageId) -> Result<Page> {
+        if pid >= self.num_pages() {
+            return Err(AssetError::Corrupt(format!("read of unallocated page {pid}")));
+        }
+        let mut buf = vec![0u8; self.page_size];
+        self.file
+            .read_exact_at(&mut buf, pid as u64 * self.page_size as u64)?;
+        Ok(Page::from_bytes(buf))
+    }
+
+    fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
+        if pid >= self.num_pages() {
+            return Err(AssetError::Corrupt(format!("write to unallocated page {pid}")));
+        }
+        self.file
+            .write_all_at(page.bytes(), pid as u64 * self.page_size as u64)?;
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut n = self.num_pages.lock();
+        let pid = *n;
+        let zero = vec![0u8; self.page_size];
+        self.file
+            .write_all_at(&zero, pid as u64 * self.page_size as u64)?;
+        *n += 1;
+        Ok(pid)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn PageStore) {
+        assert_eq!(store.num_pages(), 0);
+        let p0 = store.allocate().unwrap();
+        let p1 = store.allocate().unwrap();
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(store.num_pages(), 2);
+
+        let mut page = Page::zeroed(store.page_size());
+        page.bytes_mut()[0] = 0xAA;
+        page.bytes_mut()[store.page_size() - 1] = 0xBB;
+        store.write_page(p1, &page).unwrap();
+
+        let back = store.read_page(p1).unwrap();
+        assert_eq!(back.bytes()[0], 0xAA);
+        assert_eq!(back.bytes()[store.page_size() - 1], 0xBB);
+
+        let zero = store.read_page(p0).unwrap();
+        assert!(zero.bytes().iter().all(|&b| b == 0));
+
+        assert!(store.read_page(99).is_err());
+        assert!(store.write_page(99, &page).is_err());
+        store.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_store() {
+        exercise(&MemPageStore::new(512));
+    }
+
+    #[test]
+    fn file_store() {
+        let dir = std::env::temp_dir().join(format!("asset-hf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FilePageStore::open(&path, 512).unwrap();
+            exercise(&store);
+        }
+        // Re-open: pages persist.
+        let store = FilePageStore::open(&path, 512).unwrap();
+        assert_eq!(store.num_pages(), 2);
+        assert_eq!(store.read_page(1).unwrap().bytes()[0], 0xAA);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_rejects_bad_length() {
+        let dir = std::env::temp_dir().join(format!("asset-hf-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.db");
+        std::fs::write(&path, vec![0u8; 700]).unwrap();
+        assert!(FilePageStore::open(&path, 512).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

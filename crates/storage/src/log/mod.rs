@@ -1,0 +1,302 @@
+//! The write-ahead log manager.
+//!
+//! Append-only; each record's [`Lsn`] is its byte offset. Backends: an
+//! in-memory byte buffer (tests/benchmarks; survives within the process so
+//! the recovery *algorithms* are still exercised) and an append-only file
+//! with configurable durability.
+
+mod record;
+
+pub use record::LogRecord;
+
+use asset_common::{Durability, Lsn, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+enum Backend {
+    Mem(Vec<u8>),
+    File { file: File, path: PathBuf, buffered_bytes: usize },
+}
+
+struct Inner {
+    backend: Backend,
+    tail: u64,
+    records_appended: u64,
+}
+
+/// The log manager.
+pub struct LogManager {
+    inner: Mutex<Inner>,
+    durability: Durability,
+}
+
+impl LogManager {
+    /// A purely in-memory log.
+    pub fn in_memory() -> LogManager {
+        LogManager {
+            inner: Mutex::new(Inner {
+                backend: Backend::Mem(Vec::new()),
+                tail: 0,
+                records_appended: 0,
+            }),
+            durability: Durability::InMemory,
+        }
+    }
+
+    /// Open (creating if absent) the log file at `path`.
+    pub fn open(path: &Path, durability: Durability) -> Result<LogManager> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let tail = file.seek(SeekFrom::End(0))?;
+        Ok(LogManager {
+            inner: Mutex::new(Inner {
+                backend: Backend::File { file, path: path.to_path_buf(), buffered_bytes: 0 },
+                tail,
+                records_appended: 0,
+            }),
+            durability,
+        })
+    }
+
+    /// Append a record; returns its LSN. Durability of the append follows
+    /// the configured mode (`Strict` forces commit-critical records — see
+    /// [`append_forced`](Self::append_forced)); plain appends are buffered.
+    pub fn append(&self, rec: &LogRecord) -> Result<Lsn> {
+        self.append_inner(rec, false)
+    }
+
+    /// Append and, under `Strict` durability, force the log to stable
+    /// storage before returning. Used for commit records (WAL rule).
+    pub fn append_forced(&self, rec: &LogRecord) -> Result<Lsn> {
+        self.append_inner(rec, true)
+    }
+
+    fn append_inner(&self, rec: &LogRecord, force: bool) -> Result<Lsn> {
+        let frame = rec.encode_frame();
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.tail);
+        inner.tail += frame.len() as u64;
+        inner.records_appended += 1;
+        match &mut inner.backend {
+            Backend::Mem(buf) => buf.extend_from_slice(&frame),
+            Backend::File { file, buffered_bytes, .. } => {
+                file.write_all(&frame)?;
+                *buffered_bytes += frame.len();
+                if force && self.durability == Durability::Strict {
+                    file.sync_data()?;
+                    *buffered_bytes = 0;
+                }
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Backend::File { file, buffered_bytes, .. } = &mut inner.backend {
+            file.sync_data()?;
+            *buffered_bytes = 0;
+        }
+        Ok(())
+    }
+
+    /// Current tail LSN (the LSN the next record will get).
+    pub fn tail(&self) -> Lsn {
+        Lsn(self.inner.lock().tail)
+    }
+
+    /// Number of records appended through this manager instance.
+    pub fn records_appended(&self) -> u64 {
+        self.inner.lock().records_appended
+    }
+
+    /// Read the whole log and decode it into `(lsn, record)` pairs. A torn
+    /// tail is tolerated (crash consistency); corruption before the tail is
+    /// an error.
+    pub fn scan(&self) -> Result<Vec<(Lsn, LogRecord)>> {
+        let mut inner = self.inner.lock();
+        let buf: Vec<u8> = match &mut inner.backend {
+            Backend::Mem(b) => b.clone(),
+            Backend::File { path, .. } => {
+                let mut f = File::open(&*path)?;
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        drop(inner);
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while let Some((rec, next)) = LogRecord::decode_frame(&buf, off)? {
+            out.push((Lsn(off as u64), rec));
+            off = next;
+        }
+        Ok(out)
+    }
+
+    /// Truncate the log to empty. Only legal at a quiescent checkpoint,
+    /// after every page has been flushed; the caller (checkpointing code)
+    /// guarantees that.
+    pub fn truncate(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.tail = 0;
+        match &mut inner.backend {
+            Backend::Mem(b) => b.clear(),
+            Backend::File { file, path, buffered_bytes } => {
+                // Recreate the file: truncate + rewind append cursor.
+                file.sync_data().ok();
+                let new = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(&*path)?;
+                new.sync_data()?;
+                drop(std::mem::replace(
+                    file,
+                    OpenOptions::new().read(true).append(true).open(&*path)?,
+                ));
+                let _ = new;
+                *buffered_bytes = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asset_common::{Oid, Tid};
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin { tid: Tid(1) },
+            LogRecord::Update {
+                tid: Tid(1),
+                oid: Oid(10),
+                before: None,
+                after: Some(b"hello".to_vec()),
+            },
+            LogRecord::Commit { tids: vec![Tid(1)] },
+        ]
+    }
+
+    #[test]
+    fn mem_append_scan() {
+        let log = LogManager::in_memory();
+        let mut lsns = vec![];
+        for r in sample_records() {
+            lsns.push(log.append(&r).unwrap());
+        }
+        assert!(lsns.windows(2).all(|w| w[0] < w[1]), "LSNs increase");
+        let scanned = log.scan().unwrap();
+        assert_eq!(scanned.len(), 3);
+        assert_eq!(
+            scanned.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            lsns
+        );
+        assert_eq!(
+            scanned.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+            sample_records()
+        );
+    }
+
+    #[test]
+    fn file_append_scan_reopen() {
+        let dir = std::env::temp_dir().join(format!("asset-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = LogManager::open(&path, Durability::Strict).unwrap();
+            for r in sample_records() {
+                log.append_forced(&r).unwrap();
+            }
+        }
+        let log = LogManager::open(&path, Durability::Strict).unwrap();
+        let scanned = log.scan().unwrap();
+        assert_eq!(
+            scanned.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+            sample_records()
+        );
+        // appends continue after the recovered tail
+        let lsn = log.append(&LogRecord::Checkpoint).unwrap();
+        assert!(lsn.0 > 0);
+        assert_eq!(log.scan().unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_on_scan() {
+        let dir = std::env::temp_dir().join(format!("asset-log-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = LogManager::open(&path, Durability::Buffered).unwrap();
+            for r in sample_records() {
+                log.append(&r).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        // simulate a torn write: append half a frame
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let frame = LogRecord::Abort { tid: Tid(9) }.encode_frame();
+            f.write_all(&frame[..frame.len() / 2]).unwrap();
+        }
+        let log = LogManager::open(&path, Durability::Buffered).unwrap();
+        assert_eq!(log.scan().unwrap().len(), 3, "torn tail dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_log() {
+        let log = LogManager::in_memory();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        log.truncate().unwrap();
+        assert_eq!(log.scan().unwrap().len(), 0);
+        assert_eq!(log.tail(), Lsn::ZERO);
+        // usable after truncation
+        log.append(&LogRecord::Checkpoint).unwrap();
+        assert_eq!(log.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn file_truncate() {
+        let dir = std::env::temp_dir().join(format!("asset-log-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let log = LogManager::open(&path, Durability::Buffered).unwrap();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        log.truncate().unwrap();
+        assert_eq!(log.scan().unwrap().len(), 0);
+        log.append(&LogRecord::Begin { tid: Tid(2) }).unwrap();
+        log.flush().unwrap();
+        let scanned = log.scan().unwrap();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].1, LogRecord::Begin { tid: Tid(2) });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn records_counter() {
+        let log = LogManager::in_memory();
+        assert_eq!(log.records_appended(), 0);
+        log.append(&LogRecord::Checkpoint).unwrap();
+        log.append(&LogRecord::Checkpoint).unwrap();
+        assert_eq!(log.records_appended(), 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! Log record types and their binary encoding.
+//!
+//! The paper's recovery story (§4.2) is physical before/after-image
+//! logging: `write` logs the before image, performs the update, then logs
+//! the after image; `commit` places a commit record; `abort` installs
+//! before images. We fold before and after images of one update into a
+//! single [`LogRecord::Update`] record (logically equivalent, and atomic
+//! under the object latch that EOS holds across the write).
+//!
+//! Delegation transfers *responsibility* for uncommitted operations, so it
+//! must be visible to restart recovery: a [`LogRecord::Delegate`] record
+//! reassigns earlier updates to the delegatee.
+//!
+//! Wire format of one record:
+//!
+//! ```text
+//! [body_len u32][checksum u64][body: kind u8 + payload]
+//! ```
+//!
+//! The checksum covers the body; a mismatch or truncated tail ends the scan
+//! (crash-consistent: the tail record of a torn write is discarded).
+
+use crate::page::{checksum, get_u32, get_u64, put_u32, put_u64};
+use asset_common::{AssetError, Oid, Result, Tid};
+
+/// One write-ahead-log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogRecord {
+    /// Transaction `tid` began executing.
+    Begin {
+        /// The transaction.
+        tid: Tid,
+    },
+    /// `tid` updated `oid`. `before == None` means the update created the
+    /// object; `after == None` means it deleted it.
+    Update {
+        /// The responsible transaction at the time of the write.
+        tid: Tid,
+        /// The object.
+        oid: Oid,
+        /// Before image (`None` = object did not exist).
+        before: Option<Vec<u8>>,
+        /// After image (`None` = object deleted).
+        after: Option<Vec<u8>>,
+    },
+    /// The listed transactions committed together (a group-commit resolves
+    /// to a single record; the common case is a singleton list).
+    Commit {
+        /// The committing group.
+        tids: Vec<Tid>,
+    },
+    /// `tid` aborted; its updates were undone.
+    Abort {
+        /// The transaction.
+        tid: Tid,
+    },
+    /// `from` delegated responsibility for its operations on `obs` to `to`
+    /// (`None` = all objects).
+    Delegate {
+        /// Delegating transaction.
+        from: Tid,
+        /// Receiving transaction.
+        to: Tid,
+        /// The delegated objects; `None` is the paper's "all operations
+        /// `from` is currently responsible for".
+        obs: Option<Vec<Oid>>,
+    },
+    /// Quiescent checkpoint: no transaction was active and all pages were
+    /// flushed when this record was written. Recovery may start here.
+    Checkpoint,
+    /// Compensation log record: the runtime abort of a transaction
+    /// installed `image` over `oid` (one before-image undo step). Redo-only
+    /// — recovery replays it in log order and never undoes it, so an abort
+    /// that completed before the crash stays exactly where the runtime left
+    /// it, even if later committed transactions overwrote the object.
+    Clr {
+        /// The object whose image was restored.
+        oid: Oid,
+        /// The restored image (`None` = the undo deleted the object).
+        image: Option<Vec<u8>>,
+    },
+}
+
+const KIND_BEGIN: u8 = 1;
+const KIND_UPDATE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+const KIND_ABORT: u8 = 4;
+const KIND_DELEGATE: u8 = 5;
+const KIND_CHECKPOINT: u8 = 6;
+const KIND_CLR: u8 = 7;
+
+fn put_opt_bytes(out: &mut Vec<u8>, v: &Option<Vec<u8>>) {
+    match v {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            let mut len = [0u8; 4];
+            put_u32(&mut len, 0, b.len() as u32);
+            out.extend_from_slice(&len);
+            out.extend_from_slice(b);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| AssetError::Corrupt("log record truncated (u8)".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.buf.len() {
+            return Err(AssetError::Corrupt("log record truncated (u32)".into()));
+        }
+        let v = get_u32(self.buf, self.pos);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        if self.pos + 8 > self.buf.len() {
+            return Err(AssetError::Corrupt("log record truncated (u64)".into()));
+        }
+        let v = get_u64(self.buf, self.pos);
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(AssetError::Corrupt("log record truncated (bytes)".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn opt_bytes(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => {
+                let len = self.u32()? as usize;
+                Ok(Some(self.bytes(len)?.to_vec()))
+            }
+            k => Err(AssetError::Corrupt(format!("bad option tag {k}"))),
+        }
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(AssetError::Corrupt(format!(
+                "log record has {} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+impl LogRecord {
+    /// Encode the record body (kind byte + payload).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            LogRecord::Begin { tid } => {
+                out.push(KIND_BEGIN);
+                let mut b = [0u8; 8];
+                put_u64(&mut b, 0, tid.raw());
+                out.extend_from_slice(&b);
+            }
+            LogRecord::Update { tid, oid, before, after } => {
+                out.push(KIND_UPDATE);
+                let mut b = [0u8; 16];
+                put_u64(&mut b, 0, tid.raw());
+                put_u64(&mut b, 8, oid.raw());
+                out.extend_from_slice(&b);
+                put_opt_bytes(&mut out, before);
+                put_opt_bytes(&mut out, after);
+            }
+            LogRecord::Commit { tids } => {
+                out.push(KIND_COMMIT);
+                let mut b = [0u8; 4];
+                put_u32(&mut b, 0, tids.len() as u32);
+                out.extend_from_slice(&b);
+                for t in tids {
+                    let mut b = [0u8; 8];
+                    put_u64(&mut b, 0, t.raw());
+                    out.extend_from_slice(&b);
+                }
+            }
+            LogRecord::Abort { tid } => {
+                out.push(KIND_ABORT);
+                let mut b = [0u8; 8];
+                put_u64(&mut b, 0, tid.raw());
+                out.extend_from_slice(&b);
+            }
+            LogRecord::Delegate { from, to, obs } => {
+                out.push(KIND_DELEGATE);
+                let mut b = [0u8; 16];
+                put_u64(&mut b, 0, from.raw());
+                put_u64(&mut b, 8, to.raw());
+                out.extend_from_slice(&b);
+                match obs {
+                    None => out.push(0),
+                    Some(list) => {
+                        out.push(1);
+                        let mut b = [0u8; 4];
+                        put_u32(&mut b, 0, list.len() as u32);
+                        out.extend_from_slice(&b);
+                        for ob in list {
+                            let mut b = [0u8; 8];
+                            put_u64(&mut b, 0, ob.raw());
+                            out.extend_from_slice(&b);
+                        }
+                    }
+                }
+            }
+            LogRecord::Checkpoint => out.push(KIND_CHECKPOINT),
+            LogRecord::Clr { oid, image } => {
+                out.push(KIND_CLR);
+                let mut b = [0u8; 8];
+                put_u64(&mut b, 0, oid.raw());
+                out.extend_from_slice(&b);
+                put_opt_bytes(&mut out, image);
+            }
+        }
+        out
+    }
+
+    /// Decode a record body produced by [`encode_body`](Self::encode_body).
+    pub fn decode_body(body: &[u8]) -> Result<LogRecord> {
+        let mut c = Cursor { buf: body, pos: 0 };
+        let rec = match c.u8()? {
+            KIND_BEGIN => LogRecord::Begin { tid: Tid(c.u64()?) },
+            KIND_UPDATE => LogRecord::Update {
+                tid: Tid(c.u64()?),
+                oid: Oid(c.u64()?),
+                before: c.opt_bytes()?,
+                after: c.opt_bytes()?,
+            },
+            KIND_COMMIT => {
+                let n = c.u32()? as usize;
+                let mut tids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tids.push(Tid(c.u64()?));
+                }
+                LogRecord::Commit { tids }
+            }
+            KIND_ABORT => LogRecord::Abort { tid: Tid(c.u64()?) },
+            KIND_DELEGATE => {
+                let from = Tid(c.u64()?);
+                let to = Tid(c.u64()?);
+                let obs = match c.u8()? {
+                    0 => None,
+                    1 => {
+                        let n = c.u32()? as usize;
+                        let mut obs = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            obs.push(Oid(c.u64()?));
+                        }
+                        Some(obs)
+                    }
+                    k => return Err(AssetError::Corrupt(format!("bad obs tag {k}"))),
+                };
+                LogRecord::Delegate { from, to, obs }
+            }
+            KIND_CHECKPOINT => LogRecord::Checkpoint,
+            KIND_CLR => LogRecord::Clr { oid: Oid(c.u64()?), image: c.opt_bytes()? },
+            k => return Err(AssetError::Corrupt(format!("unknown log record kind {k}"))),
+        };
+        c.done()?;
+        Ok(rec)
+    }
+
+    /// Encode the full on-disk frame: length + checksum + body.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(12 + body.len());
+        let mut len = [0u8; 4];
+        put_u32(&mut len, 0, body.len() as u32);
+        out.extend_from_slice(&len);
+        let mut ck = [0u8; 8];
+        put_u64(&mut ck, 0, checksum(&body));
+        out.extend_from_slice(&ck);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one frame starting at `buf[off]`.
+    ///
+    /// Returns `Ok(Some((record, next_off)))`, `Ok(None)` for a clean or
+    /// torn end of log (truncated tail), or `Err` for a checksum mismatch
+    /// mid-log.
+    pub fn decode_frame(buf: &[u8], off: usize) -> Result<Option<(LogRecord, usize)>> {
+        if off == buf.len() {
+            return Ok(None);
+        }
+        if off + 12 > buf.len() {
+            return Ok(None); // torn header at tail
+        }
+        let body_len = get_u32(buf, off) as usize;
+        let stored_ck = get_u64(buf, off + 4);
+        let body_start = off + 12;
+        if body_start + body_len > buf.len() {
+            return Ok(None); // torn body at tail
+        }
+        let body = &buf[body_start..body_start + body_len];
+        if checksum(body) != stored_ck {
+            return Err(AssetError::Corrupt(format!(
+                "log checksum mismatch at offset {off}"
+            )));
+        }
+        let rec = LogRecord::decode_body(body)?;
+        Ok(Some((rec, body_start + body_len)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: LogRecord) {
+        let body = rec.encode_body();
+        let back = LogRecord::decode_body(&body).unwrap();
+        assert_eq!(rec, back);
+        let frame = rec.encode_frame();
+        let (back2, next) = LogRecord::decode_frame(&frame, 0).unwrap().unwrap();
+        assert_eq!(rec, back2);
+        assert_eq!(next, frame.len());
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        roundtrip(LogRecord::Begin { tid: Tid(7) });
+        roundtrip(LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(2),
+            before: Some(vec![1, 2, 3]),
+            after: Some(vec![4, 5]),
+        });
+        roundtrip(LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(2),
+            before: None,
+            after: Some(vec![]),
+        });
+        roundtrip(LogRecord::Update { tid: Tid(1), oid: Oid(2), before: Some(vec![9]), after: None });
+        roundtrip(LogRecord::Commit { tids: vec![Tid(1)] });
+        roundtrip(LogRecord::Commit { tids: vec![Tid(1), Tid(2), Tid(3)] });
+        roundtrip(LogRecord::Abort { tid: Tid(4) });
+        roundtrip(LogRecord::Delegate { from: Tid(1), to: Tid(2), obs: None });
+        roundtrip(LogRecord::Delegate {
+            from: Tid(1),
+            to: Tid(2),
+            obs: Some(vec![Oid(5), Oid(6)]),
+        });
+        roundtrip(LogRecord::Checkpoint);
+        roundtrip(LogRecord::Clr { oid: Oid(9), image: Some(vec![1, 2]) });
+        roundtrip(LogRecord::Clr { oid: Oid(9), image: None });
+    }
+
+    #[test]
+    fn torn_tail_is_clean_eof() {
+        let frame = LogRecord::Begin { tid: Tid(1) }.encode_frame();
+        // cut the frame short at every possible point: all must read as EOF
+        for cut in 0..frame.len() {
+            let r = LogRecord::decode_frame(&frame[..cut], 0).unwrap();
+            assert!(r.is_none(), "cut at {cut} should be torn-tail EOF");
+        }
+    }
+
+    #[test]
+    fn corrupt_body_is_an_error() {
+        let mut frame = LogRecord::Commit { tids: vec![Tid(1), Tid(2)] }.encode_frame();
+        let n = frame.len();
+        frame[n - 1] ^= 0xFF;
+        assert!(LogRecord::decode_frame(&frame, 0).is_err());
+    }
+
+    #[test]
+    fn sequential_frames() {
+        let mut buf = vec![];
+        let recs = vec![
+            LogRecord::Begin { tid: Tid(1) },
+            LogRecord::Update {
+                tid: Tid(1),
+                oid: Oid(9),
+                before: None,
+                after: Some(b"v1".to_vec()),
+            },
+            LogRecord::Commit { tids: vec![Tid(1)] },
+        ];
+        for r in &recs {
+            buf.extend_from_slice(&r.encode_frame());
+        }
+        let mut off = 0;
+        let mut out = vec![];
+        while let Some((r, next)) = LogRecord::decode_frame(&buf, off).unwrap() {
+            out.push(r);
+            off = next;
+        }
+        assert_eq!(out, recs);
+    }
+
+    #[test]
+    fn trailing_garbage_with_bad_checksum_errors() {
+        let mut buf = LogRecord::Checkpoint.encode_frame();
+        // a full-size but corrupt "record" after the good one
+        buf.extend_from_slice(&[5u8, 0, 0, 0]); // len = 5
+        buf.extend_from_slice(&[0u8; 8]); // bogus checksum
+        buf.extend_from_slice(&[1, 2, 3, 4, 5]); // body
+        let (_, off) = LogRecord::decode_frame(&buf, 0).unwrap().unwrap();
+        assert!(LogRecord::decode_frame(&buf, off).is_err());
+    }
+}

@@ -1,0 +1,494 @@
+//! Restart recovery from the write-ahead log.
+//!
+//! The paper logs physical before/after images and undoes an aborted
+//! transaction by installing before images (§4.2, `abort` step 2 — with the
+//! explicit caveat that later cooperative updates are lost). Restart
+//! recovery replays exactly that policy:
+//!
+//! 1. **Analysis** — scan the log once. Track, per transaction, the updates
+//!    it is *currently responsible for*; a `Delegate` record moves matching
+//!    updates from delegator to delegatee (this is what makes delegation
+//!    crash-safe). Collect the commit and abort sets.
+//! 2. **Redo** — reinstall every update's after image in LSN order,
+//!    reconstructing the pre-crash cache state.
+//! 3. **Undo** — for every *loser* (a transaction still responsible for
+//!    updates with neither a commit nor a completed logged abort), install
+//!    its before images in reverse LSN order — the runtime abort replayed.
+//!
+//! A runtime abort logs a **CLR** (compensation log record) for every undo
+//! step before its `Abort` record, so completed aborts replay through the
+//! redo pass in their original position and are *not* re-undone — a later
+//! committed overwrite of the same object survives recovery exactly as it
+//! survived at runtime.
+
+use crate::cache::ObjectCache;
+use crate::log::{LogManager, LogRecord};
+use crate::store::ObjectStore;
+use asset_common::{Lsn, Oid, Result, Tid};
+use std::collections::{HashMap, HashSet};
+
+/// Summary of a recovery pass.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Updates whose after images were reinstalled.
+    pub redone: usize,
+    /// Updates undone via before images.
+    pub undone: usize,
+    /// Transactions that committed.
+    pub winners: usize,
+    /// Transactions rolled back.
+    pub losers: usize,
+    /// Highest transaction id seen in the log (new tids must exceed it).
+    pub max_tid: u64,
+}
+
+/// One uncommitted update a transaction is currently responsible for.
+#[derive(Clone, Debug)]
+pub struct PendingUpdate {
+    /// Original position in the log (ordering key).
+    pub lsn: Lsn,
+    /// The updated object.
+    pub oid: Oid,
+    /// Before image (for undo).
+    pub before: Option<Vec<u8>>,
+    /// After image (for redo / log compaction).
+    pub after: Option<Vec<u8>>,
+}
+
+/// The outcome of the analysis pass over a log: who committed, who
+/// aborted, and which uncommitted updates each transaction is responsible
+/// for after all delegations are applied.
+#[derive(Default, Debug)]
+pub struct LogAnalysis {
+    /// tid → pending updates in LSN order, post-delegation.
+    pub pending: HashMap<Tid, Vec<PendingUpdate>>,
+    /// Committed transactions.
+    pub committed: HashSet<Tid>,
+    /// Transactions with a logged abort.
+    pub aborted: HashSet<Tid>,
+    /// Every update in log order (redo list), across all transactions.
+    pub redo: Vec<(Lsn, Oid, Option<Vec<u8>>)>,
+    /// Highest tid mentioned anywhere.
+    pub max_tid: u64,
+}
+
+/// Analysis pass (paper §4.2 bookkeeping, shared by restart recovery and
+/// log compaction).
+pub fn analyze(records: &[(Lsn, LogRecord)]) -> LogAnalysis {
+    let mut a = LogAnalysis::default();
+    for (lsn, rec) in records {
+        match rec {
+            LogRecord::Begin { tid } => {
+                a.max_tid = a.max_tid.max(tid.raw());
+            }
+            LogRecord::Update { tid, oid, before, after } => {
+                a.max_tid = a.max_tid.max(tid.raw());
+                a.pending.entry(*tid).or_default().push(PendingUpdate {
+                    lsn: *lsn,
+                    oid: *oid,
+                    before: before.clone(),
+                    after: after.clone(),
+                });
+                a.redo.push((*lsn, *oid, after.clone()));
+            }
+            LogRecord::Commit { tids } => {
+                for t in tids {
+                    a.max_tid = a.max_tid.max(t.raw());
+                    a.committed.insert(*t);
+                    // a committed transaction's pending updates are winners
+                    a.pending.remove(t);
+                }
+            }
+            LogRecord::Abort { tid } => {
+                a.max_tid = a.max_tid.max(tid.raw());
+                a.aborted.insert(*tid);
+                // the runtime abort logged a CLR for every undo step, so
+                // this transaction's rollback replays via the redo pass;
+                // it is not a loser and must not be re-undone (that would
+                // clobber later committed overwrites).
+                a.pending.remove(tid);
+            }
+            LogRecord::Delegate { from, to, obs } => {
+                a.max_tid = a.max_tid.max(from.raw().max(to.raw()));
+                let moved: Vec<PendingUpdate> = match a.pending.get_mut(from) {
+                    None => Vec::new(),
+                    Some(list) => match obs {
+                        None => std::mem::take(list),
+                        Some(set) => {
+                            let set: HashSet<Oid> = set.iter().copied().collect();
+                            let (take, keep): (Vec<_>, Vec<_>) =
+                                list.drain(..).partition(|u| set.contains(&u.oid));
+                            *list = keep;
+                            take
+                        }
+                    },
+                };
+                if !moved.is_empty() {
+                    let dst = a.pending.entry(*to).or_default();
+                    dst.extend(moved);
+                    dst.sort_by_key(|u| u.lsn);
+                }
+            }
+            LogRecord::Clr { oid, image } => {
+                // redo-only: replayed in order, never undone
+                a.redo.push((*lsn, *oid, image.clone()));
+            }
+            LogRecord::Checkpoint => {
+                // Checkpoint: everything settled at this point is already
+                // in the store. Analysis state resets; records re-logged by
+                // compaction for live transactions follow the checkpoint.
+                a.pending.clear();
+                a.committed.clear();
+                a.aborted.clear();
+                a.redo.clear();
+            }
+        }
+    }
+    a
+}
+
+/// Replay `log` into `cache`, then flush the cache to `store`.
+pub fn recover(log: &LogManager, cache: &ObjectCache, store: &ObjectStore) -> Result<RecoveryReport> {
+    let records = log.scan()?;
+    let mut report = RecoveryReport::default();
+
+    let analysis = analyze(&records);
+    let LogAnalysis { pending, committed, aborted: _aborted, redo, max_tid } = analysis;
+    report.max_tid = max_tid;
+
+    // --- Redo -------------------------------------------------------------
+    for (_, oid, after) in &redo {
+        cache.install(*oid, after.clone());
+        report.redone += 1;
+    }
+
+    // --- Undo -------------------------------------------------------------
+    // Losers: any transaction still responsible for updates and not in the
+    // committed set (including logged aborts: re-undo is idempotent).
+    let mut undo: Vec<PendingUpdate> = Vec::new();
+    let mut loser_set: HashSet<Tid> = HashSet::new();
+    for (tid, ups) in &pending {
+        if !committed.contains(tid) {
+            loser_set.insert(*tid);
+            undo.extend(ups.iter().cloned());
+        }
+    }
+    undo.sort_by_key(|u| std::cmp::Reverse(u.lsn));
+    for u in &undo {
+        cache.install(u.oid, u.before.clone());
+        report.undone += 1;
+    }
+
+    report.winners = committed.len();
+    report.losers = loser_set.len();
+
+    // --- Make it durable --------------------------------------------------
+    cache.flush(store)?;
+    store.flush()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heapfile::MemPageStore;
+    use std::sync::Arc;
+
+    fn setup() -> (LogManager, ObjectCache, ObjectStore) {
+        let log = LogManager::in_memory();
+        let cache = ObjectCache::new();
+        let store = ObjectStore::open(Arc::new(MemPageStore::new(512)), 16).unwrap();
+        (log, cache, store)
+    }
+
+    fn get(store: &ObjectStore, oid: Oid) -> Option<Vec<u8>> {
+        store.get(oid).unwrap()
+    }
+
+    #[test]
+    fn committed_updates_are_redone() {
+        let (log, cache, store) = setup();
+        log.append(&LogRecord::Begin { tid: Tid(1) }).unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(10),
+            before: None,
+            after: Some(b"v1".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(report.winners, 1);
+        assert_eq!(report.losers, 0);
+        assert_eq!(report.redone, 1);
+        assert_eq!(get(&store, Oid(10)).unwrap(), b"v1");
+        assert_eq!(report.max_tid, 1);
+    }
+
+    #[test]
+    fn uncommitted_updates_are_undone() {
+        let (log, cache, store) = setup();
+        store.put(Oid(10), b"orig").unwrap();
+        log.append(&LogRecord::Begin { tid: Tid(1) }).unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(10),
+            before: Some(b"orig".to_vec()),
+            after: Some(b"dirty".to_vec()),
+        })
+        .unwrap();
+        // crash: no commit record
+
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(report.losers, 1);
+        assert_eq!(get(&store, Oid(10)).unwrap(), b"orig");
+    }
+
+    #[test]
+    fn creation_by_loser_is_deleted() {
+        let (log, cache, store) = setup();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(5),
+            before: None,
+            after: Some(b"new".to_vec()),
+        })
+        .unwrap();
+        recover(&log, &cache, &store).unwrap();
+        assert_eq!(get(&store, Oid(5)), None);
+    }
+
+    #[test]
+    fn delegated_updates_follow_the_delegatee() {
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"orig1").unwrap();
+        store.put(Oid(2), b"orig2").unwrap();
+        // t1 updates both objects, delegates ob1 to t2; t2 commits, t1 does
+        // not. ob1's update must survive (t2 is responsible and committed),
+        // ob2's must be undone.
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"orig1".to_vec()),
+            after: Some(b"new1".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(2),
+            before: Some(b"orig2".to_vec()),
+            after: Some(b"new2".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Delegate {
+            from: Tid(1),
+            to: Tid(2),
+            obs: Some(vec![Oid(1)]),
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"new1");
+        assert_eq!(get(&store, Oid(2)).unwrap(), b"orig2");
+        assert_eq!(report.winners, 1);
+        assert_eq!(report.losers, 1);
+    }
+
+    #[test]
+    fn delegate_all_moves_everything() {
+        let (log, cache, store) = setup();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: None,
+            after: Some(b"a".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(2),
+            before: None,
+            after: Some(b"b".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Delegate { from: Tid(1), to: Tid(2), obs: None }).unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        recover(&log, &cache, &store).unwrap();
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"a");
+        assert_eq!(get(&store, Oid(2)).unwrap(), b"b");
+    }
+
+    #[test]
+    fn logged_abort_replays_via_clrs() {
+        // the runtime abort protocol: Update, then a CLR per undo step,
+        // then Abort — recovery replays the rollback in order and counts
+        // no loser
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"orig").unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"orig".to_vec()),
+            after: Some(b"x".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Clr { oid: Oid(1), image: Some(b"orig".to_vec()) }).unwrap();
+        log.append(&LogRecord::Abort { tid: Tid(1) }).unwrap();
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"orig");
+        assert_eq!(report.losers, 0, "a completed abort is not a loser");
+    }
+
+    #[test]
+    fn committed_overwrite_after_abort_survives_recovery() {
+        // the regression the CLR design exists for: t1 aborts (undo logged
+        // as CLR), then t2 commits an overwrite; recovery must keep t2's
+        // value rather than replaying t1's before image last
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"v0").unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"v0".to_vec()),
+            after: Some(b"t1".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Clr { oid: Oid(1), image: Some(b"v0".to_vec()) }).unwrap();
+        log.append(&LogRecord::Abort { tid: Tid(1) }).unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(2),
+            oid: Oid(1),
+            before: Some(b"v0".to_vec()),
+            after: Some(b"t2-committed".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        recover(&log, &cache, &store).unwrap();
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"t2-committed");
+    }
+
+    #[test]
+    fn crash_mid_abort_still_rolls_back() {
+        // some CLRs logged but no Abort record: the transaction is a loser
+        // and the undo pass finishes the rollback
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"a0").unwrap();
+        store.put(Oid(2), b"b0").unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"a0".to_vec()),
+            after: Some(b"a1".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(2),
+            before: Some(b"b0".to_vec()),
+            after: Some(b"b1".to_vec()),
+        })
+        .unwrap();
+        // runtime undid ob2 (newest first) and crashed before ob1's CLR
+        log.append(&LogRecord::Clr { oid: Oid(2), image: Some(b"b0".to_vec()) }).unwrap();
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(report.losers, 1);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"a0");
+        assert_eq!(get(&store, Oid(2)).unwrap(), b"b0");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"orig").unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"orig".to_vec()),
+            after: Some(b"committed".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(2),
+            oid: Oid(1),
+            before: Some(b"committed".to_vec()),
+            after: Some(b"uncommitted".to_vec()),
+        })
+        .unwrap();
+        let r1 = recover(&log, &cache, &store).unwrap();
+        let r2 = recover(&log, &ObjectCache::new(), &store).unwrap();
+        assert_eq!(r1.redone, r2.redone);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"committed");
+    }
+
+    #[test]
+    fn checkpoint_resets_analysis() {
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"settled").unwrap();
+        // pre-checkpoint garbage that must not be replayed
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"old".to_vec()),
+            after: Some(b"never".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Checkpoint).unwrap();
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(report.redone, 0);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"settled");
+    }
+
+    #[test]
+    fn interleaved_winner_and_loser_on_same_object() {
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"v0").unwrap();
+        // t1 (loser) writes v1 over v0; then t2 — cooperating via permit at
+        // runtime — writes v2 over v1 and commits. The paper's abort policy
+        // installs t1's before image, losing t2's update. Recovery must
+        // reproduce exactly that: final value v0.
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"v0".to_vec()),
+            after: Some(b"v1".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(2),
+            oid: Oid(1),
+            before: Some(b"v1".to_vec()),
+            after: Some(b"v2".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        recover(&log, &cache, &store).unwrap();
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"v0");
+    }
+
+    #[test]
+    fn group_commit_record_commits_all_members() {
+        let (log, cache, store) = setup();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: None,
+            after: Some(b"a".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(2),
+            oid: Oid(2),
+            before: None,
+            after: Some(b"b".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(1), Tid(2)] }).unwrap();
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(report.winners, 2);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"a");
+        assert_eq!(get(&store, Oid(2)).unwrap(), b"b");
+    }
+}

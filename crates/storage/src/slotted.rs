@@ -1,0 +1,455 @@
+//! Slotted-page layout for variable-length objects.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | header (24 B) | slot 0 | slot 1 | ...  ->   free   <- records|
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! * Header: magic (u32), page id (u32), slot count (u16), heap offset
+//!   (u16, start of the record heap growing down from the page end),
+//!   live bytes (u32, for compaction decisions), checksum (u64).
+//! * Slot (16 B): oid (u64), record offset (u16), record length (u16),
+//!   flags (u16: bit0 = live), pad (u16).
+//!
+//! Records are raw object payloads. Deleting marks the slot dead; the space
+//! is reclaimed by [`SlottedPage::compact`], which is invoked automatically
+//! when an insert would fail but enough dead space exists.
+
+use crate::page::{checksum, get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, Page, PageId};
+use asset_common::{AssetError, Oid, Result};
+
+const MAGIC: u32 = 0xA55E_7001;
+
+const H_MAGIC: usize = 0; // u32
+const H_PAGE_ID: usize = 4; // u32
+const H_SLOT_COUNT: usize = 8; // u16
+const H_HEAP_OFF: usize = 10; // u16
+const H_LIVE_BYTES: usize = 12; // u32
+const H_CHECKSUM: usize = 16; // u64
+const HEADER_SIZE: usize = 24;
+
+const SLOT_SIZE: usize = 16;
+const S_OID: usize = 0; // u64
+const S_OFF: usize = 8; // u16
+const S_LEN: usize = 10; // u16
+const S_FLAGS: usize = 12; // u16
+
+const FLAG_LIVE: u16 = 1;
+
+/// A view over a [`Page`] imposing the slotted layout.
+///
+/// The view owns the page; callers move pages in and out (the buffer pool
+/// hands out clones of frame contents under its own synchronization).
+pub struct SlottedPage {
+    page: Page,
+}
+
+/// Index of a slot within a page.
+pub type SlotId = u16;
+
+impl SlottedPage {
+    /// Format a fresh page.
+    pub fn format(mut page: Page, page_id: PageId) -> SlottedPage {
+        let size = page.size();
+        assert!(size >= 256, "page too small for slotted layout");
+        assert!(size - 1 <= u16::MAX as usize, "page too large for u16 offsets");
+        let buf = page.bytes_mut();
+        buf.fill(0);
+        put_u32(buf, H_MAGIC, MAGIC);
+        put_u32(buf, H_PAGE_ID, page_id);
+        put_u16(buf, H_SLOT_COUNT, 0);
+        // heap_off is the offset of the last free byte; records occupy
+        // [heap_off + 1, size). Empty page: heap_off = size - 1, which fits
+        // in u16 for pages up to 64 KiB (asserted above).
+        put_u16(buf, H_HEAP_OFF, (size - 1) as u16);
+        put_u32(buf, H_LIVE_BYTES, 0);
+        let mut sp = SlottedPage { page };
+        sp.update_checksum();
+        sp
+    }
+
+    /// Interpret an existing buffer as a slotted page, verifying magic and
+    /// checksum.
+    pub fn open(page: Page) -> Result<SlottedPage> {
+        let buf = page.bytes();
+        if buf.len() < HEADER_SIZE {
+            return Err(AssetError::Corrupt("page smaller than header".into()));
+        }
+        if get_u32(buf, H_MAGIC) != MAGIC {
+            return Err(AssetError::Corrupt("bad page magic".into()));
+        }
+        let stored = get_u64(buf, H_CHECKSUM);
+        let actual = Self::compute_checksum(buf);
+        if stored != actual {
+            return Err(AssetError::Corrupt(format!(
+                "page {} checksum mismatch",
+                get_u32(buf, H_PAGE_ID)
+            )));
+        }
+        Ok(SlottedPage { page })
+    }
+
+    /// Is this buffer a formatted slotted page (magic check only)?
+    pub fn is_formatted(buf: &[u8]) -> bool {
+        buf.len() >= HEADER_SIZE && get_u32(buf, H_MAGIC) == MAGIC
+    }
+
+    fn compute_checksum(buf: &[u8]) -> u64 {
+        // checksum covers everything except the checksum field itself
+        let mut h = checksum(&buf[..H_CHECKSUM]);
+        h ^= checksum(&buf[H_CHECKSUM + 8..]).rotate_left(17);
+        h
+    }
+
+    fn update_checksum(&mut self) {
+        let h = Self::compute_checksum(self.page.bytes());
+        put_u64(self.page.bytes_mut(), H_CHECKSUM, h);
+    }
+
+    /// Yield the underlying page (checksum refreshed).
+    pub fn into_page(mut self) -> Page {
+        self.update_checksum();
+        self.page
+    }
+
+    /// The page id recorded in the header.
+    pub fn page_id(&self) -> PageId {
+        get_u32(self.page.bytes(), H_PAGE_ID)
+    }
+
+    /// Number of slots (live and dead).
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.page.bytes(), H_SLOT_COUNT)
+    }
+
+    fn heap_off(&self) -> usize {
+        // stored as "offset of last free byte"; records occupy
+        // [heap_off+1 .. size)
+        get_u16(self.page.bytes(), H_HEAP_OFF) as usize
+    }
+
+    fn set_heap_off(&mut self, off: usize) {
+        put_u16(self.page.bytes_mut(), H_HEAP_OFF, off as u16);
+    }
+
+    fn live_bytes(&self) -> u32 {
+        get_u32(self.page.bytes(), H_LIVE_BYTES)
+    }
+
+    fn set_live_bytes(&mut self, v: u32) {
+        put_u32(self.page.bytes_mut(), H_LIVE_BYTES, v);
+    }
+
+    fn slot_base(slot: SlotId) -> usize {
+        HEADER_SIZE + slot as usize * SLOT_SIZE
+    }
+
+    fn slot_oid(&self, slot: SlotId) -> Oid {
+        Oid(get_u64(self.page.bytes(), Self::slot_base(slot) + S_OID))
+    }
+
+    fn slot_off(&self, slot: SlotId) -> usize {
+        get_u16(self.page.bytes(), Self::slot_base(slot) + S_OFF) as usize
+    }
+
+    fn slot_len(&self, slot: SlotId) -> usize {
+        get_u16(self.page.bytes(), Self::slot_base(slot) + S_LEN) as usize
+    }
+
+    fn slot_live(&self, slot: SlotId) -> bool {
+        get_u16(self.page.bytes(), Self::slot_base(slot) + S_FLAGS) & FLAG_LIVE != 0
+    }
+
+    fn write_slot(&mut self, slot: SlotId, oid: Oid, off: usize, len: usize, live: bool) {
+        let base = Self::slot_base(slot);
+        let buf = self.page.bytes_mut();
+        put_u64(buf, base + S_OID, oid.raw());
+        put_u16(buf, base + S_OFF, off as u16);
+        put_u16(buf, base + S_LEN, len as u16);
+        put_u16(buf, base + S_FLAGS, if live { FLAG_LIVE } else { 0 });
+        put_u16(buf, base + S_FLAGS + 2, 0);
+    }
+
+    /// Contiguous free space between the slot array and the record heap.
+    pub fn contiguous_free(&self) -> usize {
+        let slots_end = Self::slot_base(self.slot_count());
+        let heap_start = self.heap_off() + 1;
+        heap_start.saturating_sub(slots_end)
+    }
+
+    /// Free space counting dead records reclaimable by compaction
+    /// (but not dead slot entries, which are reused in place).
+    pub fn usable_free(&self) -> usize {
+        let size = self.page.size();
+        let slots_end = Self::slot_base(self.slot_count());
+        let live = self.live_bytes() as usize;
+        (size - slots_end).saturating_sub(live)
+    }
+
+    /// The maximum record length this page could ever hold (single record,
+    /// empty page).
+    pub fn max_record_len(page_size: usize) -> usize {
+        (page_size - HEADER_SIZE - SLOT_SIZE).min(u16::MAX as usize)
+    }
+
+    fn find_dead_slot(&self) -> Option<SlotId> {
+        (0..self.slot_count()).find(|&s| !self.slot_live(s))
+    }
+
+    /// Insert `bytes` as the record for `oid`. Returns the slot id, or
+    /// `None` if the page cannot fit the record even after compaction.
+    /// `oid` must not already live on this page (the store enforces that).
+    pub fn insert(&mut self, oid: Oid, bytes: &[u8]) -> Option<SlotId> {
+        if bytes.len() > u16::MAX as usize {
+            return None;
+        }
+        let reuse = self.find_dead_slot();
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT_SIZE };
+        if self.contiguous_free() < bytes.len() + slot_cost {
+            if self.usable_free() >= bytes.len() + slot_cost {
+                self.compact();
+            }
+            if self.contiguous_free() < bytes.len() + slot_cost {
+                return None;
+            }
+        }
+        let heap_off = self.heap_off();
+        let new_heap_off = heap_off - bytes.len();
+        let rec_start = new_heap_off + 1;
+        self.page.bytes_mut()[rec_start..rec_start + bytes.len()].copy_from_slice(bytes);
+        self.set_heap_off(new_heap_off);
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                put_u16(self.page.bytes_mut(), H_SLOT_COUNT, s + 1);
+                s
+            }
+        };
+        self.write_slot(slot, oid, rec_start, bytes.len(), true);
+        self.set_live_bytes(self.live_bytes() + bytes.len() as u32);
+        self.update_checksum();
+        Some(slot)
+    }
+
+    /// Read the record in `slot`. Returns `None` for a dead or out-of-range
+    /// slot.
+    pub fn get(&self, slot: SlotId) -> Option<(Oid, &[u8])> {
+        if slot >= self.slot_count() || !self.slot_live(slot) {
+            return None;
+        }
+        let off = self.slot_off(slot);
+        let len = self.slot_len(slot);
+        Some((self.slot_oid(slot), &self.page.bytes()[off..off + len]))
+    }
+
+    /// Overwrite the record in `slot` with `bytes`.
+    ///
+    /// Succeeds in place when the new payload is no longer than the old;
+    /// otherwise deletes and re-inserts within the page if space allows.
+    /// Returns the (possibly new) slot, or `None` if the page cannot hold
+    /// the new payload (the caller must relocate the object).
+    pub fn update(&mut self, slot: SlotId, bytes: &[u8]) -> Option<SlotId> {
+        if slot >= self.slot_count() || !self.slot_live(slot) {
+            return None;
+        }
+        let old_len = self.slot_len(slot);
+        let oid = self.slot_oid(slot);
+        if bytes.len() <= old_len {
+            let off = self.slot_off(slot);
+            self.page.bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
+            self.write_slot(slot, oid, off, bytes.len(), true);
+            self.set_live_bytes(self.live_bytes() - (old_len - bytes.len()) as u32);
+            self.update_checksum();
+            Some(slot)
+        } else {
+            self.delete(slot);
+            self.insert(oid, bytes)
+        }
+    }
+
+    /// Mark `slot` dead. Space is reclaimed lazily by compaction.
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.slot_count() || !self.slot_live(slot) {
+            return false;
+        }
+        let len = self.slot_len(slot);
+        let oid = self.slot_oid(slot);
+        let off = self.slot_off(slot);
+        self.write_slot(slot, oid, off, len, false);
+        self.set_live_bytes(self.live_bytes() - len as u32);
+        self.update_checksum();
+        true
+    }
+
+    /// Rewrite the record heap so all live records are contiguous at the
+    /// end of the page, maximizing contiguous free space.
+    pub fn compact(&mut self) {
+        let size = self.page.size();
+        let count = self.slot_count();
+        // Collect live records (slot, bytes) — copies; pages are small.
+        let mut live: Vec<(SlotId, Oid, Vec<u8>)> = Vec::new();
+        for s in 0..count {
+            if self.slot_live(s) {
+                let off = self.slot_off(s);
+                let len = self.slot_len(s);
+                live.push((s, self.slot_oid(s), self.page.bytes()[off..off + len].to_vec()));
+            }
+        }
+        let mut write_end = size; // exclusive
+        for (s, oid, bytes) in &live {
+            let start = write_end - bytes.len();
+            self.page.bytes_mut()[start..write_end].copy_from_slice(bytes);
+            self.write_slot(*s, *oid, start, bytes.len(), true);
+            write_end = start;
+        }
+        self.set_heap_off(write_end - 1);
+        self.update_checksum();
+    }
+
+    /// Iterate over `(slot, oid, record)` for all live slots.
+    pub fn live_records(&self) -> impl Iterator<Item = (SlotId, Oid, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|(oid, b)| (s, oid, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(size: usize) -> SlottedPage {
+        SlottedPage::format(Page::zeroed(size), 7)
+    }
+
+    #[test]
+    fn format_and_open_roundtrip() {
+        let sp = fresh(1024);
+        assert_eq!(sp.page_id(), 7);
+        assert_eq!(sp.slot_count(), 0);
+        let page = sp.into_page();
+        let sp2 = SlottedPage::open(page).unwrap();
+        assert_eq!(sp2.page_id(), 7);
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let err = SlottedPage::open(Page::zeroed(1024));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn open_rejects_bit_flip() {
+        let sp = fresh(1024);
+        let mut page = sp.into_page();
+        let n = page.size();
+        page.bytes_mut()[n - 3] ^= 0x40;
+        assert!(SlottedPage::open(page).is_err());
+    }
+
+    #[test]
+    fn insert_get() {
+        let mut sp = fresh(1024);
+        let s = sp.insert(Oid(1), b"hello").unwrap();
+        let (oid, bytes) = sp.get(s).unwrap();
+        assert_eq!(oid, Oid(1));
+        assert_eq!(bytes, b"hello");
+    }
+
+    #[test]
+    fn multiple_inserts_distinct_slots() {
+        let mut sp = fresh(1024);
+        let a = sp.insert(Oid(1), b"aaaa").unwrap();
+        let b = sp.insert(Oid(2), b"bbbbbb").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(sp.get(a).unwrap().1, b"aaaa");
+        assert_eq!(sp.get(b).unwrap().1, b"bbbbbb");
+    }
+
+    #[test]
+    fn delete_then_slot_reuse() {
+        let mut sp = fresh(1024);
+        let a = sp.insert(Oid(1), b"aaaa").unwrap();
+        assert!(sp.delete(a));
+        assert!(sp.get(a).is_none());
+        assert!(!sp.delete(a), "double delete is a no-op");
+        let b = sp.insert(Oid(2), b"bb").unwrap();
+        assert_eq!(a, b, "dead slot is reused");
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut sp = fresh(1024);
+        let s = sp.insert(Oid(1), b"0123456789").unwrap();
+        // shrink in place
+        let s2 = sp.update(s, b"abc").unwrap();
+        assert_eq!(s2, s);
+        assert_eq!(sp.get(s).unwrap().1, b"abc");
+        // grow: relocates within page
+        let s3 = sp.update(s2, b"ABCDEFGHIJKLMNOP").unwrap();
+        assert_eq!(sp.get(s3).unwrap().1, b"ABCDEFGHIJKLMNOP");
+    }
+
+    #[test]
+    fn fill_until_full_then_compact_recovers_space() {
+        let mut sp = fresh(512);
+        let payload = [0xABu8; 40];
+        let mut slots = vec![];
+        while let Some(s) = sp.insert(Oid(slots.len() as u64 + 1), &payload) {
+            slots.push(s);
+        }
+        assert!(slots.len() >= 5);
+        // delete every other record; dead space is fragmented
+        for (i, s) in slots.iter().enumerate() {
+            if i % 2 == 0 {
+                sp.delete(*s);
+            }
+        }
+        // a larger record fits only after compaction, which insert() does
+        // automatically
+        let big = vec![0xCDu8; 60];
+        assert!(sp.insert(Oid(999), &big).is_some());
+        let rec = sp
+            .live_records()
+            .find(|(_, oid, _)| *oid == Oid(999))
+            .map(|(_, _, b)| b.to_vec())
+            .unwrap();
+        assert_eq!(rec, big);
+    }
+
+    #[test]
+    fn live_records_iterates_only_live() {
+        let mut sp = fresh(1024);
+        let a = sp.insert(Oid(1), b"a").unwrap();
+        let _b = sp.insert(Oid(2), b"b").unwrap();
+        sp.delete(a);
+        let oids: Vec<Oid> = sp.live_records().map(|(_, o, _)| o).collect();
+        assert_eq!(oids, vec![Oid(2)]);
+    }
+
+    #[test]
+    fn reject_oversized() {
+        let mut sp = fresh(512);
+        assert!(sp.insert(Oid(1), &vec![0u8; 600]).is_none());
+    }
+
+    #[test]
+    fn checksum_survives_roundtrip_after_mutation() {
+        let mut sp = fresh(1024);
+        sp.insert(Oid(5), b"payload").unwrap();
+        sp.delete(0);
+        sp.insert(Oid(6), b"other").unwrap();
+        let page = sp.into_page();
+        let sp2 = SlottedPage::open(page).unwrap();
+        let oids: Vec<Oid> = sp2.live_records().map(|(_, o, _)| o).collect();
+        assert_eq!(oids, vec![Oid(6)]);
+    }
+
+    #[test]
+    fn max_record_len_fits() {
+        let n = SlottedPage::max_record_len(512);
+        let mut sp = fresh(512);
+        assert!(sp.insert(Oid(1), &vec![1u8; n]).is_some());
+        assert!(sp.insert(Oid(2), b"x").is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! Sagas (§3.1.6) on a banking workload: a multi-hop payment pipeline.
+//!
+//! ```sh
+//! cargo run --example banking_sagas
+//! ```
+//!
+//! A "payment" saga debits the payer, credits an escrow ledger, pays a
+//! processing fee, and finally credits the payee. Each hop is an
+//! independent atomic transaction with a compensating transaction. When a
+//! later hop fails (payee account frozen), the committed prefix is
+//! compensated in reverse order — and an invariant checker shows that the
+//! total money supply is conserved through success, failure, and
+//! compensation alike.
+
+use asset::models::{Saga, SagaOutcome};
+use asset::{Database, Oid, TxnCtx};
+
+fn balance(db: &Database, acct: Oid) -> i64 {
+    i64::from_le_bytes(db.peek(acct).unwrap().unwrap().try_into().unwrap())
+}
+
+fn transfer(from: Oid, to: Oid, amount: i64) -> impl Fn(&TxnCtx) -> asset::Result<()> + Send + Sync
+{
+    move |ctx: &TxnCtx| {
+        let from_bal = i64::from_le_bytes(ctx.read(from)?.unwrap().try_into().unwrap());
+        if from_bal < amount {
+            return ctx.abort_self(); // insufficient funds
+        }
+        ctx.write(from, (from_bal - amount).to_le_bytes().to_vec())?;
+        let to_bal = i64::from_le_bytes(ctx.read(to)?.unwrap().try_into().unwrap());
+        ctx.write(to, (to_bal + amount).to_le_bytes().to_vec())
+    }
+}
+
+/// A hop that fails when the destination account is "frozen" (negative
+/// sentinel balance).
+fn transfer_checked(
+    from: Oid,
+    to: Oid,
+    amount: i64,
+) -> impl Fn(&TxnCtx) -> asset::Result<()> + Send + Sync {
+    move |ctx: &TxnCtx| {
+        let to_bal = i64::from_le_bytes(ctx.read(to)?.unwrap().try_into().unwrap());
+        if to_bal < 0 {
+            return ctx.abort_self(); // frozen account
+        }
+        transfer(from, to, amount)(ctx)
+    }
+}
+
+fn payment_saga(
+    payer: Oid,
+    escrow: Oid,
+    fees: Oid,
+    payee: Oid,
+    amount: i64,
+    fee: i64,
+) -> Saga {
+    Saga::new()
+        .step("debit-payer", transfer(payer, escrow, amount), transfer(escrow, payer, amount))
+        .step("charge-fee", transfer(escrow, fees, fee), transfer(fees, escrow, fee))
+        .final_step("credit-payee", transfer_checked(escrow, payee, amount - fee))
+}
+
+fn main() -> asset::Result<()> {
+    println!("== banking sagas ==\n");
+    let db = Database::in_memory();
+
+    // accounts: alice pays bob through an escrow ledger
+    let mk = |initial: i64| -> Oid {
+        let oid = db.new_oid();
+        assert!(db
+            .run(move |ctx| ctx.write(oid, initial.to_le_bytes().to_vec()))
+            .unwrap());
+        oid
+    };
+    let alice = mk(1_000);
+    let bob = mk(200);
+    let escrow = mk(0);
+    let fees = mk(0);
+    let money_supply =
+        |db: &Database| balance(db, alice) + balance(db, bob) + balance(db, escrow) + balance(db, fees);
+    let supply0 = money_supply(&db);
+    println!("initial: alice={} bob={} (supply {supply0})\n", balance(&db, alice), balance(&db, bob));
+
+    // -- a successful payment ------------------------------------------
+    println!("-- alice pays bob 300 (fee 10)");
+    let (outcome, trace) = payment_saga(alice, escrow, fees, bob, 300, 10).run(&db)?;
+    println!("   outcome: {outcome:?}");
+    println!("   trace:   {}", trace.events.join(" -> "));
+    println!(
+        "   alice={} bob={} escrow={} fees={} (supply {})\n",
+        balance(&db, alice),
+        balance(&db, bob),
+        balance(&db, escrow),
+        balance(&db, fees),
+        money_supply(&db)
+    );
+    assert_eq!(outcome, SagaOutcome::Committed);
+    assert_eq!(money_supply(&db), supply0, "money conserved");
+
+    // -- a payment that fails mid-flight ---------------------------------
+    println!("-- bob's account is frozen; alice tries to pay 100");
+    let frozen_bob = db.new_oid();
+    assert!(db.run(move |ctx| ctx.write(frozen_bob, (-1i64).to_le_bytes().to_vec()))?);
+    let (outcome, trace) = payment_saga(alice, escrow, fees, frozen_bob, 100, 10).run(&db)?;
+    println!("   outcome: {outcome:?}");
+    println!("   trace:   {}", trace.events.join(" -> "));
+    println!(
+        "   alice={} escrow={} fees={} (supply {})\n",
+        balance(&db, alice),
+        balance(&db, escrow),
+        balance(&db, fees),
+        money_supply(&db)
+    );
+    assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 2 });
+    assert_eq!(balance(&db, escrow), 0, "escrow drained back");
+    assert_eq!(balance(&db, fees), 10, "this payment's fee refunded; the first payment's fee stays");
+    assert_eq!(money_supply(&db), supply0, "money conserved through compensation");
+
+    // -- insufficient funds fails at step 0: nothing to compensate -------
+    println!("-- alice tries to pay 10,000 (insufficient funds)");
+    let (outcome, trace) = payment_saga(alice, escrow, fees, bob, 10_000, 10).run(&db)?;
+    println!("   outcome: {outcome:?}");
+    println!("   trace:   {:?} (empty: first hop failed)\n", trace.events);
+    assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 0 });
+
+    // -- many sagas back to back: supply invariant holds -----------------
+    println!("-- 50 payments, every 7th to the frozen account");
+    let mut ok = 0;
+    let mut compensated = 0;
+    for i in 0..50 {
+        let dest = if i % 7 == 0 { frozen_bob } else { bob };
+        let (outcome, _) = payment_saga(alice, escrow, fees, dest, 5, 1).run(&db)?;
+        match outcome {
+            SagaOutcome::Committed => ok += 1,
+            SagaOutcome::Compensated { .. } => compensated += 1,
+        }
+    }
+    println!("   {ok} committed, {compensated} compensated");
+    println!(
+        "   alice={} bob={} escrow={} fees={}",
+        balance(&db, alice),
+        balance(&db, bob),
+        balance(&db, escrow),
+        balance(&db, fees)
+    );
+    assert_eq!(balance(&db, escrow), 0, "no money stuck in escrow");
+    Ok(())
+}

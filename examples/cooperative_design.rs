@@ -1,0 +1,114 @@
+//! Cooperating transactions (§3.2.1): a CAD-style design session.
+//!
+//! ```sh
+//! cargo run --example cooperative_design
+//! ```
+//!
+//! Two "designers" — long-lived transactions — take turns editing the same
+//! design object. Under strict two-phase locking the second designer would
+//! block until the first committed; with ASSET's `permit` ping-pong they
+//! interleave freely, and a commit dependency ensures the reviewer cannot
+//! commit before the author terminates. A third run shows the group-commit
+//! coupling: the session's changes land atomically or not at all.
+
+use asset::models::{CoopSession, Coupling};
+use asset::{Database, ObSet, TxnCtx};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Append a named edit to the design object when it is our turn.
+fn designer(
+    db: &Database,
+    design: asset::Oid,
+    turn: Arc<AtomicUsize>,
+    my_idx: usize,
+    edits: &'static [&'static str],
+) -> asset::Tid {
+    db.initiate(move |ctx: &TxnCtx| {
+        for (i, edit) in edits.iter().enumerate() {
+            // wait for our turn (application-level protocol: permits allow
+            // the interleaving, the application chooses the choreography)
+            while turn.load(Ordering::SeqCst) % 2 != my_idx {
+                std::thread::yield_now();
+            }
+            ctx.update(design, |cur| {
+                let mut text = String::from_utf8(cur.unwrap_or_default()).unwrap();
+                if !text.is_empty() {
+                    text.push('\n');
+                }
+                text.push_str(edit);
+                text.into_bytes()
+            })?;
+            println!("   designer {my_idx} applied edit {}: {edit:?}", i + 1);
+            turn.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(())
+    })
+    .unwrap()
+}
+
+fn main() -> asset::Result<()> {
+    println!("== cooperative design session ==\n");
+    let db = Database::in_memory();
+    let design = db.new_oid();
+    assert!(db.run(move |ctx| ctx.write(design, Vec::new()))?);
+
+    println!("-- ordered coupling (CD): author first, reviewer second");
+    let turn = Arc::new(AtomicUsize::new(0));
+    let author = designer(
+        &db,
+        design,
+        Arc::clone(&turn),
+        0,
+        &["outline the floor plan", "place the load-bearing walls", "route the plumbing"],
+    );
+    let reviewer = designer(
+        &db,
+        design,
+        Arc::clone(&turn),
+        1,
+        &["annotate: widen hallway", "annotate: move outlet", "sign off"],
+    );
+    let session =
+        CoopSession::establish(&db, author, reviewer, ObSet::one(design), Coupling::Ordered)?;
+    db.begin_many(&[session.leader, session.follower])?;
+    assert!(db.commit(author)?, "author commits");
+    assert!(db.commit(reviewer)?, "reviewer commits after (CD ordering)");
+    let text = String::from_utf8(db.peek(design)?.unwrap()).unwrap();
+    println!("\n   final design after both commits:\n{}", indent(&text));
+
+    println!("\n-- mutual coupling (GC): the session is all-or-nothing");
+    let db = Database::in_memory();
+    let design = db.new_oid();
+    assert!(db.run(move |ctx| ctx.write(design, b"v0: approved baseline".to_vec()))?);
+    let t1 = db.initiate(move |ctx: &TxnCtx| {
+        ctx.update(design, |cur| {
+            let mut v = cur.unwrap();
+            v.extend_from_slice(b"\nv1: experimental change");
+            v
+        })
+    })?;
+    let t2 = db.initiate(move |ctx: &TxnCtx| {
+        ctx.update(design, |cur| {
+            let mut v = cur.unwrap();
+            v.extend_from_slice(b"\nv1-review: REJECTED");
+            v
+        })?;
+        // the reviewer rejects: abort, dooming the whole session
+        ctx.abort_self::<()>().map(|_| ())
+    })?;
+    CoopSession::establish(&db, t1, t2, ObSet::one(design), Coupling::Mutual)?;
+    db.begin(t1)?;
+    db.wait(t1)?;
+    db.begin(t2)?;
+    let committed = db.commit(t1)?;
+    println!("   session committed? {committed}");
+    let text = String::from_utf8(db.peek(design)?.unwrap()).unwrap();
+    println!("   design object after the rejected session:\n{}", indent(&text));
+    assert!(!committed, "GC coupling took both down");
+    Ok(())
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("      | {l}")).collect::<Vec<_>>().join("\n")
+}

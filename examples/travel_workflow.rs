@@ -1,0 +1,90 @@
+//! The paper's appendix workflow, end to end: person X books a trip to a
+//! conference — a flight (Delta ≻ United ≻ American), the hotel Equator,
+//! and optionally a car (National and Avis raced in parallel; the first to
+//! complete wins, the other is aborted).
+//!
+//! ```sh
+//! cargo run --example travel_workflow
+//! ```
+//!
+//! Runs the activity against four inventory scenarios and prints what the
+//! workflow engine decided in each.
+
+use asset::models::workflow::travel::{run_x_conference, TravelWorld};
+use asset::models::WorkflowOutcome;
+use asset::Database;
+
+fn describe(db: &Database, world: &TravelWorld, label: &str) -> asset::Result<()> {
+    println!("-- scenario: {label}");
+    let (outcome, results) = run_x_conference(db, world)?;
+    for r in &results {
+        match (&r.chosen, r.succeeded) {
+            (Some(branch), _) => println!("   step {:<8} -> reserved with {branch}", r.name),
+            (None, _) if !r.succeeded => println!("   step {:<8} -> unavailable", r.name),
+            _ => {}
+        }
+    }
+    match outcome {
+        WorkflowOutcome::Completed => println!("   ACTIVITY SUCCEEDED\n"),
+        WorkflowOutcome::Failed { failed_step } => {
+            println!(
+                "   ACTIVITY FAILED at step {failed_step}; committed reservations compensated\n"
+            )
+        }
+    }
+    println!(
+        "   inventory now: Delta={} United={} American={} Equator={} National={} Avis={}\n",
+        world.remaining(db, world.flights[0].1),
+        world.remaining(db, world.flights[1].1),
+        world.remaining(db, world.flights[2].1),
+        world.remaining(db, world.hotel.1),
+        world.remaining(db, world.cars[0].1),
+        world.remaining(db, world.cars[1].1),
+    );
+    Ok(())
+}
+
+fn main() -> asset::Result<()> {
+    println!("== X_conference: the ASSET appendix workflow ==\n");
+
+    // Scenario 1: plenty of everything — Delta wins, a car is rented.
+    let db = Database::in_memory();
+    let world = TravelWorld::setup(&db, 3, 3, 3, 3, 2, 2)?;
+    describe(&db, &world, "everything available")?;
+
+    // Scenario 2: Delta and United sold out — falls through to American.
+    let db = Database::in_memory();
+    let world = TravelWorld::setup(&db, 0, 0, 3, 3, 2, 2)?;
+    describe(&db, &world, "only American has seats")?;
+
+    // Scenario 3: hotel full — the committed flight is compensated.
+    let db = Database::in_memory();
+    let world = TravelWorld::setup(&db, 3, 3, 3, 0, 2, 2)?;
+    describe(&db, &world, "hotel Equator is full")?;
+
+    // Scenario 4: no cars — X takes public transportation; trip proceeds.
+    let db = Database::in_memory();
+    let world = TravelWorld::setup(&db, 3, 3, 3, 3, 0, 0)?;
+    describe(&db, &world, "no rental cars")?;
+
+    // Scenario 5: many attendees drain the inventory.
+    println!("-- scenario: 5 attendees, 3 hotel rooms");
+    let db = Database::in_memory();
+    let world = TravelWorld::setup(&db, 2, 2, 2, 3, 2, 2)?;
+    let mut booked = 0;
+    for i in 1..=5 {
+        let (outcome, results) = run_x_conference(&db, &world)?;
+        let flight = results[0].chosen.clone().unwrap_or_else(|| "-".into());
+        match outcome {
+            WorkflowOutcome::Completed => {
+                booked += 1;
+                println!("   attendee {i}: booked (flight {flight})");
+            }
+            WorkflowOutcome::Failed { failed_step } => {
+                println!("   attendee {i}: failed at step {failed_step}");
+            }
+        }
+    }
+    println!("   {booked}/5 attendees booked; hotel rooms left: {}", world.remaining(&db, world.hotel.1));
+    Ok(())
+}
