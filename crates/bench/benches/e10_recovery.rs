@@ -65,7 +65,9 @@ fn bench_recovery(c: &mut Criterion) {
             let oids = setup_counters(&db, 32, 0);
             for i in 0..txns {
                 let oid = oids[i % oids.len()];
-                assert!(db.run(move |ctx| ctx.write(oid, enc_i64(i as i64))).unwrap());
+                assert!(db
+                    .run(move |ctx| ctx.write(oid, enc_i64(i as i64)))
+                    .unwrap());
                 if i % 256 == 255 {
                     db.retire_terminated();
                 }

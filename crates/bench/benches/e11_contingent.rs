@@ -30,9 +30,7 @@ fn bench_contingent(c: &mut Criterion) {
                                     ctx.abort_self::<()>().map(|_| ())
                                 }
                             })
-                                as Box<
-                                    dyn FnOnce(&TxnCtx) -> asset_common::Result<()> + Send,
-                                >
+                                as Box<dyn FnOnce(&TxnCtx) -> asset_common::Result<()> + Send>
                         })
                         .collect();
                     assert_eq!(run_contingent(&db, alternatives).unwrap(), Some(winner));

@@ -2,10 +2,11 @@
 //! the permit-suspend-regrant cycle compared with uncontended and
 //! blocked-handoff locking.
 
-use asset_bench::workload::{enc_i64, setup_counters};
-use asset_common::{ObSet, OpSet};
+use asset_bench::workload::{enc_i64, parallel_time, setup_counters};
+use asset_common::{ObSet, Oid, OpSet, Tid};
 use asset_core::Database;
-use criterion::{criterion_group, criterion_main, Criterion};
+use asset_lock::LockTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_permits(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2_permits");
@@ -21,8 +22,10 @@ fn bench_permits(c: &mut Criterion) {
         // two idle holders that never complete (they only lend identity)
         let t1 = db.initiate(|_| Ok(())).unwrap();
         let t2 = db.initiate(|_| Ok(())).unwrap();
-        db.permit(t1, Some(t2), ObSet::one(oid), OpSet::ALL).unwrap();
-        db.permit(t2, Some(t1), ObSet::one(oid), OpSet::ALL).unwrap();
+        db.permit(t1, Some(t2), ObSet::one(oid), OpSet::ALL)
+            .unwrap();
+        db.permit(t2, Some(t1), ObSet::one(oid), OpSet::ALL)
+            .unwrap();
         // seed: t1 takes the lock
         db.locks()
             .lock(t1, oid, asset_common::Operation::Write, None)
@@ -54,9 +57,45 @@ fn bench_permits(c: &mut Criterion) {
         let t1 = db.initiate(|_| Ok(())).unwrap();
         let t2 = db.initiate(|_| Ok(())).unwrap();
         b.iter(|| {
-            db.permit(t1, Some(t2), ObSet::one(oid), OpSet::ALL).unwrap();
+            db.permit(t1, Some(t2), ObSet::one(oid), OpSet::ALL)
+                .unwrap();
         });
     });
+
+    // permit grants from disjoint grantors, sharded sweep: each thread's
+    // single-object permits route to that object's stripe, so grants scale
+    // with the shard count instead of serializing on one table mutex
+    for shards in [1usize, 0] {
+        let label = if shards == 1 { "shards1" } else { "shardsD" };
+        for threads in [1usize, 2, 4, 8, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("permit_grant_{label}"), threads),
+                &threads,
+                |b, &threads| {
+                    let locks = LockTable::with_shards(shards);
+                    b.iter_custom(|iters| {
+                        parallel_time(threads, |i| {
+                            let base = (i as u64 + 1) << 32;
+                            for n in 0..iters {
+                                locks.permit(
+                                    Tid(base + 1),
+                                    Some(Tid(base + 2)),
+                                    ObSet::one(Oid(base + n % 64)),
+                                    OpSet::ALL,
+                                );
+                                if n % 64 == 63 {
+                                    // drop accumulated permits so the table
+                                    // stays bounded across iterations
+                                    locks.release_all(Tid(base + 1));
+                                }
+                            }
+                            locks.release_all(Tid(base + 1));
+                        })
+                    });
+                },
+            );
+        }
+    }
 
     g.finish();
 }

@@ -8,7 +8,9 @@ use asset_models::{required_subtransaction, run_atomic};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn descend(ctx: &TxnCtx, oids: &[Oid]) -> Result<()> {
-    let Some((first, rest)) = oids.split_first() else { return Ok(()) };
+    let Some((first, rest)) = oids.split_first() else {
+        return Ok(());
+    };
     let first = *first;
     let rest = rest.to_vec();
     required_subtransaction(ctx, move |c| {
@@ -51,22 +53,26 @@ fn bench_nested(c: &mut Criterion) {
     }
 
     for fanout in [2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("nested_fanout", fanout), &fanout, |b, &f| {
-            let db = Database::in_memory();
-            let oids = setup_counters(&db, f, 0);
-            b.iter(|| {
-                let o = oids.clone();
-                assert!(run_atomic(&db, move |ctx| {
-                    for oid in &o {
-                        let oid = *oid;
-                        required_subtransaction(ctx, move |c| c.write(oid, enc_i64(1)))?;
-                    }
-                    Ok(())
-                })
-                .unwrap());
-                db.retire_terminated();
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nested_fanout", fanout),
+            &fanout,
+            |b, &f| {
+                let db = Database::in_memory();
+                let oids = setup_counters(&db, f, 0);
+                b.iter(|| {
+                    let o = oids.clone();
+                    assert!(run_atomic(&db, move |ctx| {
+                        for oid in &o {
+                            let oid = *oid;
+                            required_subtransaction(ctx, move |c| c.write(oid, enc_i64(1)))?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap());
+                    db.retire_terminated();
+                });
+            },
+        );
     }
 
     // child abort containment: the failure path

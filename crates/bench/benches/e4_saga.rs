@@ -32,21 +32,25 @@ fn bench_saga(c: &mut Criterion) {
             });
         });
 
-        g.bench_with_input(BenchmarkId::new("flat_equivalent", steps), &steps, |b, &n| {
-            let db = Database::in_memory();
-            let oids = setup_counters(&db, n, 0);
-            b.iter(|| {
-                let o = oids.clone();
-                assert!(run_atomic(&db, move |ctx| {
-                    for oid in &o {
-                        ctx.write(*oid, enc_i64(1))?;
-                    }
-                    Ok(())
-                })
-                .unwrap());
-                db.retire_terminated();
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("flat_equivalent", steps),
+            &steps,
+            |b, &n| {
+                let db = Database::in_memory();
+                let oids = setup_counters(&db, n, 0);
+                b.iter(|| {
+                    let o = oids.clone();
+                    assert!(run_atomic(&db, move |ctx| {
+                        for oid in &o {
+                            ctx.write(*oid, enc_i64(1))?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap());
+                    db.retire_terminated();
+                });
+            },
+        );
     }
 
     for abort_at in [1usize, 4, 7] {

@@ -14,8 +14,7 @@ fn bench_group_commit(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("gc_group_commit", n), &n, |b, &n| {
             b.iter(|| {
                 let db = Database::in_memory();
-                let tids: Vec<Tid> =
-                    (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+                let tids: Vec<Tid> = (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
                 for w in tids.windows(2) {
                     db.form_dependency(DepType::GC, w[0], w[1]).unwrap();
                 }
@@ -27,8 +26,7 @@ fn bench_group_commit(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("ad_abort_chain", n), &n, |b, &n| {
             b.iter(|| {
                 let db = Database::in_memory();
-                let tids: Vec<Tid> =
-                    (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+                let tids: Vec<Tid> = (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
                 for w in tids.windows(2) {
                     db.form_dependency(DepType::AD, w[0], w[1]).unwrap();
                 }
@@ -43,8 +41,7 @@ fn bench_group_commit(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("cd_chain_commit", n), &n, |b, &n| {
             b.iter(|| {
                 let db = Database::in_memory();
-                let tids: Vec<Tid> =
-                    (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
+                let tids: Vec<Tid> = (0..n).map(|_| db.initiate(|_| Ok(())).unwrap()).collect();
                 for w in tids.windows(2) {
                     db.form_dependency(DepType::CD, w[0], w[1]).unwrap();
                 }

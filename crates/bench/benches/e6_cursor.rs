@@ -57,7 +57,7 @@ fn bench_cursor(c: &mut Criterion) {
                 move |ctx| {
                     let mut cursor = Cursor::open(ctx, o.clone());
                     cursor.next()?; // record 0 now released
-                    // park forever-ish; the bench commits us at the end
+                                    // park forever-ish; the bench commits us at the end
                     std::thread::sleep(std::time::Duration::from_secs(3600));
                     Ok(())
                 }

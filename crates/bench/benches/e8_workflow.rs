@@ -14,8 +14,7 @@ fn bench_workflow(c: &mut Criterion) {
 
     g.bench_function("happy_path", |b| {
         let db = Database::in_memory();
-        let world = TravelWorld::setup(&db, u32::MAX as u64, 1, 1, u32::MAX as u64, 1, 1)
-            .unwrap();
+        let world = TravelWorld::setup(&db, u32::MAX as u64, 1, 1, u32::MAX as u64, 1, 1).unwrap();
         b.iter(|| {
             let (outcome, _) = run_x_conference(&db, &world).unwrap();
             assert_eq!(outcome, WorkflowOutcome::Completed);
@@ -25,8 +24,7 @@ fn bench_workflow(c: &mut Criterion) {
 
     g.bench_function("flight_fallback_to_american", |b| {
         let db = Database::in_memory();
-        let world =
-            TravelWorld::setup(&db, 0, 0, u32::MAX as u64, u32::MAX as u64, 1, 1).unwrap();
+        let world = TravelWorld::setup(&db, 0, 0, u32::MAX as u64, u32::MAX as u64, 1, 1).unwrap();
         b.iter(|| {
             let (outcome, results) = run_x_conference(&db, &world).unwrap();
             assert_eq!(outcome, WorkflowOutcome::Completed);

@@ -1,6 +1,7 @@
 //! E9 — the Figure 1 / §4.1 descriptor structures in isolation: lock
 //! table, permit table (direct, transitive, miss), dependency graph.
 
+use asset_bench::workload::parallel_time;
 use asset_common::{DepType, ObSet, Oid, OpSet, Operation, Tid};
 use asset_dep::DepGraph;
 use asset_lock::{LockTable, Permit, PermitTable};
@@ -71,6 +72,37 @@ fn bench_structures(c: &mut Criterion) {
                 assert!(!permits.permits(black_box(Tid(1)), Tid(2), Oid(3), Operation::Read));
             });
         });
+    }
+
+    // sharded scaling sweep: disjoint-object acquire/release across
+    // threads, single stripe vs the resolved default — the headline path
+    // the striped table exists for
+    for shards in [1usize, 0] {
+        let label = if shards == 1 { "shards1" } else { "shardsD" };
+        for threads in [1usize, 2, 4, 8, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("disjoint_cycle_{label}"), threads),
+                &threads,
+                |b, &threads| {
+                    let locks = LockTable::with_shards(shards);
+                    b.iter_custom(|iters| {
+                        parallel_time(threads, |i| {
+                            let tid = Tid(i as u64 + 1);
+                            let base = (i as u64 + 1) << 32;
+                            for n in 0..iters {
+                                locks
+                                    .lock(tid, Oid(base + n % 64), Operation::Write, None)
+                                    .unwrap();
+                                if n % 64 == 63 {
+                                    locks.release_all(tid);
+                                }
+                            }
+                            locks.release_all(tid);
+                        })
+                    });
+                },
+            );
+        }
     }
 
     g.bench_function("dep_form_gate_commit", |b| {

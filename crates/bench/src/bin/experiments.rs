@@ -12,7 +12,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let selected: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| *a != "quick").collect();
+    let selected: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| *a != "quick")
+        .collect();
 
     println!("ASSET experiment suite (scale factor {:.2})", scale.factor);
     println!("paper: Biliris/Dar/Gehani/Jagadish/Ramamritham, SIGMOD 1994");

@@ -65,7 +65,12 @@ pub fn e12_ablations(scale: Scale) -> Table {
         assert_eq!(counter.peek(&db), (sessions * increments) as i64);
         table.row(vec![
             "hot counter".into(),
-            if use_mlt { "MLT (commuting ops)" } else { "flat 2PL" }.into(),
+            if use_mlt {
+                "MLT (commuting ops)"
+            } else {
+                "flat 2PL"
+            }
+            .into(),
             format!("{sessions} sessions x {increments} incs"),
             fmt_duration(elapsed),
         ]);
@@ -80,7 +85,9 @@ pub fn e12_ablations(scale: Scale) -> Table {
         // physical (plain ASSET with permits)
         let db = Database::in_memory();
         let oid = db.new_oid();
-        assert!(db.run(move |ctx| ctx.write(oid, 0i64.to_le_bytes().to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(oid, 0i64.to_le_bytes().to_vec()))
+            .unwrap());
         let t1 = db
             .initiate(move |ctx| {
                 ctx.update(oid, |cur| {
@@ -91,8 +98,13 @@ pub fn e12_ablations(scale: Scale) -> Table {
             .unwrap();
         db.begin(t1).unwrap();
         db.wait(t1).unwrap();
-        db.permit(t1, None, asset_common::ObSet::one(oid), asset_common::OpSet::ALL)
-            .unwrap();
+        db.permit(
+            t1,
+            None,
+            asset_common::ObSet::one(oid),
+            asset_common::OpSet::ALL,
+        )
+        .unwrap();
         assert!(db
             .run(move |ctx| {
                 ctx.update(oid, |cur| {
@@ -102,8 +114,7 @@ pub fn e12_ablations(scale: Scale) -> Table {
             })
             .unwrap());
         db.abort(t1).unwrap();
-        let survives =
-            i64::from_le_bytes(db.peek(oid).unwrap().unwrap().try_into().unwrap());
+        let survives = i64::from_le_bytes(db.peek(oid).unwrap().unwrap().try_into().unwrap());
         table.row(vec![
             "undo semantics".into(),
             "physical (before image)".into(),
@@ -162,7 +173,10 @@ pub fn e12_ablations(scale: Scale) -> Table {
             "latch impl".into(),
             "EOS spin latch (X)".into(),
             format!("{threads} threads x {} acquires", n / threads),
-            format!("{} / acquire", fmt_duration(elapsed / (n as u32 / threads as u32))),
+            format!(
+                "{} / acquire",
+                fmt_duration(elapsed / (n as u32 / threads as u32))
+            ),
         ]);
 
         let rw = parking_lot::RwLock::new(());
@@ -175,7 +189,10 @@ pub fn e12_ablations(scale: Scale) -> Table {
             "latch impl".into(),
             "parking_lot RwLock (W)".into(),
             format!("{threads} threads x {} acquires", n / threads),
-            format!("{} / acquire", fmt_duration(elapsed / (n as u32 / threads as u32))),
+            format!(
+                "{} / acquire",
+                fmt_duration(elapsed / (n as u32 / threads as u32))
+            ),
         ]);
     }
 

@@ -102,11 +102,10 @@ pub fn e6_cursor_stability(scale: Scale) -> Table {
 
     let records = scale.n(40);
     for cursor_stability in [false, true] {
-        let db = Database::open(
-            Config::in_memory().with_lock_timeout(Some(Duration::from_millis(10))),
-        )
-        .unwrap()
-        .0;
+        let db =
+            Database::open(Config::in_memory().with_lock_timeout(Some(Duration::from_millis(10))))
+                .unwrap()
+                .0;
         let oids = Arc::new(setup_counters(&db, records, 0));
         let scan_done = Arc::new(AtomicBool::new(false));
         let commits = Arc::new(AtomicU64::new(0));
@@ -158,7 +157,12 @@ pub fn e6_cursor_stability(scale: Scale) -> Table {
         writer.join().unwrap();
 
         table.row(vec![
-            if cursor_stability { "cursor stability" } else { "repeatable read" }.into(),
+            if cursor_stability {
+                "cursor stability"
+            } else {
+                "repeatable read"
+            }
+            .into(),
             records.to_string(),
             commits.load(Ordering::SeqCst).to_string(),
             aborts.load(Ordering::SeqCst).to_string(),
@@ -211,7 +215,12 @@ pub fn e7_split_early_release(scale: Scale) -> Table {
         assert!(ok);
         committer.join().unwrap();
         table.row(vec![
-            if use_split { "with split" } else { "monolithic" }.into(),
+            if use_split {
+                "with split"
+            } else {
+                "monolithic"
+            }
+            .into(),
             format!("tail {tail_ms} ms"),
             "waiter latency".into(),
             fmt_duration(waiter_latency),
@@ -244,7 +253,11 @@ pub fn e7_split_early_release(scale: Scale) -> Table {
             "delegate-all".into(),
             format!("{n} objects"),
             "delegate() time".into(),
-            format!("{} ({})", fmt_duration(elapsed), fmt_rate(n as u64, elapsed)),
+            format!(
+                "{} ({})",
+                fmt_duration(elapsed),
+                fmt_rate(n as u64, elapsed)
+            ),
         ]);
     }
     table

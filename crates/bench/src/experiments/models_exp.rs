@@ -5,8 +5,9 @@ use crate::table::{fmt_duration, Table};
 use crate::workload::{enc_i64, setup_counters, Rng};
 use asset_core::{Database, TxnCtx};
 use asset_models::workflow::travel::{run_x_conference, TravelWorld};
-use asset_models::{required_subtransaction, run_atomic, run_contingent, Saga, SagaOutcome,
-    WorkflowOutcome};
+use asset_models::{
+    required_subtransaction, run_atomic, run_contingent, Saga, SagaOutcome, WorkflowOutcome,
+};
 use std::time::{Duration, Instant};
 
 /// E3 — nested transactions (§3.1.4): overhead of nesting (permit +
@@ -41,7 +42,9 @@ pub fn e3_nested(scale: Scale) -> Table {
         let nested = time_avg(iters, || {
             let o = o2.clone();
             fn descend(ctx: &TxnCtx, oids: &[asset_common::Oid]) -> asset_common::Result<()> {
-                let Some((first, rest)) = oids.split_first() else { return Ok(()) };
+                let Some((first, rest)) = oids.split_first() else {
+                    return Ok(());
+                };
                 let first = *first;
                 let rest = rest.to_vec();
                 required_subtransaction(ctx, move |c| {
@@ -165,10 +168,20 @@ pub fn e4_sagas(scale: Scale) -> Table {
             }
         });
         table.row(vec![
-            if use_saga { "saga (per-step commit)" } else { "single long txn" }.into(),
+            if use_saga {
+                "saga (per-step commit)"
+            } else {
+                "single long txn"
+            }
+            .into(),
             format!("{workers} workers x {steps} steps"),
             fmt_duration(elapsed),
-            if use_saga { "hot lock released each step" } else { "hot lock held to commit" }.into(),
+            if use_saga {
+                "hot lock released each step"
+            } else {
+                "hot lock held to commit"
+            }
+            .into(),
         ]);
     }
 
@@ -198,7 +211,12 @@ pub fn e4_sagas(scale: Scale) -> Table {
             let start = Instant::now();
             let (outcome, trace) = saga.run(&db).unwrap();
             total += start.elapsed();
-            assert_eq!(outcome, SagaOutcome::Compensated { failed_step: abort_at });
+            assert_eq!(
+                outcome,
+                SagaOutcome::Compensated {
+                    failed_step: abort_at
+                }
+            );
             assert_eq!(trace.events.len(), 2 * abort_at);
             db.retire_terminated();
         }
@@ -289,7 +307,14 @@ pub fn e11_contingent(scale: Scale) -> Table {
         "E11: contingent transaction cascade",
         "k alternatives, each failing with probability p; attempts used and latency",
     )
-    .headers(&["alternatives", "p(fail)", "runs", "mean attempts", "none viable", "mean latency"]);
+    .headers(&[
+        "alternatives",
+        "p(fail)",
+        "runs",
+        "mean attempts",
+        "none viable",
+        "mean latency",
+    ]);
 
     let runs = scale.n(300);
     for k in [2usize, 4, 8] {

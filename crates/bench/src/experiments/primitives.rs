@@ -224,6 +224,52 @@ pub fn e9_structures(scale: Scale) -> Table {
         ]);
     }
 
+    // sharded lock-table scaling: disjoint-object acquire/release across
+    // threads at 1 stripe vs the resolved default — the contention path
+    // the striped table was built to kill
+    let default_shards = LockTable::with_shards(0).shard_count();
+    for threads in [1usize, 2, 4, 8, 16] {
+        let per_thread = scale.n(30_000);
+        let total = (threads * per_thread) as u64;
+        let mut rates = [0f64; 2];
+        for (slot, shards) in [1usize, 0].into_iter().enumerate() {
+            let locks = LockTable::with_shards(shards);
+            let elapsed = crate::workload::parallel_time(threads, |i| {
+                let tid = Tid(i as u64 + 1);
+                let base = (i as u64 + 1) << 32;
+                for n in 0..per_thread {
+                    locks
+                        .lock(tid, Oid(base + n as u64 % 64), Operation::Write, None)
+                        .unwrap();
+                    if n % 64 == 63 {
+                        locks.release_all(tid);
+                    }
+                }
+                locks.release_all(tid);
+            });
+            rates[slot] = total as f64 / elapsed.as_secs_f64();
+            let param = if shards == 1 {
+                format!("{threads}t x 1 shard")
+            } else {
+                format!("{threads}t x {default_shards} shards")
+            };
+            table.row(vec![
+                "sharded acquire/release".into(),
+                param,
+                total.to_string(),
+                fmt_duration(elapsed / total as u32),
+                fmt_rate(total, elapsed),
+            ]);
+        }
+        table.row(vec![
+            "sharded speedup".into(),
+            format!("{threads} threads"),
+            "-".into(),
+            "-".into(),
+            format!("{:.2}x vs 1 shard", rates[1] / rates[0]),
+        ]);
+    }
+
     // dependency insert + commit-gate evaluation
     let n = scale.n(50_000);
     let mut graph = DepGraph::new();
@@ -315,7 +361,9 @@ pub fn e10_recovery(scale: Scale) -> Table {
         let oids = setup_counters(&db, 64, 0);
         for i in 0..txns {
             let oid = oids[i % oids.len()];
-            assert!(db.run(move |ctx| ctx.write(oid, enc_i64(i as i64))).unwrap());
+            assert!(db
+                .run(move |ctx| ctx.write(oid, enc_i64(i as i64)))
+                .unwrap());
             if i % 256 == 255 {
                 db.retire_terminated();
             }

@@ -87,10 +87,18 @@ pub fn counter(db: &Database, oid: Oid) -> i64 {
 /// insufficient funds. Locks in oid order to reduce deadlocks.
 pub fn transfer(from: Oid, to: Oid, amount: i64) -> impl Fn(&TxnCtx) -> Result<()> + Send + Sync {
     move |ctx: &TxnCtx| {
-        let (first, second) = if from.raw() < to.raw() { (from, to) } else { (to, from) };
+        let (first, second) = if from.raw() < to.raw() {
+            (from, to)
+        } else {
+            (to, from)
+        };
         let vf = dec_i64(&ctx.read(first)?.expect("account"));
         let vs = dec_i64(&ctx.read(second)?.expect("account"));
-        let (nf, ns) = if first == from { (vf - amount, vs + amount) } else { (vf + amount, vs - amount) };
+        let (nf, ns) = if first == from {
+            (vf - amount, vs + amount)
+        } else {
+            (vf + amount, vs - amount)
+        };
         if (first == from && nf < 0) || (second == from && ns < 0) {
             return ctx.abort_self();
         }

@@ -40,6 +40,34 @@ pub struct Config {
     pub durability: Durability,
     /// Spin iterations before a latch acquisition starts yielding.
     pub latch_spin_limit: u32,
+    /// Number of lock-manager shards (the paper's double hashing realized
+    /// as independently locked stripes of the OD/LRD/PD tables). `0` means
+    /// auto: `next_power_of_two(4 × cores)`. Values are rounded up to a
+    /// power of two and clamped to [1, 1024].
+    pub lock_shards: usize,
+    /// Number of transaction-table shards in the transaction manager.
+    /// `0` means auto (same rule as [`lock_shards`](Config::lock_shards)).
+    pub txn_shards: usize,
+    /// Under [`Durability::Buffered`], appended log frames accumulate in a
+    /// user-space buffer and are written to the OS only once this many
+    /// bytes are pending (or on an explicit/commit-path flush) — one
+    /// syscall per watermark instead of one per append.
+    pub flush_watermark: usize,
+}
+
+/// Round a shard-count request to a usable value: `0` selects
+/// `next_power_of_two(4 × cores)`, everything else is rounded up to a
+/// power of two; the result is clamped to `[1, 1024]`.
+pub fn resolve_shards(requested: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            * 4
+    } else {
+        requested
+    };
+    n.clamp(1, 1024).next_power_of_two().min(1024)
 }
 
 impl Config {
@@ -54,6 +82,9 @@ impl Config {
             data_dir: None,
             durability: Durability::InMemory,
             latch_spin_limit: 64,
+            lock_shards: 0,
+            txn_shards: 0,
+            flush_watermark: 64 * 1024,
         }
         .validate()
     }
@@ -71,10 +102,16 @@ impl Config {
     /// Clamp/verify invariants; panics on nonsensical values so that a bad
     /// configuration fails loudly at startup rather than corrupting pages.
     fn validate(self) -> Config {
-        assert!(self.page_size.is_power_of_two(), "page_size must be a power of two");
+        assert!(
+            self.page_size.is_power_of_two(),
+            "page_size must be a power of two"
+        );
         assert!(self.page_size >= 512, "page_size must be >= 512");
         assert!(self.max_transactions >= 1, "max_transactions must be >= 1");
-        assert!(self.buffer_pool_pages >= 8, "buffer_pool_pages must be >= 8");
+        assert!(
+            self.buffer_pool_pages >= 8,
+            "buffer_pool_pages must be >= 8"
+        );
         self
     }
 
@@ -97,6 +134,37 @@ impl Config {
     pub fn with_durability(mut self, d: Durability) -> Config {
         self.durability = d;
         self
+    }
+
+    /// Builder-style: set the lock-manager shard count (`0` = auto).
+    #[must_use]
+    pub fn with_lock_shards(mut self, n: usize) -> Config {
+        self.lock_shards = n;
+        self
+    }
+
+    /// Builder-style: set the transaction-table shard count (`0` = auto).
+    #[must_use]
+    pub fn with_txn_shards(mut self, n: usize) -> Config {
+        self.txn_shards = n;
+        self
+    }
+
+    /// Builder-style: set the buffered-log flush watermark in bytes.
+    #[must_use]
+    pub fn with_flush_watermark(mut self, bytes: usize) -> Config {
+        self.flush_watermark = bytes;
+        self
+    }
+
+    /// The effective lock-manager shard count.
+    pub fn resolved_lock_shards(&self) -> usize {
+        resolve_shards(self.lock_shards)
+    }
+
+    /// The effective transaction-table shard count.
+    pub fn resolved_txn_shards(&self) -> usize {
+        resolve_shards(self.txn_shards)
     }
 }
 
@@ -134,6 +202,27 @@ mod tests {
         assert_eq!(c.max_transactions, 10);
         assert!(c.lock_wait_timeout.is_none());
         assert_eq!(c.durability, Durability::Buffered);
+    }
+
+    #[test]
+    fn shard_resolution() {
+        assert_eq!(resolve_shards(1), 1);
+        assert_eq!(resolve_shards(2), 2);
+        assert_eq!(resolve_shards(3), 4);
+        assert_eq!(resolve_shards(64), 64);
+        assert_eq!(resolve_shards(100_000), 1024);
+        let auto = resolve_shards(0);
+        assert!(auto.is_power_of_two() && (1..=1024).contains(&auto));
+        assert_eq!(
+            Config::in_memory()
+                .with_lock_shards(5)
+                .resolved_lock_shards(),
+            8
+        );
+        assert_eq!(
+            Config::in_memory().with_txn_shards(1).resolved_txn_shards(),
+            1
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl fmt::Display for AssetError {
                 write!(f, "transaction limit reached ({limit})")
             }
             AssetError::DependencyCycle { dependent, on } => {
-                write!(f, "dependency {dependent} -> {on} would create a commit deadlock cycle")
+                write!(
+                    f,
+                    "dependency {dependent} -> {on} would create a commit deadlock cycle"
+                )
             }
             AssetError::Deadlock(t) => write!(f, "{t} aborted as deadlock victim"),
             AssetError::LockTimeout { tid, ob } => {
@@ -130,7 +133,10 @@ mod tests {
         let e = AssetError::ResourceExhausted { limit: 8 };
         assert!(e.to_string().contains('8'));
 
-        let e = AssetError::LockTimeout { tid: Tid(2), ob: Oid(9) };
+        let e = AssetError::LockTimeout {
+            tid: Tid(2),
+            ob: Oid(9),
+        };
         assert!(e.to_string().contains("ob9"));
     }
 
@@ -147,7 +153,11 @@ mod tests {
     fn abort_family() {
         assert!(AssetError::TxnAborted(Tid(1)).is_abort());
         assert!(AssetError::Deadlock(Tid(1)).is_abort());
-        assert!(AssetError::LockTimeout { tid: Tid(1), ob: Oid(1) }.is_abort());
+        assert!(AssetError::LockTimeout {
+            tid: Tid(1),
+            ob: Oid(1)
+        }
+        .is_abort());
         assert!(!AssetError::TxnNotFound(Tid(1)).is_abort());
     }
 }

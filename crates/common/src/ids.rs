@@ -100,12 +100,16 @@ pub struct IdGen {
 impl IdGen {
     /// New generator whose first issued id is 1.
     pub fn new() -> Self {
-        IdGen { next: AtomicU64::new(1) }
+        IdGen {
+            next: AtomicU64::new(1),
+        }
     }
 
     /// New generator whose first issued id is `first`.
     pub fn starting_at(first: u64) -> Self {
-        IdGen { next: AtomicU64::new(first.max(1)) }
+        IdGen {
+            next: AtomicU64::new(first.max(1)),
+        }
     }
 
     /// Issue the next id.

@@ -54,10 +54,7 @@ impl TxnStatus {
     pub fn is_active(self) -> bool {
         matches!(
             self,
-            TxnStatus::Running
-                | TxnStatus::Completed
-                | TxnStatus::Committing
-                | TxnStatus::Aborting
+            TxnStatus::Running | TxnStatus::Completed | TxnStatus::Committing | TxnStatus::Aborting
         )
     }
 

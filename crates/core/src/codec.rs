@@ -52,7 +52,9 @@ impl ObjectCodec for bool {
         match bytes {
             [0] => Ok(false),
             [1] => Ok(true),
-            _ => Err(AssetError::Corrupt("bool payload must be one byte 0/1".into())),
+            _ => Err(AssetError::Corrupt(
+                "bool payload must be one byte 0/1".into(),
+            )),
         }
     }
 }
@@ -128,7 +130,9 @@ where
             pos += len;
         }
         if pos != bytes.len() {
-            return Err(AssetError::Corrupt("trailing bytes after Vec payload".into()));
+            return Err(AssetError::Corrupt(
+                "trailing bytes after Vec payload".into(),
+            ));
         }
         Ok(out)
     }
@@ -152,7 +156,10 @@ impl<A: ObjectCodec, B: ObjectCodec> ObjectCodec for (A, B) {
         if bytes.len() < 4 + alen {
             return Err(AssetError::Corrupt("truncated tuple payload".into()));
         }
-        Ok((A::decode(&bytes[4..4 + alen])?, B::decode(&bytes[4 + alen..])?))
+        Ok((
+            A::decode(&bytes[4..4 + alen])?,
+            B::decode(&bytes[4 + alen..])?,
+        ))
     }
 }
 
@@ -180,7 +187,10 @@ impl<T> Handle<T> {
     /// Wrap an oid as a typed handle. The caller asserts the payload type;
     /// decoding checks it structurally at access time.
     pub fn from_oid(oid: Oid) -> Handle<T> {
-        Handle { oid, _marker: PhantomData }
+        Handle {
+            oid,
+            _marker: PhantomData,
+        }
     }
 
     /// The underlying object id (for `ObSet`s, permits, delegation).
@@ -328,9 +338,7 @@ mod tests {
     fn modify_missing_object_errors() {
         let db = Database::in_memory();
         let handle: Handle<u64> = Handle::from_oid(db.new_oid());
-        let committed = db
-            .run(move |ctx| ctx.modify(handle, |v| v + 1))
-            .unwrap();
+        let committed = db.run(move |ctx| ctx.modify(handle, |v| v + 1)).unwrap();
         assert!(!committed, "the error aborts the transaction");
     }
 

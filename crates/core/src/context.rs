@@ -9,9 +9,7 @@
 //! ASSET's programmability.
 
 use crate::database::{Database, UndoEntry};
-use asset_common::{
-    AssetError, DepType, ObSet, Oid, OpSet, Operation, Result, Tid, TxnStatus,
-};
+use asset_common::{AssetError, DepType, ObSet, Oid, OpSet, Operation, Result, Tid, TxnStatus};
 use std::sync::atomic::Ordering;
 
 /// The execution context of one transaction.
@@ -47,7 +45,11 @@ impl TxnCtx {
         match self.db.status(self.tid)? {
             TxnStatus::Running => Ok(()),
             TxnStatus::Aborting | TxnStatus::Aborted => Err(AssetError::TxnAborted(self.tid)),
-            s => Err(AssetError::InvalidState { tid: self.tid, status: s, op: "operation" }),
+            s => Err(AssetError::InvalidState {
+                tid: self.tid,
+                status: s,
+                op: "operation",
+            }),
         }
     }
 
@@ -58,9 +60,12 @@ impl TxnCtx {
     pub fn read(&self, ob: Oid) -> Result<Option<Vec<u8>>> {
         self.check_live()?;
         let inner = &self.db.inner;
-        inner
-            .locks
-            .lock(self.tid, ob, Operation::Read, inner.config.lock_wait_timeout)?;
+        inner.locks.lock(
+            self.tid,
+            ob,
+            Operation::Read,
+            inner.config.lock_wait_timeout,
+        )?;
         inner.engine.read_object(ob)
     }
 
@@ -85,15 +90,23 @@ impl TxnCtx {
     fn install(&self, ob: Oid, after: Option<Vec<u8>>) -> Result<()> {
         self.check_live()?;
         let inner = &self.db.inner;
-        inner
-            .locks
-            .lock(self.tid, ob, Operation::Write, inner.config.lock_wait_timeout)?;
+        inner.locks.lock(
+            self.tid,
+            ob,
+            Operation::Write,
+            inner.config.lock_wait_timeout,
+        )?;
         let before = inner.engine.write_object(self.tid, ob, after)?;
         let seq = inner.undo_seq.fetch_add(1, Ordering::Relaxed);
-        let mut txns = inner.txns.lock();
-        if let Some(slot) = txns.get_mut(&self.tid) {
-            slot.undo.push(UndoEntry { seq, oid: ob, before });
-        }
+        inner.txns.with(self.tid, |slot| {
+            if let Some(slot) = slot {
+                slot.undo.push(UndoEntry {
+                    seq,
+                    oid: ob,
+                    before,
+                });
+            }
+        });
         Ok(())
     }
 
@@ -105,27 +118,36 @@ impl TxnCtx {
     pub fn lock_exclusive(&self, ob: Oid) -> Result<()> {
         self.check_live()?;
         let inner = &self.db.inner;
-        inner
-            .locks
-            .lock(self.tid, ob, Operation::Write, inner.config.lock_wait_timeout)
+        inner.locks.lock(
+            self.tid,
+            ob,
+            Operation::Write,
+            inner.config.lock_wait_timeout,
+        )
     }
 
     /// Explicitly acquire the read lock on `ob` without reading yet.
     pub fn lock_shared(&self, ob: Oid) -> Result<()> {
         self.check_live()?;
         let inner = &self.db.inner;
-        inner
-            .locks
-            .lock(self.tid, ob, Operation::Read, inner.config.lock_wait_timeout)
+        inner.locks.lock(
+            self.tid,
+            ob,
+            Operation::Read,
+            inner.config.lock_wait_timeout,
+        )
     }
 
     /// Read and modify in one step (lock, read, apply `f`, write back).
     pub fn update(&self, ob: Oid, f: impl FnOnce(Option<Vec<u8>>) -> Vec<u8>) -> Result<()> {
         self.check_live()?;
         let inner = &self.db.inner;
-        inner
-            .locks
-            .lock(self.tid, ob, Operation::Write, inner.config.lock_wait_timeout)?;
+        inner.locks.lock(
+            self.tid,
+            ob,
+            Operation::Write,
+            inner.config.lock_wait_timeout,
+        )?;
         let current = inner.engine.read_object(ob)?;
         let next = f(current);
         self.install(ob, Some(next))
@@ -134,10 +156,7 @@ impl TxnCtx {
     // --- transaction-management primitives -------------------------------
 
     /// `initiate(f)` with this transaction as the parent.
-    pub fn initiate(
-        &self,
-        f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
-    ) -> Result<Tid> {
+    pub fn initiate(&self, f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static) -> Result<Tid> {
         self.db.initiate_with_parent(self.tid, Box::new(f))
     }
 
@@ -182,13 +201,7 @@ impl TxnCtx {
     }
 
     /// `permit(ti, tj, ob_set, operations)`.
-    pub fn permit(
-        &self,
-        grantor: Tid,
-        grantee: Option<Tid>,
-        obs: ObSet,
-        ops: OpSet,
-    ) -> Result<()> {
+    pub fn permit(&self, grantor: Tid, grantee: Option<Tid>, obs: ObSet, ops: OpSet) -> Result<()> {
         self.db.permit(grantor, grantee, obs, ops)
     }
 
@@ -197,7 +210,8 @@ impl TxnCtx {
     /// later too; the paper's call-time materialization is
     /// [`Database::permit_accessed`]).
     pub fn permit_all(&self, grantee: Tid) -> Result<()> {
-        self.db.permit(self.tid, Some(grantee), ObSet::All, OpSet::ALL)
+        self.db
+            .permit(self.tid, Some(grantee), ObSet::All, OpSet::ALL)
     }
 
     /// `form_dependency(type, ti, tj)`.

@@ -6,6 +6,21 @@
 //! [`TxnCtx`](crate::context::TxnCtx) proxies them with `self()` filled in
 //! for code running inside a transaction.
 //!
+//! Both descriptor tables are sharded per the paper's §4.1 double hashing:
+//! the lock table by object id (inside `asset-lock`) and the transaction
+//! table by tid ([`TxnTable`]), so the per-operation hot path touches only
+//! the stripes of the descriptors involved. The dependency graph stays
+//! global but is taken only on `form_dependency` and the commit gates —
+//! never on the read/write path. Cross-shard atomicity rules:
+//!
+//! * shard locks are acquired in ascending index order ([`GroupGuard`]);
+//! * the `deps` mutex is acquired only *after* any held transaction
+//!   shards, never before;
+//! * the commit point re-validates the gate while holding every group
+//!   member's shard, which blocks concurrent `form_dependency`/abort of a
+//!   member (both need a member's shard) — the atomicity the old global
+//!   mutex provided, now scoped to the group.
+//!
 //! ## Execution model
 //!
 //! `initiate` registers a closure; `begin` spawns a thread that runs it
@@ -20,8 +35,8 @@
 //! must be gate-free and fully executed, then the component commits
 //! atomically under one forced log record. AD gates wait for the parent to
 //! commit (and doom on its abort); CD gates wait for termination either
-//! way. Blocked commits park on a condition variable and "retry starting at
-//! step 1" on every termination event.
+//! way. Blocked commits park on the transaction table's event count and
+//! "retry starting at step 1" on every termination event.
 //!
 //! ## Abort protocol (paper §4.2, `abort(ti)`)
 //!
@@ -29,18 +44,19 @@
 //! permits, propagate along incoming AD/GC edges (CD edges are dropped),
 //! then mark aborted. A *running* victim is marked `Aborting` and its lock
 //! waits are poisoned; its own thread performs the steps when the closure
-//! unwinds — the paper's "mark tj in its TD structure as aborting".
+//! unwinds — the paper's "mark tj in its TD structure as aborting". The
+//! `abort_performed` flag claims finalization under the victim's shard, so
+//! the undo itself can run without holding any table lock.
 
 use crate::context::TxnCtx;
-use asset_common::{
-    AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus,
-};
+use crate::txns::TxnTable;
 use asset_common::ids::IdGen;
+use asset_common::{AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus};
 use asset_dep::{CommitGate, DepGraph};
 use asset_lock::{LockStats, LockTable};
 use asset_storage::{LogRecord, RecoveryReport, StorageEngine};
-use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::collections::HashMap;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -78,14 +94,13 @@ pub(crate) struct DbInner {
     pub engine: StorageEngine,
     pub locks: LockTable,
     pub deps: Mutex<DepGraph>,
-    pub txns: Mutex<HashMap<Tid, TxnSlot>>,
-    /// Signalled on every status change; commit/wait park here.
-    pub status_cv: Condvar,
+    pub txns: TxnTable,
     pub tid_gen: IdGen,
     pub oid_gen: IdGen,
     pub undo_seq: AtomicU64,
-    /// Non-terminated transaction count (kept in lockstep with status
-    /// transitions under the `txns` mutex; read without it).
+    /// Non-terminated transaction count. The `initiate` cap is enforced
+    /// with a compare-exchange on this counter, so admission control never
+    /// takes a table lock.
     pub live_count: AtomicUsize,
 }
 
@@ -152,15 +167,20 @@ impl Database {
         let tid_gen = IdGen::new();
         tid_gen.bump_past(report.max_tid);
         let oid_gen = IdGen::new();
-        let max_oid = engine.store().oids().iter().map(|o| o.raw()).max().unwrap_or(0);
+        let max_oid = engine
+            .store()
+            .oids()
+            .iter()
+            .map(|o| o.raw())
+            .max()
+            .unwrap_or(0);
         oid_gen.bump_past(max_oid);
         let inner = Arc::new(DbInner {
+            locks: LockTable::with_shards(config.lock_shards),
+            txns: TxnTable::new(config.txn_shards),
             config,
             engine,
-            locks: LockTable::new(),
             deps: Mutex::new(DepGraph::new()),
-            txns: Mutex::new(HashMap::new()),
-            status_cv: Condvar::new(),
             tid_gen,
             oid_gen,
             undo_seq: AtomicU64::new(1),
@@ -171,7 +191,9 @@ impl Database {
 
     /// An in-memory database with default configuration (tests, examples).
     pub fn in_memory() -> Database {
-        Database::open(Config::in_memory()).expect("in-memory open cannot fail").0
+        Database::open(Config::in_memory())
+            .expect("in-memory open cannot fail")
+            .0
     }
 
     // --- basic primitives (paper §2.1) ---------------------------------
@@ -179,24 +201,29 @@ impl Database {
     /// `initiate(f, args)`: register a new transaction that will execute
     /// `f`. (Arguments are closure captures in Rust.) Fails with
     /// `ResourceExhausted` when the configured transaction cap is reached.
-    pub fn initiate(
-        &self,
-        f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
-    ) -> Result<Tid> {
+    pub fn initiate(&self, f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static) -> Result<Tid> {
         self.initiate_with_parent(Tid::NULL, Box::new(f))
     }
 
     pub(crate) fn initiate_with_parent(&self, parent: Tid, job: Job) -> Result<Tid> {
-        let mut txns = self.inner.txns.lock();
-        let live = self.inner.live_count.load(Ordering::Relaxed);
-        if live >= self.inner.config.max_transactions {
-            return Err(AssetError::ResourceExhausted {
-                limit: self.inner.config.max_transactions,
-            });
+        let cap = self.inner.config.max_transactions;
+        // exact admission without a table lock: claim a live slot or fail
+        if self
+            .inner
+            .live_count
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                if n >= cap {
+                    None
+                } else {
+                    Some(n + 1)
+                }
+            })
+            .is_err()
+        {
+            return Err(AssetError::ResourceExhausted { limit: cap });
         }
-        self.inner.live_count.fetch_add(1, Ordering::Relaxed);
         let tid = Tid(self.inner.tid_gen.next());
-        txns.insert(
+        self.inner.txns.insert(
             tid,
             TxnSlot {
                 parent,
@@ -220,20 +247,26 @@ impl Database {
     /// abort. Beginning a transaction in any other non-`Initiated` state is
     /// a programming error.
     pub fn begin(&self, t: Tid) -> Result<()> {
-        let job = {
-            let mut txns = self.inner.txns.lock();
-            let slot = txns.get_mut(&t).ok_or(AssetError::TxnNotFound(t))?;
+        let job = self.inner.txns.with(t, |slot| -> Result<Option<Job>> {
+            let slot = slot.ok_or(AssetError::TxnNotFound(t))?;
             if slot.status.is_abort_path() {
-                return Ok(()); // doomed before it started; commit reports it
+                return Ok(None); // doomed before it started; commit reports it
             }
             if slot.status != TxnStatus::Initiated {
-                return Err(AssetError::InvalidState { tid: t, status: slot.status, op: "begin" });
+                return Err(AssetError::InvalidState {
+                    tid: t,
+                    status: slot.status,
+                    op: "begin",
+                });
             }
             slot.status = TxnStatus::Running;
             slot.thread_live = true;
             self.inner.engine.log_record(&LogRecord::Begin { tid: t })?;
-            slot.job.take().expect("initiated transaction has a job")
-        };
+            Ok(Some(
+                slot.job.take().expect("initiated transaction has a job"),
+            ))
+        })?;
+        let Some(job) = job else { return Ok(()) };
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("asset-{t}"))
@@ -253,10 +286,9 @@ impl Database {
     /// `wait(t)`: block until `t`'s code has completed. Returns `true` on
     /// completion (or if already committed), `false` if `t` aborted.
     pub fn wait(&self, t: Tid) -> Result<bool> {
-        let mut txns = self.inner.txns.lock();
         loop {
-            let slot = txns.get(&t).ok_or(AssetError::TxnNotFound(t))?;
-            match slot.status {
+            let epoch = self.inner.txns.epoch();
+            match self.status(t)? {
                 TxnStatus::Completed | TxnStatus::Committing | TxnStatus::Committed => {
                     return Ok(true)
                 }
@@ -264,7 +296,7 @@ impl Database {
                 TxnStatus::Initiated | TxnStatus::Running | TxnStatus::Aborting => {
                     // Aborting is transient (the victim's thread finalizes
                     // it); report failure only once the undo has run.
-                    self.inner.status_cv.wait(&mut txns);
+                    self.inner.txns.wait_event(epoch);
                 }
             }
         }
@@ -274,51 +306,81 @@ impl Database {
     /// execution and every dependency gate opens. Returns `true` if `t`
     /// (and its GC group) committed, `false` if it aborted.
     pub fn commit(&self, t: Tid) -> Result<bool> {
-        let mut txns = self.inner.txns.lock();
+        enum Step {
+            Done(bool),
+            Park,
+            FinishAbort,
+            Gate,
+        }
         loop {
+            let epoch = self.inner.txns.epoch();
             // Step 1: status check.
-            let status = txns.get(&t).ok_or(AssetError::TxnNotFound(t))?.status;
-            match status {
-                TxnStatus::Committed => return Ok(true),
-                TxnStatus::Aborted => return Ok(false),
-                TxnStatus::Aborting => {
+            let step = self.inner.txns.with(t, |slot| -> Result<Step> {
+                let slot = slot.ok_or(AssetError::TxnNotFound(t))?;
+                match slot.status {
+                    TxnStatus::Committed => Ok(Step::Done(true)),
+                    TxnStatus::Aborted => Ok(Step::Done(false)),
+                    TxnStatus::Aborting => Ok(Step::FinishAbort),
+                    TxnStatus::Initiated | TxnStatus::Running => Ok(Step::Park),
+                    TxnStatus::Completed | TxnStatus::Committing => {
+                        slot.status = TxnStatus::Committing;
+                        Ok(Step::Gate)
+                    }
+                }
+            })?;
+            match step {
+                Step::Done(committed) => return Ok(committed),
+                Step::Park => {
+                    // blocking primitive: wait for completion
+                    self.inner.txns.wait_event(epoch);
+                    continue;
+                }
+                Step::FinishAbort => {
                     // transient: the victim's own thread (or the aborter)
                     // finalizes the undo; wait for it rather than racing
-                    self.abort_locked(&mut txns, t);
-                    if txns.get(&t).map(|s| s.status) != Some(TxnStatus::Aborted) {
-                        self.inner.status_cv.wait(&mut txns);
+                    self.abort_many(&[t]);
+                    if self.status(t)? != TxnStatus::Aborted {
+                        self.inner.txns.wait_event(epoch);
                     }
                     continue;
                 }
-                TxnStatus::Initiated | TxnStatus::Running => {
-                    // blocking primitive: wait for completion
-                    self.inner.status_cv.wait(&mut txns);
-                    continue;
-                }
-                TxnStatus::Completed | TxnStatus::Committing => {}
+                Step::Gate => {}
             }
-            txns.get_mut(&t).unwrap().status = TxnStatus::Committing;
 
             // Steps 2–3: dependency gates over the GC component.
             let gate = self.inner.deps.lock().commit_gate(t);
             match gate {
                 CommitGate::Doomed(group) => {
-                    for m in &group {
-                        self.abort_locked(&mut txns, *m);
-                    }
+                    self.abort_many(&group);
                     return Ok(false);
                 }
                 CommitGate::WaitOn(_) => {
-                    self.inner.status_cv.wait(&mut txns);
+                    self.inner.txns.wait_event(epoch);
                 }
                 CommitGate::Ready(group) => {
+                    // Lock every member's shard, then re-validate: a
+                    // form_dependency or abort that would change the gate
+                    // needs one of these shards, so a gate that is still
+                    // Ready under the guards is committable atomically.
+                    let mut guard = self.inner.txns.lock_group(&group);
+                    let gate2 = self.inner.deps.lock().commit_gate(t);
+                    let same = matches!(
+                        &gate2,
+                        CommitGate::Ready(g2)
+                            if g2.iter().collect::<BTreeSet<_>>()
+                                == group.iter().collect::<BTreeSet<_>>()
+                    );
+                    if !same {
+                        drop(guard);
+                        continue; // re-evaluate from step 1
+                    }
                     // every member must have completed execution (the
                     // paper's commit(tj) invocation inside step 2c-ii is a
                     // blocking wait for the partner)
                     let mut incomplete = false;
                     let mut doomed = false;
                     for m in &group {
-                        match txns.get(m).map(|s| s.status) {
+                        match guard.get(*m).map(|s| s.status) {
                             Some(TxnStatus::Initiated) | Some(TxnStatus::Running) => {
                                 incomplete = true
                             }
@@ -330,29 +392,30 @@ impl Database {
                         }
                     }
                     if doomed {
-                        for m in &group {
-                            self.abort_locked(&mut txns, *m);
-                        }
+                        drop(guard);
+                        self.abort_many(&group);
                         return Ok(false);
                     }
                     if incomplete {
-                        self.inner.status_cv.wait(&mut txns);
+                        drop(guard);
+                        self.inner.txns.wait_event(epoch);
                         continue;
                     }
                     // Step 4: commit point — one forced record for the group.
-                    self.inner
-                        .engine
-                        .log_record(&LogRecord::Commit { tids: group.clone() })?;
+                    self.inner.engine.log_record(&LogRecord::Commit {
+                        tids: group.clone(),
+                    })?;
                     // Steps 5–6: statuses, dependency cleanup, lock release.
                     for m in &group {
-                        let slot = txns.get_mut(m).expect("group member exists");
+                        let slot = guard.get_mut(*m).expect("group member exists");
                         slot.status = TxnStatus::Committed;
                         slot.undo.clear();
                         self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
                         self.inner.locks.release_all(*m);
                     }
                     self.inner.deps.lock().committed(&group);
-                    self.inner.status_cv.notify_all();
+                    drop(guard);
+                    self.inner.txns.bump();
                     return Ok(true);
                 }
             }
@@ -362,13 +425,11 @@ impl Database {
     /// `abort(t)`: returns `true` if the abort succeeds (or `t` was already
     /// aborted), `false` if `t` has already committed.
     pub fn abort(&self, t: Tid) -> Result<bool> {
-        let mut txns = self.inner.txns.lock();
-        let status = txns.get(&t).ok_or(AssetError::TxnNotFound(t))?.status;
-        match status {
+        match self.status(t)? {
             TxnStatus::Committed => Ok(false),
             TxnStatus::Aborted => Ok(true),
             _ => {
-                self.abort_locked(&mut txns, t);
+                self.abort_many(&[t]);
                 Ok(true)
             }
         }
@@ -377,15 +438,19 @@ impl Database {
     /// `self()` and `parent()` are on [`TxnCtx`]; this is the parent query
     /// by tid.
     pub fn parent_of(&self, t: Tid) -> Result<Tid> {
-        let txns = self.inner.txns.lock();
-        txns.get(&t).map(|s| s.parent).ok_or(AssetError::TxnNotFound(t))
+        self.inner
+            .txns
+            .with(t, |slot| slot.map(|s| s.parent))
+            .ok_or(AssetError::TxnNotFound(t))
     }
 
     /// Status query (the paper mentions status primitives without listing
     /// them).
     pub fn status(&self, t: Tid) -> Result<TxnStatus> {
-        let txns = self.inner.txns.lock();
-        txns.get(&t).map(|s| s.status).ok_or(AssetError::TxnNotFound(t))
+        self.inner
+            .txns
+            .with(t, |slot| slot.map(|s| s.status))
+            .ok_or(AssetError::TxnNotFound(t))
     }
 
     /// Has `t` committed? (One of the paper's unnamed status queries.)
@@ -411,11 +476,11 @@ impl Database {
     /// permits granted, and undo responsibility all move; a `Delegate`
     /// record makes the transfer crash-safe.
     pub fn delegate(&self, from: Tid, to: Tid, obs: Option<ObSet>) -> Result<()> {
-        let mut txns = self.inner.txns.lock();
-        if !txns.contains_key(&from) {
+        let mut guard = self.inner.txns.lock_group(&[from, to]);
+        if guard.get(from).is_none() {
             return Err(AssetError::TxnNotFound(from));
         }
-        if !txns.contains_key(&to) {
+        if guard.get(to).is_none() {
             return Err(AssetError::TxnNotFound(to));
         }
         if from == to {
@@ -423,7 +488,7 @@ impl Database {
         }
         // splice undo entries
         let moved: Vec<UndoEntry> = {
-            let slot = txns.get_mut(&from).unwrap();
+            let slot = guard.get_mut(from).unwrap();
             match &obs {
                 None => std::mem::take(&mut slot.undo),
                 Some(set) => {
@@ -435,7 +500,7 @@ impl Database {
             }
         };
         {
-            let dst = txns.get_mut(&to).unwrap();
+            let dst = guard.get_mut(to).unwrap();
             dst.undo.extend(moved);
             dst.undo.sort_by_key(|u| u.seq);
         }
@@ -447,28 +512,24 @@ impl Database {
             ObSet::Objects(s) => Some(s.iter().copied().collect::<Vec<_>>()),
         });
         let logged_obs = match logged_obs {
-            None => None,              // delegate-all
-            Some(None) => None,        // ObSet::All == delegate-all
+            None => None,       // delegate-all
+            Some(None) => None, // ObSet::All == delegate-all
             Some(Some(v)) => Some(v),
         };
-        self.inner
-            .engine
-            .log_record(&LogRecord::Delegate { from, to, obs: logged_obs })?;
-        drop(txns);
-        self.inner.status_cv.notify_all();
+        self.inner.engine.log_record(&LogRecord::Delegate {
+            from,
+            to,
+            obs: logged_obs,
+        })?;
+        drop(guard);
+        self.inner.txns.bump();
         Ok(())
     }
 
     /// `permit(ti, tj, ob_set, operations)` and its wildcard forms:
     /// `grantee: None` = any transaction, `ObSet::All` = any object,
     /// `OpSet::ALL` = any operation.
-    pub fn permit(
-        &self,
-        grantor: Tid,
-        grantee: Option<Tid>,
-        obs: ObSet,
-        ops: OpSet,
-    ) -> Result<()> {
+    pub fn permit(&self, grantor: Tid, grantee: Option<Tid>, obs: ObSet, ops: OpSet) -> Result<()> {
         self.inner.locks.permit(grantor, grantee, obs, ops);
         Ok(())
     }
@@ -486,18 +547,18 @@ impl Database {
     /// * AD — if `ti` aborts, `tj` must abort;
     /// * GC — both commit or neither.
     pub fn form_dependency(&self, kind: DepType, ti: Tid, tj: Tid) -> Result<()> {
-        // hold txns lock to order against commits, then deps
-        let txns = self.inner.txns.lock();
-        if !txns.contains_key(&ti) {
+        // hold both parties' shards to order against commits, then deps
+        let guard = self.inner.txns.lock_group(&[ti, tj]);
+        if guard.get(ti).is_none() {
             return Err(AssetError::TxnNotFound(ti));
         }
-        if !txns.contains_key(&tj) {
+        if guard.get(tj).is_none() {
             return Err(AssetError::TxnNotFound(tj));
         }
         let mut deps = self.inner.deps.lock();
         // transfer terminal knowledge so retroactive dooming works
         for t in [ti, tj] {
-            match txns.get(&t).unwrap().status {
+            match guard.get(t).unwrap().status {
                 TxnStatus::Committed => deps.committed(&[t]),
                 TxnStatus::Aborted => {
                     let _ = deps.aborted(t);
@@ -507,8 +568,8 @@ impl Database {
         }
         deps.form(kind, ti, tj)?;
         drop(deps);
-        drop(txns);
-        self.inner.status_cv.notify_all();
+        drop(guard);
+        self.inner.txns.bump();
         Ok(())
     }
 
@@ -536,16 +597,15 @@ impl Database {
 
     /// Quiescent checkpoint; fails if any transaction is not terminated.
     pub fn checkpoint(&self) -> Result<()> {
-        let txns = self.inner.txns.lock();
-        if let Some((tid, slot)) =
-            txns.iter().find(|(_, s)| !s.status.is_terminated())
-        {
+        let guard = self.inner.txns.lock_all();
+        if let Some((tid, slot)) = guard.iter().find(|(_, s)| !s.status.is_terminated()) {
             return Err(AssetError::InvalidState {
                 tid: *tid,
                 status: slot.status,
                 op: "checkpoint",
             });
         }
+        // holding every shard keeps new transactions out of the table
         self.inner.engine.checkpoint()
     }
 
@@ -559,8 +619,8 @@ impl Database {
     /// transactions — the ones that block a quiescent checkpoint — are
     /// fine); fails with `InvalidState` otherwise.
     pub fn compact_log(&self) -> Result<asset_storage::CompactionReport> {
-        let txns = self.inner.txns.lock();
-        if let Some((tid, slot)) = txns
+        let guard = self.inner.txns.lock_all();
+        if let Some((tid, slot)) = guard
             .iter()
             .find(|(_, s)| matches!(s.status, TxnStatus::Running))
         {
@@ -570,27 +630,27 @@ impl Database {
                 op: "compact_log",
             });
         }
-        let live: std::collections::HashSet<Tid> = txns
+        let live: std::collections::HashSet<Tid> = guard
             .iter()
             .filter(|(_, s)| !s.status.is_terminated())
             .map(|(t, _)| *t)
             .collect();
-        // holding the table lock keeps commits/aborts (which append) out
+        // holding the table shards keeps commits/aborts (which append) out
         self.inner.engine.compact_log(&live)
     }
 
     /// Drop the descriptors of terminated transactions; returns how many
     /// were retired.
     pub fn retire_terminated(&self) -> usize {
-        let mut txns = self.inner.txns.lock();
-        let dead: Vec<Tid> = txns
+        let mut guard = self.inner.txns.lock_all();
+        let dead: Vec<Tid> = guard
             .iter()
             .filter(|(_, s)| s.status.is_terminated())
             .map(|(t, _)| *t)
             .collect();
         let mut deps = self.inner.deps.lock();
         for t in &dead {
-            txns.remove(t);
+            guard.remove(*t);
             deps.retire(*t);
         }
         dead.len()
@@ -605,20 +665,15 @@ impl Database {
     /// counts, lock-manager counters, dependency-graph sizes, permit
     /// count, log volume.
     pub fn stats(&self) -> DatabaseStats {
-        let (initiated, running, completed, committed, aborted) = {
-            let txns = self.inner.txns.lock();
-            let mut c = (0usize, 0usize, 0usize, 0usize, 0usize);
-            for s in txns.values() {
-                match s.status {
-                    TxnStatus::Initiated => c.0 += 1,
-                    TxnStatus::Running => c.1 += 1,
-                    TxnStatus::Completed | TxnStatus::Committing => c.2 += 1,
-                    TxnStatus::Committed => c.3 += 1,
-                    TxnStatus::Aborting | TxnStatus::Aborted => c.4 += 1,
-                }
-            }
-            c
-        };
+        let mut c = (0usize, 0usize, 0usize, 0usize, 0usize);
+        self.inner.txns.for_each(|_, s| match s.status {
+            TxnStatus::Initiated => c.0 += 1,
+            TxnStatus::Running => c.1 += 1,
+            TxnStatus::Completed | TxnStatus::Committing => c.2 += 1,
+            TxnStatus::Committed => c.3 += 1,
+            TxnStatus::Aborting | TxnStatus::Aborted => c.4 += 1,
+        });
+        let (initiated, running, completed, committed, aborted) = c;
         let (dep_edges, gc_links) = {
             let deps = self.inner.deps.lock();
             (deps.edge_count(), deps.gc_link_count())
@@ -654,83 +709,114 @@ impl Database {
 
     // --- abort machinery --------------------------------------------------
 
-    /// Abort `t` (and propagate), holding the transaction-table lock.
-    /// Running victims are marked and poisoned; their threads finalize.
-    pub(crate) fn abort_locked(&self, txns: &mut MutexGuard<'_, HashMap<Tid, TxnSlot>>, t: Tid) {
-        let mut queue = vec![t];
-        while let Some(x) = queue.pop() {
-            let Some(slot) = txns.get_mut(&x) else { continue };
-            match slot.status {
-                TxnStatus::Committed | TxnStatus::Aborted => continue,
-                TxnStatus::Running => {
-                    // mark; the transaction's own thread performs the steps
-                    slot.status = TxnStatus::Aborting;
-                    self.inner.locks.poison(x);
-                }
-                TxnStatus::Aborting if slot.thread_live => {
-                    // already marked; its thread will finalize
-                }
-                _ => {
-                    if slot.abort_performed {
-                        continue;
-                    }
-                    slot.abort_performed = true;
-                    slot.status = TxnStatus::Aborting;
-                    // §4.2 abort step 2: install before images, newest
-                    // first, logging a CLR per step so restart recovery
-                    // replays the rollback instead of re-deriving it (and
-                    // never clobbers later committed overwrites)
-                    let mut undo = std::mem::take(&mut slot.undo);
-                    undo.sort_by_key(|u| std::cmp::Reverse(u.seq));
-                    for u in undo {
-                        // best-effort: failing to undo one image must not
-                        // strand the rest
-                        let _ = self.inner.engine.install_image(u.oid, u.before.clone());
-                        let _ = self
-                            .inner
-                            .engine
-                            .log_record(&LogRecord::Clr { oid: u.oid, image: u.before });
-                    }
-                    let _ = self.inner.engine.log_record(&LogRecord::Abort { tid: x });
-                    // step 3: release locks and permits
-                    self.inner.locks.release_all(x);
-                    // steps 4–5: propagate along incoming AD/GC, drop CD
-                    let victims = self.inner.deps.lock().aborted(x);
-                    queue.extend(victims);
-                    // step 6: aborted
-                    txns.get_mut(&x).expect("slot still present").status = TxnStatus::Aborted;
-                    self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
-                }
-            }
+    /// Abort every transaction in `seeds` and propagate along incoming
+    /// AD/GC edges. Holds at most one transaction shard at a time: each
+    /// victim's finalization is *claimed* under its shard (via
+    /// `abort_performed`), then the undo/log/release steps run lock-free,
+    /// then the terminal status is published. Running victims are marked
+    /// and poisoned; their own threads finalize.
+    pub(crate) fn abort_many(&self, seeds: &[Tid]) {
+        enum Act {
+            Skip,
+            Undo(Vec<UndoEntry>),
         }
-        self.inner.status_cv.notify_all();
+        let mut queue: Vec<Tid> = seeds.to_vec();
+        while let Some(x) = queue.pop() {
+            let act = self.inner.txns.with(x, |slot| {
+                let Some(slot) = slot else { return Act::Skip };
+                match slot.status {
+                    TxnStatus::Committed | TxnStatus::Aborted => Act::Skip,
+                    TxnStatus::Running => {
+                        // mark; the transaction's own thread performs the
+                        // steps
+                        slot.status = TxnStatus::Aborting;
+                        self.inner.locks.poison(x);
+                        Act::Skip
+                    }
+                    TxnStatus::Aborting if slot.thread_live => {
+                        // already marked; its thread will finalize
+                        Act::Skip
+                    }
+                    _ => {
+                        if slot.abort_performed {
+                            Act::Skip
+                        } else {
+                            slot.abort_performed = true;
+                            slot.status = TxnStatus::Aborting;
+                            Act::Undo(std::mem::take(&mut slot.undo))
+                        }
+                    }
+                }
+            });
+            let Act::Undo(mut undo) = act else { continue };
+            // §4.2 abort step 2: install before images, newest first,
+            // logging a CLR per step so restart recovery replays the
+            // rollback instead of re-deriving it (and never clobbers later
+            // committed overwrites)
+            undo.sort_by_key(|u| std::cmp::Reverse(u.seq));
+            for u in undo {
+                // best-effort: failing to undo one image must not strand
+                // the rest
+                let _ = self.inner.engine.install_image(u.oid, u.before.clone());
+                let _ = self.inner.engine.log_record(&LogRecord::Clr {
+                    oid: u.oid,
+                    image: u.before,
+                });
+            }
+            let _ = self.inner.engine.log_record(&LogRecord::Abort { tid: x });
+            // step 3: release locks and permits
+            self.inner.locks.release_all(x);
+            // steps 4–5: propagate along incoming AD/GC, drop CD
+            let victims = self.inner.deps.lock().aborted(x);
+            queue.extend(victims);
+            // step 6: aborted
+            self.inner.txns.with(x, |slot| {
+                if let Some(slot) = slot {
+                    slot.status = TxnStatus::Aborted;
+                }
+            });
+            self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.inner.txns.bump();
     }
-
 }
 
 /// Thread body for `begin`: run the job, then complete or abort.
 fn run_job(inner: Arc<DbInner>, tid: Tid, job: Job) {
-    let db = Database { inner: Arc::clone(&inner) };
+    let db = Database {
+        inner: Arc::clone(&inner),
+    };
     let ctx = TxnCtx::new(db.clone(), tid);
     let outcome = catch_unwind(AssertUnwindSafe(|| job(&ctx)));
     let succeeded = matches!(outcome, Ok(Ok(())));
-    let mut txns = inner.txns.lock();
-    let Some(slot) = txns.get_mut(&tid) else { return };
-    slot.thread_live = false;
-    match slot.status {
-        TxnStatus::Running if succeeded => {
-            slot.status = TxnStatus::Completed;
-            inner.status_cv.notify_all();
+    enum Fin {
+        None,
+        Completed,
+        Abort,
+    }
+    let fin = inner.txns.with(tid, |slot| {
+        let Some(slot) = slot else { return Fin::None };
+        slot.thread_live = false;
+        match slot.status {
+            TxnStatus::Running if succeeded => {
+                slot.status = TxnStatus::Completed;
+                Fin::Completed
+            }
+            TxnStatus::Running => {
+                // job failed or panicked: abort
+                slot.status = TxnStatus::Aborting;
+                Fin::Abort
+            }
+            TxnStatus::Aborting => {
+                // doomed while running: finalize the abort now
+                Fin::Abort
+            }
+            _ => Fin::None,
         }
-        TxnStatus::Running => {
-            // job failed or panicked: abort
-            slot.status = TxnStatus::Aborting;
-            db.abort_locked(&mut txns, tid);
-        }
-        TxnStatus::Aborting => {
-            // doomed while running: finalize the abort now
-            db.abort_locked(&mut txns, tid);
-        }
-        _ => {}
+    });
+    match fin {
+        Fin::Completed => inner.txns.bump(),
+        Fin::Abort => db.abort_many(&[tid]),
+        Fin::None => {}
     }
 }

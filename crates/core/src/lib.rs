@@ -34,6 +34,7 @@
 pub mod codec;
 mod context;
 mod database;
+mod txns;
 
 #[cfg(test)]
 mod tests;
@@ -44,6 +45,6 @@ pub use database::{Database, DatabaseStats, Job};
 
 // Re-export the vocabulary so `asset_core` is self-sufficient to use.
 pub use asset_common::{
-    AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result,
-    Tid, TxnStatus,
+    AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid,
+    TxnStatus,
 };

@@ -23,7 +23,9 @@ fn seed(db: &Database, bytes: &[u8]) -> Oid {
 fn atomic_transaction_lifecycle() {
     let db = db();
     let oid = db.new_oid();
-    let t = db.initiate(move |ctx| ctx.write(oid, b"hello".to_vec())).unwrap();
+    let t = db
+        .initiate(move |ctx| ctx.write(oid, b"hello".to_vec()))
+        .unwrap();
     assert_eq!(db.status(t).unwrap(), TxnStatus::Initiated);
     db.begin(t).unwrap();
     assert!(db.commit(t).unwrap());
@@ -35,19 +37,27 @@ fn atomic_transaction_lifecycle() {
 fn completion_is_not_commit() {
     let db = db();
     let oid = seed(&db, b"orig");
-    let t = db.initiate(move |ctx| ctx.write(oid, b"new".to_vec())).unwrap();
+    let t = db
+        .initiate(move |ctx| ctx.write(oid, b"new".to_vec()))
+        .unwrap();
     db.begin(t).unwrap();
     assert!(db.wait(t).unwrap(), "completed");
     // completed but uncommitted: the lock is still held — another
     // transaction's read must block
     let db2 = db.clone();
-    let reader = db2.initiate(move |ctx| {
-        ctx.read(oid)?;
-        Ok(())
-    }).unwrap();
+    let reader = db2
+        .initiate(move |ctx| {
+            ctx.read(oid)?;
+            Ok(())
+        })
+        .unwrap();
     db2.begin(reader).unwrap();
     std::thread::sleep(Duration::from_millis(30));
-    assert_eq!(db.status(reader).unwrap(), TxnStatus::Running, "reader blocked");
+    assert_eq!(
+        db.status(reader).unwrap(),
+        TxnStatus::Running,
+        "reader blocked"
+    );
     assert!(db.commit(t).unwrap());
     assert!(db.commit(reader).unwrap());
 }
@@ -56,11 +66,13 @@ fn completion_is_not_commit() {
 fn abort_restores_before_images() {
     let db = db();
     let oid = seed(&db, b"orig");
-    let t = db.initiate(move |ctx| {
-        ctx.write(oid, b"dirty".to_vec())?;
-        ctx.write(oid, b"dirtier".to_vec())?;
-        Ok(())
-    }).unwrap();
+    let t = db
+        .initiate(move |ctx| {
+            ctx.write(oid, b"dirty".to_vec())?;
+            ctx.write(oid, b"dirtier".to_vec())?;
+            Ok(())
+        })
+        .unwrap();
     db.begin(t).unwrap();
     db.wait(t).unwrap();
     assert!(db.abort(t).unwrap());
@@ -73,11 +85,13 @@ fn abort_of_creation_deletes() {
     let db = db();
     let created: Arc<parking_lot::Mutex<Option<Oid>>> = Arc::new(parking_lot::Mutex::new(None));
     let c2 = Arc::clone(&created);
-    let t = db.initiate(move |ctx| {
-        let oid = ctx.create(b"temp".to_vec())?;
-        *c2.lock() = Some(oid);
-        Ok(())
-    }).unwrap();
+    let t = db
+        .initiate(move |ctx| {
+            let oid = ctx.create(b"temp".to_vec())?;
+            *c2.lock() = Some(oid);
+            Ok(())
+        })
+        .unwrap();
     db.begin(t).unwrap();
     db.wait(t).unwrap();
     db.abort(t).unwrap();
@@ -89,10 +103,12 @@ fn abort_of_creation_deletes() {
 fn failing_job_aborts() {
     let db = db();
     let oid = seed(&db, b"orig");
-    let t = db.initiate(move |ctx| {
-        ctx.write(oid, b"doomed".to_vec())?;
-        Err(AssetError::TxnAborted(ctx.id()))
-    }).unwrap();
+    let t = db
+        .initiate(move |ctx| {
+            ctx.write(oid, b"doomed".to_vec())?;
+            Err(AssetError::TxnAborted(ctx.id()))
+        })
+        .unwrap();
     db.begin(t).unwrap();
     assert!(!db.wait(t).unwrap());
     assert!(!db.commit(t).unwrap());
@@ -103,10 +119,12 @@ fn failing_job_aborts() {
 fn panicking_job_aborts() {
     let db = db();
     let oid = seed(&db, b"orig");
-    let t = db.initiate(move |ctx| {
-        ctx.write(oid, b"doomed".to_vec())?;
-        panic!("boom");
-    }).unwrap();
+    let t = db
+        .initiate(move |ctx| {
+            ctx.write(oid, b"doomed".to_vec())?;
+            panic!("boom");
+        })
+        .unwrap();
     db.begin(t).unwrap();
     assert!(!db.commit(t).unwrap());
     assert_eq!(db.peek(oid).unwrap().unwrap(), b"orig");
@@ -121,7 +139,10 @@ fn commit_twice_returns_true_abort_after_commit_fails() {
     assert!(db.commit(t).unwrap());
     assert!(db.commit(t).unwrap(), "commit of committed returns 1");
     assert!(!db.abort(t).unwrap(), "abort of committed returns 0");
-    assert!(db.abort(db.initiate(|_| Ok(())).unwrap()).unwrap(), "abort of initiated ok");
+    assert!(
+        db.abort(db.initiate(|_| Ok(())).unwrap()).unwrap(),
+        "abort of initiated ok"
+    );
 }
 
 #[test]
@@ -133,7 +154,9 @@ fn wait_semantics() {
     db.commit(t).unwrap();
     assert!(db.wait(t).unwrap(), "wait on committed returns 1");
 
-    let a = db.initiate(|ctx| ctx.abort_self::<()>().map(|_| ())).unwrap();
+    let a = db
+        .initiate(|ctx| ctx.abort_self::<()>().map(|_| ()))
+        .unwrap();
     db.begin(a).unwrap();
     assert!(!db.wait(a).unwrap(), "wait on aborted returns 0");
 }
@@ -144,14 +167,16 @@ fn parent_tracking() {
     let observed: Arc<parking_lot::Mutex<(Tid, Tid)>> =
         Arc::new(parking_lot::Mutex::new((Tid::NULL, Tid::NULL)));
     let o2 = Arc::clone(&observed);
-    let t = db.initiate(move |ctx| {
-        let child = ctx.initiate(|_| Ok(()))?;
-        ctx.begin(child)?;
-        ctx.wait(child)?;
-        *o2.lock() = (ctx.parent(), ctx.db().parent_of(child)?);
-        ctx.commit(child)?;
-        Ok(())
-    }).unwrap();
+    let t = db
+        .initiate(move |ctx| {
+            let child = ctx.initiate(|_| Ok(()))?;
+            ctx.begin(child)?;
+            ctx.wait(child)?;
+            *o2.lock() = (ctx.parent(), ctx.db().parent_of(child)?);
+            ctx.commit(child)?;
+            Ok(())
+        })
+        .unwrap();
     db.begin(t).unwrap();
     assert!(db.commit(t).unwrap());
     let (top_parent, child_parent) = *observed.lock();
@@ -173,9 +198,18 @@ fn resource_exhaustion() {
 #[test]
 fn unknown_tid_errors() {
     let db = db();
-    assert!(matches!(db.commit(Tid(999)), Err(AssetError::TxnNotFound(_))));
-    assert!(matches!(db.begin(Tid(999)), Err(AssetError::TxnNotFound(_))));
-    assert!(matches!(db.status(Tid(999)), Err(AssetError::TxnNotFound(_))));
+    assert!(matches!(
+        db.commit(Tid(999)),
+        Err(AssetError::TxnNotFound(_))
+    ));
+    assert!(matches!(
+        db.begin(Tid(999)),
+        Err(AssetError::TxnNotFound(_))
+    ));
+    assert!(matches!(
+        db.status(Tid(999)),
+        Err(AssetError::TxnNotFound(_))
+    ));
 }
 
 #[test]
@@ -231,7 +265,9 @@ fn abort_dependency_propagates() {
     let db = db();
     let oid = seed(&db, b"orig");
     let t1 = db.initiate(|_| Ok(())).unwrap();
-    let t2 = db.initiate(move |ctx| ctx.write(oid, b"by-t2".to_vec())).unwrap();
+    let t2 = db
+        .initiate(move |ctx| ctx.write(oid, b"by-t2".to_vec()))
+        .unwrap();
     db.form_dependency(DepType::AD, t1, t2).unwrap(); // t1 aborts → t2 aborts
     db.begin_many(&[t1, t2]).unwrap();
     db.wait(t1).unwrap();
@@ -281,10 +317,15 @@ fn group_abort_aborts_all() {
     let db = db();
     let a = seed(&db, b"0");
     let t1 = db.initiate(move |ctx| ctx.write(a, b"1".to_vec())).unwrap();
-    let t2 = db.initiate(|ctx| ctx.abort_self::<()>().map(|_| ())).unwrap();
+    let t2 = db
+        .initiate(|ctx| ctx.abort_self::<()>().map(|_| ()))
+        .unwrap();
     db.form_dependency(DepType::GC, t1, t2).unwrap();
     db.begin_many(&[t1, t2]).unwrap();
-    assert!(!db.commit(t1).unwrap(), "group member aborted → group aborts");
+    assert!(
+        !db.commit(t1).unwrap(),
+        "group member aborted → group aborts"
+    );
     assert_eq!(db.status(t1).unwrap(), TxnStatus::Aborted);
     assert_eq!(db.peek(a).unwrap().unwrap(), b"0");
 }
@@ -305,17 +346,22 @@ fn dependency_cycle_rejected() {
 fn permit_allows_conflicting_access() {
     let db = db();
     let oid = seed(&db, b"v0");
-    let holder = db.initiate(move |ctx| ctx.write(oid, b"v1".to_vec())).unwrap();
+    let holder = db
+        .initiate(move |ctx| ctx.write(oid, b"v1".to_vec()))
+        .unwrap();
     db.begin(holder).unwrap();
     db.wait(holder).unwrap();
     // holder is completed, uncommitted, holding the write lock
-    db.permit(holder, None, ObSet::one(oid), OpSet::READ).unwrap();
+    db.permit(holder, None, ObSet::one(oid), OpSet::READ)
+        .unwrap();
     let seen: Arc<parking_lot::Mutex<Vec<u8>>> = Arc::new(parking_lot::Mutex::new(vec![]));
     let s2 = Arc::clone(&seen);
-    let reader = db.initiate(move |ctx| {
-        *s2.lock() = ctx.read(oid)?.unwrap();
-        Ok(())
-    }).unwrap();
+    let reader = db
+        .initiate(move |ctx| {
+            *s2.lock() = ctx.read(oid)?.unwrap();
+            Ok(())
+        })
+        .unwrap();
     db.begin(reader).unwrap();
     assert!(db.commit(reader).unwrap());
     assert_eq!(*seen.lock(), b"v1", "dirty read via permit — by design");
@@ -326,7 +372,9 @@ fn permit_allows_conflicting_access() {
 fn delegation_moves_responsibility_for_undo_and_commit() {
     let db = db();
     let oid = seed(&db, b"orig");
-    let t1 = db.initiate(move |ctx| ctx.write(oid, b"t1-write".to_vec())).unwrap();
+    let t1 = db
+        .initiate(move |ctx| ctx.write(oid, b"t1-write".to_vec()))
+        .unwrap();
     let t2 = db.initiate(|_| Ok(())).unwrap();
     db.begin(t1).unwrap();
     db.wait(t1).unwrap();
@@ -344,7 +392,9 @@ fn delegation_moves_responsibility_for_undo_and_commit() {
 fn delegated_work_dies_with_delegatee() {
     let db = db();
     let oid = seed(&db, b"orig");
-    let t1 = db.initiate(move |ctx| ctx.write(oid, b"t1-write".to_vec())).unwrap();
+    let t1 = db
+        .initiate(move |ctx| ctx.write(oid, b"t1-write".to_vec()))
+        .unwrap();
     let t2 = db.initiate(|_| Ok(())).unwrap();
     db.begin(t1).unwrap();
     db.wait(t1).unwrap();
@@ -361,10 +411,12 @@ fn partial_delegation_by_object_set() {
     let db = db();
     let a = seed(&db, b"a0");
     let b = seed(&db, b"b0");
-    let t1 = db.initiate(move |ctx| {
-        ctx.write(a, b"a1".to_vec())?;
-        ctx.write(b, b"b1".to_vec())
-    }).unwrap();
+    let t1 = db
+        .initiate(move |ctx| {
+            ctx.write(a, b"a1".to_vec())?;
+            ctx.write(b, b"b1".to_vec())
+        })
+        .unwrap();
     let t2 = db.initiate(|_| Ok(())).unwrap();
     db.begin(t1).unwrap();
     db.wait(t1).unwrap();
@@ -383,14 +435,18 @@ fn delegate_to_initiated_transaction_before_begin() {
     // the paper's motivation for separating initiate from begin
     let db = db();
     let oid = seed(&db, b"orig");
-    let t2 = db.initiate(move |ctx| {
-        // sees the delegated lock as its own: can update without conflict
-        ctx.write(oid, b"t2-continues".to_vec())
-    }).unwrap();
-    let t1 = db.initiate(move |ctx| {
-        ctx.write(oid, b"t1-started".to_vec())?;
-        ctx.delegate_to(t2)
-    }).unwrap();
+    let t2 = db
+        .initiate(move |ctx| {
+            // sees the delegated lock as its own: can update without conflict
+            ctx.write(oid, b"t2-continues".to_vec())
+        })
+        .unwrap();
+    let t1 = db
+        .initiate(move |ctx| {
+            ctx.write(oid, b"t1-started".to_vec())?;
+            ctx.delegate_to(t2)
+        })
+        .unwrap();
     db.begin(t1).unwrap();
     db.wait(t1).unwrap();
     db.commit(t1).unwrap();
@@ -407,15 +463,17 @@ fn serialized_increments_are_lost_update_free() {
     let oid = seed(&db, &0u64.to_le_bytes());
     let mut tids = vec![];
     for _ in 0..8 {
-        let t = db.initiate(move |ctx| {
-            for _ in 0..10 {
-                ctx.update(oid, |cur| {
-                    let v = u64::from_le_bytes(cur.unwrap().try_into().unwrap());
-                    (v + 1).to_le_bytes().to_vec()
-                })?;
-            }
-            Ok(())
-        }).unwrap();
+        let t = db
+            .initiate(move |ctx| {
+                for _ in 0..10 {
+                    ctx.update(oid, |cur| {
+                        let v = u64::from_le_bytes(cur.unwrap().try_into().unwrap());
+                        (v + 1).to_le_bytes().to_vec()
+                    })?;
+                }
+                Ok(())
+            })
+            .unwrap();
         tids.push(t);
     }
     // serialized by write locks: each txn holds the lock until commit, so
@@ -432,11 +490,14 @@ fn serialized_increments_are_lost_update_free() {
 #[test]
 fn concurrent_disjoint_transactions_commit() {
     let db = db();
-    let oids: Vec<Oid> = (0..16).map(|i| seed(&db, format!("{i}").as_bytes())).collect();
+    let oids: Vec<Oid> = (0..16)
+        .map(|i| seed(&db, format!("{i}").as_bytes()))
+        .collect();
     let tids: Vec<Tid> = oids
         .iter()
         .map(|&oid| {
-            db.initiate(move |ctx| ctx.write(oid, b"done".to_vec())).unwrap()
+            db.initiate(move |ctx| ctx.write(oid, b"done".to_vec()))
+                .unwrap()
         })
         .collect();
     db.begin_many(&tids).unwrap();
@@ -455,41 +516,55 @@ fn deadlock_victim_aborts_other_proceeds() {
     let b = seed(&db, b"b");
     let barrier = Arc::new(std::sync::Barrier::new(2));
     let (ba, bb) = (Arc::clone(&barrier), Arc::clone(&barrier));
-    let t1 = db.initiate(move |ctx| {
-        ctx.write(a, b"t1".to_vec())?;
-        ba.wait();
-        ctx.write(b, b"t1".to_vec())
-    }).unwrap();
-    let t2 = db.initiate(move |ctx| {
-        ctx.write(b, b"t2".to_vec())?;
-        bb.wait();
-        ctx.write(a, b"t2".to_vec())
-    }).unwrap();
+    let t1 = db
+        .initiate(move |ctx| {
+            ctx.write(a, b"t1".to_vec())?;
+            ba.wait();
+            ctx.write(b, b"t1".to_vec())
+        })
+        .unwrap();
+    let t2 = db
+        .initiate(move |ctx| {
+            ctx.write(b, b"t2".to_vec())?;
+            bb.wait();
+            ctx.write(a, b"t2".to_vec())
+        })
+        .unwrap();
     db.begin_many(&[t1, t2]).unwrap();
     let r1 = db.commit(t1).unwrap();
     let r2 = db.commit(t2).unwrap();
-    assert!(r1 ^ r2, "exactly one of the deadlocked pair commits: {r1} {r2}");
+    assert!(
+        r1 ^ r2,
+        "exactly one of the deadlocked pair commits: {r1} {r2}"
+    );
 }
 
 #[test]
 fn aborting_a_blocked_transaction_unblocks_it() {
     let db = db();
     let oid = seed(&db, b"v");
-    let holder = db.initiate(move |ctx| {
-        ctx.write(oid, b"held".to_vec())?;
-        std::thread::sleep(Duration::from_millis(500));
-        Ok(())
-    }).unwrap();
+    let holder = db
+        .initiate(move |ctx| {
+            ctx.write(oid, b"held".to_vec())?;
+            std::thread::sleep(Duration::from_millis(500));
+            Ok(())
+        })
+        .unwrap();
     db.begin(holder).unwrap();
     std::thread::sleep(Duration::from_millis(30));
-    let waiter = db.initiate(move |ctx| ctx.write(oid, b"waiter".to_vec())).unwrap();
+    let waiter = db
+        .initiate(move |ctx| ctx.write(oid, b"waiter".to_vec()))
+        .unwrap();
     db.begin(waiter).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     // waiter is blocked on the lock; abort must wake and kill it promptly
     let start = std::time::Instant::now();
     db.abort(waiter).unwrap();
     assert!(!db.commit(waiter).unwrap());
-    assert!(start.elapsed() < Duration::from_millis(400), "no timeout wait");
+    assert!(
+        start.elapsed() < Duration::from_millis(400),
+        "no timeout wait"
+    );
     db.commit(holder).unwrap();
 }
 
@@ -505,9 +580,13 @@ fn committed_work_survives_crash() {
         let (db, _) = Database::open(config.clone()).unwrap();
         oid = db.new_oid();
         let o = oid;
-        assert!(db.run(move |ctx| ctx.write(o, b"committed".to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(o, b"committed".to_vec()))
+            .unwrap());
         // uncommitted overwrite by another transaction, left in flight
-        let t = db.initiate(move |ctx| ctx.write(o, b"in-flight".to_vec())).unwrap();
+        let t = db
+            .initiate(move |ctx| ctx.write(o, b"in-flight".to_vec()))
+            .unwrap();
         db.begin(t).unwrap();
         db.wait(t).unwrap();
         // crash: drop the db without committing/aborting t
@@ -527,7 +606,13 @@ fn checkpoint_requires_quiescence() {
     let db = db();
     let t = db.initiate(|_| Ok(())).unwrap();
     let err = db.checkpoint().unwrap_err();
-    assert!(matches!(err, AssetError::InvalidState { op: "checkpoint", .. }));
+    assert!(matches!(
+        err,
+        AssetError::InvalidState {
+            op: "checkpoint",
+            ..
+        }
+    ));
     db.begin(t).unwrap();
     db.commit(t).unwrap();
     db.checkpoint().unwrap();
@@ -555,9 +640,7 @@ fn retire_terminated_frees_slots() {
 #[test]
 fn run_helper_reports_abort() {
     let db = db();
-    let committed = db
-        .run(|ctx| ctx.abort_self::<()>().map(|_| ()))
-        .unwrap();
+    let committed = db.run(|ctx| ctx.abort_self::<()>().map(|_| ())).unwrap();
     assert!(!committed);
 }
 
@@ -571,7 +654,9 @@ fn compact_log_drops_settled_history() {
     }
     // one long-lived transaction, completed but uncommitted
     let live_oid = seed(&db, b"live0");
-    let t = db.initiate(move |ctx| ctx.write(live_oid, b"live1".to_vec())).unwrap();
+    let t = db
+        .initiate(move |ctx| ctx.write(live_oid, b"live1".to_vec()))
+        .unwrap();
     db.begin(t).unwrap();
     db.wait(t).unwrap();
 
@@ -601,14 +686,18 @@ fn compact_log_preserves_live_undo_across_crash() {
         let (db, _) = Database::open(config.clone()).unwrap();
         settled_oid = db.new_oid();
         let s = settled_oid;
-        assert!(db.run(move |ctx| ctx.write(s, b"settled".to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(s, b"settled".to_vec()))
+            .unwrap());
         live_oid = db.new_oid();
         let l = live_oid;
         // live txn overwrites the settled object, then the log is compacted
-        let t = db.initiate(move |ctx| {
-            ctx.write(s, b"live-overwrite".to_vec())?;
-            ctx.write(l, b"live-new".to_vec())
-        }).unwrap();
+        let t = db
+            .initiate(move |ctx| {
+                ctx.write(s, b"live-overwrite".to_vec())?;
+                ctx.write(l, b"live-new".to_vec())
+            })
+            .unwrap();
         db.begin(t).unwrap();
         db.wait(t).unwrap();
         db.compact_log().unwrap();
@@ -630,7 +719,9 @@ fn compact_log_folds_delegation_into_ownership() {
     let db = db();
     let oid = seed(&db, b"orig");
     let receiver = db.initiate(|_| Ok(())).unwrap();
-    let worker = db.initiate(move |ctx| ctx.write(oid, b"worked".to_vec())).unwrap();
+    let worker = db
+        .initiate(move |ctx| ctx.write(oid, b"worked".to_vec()))
+        .unwrap();
     db.begin(worker).unwrap();
     db.wait(worker).unwrap();
     db.delegate(worker, receiver, None).unwrap();
@@ -648,7 +739,11 @@ fn compact_log_folds_delegation_into_ownership() {
             _ => None,
         })
         .collect();
-    assert_eq!(owners, vec![receiver], "update re-attributed to the delegatee");
+    assert_eq!(
+        owners,
+        vec![receiver],
+        "update re-attributed to the delegatee"
+    );
 
     // and the delegated work still commits durably
     db.begin(receiver).unwrap();
@@ -661,15 +756,23 @@ fn compact_log_rejects_running_transactions() {
     let db = db();
     let gate = Arc::new(AtomicBool::new(false));
     let g2 = Arc::clone(&gate);
-    let t = db.initiate(move |_| {
-        while !g2.load(Ordering::SeqCst) {
-            std::thread::yield_now();
-        }
-        Ok(())
-    }).unwrap();
+    let t = db
+        .initiate(move |_| {
+            while !g2.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            Ok(())
+        })
+        .unwrap();
     db.begin(t).unwrap();
     let err = db.compact_log().unwrap_err();
-    assert!(matches!(err, AssetError::InvalidState { op: "compact_log", .. }));
+    assert!(matches!(
+        err,
+        AssetError::InvalidState {
+            op: "compact_log",
+            ..
+        }
+    ));
     gate.store(true, Ordering::SeqCst);
     assert!(db.commit(t).unwrap());
     db.compact_log().unwrap();
@@ -702,29 +805,39 @@ fn explicit_lock_primitives() {
     // is no upgrade deadlock — both commit, serialized
     let mut tids = vec![];
     for i in 0..2u8 {
-        let t = db.initiate(move |ctx| {
-            ctx.lock_exclusive(oid)?;
-            let mut v = ctx.read(oid)?.unwrap();
-            v.push(i);
-            ctx.write(oid, v)
-        }).unwrap();
+        let t = db
+            .initiate(move |ctx| {
+                ctx.lock_exclusive(oid)?;
+                let mut v = ctx.read(oid)?.unwrap();
+                v.push(i);
+                ctx.write(oid, v)
+            })
+            .unwrap();
         tids.push(t);
     }
     db.begin_many(&tids).unwrap();
     for t in &tids {
         assert!(db.commit(*t).unwrap());
     }
-    assert_eq!(db.peek(oid).unwrap().unwrap().len(), 3, "both appends landed");
+    assert_eq!(
+        db.peek(oid).unwrap().unwrap().len(),
+        3,
+        "both appends landed"
+    );
 
     // lock_shared allows concurrent readers
-    let t1 = db.initiate(move |ctx| {
-        ctx.lock_shared(oid)?;
-        Ok(())
-    }).unwrap();
-    let t2 = db.initiate(move |ctx| {
-        ctx.lock_shared(oid)?;
-        Ok(())
-    }).unwrap();
+    let t1 = db
+        .initiate(move |ctx| {
+            ctx.lock_shared(oid)?;
+            Ok(())
+        })
+        .unwrap();
+    let t2 = db
+        .initiate(move |ctx| {
+            ctx.lock_shared(oid)?;
+            Ok(())
+        })
+        .unwrap();
     db.begin_many(&[t1, t2]).unwrap();
     assert!(db.commit(t1).unwrap());
     assert!(db.commit(t2).unwrap());
@@ -737,27 +850,40 @@ fn permit_accessed_materializes_paper_form() {
     let db = db();
     let a = seed(&db, b"a");
     let b = seed(&db, b"b");
-    let holder = db.initiate(move |ctx| {
-        ctx.write(a, b"ha".to_vec())?;
-        ctx.write(b, b"hb".to_vec())
-    }).unwrap();
+    let holder = db
+        .initiate(move |ctx| {
+            ctx.write(a, b"ha".to_vec())?;
+            ctx.write(b, b"hb".to_vec())
+        })
+        .unwrap();
     db.begin(holder).unwrap();
     db.wait(holder).unwrap();
     db.permit_accessed(holder, None, OpSet::READ).unwrap();
     // any transaction may now read both accessed objects, dirty
-    assert!(db.run(move |ctx| {
-        assert_eq!(ctx.read(a)?.unwrap(), b"ha");
-        assert_eq!(ctx.read(b)?.unwrap(), b"hb");
-        Ok(())
-    }).unwrap());
+    assert!(db
+        .run(move |ctx| {
+            assert_eq!(ctx.read(a)?.unwrap(), b"ha");
+            assert_eq!(ctx.read(b)?.unwrap(), b"hb");
+            Ok(())
+        })
+        .unwrap());
     // but not write them
-    let db2 = Database::open(asset_common::Config::in_memory()
-        .with_lock_timeout(Some(Duration::from_millis(50)))).unwrap().0;
+    let db2 = Database::open(
+        asset_common::Config::in_memory().with_lock_timeout(Some(Duration::from_millis(50))),
+    )
+    .unwrap()
+    .0;
     let _ = db2; // (writes tested against the same db with short-lived txn)
-    let t = db.initiate(move |ctx| ctx.write(a, b"nope".to_vec())).unwrap();
+    let t = db
+        .initiate(move |ctx| ctx.write(a, b"nope".to_vec()))
+        .unwrap();
     db.begin(t).unwrap();
     std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(db.status(t).unwrap(), TxnStatus::Running, "writer still blocked");
+    assert_eq!(
+        db.status(t).unwrap(),
+        TxnStatus::Running,
+        "writer still blocked"
+    );
     db.abort(t).unwrap();
     db.commit(holder).unwrap();
 }
@@ -772,10 +898,12 @@ fn delegation_into_gc_group_commits_atomically() {
     let receiver = db.initiate(|_| Ok(())).unwrap();
     let partner = db.initiate(|_| Ok(())).unwrap();
     db.form_dependency(DepType::GC, receiver, partner).unwrap();
-    let worker = db.initiate(move |ctx| {
-        ctx.write(oid, b"delegated".to_vec())?;
-        ctx.delegate_to(receiver)
-    }).unwrap();
+    let worker = db
+        .initiate(move |ctx| {
+            ctx.write(oid, b"delegated".to_vec())?;
+            ctx.delegate_to(receiver)
+        })
+        .unwrap();
     db.begin(worker).unwrap();
     db.wait(worker).unwrap();
     db.commit(worker).unwrap();
@@ -799,12 +927,16 @@ fn clr_protocol_keeps_later_commits_after_runtime_abort() {
         let o = oid;
         assert!(db.run(move |ctx| ctx.write(o, b"v0".to_vec())).unwrap());
         // t1 writes and aborts
-        let t1 = db.initiate(move |ctx| ctx.write(o, b"t1".to_vec())).unwrap();
+        let t1 = db
+            .initiate(move |ctx| ctx.write(o, b"t1".to_vec()))
+            .unwrap();
         db.begin(t1).unwrap();
         db.wait(t1).unwrap();
         db.abort(t1).unwrap();
         // t2 commits an overwrite afterwards
-        assert!(db.run(move |ctx| ctx.write(o, b"t2-final".to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(o, b"t2-final".to_vec()))
+            .unwrap());
         db.engine().log().flush().unwrap();
     }
     let (db, _) = Database::open(config).unwrap();
@@ -816,7 +948,9 @@ fn clr_protocol_keeps_later_commits_after_runtime_abort() {
 fn database_stats_snapshot() {
     let db = db();
     let oid = seed(&db, b"x");
-    let t = db.initiate(move |ctx| ctx.write(oid, b"y".to_vec())).unwrap();
+    let t = db
+        .initiate(move |ctx| ctx.write(oid, b"y".to_vec()))
+        .unwrap();
     let s = db.stats();
     assert_eq!(s.initiated, 1);
     db.begin(t).unwrap();

@@ -60,7 +60,7 @@ struct GateEdge {
 pub struct DepGraph {
     /// CD/AD edges, doubly indexed.
     out_edges: HashMap<Tid, Vec<GateEdge>>, // keyed by dependent
-    in_edges: HashMap<Tid, Vec<GateEdge>>,  // keyed by `on`
+    in_edges: HashMap<Tid, Vec<GateEdge>>, // keyed by `on`
     /// GC adjacency (undirected).
     gc: HashMap<Tid, HashSet<Tid>>,
     /// Terminal states of registered transactions.
@@ -110,7 +110,10 @@ impl DepGraph {
     /// already-aborted `on` dooms an active AD dependent / GC partner.
     pub fn form(&mut self, kind: DepType, ti: Tid, tj: Tid) -> Result<()> {
         if ti == tj {
-            return Err(AssetError::DependencyCycle { dependent: tj, on: ti });
+            return Err(AssetError::DependencyCycle {
+                dependent: tj,
+                on: ti,
+            });
         }
         self.register(ti);
         self.register(tj);
@@ -155,7 +158,11 @@ impl DepGraph {
                         if self.reaches(on, dependent) {
                             return Err(AssetError::DependencyCycle { dependent, on });
                         }
-                        let edge = GateEdge { dependent, on, kind };
+                        let edge = GateEdge {
+                            dependent,
+                            on,
+                            kind,
+                        };
                         self.out_edges.entry(dependent).or_default().push(edge);
                         self.in_edges.entry(on).or_default().push(edge);
                         Ok(())
@@ -217,7 +224,9 @@ impl DepGraph {
             }
         }
         for m in &group {
-            let Some(edges) = self.out_edges.get(m) else { continue };
+            let Some(edges) = self.out_edges.get(m) else {
+                continue;
+            };
             for e in edges {
                 if group_set.contains(&e.on) {
                     continue; // intra-group: satisfied by committing together
@@ -402,7 +411,10 @@ mod tests {
         g.form(DepType::CD, Tid(9), Tid(2)).unwrap();
         assert_eq!(g.commit_gate(Tid(1)), CommitGate::WaitOn(Tid(9)));
         g.committed(&[Tid(9)]);
-        assert_eq!(g.commit_gate(Tid(1)), CommitGate::Ready(vec![Tid(1), Tid(2)]));
+        assert_eq!(
+            g.commit_gate(Tid(1)),
+            CommitGate::Ready(vec![Tid(1), Tid(2)])
+        );
     }
 
     #[test]
@@ -411,7 +423,10 @@ mod tests {
         g.form(DepType::GC, Tid(1), Tid(2)).unwrap();
         // an AD inside the group: satisfied by committing together
         g.form(DepType::AD, Tid(1), Tid(2)).unwrap();
-        assert_eq!(g.commit_gate(Tid(2)), CommitGate::Ready(vec![Tid(1), Tid(2)]));
+        assert_eq!(
+            g.commit_gate(Tid(2)),
+            CommitGate::Ready(vec![Tid(1), Tid(2)])
+        );
     }
 
     #[test]

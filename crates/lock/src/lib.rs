@@ -15,6 +15,8 @@
 
 pub mod permit;
 pub mod table;
+pub mod waits;
 
-pub use permit::{Permit, PermitTable};
-pub use table::{LockStats, LockTable, Lrd, PendingReq};
+pub use permit::{permits_across, Permit, PermitTable};
+pub use table::{LockSnapshot, LockStats, LockTable, Lrd, PendingReq};
+pub use waits::WaitGraph;

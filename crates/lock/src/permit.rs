@@ -120,7 +120,9 @@ impl PermitTable {
     pub fn reattribute(&mut self, from: Tid, to: Tid, obs: Option<&ObSet>) {
         let ids: Vec<PermitId> = self.by_grantor.get(&from).cloned().unwrap_or_default();
         for id in ids {
-            let Some(p) = self.permits.get(&id).cloned() else { continue };
+            let Some(p) = self.permits.get(&id).cloned() else {
+                continue;
+            };
             match obs {
                 None => {
                     // full delegation: move the permit wholesale
@@ -150,9 +152,17 @@ impl PermitTable {
                     };
                     self.permits.remove(&id);
                     self.unindex(id, &p);
-                    self.insert(Permit { grantor: to, obs: moved_scope, ..p.clone() });
+                    self.insert(Permit {
+                        grantor: to,
+                        obs: moved_scope,
+                        ..p.clone()
+                    });
                     if let Some(rest) = remainder {
-                        self.insert(Permit { grantor: from, obs: rest, ..p });
+                        self.insert(Permit {
+                            grantor: from,
+                            obs: rest,
+                            ..p
+                        });
                     }
                 }
             }
@@ -163,45 +173,16 @@ impl PermitTable {
     /// `requester` to perform `op` on `ob`, directly or through a
     /// transitive chain of permits?
     pub fn permits(&self, holder: Tid, requester: Tid, ob: Oid, op: Operation) -> bool {
-        if holder == requester {
-            return true;
-        }
-        let mut on_path: HashSet<Tid> = HashSet::new();
-        on_path.insert(holder);
-        self.dfs(holder, requester, ob, op, &mut on_path)
+        permits_across(&[self], holder, requester, ob, op)
     }
 
-    fn dfs(
-        &self,
-        from: Tid,
-        target: Tid,
-        ob: Oid,
-        op: Operation,
-        on_path: &mut HashSet<Tid>,
-    ) -> bool {
-        let Some(ids) = self.by_grantor.get(&from) else { return false };
-        for id in ids {
-            let Some(p) = self.permits.get(id) else { continue };
-            // scope check: the chain's effective scope is the intersection
-            // of every hop; since we test one (ob, op) point, intersection
-            // membership == membership at every hop.
-            if !p.obs.contains(ob) || !p.ops.contains(op) {
-                continue;
-            }
-            match p.grantee {
-                None => return true, // wildcard: any transaction, incl. target
-                Some(g) if g == target => return true,
-                Some(g) => {
-                    if on_path.insert(g) {
-                        if self.dfs(g, target, ob, op, on_path) {
-                            return true;
-                        }
-                        on_path.remove(&g);
-                    }
-                }
-            }
-        }
-        false
+    /// Permits granted by `tid`, borrowed (the DFS edge list).
+    pub fn edges_from(&self, tid: Tid) -> impl Iterator<Item = &Permit> {
+        self.by_grantor
+            .get(&tid)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.permits.get(id))
     }
 
     /// All permits granted by `tid` (snapshot; used to materialize the
@@ -237,12 +218,70 @@ impl PermitTable {
     }
 }
 
+/// The transitive permission check over the **union** of several permit
+/// tables. The sharded lock table stores single-shard permits in the
+/// object's shard and wildcard/cross-shard permits in a global table; a
+/// chain may hop between the two, so the DFS follows `by_grantor` edges of
+/// every table at every hop.
+pub fn permits_across(
+    tables: &[&PermitTable],
+    holder: Tid,
+    requester: Tid,
+    ob: Oid,
+    op: Operation,
+) -> bool {
+    if holder == requester {
+        return true;
+    }
+    let mut on_path: HashSet<Tid> = HashSet::new();
+    on_path.insert(holder);
+    dfs_across(tables, holder, requester, ob, op, &mut on_path)
+}
+
+fn dfs_across(
+    tables: &[&PermitTable],
+    from: Tid,
+    target: Tid,
+    ob: Oid,
+    op: Operation,
+    on_path: &mut HashSet<Tid>,
+) -> bool {
+    for table in tables {
+        for p in table.edges_from(from) {
+            // scope check: the chain's effective scope is the intersection
+            // of every hop; since we test one (ob, op) point, intersection
+            // membership == membership at every hop.
+            if !p.obs.contains(ob) || !p.ops.contains(op) {
+                continue;
+            }
+            match p.grantee {
+                None => return true, // wildcard: any transaction, incl. target
+                Some(g) if g == target => return true,
+                Some(g) => {
+                    if on_path.insert(g) {
+                        if dfs_across(tables, g, target, ob, op, on_path) {
+                            return true;
+                        }
+                        on_path.remove(&g);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(grantor: u64, grantee: Option<u64>, obs: ObSet, ops: OpSet) -> Permit {
-        Permit { grantor: Tid(grantor), grantee: grantee.map(Tid), obs, ops }
+        Permit {
+            grantor: Tid(grantor),
+            grantee: grantee.map(Tid),
+            obs,
+            ops,
+        }
     }
 
     #[test]
@@ -253,7 +292,10 @@ mod tests {
         assert!(!t.permits(Tid(1), Tid(2), Oid(10), Operation::Read));
         assert!(!t.permits(Tid(1), Tid(2), Oid(11), Operation::Write));
         assert!(!t.permits(Tid(1), Tid(3), Oid(10), Operation::Write));
-        assert!(!t.permits(Tid(2), Tid(1), Oid(10), Operation::Write), "not symmetric");
+        assert!(
+            !t.permits(Tid(2), Tid(1), Oid(10), Operation::Write),
+            "not symmetric"
+        );
     }
 
     #[test]
@@ -282,13 +324,32 @@ mod tests {
     fn transitive_chain_intersects_scopes() {
         let mut t = PermitTable::new();
         // t1 permits t2 on {1,2} read+write; t2 permits t3 on {2,3} write.
-        t.insert(p(1, Some(2), ObSet::from_slice(&[Oid(1), Oid(2)]), OpSet::ALL));
-        t.insert(p(2, Some(3), ObSet::from_slice(&[Oid(2), Oid(3)]), OpSet::WRITE));
+        t.insert(p(
+            1,
+            Some(2),
+            ObSet::from_slice(&[Oid(1), Oid(2)]),
+            OpSet::ALL,
+        ));
+        t.insert(p(
+            2,
+            Some(3),
+            ObSet::from_slice(&[Oid(2), Oid(3)]),
+            OpSet::WRITE,
+        ));
         // effective permit t1 -> t3: {2} x {write}
         assert!(t.permits(Tid(1), Tid(3), Oid(2), Operation::Write));
-        assert!(!t.permits(Tid(1), Tid(3), Oid(1), Operation::Write), "ob not in 2nd hop");
-        assert!(!t.permits(Tid(1), Tid(3), Oid(3), Operation::Write), "ob not in 1st hop");
-        assert!(!t.permits(Tid(1), Tid(3), Oid(2), Operation::Read), "op intersected away");
+        assert!(
+            !t.permits(Tid(1), Tid(3), Oid(1), Operation::Write),
+            "ob not in 2nd hop"
+        );
+        assert!(
+            !t.permits(Tid(1), Tid(3), Oid(3), Operation::Write),
+            "ob not in 1st hop"
+        );
+        assert!(
+            !t.permits(Tid(1), Tid(3), Oid(2), Operation::Read),
+            "op intersected away"
+        );
     }
 
     #[test]
@@ -338,12 +399,26 @@ mod tests {
     #[test]
     fn reattribute_partial_splits_scope() {
         let mut t = PermitTable::new();
-        t.insert(p(1, Some(2), ObSet::from_slice(&[Oid(1), Oid(2)]), OpSet::ALL));
+        t.insert(p(
+            1,
+            Some(2),
+            ObSet::from_slice(&[Oid(1), Oid(2)]),
+            OpSet::ALL,
+        ));
         // delegate only ob1 from t1 to t3
         t.reattribute(Tid(1), Tid(3), Some(&ObSet::one(Oid(1))));
-        assert!(t.permits(Tid(3), Tid(2), Oid(1), Operation::Read), "moved part");
-        assert!(t.permits(Tid(1), Tid(2), Oid(2), Operation::Read), "remainder stays");
-        assert!(!t.permits(Tid(1), Tid(2), Oid(1), Operation::Read), "moved away");
+        assert!(
+            t.permits(Tid(3), Tid(2), Oid(1), Operation::Read),
+            "moved part"
+        );
+        assert!(
+            t.permits(Tid(1), Tid(2), Oid(2), Operation::Read),
+            "remainder stays"
+        );
+        assert!(
+            !t.permits(Tid(1), Tid(2), Oid(1), Operation::Read),
+            "moved away"
+        );
     }
 
     #[test]
@@ -364,6 +439,45 @@ mod tests {
         assert_eq!(t.granted_by(Tid(1)).len(), 2);
         assert_eq!(t.granted_to(Tid(1)).len(), 1);
         assert_eq!(t.granted_by(Tid(9)).len(), 0);
+    }
+
+    #[test]
+    fn chain_hops_between_tables() {
+        // t1 -> t2 lives in one table, t2 -> t3 in another; the union DFS
+        // must stitch the chain together (shard table + global table).
+        let mut a = PermitTable::new();
+        let mut b = PermitTable::new();
+        a.insert(p(1, Some(2), ObSet::one(Oid(5)), OpSet::ALL));
+        b.insert(p(2, Some(3), ObSet::All, OpSet::ALL));
+        assert!(permits_across(
+            &[&a, &b],
+            Tid(1),
+            Tid(3),
+            Oid(5),
+            Operation::Write
+        ));
+        assert!(!permits_across(
+            &[&a],
+            Tid(1),
+            Tid(3),
+            Oid(5),
+            Operation::Write
+        ));
+        assert!(!permits_across(
+            &[&b],
+            Tid(1),
+            Tid(3),
+            Oid(5),
+            Operation::Write
+        ));
+        // scope still intersects along the stitched chain
+        assert!(!permits_across(
+            &[&a, &b],
+            Tid(1),
+            Tid(3),
+            Oid(6),
+            Operation::Write
+        ));
     }
 
     #[test]

@@ -8,11 +8,31 @@
 //! paper phrases it; a waits-for graph detects data deadlocks (the paper is
 //! silent on these — see DESIGN.md §6) and a configurable timeout backstops
 //! everything.
+//!
+//! ## Sharding (§4.1 double hashing realized)
+//!
+//! The paper hashes the descriptor tables by object id and by transaction
+//! id precisely so that concurrent transactions touching disjoint objects
+//! never serialize on shared bookkeeping. Here that is realized as N
+//! oid-hashed **shards**, each with its own mutex + condvar over the OD
+//! map, the shard's slice of the TD-side object lists, and a shard-local
+//! permit table; a tid-keyed shard-set index (the second hash) lets
+//! `release_all`/`delegate` visit only the shards a transaction actually
+//! touched. Permits whose object scope is `ObSet::All` (or spans shards)
+//! live in a small read-mostly global table consulted after the per-shard
+//! miss. Multi-shard operations take shard locks one at a time in
+//! ascending index order, so the manager is internally deadlock-free.
+//! Wait-for edges go to a dedicated [`WaitGraph`] collector and counters
+//! are per-shard relaxed atomics, so deadlock checks and statistics reads
+//! never stall grants.
 
-use crate::permit::{Permit, PermitTable};
+use crate::permit::{permits_across, Permit, PermitTable};
+use crate::waits::WaitGraph;
+use asset_common::config::resolve_shards;
 use asset_common::{AssetError, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid};
-use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// A lock-request descriptor: one transaction's granted lock on one object.
@@ -59,23 +79,83 @@ pub struct LockStats {
     pub timeouts: u64,
 }
 
-struct Inner {
+/// A cheap point-in-time view of the lock manager, assembled entirely from
+/// relaxed atomics — reading it never touches a shard mutex.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockSnapshot {
+    /// Aggregated counters.
+    pub stats: LockStats,
+    /// Live permit descriptors (shard-local + global).
+    pub permits: usize,
+    /// Currently blocked lock requests.
+    pub waiters: usize,
+    /// Number of shards the table was built with.
+    pub shards: usize,
+}
+
+/// Per-shard counters; aggregated lock-free by [`LockTable::stats`].
+#[derive(Default)]
+struct ShardStats {
+    grants: AtomicU64,
+    blocks: AtomicU64,
+    suspensions: AtomicU64,
+    deadlocks: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+/// One stripe of the doubly-hashed descriptor tables.
+struct ShardInner {
     objects: HashMap<Oid, ObjectDesc>,
-    /// TD-side lists: objects on which a transaction holds an LRD.
+    /// TD-side lists, restricted to this shard's objects: objects on which
+    /// a transaction holds an LRD.
     txn_objects: HashMap<Tid, HashSet<Oid>>,
+    /// Permits whose object scope falls entirely within this shard.
     permits: PermitTable,
-    /// waiting tid → the holders blocking it (rebuilt on each wait).
-    waits_for: HashMap<Tid, HashSet<Tid>>,
-    /// Transactions whose lock waits must fail immediately (their abort is
-    /// in progress; the aborter cannot wait for a lock timeout).
-    poisoned: HashSet<Tid>,
-    stats: LockStats,
+}
+
+struct Shard {
+    inner: Mutex<ShardInner>,
+    cv: Condvar,
+    stats: ShardStats,
+    /// Permits stored in this shard (relaxed; summed by `permit_count`).
+    permit_count: AtomicUsize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            inner: Mutex::new(ShardInner {
+                objects: HashMap::new(),
+                txn_objects: HashMap::new(),
+                permits: PermitTable::new(),
+            }),
+            cv: Condvar::new(),
+            stats: ShardStats::default(),
+            permit_count: AtomicUsize::new(0),
+        }
+    }
 }
 
 /// The lock manager.
 pub struct LockTable {
-    inner: Mutex<Inner>,
-    cv: Condvar,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the count is always a power of two.
+    shard_mask: u64,
+    /// The second hash of the paper's double hashing: tid → shards where
+    /// the transaction holds LRDs or shard-local permits, so release and
+    /// delegation visit only those stripes.
+    tid_shards: Mutex<HashMap<Tid, BTreeSet<usize>>>,
+    /// Wildcard-object and cross-shard permits (read-mostly).
+    global_permits: RwLock<PermitTable>,
+    /// Fast-path skip: live permits in `global_permits`.
+    global_permit_count: AtomicUsize,
+    /// Wait-for edges of blocked requests (deadlock detection).
+    waits: WaitGraph,
+    /// Transactions whose lock waits must fail immediately (their abort is
+    /// in progress; the aborter cannot wait for a lock timeout).
+    poisoned: Mutex<HashSet<Tid>>,
+    /// Fast-path skip for the poison check.
+    poison_count: AtomicUsize,
 }
 
 enum Attempt {
@@ -83,19 +163,66 @@ enum Attempt {
     Blocked(Vec<Tid>),
 }
 
+enum PermitRoute {
+    Shard(usize),
+    Global,
+}
+
 impl LockTable {
-    /// An empty lock table.
+    /// An empty lock table with the default shard count
+    /// (`next_power_of_two(4 × cores)`).
     pub fn new() -> LockTable {
+        LockTable::with_shards(0)
+    }
+
+    /// An empty lock table with `n` shards (`0` = auto; rounded up to a
+    /// power of two). `with_shards(1)` reproduces the single-mutex manager
+    /// exactly.
+    pub fn with_shards(n: usize) -> LockTable {
+        let n = resolve_shards(n);
         LockTable {
-            inner: Mutex::new(Inner {
-                objects: HashMap::new(),
-                txn_objects: HashMap::new(),
-                permits: PermitTable::new(),
-                waits_for: HashMap::new(),
-                poisoned: HashSet::new(),
-                stats: LockStats::default(),
-            }),
-            cv: Condvar::new(),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            shard_mask: (n - 1) as u64,
+            tid_shards: Mutex::new(HashMap::new()),
+            global_permits: RwLock::new(PermitTable::new()),
+            global_permit_count: AtomicUsize::new(0),
+            waits: WaitGraph::new(),
+            poisoned: Mutex::new(HashSet::new()),
+            poison_count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards the table was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, ob: Oid) -> usize {
+        // Avalanche the oid so sequential ids spread across shards.
+        let mut h = ob.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        (h & self.shard_mask) as usize
+    }
+
+    /// Ascending shard indices `tid` has touched (locks or permits).
+    fn shards_of(&self, tid: Tid) -> Vec<usize> {
+        self.tid_shards
+            .lock()
+            .get(&tid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Take and release every shard mutex before notifying its condvar.
+    /// The lock bump is what makes notification safe for state that is not
+    /// protected by the shard mutex (global permits, the poison set): a
+    /// waiter holds its shard mutex from predicate check to sleep, so
+    /// acquiring the mutex after the state change guarantees the waiter is
+    /// either asleep (and gets the notify) or will re-check and observe it.
+    fn notify_all_shards(&self) {
+        for shard in self.shards.iter() {
+            drop(shard.inner.lock());
+            shard.cv.notify_all();
         }
     }
 
@@ -104,35 +231,43 @@ impl LockTable {
     pub fn lock(&self, tid: Tid, ob: Oid, op: Operation, timeout: Option<Duration>) -> Result<()> {
         let mode = op.required_mode();
         let deadline = timeout.map(|d| Instant::now() + d);
-        let mut inner = self.inner.lock();
+        let sidx = self.shard_index(ob);
+        let shard = &self.shards[sidx];
+        let mut inner = shard.inner.lock();
         loop {
-            if inner.poisoned.contains(&tid) {
-                Self::clear_waiting(&mut inner, tid, ob);
+            if self.poison_count.load(Ordering::Relaxed) > 0 && self.poisoned.lock().contains(&tid)
+            {
+                Self::clear_pending(&mut inner, tid, ob);
+                self.waits.clear(tid);
                 return Err(AssetError::TxnAborted(tid));
             }
-            match Self::attempt(&mut inner, tid, ob, mode, op) {
+            match self.attempt(sidx, &mut inner, tid, ob, mode, op) {
                 Attempt::Granted => {
-                    Self::clear_waiting(&mut inner, tid, ob);
+                    Self::clear_pending(&mut inner, tid, ob);
+                    self.waits.clear(tid);
                     return Ok(());
                 }
                 Attempt::Blocked(holders) => {
-                    inner.stats.blocks += 1;
-                    Self::note_waiting(&mut inner, tid, ob, mode, &holders);
-                    if Self::in_deadlock(&inner, tid) {
-                        Self::clear_waiting(&mut inner, tid, ob);
-                        inner.stats.deadlocks += 1;
+                    shard.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                    Self::note_pending(&mut inner, tid, ob, mode);
+                    self.waits.publish(tid, &holders);
+                    if self.waits.cycle_through(tid) {
+                        Self::clear_pending(&mut inner, tid, ob);
+                        self.waits.clear(tid);
+                        shard.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
                         return Err(AssetError::Deadlock(tid));
                     }
                     let timed_out = match deadline {
                         None => {
-                            self.cv.wait(&mut inner);
+                            shard.cv.wait(&mut inner);
                             false
                         }
-                        Some(d) => self.cv.wait_until(&mut inner, d).timed_out(),
+                        Some(d) => shard.cv.wait_until(&mut inner, d).timed_out(),
                     };
                     if timed_out {
-                        Self::clear_waiting(&mut inner, tid, ob);
-                        inner.stats.timeouts += 1;
+                        Self::clear_pending(&mut inner, tid, ob);
+                        self.waits.clear(tid);
+                        shard.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                         return Err(AssetError::LockTimeout { tid, ob });
                     }
                     // retry "starting at step 1"
@@ -143,18 +278,29 @@ impl LockTable {
 
     /// One non-blocking attempt; returns the blockers on failure.
     pub fn try_lock(&self, tid: Tid, ob: Oid, op: Operation) -> std::result::Result<(), Vec<Tid>> {
-        let mut inner = self.inner.lock();
-        match Self::attempt(&mut inner, tid, ob, op.required_mode(), op) {
+        let sidx = self.shard_index(ob);
+        let mut inner = self.shards[sidx].inner.lock();
+        match self.attempt(sidx, &mut inner, tid, ob, op.required_mode(), op) {
             Attempt::Granted => {
-                Self::clear_waiting(&mut inner, tid, ob);
+                Self::clear_pending(&mut inner, tid, ob);
+                self.waits.clear(tid);
                 Ok(())
             }
             Attempt::Blocked(holders) => Err(holders),
         }
     }
 
-    /// The paper's `read-lock`/`write-lock` algorithm.
-    fn attempt(inner: &mut Inner, tid: Tid, ob: Oid, mode: LockMode, op: Operation) -> Attempt {
+    /// The paper's `read-lock`/`write-lock` algorithm, one shard-local
+    /// attempt.
+    fn attempt(
+        &self,
+        sidx: usize,
+        inner: &mut ShardInner,
+        tid: Tid,
+        ob: Oid,
+        mode: LockMode,
+        op: Operation,
+    ) -> Attempt {
         let od = inner.objects.entry(ob).or_default();
 
         // Step 1a: own granted lock that covers the request and is not
@@ -169,30 +315,46 @@ impl LockTable {
         // must either permit us (then it gets suspended) or block us. A
         // *suspended* lock has ceded its claim to the permitted operations
         // but still guards against unpermitted ones, so it participates in
-        // the permit check too.
+        // the permit check too. The check runs over the shard-local permit
+        // table; the global (wildcard/cross-shard) table joins the DFS only
+        // when it is non-empty.
+        let global = if self.global_permit_count.load(Ordering::Relaxed) > 0 {
+            Some(self.global_permits.read())
+        } else {
+            None
+        };
         let mut to_suspend: Vec<Tid> = Vec::new();
         let mut blockers: Vec<Tid> = Vec::new();
         for gl in od.granted.iter() {
             if gl.tid == tid || !gl.mode.conflicts(mode) {
                 continue;
             }
-            if inner.permits.permits(gl.tid, tid, ob, op) {
+            let permitted = match &global {
+                None => permits_across(&[&inner.permits], gl.tid, tid, ob, op),
+                Some(g) => permits_across(&[&inner.permits, g], gl.tid, tid, ob, op),
+            };
+            if permitted {
                 to_suspend.push(gl.tid);
             } else {
                 blockers.push(gl.tid);
             }
         }
+        drop(global);
         if !blockers.is_empty() {
             return Attempt::Blocked(blockers);
         }
 
         // Step 2: grant. Suspend the permitted conflicting locks, then
         // create or refresh our LRD.
+        let od = inner.objects.entry(ob).or_default();
         for holder in &to_suspend {
             if let Some(gl) = od.granted.iter_mut().find(|g| g.tid == *holder) {
                 if !gl.suspended {
                     gl.suspended = true;
-                    inner.stats.suspensions += 1;
+                    self.shards[sidx]
+                        .stats
+                        .suspensions
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -203,146 +365,273 @@ impl LockTable {
                 own.suspended = false;
             }
             None => {
-                od.granted.push(Lrd { tid, mode, suspended: false });
+                od.granted.push(Lrd {
+                    tid,
+                    mode,
+                    suspended: false,
+                });
             }
         }
+        let first_in_shard = !inner.txn_objects.contains_key(&tid);
         inner.txn_objects.entry(tid).or_default().insert(ob);
-        inner.stats.grants += 1;
+        if first_in_shard {
+            self.tid_shards.lock().entry(tid).or_default().insert(sidx);
+        }
+        self.shards[sidx]
+            .stats
+            .grants
+            .fetch_add(1, Ordering::Relaxed);
         Attempt::Granted
     }
 
-    fn note_waiting(inner: &mut Inner, tid: Tid, ob: Oid, mode: LockMode, holders: &[Tid]) {
+    fn note_pending(inner: &mut ShardInner, tid: Tid, ob: Oid, mode: LockMode) {
         let od = inner.objects.entry(ob).or_default();
         let upgrading = od.granted.iter().any(|g| g.tid == tid);
         if !od.pending.iter().any(|p| p.tid == tid) {
-            od.pending.push(PendingReq { tid, mode, upgrading });
+            od.pending.push(PendingReq {
+                tid,
+                mode,
+                upgrading,
+            });
         }
-        inner
-            .waits_for
-            .insert(tid, holders.iter().copied().collect());
     }
 
-    fn clear_waiting(inner: &mut Inner, tid: Tid, ob: Oid) {
+    fn clear_pending(inner: &mut ShardInner, tid: Tid, ob: Oid) {
         if let Some(od) = inner.objects.get_mut(&ob) {
             od.pending.retain(|p| p.tid != tid);
         }
-        inner.waits_for.remove(&tid);
     }
 
-    /// Is `tid` part of a waits-for cycle? (`tid` just registered its
-    /// edges, so any new cycle passes through it.)
-    fn in_deadlock(inner: &Inner, tid: Tid) -> bool {
-        let Some(blockers) = inner.waits_for.get(&tid) else { return false };
-        let mut stack: Vec<Tid> = blockers.iter().copied().collect();
-        let mut seen: HashSet<Tid> = HashSet::new();
-        while let Some(t) = stack.pop() {
-            if t == tid {
-                return true;
-            }
-            if !seen.insert(t) {
-                continue;
-            }
-            if let Some(next) = inner.waits_for.get(&t) {
-                stack.extend(next.iter().copied());
+    /// Where does a permit with scope `obs` live?
+    fn route(&self, obs: &ObSet) -> PermitRoute {
+        match obs {
+            ObSet::All => PermitRoute::Global,
+            ObSet::Objects(s) => {
+                let mut it = s.iter();
+                match it.next() {
+                    // empty scope: inert; park it in shard 0
+                    None => PermitRoute::Shard(0),
+                    Some(first) => {
+                        let s0 = self.shard_index(*first);
+                        if it.all(|o| self.shard_index(*o) == s0) {
+                            PermitRoute::Shard(s0)
+                        } else {
+                            PermitRoute::Global
+                        }
+                    }
+                }
             }
         }
-        false
     }
 
     /// Record a permit (wakes waiters — they may now be allowed through).
     pub fn permit(&self, grantor: Tid, grantee: Option<Tid>, obs: ObSet, ops: OpSet) {
-        let mut inner = self.inner.lock();
-        inner.permits.insert(Permit { grantor, grantee, obs, ops });
-        drop(inner);
-        self.cv.notify_all();
+        match self.route(&obs) {
+            PermitRoute::Shard(s) => {
+                {
+                    // index both parties first, so a concurrent release
+                    // already knows where to look
+                    let mut idx = self.tid_shards.lock();
+                    idx.entry(grantor).or_default().insert(s);
+                    if let Some(g) = grantee {
+                        idx.entry(g).or_default().insert(s);
+                    }
+                }
+                let shard = &self.shards[s];
+                {
+                    let mut inner = shard.inner.lock();
+                    inner.permits.insert(Permit {
+                        grantor,
+                        grantee,
+                        obs,
+                        ops,
+                    });
+                    shard.permit_count.fetch_add(1, Ordering::Relaxed);
+                }
+                shard.cv.notify_all();
+            }
+            PermitRoute::Global => {
+                {
+                    let mut g = self.global_permits.write();
+                    g.insert(Permit {
+                        grantor,
+                        grantee,
+                        obs,
+                        ops,
+                    });
+                    self.global_permit_count.fetch_add(1, Ordering::Relaxed);
+                }
+                self.notify_all_shards();
+            }
+        }
     }
 
     /// The paper's `permit(ti, tj, op)` form: permit on every object the
     /// grantor has accessed *or has permission to access*, materialized at
     /// call time by traversing the grantor's LRD list and incoming PDs.
     pub fn permit_accessed(&self, grantor: Tid, grantee: Option<Tid>, ops: OpSet) {
-        let mut inner = self.inner.lock();
-        let mut obs: std::collections::BTreeSet<Oid> = inner
-            .txn_objects
-            .get(&grantor)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
+        let mut obs: BTreeSet<Oid> = BTreeSet::new();
         let mut all = false;
-        for p in inner.permits.granted_to(grantor) {
-            match p.obs {
-                ObSet::All => {
-                    all = true;
-                    break;
+        for s in self.shards_of(grantor) {
+            let inner = self.shards[s].inner.lock();
+            if let Some(set) = inner.txn_objects.get(&grantor) {
+                obs.extend(set.iter().copied());
+            }
+            for p in inner.permits.granted_to(grantor) {
+                match p.obs {
+                    ObSet::All => all = true,
+                    ObSet::Objects(s) => obs.extend(s),
                 }
-                ObSet::Objects(s) => obs.extend(s),
+            }
+            if all {
+                break;
+            }
+        }
+        if !all && self.global_permit_count.load(Ordering::Relaxed) > 0 {
+            for p in self.global_permits.read().granted_to(grantor) {
+                match p.obs {
+                    ObSet::All => all = true,
+                    ObSet::Objects(s) => obs.extend(s),
+                }
             }
         }
         let scope = if all { ObSet::All } else { ObSet::Objects(obs) };
-        inner.permits.insert(Permit { grantor, grantee, obs: scope, ops });
-        drop(inner);
-        self.cv.notify_all();
+        self.permit(grantor, grantee, scope, ops);
     }
 
     /// Delegate `from`'s locks (optionally restricted to `obs`) to `to`,
     /// merging with any locks `to` already holds, and re-attribute the
-    /// permits `from` granted (§4.2 `delegate`).
+    /// permits `from` granted (§4.2 `delegate`). Shards are visited one at
+    /// a time in ascending index order.
     pub fn delegate(&self, from: Tid, to: Tid, obs: Option<&ObSet>) {
-        let mut inner = self.inner.lock();
-        let from_objects: Vec<Oid> = inner
-            .txn_objects
-            .get(&from)
-            .map(|s| {
-                s.iter()
-                    .copied()
-                    .filter(|ob| obs.is_none_or(|set| set.contains(*ob)))
-                    .collect()
-            })
-            .unwrap_or_default();
-        for ob in &from_objects {
-            let od = inner.objects.entry(*ob).or_default();
-            let Some(pos) = od.granted.iter().position(|g| g.tid == from) else { continue };
-            let moved = od.granted.remove(pos);
-            match od.granted.iter_mut().find(|g| g.tid == to) {
-                Some(existing) => {
-                    existing.mode = existing.mode.max(moved.mode);
-                    existing.suspended = existing.suspended && moved.suspended;
+        let from_shards = self.shards_of(from);
+        for &s in &from_shards {
+            let shard = &self.shards[s];
+            {
+                let mut guard = shard.inner.lock();
+                let inner = &mut *guard;
+                let from_objects: Vec<Oid> = inner
+                    .txn_objects
+                    .get(&from)
+                    .map(|set| {
+                        set.iter()
+                            .copied()
+                            .filter(|ob| obs.is_none_or(|set| set.contains(*ob)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for ob in &from_objects {
+                    let od = inner.objects.entry(*ob).or_default();
+                    let Some(pos) = od.granted.iter().position(|g| g.tid == from) else {
+                        continue;
+                    };
+                    let moved = od.granted.remove(pos);
+                    match od.granted.iter_mut().find(|g| g.tid == to) {
+                        Some(existing) => {
+                            existing.mode = existing.mode.max(moved.mode);
+                            existing.suspended = existing.suspended && moved.suspended;
+                        }
+                        None => od.granted.push(Lrd { tid: to, ..moved }),
+                    }
+                    if let Some(set) = inner.txn_objects.get_mut(&from) {
+                        set.remove(ob);
+                    }
+                    inner.txn_objects.entry(to).or_default().insert(*ob);
                 }
-                None => od.granted.push(Lrd { tid: to, ..moved }),
+                let before = inner.permits.len();
+                inner.permits.reattribute(from, to, obs);
+                let after = inner.permits.len();
+                if after > before {
+                    // partial delegation can split one permit into two
+                    shard
+                        .permit_count
+                        .fetch_add(after - before, Ordering::Relaxed);
+                }
             }
-            if let Some(set) = inner.txn_objects.get_mut(&from) {
-                set.remove(ob);
-            }
-            inner.txn_objects.entry(to).or_default().insert(*ob);
+            shard.cv.notify_all();
         }
-        inner.permits.reattribute(from, to, obs);
-        drop(inner);
-        self.cv.notify_all();
+        if self.global_permit_count.load(Ordering::Relaxed) > 0 {
+            {
+                let mut g = self.global_permits.write();
+                let before = g.len();
+                g.reattribute(from, to, obs);
+                let after = g.len();
+                if after > before {
+                    self.global_permit_count
+                        .fetch_add(after - before, Ordering::Relaxed);
+                }
+            }
+            self.notify_all_shards();
+        }
+        if !from_shards.is_empty() {
+            self.tid_shards
+                .lock()
+                .entry(to)
+                .or_default()
+                .extend(from_shards);
+        }
     }
 
     /// Release all locks held by `tid` and remove permits given by and to
     /// it (commit step 6 / abort step 3). Returns the objects released.
     pub fn release_all(&self, tid: Tid) -> Vec<Oid> {
-        let mut inner = self.inner.lock();
-        let objects: Vec<Oid> = inner
-            .txn_objects
-            .remove(&tid)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
-        for ob in &objects {
-            if let Some(od) = inner.objects.get_mut(ob) {
-                od.granted.retain(|g| g.tid != tid);
-                od.pending.retain(|p| p.tid != tid);
-                if od.granted.is_empty() && od.pending.is_empty() {
-                    inner.objects.remove(ob);
+        let shards: Vec<usize> = {
+            self.tid_shards
+                .lock()
+                .remove(&tid)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default()
+        };
+        let mut released: Vec<Oid> = Vec::new();
+        for s in shards {
+            let shard = &self.shards[s];
+            {
+                let mut inner = shard.inner.lock();
+                let objects: Vec<Oid> = inner
+                    .txn_objects
+                    .remove(&tid)
+                    .map(|set| set.into_iter().collect())
+                    .unwrap_or_default();
+                for ob in &objects {
+                    if let Some(od) = inner.objects.get_mut(ob) {
+                        od.granted.retain(|g| g.tid != tid);
+                        od.pending.retain(|p| p.tid != tid);
+                        if od.granted.is_empty() && od.pending.is_empty() {
+                            inner.objects.remove(ob);
+                        }
+                    }
                 }
+                let before = inner.permits.len();
+                inner.permits.remove_involving(tid);
+                let removed = before - inner.permits.len();
+                if removed > 0 {
+                    shard.permit_count.fetch_sub(removed, Ordering::Relaxed);
+                }
+                released.extend(objects);
+            }
+            shard.cv.notify_all();
+        }
+        if self.global_permit_count.load(Ordering::Relaxed) > 0 {
+            let removed = {
+                let mut g = self.global_permits.write();
+                let before = g.len();
+                g.remove_involving(tid);
+                let removed = before - g.len();
+                if removed > 0 {
+                    self.global_permit_count
+                        .fetch_sub(removed, Ordering::Relaxed);
+                }
+                removed
+            };
+            if removed > 0 {
+                self.notify_all_shards();
             }
         }
-        inner.permits.remove_involving(tid);
-        inner.waits_for.remove(&tid);
-        inner.poisoned.remove(&tid);
-        drop(inner);
-        self.cv.notify_all();
-        objects
+        self.waits.clear(tid);
+        if self.poison_count.load(Ordering::Relaxed) > 0 && self.poisoned.lock().remove(&tid) {
+            self.poison_count.fetch_sub(1, Ordering::Relaxed);
+        }
+        released
     }
 
     /// Make current and future lock waits of `tid` fail with `TxnAborted`
@@ -350,15 +639,16 @@ impl LockTable {
     /// that may be waiting for a lock. Cleared by
     /// [`release_all`](Self::release_all).
     pub fn poison(&self, tid: Tid) {
-        let mut inner = self.inner.lock();
-        inner.poisoned.insert(tid);
-        drop(inner);
-        self.cv.notify_all();
+        if self.poisoned.lock().insert(tid) {
+            self.poison_count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.notify_all_shards();
     }
 
     /// Granted locks on `ob` (snapshot).
     pub fn holders(&self, ob: Oid) -> Vec<Lrd> {
-        self.inner
+        self.shards[self.shard_index(ob)]
+            .inner
             .lock()
             .objects
             .get(&ob)
@@ -368,7 +658,8 @@ impl LockTable {
 
     /// Pending requests on `ob` (snapshot).
     pub fn pending(&self, ob: Oid) -> Vec<PendingReq> {
-        self.inner
+        self.shards[self.shard_index(ob)]
+            .inner
             .lock()
             .objects
             .get(&ob)
@@ -378,17 +669,20 @@ impl LockTable {
 
     /// Objects `tid` holds locks on (snapshot).
     pub fn locked_objects(&self, tid: Tid) -> Vec<Oid> {
-        self.inner
-            .lock()
-            .txn_objects
-            .get(&tid)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default()
+        let mut out: Vec<Oid> = Vec::new();
+        for s in self.shards_of(tid) {
+            let inner = self.shards[s].inner.lock();
+            if let Some(set) = inner.txn_objects.get(&tid) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out
     }
 
     /// Does `tid` hold an (unsuspended) lock on `ob` covering `mode`?
     pub fn holds(&self, tid: Tid, ob: Oid, mode: LockMode) -> bool {
-        self.inner
+        self.shards[self.shard_index(ob)]
+            .inner
             .lock()
             .objects
             .get(&ob)
@@ -400,19 +694,56 @@ impl LockTable {
             .unwrap_or(false)
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot, aggregated from per-shard relaxed atomics —
+    /// never takes a shard mutex.
     pub fn stats(&self) -> LockStats {
-        self.inner.lock().stats
+        let mut out = LockStats::default();
+        for shard in self.shards.iter() {
+            out.grants += shard.stats.grants.load(Ordering::Relaxed);
+            out.blocks += shard.stats.blocks.load(Ordering::Relaxed);
+            out.suspensions += shard.stats.suspensions.load(Ordering::Relaxed);
+            out.deadlocks += shard.stats.deadlocks.load(Ordering::Relaxed);
+            out.timeouts += shard.stats.timeouts.load(Ordering::Relaxed);
+        }
+        out
     }
 
-    /// Number of permits currently registered.
+    /// Number of permits currently registered (lock-free).
     pub fn permit_count(&self) -> usize {
-        self.inner.lock().permits.len()
+        self.shards
+            .iter()
+            .map(|s| s.permit_count.load(Ordering::Relaxed))
+            .sum::<usize>()
+            + self.global_permit_count.load(Ordering::Relaxed)
     }
 
-    /// Run `f` with the permit table (read-only; diagnostics/benches).
-    pub fn with_permits<R>(&self, f: impl FnOnce(&PermitTable) -> R) -> R {
-        f(&self.inner.lock().permits)
+    /// A cheap full diagnostic view; see [`LockSnapshot`].
+    pub fn snapshot(&self) -> LockSnapshot {
+        LockSnapshot {
+            stats: self.stats(),
+            permits: self.permit_count(),
+            waiters: self.waits.waiter_count(),
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Permits that mention `ob`, from the object's shard and the global
+    /// table (diagnostics; the paper's OD-attached PD list).
+    pub fn permits_mentioning(&self, ob: Oid) -> Vec<Permit> {
+        let mut out = self.shards[self.shard_index(ob)]
+            .inner
+            .lock()
+            .permits
+            .mentioning(ob);
+        if self.global_permit_count.load(Ordering::Relaxed) > 0 {
+            out.extend(self.global_permits.read().mentioning(ob));
+        }
+        out
+    }
+
+    /// Current waits-for edges (diagnostics / periodic detectors).
+    pub fn waits_snapshot(&self) -> HashMap<Tid, HashSet<Tid>> {
+        self.waits.snapshot()
     }
 }
 
@@ -444,14 +775,16 @@ mod tests {
     #[test]
     fn write_blocks_write_until_release() {
         let t = Arc::new(LockTable::new());
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         assert!(t.try_lock(Tid(2), Oid(1), Operation::Write).is_err());
 
         let t2 = Arc::clone(&t);
         let acquired = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&acquired);
         let h = std::thread::spawn(move || {
-            t2.lock(Tid(2), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+            t2.lock(Tid(2), Oid(1), Operation::Write, NO_TIMEOUT)
+                .unwrap();
             flag.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(20));
@@ -465,7 +798,8 @@ mod tests {
     fn upgrade_read_to_write() {
         let t = LockTable::new();
         t.lock(Tid(1), Oid(1), Operation::Read, NO_TIMEOUT).unwrap();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         assert!(t.holds(Tid(1), Oid(1), LockMode::Write));
     }
 
@@ -474,7 +808,9 @@ mod tests {
         let t = LockTable::new();
         t.lock(Tid(1), Oid(1), Operation::Read, NO_TIMEOUT).unwrap();
         t.lock(Tid(2), Oid(1), Operation::Read, NO_TIMEOUT).unwrap();
-        let err = t.lock(Tid(1), Oid(1), Operation::Write, short()).unwrap_err();
+        let err = t
+            .lock(Tid(1), Oid(1), Operation::Write, short())
+            .unwrap_err();
         assert!(matches!(err, AssetError::LockTimeout { .. }));
         // the pending entry was marked as an upgrade while waiting —
         // verified indirectly: after the other reader leaves, upgrade works
@@ -485,7 +821,8 @@ mod tests {
     #[test]
     fn permit_lets_conflict_through_and_suspends() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::WRITE);
         t.lock(Tid(2), Oid(1), Operation::Write, short()).unwrap();
         let holders = t.holders(Oid(1));
@@ -501,12 +838,15 @@ mod tests {
     #[test]
     fn suspended_holder_must_reacquire() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
         t.lock(Tid(2), Oid(1), Operation::Write, short()).unwrap();
         // t1 tries again: t2 now holds an unsuspended conflicting lock and
         // has not permitted t1 back — t1 blocks.
-        let err = t.lock(Tid(1), Oid(1), Operation::Write, short()).unwrap_err();
+        let err = t
+            .lock(Tid(1), Oid(1), Operation::Write, short())
+            .unwrap_err();
         assert!(matches!(err, AssetError::LockTimeout { .. }));
         // ping-pong: t2 permits t1 back; now t1 gets through and t2 is
         // suspended in turn (the paper's cooperating-transactions pattern).
@@ -519,18 +859,26 @@ mod tests {
     #[test]
     fn permit_scope_is_respected() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
-        t.lock(Tid(1), Oid(2), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.lock(Tid(1), Oid(2), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
         t.lock(Tid(2), Oid(1), Operation::Write, short()).unwrap();
-        let err = t.lock(Tid(2), Oid(2), Operation::Write, short()).unwrap_err();
-        assert!(matches!(err, AssetError::LockTimeout { .. }), "ob2 not permitted");
+        let err = t
+            .lock(Tid(2), Oid(2), Operation::Write, short())
+            .unwrap_err();
+        assert!(
+            matches!(err, AssetError::LockTimeout { .. }),
+            "ob2 not permitted"
+        );
     }
 
     #[test]
     fn wildcard_permit_covers_everyone() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), None, ObSet::one(Oid(1)), OpSet::WRITE);
         t.lock(Tid(7), Oid(1), Operation::Write, short()).unwrap();
         t.release_all(Tid(7));
@@ -540,17 +888,21 @@ mod tests {
     #[test]
     fn read_permit_does_not_allow_write() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::READ);
         t.lock(Tid(2), Oid(1), Operation::Read, short()).unwrap();
-        let err = t.lock(Tid(2), Oid(1), Operation::Write, short()).unwrap_err();
+        let err = t
+            .lock(Tid(2), Oid(1), Operation::Write, short())
+            .unwrap_err();
         assert!(matches!(err, AssetError::LockTimeout { .. }));
     }
 
     #[test]
     fn transitive_permit_through_table() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
         t.permit(Tid(2), Some(Tid(3)), ObSet::one(Oid(1)), OpSet::ALL);
         // t3 never got a direct permit from t1 but the chain carries it
@@ -559,19 +911,44 @@ mod tests {
     }
 
     #[test]
+    fn transitive_chain_mixing_shard_and_global_permits() {
+        // t1 → t2 is a single-object (shard-local) permit; t2 → t3 is a
+        // wildcard-object (global) permit. The union DFS must stitch them.
+        let t = LockTable::with_shards(8);
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
+        t.permit(Tid(2), Some(Tid(3)), ObSet::All, OpSet::ALL);
+        t.lock(Tid(3), Oid(1), Operation::Write, short()).unwrap();
+        assert!(t.holds(Tid(3), Oid(1), LockMode::Write));
+    }
+
+    #[test]
     fn deadlock_detected_and_victim_errors() {
         let t = Arc::new(LockTable::new());
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
-        t.lock(Tid(2), Oid(2), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.lock(Tid(2), Oid(2), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         let t2 = Arc::clone(&t);
         let h = std::thread::spawn(move || {
             // t1 waits for ob2 (held by t2)
-            t2.lock(Tid(1), Oid(2), Operation::Write, Some(Duration::from_secs(5)))
+            t2.lock(
+                Tid(1),
+                Oid(2),
+                Operation::Write,
+                Some(Duration::from_secs(5)),
+            )
         });
         std::thread::sleep(Duration::from_millis(30));
         // t2 requests ob1 (held by t1) → cycle → t2 is the victim
         let err = t
-            .lock(Tid(2), Oid(1), Operation::Write, Some(Duration::from_secs(5)))
+            .lock(
+                Tid(2),
+                Oid(1),
+                Operation::Write,
+                Some(Duration::from_secs(5)),
+            )
             .unwrap_err();
         assert!(matches!(err, AssetError::Deadlock(Tid(2))));
         assert_eq!(t.stats().deadlocks, 1);
@@ -583,7 +960,8 @@ mod tests {
     #[test]
     fn delegation_moves_locks() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.lock(Tid(1), Oid(2), Operation::Read, NO_TIMEOUT).unwrap();
         t.delegate(Tid(1), Tid(2), None);
         assert!(t.holds(Tid(2), Oid(1), LockMode::Write));
@@ -591,15 +969,19 @@ mod tests {
         assert!(t.locked_objects(Tid(1)).is_empty());
         // the delegatee's conflicting ops no longer conflict; the
         // delegator's now do: t1 must block on ob1
-        let err = t.lock(Tid(1), Oid(1), Operation::Write, short()).unwrap_err();
+        let err = t
+            .lock(Tid(1), Oid(1), Operation::Write, short())
+            .unwrap_err();
         assert!(matches!(err, AssetError::LockTimeout { .. }));
     }
 
     #[test]
     fn partial_delegation_moves_only_named_objects() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
-        t.lock(Tid(1), Oid(2), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.lock(Tid(1), Oid(2), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.delegate(Tid(1), Tid(2), Some(&ObSet::one(Oid(1))));
         assert!(t.holds(Tid(2), Oid(1), LockMode::Write));
         assert!(t.holds(Tid(1), Oid(2), LockMode::Write));
@@ -609,13 +991,17 @@ mod tests {
     #[test]
     fn delegation_merges_modes() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
-        t.lock(Tid(2), Oid(1), Operation::Read, short()).unwrap_err(); // blocked
-        // instead: t2 gets a read lock on another object and receives t1's
-        // write via delegation, merging into write
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.lock(Tid(2), Oid(1), Operation::Read, short())
+            .unwrap_err(); // blocked
+                           // instead: t2 gets a read lock on another object and receives t1's
+                           // write via delegation, merging into write
         let t2 = LockTable::new();
-        t2.lock(Tid(1), Oid(1), Operation::Read, NO_TIMEOUT).unwrap();
-        t2.lock(Tid(2), Oid(1), Operation::Read, NO_TIMEOUT).unwrap();
+        t2.lock(Tid(1), Oid(1), Operation::Read, NO_TIMEOUT)
+            .unwrap();
+        t2.lock(Tid(2), Oid(1), Operation::Read, NO_TIMEOUT)
+            .unwrap();
         // t1 upgrades? no — t1 delegates its read to t2; t2 ends with read
         t2.delegate(Tid(1), Tid(2), None);
         assert!(t2.holds(Tid(2), Oid(1), LockMode::Read));
@@ -625,7 +1011,8 @@ mod tests {
     #[test]
     fn release_wakes_waiters_and_cleans_permits() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
         assert_eq!(t.permit_count(), 1);
         let released = t.release_all(Tid(1));
@@ -635,27 +1022,55 @@ mod tests {
     }
 
     #[test]
+    fn release_cleans_wildcard_permits_too() {
+        let t = LockTable::new();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.permit(Tid(1), Some(Tid(2)), ObSet::All, OpSet::ALL);
+        assert_eq!(t.permit_count(), 1);
+        t.release_all(Tid(1));
+        assert_eq!(t.permit_count(), 0);
+        // and a permit granted *to* the released transaction goes as well
+        t.lock(Tid(3), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.permit(Tid(3), Some(Tid(4)), ObSet::All, OpSet::ALL);
+        t.release_all(Tid(4));
+        assert_eq!(t.permit_count(), 0);
+    }
+
+    #[test]
     fn permit_accessed_materializes_current_locks() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
-        t.lock(Tid(1), Oid(2), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        t.lock(Tid(1), Oid(2), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         t.permit_accessed(Tid(1), Some(Tid(2)), OpSet::ALL);
         t.lock(Tid(2), Oid(1), Operation::Write, short()).unwrap();
         t.lock(Tid(2), Oid(2), Operation::Write, short()).unwrap();
         // an object locked *after* the permit is not covered (paper: the
         // object set is computed at permit time)
-        t.lock(Tid(1), Oid(3), Operation::Write, NO_TIMEOUT).unwrap();
-        let err = t.lock(Tid(2), Oid(3), Operation::Write, short()).unwrap_err();
+        t.lock(Tid(1), Oid(3), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        let err = t
+            .lock(Tid(2), Oid(3), Operation::Write, short())
+            .unwrap_err();
         assert!(matches!(err, AssetError::LockTimeout { .. }));
     }
 
     #[test]
     fn permit_arrival_wakes_blocked_waiter() {
         let t = Arc::new(LockTable::new());
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         let t2 = Arc::clone(&t);
         let h = std::thread::spawn(move || {
-            t2.lock(Tid(2), Oid(1), Operation::Write, Some(Duration::from_secs(5)))
+            t2.lock(
+                Tid(2),
+                Oid(1),
+                Operation::Write,
+                Some(Duration::from_secs(5)),
+            )
         });
         std::thread::sleep(Duration::from_millis(30));
         t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
@@ -664,14 +1079,39 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_permit_arrival_wakes_blocked_waiter() {
+        // the global-table insertion path must also wake shard waiters
+        let t = Arc::new(LockTable::with_shards(8));
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        let t2 = Arc::clone(&t);
+        let h = std::thread::spawn(move || {
+            t2.lock(
+                Tid(2),
+                Oid(1),
+                Operation::Write,
+                Some(Duration::from_secs(5)),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        t.permit(Tid(1), Some(Tid(2)), ObSet::All, OpSet::ALL);
+        h.join().unwrap().unwrap();
+        assert!(t.holds(Tid(2), Oid(1), LockMode::Write));
+    }
+
+    #[test]
     fn stats_accumulate() {
         let t = LockTable::new();
-        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT).unwrap();
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
         let _ = t.lock(Tid(2), Oid(1), Operation::Write, short());
         let s = t.stats();
         assert_eq!(s.grants, 1);
         assert!(s.blocks >= 1);
         assert_eq!(s.timeouts, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.stats, s);
+        assert_eq!(snap.shards, t.shard_count());
     }
 
     #[test]
@@ -698,5 +1138,13 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*value.lock(), 800);
+    }
+
+    #[test]
+    fn shard_count_is_resolved_and_exposed() {
+        assert_eq!(LockTable::with_shards(1).shard_count(), 1);
+        assert_eq!(LockTable::with_shards(3).shard_count(), 4);
+        let auto = LockTable::new().shard_count();
+        assert!(auto.is_power_of_two());
     }
 }

@@ -118,19 +118,32 @@ fn poison_wakes_a_blocked_waiter() {
     table.lock(Tid(1), Oid(1), Operation::Write, None).unwrap();
     let t2 = Arc::clone(&table);
     let h = std::thread::spawn(move || {
-        t2.lock(Tid(2), Oid(1), Operation::Write, Some(Duration::from_secs(10)))
+        t2.lock(
+            Tid(2),
+            Oid(1),
+            Operation::Write,
+            Some(Duration::from_secs(10)),
+        )
     });
     std::thread::sleep(Duration::from_millis(30));
     let start = std::time::Instant::now();
     table.poison(Tid(2));
     let err = h.join().unwrap().unwrap_err();
     assert!(matches!(err, AssetError::TxnAborted(Tid(2))));
-    assert!(start.elapsed() < Duration::from_millis(500), "woke promptly, not by timeout");
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "woke promptly, not by timeout"
+    );
     // release_all clears the poison: tid 2 can lock again afterwards
     table.release_all(Tid(1));
     table.release_all(Tid(2));
     table
-        .lock(Tid(2), Oid(1), Operation::Write, Some(Duration::from_millis(100)))
+        .lock(
+            Tid(2),
+            Oid(1),
+            Operation::Write,
+            Some(Duration::from_millis(100)),
+        )
         .unwrap();
 }
 
@@ -142,17 +155,32 @@ fn three_way_deadlock_detected() {
     table.lock(Tid(3), Oid(3), Operation::Write, None).unwrap();
     let t_a = Arc::clone(&table);
     let h1 = std::thread::spawn(move || {
-        t_a.lock(Tid(1), Oid(2), Operation::Write, Some(Duration::from_secs(5)))
+        t_a.lock(
+            Tid(1),
+            Oid(2),
+            Operation::Write,
+            Some(Duration::from_secs(5)),
+        )
     });
     std::thread::sleep(Duration::from_millis(20));
     let t_b = Arc::clone(&table);
     let h2 = std::thread::spawn(move || {
-        t_b.lock(Tid(2), Oid(3), Operation::Write, Some(Duration::from_secs(5)))
+        t_b.lock(
+            Tid(2),
+            Oid(3),
+            Operation::Write,
+            Some(Duration::from_secs(5)),
+        )
     });
     std::thread::sleep(Duration::from_millis(20));
     // closing the cycle: t3 → ob1 held by t1 (t1 → t2 → t3 → t1)
     let err = table
-        .lock(Tid(3), Oid(1), Operation::Write, Some(Duration::from_secs(5)))
+        .lock(
+            Tid(3),
+            Oid(1),
+            Operation::Write,
+            Some(Duration::from_secs(5)),
+        )
         .unwrap_err();
     assert!(matches!(err, AssetError::Deadlock(Tid(3))));
     // aborting the victim (releasing its locks) lets the others finish
@@ -204,6 +232,9 @@ fn suspended_lock_regrant_cycles_under_stress() {
     }
     let holders = table.holders(Oid(1));
     let unsuspended = holders.iter().filter(|l| !l.suspended).count();
-    assert!(unsuspended <= 1, "at most one unsuspended writer at the end");
+    assert!(
+        unsuspended <= 1,
+        "at most one unsuspended writer at the end"
+    );
     assert!(table.stats().suspensions > 0);
 }

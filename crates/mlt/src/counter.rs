@@ -198,7 +198,10 @@ mod tests {
         let sem = Arc::new(SemanticLockTable::new());
         let counter = EscrowCounter::create(&db, 3).unwrap();
         let out = run_mlt(&db, &sem, move |mlt| {
-            assert!(counter.sub_bounded(mlt, 10, 0).is_err(), "insufficient escrow");
+            assert!(
+                counter.sub_bounded(mlt, 10, 0).is_err(),
+                "insufficient escrow"
+            );
             counter.add(mlt, 2)?; // parent continues after the failed op
             Ok(())
         })
@@ -233,7 +236,10 @@ mod tests {
         let observer = std::thread::spawn(move || {
             run_mlt(&db3, &sem3, move |mlt| {
                 let v = counter.observe(mlt)?;
-                assert_eq!(v, 1, "observer saw the adjuster's committed op only after it finished");
+                assert_eq!(
+                    v, 1,
+                    "observer saw the adjuster's committed op only after it finished"
+                );
                 Ok(())
             })
             .unwrap()

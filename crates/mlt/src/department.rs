@@ -224,7 +224,11 @@ mod tests {
         .unwrap();
         assert_eq!(out, MltOutcome::Undone { inverses_run: 2 });
         let roster = dept.peek(&db);
-        assert_eq!(roster, vec![("ada".to_string(), 100)], "hire undone, raise undone");
+        assert_eq!(
+            roster,
+            vec![("ada".to_string(), 100)],
+            "hire undone, raise undone"
+        );
     }
 
     #[test]

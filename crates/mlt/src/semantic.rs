@@ -36,7 +36,9 @@ pub struct CommutativityTable {
 impl CommutativityTable {
     /// A table where nothing commutes (degenerates to exclusive locking).
     pub fn exclusive() -> CommutativityTable {
-        CommutativityTable { commutes: [[false; MAX_CLASSES]; MAX_CLASSES] }
+        CommutativityTable {
+            commutes: [[false; MAX_CLASSES]; MAX_CLASSES],
+        }
     }
 
     /// Declare classes `a` and `b` commuting (symmetric).
@@ -87,7 +89,10 @@ impl SemanticLockTable {
     /// An empty table.
     pub fn new() -> SemanticLockTable {
         SemanticLockTable {
-            inner: Mutex::new(Inner { locks: HashMap::new(), stats: SemanticStats::default() }),
+            inner: Mutex::new(Inner {
+                locks: HashMap::new(),
+                stats: SemanticStats::default(),
+            }),
             cv: Condvar::new(),
         }
     }
@@ -113,9 +118,16 @@ impl SemanticLockTable {
                 .iter()
                 .any(|l| l.owner != owner && !table.commute(l.class, class));
             if !conflict {
-                match held.iter_mut().find(|l| l.owner == owner && l.class == class) {
+                match held
+                    .iter_mut()
+                    .find(|l| l.owner == owner && l.class == class)
+                {
                     Some(l) => l.count += 1,
-                    None => held.push(SemLock { owner, class, count: 1 }),
+                    None => held.push(SemLock {
+                        owner,
+                        class,
+                        count: 1,
+                    }),
                 }
                 inner.stats.grants += 1;
                 if blocked {
@@ -225,7 +237,13 @@ mod tests {
         t.acquire(Tid(1), Oid(1), INC, &table, None).unwrap();
         let t2 = Arc::clone(&t);
         let h = std::thread::spawn(move || {
-            t2.acquire(Tid(2), Oid(1), OBS, &counter_table(), Some(Duration::from_secs(5)))
+            t2.acquire(
+                Tid(2),
+                Oid(1),
+                OBS,
+                &counter_table(),
+                Some(Duration::from_secs(5)),
+            )
         });
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(t.release_owner(Tid(1)), 1);

@@ -109,7 +109,12 @@ pub fn run_mlt(
     let timeout = Some(Duration::from_secs(10));
 
     let parent = db.initiate(move |ctx| {
-        let session = MltSession { ctx, sem: sem2, inverses: inv2, lock_timeout: timeout };
+        let session = MltSession {
+            ctx,
+            sem: sem2,
+            inverses: inv2,
+            lock_timeout: timeout,
+        };
         body(&session)
     })?;
     db.begin(parent)?;
@@ -221,7 +226,11 @@ mod tests {
         .unwrap();
         assert_eq!(out, MltOutcome::Undone { inverses_run: 2 });
         assert_eq!(value(&db, h), 100, "logically undone");
-        assert_eq!(value(&db, trace), 21, "inverse of op2 ran before inverse of op1");
+        assert_eq!(
+            value(&db, trace),
+            21,
+            "inverse of op2 ran before inverse of op1"
+        );
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub fn run_atomic_retrying(
             return Ok(RetryOutcome::Committed { attempts: attempt });
         }
     }
-    Ok(RetryOutcome::GaveUp { attempts: max_attempts })
+    Ok(RetryOutcome::GaveUp {
+        attempts: max_attempts,
+    })
 }
 
 #[cfg(test)]

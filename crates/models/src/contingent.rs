@@ -70,7 +70,11 @@ mod tests {
         let oid = db.new_oid();
         let chosen = run_contingent(&db, vec![failing(oid), failing(oid)]).unwrap();
         assert_eq!(chosen, None);
-        assert_eq!(db.peek(oid).unwrap(), None, "each failed alternative undone");
+        assert_eq!(
+            db.peek(oid).unwrap(),
+            None,
+            "each failed alternative undone"
+        );
     }
 
     #[test]

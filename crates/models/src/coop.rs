@@ -60,7 +60,11 @@ impl CoopSession {
         }
         db.permit(leader, Some(follower), scope.clone(), OpSet::ALL)?;
         db.permit(follower, Some(leader), scope.clone(), OpSet::ALL)?;
-        Ok(CoopSession { leader, follower, scope })
+        Ok(CoopSession {
+            leader,
+            follower,
+            scope,
+        })
     }
 
     /// Widen the session to another participant (permits both ways with
@@ -73,8 +77,18 @@ impl CoopSession {
         }
         db.permit(self.leader, Some(newcomer), self.scope.clone(), OpSet::ALL)?;
         db.permit(newcomer, Some(self.leader), self.scope.clone(), OpSet::ALL)?;
-        db.permit(self.follower, Some(newcomer), self.scope.clone(), OpSet::ALL)?;
-        db.permit(newcomer, Some(self.follower), self.scope.clone(), OpSet::ALL)?;
+        db.permit(
+            self.follower,
+            Some(newcomer),
+            self.scope.clone(),
+            OpSet::ALL,
+        )?;
+        db.permit(
+            newcomer,
+            Some(self.follower),
+            self.scope.clone(),
+            OpSet::ALL,
+        )?;
         Ok(())
     }
 }
@@ -121,9 +135,7 @@ mod tests {
     fn ping_pong_editing_interleaves_without_blocking() {
         let db = Database::in_memory();
         let oid = db.new_oid();
-        assert!(db
-            .run(move |ctx| ctx.write(oid, Vec::new()))
-            .unwrap());
+        assert!(db.run(move |ctx| ctx.write(oid, Vec::new())).unwrap());
         let turn = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let t1 = spawn_turn_writer(&db, oid, Arc::clone(&turn), 0, 2, 5, 0x10);
         let t2 = spawn_turn_writer(&db, oid, Arc::clone(&turn), 1, 2, 5, 0x50);
@@ -152,10 +164,12 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        let t2 = db.initiate(move |ctx| {
-            ctx.read(oid)?;
-            Ok(())
-        }).unwrap();
+        let t2 = db
+            .initiate(move |ctx| {
+                ctx.read(oid)?;
+                Ok(())
+            })
+            .unwrap();
         CoopSession::establish(&db, t1, t2, ObSet::one(oid), Coupling::Ordered).unwrap();
         db.begin_many(&[t1, t2]).unwrap();
 
@@ -176,7 +190,9 @@ mod tests {
     fn mutual_coupling_commits_or_dies_together() {
         let db = Database::in_memory();
         let oid = db.new_oid();
-        assert!(db.run(move |ctx| ctx.write(oid, b"design-v0".to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(oid, b"design-v0".to_vec()))
+            .unwrap());
         let t1 = db
             .initiate(move |ctx| ctx.write(oid, b"design-v1".to_vec()))
             .unwrap();
@@ -204,7 +220,9 @@ mod tests {
         let db = Database::in_memory();
         let oid = db.new_oid();
         assert!(db.run(move |ctx| ctx.write(oid, b"v0".to_vec())).unwrap());
-        let t1 = db.initiate(move |ctx| ctx.write(oid, b"v1".to_vec())).unwrap();
+        let t1 = db
+            .initiate(move |ctx| ctx.write(oid, b"v1".to_vec()))
+            .unwrap();
         let t2 = db
             .initiate(move |ctx| {
                 ctx.update(oid, |cur| {

@@ -25,7 +25,11 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// Open a cursor over `records` within the transaction of `ctx`.
     pub fn open(ctx: &'a TxnCtx, records: Vec<Oid>) -> Cursor<'a> {
-        Cursor { ctx, records, pos: 0 }
+        Cursor {
+            ctx,
+            records,
+            pos: 0,
+        }
     }
 
     /// Read the next record (read-locking it), releasing the previous
@@ -181,8 +185,7 @@ mod tests {
         // control experiment: a plain repeatable-read scan keeps its read
         // locks, so the writer times out
         let db = Database::open(
-            asset_common::Config::in_memory()
-                .with_lock_timeout(Some(Duration::from_millis(80))),
+            asset_common::Config::in_memory().with_lock_timeout(Some(Duration::from_millis(80))),
         )
         .unwrap()
         .0;
@@ -202,7 +205,10 @@ mod tests {
         db.begin(scanner).unwrap();
         std::thread::sleep(Duration::from_millis(30));
         let committed = run_atomic(&db, move |ctx| ctx.write(ob, vec![9])).unwrap();
-        assert!(!committed, "writer aborted on lock timeout under strict locking");
+        assert!(
+            !committed,
+            "writer aborted on lock timeout under strict locking"
+        );
         gate.store(true, std::sync::atomic::Ordering::SeqCst);
         assert!(db.commit(scanner).unwrap());
     }

@@ -21,7 +21,10 @@ pub type Component = Box<dyn FnOnce(&TxnCtx) -> Result<()> + Send + 'static>;
 /// whole group committed, `false` if it aborted (any component failure
 /// aborts every component).
 pub fn run_distributed(db: &Database, components: Vec<Component>) -> Result<bool> {
-    assert!(!components.is_empty(), "a distributed transaction needs components");
+    assert!(
+        !components.is_empty(),
+        "a distributed transaction needs components"
+    );
     let mut tids = Vec::with_capacity(components.len());
     for f in components {
         tids.push(db.initiate(f)?);

@@ -212,7 +212,11 @@ mod tests {
         })
         .unwrap();
         assert!(!committed);
-        assert_eq!(db.peek(airline).unwrap(), None, "airline undone with the trip");
+        assert_eq!(
+            db.peek(airline).unwrap(),
+            None,
+            "airline undone with the trip"
+        );
         assert_eq!(db.peek(hotel).unwrap(), None);
     }
 

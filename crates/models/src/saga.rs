@@ -43,7 +43,11 @@ impl SagaStep {
         name: impl Into<String>,
         action: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
     ) -> SagaStep {
-        SagaStep { name: name.into(), action: Arc::new(action), compensation: None }
+        SagaStep {
+            name: name.into(),
+            action: Arc::new(action),
+            compensation: None,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ pub struct Saga {
 impl Saga {
     /// Start building a saga.
     pub fn new() -> Saga {
-        Saga { steps: Vec::new(), max_compensation_retries: None }
+        Saga {
+            steps: Vec::new(),
+            max_compensation_retries: None,
+        }
     }
 
     /// Append a step.
@@ -156,7 +163,9 @@ impl Saga {
 
         // compensate the committed prefix in reverse commit order
         for step in committed_prefix.iter().rev() {
-            let Some(comp) = &step.compensation else { continue };
+            let Some(comp) = &step.compensation else {
+                continue;
+            };
             let mut attempts = 0u32;
             loop {
                 let c = Arc::clone(comp);
@@ -237,7 +246,11 @@ mod tests {
         assert_eq!(trace.events, vec!["s1", "s2", "~s2", "~s1"]);
         assert_eq!(db.peek(a).unwrap(), None, "compensated away");
         assert_eq!(db.peek(b).unwrap(), None);
-        assert_eq!(db.peek(c).unwrap(), None, "failed step rolled back atomically");
+        assert_eq!(
+            db.peek(c).unwrap(),
+            None,
+            "failed step rolled back atomically"
+        );
     }
 
     #[test]

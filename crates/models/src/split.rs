@@ -108,7 +108,11 @@ mod tests {
         })
         .unwrap();
         assert!(committed);
-        assert_eq!(db.peek(handed).unwrap(), None, "delegated write undone by split abort");
+        assert_eq!(
+            db.peek(handed).unwrap(),
+            None,
+            "delegated write undone by split abort"
+        );
         assert_eq!(db.peek(kept).unwrap().unwrap(), b"stays");
     }
 
@@ -159,7 +163,9 @@ mod tests {
         let committed = run_atomic(&db, move |ctx| {
             ctx.write(a, b"mine".to_vec())?;
             let me = ctx.id();
-            let s = split(ctx, ObSet::empty(), move |c| c.write(b, b"split's".to_vec()))?;
+            let s = split(ctx, ObSet::empty(), move |c| {
+                c.write(b, b"split's".to_vec())
+            })?;
             assert!(join(ctx, s, me)?);
             ctx.abort_self::<()>().map(|_| ())
         })

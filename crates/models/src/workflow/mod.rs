@@ -49,7 +49,11 @@ impl Branch {
         act: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
         comp: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
     ) -> Branch {
-        Branch { name: name.into(), act: action(act), comp: Some(action(comp)) }
+        Branch {
+            name: name.into(),
+            act: action(act),
+            comp: Some(action(comp)),
+        }
     }
 
     /// A branch without a compensation.
@@ -57,7 +61,11 @@ impl Branch {
         name: impl Into<String>,
         act: impl Fn(&TxnCtx) -> Result<()> + Send + Sync + 'static,
     ) -> Branch {
-        Branch { name: name.into(), act: action(act), comp: None }
+        Branch {
+            name: name.into(),
+            act: action(act),
+            comp: None,
+        }
     }
 }
 
@@ -83,7 +91,12 @@ pub struct Step {
 impl Step {
     /// An atomic step.
     pub fn single(name: impl Into<String>, branch: Branch) -> Step {
-        Step { name: name.into(), required: true, retries: 0, runner: Runner::Single(branch) }
+        Step {
+            name: name.into(),
+            required: true,
+            retries: 0,
+            runner: Runner::Single(branch),
+        }
     }
 
     /// A contingent step: alternatives in preference order.
@@ -101,7 +114,12 @@ impl Step {
     /// complete commits, the rest abort.
     pub fn race(name: impl Into<String>, branches: Vec<Branch>) -> Step {
         assert!(!branches.is_empty());
-        Step { name: name.into(), required: true, retries: 0, runner: Runner::Race(branches) }
+        Step {
+            name: name.into(),
+            required: true,
+            retries: 0,
+            runner: Runner::Race(branches),
+        }
     }
 
     /// A parallel step: all branches run concurrently and commit **as a
@@ -109,7 +127,12 @@ impl Step {
     /// On success, every branch's compensation joins the undo stack.
     pub fn parallel(name: impl Into<String>, branches: Vec<Branch>) -> Step {
         assert!(!branches.is_empty());
-        Step { name: name.into(), required: true, retries: 0, runner: Runner::Parallel(branches) }
+        Step {
+            name: name.into(),
+            required: true,
+            retries: 0,
+            runner: Runner::Parallel(branches),
+        }
     }
 
     /// Mark the step optional: its failure does not fail the activity.
@@ -163,7 +186,10 @@ pub struct Workflow {
 impl Workflow {
     /// Start building a workflow.
     pub fn new(name: impl Into<String>) -> Workflow {
-        Workflow { name: name.into(), steps: Vec::new() }
+        Workflow {
+            name: name.into(),
+            steps: Vec::new(),
+        }
     }
 
     /// Append a step.
@@ -221,9 +247,7 @@ impl Workflow {
                         }
                         winner
                     }
-                    Runner::Race(branches) => {
-                        Self::run_race(db, branches)?.into_iter().collect()
-                    }
+                    Runner::Race(branches) => Self::run_race(db, branches)?.into_iter().collect(),
                     Runner::Parallel(branches) => {
                         // §3.1.2 distributed transaction: pairwise GC, all
                         // commit together or none do
@@ -390,7 +414,11 @@ mod tests {
         let a = db.new_oid();
         let wf = Workflow::new("alt").step(Step::alternatives(
             "choice",
-            vec![failing_branch("first"), write_step(a, b"second"), failing_branch("third")],
+            vec![
+                failing_branch("first"),
+                write_step(a, b"second"),
+                failing_branch("third"),
+            ],
         ));
         let (outcome, results) = wf.run(&db).unwrap();
         assert_eq!(outcome, WorkflowOutcome::Completed);
@@ -472,7 +500,11 @@ mod tests {
         let (a, b, c) = (db.new_oid(), db.new_oid(), db.new_oid());
         let wf = Workflow::new("par").step(Step::parallel(
             "book-everything",
-            vec![write_step(a, b"A"), write_step(b, b"B"), write_step(c, b"C")],
+            vec![
+                write_step(a, b"A"),
+                write_step(b, b"B"),
+                write_step(c, b"C"),
+            ],
         ));
         let (outcome, results) = wf.run(&db).unwrap();
         assert_eq!(outcome, WorkflowOutcome::Completed);
@@ -553,7 +585,11 @@ mod tests {
             .step(Step::single("boom", failing_branch("boom")).with_retries(2));
         let (outcome, _) = wf.run(&db).unwrap();
         assert_eq!(outcome, WorkflowOutcome::Failed { failed_step: 1 });
-        assert_eq!(db.peek(a).unwrap(), None, "compensated after retries ran out");
+        assert_eq!(
+            db.peek(a).unwrap(),
+            None,
+            "compensated after retries ran out"
+        );
     }
 
     #[test]
@@ -571,8 +607,14 @@ mod tests {
             }
         };
         let wf = Workflow::new("order")
-            .step(Step::single("s1", Branch::new("s1", appender(1), appender(101))))
-            .step(Step::single("s2", Branch::new("s2", appender(2), appender(102))))
+            .step(Step::single(
+                "s1",
+                Branch::new("s1", appender(1), appender(101)),
+            ))
+            .step(Step::single(
+                "s2",
+                Branch::new("s2", appender(2), appender(102)),
+            ))
             .step(Step::single("boom", failing_branch("boom")));
         let (outcome, _) = wf.run(&db).unwrap();
         assert_eq!(outcome, WorkflowOutcome::Failed { failed_step: 2 });

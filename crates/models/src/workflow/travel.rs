@@ -53,8 +53,11 @@ impl TravelWorld {
             ("Avis", avis),
         ];
         let oids: Vec<Oid> = providers.iter().map(|_| db.new_oid()).collect();
-        let seed: Vec<(Oid, u64)> =
-            oids.iter().copied().zip(providers.iter().map(|p| p.1)).collect();
+        let seed: Vec<(Oid, u64)> = oids
+            .iter()
+            .copied()
+            .zip(providers.iter().map(|p| p.1))
+            .collect();
         let committed = db.run(move |ctx| {
             for (oid, cap) in &seed {
                 ctx.write(*oid, enc(*cap))?;
@@ -144,8 +147,8 @@ mod tests {
         assert!(results[2].succeeded, "a car was rented");
         assert_eq!(world.remaining(&db, world.flights[0].1), 4);
         assert_eq!(world.remaining(&db, world.hotel.1), 4);
-        let cars_left = world.remaining(&db, world.cars[0].1)
-            + world.remaining(&db, world.cars[1].1);
+        let cars_left =
+            world.remaining(&db, world.cars[0].1) + world.remaining(&db, world.cars[1].1);
         assert_eq!(cars_left, 9, "exactly one car reserved across the race");
     }
 

@@ -70,7 +70,10 @@ impl BufferPool {
 
     /// Cache hit/miss counters (diagnostics and benches).
     pub fn stats(&self) -> (u32, u32) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Allocate a fresh page in the store and pin it.
@@ -91,7 +94,10 @@ impl BufferPool {
                 f.pin_count.fetch_add(1, Ordering::AcqRel);
                 f.ref_bit.store(true, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(FrameGuard { pool: self, frame: idx });
+                return Ok(FrameGuard {
+                    pool: self,
+                    frame: idx,
+                });
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -110,7 +116,10 @@ impl BufferPool {
             let mut table = self.table.lock();
             table.insert(pid, idx);
         }
-        Ok(FrameGuard { pool: self, frame: idx })
+        Ok(FrameGuard {
+            pool: self,
+            frame: idx,
+        })
     }
 
     /// Choose a victim frame with the clock algorithm, flush it if dirty,
@@ -188,7 +197,9 @@ impl<'a> FrameGuard<'a> {
     /// frame dirty.
     pub fn with_write<R>(&self, f: impl FnOnce(&mut Page) -> R) -> R {
         let mut data = self.pool.frames[self.frame].data.write();
-        self.pool.frames[self.frame].dirty.store(true, Ordering::Release);
+        self.pool.frames[self.frame]
+            .dirty
+            .store(true, Ordering::Release);
         f(&mut data)
     }
 }

@@ -291,10 +291,7 @@ mod tests {
                         e.read_with(|b| {
                             let bytes = b.unwrap();
                             let first = bytes[0];
-                            assert!(
-                                bytes.iter().all(|&x| x == first),
-                                "torn read under latches"
-                            );
+                            assert!(bytes.iter().all(|&x| x == first), "torn read under latches");
                         });
                     }
                 }

@@ -34,13 +34,22 @@ impl StorageEngine {
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
                 let heap = FilePageStore::open(&dir.join("heap.db"), config.page_size)?;
-                let log = LogManager::open(&dir.join("wal.log"), config.durability)?;
+                let log = LogManager::open_with(
+                    &dir.join("wal.log"),
+                    config.durability,
+                    config.flush_watermark,
+                )?;
                 (Arc::new(heap), log)
             }
         };
         let store = ObjectStore::open(page_store, config.buffer_pool_pages)?;
         let cache = ObjectCache::new();
-        let engine = StorageEngine { cache, store, log, durability: config.durability };
+        let engine = StorageEngine {
+            cache,
+            store,
+            log,
+            durability: config.durability,
+        };
         let report = recover(&engine.log, &engine.cache, &engine.store)?;
         Ok((engine, report))
     }
@@ -82,7 +91,12 @@ impl StorageEngine {
         // the update, before the latch effects become commit-relevant (the
         // commit record is what matters for WAL, and it is forced).
         let before = entry.install(after.clone());
-        self.log.append(&LogRecord::Update { tid, oid, before: before.clone(), after })?;
+        self.log.append(&LogRecord::Update {
+            tid,
+            oid,
+            before: before.clone(),
+            after,
+        })?;
         Ok(before)
     }
 
@@ -168,7 +182,10 @@ impl StorageEngine {
         if self.durability == Durability::Strict {
             self.log.flush()?;
         }
-        Ok(CompactionReport { records_before: before, records_after: after })
+        Ok(CompactionReport {
+            records_before: before,
+            records_after: after,
+        })
     }
 }
 
@@ -193,17 +210,22 @@ mod tests {
     fn read_write_roundtrip() {
         let e = mem_engine();
         assert_eq!(e.read_object(Oid(1)).unwrap(), None);
-        let before = e.write_object(Tid(1), Oid(1), Some(b"v1".to_vec())).unwrap();
+        let before = e
+            .write_object(Tid(1), Oid(1), Some(b"v1".to_vec()))
+            .unwrap();
         assert_eq!(before, None);
         assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"v1");
-        let before = e.write_object(Tid(1), Oid(1), Some(b"v2".to_vec())).unwrap();
+        let before = e
+            .write_object(Tid(1), Oid(1), Some(b"v2".to_vec()))
+            .unwrap();
         assert_eq!(before.unwrap(), b"v1");
     }
 
     #[test]
     fn crash_without_commit_rolls_back() {
         let mut e = mem_engine();
-        e.write_object(Tid(1), Oid(1), Some(b"dirty".to_vec())).unwrap();
+        e.write_object(Tid(1), Oid(1), Some(b"dirty".to_vec()))
+            .unwrap();
         let report = e.simulate_crash_and_recover().unwrap();
         assert_eq!(report.losers, 1);
         assert_eq!(e.read_object(Oid(1)).unwrap(), None);
@@ -212,8 +234,10 @@ mod tests {
     #[test]
     fn crash_after_commit_record_replays() {
         let mut e = mem_engine();
-        e.write_object(Tid(1), Oid(1), Some(b"durable".to_vec())).unwrap();
-        e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        e.write_object(Tid(1), Oid(1), Some(b"durable".to_vec()))
+            .unwrap();
+        e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
         let report = e.simulate_crash_and_recover().unwrap();
         assert_eq!(report.winners, 1);
         assert_eq!(e.read_object(Oid(1)).unwrap().unwrap(), b"durable");
@@ -223,7 +247,8 @@ mod tests {
     fn checkpoint_then_recover_is_clean() {
         let mut e = mem_engine();
         e.write_object(Tid(1), Oid(1), Some(b"x".to_vec())).unwrap();
-        e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
         e.checkpoint().unwrap();
         let report = e.simulate_crash_and_recover().unwrap();
         assert_eq!(report.redone, 0, "checkpoint settled everything");
@@ -237,8 +262,10 @@ mod tests {
         let config = Config::on_disk(&dir);
         {
             let (e, _) = StorageEngine::open(&config).unwrap();
-            e.write_object(Tid(1), Oid(42), Some(b"persists".to_vec())).unwrap();
-            e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+            e.write_object(Tid(1), Oid(42), Some(b"persists".to_vec()))
+                .unwrap();
+            e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] })
+                .unwrap();
             // no checkpoint, no flush: recovery must rebuild from the log
         }
         let (e, report) = StorageEngine::open(&config).unwrap();
@@ -254,9 +281,12 @@ mod tests {
         let config = Config::on_disk(&dir);
         {
             let (e, _) = StorageEngine::open(&config).unwrap();
-            e.write_object(Tid(1), Oid(1), Some(b"committed".to_vec())).unwrap();
-            e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
-            e.write_object(Tid(2), Oid(1), Some(b"uncommitted".to_vec())).unwrap();
+            e.write_object(Tid(1), Oid(1), Some(b"committed".to_vec()))
+                .unwrap();
+            e.log_record(&LogRecord::Commit { tids: vec![Tid(1)] })
+                .unwrap();
+            e.write_object(Tid(2), Oid(1), Some(b"uncommitted".to_vec()))
+                .unwrap();
             e.log.flush().unwrap();
         }
         let (e, _) = StorageEngine::open(&config).unwrap();

@@ -36,7 +36,10 @@ pub struct MemPageStore {
 impl MemPageStore {
     /// New empty store.
     pub fn new(page_size: usize) -> MemPageStore {
-        MemPageStore { page_size, pages: Mutex::new(Vec::new()) }
+        MemPageStore {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        }
     }
 }
 
@@ -64,7 +67,9 @@ impl PageStore for MemPageStore {
                 *slot = page.clone();
                 Ok(())
             }
-            None => Err(AssetError::Corrupt(format!("write to unallocated page {pid}"))),
+            None => Err(AssetError::Corrupt(format!(
+                "write to unallocated page {pid}"
+            ))),
         }
     }
 
@@ -103,7 +108,11 @@ impl FilePageStore {
             )));
         }
         let num_pages = (len / page_size as u64) as u32;
-        Ok(FilePageStore { page_size, file, num_pages: Mutex::new(num_pages) })
+        Ok(FilePageStore {
+            page_size,
+            file,
+            num_pages: Mutex::new(num_pages),
+        })
     }
 }
 
@@ -118,7 +127,9 @@ impl PageStore for FilePageStore {
 
     fn read_page(&self, pid: PageId) -> Result<Page> {
         if pid >= self.num_pages() {
-            return Err(AssetError::Corrupt(format!("read of unallocated page {pid}")));
+            return Err(AssetError::Corrupt(format!(
+                "read of unallocated page {pid}"
+            )));
         }
         let mut buf = vec![0u8; self.page_size];
         self.file
@@ -128,7 +139,9 @@ impl PageStore for FilePageStore {
 
     fn write_page(&self, pid: PageId, page: &Page) -> Result<()> {
         if pid >= self.num_pages() {
-            return Err(AssetError::Corrupt(format!("write to unallocated page {pid}")));
+            return Err(AssetError::Corrupt(format!(
+                "write to unallocated page {pid}"
+            )));
         }
         self.file
             .write_all_at(page.bytes(), pid as u64 * self.page_size as u64)?;

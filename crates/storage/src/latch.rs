@@ -54,12 +54,18 @@ pub struct ExclusiveGuard<'a> {
 impl Latch {
     /// A new, unheld latch with the default spin budget.
     pub const fn new() -> Latch {
-        Latch { state: AtomicU32::new(0), spin_limit: 64 }
+        Latch {
+            state: AtomicU32::new(0),
+            spin_limit: 64,
+        }
     }
 
     /// A new latch with an explicit spin budget before yielding.
     pub const fn with_spin_limit(spin_limit: u32) -> Latch {
-        Latch { state: AtomicU32::new(0), spin_limit }
+        Latch {
+            state: AtomicU32::new(0),
+            spin_limit,
+        }
     }
 
     fn backoff(&self, attempt: &mut u32) {

@@ -178,7 +178,12 @@ impl LogRecord {
                 put_u64(&mut b, 0, tid.raw());
                 out.extend_from_slice(&b);
             }
-            LogRecord::Update { tid, oid, before, after } => {
+            LogRecord::Update {
+                tid,
+                oid,
+                before,
+                after,
+            } => {
                 out.push(KIND_UPDATE);
                 let mut b = [0u8; 16];
                 put_u64(&mut b, 0, tid.raw());
@@ -275,7 +280,10 @@ impl LogRecord {
                 LogRecord::Delegate { from, to, obs }
             }
             KIND_CHECKPOINT => LogRecord::Checkpoint,
-            KIND_CLR => LogRecord::Clr { oid: Oid(c.u64()?), image: c.opt_bytes()? },
+            KIND_CLR => LogRecord::Clr {
+                oid: Oid(c.u64()?),
+                image: c.opt_bytes()?,
+            },
             k => return Err(AssetError::Corrupt(format!("unknown log record kind {k}"))),
         };
         c.done()?;
@@ -354,19 +362,36 @@ mod tests {
             before: None,
             after: Some(vec![]),
         });
-        roundtrip(LogRecord::Update { tid: Tid(1), oid: Oid(2), before: Some(vec![9]), after: None });
+        roundtrip(LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(2),
+            before: Some(vec![9]),
+            after: None,
+        });
         roundtrip(LogRecord::Commit { tids: vec![Tid(1)] });
-        roundtrip(LogRecord::Commit { tids: vec![Tid(1), Tid(2), Tid(3)] });
+        roundtrip(LogRecord::Commit {
+            tids: vec![Tid(1), Tid(2), Tid(3)],
+        });
         roundtrip(LogRecord::Abort { tid: Tid(4) });
-        roundtrip(LogRecord::Delegate { from: Tid(1), to: Tid(2), obs: None });
+        roundtrip(LogRecord::Delegate {
+            from: Tid(1),
+            to: Tid(2),
+            obs: None,
+        });
         roundtrip(LogRecord::Delegate {
             from: Tid(1),
             to: Tid(2),
             obs: Some(vec![Oid(5), Oid(6)]),
         });
         roundtrip(LogRecord::Checkpoint);
-        roundtrip(LogRecord::Clr { oid: Oid(9), image: Some(vec![1, 2]) });
-        roundtrip(LogRecord::Clr { oid: Oid(9), image: None });
+        roundtrip(LogRecord::Clr {
+            oid: Oid(9),
+            image: Some(vec![1, 2]),
+        });
+        roundtrip(LogRecord::Clr {
+            oid: Oid(9),
+            image: None,
+        });
     }
 
     #[test]
@@ -381,7 +406,10 @@ mod tests {
 
     #[test]
     fn corrupt_body_is_an_error() {
-        let mut frame = LogRecord::Commit { tids: vec![Tid(1), Tid(2)] }.encode_frame();
+        let mut frame = LogRecord::Commit {
+            tids: vec![Tid(1), Tid(2)],
+        }
+        .encode_frame();
         let n = frame.len();
         frame[n - 1] ^= 0xFF;
         assert!(LogRecord::decode_frame(&frame, 0).is_err());

@@ -19,12 +19,16 @@ pub struct Page {
 impl Page {
     /// A zeroed page of `size` bytes.
     pub fn zeroed(size: usize) -> Page {
-        Page { data: vec![0u8; size].into_boxed_slice() }
+        Page {
+            data: vec![0u8; size].into_boxed_slice(),
+        }
     }
 
     /// Wrap an existing buffer.
     pub fn from_bytes(data: Vec<u8>) -> Page {
-        Page { data: data.into_boxed_slice() }
+        Page {
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Page size in bytes.

@@ -81,7 +81,12 @@ pub fn analyze(records: &[(Lsn, LogRecord)]) -> LogAnalysis {
             LogRecord::Begin { tid } => {
                 a.max_tid = a.max_tid.max(tid.raw());
             }
-            LogRecord::Update { tid, oid, before, after } => {
+            LogRecord::Update {
+                tid,
+                oid,
+                before,
+                after,
+            } => {
                 a.max_tid = a.max_tid.max(tid.raw());
                 a.pending.entry(*tid).or_default().push(PendingUpdate {
                     lsn: *lsn,
@@ -148,12 +153,22 @@ pub fn analyze(records: &[(Lsn, LogRecord)]) -> LogAnalysis {
 }
 
 /// Replay `log` into `cache`, then flush the cache to `store`.
-pub fn recover(log: &LogManager, cache: &ObjectCache, store: &ObjectStore) -> Result<RecoveryReport> {
+pub fn recover(
+    log: &LogManager,
+    cache: &ObjectCache,
+    store: &ObjectStore,
+) -> Result<RecoveryReport> {
     let records = log.scan()?;
     let mut report = RecoveryReport::default();
 
     let analysis = analyze(&records);
-    let LogAnalysis { pending, committed, aborted: _aborted, redo, max_tid } = analysis;
+    let LogAnalysis {
+        pending,
+        committed,
+        aborted: _aborted,
+        redo,
+        max_tid,
+    } = analysis;
     report.max_tid = max_tid;
 
     // --- Redo -------------------------------------------------------------
@@ -216,7 +231,8 @@ mod tests {
             after: Some(b"v1".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
 
         let report = recover(&log, &cache, &store).unwrap();
         assert_eq!(report.winners, 1);
@@ -287,7 +303,8 @@ mod tests {
             obs: Some(vec![Oid(1)]),
         })
         .unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] })
+            .unwrap();
 
         let report = recover(&log, &cache, &store).unwrap();
         assert_eq!(get(&store, Oid(1)).unwrap(), b"new1");
@@ -313,8 +330,14 @@ mod tests {
             after: Some(b"b".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Delegate { from: Tid(1), to: Tid(2), obs: None }).unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        log.append(&LogRecord::Delegate {
+            from: Tid(1),
+            to: Tid(2),
+            obs: None,
+        })
+        .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] })
+            .unwrap();
         recover(&log, &cache, &store).unwrap();
         assert_eq!(get(&store, Oid(1)).unwrap(), b"a");
         assert_eq!(get(&store, Oid(2)).unwrap(), b"b");
@@ -334,7 +357,11 @@ mod tests {
             after: Some(b"x".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Clr { oid: Oid(1), image: Some(b"orig".to_vec()) }).unwrap();
+        log.append(&LogRecord::Clr {
+            oid: Oid(1),
+            image: Some(b"orig".to_vec()),
+        })
+        .unwrap();
         log.append(&LogRecord::Abort { tid: Tid(1) }).unwrap();
         let report = recover(&log, &cache, &store).unwrap();
         assert_eq!(get(&store, Oid(1)).unwrap(), b"orig");
@@ -355,7 +382,11 @@ mod tests {
             after: Some(b"t1".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Clr { oid: Oid(1), image: Some(b"v0".to_vec()) }).unwrap();
+        log.append(&LogRecord::Clr {
+            oid: Oid(1),
+            image: Some(b"v0".to_vec()),
+        })
+        .unwrap();
         log.append(&LogRecord::Abort { tid: Tid(1) }).unwrap();
         log.append(&LogRecord::Update {
             tid: Tid(2),
@@ -364,7 +395,8 @@ mod tests {
             after: Some(b"t2-committed".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] })
+            .unwrap();
         recover(&log, &cache, &store).unwrap();
         assert_eq!(get(&store, Oid(1)).unwrap(), b"t2-committed");
     }
@@ -391,7 +423,11 @@ mod tests {
         })
         .unwrap();
         // runtime undid ob2 (newest first) and crashed before ob1's CLR
-        log.append(&LogRecord::Clr { oid: Oid(2), image: Some(b"b0".to_vec()) }).unwrap();
+        log.append(&LogRecord::Clr {
+            oid: Oid(2),
+            image: Some(b"b0".to_vec()),
+        })
+        .unwrap();
         let report = recover(&log, &cache, &store).unwrap();
         assert_eq!(report.losers, 1);
         assert_eq!(get(&store, Oid(1)).unwrap(), b"a0");
@@ -409,7 +445,8 @@ mod tests {
             after: Some(b"committed".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(1)] }).unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
         log.append(&LogRecord::Update {
             tid: Tid(2),
             oid: Oid(1),
@@ -463,7 +500,8 @@ mod tests {
             after: Some(b"v2".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(2)] }).unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(2)] })
+            .unwrap();
         recover(&log, &cache, &store).unwrap();
         assert_eq!(get(&store, Oid(1)).unwrap(), b"v0");
     }
@@ -485,7 +523,10 @@ mod tests {
             after: Some(b"b".to_vec()),
         })
         .unwrap();
-        log.append(&LogRecord::Commit { tids: vec![Tid(1), Tid(2)] }).unwrap();
+        log.append(&LogRecord::Commit {
+            tids: vec![Tid(1), Tid(2)],
+        })
+        .unwrap();
         let report = recover(&log, &cache, &store).unwrap();
         assert_eq!(report.winners, 2);
         assert_eq!(get(&store, Oid(1)).unwrap(), b"a");

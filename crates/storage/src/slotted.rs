@@ -53,7 +53,10 @@ impl SlottedPage {
     pub fn format(mut page: Page, page_id: PageId) -> SlottedPage {
         let size = page.size();
         assert!(size >= 256, "page too small for slotted layout");
-        assert!(size - 1 <= u16::MAX as usize, "page too large for u16 offsets");
+        assert!(
+            size - 1 <= u16::MAX as usize,
+            "page too large for u16 offsets"
+        );
         let buf = page.bytes_mut();
         buf.fill(0);
         put_u32(buf, H_MAGIC, MAGIC);
@@ -294,7 +297,11 @@ impl SlottedPage {
             if self.slot_live(s) {
                 let off = self.slot_off(s);
                 let len = self.slot_len(s);
-                live.push((s, self.slot_oid(s), self.page.bytes()[off..off + len].to_vec()));
+                live.push((
+                    s,
+                    self.slot_oid(s),
+                    self.page.bytes()[off..off + len].to_vec(),
+                ));
             }
         }
         let mut write_end = size; // exclusive

@@ -78,7 +78,9 @@ impl ObjectStore {
     /// Read the payload of `oid`.
     pub fn get(&self, oid: Oid) -> Result<Option<Vec<u8>>> {
         let loc = { self.dir.lock().get(&oid).copied() };
-        let Some((pid, slot)) = loc else { return Ok(None) };
+        let Some((pid, slot)) = loc else {
+            return Ok(None);
+        };
         let guard = self.pool.fetch(pid)?;
         guard.with_read(|page| -> Result<Option<Vec<u8>>> {
             let sp = SlottedPage::open(page.clone())?;
@@ -136,7 +138,9 @@ impl ObjectStore {
     /// Delete `oid`. Returns whether it existed.
     pub fn delete(&self, oid: Oid) -> Result<bool> {
         let loc = { self.dir.lock().remove(&oid) };
-        let Some((pid, slot)) = loc else { return Ok(false) };
+        let Some((pid, slot)) = loc else {
+            return Ok(false);
+        };
         let guard = self.pool.fetch(pid)?;
         guard.with_write(|page| -> Result<()> {
             let mut sp = SlottedPage::open(std::mem::replace(page, Page::zeroed(0)))?;
@@ -164,10 +168,7 @@ impl ObjectStore {
             let slot = guard.with_write(|page| -> Result<Option<SlotId>> {
                 if !SlottedPage::is_formatted(page.bytes()) {
                     // unformatted (freshly allocated elsewhere): format now
-                    let fresh = SlottedPage::format(
-                        std::mem::replace(page, Page::zeroed(0)),
-                        pid,
-                    );
+                    let fresh = SlottedPage::format(std::mem::replace(page, Page::zeroed(0)), pid);
                     *page = fresh.into_page();
                 }
                 let mut sp = SlottedPage::open(std::mem::replace(page, Page::zeroed(0)))?;
@@ -191,9 +192,8 @@ impl ObjectStore {
         })?;
         drop(guard);
         self.note_free(pid);
-        slot.map(|s| (pid, s)).ok_or_else(|| {
-            AssetError::Corrupt("fresh page rejected a size-checked record".into())
-        })
+        slot.map(|s| (pid, s))
+            .ok_or_else(|| AssetError::Corrupt("fresh page rejected a size-checked record".into()))
     }
 
     /// Flush every dirty frame and sync the underlying store.
@@ -263,7 +263,10 @@ mod tests {
         for i in 0..100u64 {
             assert_eq!(s.get(Oid(i + 1)).unwrap().unwrap(), payload);
         }
-        assert!(s.pool.store().num_pages() > 10, "objects spilled over pages");
+        assert!(
+            s.pool.store().num_pages() > 10,
+            "objects spilled over pages"
+        );
     }
 
     #[test]

@@ -2,11 +2,11 @@
 //! driven with random operation sequences and checked against a trivially
 //! correct in-memory model (`HashMap`).
 
+use asset_common::Oid;
+use asset_storage::heapfile::MemPageStore;
 use asset_storage::page::Page;
 use asset_storage::slotted::SlottedPage;
 use asset_storage::store::ObjectStore;
-use asset_storage::heapfile::MemPageStore;
-use asset_common::Oid;
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;

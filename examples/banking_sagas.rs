@@ -19,8 +19,11 @@ fn balance(db: &Database, acct: Oid) -> i64 {
     i64::from_le_bytes(db.peek(acct).unwrap().unwrap().try_into().unwrap())
 }
 
-fn transfer(from: Oid, to: Oid, amount: i64) -> impl Fn(&TxnCtx) -> asset::Result<()> + Send + Sync
-{
+fn transfer(
+    from: Oid,
+    to: Oid,
+    amount: i64,
+) -> impl Fn(&TxnCtx) -> asset::Result<()> + Send + Sync {
     move |ctx: &TxnCtx| {
         let from_bal = i64::from_le_bytes(ctx.read(from)?.unwrap().try_into().unwrap());
         if from_bal < amount {
@@ -48,18 +51,22 @@ fn transfer_checked(
     }
 }
 
-fn payment_saga(
-    payer: Oid,
-    escrow: Oid,
-    fees: Oid,
-    payee: Oid,
-    amount: i64,
-    fee: i64,
-) -> Saga {
+fn payment_saga(payer: Oid, escrow: Oid, fees: Oid, payee: Oid, amount: i64, fee: i64) -> Saga {
     Saga::new()
-        .step("debit-payer", transfer(payer, escrow, amount), transfer(escrow, payer, amount))
-        .step("charge-fee", transfer(escrow, fees, fee), transfer(fees, escrow, fee))
-        .final_step("credit-payee", transfer_checked(escrow, payee, amount - fee))
+        .step(
+            "debit-payer",
+            transfer(payer, escrow, amount),
+            transfer(escrow, payer, amount),
+        )
+        .step(
+            "charge-fee",
+            transfer(escrow, fees, fee),
+            transfer(fees, escrow, fee),
+        )
+        .final_step(
+            "credit-payee",
+            transfer_checked(escrow, payee, amount - fee),
+        )
 }
 
 fn main() -> asset::Result<()> {
@@ -78,10 +85,15 @@ fn main() -> asset::Result<()> {
     let bob = mk(200);
     let escrow = mk(0);
     let fees = mk(0);
-    let money_supply =
-        |db: &Database| balance(db, alice) + balance(db, bob) + balance(db, escrow) + balance(db, fees);
+    let money_supply = |db: &Database| {
+        balance(db, alice) + balance(db, bob) + balance(db, escrow) + balance(db, fees)
+    };
     let supply0 = money_supply(&db);
-    println!("initial: alice={} bob={} (supply {supply0})\n", balance(&db, alice), balance(&db, bob));
+    println!(
+        "initial: alice={} bob={} (supply {supply0})\n",
+        balance(&db, alice),
+        balance(&db, bob)
+    );
 
     // -- a successful payment ------------------------------------------
     println!("-- alice pays bob 300 (fee 10)");
@@ -115,8 +127,16 @@ fn main() -> asset::Result<()> {
     );
     assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 2 });
     assert_eq!(balance(&db, escrow), 0, "escrow drained back");
-    assert_eq!(balance(&db, fees), 10, "this payment's fee refunded; the first payment's fee stays");
-    assert_eq!(money_supply(&db), supply0, "money conserved through compensation");
+    assert_eq!(
+        balance(&db, fees),
+        10,
+        "this payment's fee refunded; the first payment's fee stays"
+    );
+    assert_eq!(
+        money_supply(&db),
+        supply0,
+        "money conserved through compensation"
+    );
 
     // -- insufficient funds fails at step 0: nothing to compensate -------
     println!("-- alice tries to pay 10,000 (insufficient funds)");

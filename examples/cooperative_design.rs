@@ -60,14 +60,22 @@ fn main() -> asset::Result<()> {
         design,
         Arc::clone(&turn),
         0,
-        &["outline the floor plan", "place the load-bearing walls", "route the plumbing"],
+        &[
+            "outline the floor plan",
+            "place the load-bearing walls",
+            "route the plumbing",
+        ],
     );
     let reviewer = designer(
         &db,
         design,
         Arc::clone(&turn),
         1,
-        &["annotate: widen hallway", "annotate: move outlet", "sign off"],
+        &[
+            "annotate: widen hallway",
+            "annotate: move outlet",
+            "sign off",
+        ],
     );
     let session =
         CoopSession::establish(&db, author, reviewer, ObSet::one(design), Coupling::Ordered)?;
@@ -104,11 +112,17 @@ fn main() -> asset::Result<()> {
     let committed = db.commit(t1)?;
     println!("   session committed? {committed}");
     let text = String::from_utf8(db.peek(design)?.unwrap()).unwrap();
-    println!("   design object after the rejected session:\n{}", indent(&text));
+    println!(
+        "   design object after the rejected session:\n{}",
+        indent(&text)
+    );
     assert!(!committed, "GC coupling took both down");
     Ok(())
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("      | {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("      | {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

@@ -70,8 +70,14 @@ fn main() -> asset::Result<()> {
 
     let remaining = seats.peek(&db);
     println!("sold:          {}", sold.load(Ordering::SeqCst));
-    println!("refused:       {} (escrow floor held)", refused.load(Ordering::SeqCst));
-    println!("refunded ops:  {} (aborted sessions, logically undone)", undone.load(Ordering::SeqCst));
+    println!(
+        "refused:       {} (escrow floor held)",
+        refused.load(Ordering::SeqCst)
+    );
+    println!(
+        "refunded ops:  {} (aborted sessions, logically undone)",
+        undone.load(Ordering::SeqCst)
+    );
     println!("seats left:    {remaining}");
     assert_eq!(
         remaining + sold.load(Ordering::SeqCst),

@@ -85,6 +85,9 @@ fn main() -> asset::Result<()> {
             }
         }
     }
-    println!("   {booked}/5 attendees booked; hotel rooms left: {}", world.remaining(&db, world.hotel.1));
+    println!(
+        "   {booked}/5 attendees booked; hotel rooms left: {}",
+        world.remaining(&db, world.hotel.1)
+    );
     Ok(())
 }

@@ -59,8 +59,8 @@ pub use asset_models as models;
 pub use asset_storage as storage;
 
 pub use asset_common::{
-    AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result,
-    Tid, TxnStatus,
+    AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid,
+    TxnStatus,
 };
 pub use asset_core::{Database, Handle, ObjectCodec, TxnCtx};
 pub use asset_models::{

@@ -29,11 +29,10 @@ fn setup_accounts(db: &Database, n: usize, initial: i64) -> Vec<Oid> {
 /// serializability smoke invariant.
 #[test]
 fn bank_transfers_conserve_total() {
-    let db = Database::open(
-        Config::in_memory().with_lock_timeout(Some(Duration::from_millis(200))),
-    )
-    .unwrap()
-    .0;
+    let db =
+        Database::open(Config::in_memory().with_lock_timeout(Some(Duration::from_millis(200))))
+            .unwrap()
+            .0;
     let n_accounts = 8;
     let initial = 1_000i64;
     let accounts = Arc::new(setup_accounts(&db, n_accounts, initial));
@@ -66,12 +65,8 @@ fn bank_transfers_conserve_total() {
                 let outcome = run_atomic_retrying(
                     &db,
                     Arc::new(move |ctx: &TxnCtx| {
-                        let f = i64::from_le_bytes(
-                            ctx.read(first)?.unwrap().try_into().unwrap(),
-                        );
-                        let s = i64::from_le_bytes(
-                            ctx.read(second)?.unwrap().try_into().unwrap(),
-                        );
+                        let f = i64::from_le_bytes(ctx.read(first)?.unwrap().try_into().unwrap());
+                        let s = i64::from_le_bytes(ctx.read(second)?.unwrap().try_into().unwrap());
                         let (nf, ns) = if first == from {
                             (f - amount, s + amount)
                         } else {
@@ -92,18 +87,20 @@ fn bank_transfers_conserve_total() {
         h.join().unwrap();
     }
     let total: i64 = accounts.iter().map(|a| balance(&db, *a)).sum();
-    assert_eq!(total, n_accounts as i64 * initial, "money conserved under contention");
+    assert_eq!(
+        total,
+        n_accounts as i64 * initial,
+        "money conserved under contention"
+    );
 }
 
 /// Increment contention on a single hot object: every committed increment
 /// must be visible (no lost updates under exclusive locking).
 #[test]
 fn hot_counter_no_lost_updates() {
-    let db = Database::open(
-        Config::in_memory().with_lock_timeout(Some(Duration::from_secs(5))),
-    )
-    .unwrap()
-    .0;
+    let db = Database::open(Config::in_memory().with_lock_timeout(Some(Duration::from_secs(5))))
+        .unwrap()
+        .0;
     let counter = setup_accounts(&db, 1, 0)[0];
     let threads = 8;
     let increments = 25;
@@ -205,15 +202,16 @@ fn concurrent_sagas_respect_inventory() {
                 // half the sagas fail at the confirm step, forcing
                 // compensation of the committed reservation
                 let fail = round % 2 == 0;
-                let saga = Saga::new()
-                    .step("reserve", reserve, release)
-                    .final_step("confirm", move |ctx: &TxnCtx| {
+                let saga = Saga::new().step("reserve", reserve, release).final_step(
+                    "confirm",
+                    move |ctx: &TxnCtx| {
                         if fail {
                             ctx.abort_self::<()>().map(|_| ())
                         } else {
                             Ok(())
                         }
-                    });
+                    },
+                );
                 match saga.run(&db).unwrap().0 {
                     SagaOutcome::Committed => {
                         sold.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
@@ -230,14 +228,20 @@ fn concurrent_sagas_respect_inventory() {
     }
     let final_stock = balance(&db, stock);
     let sold = sold.load(std::sync::atomic::Ordering::SeqCst);
-    assert_eq!(final_stock + sold, 10, "units conserved: stock {final_stock} + sold {sold}");
+    assert_eq!(
+        final_stock + sold,
+        10,
+        "units conserved: stock {final_stock} + sold {sold}"
+    );
 }
 
 /// Transaction table hygiene: thousands of short transactions with
 /// periodic retirement do not exhaust the configured cap.
 #[test]
 fn churn_with_retirement() {
-    let db = Database::open(Config::in_memory().with_max_transactions(64)).unwrap().0;
+    let db = Database::open(Config::in_memory().with_max_transactions(64))
+        .unwrap()
+        .0;
     let oid = setup_accounts(&db, 1, 0)[0];
     for batch in 0..20 {
         for _ in 0..32 {

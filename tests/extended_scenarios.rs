@@ -3,9 +3,7 @@
 //! test with log compaction and crash recovery at the end.
 
 use asset::mlt::{run_mlt, EscrowCounter, MltOutcome, SemanticLockTable};
-use asset::models::{
-    required_subtransaction, run_atomic, run_nested, Saga, SagaOutcome,
-};
+use asset::models::{required_subtransaction, run_atomic, run_nested, Saga, SagaOutcome};
 use asset::{Config, Database, Oid};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -112,12 +110,24 @@ fn saga_of_nested_transactions() {
     let saga = Saga::new()
         .step("pick-10", pick(10), unpick(10))
         .step("pick-20", pick(20), unpick(20))
-        .final_step("ship", |ctx: &asset::TxnCtx| ctx.abort_self::<()>().map(|_| ()));
+        .final_step("ship", |ctx: &asset::TxnCtx| {
+            ctx.abort_self::<()>().map(|_| ())
+        });
     let (outcome, trace) = saga.run(&db).unwrap();
     assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 2 });
-    assert_eq!(trace.events, vec!["pick-10", "pick-20", "~pick-20", "~pick-10"]);
-    assert_eq!(dec(&db.peek(warehouse).unwrap().unwrap()), 100, "stock restored");
-    assert!(db.peek(manifest).unwrap().unwrap().is_empty(), "manifest emptied");
+    assert_eq!(
+        trace.events,
+        vec!["pick-10", "pick-20", "~pick-20", "~pick-10"]
+    );
+    assert_eq!(
+        dec(&db.peek(warehouse).unwrap().unwrap()),
+        100,
+        "stock restored"
+    );
+    assert!(
+        db.peek(manifest).unwrap().unwrap().is_empty(),
+        "manifest emptied"
+    );
 }
 
 /// Soak: hundreds of mixed transactions (transfers, aborts, delegations,
@@ -166,7 +176,11 @@ fn mixed_workload_soak_with_compaction_and_recovery() {
                 0 => {
                     // plain transfer
                     let _ = run_atomic(&db, move |ctx| {
-                        let (a, b) = if from.raw() < to.raw() { (from, to) } else { (to, from) };
+                        let (a, b) = if from.raw() < to.raw() {
+                            (from, to)
+                        } else {
+                            (to, from)
+                        };
                         ctx.lock_exclusive(a)?;
                         ctx.lock_exclusive(b)?;
                         let vf = dec(&ctx.read(from)?.unwrap());
@@ -183,8 +197,11 @@ fn mixed_workload_soak_with_compaction_and_recovery() {
                     // transfer inside a nested transaction
                     let _ = run_nested(&db, move |ctx| {
                         required_subtransaction(ctx, move |c| {
-                            let (a, b) =
-                                if from.raw() < to.raw() { (from, to) } else { (to, from) };
+                            let (a, b) = if from.raw() < to.raw() {
+                                (from, to)
+                            } else {
+                                (to, from)
+                            };
                             c.lock_exclusive(a)?;
                             c.lock_exclusive(b)?;
                             let vf = dec(&c.read(from)?.unwrap());
@@ -230,13 +247,22 @@ fn mixed_workload_soak_with_compaction_and_recovery() {
                 db.compact_log().unwrap();
             }
         }
-        let total: i64 = accounts.iter().map(|a| dec(&db.peek(*a).unwrap().unwrap())).sum();
+        let total: i64 = accounts
+            .iter()
+            .map(|a| dec(&db.peek(*a).unwrap().unwrap()))
+            .sum();
         assert_eq!(total, expected_total, "conserved before crash");
         db.engine().log().flush().unwrap();
         // crash here
     }
     let (db, _) = Database::open(config).unwrap();
-    let total: i64 = accounts.iter().map(|a| dec(&db.peek(*a).unwrap().unwrap())).sum();
-    assert_eq!(total, expected_total, "conserved across compactions and crash");
+    let total: i64 = accounts
+        .iter()
+        .map(|a| dec(&db.peek(*a).unwrap().unwrap()))
+        .sum();
+    assert_eq!(
+        total, expected_total,
+        "conserved across compactions and crash"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }

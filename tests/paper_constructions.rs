@@ -3,8 +3,8 @@
 
 use asset::models::workflow::travel::{run_x_conference, TravelWorld};
 use asset::models::{
-    join, required_subtransaction, run_atomic, run_contingent, run_distributed, run_nested,
-    split, Coupling, CoopSession, Saga, SagaOutcome, WorkflowOutcome,
+    join, required_subtransaction, run_atomic, run_contingent, run_distributed, run_nested, split,
+    CoopSession, Coupling, Saga, SagaOutcome, WorkflowOutcome,
 };
 use asset::{Database, DepType, ObSet, OpSet, TxnCtx, TxnStatus};
 
@@ -87,7 +87,9 @@ fn s315_split_and_join() {
     let target = db.new_oid();
     let committed = run_atomic(&db, move |ctx| {
         let me = ctx.id();
-        let s = split(ctx, ObSet::empty(), move |c| c.write(target, b"joined".to_vec()))?;
+        let s = split(ctx, ObSet::empty(), move |c| {
+            c.write(target, b"joined".to_vec())
+        })?;
         assert!(join(ctx, s, me)?);
         Ok(())
     })
@@ -100,7 +102,9 @@ fn s315_split_and_join() {
 fn s316_saga_success_and_compensation() {
     let db = Database::in_memory();
     let ledger = db.new_oid();
-    assert!(db.run(move |ctx| ctx.write(ledger, 0u64.to_le_bytes().to_vec())).unwrap());
+    assert!(db
+        .run(move |ctx| ctx.write(ledger, 0u64.to_le_bytes().to_vec()))
+        .unwrap());
     let add = move |delta: i64| {
         move |ctx: &TxnCtx| {
             ctx.update(ledger, move |cur| {
@@ -125,8 +129,12 @@ fn s316_saga_success_and_compensation() {
 fn s321_cooperating_transactions() {
     let db = Database::in_memory();
     let shared = db.new_oid();
-    assert!(db.run(move |ctx| ctx.write(shared, b"base".to_vec())).unwrap());
-    let t1 = db.initiate(move |ctx| ctx.write(shared, b"t1's take".to_vec())).unwrap();
+    assert!(db
+        .run(move |ctx| ctx.write(shared, b"base".to_vec()))
+        .unwrap());
+    let t1 = db
+        .initiate(move |ctx| ctx.write(shared, b"t1's take".to_vec()))
+        .unwrap();
     let t2 = db
         .initiate(move |ctx| {
             ctx.update(shared, |cur| {
@@ -164,7 +172,7 @@ fn s322_cursor_stability() {
     let committed = run_atomic(&db, move |ctx| {
         let mut cursor = Cursor::open(ctx, oids.clone());
         cursor.next()?; // releases record 0 to writers
-        // an independent writer gets through immediately
+                        // an independent writer gets through immediately
         assert!(run_atomic(&dbc, move |c| c.write(first, b"overwritten".to_vec()))?);
         Ok(())
     })

@@ -33,8 +33,9 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
                 before,
                 after
             }),
-        proptest::collection::vec(1u64..1000, 1..8)
-            .prop_map(|ts| LogRecord::Commit { tids: ts.into_iter().map(Tid).collect() }),
+        proptest::collection::vec(1u64..1000, 1..8).prop_map(|ts| LogRecord::Commit {
+            tids: ts.into_iter().map(Tid).collect()
+        }),
         (1u64..1000).prop_map(|t| LogRecord::Abort { tid: Tid(t) }),
         (
             1u64..1000,

@@ -64,7 +64,9 @@ fn full_lifecycle_across_restarts() {
         }
         // more committed work on top
         let oid = db.new_oid();
-        assert!(db.run(move |ctx| ctx.write(oid, b"second life".to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(oid, b"second life".to_vec()))
+            .unwrap());
         surviving.push((oid, b"second life".to_vec()));
         db.checkpoint().unwrap();
     }
@@ -121,8 +123,12 @@ fn group_commit_is_atomic_across_crash() {
         let (db, _) = Database::open(config.clone()).unwrap();
         a = db.new_oid();
         b = db.new_oid();
-        let t1 = db.initiate(move |ctx| ctx.write(a, b"left".to_vec())).unwrap();
-        let t2 = db.initiate(move |ctx| ctx.write(b, b"right".to_vec())).unwrap();
+        let t1 = db
+            .initiate(move |ctx| ctx.write(a, b"left".to_vec()))
+            .unwrap();
+        let t2 = db
+            .initiate(move |ctx| ctx.write(b, b"right".to_vec()))
+            .unwrap();
         db.form_dependency(asset::DepType::GC, t1, t2).unwrap();
         db.begin_many(&[t1, t2]).unwrap();
         assert!(db.commit(t1).unwrap());
@@ -141,7 +147,9 @@ fn aborted_saga_compensations_are_durable() {
     {
         let (db, _) = Database::open(config.clone()).unwrap();
         ledger = db.new_oid();
-        assert!(db.run(move |ctx| ctx.write(ledger, 100i64.to_le_bytes().to_vec())).unwrap());
+        assert!(db
+            .run(move |ctx| ctx.write(ledger, 100i64.to_le_bytes().to_vec()))
+            .unwrap());
         let saga = asset::Saga::new()
             .step(
                 "debit",
@@ -158,7 +166,9 @@ fn aborted_saga_compensations_are_durable() {
                     })
                 },
             )
-            .final_step("fail", |ctx: &asset::TxnCtx| ctx.abort_self::<()>().map(|_| ()));
+            .final_step("fail", |ctx: &asset::TxnCtx| {
+                ctx.abort_self::<()>().map(|_| ())
+            });
         let (outcome, _) = saga.run(&db).unwrap();
         assert_eq!(outcome, asset::SagaOutcome::Compensated { failed_step: 1 });
     }
@@ -175,8 +185,12 @@ fn repeated_crashes_converge() {
     {
         let (db, _) = Database::open(config.clone()).unwrap();
         oid = db.new_oid();
-        assert!(db.run(move |ctx| ctx.write(oid, b"stable".to_vec())).unwrap());
-        let t = db.initiate(move |ctx| ctx.write(oid, b"churn".to_vec())).unwrap();
+        assert!(db
+            .run(move |ctx| ctx.write(oid, b"stable".to_vec()))
+            .unwrap());
+        let t = db
+            .initiate(move |ctx| ctx.write(oid, b"churn".to_vec()))
+            .unwrap();
         db.begin(t).unwrap();
         db.wait(t).unwrap();
     }

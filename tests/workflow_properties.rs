@@ -23,14 +23,21 @@ fn arb_step() -> impl Strategy<Value = StepSpec> {
         0u8..3,
         any::<bool>(),
     )
-        .prop_map(|(branches, kind, optional)| StepSpec { branches, kind, optional })
+        .prop_map(|(branches, kind, optional)| StepSpec {
+            branches,
+            kind,
+            optional,
+        })
 }
 
 /// Reference semantics: does the step succeed, and which branches commit?
 fn reference_step(spec: &StepSpec) -> (bool, Vec<usize>) {
     match spec.kind {
         // single: only the first branch matters
-        0 => (spec.branches[0], if spec.branches[0] { vec![0] } else { vec![] }),
+        0 => (
+            spec.branches[0],
+            if spec.branches[0] { vec![0] } else { vec![] },
+        ),
         // alternatives: first viable wins
         1 => match spec.branches.iter().position(|&v| v) {
             Some(i) => (true, vec![i]),
