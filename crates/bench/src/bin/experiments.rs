@@ -37,6 +37,7 @@ fn main() {
         ("e7", experiments::e7_split_early_release),
         ("e8", experiments::e8_workflow),
         ("e9", experiments::e9_structures),
+        ("e9b", experiments::e9b_stripe_contention),
         ("e10", experiments::e10_recovery),
         ("e11", experiments::e11_contingent),
         ("e12", experiments::e12_ablations),
@@ -47,8 +48,28 @@ fn main() {
             continue;
         }
         let start = std::time::Instant::now();
-        let table = f(scale);
-        println!("{table}");
+        if *name == "e9b" {
+            // e9b also captures a structured event trace; dump it next to
+            // the experiment output
+            let (table, trace) = experiments::e9b_stripe_contention_traced(scale);
+            println!("{table}");
+            let path = "asset-trace-e9b.log";
+            match std::fs::File::create(path) {
+                Ok(file) => {
+                    use std::io::Write;
+                    let mut w = std::io::BufWriter::new(file);
+                    for e in &trace {
+                        writeln!(w, "{e}").expect("trace write");
+                    }
+                    w.flush().expect("trace flush");
+                    println!("   [event trace: {} events -> {path}]", trace.len());
+                }
+                Err(err) => eprintln!("   [event trace not written: {err}]"),
+            }
+        } else {
+            let table = f(scale);
+            println!("{table}");
+        }
         println!("   [{name} took {:.2?}]", start.elapsed());
     }
 }

@@ -12,7 +12,10 @@ mod primitives;
 pub use ablations::e12_ablations;
 pub use concurrency::{e2_permits_vs_2pl, e6_cursor_stability, e7_split_early_release};
 pub use models_exp::{e11_contingent, e3_nested, e4_sagas, e8_workflow};
-pub use primitives::{e10_recovery, e1_primitives, e5_group_commit, e9_structures};
+pub use primitives::{
+    e10_recovery, e1_primitives, e5_group_commit, e9_structures, e9b_stripe_contention,
+    e9b_stripe_contention_traced,
+};
 
 use crate::Table;
 
@@ -52,6 +55,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e7_split_early_release(scale),
         e8_workflow(scale),
         e9_structures(scale),
+        e9b_stripe_contention(scale),
         e10_recovery(scale),
         e11_contingent(scale),
         e12_ablations(scale),
@@ -68,7 +72,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables() {
         let tables = run_all(Scale::quick());
-        assert_eq!(tables.len(), 12);
+        assert_eq!(tables.len(), 13);
         for t in &tables {
             assert!(!t.headers.is_empty(), "{} has headers", t.title);
             assert!(!t.rows.is_empty(), "{} has rows", t.title);

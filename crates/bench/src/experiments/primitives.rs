@@ -1,5 +1,6 @@
 //! E1 (primitive costs), E5 (group commit), E9 (lock/permit/dependency
-//! structures — Figure 1), E10 (logging & recovery).
+//! structures — Figure 1), E9b (per-stripe contention), E10 (logging &
+//! recovery).
 
 use super::Scale;
 use crate::table::{fmt_duration, fmt_rate, Table};
@@ -8,8 +9,10 @@ use asset_common::{DepType, ObSet, Oid, OpSet, Operation, Tid};
 use asset_core::Database;
 use asset_dep::DepGraph;
 use asset_lock::{LockTable, Permit, PermitTable};
+use asset_obs::{Event, Obs};
 use asset_storage::{LogManager, LogRecord};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// E1 — cost of the basic primitives (§2.1): latency of the
 /// initiate/begin/commit cycle and throughput of disjoint transactions at
@@ -294,6 +297,78 @@ pub fn e9_structures(scale: Scale) -> Table {
         fmt_rate(n as u64, elapsed),
     ]);
     table
+}
+
+/// E9b — per-stripe lock contention: 16 threads hammer a small hot object
+/// set through an observability-enabled [`LockTable`], then
+/// `stripe_stats()` shows *where* the waiting happened (waits, mean/max
+/// wait, queue depth peak per stripe). The companion of E9's sharded-
+/// scaling rows: E9 shows sharding helps, E9b shows which stripes carry
+/// the load.
+pub fn e9b_stripe_contention(scale: Scale) -> Table {
+    e9b_stripe_contention_traced(scale).0
+}
+
+/// [`e9b_stripe_contention`] plus the captured event trace, so the harness
+/// binary can write the trace next to the experiment output.
+pub fn e9b_stripe_contention_traced(scale: Scale) -> (Table, Vec<Event>) {
+    let mut table = Table::new(
+        "E9b: per-stripe lock contention",
+        "16 threads over a 4-object hot set on an obs-enabled lock table; where the waiting happens",
+    )
+    .headers(&["stripe", "waits", "mean wait", "max wait", "queue peak"]);
+
+    let obs = Obs::shared();
+    obs.enable_tracing(4096);
+    let locks = LockTable::with_shards_obs(8, Arc::clone(&obs));
+    let threads = 16usize;
+    let hot: Vec<Oid> = (0..4u64).map(Oid).collect();
+    let per_thread = scale.n(2_000);
+    let elapsed = crate::workload::parallel_time(threads, |i| {
+        let tid = Tid(i as u64 + 1);
+        for n in 0..per_thread {
+            let ob = hot[n % hot.len()];
+            locks.lock(tid, ob, Operation::Write, None).unwrap();
+            locks.release_all(tid);
+        }
+    });
+
+    let stats = locks.stripe_stats();
+    let mut total_waits = 0u64;
+    for s in &stats {
+        if s.grants == 0 && s.waits == 0 {
+            continue; // cold stripe: the hot set never hashed here
+        }
+        total_waits += s.waits;
+        table.row(vec![
+            s.stripe.to_string(),
+            s.waits.to_string(),
+            fmt_duration(Duration::from_nanos(s.wait_ns_mean())),
+            fmt_duration(Duration::from_nanos(s.wait_ns_max)),
+            s.queue_peak.to_string(),
+        ]);
+    }
+    let snap = obs.snapshot();
+    table.row(vec![
+        "total".into(),
+        total_waits.to_string(),
+        fmt_duration(Duration::from_nanos(snap.lock_wait_ns.mean() as u64)),
+        fmt_duration(Duration::from_nanos(snap.lock_wait_ns.max)),
+        format!(
+            "{} locks in {}",
+            (threads * per_thread),
+            fmt_duration(elapsed)
+        ),
+    ]);
+    let trace = obs.trace();
+    table.row(vec![
+        "trace".into(),
+        format!("{} events", trace.len()),
+        format!("{} dropped", snap.events_dropped),
+        "-".into(),
+        "-".into(),
+    ]);
+    (table, trace)
 }
 
 /// E10 — §4.2 logging & recovery: WAL append throughput, abort-undo cost

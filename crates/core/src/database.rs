@@ -54,6 +54,7 @@ use asset_common::ids::IdGen;
 use asset_common::{AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus};
 use asset_dep::{CommitGate, DepGraph};
 use asset_lock::{LockStats, LockTable};
+use asset_obs::{add, bump, EventKind, Obs};
 use asset_storage::{LogRecord, RecoveryReport, StorageEngine};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -102,6 +103,9 @@ pub(crate) struct DbInner {
     /// with a compare-exchange on this counter, so admission control never
     /// takes a table lock.
     pub live_count: AtomicUsize,
+    /// Observability hub shared with the storage engine and lock table:
+    /// lifecycle counters, latency histograms, and the event trace.
+    pub obs: Arc<Obs>,
 }
 
 /// A point-in-time statistics snapshot of a [`Database`].
@@ -163,7 +167,12 @@ impl Database {
     /// Open a database per `config`, running restart recovery. Returns the
     /// handle and the recovery report.
     pub fn open(config: Config) -> Result<(Database, RecoveryReport)> {
-        let (engine, report) = StorageEngine::open(&config)?;
+        // One observability hub shared by every layer: the engine reports
+        // cache/log metrics, the lock table reports waits and permits, and
+        // the transaction manager reports lifecycle events — all into the
+        // same counters and trace.
+        let obs = Obs::shared();
+        let (engine, report) = StorageEngine::open_with_obs(&config, Arc::clone(&obs))?;
         let tid_gen = IdGen::new();
         tid_gen.bump_past(report.max_tid);
         let oid_gen = IdGen::new();
@@ -176,7 +185,7 @@ impl Database {
             .unwrap_or(0);
         oid_gen.bump_past(max_oid);
         let inner = Arc::new(DbInner {
-            locks: LockTable::with_shards(config.lock_shards),
+            locks: LockTable::with_shards_obs(config.lock_shards, Arc::clone(&obs)),
             txns: TxnTable::new(config.txn_shards),
             config,
             engine,
@@ -185,6 +194,7 @@ impl Database {
             oid_gen,
             undo_seq: AtomicU64::new(1),
             live_count: AtomicUsize::new(0),
+            obs,
         });
         Ok((Database { inner }, report))
     }
@@ -198,9 +208,25 @@ impl Database {
 
     // --- basic primitives (paper §2.1) ---------------------------------
 
-    /// `initiate(f, args)`: register a new transaction that will execute
-    /// `f`. (Arguments are closure captures in Rust.) Fails with
-    /// `ResourceExhausted` when the configured transaction cap is reached.
+    /// `initiate(f, args)` — paper §2.1: register a new transaction that
+    /// will execute `f`, allocating its transaction descriptor (the TD of
+    /// §4.1). (Arguments are closure captures in Rust.) The transaction
+    /// does not run until [`begin`](Self::begin); the gap is the point —
+    /// you can [`permit`](Self::permit), [`delegate`](Self::delegate) to,
+    /// or [`form_dependency`](Self::form_dependency) on a transaction
+    /// before it starts. Fails with `ResourceExhausted` when the
+    /// configured transaction cap is reached.
+    ///
+    /// ```
+    /// use asset_core::Database;
+    ///
+    /// let db = Database::in_memory();
+    /// let oid = db.new_oid();
+    /// let t = db.initiate(move |ctx| ctx.write(oid, b"hello".to_vec())).unwrap();
+    /// db.begin(t).unwrap();
+    /// assert!(db.commit(t).unwrap());
+    /// assert_eq!(db.peek(oid).unwrap().unwrap(), b"hello");
+    /// ```
     pub fn initiate(&self, f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static) -> Result<Tid> {
         self.initiate_with_parent(Tid::NULL, Box::new(f))
     }
@@ -235,10 +261,14 @@ impl Database {
             },
         );
         self.inner.deps.lock().register(tid);
+        bump(&self.inner.obs.counters.txn_initiated);
+        self.inner
+            .obs
+            .record(EventKind::TxnInitiate { tid, parent });
         Ok(tid)
     }
 
-    /// `begin(t)`: start execution of `t` on its own thread.
+    /// `begin(t)` — paper §2.1: start execution of `t` on its own thread.
     ///
     /// Beginning a transaction that was already doomed (e.g. aborted
     /// through a dependency formed before it started — the point of
@@ -246,6 +276,16 @@ impl Database {
     /// `begin` returns 0 there, and the subsequent `commit` reports the
     /// abort. Beginning a transaction in any other non-`Initiated` state is
     /// a programming error.
+    ///
+    /// ```
+    /// use asset_core::Database;
+    ///
+    /// let db = Database::in_memory();
+    /// let t = db.initiate(|_| Ok(())).unwrap();
+    /// db.begin(t).unwrap();            // the closure now runs on its own thread
+    /// assert!(db.wait(t).unwrap());    // completed — but not yet durable
+    /// assert!(db.commit(t).unwrap());
+    /// ```
     pub fn begin(&self, t: Tid) -> Result<()> {
         let job = self.inner.txns.with(t, |slot| -> Result<Option<Job>> {
             let slot = slot.ok_or(AssetError::TxnNotFound(t))?;
@@ -267,6 +307,8 @@ impl Database {
             ))
         })?;
         let Some(job) = job else { return Ok(()) };
+        bump(&self.inner.obs.counters.txn_begun);
+        self.inner.obs.record(EventKind::TxnBegin { tid: t });
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("asset-{t}"))
@@ -283,8 +325,21 @@ impl Database {
         Ok(())
     }
 
-    /// `wait(t)`: block until `t`'s code has completed. Returns `true` on
-    /// completion (or if already committed), `false` if `t` aborted.
+    /// `wait(t)` — paper §2.1: block until `t`'s code has completed.
+    /// Returns `true` on completion (or if already committed), `false` if
+    /// `t` aborted. Completion is *not* commit: `t`'s locks are retained
+    /// and its changes stay volatile until [`commit`](Self::commit).
+    ///
+    /// ```
+    /// use asset_core::Database;
+    ///
+    /// let db = Database::in_memory();
+    /// let ok = db.initiate(|_| Ok(())).unwrap();
+    /// let bad = db.initiate(|ctx| ctx.abort_self::<()>().map(|_| ())).unwrap();
+    /// db.begin_many(&[ok, bad]).unwrap();
+    /// assert!(db.wait(ok).unwrap());
+    /// assert!(!db.wait(bad).unwrap(), "aborted transactions report false");
+    /// ```
     pub fn wait(&self, t: Tid) -> Result<bool> {
         loop {
             let epoch = self.inner.txns.epoch();
@@ -302,9 +357,25 @@ impl Database {
         }
     }
 
-    /// `commit(t)`: the §4.2 commit protocol. Blocks until `t` completes
-    /// execution and every dependency gate opens. Returns `true` if `t`
-    /// (and its GC group) committed, `false` if it aborted.
+    /// `commit(t)` — paper §2.1, protocol in §4.2: the blocking commit.
+    /// Blocks until `t` completes execution and every dependency gate
+    /// opens (CD: the depended-on transaction terminated; AD: the parent
+    /// committed; GC: the whole group is ready). Returns `true` if `t`
+    /// (and its GC group) committed under one forced log record, `false`
+    /// if it aborted.
+    ///
+    /// ```
+    /// use asset_core::{Database, DepType};
+    ///
+    /// let db = Database::in_memory();
+    /// let (a, b) = (db.new_oid(), db.new_oid());
+    /// let t1 = db.initiate(move |ctx| ctx.write(a, b"alpha".to_vec())).unwrap();
+    /// let t2 = db.initiate(move |ctx| ctx.write(b, b"beta".to_vec())).unwrap();
+    /// db.form_dependency(DepType::GC, t1, t2).unwrap();
+    /// db.begin_many(&[t1, t2]).unwrap();
+    /// assert!(db.commit(t1).unwrap()); // commits the whole GC group
+    /// assert!(db.is_committed(t2).unwrap());
+    /// ```
     pub fn commit(&self, t: Tid) -> Result<bool> {
         enum Step {
             Done(bool),
@@ -413,8 +484,21 @@ impl Database {
                         self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
                         self.inner.locks.release_all(*m);
                     }
-                    self.inner.deps.lock().committed(&group);
+                    let resolved = {
+                        let mut deps = self.inner.deps.lock();
+                        let before = deps.edge_count() + deps.gc_link_count();
+                        deps.committed(&group);
+                        before.saturating_sub(deps.edge_count() + deps.gc_link_count())
+                    };
                     drop(guard);
+                    let obs = &self.inner.obs;
+                    add(&obs.counters.txn_committed, group.len() as u64);
+                    add(&obs.counters.dep_edges_resolved, resolved as u64);
+                    obs.commit_group_size.record(group.len() as u64);
+                    obs.record(EventKind::TxnCommit {
+                        tid: t,
+                        group: group.len() as u32,
+                    });
                     self.inner.txns.bump();
                     return Ok(true);
                 }
@@ -422,8 +506,24 @@ impl Database {
         }
     }
 
-    /// `abort(t)`: returns `true` if the abort succeeds (or `t` was already
-    /// aborted), `false` if `t` has already committed.
+    /// `abort(t)` — paper §2.1, protocol in §4.2: roll `t` back by
+    /// installing its before images in reverse order, release its locks
+    /// and permits, and propagate the abort along incoming AD/GC edges.
+    /// Returns `true` if the abort succeeds (or `t` was already aborted),
+    /// `false` if `t` has already committed.
+    ///
+    /// ```
+    /// use asset_core::Database;
+    ///
+    /// let db = Database::in_memory();
+    /// let oid = db.new_oid();
+    /// assert!(db.run(move |ctx| ctx.write(oid, b"v1".to_vec())).unwrap());
+    /// let t = db.initiate(move |ctx| ctx.write(oid, b"v2".to_vec())).unwrap();
+    /// db.begin(t).unwrap();
+    /// db.wait(t).unwrap();
+    /// assert!(db.abort(t).unwrap());
+    /// assert_eq!(db.peek(oid).unwrap().unwrap(), b"v1", "before image restored");
+    /// ```
     pub fn abort(&self, t: Tid) -> Result<bool> {
         match self.status(t)? {
             TxnStatus::Committed => Ok(false),
@@ -471,10 +571,29 @@ impl Database {
 
     // --- new primitives (paper §2.2) ------------------------------------
 
-    /// `delegate(ti, tj, ob_set)` / `delegate(ti, tj)` (with `obs: None`):
-    /// transfer responsibility for `ti`'s operations to `tj` — locks,
-    /// permits granted, and undo responsibility all move; a `Delegate`
-    /// record makes the transfer crash-safe.
+    /// `delegate(ti, tj, ob_set)` / `delegate(ti, tj)` (with `obs: None`)
+    /// — paper §2.2, implementation in §4.2: transfer responsibility for
+    /// `ti`'s uncommitted operations to `tj` — locks, permits granted, and
+    /// undo responsibility all move; a `Delegate` log record makes the
+    /// transfer crash-safe. The building block of split/join (§3.1.5) and
+    /// nested transactions (§3.1.4).
+    ///
+    /// ```
+    /// use asset_core::Database;
+    ///
+    /// let db = Database::in_memory();
+    /// let oid = db.new_oid();
+    /// let t1 = db.initiate(move |ctx| ctx.write(oid, b"draft".to_vec())).unwrap();
+    /// let t2 = db.initiate(|_| Ok(())).unwrap();
+    /// db.begin(t1).unwrap();
+    /// db.wait(t1).unwrap();
+    /// db.delegate(t1, t2, None).unwrap();  // t2 now owns the lock and the undo
+    /// assert!(db.commit(t1).unwrap());     // nothing left to commit: a formality
+    /// db.begin(t2).unwrap();
+    /// db.wait(t2).unwrap();
+    /// assert!(db.abort(t2).unwrap());      // aborting t2 undoes t1's write
+    /// assert_eq!(db.peek(oid).unwrap(), None);
+    /// ```
     pub fn delegate(&self, from: Tid, to: Tid, obs: Option<ObSet>) -> Result<()> {
         let mut guard = self.inner.txns.lock_group(&[from, to]);
         if guard.get(from).is_none() {
@@ -526,9 +645,26 @@ impl Database {
         Ok(())
     }
 
-    /// `permit(ti, tj, ob_set, operations)` and its wildcard forms:
-    /// `grantee: None` = any transaction, `ObSet::All` = any object,
-    /// `OpSet::ALL` = any operation.
+    /// `permit(ti, tj, ob_set, operations)` — paper §2.2, descriptor (PD)
+    /// in §4.1: allow `tj` to perform conflicting operations on `ti`'s
+    /// objects without waiting for `ti` to terminate. Permits compose
+    /// transitively (§2.2 property 3). Wildcard forms: `grantee: None` =
+    /// any transaction, `ObSet::All` = any object, `OpSet::ALL` = any
+    /// operation.
+    ///
+    /// ```
+    /// use asset_core::{Database, ObSet, OpSet};
+    ///
+    /// let db = Database::in_memory();
+    /// let oid = db.new_oid();
+    /// let t1 = db.initiate(move |ctx| ctx.write(oid, b"theirs".to_vec())).unwrap();
+    /// db.begin(t1).unwrap();
+    /// db.wait(t1).unwrap(); // completed, write lock still held
+    /// db.permit(t1, None, ObSet::one(oid), OpSet::ALL).unwrap();
+    /// // despite t1's lock, another transaction may now write the object
+    /// assert!(db.run(move |ctx| ctx.write(oid, b"mine".to_vec())).unwrap());
+    /// assert!(db.commit(t1).unwrap());
+    /// ```
     pub fn permit(&self, grantor: Tid, grantee: Option<Tid>, obs: ObSet, ops: OpSet) -> Result<()> {
         self.inner.locks.permit(grantor, grantee, obs, ops);
         Ok(())
@@ -542,10 +678,23 @@ impl Database {
         Ok(())
     }
 
-    /// `form_dependency(type, ti, tj)` with the paper's argument order:
+    /// `form_dependency(type, ti, tj)` — paper §2.2, edges kept in the
+    /// waits-for/dependency graph of §4.1 — with the paper's argument
+    /// order:
     /// * CD — `tj` cannot commit before `ti` commits;
     /// * AD — if `ti` aborts, `tj` must abort;
     /// * GC — both commit or neither.
+    ///
+    /// ```
+    /// use asset_core::{Database, DepType};
+    ///
+    /// let db = Database::in_memory();
+    /// let t1 = db.initiate(|ctx| ctx.abort_self::<()>().map(|_| ())).unwrap();
+    /// let t2 = db.initiate(|_| Ok(())).unwrap();
+    /// db.form_dependency(DepType::AD, t1, t2).unwrap();
+    /// db.begin_many(&[t1, t2]).unwrap();
+    /// assert!(!db.commit(t2).unwrap(), "t1's abort dooms t2 through the AD edge");
+    /// ```
     pub fn form_dependency(&self, kind: DepType, ti: Tid, tj: Tid) -> Result<()> {
         // hold both parties' shards to order against commits, then deps
         let guard = self.inner.txns.lock_group(&[ti, tj]);
@@ -569,6 +718,8 @@ impl Database {
         deps.form(kind, ti, tj)?;
         drop(deps);
         drop(guard);
+        bump(&self.inner.obs.counters.dep_edges_formed);
+        self.inner.obs.record(EventKind::DepFormed { kind, ti, tj });
         self.inner.txns.bump();
         Ok(())
     }
@@ -692,6 +843,20 @@ impl Database {
         }
     }
 
+    /// The observability hub shared by the storage engine, the lock table
+    /// and the transaction manager. Enable tracing with
+    /// `db.obs().enable_tracing(capacity)`; read metrics any time with
+    /// [`metrics_snapshot`](Self::metrics_snapshot).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.inner.obs
+    }
+
+    /// A lock-free point-in-time view of every counter and histogram the
+    /// facility records (see `asset_obs::MetricsSnapshot`).
+    pub fn metrics_snapshot(&self) -> asset_obs::MetricsSnapshot {
+        self.inner.obs.snapshot()
+    }
+
     /// Direct access to the lock table (diagnostics, benches).
     pub fn locks(&self) -> &LockTable {
         &self.inner.locks
@@ -749,6 +914,7 @@ impl Database {
                 }
             });
             let Act::Undo(mut undo) = act else { continue };
+            let undo_records = undo.len();
             // §4.2 abort step 2: install before images, newest first,
             // logging a CLR per step so restart recovery replays the
             // rollback instead of re-deriving it (and never clobbers later
@@ -767,7 +933,13 @@ impl Database {
             // step 3: release locks and permits
             self.inner.locks.release_all(x);
             // steps 4–5: propagate along incoming AD/GC, drop CD
-            let victims = self.inner.deps.lock().aborted(x);
+            let (victims, resolved) = {
+                let mut deps = self.inner.deps.lock();
+                let before = deps.edge_count() + deps.gc_link_count();
+                let victims = deps.aborted(x);
+                let resolved = before.saturating_sub(deps.edge_count() + deps.gc_link_count());
+                (victims, resolved)
+            };
             queue.extend(victims);
             // step 6: aborted
             self.inner.txns.with(x, |slot| {
@@ -776,6 +948,14 @@ impl Database {
                 }
             });
             self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+            let obs = &self.inner.obs;
+            bump(&obs.counters.txn_aborted);
+            add(&obs.counters.dep_edges_resolved, resolved as u64);
+            obs.undo_records.record(undo_records as u64);
+            obs.record(EventKind::TxnAbort {
+                tid: x,
+                undo_records: undo_records as u32,
+            });
         }
         self.inner.txns.bump();
     }
@@ -789,6 +969,9 @@ fn run_job(inner: Arc<DbInner>, tid: Tid, job: Job) {
     let ctx = TxnCtx::new(db.clone(), tid);
     let outcome = catch_unwind(AssertUnwindSafe(|| job(&ctx)));
     let succeeded = matches!(outcome, Ok(Ok(())));
+    inner
+        .obs
+        .record(EventKind::TxnComplete { tid, ok: succeeded });
     enum Fin {
         None,
         Completed,

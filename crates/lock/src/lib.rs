@@ -17,6 +17,6 @@ pub mod permit;
 pub mod table;
 pub mod waits;
 
-pub use permit::{permits_across, Permit, PermitTable};
-pub use table::{LockSnapshot, LockStats, LockTable, Lrd, PendingReq};
+pub use permit::{permits_across, permits_across_depth, Permit, PermitTable};
+pub use table::{LockSnapshot, LockStats, LockTable, Lrd, PendingReq, StripeStats};
 pub use waits::WaitGraph;

@@ -230,14 +230,42 @@ pub fn permits_across(
     ob: Oid,
     op: Operation,
 ) -> bool {
+    permits_across_depth(tables, holder, requester, ob, op).0
+}
+
+/// [`permits_across`], additionally reporting the length of the permit
+/// chain that settled the answer: the number of permit hops on the granting
+/// chain (1 = direct permit), or — when permission is denied — the length
+/// of the longest chain the DFS explored. `holder == requester` reports
+/// depth 0 (no permit consulted). The depth feeds the observability layer's
+/// `permit_chain_len` histogram.
+pub fn permits_across_depth(
+    tables: &[&PermitTable],
+    holder: Tid,
+    requester: Tid,
+    ob: Oid,
+    op: Operation,
+) -> (bool, usize) {
     if holder == requester {
-        return true;
+        return (true, 0);
     }
     let mut on_path: HashSet<Tid> = HashSet::new();
     on_path.insert(holder);
-    dfs_across(tables, holder, requester, ob, op, &mut on_path)
+    let mut max_depth = 0usize;
+    let granted = dfs_across(
+        tables,
+        holder,
+        requester,
+        ob,
+        op,
+        &mut on_path,
+        1,
+        &mut max_depth,
+    );
+    (granted, max_depth)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs_across(
     tables: &[&PermitTable],
     from: Tid,
@@ -245,6 +273,8 @@ fn dfs_across(
     ob: Oid,
     op: Operation,
     on_path: &mut HashSet<Tid>,
+    depth: usize,
+    max_depth: &mut usize,
 ) -> bool {
     for table in tables {
         for p in table.edges_from(from) {
@@ -254,12 +284,19 @@ fn dfs_across(
             if !p.obs.contains(ob) || !p.ops.contains(op) {
                 continue;
             }
+            *max_depth = (*max_depth).max(depth);
             match p.grantee {
-                None => return true, // wildcard: any transaction, incl. target
-                Some(g) if g == target => return true,
+                None => {
+                    *max_depth = depth;
+                    return true; // wildcard: any transaction, incl. target
+                }
+                Some(g) if g == target => {
+                    *max_depth = depth;
+                    return true;
+                }
                 Some(g) => {
                     if on_path.insert(g) {
-                        if dfs_across(tables, g, target, ob, op, on_path) {
+                        if dfs_across(tables, g, target, ob, op, on_path, depth + 1, max_depth) {
                             return true;
                         }
                         on_path.remove(&g);
@@ -478,6 +515,32 @@ mod tests {
             Oid(6),
             Operation::Write
         ));
+    }
+
+    #[test]
+    fn depth_reports_chain_length() {
+        let mut t = PermitTable::new();
+        t.insert(p(1, Some(2), ObSet::All, OpSet::ALL));
+        t.insert(p(2, Some(3), ObSet::All, OpSet::ALL));
+        // self: no permit consulted
+        assert_eq!(
+            permits_across_depth(&[&t], Tid(1), Tid(1), Oid(1), Operation::Read),
+            (true, 0)
+        );
+        // direct permit: one hop
+        assert_eq!(
+            permits_across_depth(&[&t], Tid(1), Tid(2), Oid(1), Operation::Read),
+            (true, 1)
+        );
+        // transitive: two hops
+        assert_eq!(
+            permits_across_depth(&[&t], Tid(1), Tid(3), Oid(1), Operation::Read),
+            (true, 2)
+        );
+        // denied: reports how far the search got
+        let (ok, depth) = permits_across_depth(&[&t], Tid(1), Tid(9), Oid(1), Operation::Read);
+        assert!(!ok);
+        assert_eq!(depth, 2);
     }
 
     #[test]

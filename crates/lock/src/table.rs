@@ -26,13 +26,15 @@
 //! are per-shard relaxed atomics, so deadlock checks and statistics reads
 //! never stall grants.
 
-use crate::permit::{permits_across, Permit, PermitTable};
+use crate::permit::{permits_across_depth, Permit, PermitTable};
 use crate::waits::WaitGraph;
 use asset_common::config::resolve_shards;
 use asset_common::{AssetError, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid};
+use asset_obs::{add, bump, EventKind, Obs};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A lock-request descriptor: one transaction's granted lock on one object.
@@ -101,6 +103,49 @@ struct ShardStats {
     suspensions: AtomicU64,
     deadlocks: AtomicU64,
     timeouts: AtomicU64,
+    /// Distinct waits (a request that blocked, however many retries).
+    waits: AtomicU64,
+    /// Total nanoseconds blocked requests spent waiting on this stripe.
+    wait_ns_total: AtomicU64,
+    /// Longest single wait on this stripe, in nanoseconds.
+    wait_ns_max: AtomicU64,
+    /// Deepest pending queue observed on any object of this stripe.
+    queue_peak: AtomicU64,
+}
+
+/// Per-stripe contention counters, read lock-free by
+/// [`LockTable::stripe_stats`] — the evidence table behind experiment E9b
+/// (where does lock-manager time go under skewed load?).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StripeStats {
+    /// Stripe (shard) index.
+    pub stripe: usize,
+    /// Locks granted on this stripe.
+    pub grants: u64,
+    /// Times a request on this stripe had to wait (block attempts).
+    pub blocks: u64,
+    /// Locks suspended due to permits.
+    pub suspensions: u64,
+    /// Deadlock victims whose final wait was on this stripe.
+    pub deadlocks: u64,
+    /// Lock-wait timeouts on this stripe.
+    pub timeouts: u64,
+    /// Distinct waits: requests that blocked at least once (a single wait
+    /// may retry — and re-count in `blocks` — many times).
+    pub waits: u64,
+    /// Total nanoseconds spent blocked on this stripe.
+    pub wait_ns_total: u64,
+    /// Longest single wait, in nanoseconds.
+    pub wait_ns_max: u64,
+    /// Deepest pending queue observed on any object of this stripe.
+    pub queue_peak: u64,
+}
+
+impl StripeStats {
+    /// Mean nanoseconds per distinct wait (0 when nothing waited).
+    pub fn wait_ns_mean(&self) -> u64 {
+        self.wait_ns_total.checked_div(self.waits).unwrap_or(0)
+    }
 }
 
 /// One stripe of the doubly-hashed descriptor tables.
@@ -156,6 +201,9 @@ pub struct LockTable {
     poisoned: Mutex<HashSet<Tid>>,
     /// Fast-path skip for the poison check.
     poison_count: AtomicUsize,
+    /// Observability hub: lock-wait histograms, permit-chain lengths,
+    /// delegation counts, and lifecycle events.
+    obs: Arc<Obs>,
 }
 
 enum Attempt {
@@ -177,8 +225,15 @@ impl LockTable {
 
     /// An empty lock table with `n` shards (`0` = auto; rounded up to a
     /// power of two). `with_shards(1)` reproduces the single-mutex manager
-    /// exactly.
+    /// exactly. The table gets its own observability hub; use
+    /// [`with_shards_obs`](Self::with_shards_obs) to share one.
     pub fn with_shards(n: usize) -> LockTable {
+        LockTable::with_shards_obs(n, Obs::shared())
+    }
+
+    /// [`with_shards`](Self::with_shards), reporting lock waits, permit
+    /// chains, delegations and deadlock sweeps into the shared `obs`.
+    pub fn with_shards_obs(n: usize, obs: Arc<Obs>) -> LockTable {
         let n = resolve_shards(n);
         LockTable {
             shards: (0..n).map(|_| Shard::new()).collect(),
@@ -189,7 +244,13 @@ impl LockTable {
             waits: WaitGraph::new(),
             poisoned: Mutex::new(HashSet::new()),
             poison_count: AtomicUsize::new(0),
+            obs,
         }
+    }
+
+    /// The observability hub this table reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Number of shards the table was built with.
@@ -233,47 +294,84 @@ impl LockTable {
         let deadline = timeout.map(|d| Instant::now() + d);
         let sidx = self.shard_index(ob);
         let shard = &self.shards[sidx];
-        let mut inner = shard.inner.lock();
-        loop {
-            if self.poison_count.load(Ordering::Relaxed) > 0 && self.poisoned.lock().contains(&tid)
-            {
-                Self::clear_pending(&mut inner, tid, ob);
-                self.waits.clear(tid);
-                return Err(AssetError::TxnAborted(tid));
-            }
-            match self.attempt(sidx, &mut inner, tid, ob, mode, op) {
-                Attempt::Granted => {
+        // Wait accounting: inside the stripe critical section only relaxed
+        // atomics are touched (DESIGN.md §7 — recording is wait-free on the
+        // lock hot path); the clock reads and the trace event happen after
+        // the mutex is released.
+        let mut wait_started: Option<Instant> = None;
+        let mut queue_depth: u32 = 0;
+        let result = (|| {
+            let mut inner = shard.inner.lock();
+            loop {
+                if self.poison_count.load(Ordering::Relaxed) > 0
+                    && self.poisoned.lock().contains(&tid)
+                {
                     Self::clear_pending(&mut inner, tid, ob);
                     self.waits.clear(tid);
-                    return Ok(());
+                    return Err(AssetError::TxnAborted(tid));
                 }
-                Attempt::Blocked(holders) => {
-                    shard.stats.blocks.fetch_add(1, Ordering::Relaxed);
-                    Self::note_pending(&mut inner, tid, ob, mode);
-                    self.waits.publish(tid, &holders);
-                    if self.waits.cycle_through(tid) {
+                match self.attempt(sidx, &mut inner, tid, ob, mode, op) {
+                    Attempt::Granted => {
                         Self::clear_pending(&mut inner, tid, ob);
                         self.waits.clear(tid);
-                        shard.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
-                        return Err(AssetError::Deadlock(tid));
+                        return Ok(());
                     }
-                    let timed_out = match deadline {
-                        None => {
-                            shard.cv.wait(&mut inner);
-                            false
+                    Attempt::Blocked(holders) => {
+                        shard.stats.blocks.fetch_add(1, Ordering::Relaxed);
+                        Self::note_pending(&mut inner, tid, ob, mode);
+                        let depth = inner.objects.get(&ob).map_or(0, |od| od.pending.len()) as u64;
+                        shard.stats.queue_peak.fetch_max(depth, Ordering::Relaxed);
+                        if wait_started.is_none() {
+                            wait_started = Some(Instant::now());
+                            queue_depth = depth as u32;
+                            shard.stats.waits.fetch_add(1, Ordering::Relaxed);
+                            bump(&self.obs.counters.lock_waits);
                         }
-                        Some(d) => shard.cv.wait_until(&mut inner, d).timed_out(),
-                    };
-                    if timed_out {
-                        Self::clear_pending(&mut inner, tid, ob);
-                        self.waits.clear(tid);
-                        shard.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                        return Err(AssetError::LockTimeout { tid, ob });
+                        self.waits.publish(tid, &holders);
+                        bump(&self.obs.counters.deadlock_sweeps);
+                        if self.waits.cycle_through(tid) {
+                            Self::clear_pending(&mut inner, tid, ob);
+                            self.waits.clear(tid);
+                            shard.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                            bump(&self.obs.counters.deadlocks);
+                            return Err(AssetError::Deadlock(tid));
+                        }
+                        let timed_out = match deadline {
+                            None => {
+                                shard.cv.wait(&mut inner);
+                                false
+                            }
+                            Some(d) => shard.cv.wait_until(&mut inner, d).timed_out(),
+                        };
+                        if timed_out {
+                            Self::clear_pending(&mut inner, tid, ob);
+                            self.waits.clear(tid);
+                            shard.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            return Err(AssetError::LockTimeout { tid, ob });
+                        }
+                        // retry "starting at step 1"
                     }
-                    // retry "starting at step 1"
                 }
             }
+        })();
+        if let Some(t0) = wait_started {
+            let waited = t0.elapsed().as_nanos() as u64;
+            add(&shard.stats.wait_ns_total, waited);
+            shard.stats.wait_ns_max.fetch_max(waited, Ordering::Relaxed);
+            self.obs.lock_wait_ns.record(waited);
+            self.obs.record(EventKind::LockWait {
+                tid,
+                ob,
+                stripe: sidx as u32,
+                wait_ns: waited,
+                queue_depth,
+            });
         }
+        if matches!(result, Err(AssetError::Deadlock(_))) {
+            self.obs
+                .record(EventKind::DeadlockSweep { tid, cycle: true });
+        }
+        result
     }
 
     /// One non-blocking attempt; returns the blockers on failure.
@@ -329,10 +427,14 @@ impl LockTable {
             if gl.tid == tid || !gl.mode.conflicts(mode) {
                 continue;
             }
-            let permitted = match &global {
-                None => permits_across(&[&inner.permits], gl.tid, tid, ob, op),
-                Some(g) => permits_across(&[&inner.permits, g], gl.tid, tid, ob, op),
+            let (permitted, chain) = match &global {
+                None => permits_across_depth(&[&inner.permits], gl.tid, tid, ob, op),
+                Some(g) => permits_across_depth(&[&inner.permits, g], gl.tid, tid, ob, op),
             };
+            bump(&self.obs.counters.permit_checks);
+            if chain > 0 {
+                self.obs.permit_chain_len.record(chain as u64);
+            }
             if permitted {
                 to_suspend.push(gl.tid);
             } else {
@@ -381,6 +483,7 @@ impl LockTable {
             .stats
             .grants
             .fetch_add(1, Ordering::Relaxed);
+        bump(&self.obs.counters.lock_grants);
         Attempt::Granted
     }
 
@@ -505,6 +608,7 @@ impl LockTable {
     /// a time in ascending index order.
     pub fn delegate(&self, from: Tid, to: Tid, obs: Option<&ObSet>) {
         let from_shards = self.shards_of(from);
+        let mut moved_objects = 0u64;
         for &s in &from_shards {
             let shard = &self.shards[s];
             {
@@ -526,6 +630,7 @@ impl LockTable {
                         continue;
                     };
                     let moved = od.granted.remove(pos);
+                    moved_objects += 1;
                     match od.granted.iter_mut().find(|g| g.tid == to) {
                         Some(existing) => {
                             existing.mode = existing.mode.max(moved.mode);
@@ -570,6 +675,13 @@ impl LockTable {
                 .or_default()
                 .extend(from_shards);
         }
+        bump(&self.obs.counters.delegations);
+        add(&self.obs.counters.delegated_objects, moved_objects);
+        self.obs.record(EventKind::Delegate {
+            from,
+            to,
+            objects: moved_objects as u32,
+        });
     }
 
     /// Release all locks held by `tid` and remove permits given by and to
@@ -706,6 +818,29 @@ impl LockTable {
             out.timeouts += shard.stats.timeouts.load(Ordering::Relaxed);
         }
         out
+    }
+
+    /// Per-stripe contention counters, one entry per shard in index order.
+    /// Assembled entirely from relaxed atomics — never takes a shard mutex
+    /// — so it is safe to call from a monitoring thread while the bench
+    /// hammers the table. Feeds the E9b contention table.
+    pub fn stripe_stats(&self) -> Vec<StripeStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| StripeStats {
+                stripe: i,
+                grants: shard.stats.grants.load(Ordering::Relaxed),
+                blocks: shard.stats.blocks.load(Ordering::Relaxed),
+                suspensions: shard.stats.suspensions.load(Ordering::Relaxed),
+                deadlocks: shard.stats.deadlocks.load(Ordering::Relaxed),
+                timeouts: shard.stats.timeouts.load(Ordering::Relaxed),
+                waits: shard.stats.waits.load(Ordering::Relaxed),
+                wait_ns_total: shard.stats.wait_ns_total.load(Ordering::Relaxed),
+                wait_ns_max: shard.stats.wait_ns_max.load(Ordering::Relaxed),
+                queue_peak: shard.stats.queue_peak.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Number of permits currently registered (lock-free).
@@ -1138,6 +1273,81 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*value.lock(), 800);
+    }
+
+    #[test]
+    fn stripe_stats_record_waits_and_durations() {
+        let t = LockTable::with_shards(4);
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        let _ = t.lock(Tid(2), Oid(1), Operation::Write, short());
+        let stripes = t.stripe_stats();
+        assert_eq!(stripes.len(), 4);
+        let hot: Vec<&StripeStats> = stripes.iter().filter(|s| s.waits > 0).collect();
+        assert_eq!(hot.len(), 1, "exactly one stripe saw the contended object");
+        let s = hot[0];
+        assert_eq!(s.waits, 1);
+        assert!(s.blocks >= 1);
+        assert_eq!(s.timeouts, 1);
+        assert!(
+            s.wait_ns_total >= Duration::from_millis(40).as_nanos() as u64,
+            "the waiter blocked for ~50ms; got {}ns",
+            s.wait_ns_total
+        );
+        assert!(s.wait_ns_max >= s.wait_ns_mean());
+        assert!(s.queue_peak >= 1);
+        // uncontended stripes stay silent
+        for other in stripes.iter().filter(|s| s.stripe != hot[0].stripe) {
+            assert_eq!(other.wait_ns_total, 0);
+        }
+    }
+
+    #[test]
+    fn obs_counters_track_lock_traffic() {
+        let t = LockTable::with_shards_obs(2, Obs::shared());
+        let obs = Arc::clone(t.obs());
+        t.lock(Tid(1), Oid(1), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        let _ = t.lock(Tid(2), Oid(1), Operation::Write, short());
+        t.permit(Tid(1), Some(Tid(2)), ObSet::one(Oid(1)), OpSet::ALL);
+        t.lock(Tid(2), Oid(1), Operation::Write, short()).unwrap();
+        t.delegate(Tid(2), Tid(3), None);
+        let snap = obs.snapshot();
+        assert!(snap.counters.lock_grants >= 2);
+        assert!(snap.counters.lock_waits >= 1);
+        assert!(snap.counters.permit_checks >= 1);
+        assert_eq!(snap.counters.delegations, 1);
+        assert_eq!(snap.counters.delegated_objects, 1);
+        assert_eq!(snap.lock_wait_ns.count, snap.counters.lock_waits);
+        assert!(snap.permit_chain_len.count >= 1);
+        assert_eq!(snap.permit_chain_len.max, 1, "direct permit: one hop");
+    }
+
+    #[test]
+    fn lock_wait_events_are_traced_when_enabled() {
+        let t = LockTable::with_shards_obs(2, Obs::shared());
+        t.obs().enable_tracing(64);
+        t.lock(Tid(1), Oid(7), Operation::Write, NO_TIMEOUT)
+            .unwrap();
+        let _ = t.lock(Tid(2), Oid(7), Operation::Write, short());
+        let trace = t.obs().trace();
+        let wait = trace
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::LockWait {
+                    tid,
+                    ob,
+                    wait_ns,
+                    queue_depth,
+                    ..
+                } => Some((tid, ob, wait_ns, queue_depth)),
+                _ => None,
+            })
+            .expect("a LockWait event was traced");
+        assert_eq!(wait.0, Tid(2));
+        assert_eq!(wait.1, Oid(7));
+        assert!(wait.2 > 0);
+        assert!(wait.3 >= 1);
     }
 
     #[test]

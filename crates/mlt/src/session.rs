@@ -19,6 +19,7 @@
 use crate::semantic::{CommutativityTable, OpClass, SemanticLockTable};
 use asset_common::{AssetError, Oid, Result};
 use asset_core::{Database, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -117,6 +118,11 @@ pub fn run_mlt(
         };
         body(&session)
     })?;
+    db.obs().record(EventKind::Model {
+        model: ModelKind::Mlt,
+        tid: parent,
+        label: "parent",
+    });
     db.begin(parent)?;
     let committed = db.commit(parent)?;
 

@@ -11,6 +11,7 @@
 //! ```
 
 use asset_core::{Database, Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 use std::sync::Arc;
 
 /// Run `f` as an atomic transaction. Returns `true` if it committed.
@@ -19,6 +20,11 @@ pub fn run_atomic(
     f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
 ) -> Result<bool> {
     let t = db.initiate(f)?;
+    db.obs().record(EventKind::Model {
+        model: ModelKind::Atomic,
+        tid: t,
+        label: "trans",
+    });
     db.begin(t)?;
     db.commit(t)
 }

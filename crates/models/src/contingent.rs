@@ -6,6 +6,7 @@
 //! ```
 
 use asset_core::{Database, Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 
 /// One alternative of a contingent transaction.
 pub type Alternative = Box<dyn FnOnce(&TxnCtx) -> Result<()> + Send + 'static>;
@@ -15,6 +16,11 @@ pub type Alternative = Box<dyn FnOnce(&TxnCtx) -> Result<()> + Send + 'static>;
 pub fn run_contingent(db: &Database, alternatives: Vec<Alternative>) -> Result<Option<usize>> {
     for (i, f) in alternatives.into_iter().enumerate() {
         let t = db.initiate(f)?;
+        db.obs().record(EventKind::Model {
+            model: ModelKind::Contingent,
+            tid: t,
+            label: "alternative",
+        });
         db.begin(t)?;
         if db.commit(t)? {
             return Ok(Some(i));

@@ -14,6 +14,7 @@
 
 use asset_common::{DepType, ObSet, OpSet};
 use asset_core::{Database, Result, Tid};
+use asset_obs::{EventKind, ModelKind};
 
 /// How tightly the cooperating pair's outcomes are coupled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,6 +61,11 @@ impl CoopSession {
         }
         db.permit(leader, Some(follower), scope.clone(), OpSet::ALL)?;
         db.permit(follower, Some(leader), scope.clone(), OpSet::ALL)?;
+        db.obs().record(EventKind::Model {
+            model: ModelKind::Coop,
+            tid: follower,
+            label: "establish",
+        });
         Ok(CoopSession {
             leader,
             follower,

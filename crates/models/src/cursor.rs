@@ -14,6 +14,7 @@
 
 use asset_common::{ObSet, Oid, OpSet};
 use asset_core::{Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 
 /// A cursor-stability scan over an ordered list of records.
 pub struct Cursor<'a> {
@@ -25,6 +26,11 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// Open a cursor over `records` within the transaction of `ctx`.
     pub fn open(ctx: &'a TxnCtx, records: Vec<Oid>) -> Cursor<'a> {
+        ctx.db().obs().record(EventKind::Model {
+            model: ModelKind::Cursor,
+            tid: ctx.id(),
+            label: "open",
+        });
         Cursor {
             ctx,
             records,

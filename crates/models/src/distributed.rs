@@ -13,6 +13,7 @@
 //! return 1 ... Later commit invocations simply return 0").
 
 use asset_core::{Database, DepType, Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 
 /// A component of a distributed transaction.
 pub type Component = Box<dyn FnOnce(&TxnCtx) -> Result<()> + Send + 'static>;
@@ -27,7 +28,13 @@ pub fn run_distributed(db: &Database, components: Vec<Component>) -> Result<bool
     );
     let mut tids = Vec::with_capacity(components.len());
     for f in components {
-        tids.push(db.initiate(f)?);
+        let t = db.initiate(f)?;
+        db.obs().record(EventKind::Model {
+            model: ModelKind::Distributed,
+            tid: t,
+            label: "component",
+        });
+        tids.push(t);
     }
     // pairwise group-commit dependencies chain the component set into one
     // GC component

@@ -22,6 +22,7 @@
 //! permits the next, and permit chains compose (§2.2 property 3).
 
 use asset_core::{Database, Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 
 /// Outcome of a subtransaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,6 +46,11 @@ pub fn subtransaction(
     f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
 ) -> Result<SubtxnOutcome> {
     let child = ctx.initiate(f)?;
+    ctx.db().obs().record(EventKind::Model {
+        model: ModelKind::Nested,
+        tid: child,
+        label: "subtransaction",
+    });
     ctx.permit_all(child)?;
     ctx.begin(child)?;
     if !ctx.wait(child)? {

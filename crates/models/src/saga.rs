@@ -9,6 +9,7 @@
 //! (!commit(ct))` loop.
 
 use asset_core::{Database, Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 use std::sync::Arc;
 
 /// A step's action or compensation, retry-able and thus `Fn` + shared.
@@ -149,9 +150,19 @@ impl Saga {
             let t = db.initiate(move |ctx| action(ctx))?;
             db.begin(t)?;
             if db.commit(t)? {
+                db.obs().record(EventKind::Model {
+                    model: ModelKind::Saga,
+                    tid: t,
+                    label: "step",
+                });
                 trace.events.push(step.name.clone());
                 committed_prefix.push(step);
             } else {
+                db.obs().record(EventKind::Model {
+                    model: ModelKind::Saga,
+                    tid: t,
+                    label: "failed",
+                });
                 failed = Some(i);
                 break;
             }
@@ -172,6 +183,11 @@ impl Saga {
                 let ct = db.initiate(move |ctx| c(ctx))?;
                 db.begin(ct)?;
                 if db.commit(ct)? {
+                    db.obs().record(EventKind::Model {
+                        model: ModelKind::Saga,
+                        tid: ct,
+                        label: "compensate",
+                    });
                     trace.events.push(format!("~{}", step.name));
                     break;
                 }

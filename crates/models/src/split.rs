@@ -17,6 +17,7 @@
 
 use asset_common::ObSet;
 use asset_core::{Result, Tid, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 
 /// Split a new transaction off the one executing `ctx`, delegating the
 /// objects in `obs` (with their locks and undo responsibility) to it.
@@ -28,6 +29,11 @@ pub fn split(
     f: impl FnOnce(&TxnCtx) -> Result<()> + Send + 'static,
 ) -> Result<Tid> {
     let s = ctx.initiate(f)?;
+    ctx.db().obs().record(EventKind::Model {
+        model: ModelKind::Split,
+        tid: s,
+        label: "split",
+    });
     ctx.delegate(ctx.id(), s, Some(obs))?;
     ctx.begin(s)?;
     Ok(s)
@@ -40,6 +46,11 @@ pub fn join(ctx: &TxnCtx, s: Tid, t: Tid) -> Result<bool> {
     if !ctx.wait(s)? {
         return Ok(false);
     }
+    ctx.db().obs().record(EventKind::Model {
+        model: ModelKind::Split,
+        tid: s,
+        label: "join",
+    });
     ctx.delegate(s, t, None)?;
     // `s` has handed everything over; committing it is now a formality
     // (the paper notes the same about delegating reservation children).

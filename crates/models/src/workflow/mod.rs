@@ -24,6 +24,7 @@ pub mod travel;
 
 use asset_common::TxnStatus;
 use asset_core::{Database, Result, TxnCtx};
+use asset_obs::{EventKind, ModelKind};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -227,6 +228,11 @@ impl Workflow {
                     Runner::Single(branch) => {
                         let act = Arc::clone(&branch.act);
                         let t = db.initiate(move |ctx| act(ctx))?;
+                        db.obs().record(EventKind::Model {
+                            model: ModelKind::Workflow,
+                            tid: t,
+                            label: "step",
+                        });
                         db.begin(t)?;
                         if db.commit(t)? {
                             vec![branch]
@@ -364,6 +370,11 @@ impl Workflow {
             loop {
                 let c = Arc::clone(&comp);
                 let ct = db.initiate(move |ctx| c(ctx))?;
+                db.obs().record(EventKind::Model {
+                    model: ModelKind::Workflow,
+                    tid: ct,
+                    label: "compensate",
+                });
                 db.begin(ct)?;
                 if db.commit(ct)? {
                     break;

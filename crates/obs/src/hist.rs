@@ -1,0 +1,228 @@
+//! Fixed-boundary atomic histograms.
+//!
+//! Boundaries are `&'static [u64]` chosen at construction; recording a
+//! value is a handful of relaxed atomic operations (bucket `fetch_add`,
+//! running `count`/`sum`, `fetch_max` for the max) — no locks, no
+//! allocation, safe inside a stripe critical section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Geometric latency boundaries in nanoseconds, from sub-microsecond spins
+/// to long waits. Bucket `i` counts values `v` with
+/// `bounds[i-1] < v <= bounds[i]`; the final implicit bucket is overflow.
+pub const LATENCY_NS_BOUNDS: &[u64] = &[
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    250_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    250_000_000,
+];
+
+/// Power-of-two boundaries for small cardinalities (spin counts, chain
+/// lengths, group sizes, undo-record counts).
+pub const SMALL_COUNT_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// A concurrent histogram with fixed bucket boundaries.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    boundaries: &'static [u64],
+    /// `boundaries.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// A histogram over `boundaries` (must be non-empty and strictly
+    /// increasing; both are debug-asserted).
+    pub fn new(boundaries: &'static [u64]) -> AtomicHistogram {
+        debug_assert!(!boundaries.is_empty());
+        debug_assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        let buckets = (0..=boundaries.len())
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        AtomicHistogram {
+            boundaries,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (wait-free: four relaxed atomic RMWs).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = self.boundaries.partition_point(|b| *b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The configured boundaries.
+    pub fn boundaries(&self) -> &'static [u64] {
+        self.boundaries
+    }
+
+    /// Copy the histogram state with relaxed loads (lock-free; totals may
+    /// lag in-flight records by a few observations, never torn).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            boundaries: self.boundaries,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of an [`AtomicHistogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket boundaries (bucket `i` holds `bounds[i-1] < v <= bounds[i]`).
+    pub boundaries: &'static [u64],
+    /// Per-bucket counts; `boundaries.len() + 1` entries, last is overflow.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper boundary of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`), or `max` for the overflow bucket. `None` when empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return Some(self.boundaries.get(i).copied().unwrap_or(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_half_open_buckets() {
+        let h = AtomicHistogram::new(&[10, 100, 1000]);
+        // exactly on a boundary goes to that boundary's bucket (v <= bound)
+        h.record(10);
+        // just above a boundary goes to the next bucket
+        h.record(11);
+        h.record(100);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn zero_lands_in_first_bucket() {
+        let h = AtomicHistogram::new(&[10, 100]);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 0, 0]);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn overflow_lands_in_last_bucket() {
+        let h = AtomicHistogram::new(&[10, 100]);
+        h.record(101);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![0, 0, 2]);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn mean_and_max_track_observations() {
+        let h = AtomicHistogram::new(SMALL_COUNT_BOUNDS);
+        for v in [1, 2, 3, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 16);
+        assert_eq!(s.max, 10);
+        assert!((s.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = AtomicHistogram::new(LATENCY_NS_BOUNDS);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn quantile_bound_picks_covering_bucket() {
+        let h = AtomicHistogram::new(&[10, 100, 1000]);
+        for _ in 0..9 {
+            h.record(5); // bucket 0
+        }
+        h.record(500); // bucket 2
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.5), Some(10));
+        assert_eq!(s.quantile_bound(1.0), Some(1000));
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = std::sync::Arc::new(AtomicHistogram::new(SMALL_COUNT_BOUNDS));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for v in 0..1000 {
+                        h.record(v % 300);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+    }
+}

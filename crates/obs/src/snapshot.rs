@@ -1,0 +1,91 @@
+//! The lock-free metrics snapshot.
+
+use crate::counters::CounterSnapshot;
+use crate::hist::HistogramSnapshot;
+
+/// A point-in-time copy of every metric an [`Obs`](crate::Obs) maintains.
+///
+/// Assembled entirely from relaxed atomic loads — taking a snapshot never
+/// blocks a recording thread. Totals may be mutually inconsistent by a few
+/// in-flight increments under concurrency, never torn.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Every monotonic counter.
+    pub counters: CounterSnapshot,
+    /// Nanoseconds a blocked lock request spent waiting.
+    pub lock_wait_ns: HistogramSnapshot,
+    /// Backoff rounds spent acquiring a contended cache latch.
+    pub latch_spins: HistogramSnapshot,
+    /// Log append latency in nanoseconds (recorded only while tracing is
+    /// enabled, to keep the default append path timer-free).
+    pub log_append_ns: HistogramSnapshot,
+    /// Log flush latency in nanoseconds (same gating as appends).
+    pub log_flush_ns: HistogramSnapshot,
+    /// Transitive permit-chain length examined per permit check.
+    pub permit_chain_len: HistogramSnapshot,
+    /// Transactions committed together per group commit.
+    pub commit_group_size: HistogramSnapshot,
+    /// Undo records rolled back per abort.
+    pub undo_records: HistogramSnapshot,
+    /// Events dropped by the ring recorder on slot contention.
+    pub events_dropped: u64,
+    /// Whether the event recorder was enabled when the snapshot was taken.
+    pub tracing_enabled: bool,
+}
+
+impl MetricsSnapshot {
+    /// A compact multi-line textual rendering (one `name value` pair per
+    /// line for counters, then one summary line per histogram) — handy for
+    /// dumping next to experiment output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.counters;
+        let mut s = String::new();
+        let pairs: &[(&str, u64)] = &[
+            ("txn_initiated", c.txn_initiated),
+            ("txn_begun", c.txn_begun),
+            ("txn_committed", c.txn_committed),
+            ("txn_aborted", c.txn_aborted),
+            ("lock_waits", c.lock_waits),
+            ("lock_grants", c.lock_grants),
+            ("deadlock_sweeps", c.deadlock_sweeps),
+            ("deadlocks", c.deadlocks),
+            ("permit_checks", c.permit_checks),
+            ("delegations", c.delegations),
+            ("delegated_objects", c.delegated_objects),
+            ("dep_edges_formed", c.dep_edges_formed),
+            ("dep_edges_resolved", c.dep_edges_resolved),
+            ("cache_hits", c.cache_hits),
+            ("cache_misses", c.cache_misses),
+            ("latch_acquires", c.latch_acquires),
+            ("latch_contended", c.latch_contended),
+            ("log_appends", c.log_appends),
+            ("log_flushes", c.log_flushes),
+            ("log_coalesced", c.log_coalesced),
+            ("events_recorded", c.events_recorded),
+            ("events_dropped", self.events_dropped),
+        ];
+        for (name, v) in pairs {
+            let _ = writeln!(s, "{name} {v}");
+        }
+        let hists: &[(&str, &HistogramSnapshot)] = &[
+            ("lock_wait_ns", &self.lock_wait_ns),
+            ("latch_spins", &self.latch_spins),
+            ("log_append_ns", &self.log_append_ns),
+            ("log_flush_ns", &self.log_flush_ns),
+            ("permit_chain_len", &self.permit_chain_len),
+            ("commit_group_size", &self.commit_group_size),
+            ("undo_records", &self.undo_records),
+        ];
+        for (name, h) in hists {
+            let _ = writeln!(
+                s,
+                "{name} count={} mean={:.1} max={}",
+                h.count,
+                h.mean(),
+                h.max
+            );
+        }
+        s
+    }
+}

@@ -13,6 +13,7 @@
 use crate::latch::Latch;
 use crate::store::ObjectStore;
 use asset_common::{Oid, Result};
+use asset_obs::{bump, Obs};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
@@ -36,6 +37,7 @@ struct ObjData {
 pub struct CachedObject {
     latch: Latch,
     data: UnsafeCell<ObjData>,
+    obs: Arc<Obs>,
 }
 
 // SAFETY: all access to `data` is mediated by `latch` (S for shared reads,
@@ -44,16 +46,28 @@ unsafe impl Sync for CachedObject {}
 unsafe impl Send for CachedObject {}
 
 impl CachedObject {
-    fn new(bytes: Option<Vec<u8>>, dirty: bool) -> CachedObject {
+    fn new(bytes: Option<Vec<u8>>, dirty: bool, obs: Arc<Obs>) -> CachedObject {
         CachedObject {
             latch: Latch::new(),
             data: UnsafeCell::new(ObjData { bytes, dirty }),
+            obs,
+        }
+    }
+
+    /// Record a latch acquisition outcome: spin counts are atomics-only, so
+    /// this is safe on every path the latch itself is.
+    fn note_latch(&self, spins: u32) {
+        bump(&self.obs.counters.latch_acquires);
+        if spins > 0 {
+            bump(&self.obs.counters.latch_contended);
+            self.obs.latch_spins.record(u64::from(spins));
         }
     }
 
     /// Read the payload under an S latch.
     pub fn read_with<R>(&self, f: impl FnOnce(Option<&[u8]>) -> R) -> R {
-        let _g = self.latch.shared();
+        let (_g, spins) = self.latch.shared_profiled();
+        self.note_latch(spins);
         // SAFETY: S latch held; no X holder exists, so a shared view is safe.
         let data = unsafe { &*self.data.get() };
         f(data.bytes.as_deref())
@@ -62,7 +76,8 @@ impl CachedObject {
     /// Replace the payload under an X latch; returns the before image.
     /// `None` deletes the object (tombstone).
     pub fn install(&self, after: Option<Vec<u8>>) -> Option<Vec<u8>> {
-        let _g = self.latch.exclusive();
+        let (_g, spins) = self.latch.exclusive_profiled();
+        self.note_latch(spins);
         // SAFETY: X latch held; we are the unique accessor.
         let data = unsafe { &mut *self.data.get() };
         data.dirty = true;
@@ -71,7 +86,8 @@ impl CachedObject {
 
     /// Mutate the payload in place under an X latch.
     pub fn write_with<R>(&self, f: impl FnOnce(&mut Option<Vec<u8>>) -> R) -> R {
-        let _g = self.latch.exclusive();
+        let (_g, spins) = self.latch.exclusive_profiled();
+        self.note_latch(spins);
         // SAFETY: X latch held.
         let data = unsafe { &mut *self.data.get() };
         data.dirty = true;
@@ -107,14 +123,27 @@ impl CachedObject {
 /// The shared object cache.
 pub struct ObjectCache {
     shards: Vec<Mutex<HashMap<Oid, Arc<CachedObject>>>>,
+    obs: Arc<Obs>,
 }
 
 impl ObjectCache {
-    /// An empty cache.
+    /// An empty cache with its own private observability hub.
     pub fn new() -> ObjectCache {
+        ObjectCache::with_obs(Obs::shared())
+    }
+
+    /// An empty cache reporting into `obs` (hit/miss counters and latch
+    /// profiles of every resident object).
+    pub fn with_obs(obs: Arc<Obs>) -> ObjectCache {
         ObjectCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            obs,
         }
+    }
+
+    /// The observability hub this cache reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     fn shard(&self, oid: Oid) -> &Mutex<HashMap<Oid, Arc<CachedObject>>> {
@@ -129,15 +158,17 @@ impl ObjectCache {
         {
             let shard = self.shard(oid).lock();
             if let Some(e) = shard.get(&oid) {
+                bump(&self.obs.counters.cache_hits);
                 return Ok(Arc::clone(e));
             }
         }
         // Miss: load outside the shard lock, then race-insert.
+        bump(&self.obs.counters.cache_misses);
         let loaded = store.get(oid)?;
         let mut shard = self.shard(oid).lock();
         let entry = shard
             .entry(oid)
-            .or_insert_with(|| Arc::new(CachedObject::new(loaded, false)));
+            .or_insert_with(|| Arc::new(CachedObject::new(loaded, false, Arc::clone(&self.obs))));
         Ok(Arc::clone(entry))
     }
 
@@ -155,7 +186,10 @@ impl ObjectCache {
                 e.install(bytes);
             }
             None => {
-                shard.insert(oid, Arc::new(CachedObject::new(bytes, true)));
+                shard.insert(
+                    oid,
+                    Arc::new(CachedObject::new(bytes, true, Arc::clone(&self.obs))),
+                );
             }
         }
     }
@@ -300,6 +334,31 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let s = store();
+        s.put(Oid(1), b"x").unwrap();
+        let c = ObjectCache::new();
+        c.entry(Oid(1), &s).unwrap(); // miss (fault-in)
+        c.entry(Oid(1), &s).unwrap(); // hit
+        c.entry(Oid(1), &s).unwrap(); // hit
+        c.entry(Oid(2), &s).unwrap(); // miss (tombstone fault-in)
+        let snap = c.obs().snapshot();
+        assert_eq!(snap.counters.cache_misses, 2);
+        assert_eq!(snap.counters.cache_hits, 2);
+    }
+
+    #[test]
+    fn latch_acquisitions_are_counted() {
+        let s = store();
+        let c = ObjectCache::new();
+        let e = c.entry(Oid(1), &s).unwrap();
+        e.install(Some(b"v".to_vec()));
+        e.read_with(|_| ());
+        let snap = c.obs().snapshot();
+        assert!(snap.counters.latch_acquires >= 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::log::{LogManager, LogRecord};
 use crate::recovery::{recover, RecoveryReport};
 use crate::store::ObjectStore;
 use asset_common::{Config, Durability, Lsn, Oid, Result, Tid};
+use asset_obs::Obs;
 use std::sync::Arc;
 
 /// The assembled storage substrate.
@@ -20,13 +21,24 @@ pub struct StorageEngine {
     store: ObjectStore,
     log: LogManager,
     durability: Durability,
+    obs: Arc<Obs>,
 }
 
 impl StorageEngine {
     /// Build an engine from `config`, running restart recovery if a log
-    /// with records exists.
+    /// with records exists. The engine gets its own observability hub; use
+    /// [`open_with_obs`](Self::open_with_obs) to share one.
     pub fn open(config: &Config) -> Result<(StorageEngine, RecoveryReport)> {
-        let (page_store, log): (Arc<dyn PageStore>, LogManager) = match &config.data_dir {
+        Self::open_with_obs(config, Obs::shared())
+    }
+
+    /// [`open`](Self::open), reporting cache hit/miss, latch profiles, and
+    /// log append/flush metrics into the shared `obs`.
+    pub fn open_with_obs(
+        config: &Config,
+        obs: Arc<Obs>,
+    ) -> Result<(StorageEngine, RecoveryReport)> {
+        let (page_store, mut log): (Arc<dyn PageStore>, LogManager) = match &config.data_dir {
             None => (
                 Arc::new(MemPageStore::new(config.page_size)),
                 LogManager::in_memory(),
@@ -42,16 +54,23 @@ impl StorageEngine {
                 (Arc::new(heap), log)
             }
         };
+        log.set_obs(Arc::clone(&obs));
         let store = ObjectStore::open(page_store, config.buffer_pool_pages)?;
-        let cache = ObjectCache::new();
+        let cache = ObjectCache::with_obs(Arc::clone(&obs));
         let engine = StorageEngine {
             cache,
             store,
             log,
             durability: config.durability,
+            obs,
         };
         let report = recover(&engine.log, &engine.cache, &engine.store)?;
         Ok((engine, report))
+    }
+
+    /// The observability hub this engine reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// The shared object cache.
@@ -133,7 +152,7 @@ impl StorageEngine {
     /// Re-run restart recovery (test hook: simulates a crash by discarding
     /// the cache and rebuilding from log + store).
     pub fn simulate_crash_and_recover(&mut self) -> Result<RecoveryReport> {
-        self.cache = ObjectCache::new();
+        self.cache = ObjectCache::with_obs(Arc::clone(&self.obs));
         recover(&self.log, &self.cache, &self.store)
     }
 

@@ -82,7 +82,14 @@ impl Latch {
     /// Acquire in S mode. Blocks (spins) while an X holder exists or an X
     /// waiter is queued.
     pub fn shared(&self) -> SharedGuard<'_> {
+        self.shared_profiled().0
+    }
+
+    /// Acquire in S mode, additionally reporting how many backoff rounds
+    /// the acquisition spent (0 = granted on the first attempt).
+    pub fn shared_profiled(&self) -> (SharedGuard<'_>, u32) {
         let mut attempt = 0;
+        let mut rounds = 0u32;
         loop {
             let v = self.state.load(Ordering::Relaxed);
             if v & (X_HELD | X_WAIT_MASK) == 0 {
@@ -92,10 +99,11 @@ impl Latch {
                     .compare_exchange_weak(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
                 {
-                    return SharedGuard { latch: self };
+                    return (SharedGuard { latch: self }, rounds);
                 }
             }
             self.backoff(&mut attempt);
+            rounds = rounds.saturating_add(1);
         }
     }
 
@@ -118,10 +126,17 @@ impl Latch {
     /// are blocked (starvation avoidance), then spins until the latch is
     /// free of holders.
     pub fn exclusive(&self) -> ExclusiveGuard<'_> {
+        self.exclusive_profiled().0
+    }
+
+    /// Acquire in X mode, additionally reporting how many backoff rounds
+    /// the acquisition spent (0 = granted on the first attempt).
+    pub fn exclusive_profiled(&self) -> (ExclusiveGuard<'_>, u32) {
         // Announce intent: blocks new readers.
         let prev = self.state.fetch_add(X_WAIT_UNIT, Ordering::Relaxed);
         debug_assert!(prev & X_WAIT_MASK != X_WAIT_MASK, "X-waiter overflow");
         let mut attempt = 0;
+        let mut rounds = 0u32;
         loop {
             let v = self.state.load(Ordering::Relaxed);
             if v & X_HELD == 0 && v & S_MASK == 0 {
@@ -132,10 +147,11 @@ impl Latch {
                     .compare_exchange_weak(v, next, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
                 {
-                    return ExclusiveGuard { latch: self };
+                    return (ExclusiveGuard { latch: self }, rounds);
                 }
             }
             self.backoff(&mut attempt);
+            rounds = rounds.saturating_add(1);
         }
     }
 

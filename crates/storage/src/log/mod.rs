@@ -18,10 +18,13 @@ mod record;
 pub use record::LogRecord;
 
 use asset_common::{Durability, Lsn, Result};
+use asset_obs::{bump, Obs};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Default user-space buffer watermark (bytes) for `Buffered` durability.
 pub const DEFAULT_FLUSH_WATERMARK: usize = 64 * 1024;
@@ -49,6 +52,7 @@ pub struct LogManager {
     inner: Mutex<Inner>,
     durability: Durability,
     flush_watermark: usize,
+    obs: Arc<Obs>,
 }
 
 impl LogManager {
@@ -62,7 +66,20 @@ impl LogManager {
             }),
             durability: Durability::InMemory,
             flush_watermark: DEFAULT_FLUSH_WATERMARK,
+            obs: Obs::shared(),
         }
+    }
+
+    /// Report into `obs` instead of this manager's private hub (append/
+    /// flush counters, coalescing counts, and — while tracing is enabled —
+    /// append/flush latency histograms).
+    pub fn set_obs(&mut self, obs: Arc<Obs>) {
+        self.obs = obs;
+    }
+
+    /// The observability hub this log reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Open (creating if absent) the log file at `path` with the default
@@ -98,6 +115,7 @@ impl LogManager {
             }),
             durability,
             flush_watermark: flush_watermark.max(1),
+            obs: Obs::shared(),
         })
     }
 
@@ -117,7 +135,11 @@ impl LogManager {
     }
 
     fn append_inner(&self, rec: &LogRecord, force: bool) -> Result<Lsn> {
+        // Timing is gated on tracing so the default append path never pays
+        // for a clock read; the counters below are always on.
+        let t0 = self.obs.tracing_enabled().then(Instant::now);
         let frame = rec.encode_frame();
+        bump(&self.obs.counters.log_appends);
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.tail);
         inner.tail += frame.len() as u64;
@@ -136,10 +158,16 @@ impl LogManager {
                         file.write_all(pending)?;
                         *buffered_bytes += pending.len();
                         pending.clear();
+                        bump(&self.obs.counters.log_flushes);
+                    } else {
+                        // stayed in user space: the coalescing the watermark
+                        // exists to produce
+                        bump(&self.obs.counters.log_coalesced);
                     }
                 } else {
                     file.write_all(&frame)?;
                     *buffered_bytes += frame.len();
+                    bump(&self.obs.counters.log_flushes);
                     if force && self.durability == Durability::Strict {
                         file.sync_data()?;
                         *buffered_bytes = 0;
@@ -147,11 +175,18 @@ impl LogManager {
                 }
             }
         }
+        drop(inner);
+        if let Some(t0) = t0 {
+            self.obs
+                .log_append_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
         Ok(lsn)
     }
 
     /// Force everything appended so far to stable storage.
     pub fn flush(&self) -> Result<()> {
+        let t0 = self.obs.tracing_enabled().then(Instant::now);
         let mut inner = self.inner.lock();
         if let Backend::File {
             file,
@@ -166,6 +201,11 @@ impl LogManager {
             }
             file.sync_data()?;
             *buffered_bytes = 0;
+            bump(&self.obs.counters.log_flushes);
+        }
+        drop(inner);
+        if let Some(t0) = t0 {
+            self.obs.log_flush_ns.record(t0.elapsed().as_nanos() as u64);
         }
         Ok(())
     }
@@ -411,6 +451,37 @@ mod tests {
         assert_eq!(scanned.len(), 1);
         assert_eq!(scanned[0].1, LogRecord::Begin { tid: Tid(2) });
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coalesced_appends_and_drains_are_counted() {
+        let dir = std::env::temp_dir().join(format!("asset-log-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let log = LogManager::open_with(&path, Durability::Buffered, 1 << 20).unwrap();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        let snap = log.obs().snapshot();
+        assert_eq!(snap.counters.log_appends, 3);
+        assert_eq!(snap.counters.log_coalesced, 3, "all stayed in user space");
+        assert_eq!(snap.counters.log_flushes, 0);
+        log.append_forced(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
+        let snap = log.obs().snapshot();
+        assert_eq!(snap.counters.log_flushes, 1, "forced append drained");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_latency_recorded_only_under_tracing() {
+        let log = LogManager::in_memory();
+        log.append(&LogRecord::Checkpoint).unwrap();
+        assert_eq!(log.obs().snapshot().log_append_ns.count, 0);
+        log.obs().enable_tracing(64);
+        log.append(&LogRecord::Checkpoint).unwrap();
+        assert_eq!(log.obs().snapshot().log_append_ns.count, 1);
     }
 
     #[test]

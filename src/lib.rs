@@ -28,7 +28,10 @@
 //! * [`asset_lock`] — the lock manager with permits and suspension;
 //! * [`asset_dep`] — the dependency graph;
 //! * [`asset_mlt`] — multi-level transactions with commutativity-based
-//!   semantic locking and logical undo (the paper's §5 future work).
+//!   semantic locking and logical undo (the paper's §5 future work);
+//! * [`asset_obs`] — the observability layer: lifecycle counters, wait-free
+//!   histograms, and a structured event trace of every primitive
+//!   (`Database::metrics_snapshot` / `Database::obs`).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ pub use asset_dep as dep;
 pub use asset_lock as lock;
 pub use asset_mlt as mlt;
 pub use asset_models as models;
+pub use asset_obs as obs;
 pub use asset_storage as storage;
 
 pub use asset_common::{

@@ -1,0 +1,183 @@
+//! Integration tests for the observability layer: a model run emits the
+//! expected lifecycle event sequence, and `MetricsSnapshot` totals
+//! reconcile with the captured trace.
+
+use asset::models::{Saga, SagaOutcome};
+use asset::obs::{EventKind, ModelKind};
+use asset::Database;
+
+/// The §3.1.6 saga shape, as seen through the event trace: component
+/// commits, the failing component's abort, and the compensation — in that
+/// order.
+#[test]
+fn saga_run_emits_expected_lifecycle_sequence() {
+    let db = Database::in_memory();
+    db.obs().enable_tracing(4096);
+    let a = db.new_oid();
+
+    let saga = Saga::new()
+        .step(
+            "reserve",
+            move |ctx| ctx.write(a, b"held".to_vec()),
+            move |ctx| ctx.delete(a),
+        )
+        .final_step("boom", |ctx| ctx.abort_self::<()>().map(|_| ()));
+    let (outcome, _) = saga.run(&db).unwrap();
+    assert_eq!(outcome, SagaOutcome::Compensated { failed_step: 1 });
+
+    let trace = db.obs().trace();
+    assert!(!trace.is_empty(), "tracing was on: events must be captured");
+
+    // the saga milestones appear in paper order: step, failure, compensation
+    let labels: Vec<&str> = trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Model {
+                model: ModelKind::Saga,
+                label,
+                ..
+            } => Some(label),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(labels, vec!["step", "failed", "compensate"]);
+
+    // every initiated transaction also began (the saga engine always
+    // begins what it initiates)
+    let initiated: Vec<_> = trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TxnInitiate { tid, .. } => Some(tid),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        initiated.len(),
+        3,
+        "component, failing component, compensation"
+    );
+    for tid in &initiated {
+        assert!(
+            trace
+                .iter()
+                .any(|e| e.kind == EventKind::TxnBegin { tid: *tid }),
+            "{tid:?} initiated but never began"
+        );
+    }
+
+    // exactly one abort (the failing component), two commits (the
+    // successful component and its compensation)
+    let aborts = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TxnAbort { .. }))
+        .count();
+    let commits = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TxnCommit { .. }))
+        .count();
+    assert_eq!(aborts, 1);
+    assert_eq!(commits, 2);
+
+    // the compensation commit comes after the abort
+    let abort_seq = trace
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::TxnAbort { .. }))
+        .unwrap()
+        .seq;
+    let last_commit_seq = trace
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TxnCommit { .. }))
+        .map(|e| e.seq)
+        .max()
+        .unwrap();
+    assert!(
+        last_commit_seq > abort_seq,
+        "compensation follows the abort"
+    );
+}
+
+/// Counter totals and the event trace are two views of the same history;
+/// with a ring large enough to avoid overwrites they must agree exactly.
+#[test]
+fn metrics_snapshot_reconciles_with_trace() {
+    let db = Database::in_memory();
+    db.obs().enable_tracing(8192);
+
+    let oids: Vec<_> = (0..5).map(|_| db.new_oid()).collect();
+    for (i, oid) in oids.iter().enumerate() {
+        let oid = *oid;
+        assert!(db.run(move |ctx| ctx.write(oid, vec![i as u8])).unwrap());
+    }
+    // one aborting transaction with two undo records
+    let (x, y) = (oids[0], oids[1]);
+    let t = db
+        .initiate(move |ctx| {
+            ctx.write(x, b"doomed".to_vec())?;
+            ctx.write(y, b"doomed".to_vec())?;
+            ctx.abort_self::<()>().map(|_| ())
+        })
+        .unwrap();
+    db.begin(t).unwrap();
+    assert!(!db.commit(t).unwrap());
+
+    let snap = db.metrics_snapshot();
+    let trace = db.obs().trace();
+    assert_eq!(snap.events_dropped, 0, "uncontended run drops nothing");
+    assert_eq!(
+        snap.counters.events_recorded,
+        trace.len() as u64,
+        "no wraparound at this capacity: every recorded event survives"
+    );
+
+    let count =
+        |pred: fn(&EventKind) -> bool| trace.iter().filter(|e| pred(&e.kind)).count() as u64;
+    assert_eq!(
+        snap.counters.txn_initiated,
+        count(|k| matches!(k, EventKind::TxnInitiate { .. }))
+    );
+    assert_eq!(
+        snap.counters.txn_begun,
+        count(|k| matches!(k, EventKind::TxnBegin { .. }))
+    );
+    assert_eq!(
+        snap.counters.txn_aborted,
+        count(|k| matches!(k, EventKind::TxnAbort { .. }))
+    );
+    // each TxnCommit event carries its group size; the counter sums them
+    let committed_via_trace: u64 = trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TxnCommit { group, .. } => Some(group as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(snap.counters.txn_committed, committed_via_trace);
+
+    // the abort rolled back two writes, visible in both views
+    let undo_via_trace: u64 = trace
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::TxnAbort { undo_records, .. } => Some(undo_records as u64),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(undo_via_trace, 2);
+    assert_eq!(snap.undo_records.sum, 2);
+    assert_eq!(snap.undo_records.count, snap.counters.txn_aborted);
+}
+
+/// With the recorder off (the default), counters still count but the trace
+/// stays empty and nothing is charged to `events_recorded`.
+#[test]
+fn default_off_recorder_keeps_counters_but_no_trace() {
+    let db = Database::in_memory();
+    let oid = db.new_oid();
+    assert!(db.run(move |ctx| ctx.write(oid, b"v".to_vec())).unwrap());
+
+    let snap = db.metrics_snapshot();
+    assert!(!snap.tracing_enabled);
+    assert_eq!(snap.counters.events_recorded, 0);
+    assert!(db.obs().trace().is_empty());
+    assert!(snap.counters.txn_initiated >= 1, "counters are always on");
+    assert!(snap.counters.txn_committed >= 1);
+}
