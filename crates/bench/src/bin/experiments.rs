@@ -1,4 +1,4 @@
-//! The experiment harness: prints the E1–E11 tables of `EXPERIMENTS.md`.
+//! The experiment harness: prints the E1–E13 tables of `EXPERIMENTS.md`.
 //!
 //! ```sh
 //! cargo run -p asset-bench --release --bin experiments           # full suite
@@ -41,6 +41,7 @@ fn main() {
         ("e10", experiments::e10_recovery),
         ("e11", experiments::e11_contingent),
         ("e12", experiments::e12_ablations),
+        ("e13", experiments::e13_crash_matrix),
     ];
 
     for (name, f) in &all {

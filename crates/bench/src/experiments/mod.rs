@@ -1,4 +1,4 @@
-//! The E1–E11 experiment suite (see `EXPERIMENTS.md` at the repo root).
+//! The E1–E13 experiment suite (see `EXPERIMENTS.md` at the repo root).
 //!
 //! Each experiment is a function returning a [`Table`]; the
 //! `experiments` binary prints them all. A [`Scale`] knob shrinks the
@@ -6,11 +6,13 @@
 
 mod ablations;
 mod concurrency;
+mod crashes;
 mod models_exp;
 mod primitives;
 
 pub use ablations::e12_ablations;
 pub use concurrency::{e2_permits_vs_2pl, e6_cursor_stability, e7_split_early_release};
+pub use crashes::e13_crash_matrix;
 pub use models_exp::{e11_contingent, e3_nested, e4_sagas, e8_workflow};
 pub use primitives::{
     e10_recovery, e1_primitives, e5_group_commit, e9_structures, e9b_stripe_contention,
@@ -59,6 +61,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e10_recovery(scale),
         e11_contingent(scale),
         e12_ablations(scale),
+        e13_crash_matrix(scale),
     ]
 }
 
@@ -72,7 +75,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables() {
         let tables = run_all(Scale::quick());
-        assert_eq!(tables.len(), 13);
+        assert_eq!(tables.len(), 14);
         for t in &tables {
             assert!(!t.headers.is_empty(), "{} has headers", t.title);
             assert!(!t.rows.is_empty(), "{} has rows", t.title);

@@ -53,6 +53,12 @@ pub struct Config {
     /// bytes are pending (or on an explicit/commit-path flush) — one
     /// syscall per watermark instead of one per append.
     pub flush_watermark: usize,
+    /// Fault-injection registry consulted by the failpoints compiled into
+    /// the storage and core layers. Share one registry between a test
+    /// harness and the database it drives to script failures; the default
+    /// registry is fully disarmed. Only present with the `faults` feature.
+    #[cfg(feature = "faults")]
+    pub faults: std::sync::Arc<asset_faults::FaultRegistry>,
 }
 
 /// Round a shard-count request to a usable value: `0` selects
@@ -85,6 +91,8 @@ impl Config {
             lock_shards: 0,
             txn_shards: 0,
             flush_watermark: 64 * 1024,
+            #[cfg(feature = "faults")]
+            faults: Default::default(),
         }
         .validate()
     }
@@ -154,6 +162,15 @@ impl Config {
     #[must_use]
     pub fn with_flush_watermark(mut self, bytes: usize) -> Config {
         self.flush_watermark = bytes;
+        self
+    }
+
+    /// Builder-style: install a fault-injection registry. Keep a clone of
+    /// the `Arc` to arm failpoints while the database runs.
+    #[cfg(feature = "faults")]
+    #[must_use]
+    pub fn with_faults(mut self, faults: std::sync::Arc<asset_faults::FaultRegistry>) -> Config {
+        self.faults = faults;
         self
     }
 

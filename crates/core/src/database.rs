@@ -299,9 +299,12 @@ impl Database {
                     op: "begin",
                 });
             }
+            // WAL discipline: the Begin record lands before the slot is
+            // mutated, so a failed append leaves the transaction cleanly
+            // Initiated (retryable) instead of Running with no thread.
+            self.inner.engine.log_record(&LogRecord::Begin { tid: t })?;
             slot.status = TxnStatus::Running;
             slot.thread_live = true;
-            self.inner.engine.log_record(&LogRecord::Begin { tid: t })?;
             Ok(Some(
                 slot.job.take().expect("initiated transaction has a job"),
             ))
@@ -473,9 +476,67 @@ impl Database {
                         continue;
                     }
                     // Step 4: commit point — one forced record for the group.
-                    self.inner.engine.log_record(&LogRecord::Commit {
-                        tids: group.clone(),
-                    })?;
+                    #[allow(unused_mut)]
+                    let mut commit_res: Result<()> = Ok(());
+                    asset_faults::failpoint!(
+                        &self.inner.config.faults,
+                        crate::failpoints::COMMIT_RECORD,
+                        |act| {
+                            commit_res = Err(self
+                                .inner
+                                .config
+                                .faults
+                                .realize_plain(crate::failpoints::COMMIT_RECORD, act)
+                                .into());
+                        }
+                    );
+                    if commit_res.is_ok() {
+                        commit_res = self
+                            .inner
+                            .engine
+                            .log_record(&LogRecord::Commit {
+                                tids: group.clone(),
+                            })
+                            .map(|_| ());
+                    }
+                    #[cfg(feature = "faults")]
+                    if commit_res.is_ok() {
+                        if let Some(act) = self
+                            .inner
+                            .config
+                            .faults
+                            .check(crate::failpoints::COMMIT_AFTER_RECORD)
+                        {
+                            // the record is durable; an error here is the
+                            // ambiguous "committed on disk, reported as
+                            // failed" outcome the abort path reconciles
+                            commit_res = Err(self
+                                .inner
+                                .config
+                                .faults
+                                .realize_plain(crate::failpoints::COMMIT_AFTER_RECORD, act)
+                                .into());
+                        }
+                    }
+                    if let Err(e) = commit_res {
+                        // The commit record may or may not have reached the
+                        // OS. Leaving the group members non-terminal here
+                        // would let restart recovery redo a group the live
+                        // system reported as not committed; instead drive
+                        // the group through the abort path. Its CLRs and
+                        // Abort records land *after* the (possibly durable)
+                        // commit record, so redo followed by the logged
+                        // rollback converges to "not committed" on both
+                        // sides of a restart.
+                        drop(guard);
+                        bump(&self.inner.obs.counters.commit_log_failures);
+                        self.inner.obs.record(EventKind::CommitAmbiguous {
+                            tid: t,
+                            group: group.len() as u32,
+                        });
+                        self.abort_many(&group);
+                        return Err(e);
+                    }
                     // Steps 5–6: statuses, dependency cleanup, lock release.
                     for m in &group {
                         let slot = guard.get_mut(*m).expect("group member exists");
@@ -605,6 +666,38 @@ impl Database {
         if from == to {
             return Ok(());
         }
+        // Crash safety — WAL discipline: the Delegate record lands before
+        // any in-memory state moves, so a failed append leaves the
+        // delegation entirely un-happened on both sides of a restart
+        // (recovery applies a logged Delegate whether or not the splice
+        // below ran; an unlogged splice, by contrast, would strand the
+        // delegatee's undo responsibility on the delegator after a crash).
+        let logged_obs = obs.as_ref().map(|set| match set {
+            ObSet::All => None,
+            ObSet::Objects(s) => Some(s.iter().copied().collect::<Vec<_>>()),
+        });
+        let logged_obs = match logged_obs {
+            None => None,       // delegate-all
+            Some(None) => None, // ObSet::All == delegate-all
+            Some(Some(v)) => Some(v),
+        };
+        asset_faults::failpoint!(
+            &self.inner.config.faults,
+            crate::failpoints::DELEGATE_RECORD,
+            |act| {
+                return Err(self
+                    .inner
+                    .config
+                    .faults
+                    .realize_plain(crate::failpoints::DELEGATE_RECORD, act)
+                    .into());
+            }
+        );
+        self.inner.engine.log_record(&LogRecord::Delegate {
+            from,
+            to,
+            obs: logged_obs,
+        })?;
         // splice undo entries
         let moved: Vec<UndoEntry> = {
             let slot = guard.get_mut(from).unwrap();
@@ -625,21 +718,6 @@ impl Database {
         }
         // locks + permit re-attribution
         self.inner.locks.delegate(from, to, obs.as_ref());
-        // crash safety
-        let logged_obs = obs.as_ref().map(|set| match set {
-            ObSet::All => None,
-            ObSet::Objects(s) => Some(s.iter().copied().collect::<Vec<_>>()),
-        });
-        let logged_obs = match logged_obs {
-            None => None,       // delegate-all
-            Some(None) => None, // ObSet::All == delegate-all
-            Some(Some(v)) => Some(v),
-        };
-        self.inner.engine.log_record(&LogRecord::Delegate {
-            from,
-            to,
-            obs: logged_obs,
-        })?;
         drop(guard);
         self.inner.txns.bump();
         Ok(())
@@ -921,13 +999,38 @@ impl Database {
             // committed overwrites)
             undo.sort_by_key(|u| std::cmp::Reverse(u.seq));
             for u in undo {
+                #[allow(unused_mut)]
+                let mut clr_lost = false;
+                asset_faults::failpoint!(
+                    &self.inner.config.faults,
+                    crate::failpoints::ABORT_CLR,
+                    |act| {
+                        match act {
+                            asset_faults::FaultAction::Crash
+                            | asset_faults::FaultAction::Torn { .. } => {
+                                // mid-rollback crash: restart recovery must
+                                // finish the undo from the log
+                                self.inner
+                                    .config
+                                    .faults
+                                    .crash_now(crate::failpoints::ABORT_CLR);
+                            }
+                            // a lost CLR append; the in-memory undo still
+                            // applies and recovery re-derives the rollback
+                            // from the Update records, so states converge
+                            _ => clr_lost = true,
+                        }
+                    }
+                );
                 // best-effort: failing to undo one image must not strand
                 // the rest
                 let _ = self.inner.engine.install_image(u.oid, u.before.clone());
-                let _ = self.inner.engine.log_record(&LogRecord::Clr {
-                    oid: u.oid,
-                    image: u.before,
-                });
+                if !clr_lost {
+                    let _ = self.inner.engine.log_record(&LogRecord::Clr {
+                        oid: u.oid,
+                        image: u.before,
+                    });
+                }
             }
             let _ = self.inner.engine.log_record(&LogRecord::Abort { tid: x });
             // step 3: release locks and permits

@@ -1,0 +1,37 @@
+//! Named failpoints compiled into the transaction layer.
+//!
+//! Companions to [`asset_storage::failpoints`]: these sit in the §4.2
+//! protocol steps themselves — the commit point, the CLR undo loop, and
+//! the delegation hand-off — where the storage-layer points cannot
+//! distinguish *which* protocol step was in flight. Active only with the
+//! `faults` feature; the constants remain so harnesses can enumerate them
+//! unconditionally.
+
+/// In `commit` step 4, before the group's commit record is appended:
+/// `Error` simulates the append failing with nothing written.
+pub const COMMIT_RECORD: &str = "commit.record";
+
+/// In `commit` step 4, after the commit record is durably appended but
+/// before any in-memory status changes: `Crash` models the classic
+/// "committed on disk, dead before anyone heard" window; `Error` models a
+/// post-append failure report (the ambiguous outcome the abort path must
+/// reconcile).
+pub const COMMIT_AFTER_RECORD: &str = "commit.after_record";
+
+/// In the `abort_many` undo loop, before each before-image install + CLR
+/// append: `Crash` interrupts a rollback halfway so restart recovery must
+/// finish it from the log; `Error` skips one undo entry (a lost CLR).
+pub const ABORT_CLR: &str = "abort.clr";
+
+/// In `delegate`, before the `Delegate` record is appended (which is now
+/// before any in-memory splice — WAL discipline): `Error` fails the
+/// delegation with no state moved.
+pub const DELEGATE_RECORD: &str = "delegate.record";
+
+/// Every failpoint the transaction layer registers, for matrix sweeps.
+pub const ALL: &[&str] = &[
+    COMMIT_RECORD,
+    COMMIT_AFTER_RECORD,
+    ABORT_CLR,
+    DELEGATE_RECORD,
+];

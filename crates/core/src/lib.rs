@@ -34,6 +34,7 @@
 pub mod codec;
 mod context;
 mod database;
+pub mod failpoints;
 mod txns;
 
 #[cfg(test)]

@@ -58,6 +58,10 @@ define_counters! {
     txn_committed,
     /// Transactions aborted.
     txn_aborted,
+    /// Commit attempts whose group commit record failed to append — the
+    /// ambiguous outcome (the record may or may not be durable) that the
+    /// commit path resolves by driving the group through abort.
+    commit_log_failures,
     /// Lock requests that blocked at least once before being granted or
     /// failing.
     lock_waits,

@@ -22,6 +22,8 @@ pub struct StorageEngine {
     log: LogManager,
     durability: Durability,
     obs: Arc<Obs>,
+    #[cfg(feature = "faults")]
+    faults: Arc<asset_faults::FaultRegistry>,
 }
 
 impl StorageEngine {
@@ -45,7 +47,10 @@ impl StorageEngine {
             ),
             Some(dir) => {
                 std::fs::create_dir_all(dir)?;
-                let heap = FilePageStore::open(&dir.join("heap.db"), config.page_size)?;
+                #[allow(unused_mut)]
+                let mut heap = FilePageStore::open(&dir.join("heap.db"), config.page_size)?;
+                #[cfg(feature = "faults")]
+                heap.set_faults(Arc::clone(&config.faults));
                 let log = LogManager::open_with(
                     &dir.join("wal.log"),
                     config.durability,
@@ -55,6 +60,8 @@ impl StorageEngine {
             }
         };
         log.set_obs(Arc::clone(&obs));
+        #[cfg(feature = "faults")]
+        log.set_faults(Arc::clone(&config.faults));
         let store = ObjectStore::open(page_store, config.buffer_pool_pages)?;
         let cache = ObjectCache::with_obs(Arc::clone(&obs));
         let engine = StorageEngine {
@@ -63,6 +70,8 @@ impl StorageEngine {
             log,
             durability: config.durability,
             obs,
+            #[cfg(feature = "faults")]
+            faults: Arc::clone(&config.faults),
         };
         let report = recover(&engine.log, &engine.cache, &engine.store)?;
         Ok((engine, report))
@@ -141,7 +150,27 @@ impl StorageEngine {
     pub fn checkpoint(&self) -> Result<()> {
         self.cache.flush(&self.store)?;
         self.store.flush()?;
+        asset_faults::failpoint!(
+            &self.faults,
+            crate::failpoints::CHECKPOINT_BEFORE_TRUNCATE,
+            |act| {
+                return Err(self
+                    .faults
+                    .realize_plain(crate::failpoints::CHECKPOINT_BEFORE_TRUNCATE, act)
+                    .into());
+            }
+        );
         self.log.truncate()?;
+        asset_faults::failpoint!(
+            &self.faults,
+            crate::failpoints::CHECKPOINT_AFTER_TRUNCATE,
+            |act| {
+                return Err(self
+                    .faults
+                    .realize_plain(crate::failpoints::CHECKPOINT_AFTER_TRUNCATE, act)
+                    .into());
+            }
+        );
         self.log.append(&LogRecord::Checkpoint)?;
         if self.durability == Durability::Strict {
             self.log.flush()?;

@@ -1,0 +1,51 @@
+//! Named failpoints compiled into the storage layer.
+//!
+//! Each constant names a site where the `faults` feature lets a test
+//! harness inject a failure (see `asset-faults`): an I/O error, a torn
+//! write, an elided `sync_data`, or a process-local crash. With the
+//! feature off the sites expand to nothing; the constants remain so that
+//! harness code can enumerate them unconditionally.
+//!
+//! The crash-recovery matrix (`tests/crash_matrix.rs` at the workspace
+//! root) crashes a scripted workload at every point in [`ALL`] and asserts
+//! the §4 recovery invariants after reopening.
+
+/// In [`LogManager::append_inner`](crate::LogManager): before the frame's
+/// bytes reach the backend. `Torn` writes a prefix of the frame to the
+/// file, then crashes.
+pub const LOG_APPEND: &str = "log.append.write";
+
+/// Guarding every `sync_data` on the log file (forced appends under strict
+/// durability, and [`LogManager::flush`](crate::LogManager::flush)).
+/// `ElideSync` skips the sync while reporting success.
+pub const LOG_SYNC: &str = "log.sync";
+
+/// In [`LogManager::flush`](crate::LogManager::flush): before the pending
+/// user-space buffer is drained to the OS.
+pub const LOG_FLUSH: &str = "log.flush.write";
+
+/// In `FilePageStore::{write_page, allocate}`: before the page's bytes
+/// reach the heap file. `Torn` writes a prefix of the page, then crashes.
+pub const STORE_PAGE_WRITE: &str = "store.page.write";
+
+/// Guarding `sync_data` on the heap file (`FilePageStore::sync`).
+pub const STORE_SYNC: &str = "store.sync";
+
+/// In [`StorageEngine::checkpoint`](crate::StorageEngine::checkpoint):
+/// after cache and store are flushed, before the log is truncated.
+pub const CHECKPOINT_BEFORE_TRUNCATE: &str = "checkpoint.before_truncate";
+
+/// In [`StorageEngine::checkpoint`](crate::StorageEngine::checkpoint):
+/// after the log is truncated, before the checkpoint marker is appended.
+pub const CHECKPOINT_AFTER_TRUNCATE: &str = "checkpoint.after_truncate";
+
+/// Every failpoint the storage layer registers, for matrix sweeps.
+pub const ALL: &[&str] = &[
+    LOG_APPEND,
+    LOG_SYNC,
+    LOG_FLUSH,
+    STORE_PAGE_WRITE,
+    STORE_SYNC,
+    CHECKPOINT_BEFORE_TRUNCATE,
+    CHECKPOINT_AFTER_TRUNCATE,
+];

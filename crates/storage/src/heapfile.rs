@@ -90,6 +90,8 @@ pub struct FilePageStore {
     page_size: usize,
     file: File,
     num_pages: Mutex<u32>,
+    #[cfg(feature = "faults")]
+    faults: std::sync::Arc<asset_faults::FaultRegistry>,
 }
 
 impl FilePageStore {
@@ -101,18 +103,54 @@ impl FilePageStore {
             .create(true)
             .truncate(false)
             .open(path)?;
-        let len = file.metadata()?.len();
+        let mut len = file.metadata()?.len();
         if len % page_size as u64 != 0 {
-            return Err(AssetError::Corrupt(format!(
-                "heap file length {len} is not a multiple of page size {page_size}"
-            )));
+            // A trailing partial page is what a crash mid-extension leaves
+            // behind (a torn page). Chop it: the WAL is truncated only
+            // after the store is flushed and synced, so any data that
+            // belonged on the torn page is still in the log and redo
+            // rewrites it. A torn page can only be the last one — writes
+            // inside the file never change its length.
+            len -= len % page_size as u64;
+            file.set_len(len)?;
         }
         let num_pages = (len / page_size as u64) as u32;
         Ok(FilePageStore {
             page_size,
             file,
             num_pages: Mutex::new(num_pages),
+            #[cfg(feature = "faults")]
+            faults: Default::default(),
         })
+    }
+
+    /// Consult `faults` at this store's failpoints (see
+    /// [`failpoints`](crate::failpoints)).
+    #[cfg(feature = "faults")]
+    pub fn set_faults(&mut self, faults: std::sync::Arc<asset_faults::FaultRegistry>) {
+        self.faults = faults;
+    }
+
+    /// Evaluate [`STORE_PAGE_WRITE`](crate::failpoints::STORE_PAGE_WRITE)
+    /// before `bytes` land at `offset`; `Torn` writes a prefix and crashes.
+    #[cfg(feature = "faults")]
+    fn check_page_write(&self, bytes: &[u8], offset: u64) -> Result<()> {
+        if let Some(act) = self.faults.check(crate::failpoints::STORE_PAGE_WRITE) {
+            match act {
+                asset_faults::FaultAction::Torn { keep_per_mille } => {
+                    let keep = bytes.len() * keep_per_mille as usize / 1000;
+                    let _ = self.file.write_all_at(&bytes[..keep], offset);
+                    self.faults.crash_now(crate::failpoints::STORE_PAGE_WRITE);
+                }
+                other => {
+                    return Err(self
+                        .faults
+                        .realize_plain(crate::failpoints::STORE_PAGE_WRITE, other)
+                        .into())
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -143,8 +181,10 @@ impl PageStore for FilePageStore {
                 "write to unallocated page {pid}"
             )));
         }
-        self.file
-            .write_all_at(page.bytes(), pid as u64 * self.page_size as u64)?;
+        let offset = pid as u64 * self.page_size as u64;
+        #[cfg(feature = "faults")]
+        self.check_page_write(page.bytes(), offset)?;
+        self.file.write_all_at(page.bytes(), offset)?;
         Ok(())
     }
 
@@ -152,14 +192,19 @@ impl PageStore for FilePageStore {
         let mut n = self.num_pages.lock();
         let pid = *n;
         let zero = vec![0u8; self.page_size];
-        self.file
-            .write_all_at(&zero, pid as u64 * self.page_size as u64)?;
+        let offset = pid as u64 * self.page_size as u64;
+        #[cfg(feature = "faults")]
+        self.check_page_write(&zero, offset)?;
+        self.file.write_all_at(&zero, offset)?;
         *n += 1;
         Ok(pid)
     }
 
     fn sync(&self) -> Result<()> {
-        self.file.sync_data()?;
+        let elide = asset_faults::failpoint_sync!(&self.faults, crate::failpoints::STORE_SYNC);
+        if !elide {
+            self.file.sync_data()?;
+        }
         Ok(())
     }
 }
@@ -215,12 +260,18 @@ mod tests {
     }
 
     #[test]
-    fn file_store_rejects_bad_length() {
-        let dir = std::env::temp_dir().join(format!("asset-hf-bad-{}", std::process::id()));
+    fn file_store_chops_torn_trailing_page() {
+        // a crash mid-extension leaves a partial last page; open must
+        // truncate it away (redo rewrites it from the WAL) and keep the
+        // full pages before it
+        let dir = std::env::temp_dir().join(format!("asset-hf-torn-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("heap.db");
-        std::fs::write(&path, vec![0u8; 700]).unwrap();
-        assert!(FilePageStore::open(&path, 512).is_err());
+        std::fs::write(&path, vec![7u8; 512 + 188]).unwrap();
+        let store = FilePageStore::open(&path, 512).unwrap();
+        assert_eq!(store.num_pages(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 512);
+        assert_eq!(store.read_page(0).unwrap().bytes(), &[7u8; 512][..]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

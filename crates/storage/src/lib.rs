@@ -10,6 +10,8 @@
 //!
 //! Layering, bottom-up:
 //!
+//! * [`failpoints`] — named fault-injection sites (active only with the
+//!   `faults` feature);
 //! * [`page`] / [`slotted`] — raw pages and the slotted-record layout;
 //! * [`heapfile`] — page stores (in-memory and file-backed);
 //! * [`buffer`] — a clock-eviction buffer pool;
@@ -25,6 +27,7 @@
 pub mod buffer;
 pub mod cache;
 pub mod engine;
+pub mod failpoints;
 pub mod heapfile;
 pub mod latch;
 pub mod log;

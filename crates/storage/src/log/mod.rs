@@ -53,6 +53,8 @@ pub struct LogManager {
     durability: Durability,
     flush_watermark: usize,
     obs: Arc<Obs>,
+    #[cfg(feature = "faults")]
+    faults: Arc<asset_faults::FaultRegistry>,
 }
 
 impl LogManager {
@@ -67,6 +69,8 @@ impl LogManager {
             durability: Durability::InMemory,
             flush_watermark: DEFAULT_FLUSH_WATERMARK,
             obs: Obs::shared(),
+            #[cfg(feature = "faults")]
+            faults: Default::default(),
         }
     }
 
@@ -75,6 +79,13 @@ impl LogManager {
     /// append/flush latency histograms).
     pub fn set_obs(&mut self, obs: Arc<Obs>) {
         self.obs = obs;
+    }
+
+    /// Consult `faults` at this manager's failpoints (see
+    /// [`failpoints`](crate::failpoints)).
+    #[cfg(feature = "faults")]
+    pub fn set_faults(&mut self, faults: Arc<asset_faults::FaultRegistry>) {
+        self.faults = faults;
     }
 
     /// The observability hub this log reports into.
@@ -116,6 +127,8 @@ impl LogManager {
             durability,
             flush_watermark: flush_watermark.max(1),
             obs: Obs::shared(),
+            #[cfg(feature = "faults")]
+            faults: Default::default(),
         })
     }
 
@@ -141,21 +154,70 @@ impl LogManager {
         let frame = rec.encode_frame();
         bump(&self.obs.counters.log_appends);
         let mut inner = self.inner.lock();
+        // The record's LSN is staged here, but `tail`/`records_appended`
+        // advance only once the backend has accepted the bytes: a failed
+        // write that advanced them would permanently desynchronize LSNs
+        // from file offsets and corrupt every later frame boundary.
         let lsn = Lsn(inner.tail);
-        inner.tail += frame.len() as u64;
-        inner.records_appended += 1;
+        let tail = inner.tail;
         match &mut inner.backend {
-            Backend::Mem(buf) => buf.extend_from_slice(&frame),
+            Backend::Mem(buf) => {
+                asset_faults::failpoint!(&self.faults, crate::failpoints::LOG_APPEND, |act| {
+                    match act {
+                        asset_faults::FaultAction::Torn { keep_per_mille } => {
+                            let keep = frame.len() * keep_per_mille as usize / 1000;
+                            buf.extend_from_slice(&frame[..keep]);
+                            self.faults.crash_now(crate::failpoints::LOG_APPEND);
+                        }
+                        other => {
+                            return Err(self
+                                .faults
+                                .realize_plain(crate::failpoints::LOG_APPEND, other)
+                                .into())
+                        }
+                    }
+                });
+                buf.extend_from_slice(&frame);
+            }
             Backend::File {
                 file,
                 pending,
                 buffered_bytes,
                 ..
             } => {
+                asset_faults::failpoint!(&self.faults, crate::failpoints::LOG_APPEND, |act| {
+                    match act {
+                        asset_faults::FaultAction::Torn { keep_per_mille } => {
+                            // A torn write at the file tail; under Buffered
+                            // the user-space `pending` bytes are lost with
+                            // the crash, so only a prefix of this frame
+                            // lands past the last drain point. `scan()`
+                            // must treat it as a torn tail.
+                            let keep = frame.len() * keep_per_mille as usize / 1000;
+                            let _ = file.write_all(&frame[..keep]);
+                            self.faults.crash_now(crate::failpoints::LOG_APPEND);
+                        }
+                        other => {
+                            return Err(self
+                                .faults
+                                .realize_plain(crate::failpoints::LOG_APPEND, other)
+                                .into())
+                        }
+                    }
+                });
                 if self.durability == Durability::Buffered {
+                    let pre_pending = pending.len();
                     pending.extend_from_slice(&frame);
                     if force || pending.len() >= self.flush_watermark {
-                        file.write_all(pending)?;
+                        if let Err(e) = file.write_all(pending) {
+                            // `write_all` may have landed a partial drain;
+                            // chop the file back to the last accepted
+                            // record and put the manager exactly where it
+                            // was before this append.
+                            let _ = file.set_len(tail - pre_pending as u64);
+                            pending.truncate(pre_pending);
+                            return Err(e.into());
+                        }
                         *buffered_bytes += pending.len();
                         pending.clear();
                         bump(&self.obs.counters.log_flushes);
@@ -165,13 +227,32 @@ impl LogManager {
                         bump(&self.obs.counters.log_coalesced);
                     }
                 } else {
-                    file.write_all(&frame)?;
+                    if let Err(e) = file.write_all(&frame) {
+                        // chop any partial frame off the file tail
+                        let _ = file.set_len(tail);
+                        return Err(e.into());
+                    }
                     *buffered_bytes += frame.len();
                     bump(&self.obs.counters.log_flushes);
-                    if force && self.durability == Durability::Strict {
-                        file.sync_data()?;
-                        *buffered_bytes = 0;
-                    }
+                }
+            }
+        }
+        // The bytes are accepted: the record now exists at `lsn` whatever
+        // happens below (a failed sync leaves it written but not durable).
+        inner.tail += frame.len() as u64;
+        inner.records_appended += 1;
+        if force && self.durability == Durability::Strict {
+            if let Backend::File {
+                file,
+                buffered_bytes,
+                ..
+            } = &mut inner.backend
+            {
+                let elide =
+                    asset_faults::failpoint_sync!(&self.faults, crate::failpoints::LOG_SYNC);
+                if !elide {
+                    file.sync_data()?;
+                    *buffered_bytes = 0;
                 }
             }
         }
@@ -188,6 +269,7 @@ impl LogManager {
     pub fn flush(&self) -> Result<()> {
         let t0 = self.obs.tracing_enabled().then(Instant::now);
         let mut inner = self.inner.lock();
+        let tail = inner.tail;
         if let Backend::File {
             file,
             pending,
@@ -196,11 +278,37 @@ impl LogManager {
         } = &mut inner.backend
         {
             if !pending.is_empty() {
-                file.write_all(pending)?;
+                asset_faults::failpoint!(&self.faults, crate::failpoints::LOG_FLUSH, |act| {
+                    match act {
+                        asset_faults::FaultAction::Torn { keep_per_mille } => {
+                            let keep = pending.len() * keep_per_mille as usize / 1000;
+                            let _ = file.write_all(&pending[..keep]);
+                            self.faults.crash_now(crate::failpoints::LOG_FLUSH);
+                        }
+                        other => {
+                            return Err(self
+                                .faults
+                                .realize_plain(crate::failpoints::LOG_FLUSH, other)
+                                .into())
+                        }
+                    }
+                });
+                let drained = pending.len();
+                if let Err(e) = file.write_all(pending) {
+                    let _ = file.set_len(tail - drained as u64);
+                    return Err(e.into());
+                }
+                // These bytes are written but not yet synced; they join the
+                // unsynced count until the sync below actually happens (it
+                // may fail, or a fault may elide it).
+                *buffered_bytes += drained;
                 pending.clear();
             }
-            file.sync_data()?;
-            *buffered_bytes = 0;
+            let elide = asset_faults::failpoint_sync!(&self.faults, crate::failpoints::LOG_SYNC);
+            if !elide {
+                file.sync_data()?;
+                *buffered_bytes = 0;
+            }
             bump(&self.obs.counters.log_flushes);
         }
         drop(inner);
@@ -226,6 +334,18 @@ impl LogManager {
         match &self.inner.lock().backend {
             Backend::Mem(_) => 0,
             Backend::File { pending, .. } => pending.len(),
+        }
+    }
+
+    /// Bytes handed to the OS but not yet `sync_data`'d — the window a
+    /// power failure can erase. Zero for the in-memory backend. Under
+    /// `Strict`, unforced appends accumulate here until the next forced
+    /// (commit) append or [`flush`](Self::flush) syncs them; under
+    /// `Buffered`, drained watermark batches accumulate until `flush`.
+    pub fn unsynced_bytes(&self) -> usize {
+        match &self.inner.lock().backend {
+            Backend::Mem(_) => 0,
+            Backend::File { buffered_bytes, .. } => *buffered_bytes,
         }
     }
 
@@ -491,5 +611,156 @@ mod tests {
         log.append(&LogRecord::Checkpoint).unwrap();
         log.append(&LogRecord::Checkpoint).unwrap();
         assert_eq!(log.records_appended(), 2);
+    }
+
+    #[test]
+    fn unsynced_bytes_means_written_but_not_synced() {
+        let dir = std::env::temp_dir().join(format!("asset-log-unsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Strict: unforced appends write through and stay unsynced until a
+        // forced (commit) append syncs the file.
+        let path = dir.join("strict.log");
+        let _ = std::fs::remove_file(&path);
+        let log = LogManager::open(&path, Durability::Strict).unwrap();
+        log.append(&LogRecord::Begin { tid: Tid(1) }).unwrap();
+        log.append(&LogRecord::Begin { tid: Tid(2) }).unwrap();
+        assert_eq!(log.unsynced_bytes() as u64, log.tail().0);
+        log.append_forced(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
+        assert_eq!(log.unsynced_bytes(), 0, "forced append synced");
+        log.append(&LogRecord::Abort { tid: Tid(2) }).unwrap();
+        assert!(log.unsynced_bytes() > 0);
+        log.flush().unwrap();
+        assert_eq!(log.unsynced_bytes(), 0, "flush synced");
+
+        // Buffered: bytes in the user-space buffer are *pending*, not
+        // unsynced; they join the unsynced count at drain and leave it
+        // only on an actual sync.
+        let path = dir.join("buffered.log");
+        let _ = std::fs::remove_file(&path);
+        let log = LogManager::open_with(&path, Durability::Buffered, 1 << 20).unwrap();
+        log.append(&LogRecord::Begin { tid: Tid(1) }).unwrap();
+        assert_eq!(log.unsynced_bytes(), 0, "still in user space");
+        assert!(log.pending_bytes() > 0);
+        log.append_forced(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
+        assert_eq!(log.pending_bytes(), 0);
+        assert_eq!(
+            log.unsynced_bytes() as u64,
+            log.tail().0,
+            "drained but buffered durability never syncs on force"
+        );
+        log.flush().unwrap();
+        assert_eq!(log.unsynced_bytes(), 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (LSN-desync bug): `append_inner` used to advance `tail`
+    /// and `records_appended` before the backend write, so a failed write
+    /// desynchronized every later LSN from its file offset.
+    #[cfg(feature = "faults")]
+    #[test]
+    fn failed_append_leaves_lsns_aligned_with_offsets() {
+        use asset_faults::{FaultAction, FaultRegistry, Trigger};
+        let dir = std::env::temp_dir().join(format!("asset-log-desync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let faults = Arc::new(FaultRegistry::new());
+        let mut log = LogManager::open(&path, Durability::Strict).unwrap();
+        log.set_faults(Arc::clone(&faults));
+        let recs = sample_records();
+        log.append(&recs[0]).unwrap();
+        let tail_before = log.tail();
+        faults.arm(
+            crate::failpoints::LOG_APPEND,
+            Trigger::Once,
+            FaultAction::Error,
+        );
+        let err = log.append(&recs[1]).unwrap_err();
+        assert!(err.to_string().contains("log.append.write"));
+        assert_eq!(
+            log.tail(),
+            tail_before,
+            "failed append must not move the tail"
+        );
+        assert_eq!(log.records_appended(), 1);
+        // the next append lands exactly at the old tail and the whole log
+        // still parses — offsets never diverged from LSNs
+        let lsn = log.append(&recs[1]).unwrap();
+        assert_eq!(lsn, tail_before);
+        let scanned = log.scan().unwrap();
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[1].0, lsn);
+        assert_eq!(log.records_appended(), 2);
+        // and the file agrees after a reopen
+        let log2 = LogManager::open(&path, Durability::Strict).unwrap();
+        assert_eq!(log2.scan().unwrap().len(), 2);
+        assert_eq!(log2.tail(), log.tail());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn torn_append_crashes_and_leaves_a_parseable_prefix() {
+        use asset_faults::{FaultAction, FaultRegistry, Trigger};
+        let dir = std::env::temp_dir().join(format!("asset-log-tornfp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        asset_faults::silence_crash_panics();
+        let faults = Arc::new(FaultRegistry::new());
+        let mut log = LogManager::open(&path, Durability::Strict).unwrap();
+        log.set_faults(Arc::clone(&faults));
+        let recs = sample_records();
+        log.append(&recs[0]).unwrap();
+        log.append(&recs[1]).unwrap();
+        faults.arm(
+            crate::failpoints::LOG_APPEND,
+            Trigger::Once,
+            FaultAction::Torn {
+                keep_per_mille: 500,
+            },
+        );
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = log.append(&recs[2]);
+        }));
+        assert!(unwound.is_err(), "torn write crashes");
+        assert!(faults.is_crashed());
+        faults.reset();
+        // the file holds two whole frames plus a torn third; scan drops it
+        let log2 = LogManager::open(&path, Durability::Strict).unwrap();
+        assert_eq!(log2.scan().unwrap().len(), 2, "torn tail dropped");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn elided_sync_reports_success_but_leaves_bytes_unsynced() {
+        use asset_faults::{FaultAction, FaultRegistry, Trigger};
+        let dir = std::env::temp_dir().join(format!("asset-log-elide-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let faults = Arc::new(FaultRegistry::new());
+        let mut log = LogManager::open(&path, Durability::Strict).unwrap();
+        log.set_faults(Arc::clone(&faults));
+        faults.arm(
+            crate::failpoints::LOG_SYNC,
+            Trigger::Always,
+            FaultAction::ElideSync,
+        );
+        log.append_forced(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
+        assert!(
+            log.unsynced_bytes() > 0,
+            "the device lied: written, reported durable, never synced"
+        );
+        faults.reset();
+        log.flush().unwrap();
+        assert_eq!(log.unsynced_bytes(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -31,7 +31,10 @@
 //!   semantic locking and logical undo (the paper's §5 future work);
 //! * [`asset_obs`] — the observability layer: lifecycle counters, wait-free
 //!   histograms, and a structured event trace of every primitive
-//!   (`Database::metrics_snapshot` / `Database::obs`).
+//!   (`Database::metrics_snapshot` / `Database::obs`);
+//! * [`asset_faults`] — deterministic fault injection: named failpoints in
+//!   the storage and transaction layers (compiled in only with the
+//!   `faults` feature) that the crash-recovery matrix drives.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@
 pub use asset_common as common;
 pub use asset_core as txn;
 pub use asset_dep as dep;
+pub use asset_faults as faults;
 pub use asset_lock as lock;
 pub use asset_mlt as mlt;
 pub use asset_models as models;

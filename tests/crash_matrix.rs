@@ -1,0 +1,514 @@
+//! The crash-recovery matrix (compiled only with `--features faults`).
+//!
+//! Four scripted workloads — an atomic transaction, a GC group commit, a
+//! saga with compensation, and a delegation/permit hand-off — each run
+//! against every registered failpoint ([`asset::storage::failpoints::ALL`]
+//! and [`asset::txn::failpoints::ALL`]) under three fault shapes:
+//!
+//! * **Crash** — process-local crash at the failpoint (unwind to the
+//!   harness; the registry refuses all further durable writes, modeling
+//!   a dead process);
+//! * **Torn** — a prefix of the buffer reaches the file, then crash
+//!   (models a torn sector on power loss);
+//! * **Error** — the operation reports failure but the process lives on
+//!   (models `EIO`); the workload's error paths must leave every
+//!   transaction terminal and the live state in agreement with what a
+//!   restart would recover.
+//!
+//! After each injected fault the harness resets the registry, reopens the
+//! database (running recovery), and asserts the workload's invariant:
+//! durably-acknowledged commits survive, losers are rolled back, GC
+//! groups are all-or-nothing, delegated undo follows the delegatee, and
+//! a second recovery reproduces the same state (idempotence).
+
+#![cfg(feature = "faults")]
+
+use asset::faults::{FaultAction, FaultRegistry, Trigger};
+use asset::{storage, txn, Config, Database, DepType, ObSet, Oid, OpSet, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!(
+            "asset-cm-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Every failpoint in the storage and transaction layers.
+fn all_failpoints() -> Vec<&'static str> {
+    storage::failpoints::ALL
+        .iter()
+        .chain(txn::failpoints::ALL.iter())
+        .copied()
+        .collect()
+}
+
+/// One cell of the matrix: a directory, a fault registry, and a config
+/// wired to both. Each case is fully isolated (instance-scoped registry),
+/// so cells run in parallel without cross-talk.
+struct Case {
+    _dir: TempDir,
+    faults: Arc<FaultRegistry>,
+    config: Config,
+}
+
+impl Case {
+    fn new(tag: &str) -> Case {
+        asset::faults::silence_crash_panics();
+        let dir = TempDir::new(tag);
+        let faults = Arc::new(FaultRegistry::new());
+        let config = Config::on_disk(&dir.0)
+            .with_lock_timeout(Some(std::time::Duration::from_secs(5)))
+            .with_faults(Arc::clone(&faults));
+        Case {
+            _dir: dir,
+            faults,
+            config,
+        }
+    }
+
+    fn open(&self) -> Database {
+        Database::open(self.config.clone()).expect("open").0
+    }
+
+    /// Disarm everything (including a tripped crash flag) and reopen:
+    /// this is the "restart after the crash" edge of the matrix.
+    fn reopen_clean(&self) -> Database {
+        self.faults.reset();
+        self.open()
+    }
+}
+
+/// Commit `val` under `oid` in its own atomic transaction, asserting
+/// success. Used for fault-free baseline setup.
+fn put(db: &Database, oid: Oid, val: &[u8]) {
+    let v = val.to_vec();
+    assert!(db.run(move |ctx| ctx.write(oid, v)).unwrap());
+}
+
+fn get(db: &Database, oid: Oid) -> Vec<u8> {
+    db.peek(oid).unwrap().expect("object exists")
+}
+
+// ---------------------------------------------------------------------------
+// Workload 1: a single atomic transaction.
+// Invariant: the object holds either the baseline or the new value; if the
+// commit was acknowledged, it MUST hold the new value.
+// ---------------------------------------------------------------------------
+
+fn atomic_sweep(action: FaultAction) {
+    for point in all_failpoints() {
+        let case = Case::new("w1");
+        let o;
+        {
+            let db = case.open();
+            o = db.new_oid();
+            put(&db, o, b"base");
+        }
+
+        case.faults.arm(point, Trigger::Once, action);
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<bool> {
+            let db = case.open();
+            let t = db.initiate(move |ctx| ctx.write(o, b"new".to_vec()))?;
+            db.begin(t)?;
+            db.wait(t)?;
+            let committed = db.commit(t)?;
+            db.checkpoint()?; // exercises store/checkpoint failpoints
+            Ok(committed)
+        }));
+        let acknowledged = matches!(&outcome, Ok(Ok(true)));
+
+        let db = case.reopen_clean();
+        let v = get(&db, o);
+        if acknowledged {
+            assert_eq!(&v[..], b"new", "[{point}] acknowledged commit lost");
+        } else {
+            assert!(
+                v == b"base" || v == b"new",
+                "[{point}] atomic txn left torn state {v:?}"
+            );
+        }
+        drop(db);
+
+        // recovery must be idempotent: a second restart sees the same state
+        let db = case.reopen_clean();
+        assert_eq!(get(&db, o), v, "[{point}] recovery not idempotent");
+    }
+}
+
+#[test]
+fn crash_matrix_atomic() {
+    atomic_sweep(FaultAction::Crash);
+}
+
+#[test]
+fn torn_matrix_atomic() {
+    atomic_sweep(FaultAction::Torn {
+        keep_per_mille: 500,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: GC group commit (paper §2.2) — two transactions, one forced
+// commit record. Invariant: all-or-nothing, across any crash point. This is
+// the torn-group-commit regression surface.
+// ---------------------------------------------------------------------------
+
+fn group_commit_sweep(action: FaultAction) {
+    for point in all_failpoints() {
+        let case = Case::new("w2");
+        let (oa, ob);
+        {
+            let db = case.open();
+            oa = db.new_oid();
+            ob = db.new_oid();
+            put(&db, oa, b"ga0");
+            put(&db, ob, b"gb0");
+        }
+
+        case.faults.arm(point, Trigger::Once, action);
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<bool> {
+            let db = case.open();
+            let t1 = db.initiate(move |ctx| ctx.write(oa, b"ga1".to_vec()))?;
+            let t2 = db.initiate(move |ctx| ctx.write(ob, b"gb1".to_vec()))?;
+            db.form_dependency(DepType::GC, t1, t2)?;
+            db.begin_many(&[t1, t2])?;
+            db.wait(t1)?;
+            db.wait(t2)?;
+            db.commit(t1)
+        }));
+        let acknowledged = matches!(&outcome, Ok(Ok(true)));
+
+        let db = case.reopen_clean();
+        let (va, vb) = (get(&db, oa), get(&db, ob));
+        if acknowledged {
+            assert_eq!(
+                (&va[..], &vb[..]),
+                (&b"ga1"[..], &b"gb1"[..]),
+                "[{point}] acknowledged group commit lost a member"
+            );
+        } else {
+            let both_old = va == b"ga0" && vb == b"gb0";
+            let both_new = va == b"ga1" && vb == b"gb1";
+            assert!(
+                both_old || both_new,
+                "[{point}] torn group commit: ({va:?}, {vb:?})"
+            );
+        }
+        drop(db);
+
+        let db = case.reopen_clean();
+        assert_eq!(
+            (get(&db, oa), get(&db, ob)),
+            (va, vb),
+            "[{point}] recovery not idempotent"
+        );
+    }
+}
+
+#[test]
+fn crash_matrix_group_commit() {
+    group_commit_sweep(FaultAction::Crash);
+}
+
+#[test]
+fn torn_matrix_group_commit() {
+    group_commit_sweep(FaultAction::Torn {
+        keep_per_mille: 500,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 3: a saga with compensation (paper §3.3) — step 1 commits, step 2
+// rolls back, a compensating transaction commits. Invariant: the object only
+// ever holds a prefix-consistent saga state ("s0" → "s1" → "comp"), never
+// the rolled-back step's value, and never regresses past an acknowledged
+// commit.
+// ---------------------------------------------------------------------------
+
+fn saga_sweep(action: FaultAction) {
+    let order = |v: &[u8]| -> usize {
+        match v {
+            b"s0" => 0,
+            b"s1" => 1,
+            b"comp" => 2,
+            other => panic!("saga reached invalid state {other:?}"),
+        }
+    };
+    for point in all_failpoints() {
+        let case = Case::new("w3");
+        let o;
+        {
+            let db = case.open();
+            o = db.new_oid();
+            put(&db, o, b"s0");
+        }
+
+        // highest saga state whose commit was acknowledged before the fault
+        let acked = Arc::new(Mutex::new(b"s0".to_vec()));
+        let acked2 = Arc::clone(&acked);
+        case.faults.arm(point, Trigger::Once, action);
+        let _ = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+            let db = case.open();
+            // step 1
+            if db.run(move |ctx| ctx.write(o, b"s1".to_vec()))? {
+                *acked2.lock().unwrap() = b"s1".to_vec();
+            }
+            // step 2 runs, then the saga decides to roll it back
+            let t2 = db.initiate(move |ctx| ctx.write(o, b"s2".to_vec()))?;
+            db.begin(t2)?;
+            db.wait(t2)?;
+            db.abort(t2)?;
+            // compensation for step 1
+            if db.run(move |ctx| ctx.write(o, b"comp".to_vec()))? {
+                *acked2.lock().unwrap() = b"comp".to_vec();
+            }
+            db.checkpoint()?;
+            Ok(())
+        }));
+
+        let db = case.reopen_clean();
+        let v = get(&db, o);
+        let last = acked.lock().unwrap().clone();
+        assert!(
+            order(&v) >= order(&last),
+            "[{point}] recovery regressed past acknowledged commit: {v:?} < {last:?}"
+        );
+        drop(db);
+
+        let db = case.reopen_clean();
+        assert_eq!(get(&db, o), v, "[{point}] recovery not idempotent");
+    }
+}
+
+#[test]
+fn crash_matrix_saga() {
+    saga_sweep(FaultAction::Crash);
+}
+
+#[test]
+fn torn_matrix_saga() {
+    saga_sweep(FaultAction::Torn {
+        keep_per_mille: 500,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 4: delegation + permit (paper §2.1) — t1 writes, permits, then
+// delegates its locks and undo responsibility to t2; t1 commits (its undo
+// set is empty after delegation) and t2 aborts, restoring the baseline.
+// Invariant: the write NEVER survives — whichever side of whichever crash
+// point we land on, the delegated undo follows the delegatee, so either the
+// rollback ran (live or during recovery) or the write was never durable.
+// ---------------------------------------------------------------------------
+
+fn delegation_sweep(action: FaultAction) {
+    for point in all_failpoints() {
+        let case = Case::new("w4");
+        let o;
+        {
+            let db = case.open();
+            o = db.new_oid();
+            put(&db, o, b"d0");
+        }
+
+        case.faults.arm(point, Trigger::Once, action);
+        let _ = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+            let db = case.open();
+            let t1 = db.initiate(move |ctx| ctx.write(o, b"d1".to_vec()))?;
+            db.begin(t1)?;
+            if !db.wait(t1)? {
+                return Ok(()); // t1 aborted under the fault; nothing to hand off
+            }
+            let t2 = db.initiate(|_| Ok(()))?;
+            db.permit(t1, Some(t2), ObSet::one(o), OpSet::ALL)?;
+            db.delegate(t1, t2, None)?;
+            db.commit(t1)?; // empty after delegation: commits nothing of o
+                            // t2 now owns the undo; abort it from this thread so a crash in
+                            // the undo loop unwinds into the harness, not a worker thread
+            db.abort(t2)?;
+            Ok(())
+        }));
+
+        let db = case.reopen_clean();
+        assert_eq!(
+            &get(&db, o)[..],
+            b"d0",
+            "[{point}] delegated undo did not follow the delegatee"
+        );
+        drop(db);
+
+        let db = case.reopen_clean();
+        assert_eq!(&get(&db, o)[..], b"d0", "[{point}] recovery not idempotent");
+    }
+}
+
+#[test]
+fn crash_matrix_delegation() {
+    delegation_sweep(FaultAction::Crash);
+}
+
+#[test]
+fn torn_matrix_delegation() {
+    delegation_sweep(FaultAction::Torn {
+        keep_per_mille: 500,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Error sweep: the process survives the fault. After the workload drives
+// every transaction to a terminal state, the live in-memory state must agree
+// with what a restart recovers — the property the torn-group-commit bug
+// violated (commit-record failure used to strand the group non-terminal).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn error_matrix_live_state_agrees_with_recovery() {
+    use asset::TxnStatus;
+    for point in all_failpoints() {
+        let case = Case::new("err");
+        let (oa, ob);
+        {
+            let db = case.open();
+            oa = db.new_oid();
+            ob = db.new_oid();
+            put(&db, oa, b"ga0");
+            put(&db, ob, b"gb0");
+        }
+
+        case.faults.arm(point, Trigger::Once, FaultAction::Error);
+        let db = match Database::open(case.config.clone()) {
+            Ok((db, _)) => db,
+            Err(_) => {
+                // the fault fired during recovery itself; a clean retry
+                // must succeed and land on the pre-fault state
+                let db = case.reopen_clean();
+                assert_eq!(
+                    (&get(&db, oa)[..], &get(&db, ob)[..]),
+                    (&b"ga0"[..], &b"gb0"[..]),
+                    "[{point}] failed recovery attempt must be harmless"
+                );
+                continue;
+            }
+        };
+        let t1 = db
+            .initiate(move |ctx| ctx.write(oa, b"ga1".to_vec()))
+            .unwrap();
+        let t2 = db
+            .initiate(move |ctx| ctx.write(ob, b"gb1".to_vec()))
+            .unwrap();
+        let _ = db.form_dependency(DepType::GC, t1, t2);
+        let b1 = db.begin(t1).is_ok();
+        let b2 = db.begin(t2).is_ok();
+        if b1 {
+            let _ = db.wait(t1);
+        }
+        if b2 {
+            let _ = db.wait(t2);
+        }
+        if b1 && b2 {
+            let _ = db.commit(t1);
+        }
+        let _ = db.checkpoint();
+        // drive anything still live to a terminal state, as an operator would
+        for t in [t1, t2] {
+            if !db.is_committed(t).unwrap_or(false) {
+                let _ = db.abort(t);
+            }
+        }
+        for t in [t1, t2] {
+            let st = db.status(t).unwrap();
+            assert!(
+                st == TxnStatus::Committed || st == TxnStatus::Aborted,
+                "[{point}] transaction stranded non-terminal: {st:?}"
+            );
+        }
+        let (live_a, live_b) = (get(&db, oa), get(&db, ob));
+        drop(db);
+
+        let db = case.reopen_clean();
+        assert_eq!(
+            (get(&db, oa), get(&db, ob)),
+            (live_a, live_b),
+            "[{point}] live state disagrees with recovered state"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elided syncs: `sync_data` lies (returns Ok without forcing). Within one
+// OS lifetime the bytes are still in the page cache, so recovery must still
+// see them — this exercises the ElideSync plumbing and the
+// `unsynced_bytes` accounting fixed in the buffered-bytes bug.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn elided_syncs_leave_bytes_unsynced_but_readable() {
+    let case = Case::new("elide");
+    case.faults.arm(
+        storage::failpoints::LOG_SYNC,
+        Trigger::Always,
+        FaultAction::ElideSync,
+    );
+    case.faults.arm(
+        storage::failpoints::STORE_SYNC,
+        Trigger::Always,
+        FaultAction::ElideSync,
+    );
+    let o;
+    {
+        let db = case.open();
+        o = db.new_oid();
+        put(&db, o, b"v");
+        assert!(
+            db.engine().log().unsynced_bytes() > 0,
+            "elided sync must leave the commit record unsynced"
+        );
+    }
+    let db = case.reopen_clean();
+    assert_eq!(&get(&db, o)[..], b"v");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seed fires the same probabilistic trigger at the
+// same hit, so two identical runs produce identical fault schedules.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn probabilistic_triggers_are_deterministic_across_runs() {
+    let fired = |seed: u64| -> Vec<u64> {
+        let reg = FaultRegistry::new();
+        reg.arm(
+            "det.point",
+            Trigger::Prob {
+                per_mille: 300,
+                seed,
+            },
+            FaultAction::Error,
+        );
+        (0..64)
+            .filter_map(|i| reg.check("det.point").map(|_| i))
+            .collect()
+    };
+    assert_eq!(fired(42), fired(42), "same seed must replay identically");
+    assert_ne!(fired(42), fired(43), "different seeds must diverge");
+}
