@@ -22,6 +22,7 @@ pub mod error;
 pub mod ids;
 pub mod mode;
 pub mod status;
+pub mod sync;
 
 pub use config::{Config, Durability};
 pub use error::{AssetError, Result};

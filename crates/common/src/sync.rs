@@ -1,0 +1,133 @@
+//! Lock primitives, switchable to loom's model-checked versions.
+//!
+//! Runtime code imports `Mutex`/`Condvar`/`RwLock` from here instead of
+//! `parking_lot`. In a normal build the re-exports below are zero-cost
+//! aliases for parking_lot, so nothing changes. Under `RUSTFLAGS="--cfg
+//! loom"` the same names resolve to thin wrappers over `loom::sync`, and
+//! every interleaving of the code built on them can be explored by
+//! [loom](https://docs.rs/loom)'s model checker (the `loom_*` integration
+//! tests; see DESIGN.md §11).
+//!
+//! The wrappers present parking_lot's API (guards returned directly, no
+//! poisoning, `Condvar::wait(&mut guard)`): call sites stay identical in
+//! both builds, which is the point — the model checks the code that ships.
+
+#[cfg(not(loom))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(loom)]
+pub use self::loom_shim::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(loom)]
+mod loom_shim {
+    use std::time::Instant;
+
+    pub type MutexGuard<'a, T> = loom::sync::MutexGuard<'a, T>;
+    pub type RwLockReadGuard<'a, T> = loom::sync::RwLockReadGuard<'a, T>;
+    pub type RwLockWriteGuard<'a, T> = loom::sync::RwLockWriteGuard<'a, T>;
+
+    /// parking_lot-compatible mutex over [`loom::sync::Mutex`]: `lock`
+    /// hands back the guard directly. Loom models no panics-while-locked,
+    /// so the poison arm only recovers the guard.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(t: T) -> Self {
+            Mutex(loom::sync::Mutex::new(t))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            self.0.try_lock().ok()
+        }
+    }
+
+    /// parking_lot-compatible reader-writer lock over
+    /// [`loom::sync::RwLock`].
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(loom::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        pub fn new(t: T) -> Self {
+            RwLock(loom::sync::RwLock::new(t))
+        }
+
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.0.read().unwrap_or_else(|e| e.into_inner())
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.0.write().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Result of a timed wait, mirroring parking_lot's.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// parking_lot-compatible condition variable over
+    /// [`loom::sync::Condvar`]: `wait` reborrows the guard in place
+    /// instead of consuming it.
+    #[derive(Debug)]
+    pub struct Condvar(loom::sync::Condvar);
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(loom::sync::Condvar::new())
+        }
+
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            // SAFETY: the guard is moved out of `*guard` for loom's
+            // by-value wait and the reacquired guard is written back
+            // before returning. Neither arm of `unwrap_or_else` can
+            // panic (the Err arm recovers the guard from the poison
+            // error), so no path observes the moved-out slot.
+            unsafe {
+                let g = std::ptr::read(guard);
+                let g = self.0.wait(g).unwrap_or_else(|e| e.into_inner());
+                std::ptr::write(guard, g);
+            }
+        }
+
+        /// Loom does not model time: a model run explores interleavings,
+        /// not clocks, so the deadline is ignored and the wait never
+        /// reports a timeout. Timeout-dependent fallback paths are out of
+        /// scope for loom tests by design.
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            _deadline: Instant,
+        ) -> WaitTimeoutResult {
+            self.wait(guard);
+            WaitTimeoutResult(false)
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+    }
+}

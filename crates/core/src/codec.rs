@@ -21,6 +21,16 @@ pub trait ObjectCodec: Sized {
     fn decode(bytes: &[u8]) -> Result<Self>;
 }
 
+/// Read a little-endian `u32` length prefix at `at`, failing with
+/// [`AssetError::Corrupt`] instead of panicking on short payloads.
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32> {
+    bytes
+        .get(at..at + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| AssetError::Corrupt("truncated length prefix".into()))
+}
+
 macro_rules! int_codec {
     ($($t:ty),*) => {$(
         impl ObjectCodec for $t {
@@ -118,12 +128,12 @@ where
             }
         };
         need(bytes.len() >= 4)?;
-        let n = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let n = read_u32(bytes, 0)? as usize;
         let mut pos = 4usize;
         let mut out = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             need(bytes.len() >= pos + 4)?;
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let len = read_u32(bytes, pos)? as usize;
             pos += 4;
             need(bytes.len() >= pos + len)?;
             out.push(T::decode(&bytes[pos..pos + len])?);
@@ -152,7 +162,7 @@ impl<A: ObjectCodec, B: ObjectCodec> ObjectCodec for (A, B) {
         if bytes.len() < 4 {
             return Err(AssetError::Corrupt("truncated tuple payload".into()));
         }
-        let alen = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let alen = read_u32(bytes, 0)? as usize;
         if bytes.len() < 4 + alen {
             return Err(AssetError::Corrupt("truncated tuple payload".into()));
         }

@@ -50,6 +50,7 @@
 
 use crate::context::TxnCtx;
 use crate::txns::TxnTable;
+use asset_annot::{verify_allow, wal};
 use asset_common::ids::IdGen;
 use asset_common::{AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus};
 use asset_dep::{CommitGate, DepGraph};
@@ -202,6 +203,8 @@ impl Database {
     /// An in-memory database with default configuration (tests, examples).
     pub fn in_memory() -> Database {
         Database::open(Config::in_memory())
+            // the only open failures are I/O errors from the file-backed path
+            // verify: allow(no_panics) — in-memory open performs no I/O
             .expect("in-memory open cannot fail")
             .0
     }
@@ -286,6 +289,7 @@ impl Database {
     /// assert!(db.wait(t).unwrap());    // completed — but not yet durable
     /// assert!(db.commit(t).unwrap());
     /// ```
+    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Running")]
     pub fn begin(&self, t: Tid) -> Result<()> {
         let job = self.inner.txns.with(t, |slot| -> Result<Option<Job>> {
             let slot = slot.ok_or(AssetError::TxnNotFound(t))?;
@@ -306,6 +310,9 @@ impl Database {
             slot.status = TxnStatus::Running;
             slot.thread_live = true;
             Ok(Some(
+                // Initiated status invariantly carries the job installed by
+                // initiate(); nothing else takes it before the status moves.
+                // verify: allow(no_panics) — status-gated slot invariant
                 slot.job.take().expect("initiated transaction has a job"),
             ))
         })?;
@@ -313,10 +320,26 @@ impl Database {
         bump(&self.inner.obs.counters.txn_begun);
         self.inner.obs.record(EventKind::TxnBegin { tid: t });
         let inner = Arc::clone(&self.inner);
-        std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("asset-{t}"))
-            .spawn(move || run_job(inner, t, job))
-            .expect("thread spawn");
+            .spawn(move || run_job(inner, t, job));
+        if let Err(e) = spawned {
+            // The thread never started: drive the slot to a terminal state
+            // so wait()/commit() observe the failure instead of hanging on
+            // a Running transaction with no thread behind it. The Begin
+            // record without a Commit already reads as aborted to restart
+            // recovery.
+            self.inner.txns.with(t, |slot| {
+                if let Some(slot) = slot {
+                    slot.status = TxnStatus::Aborted;
+                    slot.thread_live = false;
+                }
+            });
+            self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+            self.inner.locks.release_all(t);
+            self.inner.txns.bump();
+            return Err(AssetError::Io(e));
+        }
         Ok(())
     }
 
@@ -379,6 +402,7 @@ impl Database {
     /// assert!(db.commit(t1).unwrap()); // commits the whole GC group
     /// assert!(db.is_committed(t2).unwrap());
     /// ```
+    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Committed")]
     pub fn commit(&self, t: Tid) -> Result<bool> {
         enum Step {
             Done(bool),
@@ -539,6 +563,8 @@ impl Database {
                     }
                     // Steps 5–6: statuses, dependency cleanup, lock release.
                     for m in &group {
+                        // members come from the guard's own locked key set
+                        // verify: allow(no_panics) — guard-internal keys
                         let slot = guard.get_mut(*m).expect("group member exists");
                         slot.status = TxnStatus::Committed;
                         slot.undo.clear();
@@ -655,6 +681,7 @@ impl Database {
     /// assert!(db.abort(t2).unwrap());      // aborting t2 undoes t1's write
     /// assert_eq!(db.peek(oid).unwrap(), None);
     /// ```
+    #[wal(logs = "log_record", mutates = "std::mem::take(&mut slot.undo)")]
     pub fn delegate(&self, from: Tid, to: Tid, obs: Option<ObSet>) -> Result<()> {
         let mut guard = self.inner.txns.lock_group(&[from, to]);
         if guard.get(from).is_none() {
@@ -698,9 +725,12 @@ impl Database {
             to,
             obs: logged_obs,
         })?;
-        // splice undo entries
+        // splice undo entries (both slots were validated non-None above and
+        // the guard has held their shards throughout)
         let moved: Vec<UndoEntry> = {
-            let slot = guard.get_mut(from).unwrap();
+            let Some(slot) = guard.get_mut(from) else {
+                return Err(AssetError::TxnNotFound(from));
+            };
             match &obs {
                 None => std::mem::take(&mut slot.undo),
                 Some(set) => {
@@ -712,7 +742,9 @@ impl Database {
             }
         };
         {
-            let dst = guard.get_mut(to).unwrap();
+            let Some(dst) = guard.get_mut(to) else {
+                return Err(AssetError::TxnNotFound(to));
+            };
             dst.undo.extend(moved);
             dst.undo.sort_by_key(|u| u.seq);
         }
@@ -783,14 +815,16 @@ impl Database {
             return Err(AssetError::TxnNotFound(tj));
         }
         let mut deps = self.inner.deps.lock();
-        // transfer terminal knowledge so retroactive dooming works
+        // transfer terminal knowledge so retroactive dooming works (both
+        // slots were validated non-None above, under the same guard)
         for t in [ti, tj] {
-            match guard.get(t).unwrap().status {
-                TxnStatus::Committed => deps.committed(&[t]),
-                TxnStatus::Aborted => {
+            match guard.get(t).map(|s| s.status) {
+                Some(TxnStatus::Committed) => deps.committed(&[t]),
+                Some(TxnStatus::Aborted) => {
                     let _ = deps.aborted(t);
                 }
-                _ => deps.register(t),
+                Some(_) => deps.register(t),
+                None => {}
             }
         }
         deps.form(kind, ti, tj)?;
@@ -958,6 +992,14 @@ impl Database {
     /// `abort_performed`), then the undo/log/release steps run lock-free,
     /// then the terminal status is published. Running victims are marked
     /// and poisoned; their own threads finalize.
+    // Abort logs in the reverse direction by design: CLRs land during the
+    // undo walk and the Abort record last, after the state changes they
+    // describe — recovery re-derives any missing rollback from the Update
+    // records (§4.2 step 2), so log-before-mutate does not apply here.
+    #[verify_allow(
+        wal,
+        reason = "abort path: CLRs during undo, Abort record last; recovery re-derives rollback"
+    )]
     pub(crate) fn abort_many(&self, seeds: &[Tid]) {
         enum Act {
             Skip,

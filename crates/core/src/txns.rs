@@ -16,9 +16,10 @@
 //! so no status change can be lost no matter which shard it happened in.
 
 use crate::database::TxnSlot;
+use asset_annot::verify_allow;
 use asset_common::config::resolve_shards;
+use asset_common::sync::{Condvar, Mutex, MutexGuard};
 use asset_common::Tid;
-use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::{BTreeSet, HashMap};
 
 type Shard = Mutex<HashMap<Tid, TxnSlot>>;
@@ -59,6 +60,10 @@ impl TxnTable {
     }
 
     /// Lock the shards of `tids` (deduplicated, ascending index order).
+    #[verify_allow(
+        lock_order,
+        reason = "blessed multi-lock: BTreeSet dedups and sorts shard indices, so acquisition is strictly ascending"
+    )]
     pub fn lock_group(&self, tids: &[Tid]) -> GroupGuard<'_> {
         let idxs: BTreeSet<usize> = tids.iter().map(|t| self.shard_index(*t)).collect();
         GroupGuard {
@@ -72,6 +77,10 @@ impl TxnTable {
 
     /// Lock every shard (quiescent operations: checkpoint, log compaction,
     /// retirement).
+    #[verify_allow(
+        lock_order,
+        reason = "blessed multi-lock: locks every shard in ascending index order"
+    )]
     pub fn lock_all(&self) -> GroupGuard<'_> {
         GroupGuard {
             table: self,

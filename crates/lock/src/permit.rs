@@ -14,6 +14,7 @@
 //! — so permissions given by or to a transaction can be located efficiently
 //! (needed for delegation re-attribution and commit-time cleanup).
 
+use asset_annot::verify_allow;
 use asset_common::{ObSet, Oid, OpSet, Operation, Tid};
 use std::collections::{HashMap, HashSet};
 
@@ -223,6 +224,10 @@ impl PermitTable {
 /// object's shard and wildcard/cross-shard permits in a global table; a
 /// chain may hop between the two, so the DFS follows `by_grantor` edges of
 /// every table at every hop.
+#[verify_allow(
+    lock_order,
+    reason = "blessed: pure DFS over caller-held tables, acquires no locks itself"
+)]
 pub fn permits_across(
     tables: &[&PermitTable],
     holder: Tid,
@@ -239,6 +244,10 @@ pub fn permits_across(
 /// of the longest chain the DFS explored. `holder == requester` reports
 /// depth 0 (no permit consulted). The depth feeds the observability layer's
 /// `permit_chain_len` histogram.
+#[verify_allow(
+    lock_order,
+    reason = "blessed: pure DFS over caller-held tables, acquires no locks itself"
+)]
 pub fn permits_across_depth(
     tables: &[&PermitTable],
     holder: Tid,

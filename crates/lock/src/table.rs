@@ -26,12 +26,14 @@
 //! are per-shard relaxed atomics, so deadlock checks and statistics reads
 //! never stall grants.
 
+use asset_annot::verify_allow;
+
 use crate::permit::{permits_across_depth, Permit, PermitTable};
 use crate::waits::WaitGraph;
 use asset_common::config::resolve_shards;
+use asset_common::sync::{Condvar, Mutex, RwLock};
 use asset_common::{AssetError, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid};
 use asset_obs::{add, bump, EventKind, Obs};
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -280,6 +282,10 @@ impl LockTable {
     /// waiter holds its shard mutex from predicate check to sleep, so
     /// acquiring the mutex after the state change guarantees the waiter is
     /// either asleep (and gets the notify) or will re-check and observe it.
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: each shard mutex is acquired and dropped before the next — never two at once"
+    )]
     fn notify_all_shards(&self) {
         for shard in self.shards.iter() {
             drop(shard.inner.lock());
@@ -528,6 +534,10 @@ impl LockTable {
     }
 
     /// Record a permit (wakes waiters — they may now be allowed through).
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: shard/global permit locks are taken in disjoint scopes, one at a time"
+    )]
     pub fn permit(&self, grantor: Tid, grantee: Option<Tid>, obs: ObSet, ops: OpSet) {
         match self.route(&obs) {
             PermitRoute::Shard(s) => {
@@ -572,6 +582,10 @@ impl LockTable {
     /// The paper's `permit(ti, tj, op)` form: permit on every object the
     /// grantor has accessed *or has permission to access*, materialized at
     /// call time by traversing the grantor's LRD list and incoming PDs.
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: materializes the object set shard-by-shard in ascending order, then delegates to permit"
+    )]
     pub fn permit_accessed(&self, grantor: Tid, grantee: Option<Tid>, ops: OpSet) {
         let mut obs: BTreeSet<Oid> = BTreeSet::new();
         let mut all = false;
@@ -606,6 +620,10 @@ impl LockTable {
     /// merging with any locks `to` already holds, and re-attribute the
     /// permits `from` granted (§4.2 `delegate`). Shards are visited one at
     /// a time in ascending index order.
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: visits shards one at a time in ascending index order, guard dropped between hops"
+    )]
     pub fn delegate(&self, from: Tid, to: Tid, obs: Option<&ObSet>) {
         let from_shards = self.shards_of(from);
         let mut moved_objects = 0u64;
@@ -686,6 +704,10 @@ impl LockTable {
 
     /// Release all locks held by `tid` and remove permits given by and to
     /// it (commit step 6 / abort step 3). Returns the objects released.
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: snapshots the tid→shard index, then walks shards in ascending order one at a time"
+    )]
     pub fn release_all(&self, tid: Tid) -> Vec<Oid> {
         let shards: Vec<usize> = {
             self.tid_shards
@@ -750,6 +772,10 @@ impl LockTable {
     /// and wake it if blocked. Used when an abort strikes a transaction
     /// that may be waiting for a lock. Cleared by
     /// [`release_all`](Self::release_all).
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: poison set and shard mutexes are never held together"
+    )]
     pub fn poison(&self, tid: Tid) {
         if self.poisoned.lock().insert(tid) {
             self.poison_count.fetch_add(1, Ordering::Relaxed);

@@ -7,8 +7,8 @@
 //! over the edge map plus a relaxed waiter counter that lets the fast path
 //! skip the map entirely when nobody is blocked.
 
+use asset_common::sync::Mutex;
 use asset_common::Tid;
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 

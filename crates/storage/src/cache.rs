@@ -16,17 +16,12 @@ use asset_common::{Oid, Result};
 use asset_obs::{bump, Obs};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 const SHARDS: usize = 16;
-
-struct ObjData {
-    /// Current payload; `None` is a tombstone (object absent/deleted).
-    bytes: Option<Vec<u8>>,
-    /// Differs from the store's copy?
-    dirty: bool,
-}
 
 /// One object resident in the shared cache.
 ///
@@ -34,22 +29,35 @@ struct ObjData {
 /// [`write_with`](CachedObject::write_with), which acquire the object latch
 /// in the appropriate mode. The `UnsafeCell` is sound because every access
 /// path holds the latch: S holders only take `&`, the X holder is unique.
+/// `None` payload is a tombstone (object absent/deleted).
+///
+/// The dirty flag lives *outside* the cell as an atomic: eviction and flush
+/// scans test it while holding the cache shard mutex, and the object latch
+/// ranks **above** that mutex in the lock hierarchy, so they must not latch.
 pub struct CachedObject {
     latch: Latch,
-    data: UnsafeCell<ObjData>,
+    data: UnsafeCell<Option<Vec<u8>>>,
+    /// Differs from the store's copy? Relaxed ordering suffices: the flag
+    /// only gates whether a reader goes on to latch, and the latch
+    /// acquisition is what synchronizes the payload itself.
+    dirty: AtomicBool,
     obs: Arc<Obs>,
 }
 
 // SAFETY: all access to `data` is mediated by `latch` (S for shared reads,
-// X for exclusive writes), implemented in the two accessors below.
+// X for exclusive writes), implemented in the accessors below; `dirty` is
+// atomic and the other fields are Sync themselves.
 unsafe impl Sync for CachedObject {}
+// SAFETY: the contained payload is an owned `Option<Vec<u8>>` with no
+// thread affinity; sending the object moves unique ownership of the cell.
 unsafe impl Send for CachedObject {}
 
 impl CachedObject {
     fn new(bytes: Option<Vec<u8>>, dirty: bool, obs: Arc<Obs>) -> CachedObject {
         CachedObject {
             latch: Latch::new(),
-            data: UnsafeCell::new(ObjData { bytes, dirty }),
+            data: UnsafeCell::new(bytes),
+            dirty: AtomicBool::new(dirty),
             obs,
         }
     }
@@ -70,7 +78,7 @@ impl CachedObject {
         self.note_latch(spins);
         // SAFETY: S latch held; no X holder exists, so a shared view is safe.
         let data = unsafe { &*self.data.get() };
-        f(data.bytes.as_deref())
+        f(data.as_deref())
     }
 
     /// Replace the payload under an X latch; returns the before image.
@@ -78,20 +86,20 @@ impl CachedObject {
     pub fn install(&self, after: Option<Vec<u8>>) -> Option<Vec<u8>> {
         let (_g, spins) = self.latch.exclusive_profiled();
         self.note_latch(spins);
+        self.dirty.store(true, Ordering::Relaxed);
         // SAFETY: X latch held; we are the unique accessor.
         let data = unsafe { &mut *self.data.get() };
-        data.dirty = true;
-        std::mem::replace(&mut data.bytes, after)
+        std::mem::replace(data, after)
     }
 
     /// Mutate the payload in place under an X latch.
     pub fn write_with<R>(&self, f: impl FnOnce(&mut Option<Vec<u8>>) -> R) -> R {
         let (_g, spins) = self.latch.exclusive_profiled();
         self.note_latch(spins);
-        // SAFETY: X latch held.
+        self.dirty.store(true, Ordering::Relaxed);
+        // SAFETY: X latch held; we are the unique accessor.
         let data = unsafe { &mut *self.data.get() };
-        data.dirty = true;
-        f(&mut data.bytes)
+        f(data)
     }
 
     /// The object latch (exposed for the lock manager's OD linkage and for
@@ -100,23 +108,27 @@ impl CachedObject {
         &self.latch
     }
 
+    /// Latch-free dirty test — safe to call while holding a cache shard
+    /// mutex (the object latch ranks above it and must not be taken there).
+    fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the payload if the object is dirty. Does not clear the
+    /// flag: the caller persists the snapshot first and calls
+    /// [`clear_dirty`](Self::clear_dirty) only once that succeeded.
     fn take_if_dirty(&self) -> Option<Option<Vec<u8>>> {
-        let _g = self.latch.shared();
-        // SAFETY: S latch held; we only read and flip `dirty` under an
-        // additional X upgrade below.
-        let data = unsafe { &*self.data.get() };
-        if data.dirty {
-            Some(data.bytes.clone())
-        } else {
-            None
+        if !self.is_dirty() {
+            return None;
         }
+        let _g = self.latch.shared();
+        // SAFETY: S latch held; no X holder exists, so a shared view is safe.
+        let data = unsafe { &*self.data.get() };
+        Some(data.clone())
     }
 
     fn clear_dirty(&self) {
-        let _g = self.latch.exclusive();
-        // SAFETY: X latch held.
-        let data = unsafe { &mut *self.data.get() };
-        data.dirty = false;
+        self.dirty.store(false, Ordering::Relaxed);
     }
 }
 
@@ -180,18 +192,24 @@ impl ObjectCache {
     /// Insert/overwrite an entry directly (used by recovery, which builds
     /// state from the log rather than the store).
     pub fn install(&self, oid: Oid, bytes: Option<Vec<u8>>) {
-        let mut shard = self.shard(oid).lock();
-        match shard.get(&oid) {
-            Some(e) => {
-                e.install(bytes);
+        // A vacant slot is filled under the shard mutex alone; an occupied
+        // one needs the object latch, which ranks above the shard mutex —
+        // so the guard is dropped before latching.
+        let existing = {
+            let mut shard = self.shard(oid).lock();
+            match shard.entry(oid) {
+                Entry::Occupied(e) => Arc::clone(e.get()),
+                Entry::Vacant(v) => {
+                    v.insert(Arc::new(CachedObject::new(
+                        bytes,
+                        true,
+                        Arc::clone(&self.obs),
+                    )));
+                    return;
+                }
             }
-            None => {
-                shard.insert(
-                    oid,
-                    Arc::new(CachedObject::new(bytes, true, Arc::clone(&self.obs))),
-                );
-            }
-        }
+        };
+        existing.install(bytes);
     }
 
     /// Write all dirty entries back to `store`; tombstones become deletes.
@@ -229,9 +247,11 @@ impl ObjectCache {
     }
 
     /// Drop clean entries (cache pressure relief; dirty entries stay).
+    /// The dirty test is a latch-free atomic load, so no object latch is
+    /// ever taken while the shard mutex is held.
     pub fn evict_clean(&self) {
         for shard in &self.shards {
-            shard.lock().retain(|_, e| e.take_if_dirty().is_some());
+            shard.lock().retain(|_, e| e.is_dirty());
         }
     }
 }

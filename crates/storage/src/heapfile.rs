@@ -5,6 +5,7 @@
 //! disk) and a real file ([`FilePageStore`]) using positioned reads/writes.
 
 use crate::page::{Page, PageId};
+use asset_annot::verify_allow;
 use asset_common::{AssetError, Result};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -96,6 +97,10 @@ pub struct FilePageStore {
 
 impl FilePageStore {
     /// Open (creating if absent) the heap file at `path`.
+    #[verify_allow(
+        failpoint_coverage,
+        reason = "open-time torn-page chop: runs before the fault registry exists, exercised by the recovery matrix instead"
+    )]
     pub fn open(path: &Path, page_size: usize) -> Result<FilePageStore> {
         let file = OpenOptions::new()
             .read(true)

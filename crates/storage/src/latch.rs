@@ -21,6 +21,9 @@
 //! exponentially growing backoff, yielding to the scheduler once the spin
 //! budget is exhausted (the paper's "time-varying delay").
 
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU32, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU32, Ordering};
 
 const X_HELD: u32 = 1 << 31;
@@ -33,10 +36,16 @@ const S_MASK: u32 = (1 << 16) - 1;
 /// Latches protect short critical sections (an object read or write in the
 /// shared cache); they are never held across blocking operations, unlike
 /// *locks*, which are transaction-duration and live in the lock manager.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Latch {
     state: AtomicU32,
     spin_limit: u32,
+}
+
+impl Default for Latch {
+    fn default() -> Latch {
+        Latch::new()
+    }
 }
 
 /// RAII guard for a shared (S) latch acquisition.
@@ -53,6 +62,8 @@ pub struct ExclusiveGuard<'a> {
 
 impl Latch {
     /// A new, unheld latch with the default spin budget.
+    /// (Non-const under loom: loom's atomics are not const-constructible.)
+    #[cfg(not(loom))]
     pub const fn new() -> Latch {
         Latch {
             state: AtomicU32::new(0),
@@ -60,7 +71,17 @@ impl Latch {
         }
     }
 
+    /// A new, unheld latch with the default spin budget.
+    #[cfg(loom)]
+    pub fn new() -> Latch {
+        Latch {
+            state: AtomicU32::new(0),
+            spin_limit: 64,
+        }
+    }
+
     /// A new latch with an explicit spin budget before yielding.
+    #[cfg(not(loom))]
     pub const fn with_spin_limit(spin_limit: u32) -> Latch {
         Latch {
             state: AtomicU32::new(0),
@@ -68,6 +89,16 @@ impl Latch {
         }
     }
 
+    /// A new latch with an explicit spin budget before yielding.
+    #[cfg(loom)]
+    pub fn with_spin_limit(spin_limit: u32) -> Latch {
+        Latch {
+            state: AtomicU32::new(0),
+            spin_limit,
+        }
+    }
+
+    #[cfg(not(loom))]
     fn backoff(&self, attempt: &mut u32) {
         if *attempt < self.spin_limit {
             for _ in 0..(1u32 << (*attempt).min(6)) {
@@ -77,6 +108,14 @@ impl Latch {
         } else {
             std::thread::yield_now();
         }
+    }
+
+    /// Under loom every spin must be a model yield point, or the checker
+    /// would explore unbounded spin interleavings.
+    #[cfg(loom)]
+    fn backoff(&self, attempt: &mut u32) {
+        *attempt = attempt.saturating_add(1);
+        loom::thread::yield_now();
     }
 
     /// Acquire in S mode. Blocks (spins) while an X holder exists or an X

@@ -17,6 +17,7 @@ mod record;
 
 pub use record::LogRecord;
 
+use asset_annot::{verify_allow, wal};
 use asset_common::{Durability, Lsn, Result};
 use asset_obs::{bump, Obs};
 use parking_lot::Mutex;
@@ -147,6 +148,7 @@ impl LogManager {
         self.append_inner(rec, true)
     }
 
+    #[wal(logs = "write_all", mutates = "inner.tail +=")]
     fn append_inner(&self, rec: &LogRecord, force: bool) -> Result<Lsn> {
         // Timing is gated on tracing so the default append path never pays
         // for a clock read; the counters below are always on.
@@ -379,6 +381,10 @@ impl LogManager {
     /// Truncate the log to empty. Only legal at a quiescent checkpoint,
     /// after every page has been flushed; the caller (checkpointing code)
     /// guarantees that.
+    #[verify_allow(
+        failpoint_coverage,
+        reason = "checkpoint-only path; the checkpoint.* failpoints upstream already crash-test every ordering around this truncation"
+    )]
     pub fn truncate(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         inner.tail = 0;

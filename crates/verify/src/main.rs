@@ -1,0 +1,88 @@
+//! `asset-verify` CLI: run the workspace invariant analyzer and exit
+//! non-zero when any rule is violated.
+//!
+//! ```text
+//! cargo run -p asset-verify                # analyze the workspace
+//! cargo run -p asset-verify -- --list-allows   # audit suppressions
+//! cargo run -p asset-verify -- --root PATH     # explicit workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_allows = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--list-allows" => list_allows = true,
+            "--help" | "-h" => {
+                println!(
+                    "asset-verify — workspace invariant analyzer\n\
+                     rules: R1 wal, R2 lock_order, R3 failpoint_coverage, R4 no_panics\n\
+                     usage: asset-verify [--root PATH] [--list-allows]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("asset-verify: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates/core/src").exists() {
+            cwd
+        } else {
+            // fall back to the workspace containing this crate
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+
+    let analysis = match asset_verify::analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "asset-verify: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if list_allows {
+        println!("{} suppression(s):", analysis.allows.len());
+        for a in &analysis.allows {
+            println!(
+                "  {} {}: {}:{} in `{}` — allowed: {}",
+                asset_verify::rule_id(a.rule),
+                a.rule,
+                a.file,
+                a.line,
+                a.func,
+                if a.reason.is_empty() {
+                    "(no reason)"
+                } else {
+                    &a.reason
+                }
+            );
+        }
+    }
+
+    if analysis.findings.is_empty() {
+        println!(
+            "asset-verify: OK — 4 rules, 0 findings, {} audited suppression(s)",
+            analysis.allows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        eprintln!("asset-verify: {} finding(s)", analysis.findings.len());
+        ExitCode::FAILURE
+    }
+}

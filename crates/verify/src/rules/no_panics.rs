@@ -1,0 +1,59 @@
+//! **R4 `no_panics`** — no panicking shortcuts in runtime paths.
+//!
+//! A panic inside the engine poisons locks and skips undo processing; all
+//! runtime errors must flow through `AssetError`. This rule flags
+//! `.unwrap()`, `.expect()`, `panic!`, `unimplemented!` and `todo!` in
+//! non-test code of `asset-core`, `asset-lock` and `asset-storage`.
+//! (`unreachable!` and the `assert*`/`debug_assert*` families are
+//! permitted: they document impossible states rather than skip error
+//! handling.)
+
+use crate::lexer::Kind;
+use crate::{Finding, Workspace};
+
+const PANIC_MACROS: [&str; 3] = ["panic", "unimplemented", "todo"];
+
+/// Run R4 over the workspace.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for (file, item) in ws.runtime_fns() {
+        let body = ws.body(file, item);
+        let mut i = 0usize;
+        while i < body.len() {
+            let t = &body[i];
+            if t.kind == Kind::Ident {
+                let name = t.text.as_str();
+                let method_call = i > 0
+                    && body[i - 1].text == "."
+                    && i + 1 < body.len()
+                    && body[i + 1].text == "(";
+                if (name == "unwrap" || name == "expect") && method_call {
+                    out.push(finding(
+                        file,
+                        item,
+                        t.line,
+                        format!(".{name}() in runtime path"),
+                    ));
+                }
+                if PANIC_MACROS.contains(&name) && i + 1 < body.len() && body[i + 1].text == "!" {
+                    out.push(finding(
+                        file,
+                        item,
+                        t.line,
+                        format!("{name}! in runtime path"),
+                    ));
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+fn finding(file: &crate::SrcFile, item: &crate::parse::FnItem, line: u32, msg: String) -> Finding {
+    Finding {
+        rule: "no_panics",
+        file: file.path.clone(),
+        line,
+        func: item.name.clone(),
+        msg,
+    }
+}

@@ -1,0 +1,26 @@
+//! R2 fixture (conforming) — the post-refactor shape: the dirty test is
+//! a latch-free atomic load, and the write-back path drops the shard
+//! guard before latching, so no storage-latch is ever acquired while a
+//! cache shard mutex is held.
+
+impl ObjectCache {
+    pub fn evict_clean(&self) {
+        for shard in &self.shards {
+            shard.lock().retain(|_, e| e.is_dirty());
+        }
+    }
+
+    pub fn write_back(&self, oid: Oid) {
+        let entry = {
+            let shard = self.shards[self.index(oid)].lock();
+            shard.get(&oid).cloned()
+        };
+        if let Some(e) = entry {
+            let _g = e.latch.exclusive();
+        }
+    }
+
+    fn is_dirty(&self) -> bool {
+        self.dirty.load(Ordering::Relaxed)
+    }
+}

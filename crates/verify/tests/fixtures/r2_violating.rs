@@ -1,0 +1,26 @@
+//! R2 fixture (violating) — seeded from the pre-atomic-dirty
+//! `ObjectCache`: both functions take an object latch (storage-latch,
+//! rank 2) while still holding a cache shard mutex (also rank 2 in the
+//! storage crate), so the acquisition order is not strictly ascending
+//! and two threads walking different shards can deadlock against a
+//! latch holder faulting into the cache.
+
+impl ObjectCache {
+    pub fn evict_clean(&self) {
+        for shard in &self.shards {
+            shard.lock().retain(|_, e| e.take_if_dirty().is_some());
+        }
+    }
+
+    pub fn write_back(&self, oid: Oid) {
+        let shard = self.shards[self.index(oid)].lock();
+        if let Some(e) = shard.get(&oid) {
+            let _g = e.latch.exclusive();
+        }
+    }
+
+    fn take_if_dirty(&self) -> Option<Vec<u8>> {
+        let _g = self.latch.shared();
+        self.snapshot()
+    }
+}

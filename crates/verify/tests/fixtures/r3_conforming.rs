@@ -1,0 +1,26 @@
+//! R3 fixture (conforming) — the same durable writes, each dominated by
+//! a failpoint evaluation: `append_frame` evaluates the macro inline,
+//! `sync` calls a failpoint-checker helper first (recognized by body
+//! inspection).
+
+impl LogFile {
+    pub fn append_frame(&self, frame: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        asset_faults::failpoint!(&self.faults, LOG_APPEND, |act| {
+            return Err(self.faults.realize_plain(LOG_APPEND, act).into());
+        });
+        inner.file.write_all(frame)?;
+        inner.tail += frame.len() as u64;
+        Ok(())
+    }
+
+    pub fn sync(&self) -> Result<()> {
+        self.guard_sync();
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn guard_sync(&self) {
+        asset_faults::failpoint_sync!(&self.faults, LOG_SYNC);
+    }
+}

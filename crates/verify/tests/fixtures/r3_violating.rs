@@ -1,0 +1,13 @@
+//! R3 fixture (violating) — seeded: the frame lands on disk with no
+//! failpoint between the decision to write and the write itself, so the
+//! crash-recovery matrix has no way to place a crash at this durable
+//! write and the path ships untested.
+
+impl LogFile {
+    pub fn append_frame(&self, frame: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.file.write_all(frame)?;
+        inner.tail += frame.len() as u64;
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+//! R4 fixture (conforming) — runtime paths return `AssetError`; the one
+//! justified `.expect()` carries an audited suppression, and unwraps in
+//! `#[cfg(test)]` code are out of scope by design.
+
+impl TxnTable {
+    pub fn status_of(&self, t: Tid) -> Result<TxnStatus> {
+        self.lookup(t)
+            .map(|s| s.status)
+            .ok_or(AssetError::TxnNotFound(t))
+    }
+
+    pub fn bootstrap(&self) -> TxnSlot {
+        // verify: allow(no_panics) — bootstrap runs before any I/O exists
+        TxnSlot::template().expect("static template is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        TxnTable::default().lookup(Tid(1)).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! R4 fixture (violating) — panicking shortcuts on runtime paths: a
+//! panic inside the engine poisons locks and skips undo processing, so
+//! both of these must flow through `AssetError` instead.
+
+impl TxnTable {
+    pub fn status_of(&self, t: Tid) -> TxnStatus {
+        self.with(t, |slot| slot.unwrap().status)
+    }
+
+    pub fn must_get(&self, t: Tid) -> TxnSlot {
+        match self.lookup(t) {
+            Some(s) => s,
+            None => panic!("missing txn"),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The analyzer must pass over the workspace that ships it: zero findings,
+//! and every suppression justified. This is the test the CI `verify` job
+//! duplicates as a binary run; keeping it as a test too means plain
+//! `cargo test` catches invariant regressions without the extra job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_and_all_suppressions_are_justified() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let a = asset_verify::analyze_root(&root).expect("workspace sources load");
+    assert!(
+        a.findings.is_empty(),
+        "asset-verify findings:\n{}",
+        a.findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        !a.allows.is_empty(),
+        "expected the audited suppressions to load"
+    );
+    assert!(a.allows.iter().all(|al| !al.reason.is_empty()));
+}
