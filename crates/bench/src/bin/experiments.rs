@@ -42,6 +42,7 @@ fn main() {
         ("e11", experiments::e11_contingent),
         ("e12", experiments::e12_ablations),
         ("e13", experiments::e13_crash_matrix),
+        ("e14", experiments::e14_observability),
     ];
 
     for (name, f) in &all {
@@ -49,7 +50,17 @@ fn main() {
             continue;
         }
         let start = std::time::Instant::now();
-        if *name == "e9b" {
+        if *name == "e14" {
+            // e14 also emits the machine-readable BENCH_obs.json; measure
+            // once, then both print and serialize
+            let runs = experiments::e14_observability_runs(scale);
+            println!("{}", experiments::e14_table(&runs));
+            let path = "BENCH_obs.json";
+            match std::fs::write(path, experiments::bench_obs_json(&runs)) {
+                Ok(()) => println!("   [observability bench: {} runs -> {path}]", runs.len()),
+                Err(err) => eprintln!("   [{path} not written: {err}]"),
+            }
+        } else if *name == "e9b" {
             // e9b also captures a structured event trace; dump it next to
             // the experiment output
             let (table, trace) = experiments::e9b_stripe_contention_traced(scale);

@@ -8,12 +8,16 @@ mod ablations;
 mod concurrency;
 mod crashes;
 mod models_exp;
+mod obs_exp;
 mod primitives;
 
 pub use ablations::e12_ablations;
 pub use concurrency::{e2_permits_vs_2pl, e6_cursor_stability, e7_split_early_release};
 pub use crashes::e13_crash_matrix;
 pub use models_exp::{e11_contingent, e3_nested, e4_sagas, e8_workflow};
+pub use obs_exp::{
+    bench_obs_json, e14_observability, e14_observability_runs, e14_table, ObsBenchRun,
+};
 pub use primitives::{
     e10_recovery, e1_primitives, e5_group_commit, e9_structures, e9b_stripe_contention,
     e9b_stripe_contention_traced,
@@ -62,6 +66,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e11_contingent(scale),
         e12_ablations(scale),
         e13_crash_matrix(scale),
+        e14_observability(scale),
     ]
 }
 
@@ -75,7 +80,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables() {
         let tables = run_all(Scale::quick());
-        assert_eq!(tables.len(), 14);
+        assert_eq!(tables.len(), 15);
         for t in &tables {
             assert!(!t.headers.is_empty(), "{} has headers", t.title);
             assert!(!t.rows.is_empty(), "{} has rows", t.title);

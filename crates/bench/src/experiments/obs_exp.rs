@@ -1,0 +1,240 @@
+//! E14 — observability under load: throughput plus tail latency
+//! (p50/p95/p99 lock wait and commit) for three workload shapes, measured
+//! through [`MetricsSnapshot::delta`] between per-run snapshots rather
+//! than ad-hoc counter subtraction. The harness binary also serializes
+//! the runs as `BENCH_obs.json` (schema `asset-bench-obs/v1`) so CI can
+//! track the numbers across commits.
+
+use super::Scale;
+use crate::table::{fmt_duration, fmt_rate, Table};
+use crate::workload::{enc_i64, setup_counters};
+use asset_common::{ObSet, OpSet};
+use asset_core::Database;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One measured run: a named workload plus the metric deltas it produced.
+#[derive(Clone, Debug)]
+pub struct ObsBenchRun {
+    /// Workload name (stable key in `BENCH_obs.json`).
+    pub name: &'static str,
+    /// Transactions driven to a terminal state.
+    pub txns: u64,
+    /// Wall-clock time for the run.
+    pub elapsed: Duration,
+    /// Lock-wait latency percentiles over this run only, in ns
+    /// (p50, p95, p99).
+    pub lock_wait_ns: (f64, f64, f64),
+    /// End-to-end commit latency percentiles over this run only, in ns.
+    pub commit_ns: (f64, f64, f64),
+    /// Events stored in the ring during the run.
+    pub events_recorded: u64,
+    /// Events dropped by the ring during the run.
+    pub events_dropped: u64,
+}
+
+impl ObsBenchRun {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.txns as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+fn measure(
+    name: &'static str,
+    db: &Database,
+    txns: u64,
+    work: impl FnOnce() -> Duration,
+) -> ObsBenchRun {
+    let before = db.metrics_snapshot();
+    let elapsed = work();
+    let d = db.metrics_snapshot().delta(&before);
+    ObsBenchRun {
+        name,
+        txns,
+        elapsed,
+        lock_wait_ns: d.lock_wait_ns.percentiles(),
+        commit_ns: d.commit_ns.percentiles(),
+        events_recorded: d.counters.events_recorded,
+        events_dropped: d.events_dropped,
+    }
+}
+
+/// Run the three E14 workloads and return the measured runs.
+pub fn e14_observability_runs(scale: Scale) -> Vec<ObsBenchRun> {
+    let mut runs = Vec::new();
+
+    // uncontended: disjoint single-write transactions across 4 threads
+    {
+        let db = Database::in_memory();
+        db.obs().enable_tracing(1 << 16);
+        let threads = 4usize;
+        let per_thread = scale.n(500);
+        let oids = setup_counters(&db, threads, 0);
+        runs.push(measure(
+            "uncontended",
+            &db,
+            (threads * per_thread) as u64,
+            || {
+                crate::workload::parallel_time(threads, |i| {
+                    let oid = oids[i];
+                    for v in 0..per_thread {
+                        assert!(db
+                            .run(move |ctx| ctx.write(oid, enc_i64(v as i64)))
+                            .unwrap());
+                    }
+                })
+            },
+        ));
+    }
+
+    // hot-set: 8 threads all updating the same 4 objects (real lock waits)
+    {
+        let db = Database::in_memory();
+        db.obs().enable_tracing(1 << 16);
+        let threads = 8usize;
+        let per_thread = scale.n(150);
+        let oids = setup_counters(&db, 4, 0);
+        runs.push(measure(
+            "hot-set",
+            &db,
+            (threads * per_thread) as u64,
+            || {
+                crate::workload::parallel_time(threads, |i| {
+                    for v in 0..per_thread {
+                        let oid = oids[(i + v) % oids.len()];
+                        assert!(db
+                            .run(move |ctx| ctx.write(oid, enc_i64(v as i64)))
+                            .unwrap());
+                    }
+                })
+            },
+        ));
+    }
+
+    // delegation-mix: §2.1 permit + delegate handoffs, serially
+    {
+        let db = Database::in_memory();
+        db.obs().enable_tracing(1 << 16);
+        let n = scale.n(200);
+        let o = db.new_oid();
+        assert!(db.run(move |ctx| ctx.write(o, enc_i64(0))).unwrap());
+        runs.push(measure("delegation-mix", &db, 2 * n as u64, || {
+            let start = std::time::Instant::now();
+            for v in 0..n {
+                let t1 = db
+                    .initiate(move |ctx| ctx.write(o, enc_i64(v as i64)))
+                    .unwrap();
+                db.begin(t1).unwrap();
+                assert!(db.wait(t1).unwrap());
+                let t2 = db.initiate(|_| Ok(())).unwrap();
+                db.begin(t2).unwrap();
+                db.permit(t1, Some(t2), ObSet::one(o), OpSet::ALL).unwrap();
+                db.delegate(t1, t2, None).unwrap();
+                assert!(db.commit(t1).unwrap());
+                assert!(db.commit(t2).unwrap());
+            }
+            start.elapsed()
+        }));
+    }
+
+    runs
+}
+
+/// E14 as a harness table.
+pub fn e14_observability(scale: Scale) -> Table {
+    e14_table(&e14_observability_runs(scale))
+}
+
+/// Format already-measured runs as the E14 table (so the harness binary
+/// can measure once and both print and serialize).
+pub fn e14_table(runs: &[ObsBenchRun]) -> Table {
+    let mut table = Table::new(
+        "E14: observability under load",
+        "throughput and tail latency per workload, via MetricsSnapshot::delta between per-run snapshots",
+    )
+    .headers(&[
+        "workload",
+        "txns",
+        "throughput",
+        "lock wait p50/p95/p99",
+        "commit p50/p95/p99",
+        "events (dropped)",
+    ]);
+    for r in runs {
+        let (lw50, lw95, lw99) = r.lock_wait_ns;
+        let (c50, c95, c99) = r.commit_ns;
+        table.row(vec![
+            r.name.into(),
+            r.txns.to_string(),
+            fmt_rate(r.txns, r.elapsed),
+            format!(
+                "{} / {} / {}",
+                fmt_duration(Duration::from_nanos(lw50 as u64)),
+                fmt_duration(Duration::from_nanos(lw95 as u64)),
+                fmt_duration(Duration::from_nanos(lw99 as u64)),
+            ),
+            format!(
+                "{} / {} / {}",
+                fmt_duration(Duration::from_nanos(c50 as u64)),
+                fmt_duration(Duration::from_nanos(c95 as u64)),
+                fmt_duration(Duration::from_nanos(c99 as u64)),
+            ),
+            format!("{} ({})", r.events_recorded, r.events_dropped),
+        ]);
+    }
+    table
+}
+
+/// Serialize runs as the `asset-bench-obs/v1` JSON document the harness
+/// writes to `BENCH_obs.json`.
+pub fn bench_obs_json(runs: &[ObsBenchRun]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"asset-bench-obs/v1\",\n  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 == runs.len() { "" } else { "," };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"txns\": {},", r.txns);
+        let _ = writeln!(out, "      \"wall_ns\": {},", r.elapsed.as_nanos());
+        let _ = writeln!(
+            out,
+            "      \"throughput_txn_per_s\": {:.1},",
+            r.throughput()
+        );
+        let _ = writeln!(out, "      \"lock_wait_p99_ns\": {:.1},", r.lock_wait_ns.2);
+        let _ = writeln!(out, "      \"commit_p99_ns\": {:.1},", r.commit_ns.2);
+        let _ = writeln!(out, "      \"events_recorded\": {},", r.events_recorded);
+        let _ = writeln!(out, "      \"events_dropped\": {}", r.events_dropped);
+        let _ = writeln!(out, "    }}{sep}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_measure_and_serialize() {
+        let runs = e14_observability_runs(Scale::quick());
+        assert_eq!(runs.len(), 3);
+        for r in &runs {
+            assert!(r.txns > 0);
+            assert!(r.throughput() > 0.0);
+            assert!(r.events_recorded > 0, "{}: tracing was on", r.name);
+            // the delta is per-run: commit latencies were observed in
+            // every workload (commit_ns is gated on tracing, which is on)
+            assert!(r.commit_ns.2 >= r.commit_ns.0, "{}: p99 >= p50", r.name);
+        }
+        let json = bench_obs_json(&runs);
+        assert!(json.contains("\"schema\": \"asset-bench-obs/v1\""));
+        assert!(json.contains("\"name\": \"delegation-mix\""));
+        // no trailing comma before the closing bracket
+        assert!(!json.contains(",\n  ]"));
+    }
+}

@@ -349,10 +349,17 @@ pub fn e9b_stripe_contention_traced(scale: Scale) -> (Table, Vec<Event>) {
         ]);
     }
     let snap = obs.snapshot();
+    // tail behavior, not just the mean: interpolated percentiles from the
+    // wait histogram
+    let (p50, _, p99) = snap.lock_wait_ns.percentiles();
     table.row(vec![
         "total".into(),
         total_waits.to_string(),
-        fmt_duration(Duration::from_nanos(snap.lock_wait_ns.mean() as u64)),
+        format!(
+            "p50 {} / p99 {}",
+            fmt_duration(Duration::from_nanos(p50 as u64)),
+            fmt_duration(Duration::from_nanos(p99 as u64))
+        ),
         fmt_duration(Duration::from_nanos(snap.lock_wait_ns.max)),
         format!(
             "{} locks in {}",

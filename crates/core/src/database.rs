@@ -55,7 +55,7 @@ use asset_common::ids::IdGen;
 use asset_common::{AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus};
 use asset_dep::{CommitGate, DepGraph};
 use asset_lock::{LockStats, LockTable};
-use asset_obs::{add, bump, EventKind, Obs};
+use asset_obs::{add, bump, EventKind, Obs, SpanName};
 use asset_storage::{LogRecord, RecoveryReport, StorageEngine};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -132,6 +132,33 @@ pub struct DatabaseStats {
     pub gc_links: usize,
     /// Records appended to the log by this process.
     pub log_records: u64,
+}
+
+/// A one-call cross-layer introspection view, assembled by
+/// [`Database::introspect`] for live monitoring surfaces (`asset-top`, the
+/// DOT exporters). Each section is internally consistent (read under its
+/// own layer's synchronization); sections may lag each other by in-flight
+/// operations, exactly like [`MetricsSnapshot`](asset_obs::MetricsSnapshot).
+#[derive(Clone, Debug)]
+pub struct Introspection {
+    /// Transaction / lock / dependency aggregate counts.
+    pub stats: DatabaseStats,
+    /// Live (non-terminated) transactions.
+    pub live: usize,
+    /// Per-stripe cumulative contention counters.
+    pub stripe_stats: Vec<asset_lock::StripeStats>,
+    /// Per-stripe point-in-time occupancy (holders, waiters, permits).
+    pub stripes: Vec<asset_lock::StripeOccupancy>,
+    /// Current waits-for edges (waiter → holders).
+    pub waits: std::collections::HashMap<Tid, std::collections::HashSet<Tid>>,
+    /// Live dependency edges in paper orientation `(kind, ti, tj)`.
+    pub dep_edges: Vec<(DepType, Tid, Tid)>,
+    /// Dependency-graph aggregate counts (doomed, per-kind edges).
+    pub deps: asset_dep::DepSummary,
+    /// Log durability watermarks (tail LSN, pending/unsynced bytes).
+    pub log: asset_storage::LogWatermarks,
+    /// Deepest transitive permit chain a permit check has walked so far.
+    pub permit_chain_max: u64,
 }
 
 impl std::fmt::Display for DatabaseStats {
@@ -402,8 +429,31 @@ impl Database {
     /// assert!(db.commit(t1).unwrap()); // commits the whole GC group
     /// assert!(db.is_committed(t2).unwrap());
     /// ```
-    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Committed")]
     pub fn commit(&self, t: Tid) -> Result<bool> {
+        // Span + latency instrumentation wraps the whole terminal
+        // processing (gate evaluation, parking, the forced record); both
+        // are gated on tracing so the default commit path stays clock-free.
+        let obs = &self.inner.obs;
+        let t0 = obs.tracing_enabled().then(std::time::Instant::now);
+        if t0.is_some() {
+            obs.record(EventKind::SpanOpen {
+                tid: t,
+                span: SpanName::CommitGate,
+            });
+        }
+        let res = self.commit_gated(t);
+        if let Some(t0) = t0 {
+            obs.commit_ns.record(t0.elapsed().as_nanos() as u64);
+            obs.record(EventKind::SpanClose {
+                tid: t,
+                span: SpanName::CommitGate,
+            });
+        }
+        res
+    }
+
+    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Committed")]
+    fn commit_gated(&self, t: Tid) -> Result<bool> {
         enum Step {
             Done(bool),
             Park,
@@ -969,6 +1019,31 @@ impl Database {
         self.inner.obs.snapshot()
     }
 
+    /// Assemble the full cross-layer [`Introspection`] view: per-stripe
+    /// lock occupancy and contention, the waits-for and dependency graphs,
+    /// permit-chain depth, and log watermarks. Built for polling from a
+    /// monitoring thread (`asset-top` renders it once per frame): each
+    /// layer is read under its own short-lived synchronization, never all
+    /// at once, so polling cannot stall the workload.
+    pub fn introspect(&self) -> Introspection {
+        let dep_edges = {
+            let deps = self.inner.deps.lock();
+            deps.edges()
+        };
+        let deps_summary = self.inner.deps.lock().summary();
+        Introspection {
+            stats: self.stats(),
+            live: self.live_transactions(),
+            stripe_stats: self.inner.locks.stripe_stats(),
+            stripes: self.inner.locks.stripe_occupancy(),
+            waits: self.inner.locks.waits_snapshot(),
+            dep_edges,
+            deps: deps_summary,
+            log: self.inner.engine.log().watermarks(),
+            permit_chain_max: self.inner.obs.permit_chain_len.snapshot().max,
+        }
+    }
+
     /// Direct access to the lock table (diagnostics, benches).
     pub fn locks(&self) -> &LockTable {
         &self.inner.locks
@@ -1035,6 +1110,10 @@ impl Database {
             });
             let Act::Undo(mut undo) = act else { continue };
             let undo_records = undo.len();
+            self.inner.obs.record(EventKind::SpanOpen {
+                tid: x,
+                span: SpanName::Rollback,
+            });
             // §4.2 abort step 2: install before images, newest first,
             // logging a CLR per step so restart recovery replays the
             // rollback instead of re-deriving it (and never clobbers later
@@ -1075,6 +1154,10 @@ impl Database {
                 }
             }
             let _ = self.inner.engine.log_record(&LogRecord::Abort { tid: x });
+            self.inner.obs.record(EventKind::SpanClose {
+                tid: x,
+                span: SpanName::Rollback,
+            });
             // step 3: release locks and permits
             self.inner.locks.release_all(x);
             // steps 4–5: propagate along incoming AD/GC, drop CD

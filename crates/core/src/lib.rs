@@ -42,7 +42,7 @@ mod tests;
 
 pub use codec::{Handle, ObjectCodec, RawBytes};
 pub use context::TxnCtx;
-pub use database::{Database, DatabaseStats, Job};
+pub use database::{Database, DatabaseStats, Introspection, Job};
 
 // Re-export the vocabulary so `asset_core` is self-sufficient to use.
 pub use asset_common::{

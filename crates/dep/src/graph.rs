@@ -46,6 +46,28 @@ pub enum CommitGate {
     WaitOn(Tid),
 }
 
+/// Aggregate dependency-graph counts, assembled by [`DepGraph::summary`]
+/// for `Database::introspect()` and the `asset-top` display.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DepSummary {
+    /// Transactions the graph knows about (any terminal state).
+    pub registered: usize,
+    /// Registered and not yet terminated.
+    pub active: usize,
+    /// Registered and committed.
+    pub committed: usize,
+    /// Registered and aborted.
+    pub aborted: usize,
+    /// Transactions doomed by a dependency, not yet aborted.
+    pub doomed: usize,
+    /// Live commit dependencies (CD).
+    pub cd_edges: usize,
+    /// Live abort dependencies (AD).
+    pub ad_edges: usize,
+    /// Group-commit links (each undirected link counted once).
+    pub gc_links: usize,
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct GateEdge {
     dependent: Tid,
@@ -99,6 +121,53 @@ impl DepGraph {
     /// Number of GC links (diagnostics).
     pub fn gc_link_count(&self) -> usize {
         self.gc.values().map(HashSet::len).sum::<usize>() / 2
+    }
+
+    /// Every live edge in the paper's `form_dependency(kind, ti, tj)`
+    /// orientation: CD/AD edges come back as `(kind, on, dependent)` —
+    /// undoing the internal normalization — and each GC link appears once
+    /// with its endpoints in ascending tid order. Sorted for deterministic
+    /// export (DOT, introspection).
+    pub fn edges(&self) -> Vec<(DepType, Tid, Tid)> {
+        let mut out: Vec<(DepType, Tid, Tid)> = self
+            .out_edges
+            .values()
+            .flatten()
+            .map(|e| (e.kind, e.on, e.dependent))
+            .collect();
+        for (&a, peers) in &self.gc {
+            for &b in peers {
+                if a < b {
+                    out.push((DepType::GC, a, b));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(k, a, b)| (*k as u8, a.raw(), b.raw()));
+        out
+    }
+
+    /// Aggregate counts for dashboards ([`DepSummary`]).
+    pub fn summary(&self) -> DepSummary {
+        let mut s = DepSummary {
+            registered: self.term.len(),
+            doomed: self.doomed.len(),
+            gc_links: self.gc_link_count(),
+            ..DepSummary::default()
+        };
+        for st in self.term.values() {
+            match st {
+                TermState::Active => s.active += 1,
+                TermState::Committed => s.committed += 1,
+                TermState::Aborted => s.aborted += 1,
+            }
+        }
+        for e in self.out_edges.values().flatten() {
+            match e.kind {
+                DepType::AD => s.ad_edges += 1,
+                _ => s.cd_edges += 1,
+            }
+        }
+        s
     }
 
     /// `form_dependency(kind, ti, tj)`.

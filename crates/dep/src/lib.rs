@@ -9,4 +9,4 @@
 
 pub mod graph;
 
-pub use graph::{CommitGate, DepGraph, TermState};
+pub use graph::{CommitGate, DepGraph, DepSummary, TermState};

@@ -18,5 +18,7 @@ pub mod table;
 pub mod waits;
 
 pub use permit::{permits_across, permits_across_depth, Permit, PermitTable};
-pub use table::{LockSnapshot, LockStats, LockTable, Lrd, PendingReq, StripeStats};
+pub use table::{
+    LockSnapshot, LockStats, LockTable, Lrd, PendingReq, StripeOccupancy, StripeStats,
+};
 pub use waits::WaitGraph;

@@ -150,6 +150,25 @@ impl StripeStats {
     }
 }
 
+/// Point-in-time occupancy of one stripe, read under that stripe's mutex
+/// by [`LockTable::stripe_occupancy`] (the live companion to the
+/// cumulative [`StripeStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StripeOccupancy {
+    /// Stripe (shard) index.
+    pub stripe: usize,
+    /// Object descriptors resident on this stripe.
+    pub objects: usize,
+    /// Granted lock-request descriptors (LRDs) across those objects.
+    pub granted: usize,
+    /// Of the granted LRDs, how many are currently suspended by a permit.
+    pub suspended: usize,
+    /// Pending (blocked) requests across those objects.
+    pub waiting: usize,
+    /// Shard-local permit descriptors.
+    pub permits: usize,
+}
+
 /// One stripe of the doubly-hashed descriptor tables.
 struct ShardInner {
     objects: HashMap<Oid, ObjectDesc>,
@@ -306,6 +325,7 @@ impl LockTable {
         // the mutex is released.
         let mut wait_started: Option<Instant> = None;
         let mut queue_depth: u32 = 0;
+        let mut through: Vec<(Tid, u32)> = Vec::new();
         let result = (|| {
             let mut inner = shard.inner.lock();
             loop {
@@ -316,7 +336,7 @@ impl LockTable {
                     self.waits.clear(tid);
                     return Err(AssetError::TxnAborted(tid));
                 }
-                match self.attempt(sidx, &mut inner, tid, ob, mode, op) {
+                match self.attempt(sidx, &mut inner, tid, ob, mode, op, &mut through) {
                     Attempt::Granted => {
                         Self::clear_pending(&mut inner, tid, ob);
                         self.waits.clear(tid);
@@ -377,25 +397,59 @@ impl LockTable {
             self.obs
                 .record(EventKind::DeadlockSweep { tid, cycle: true });
         }
+        for (holder, chain) in through {
+            self.obs.record(EventKind::PermitThrough {
+                holder,
+                requester: tid,
+                ob,
+                chain,
+            });
+        }
         result
     }
 
     /// One non-blocking attempt; returns the blockers on failure.
     pub fn try_lock(&self, tid: Tid, ob: Oid, op: Operation) -> std::result::Result<(), Vec<Tid>> {
         let sidx = self.shard_index(ob);
-        let mut inner = self.shards[sidx].inner.lock();
-        match self.attempt(sidx, &mut inner, tid, ob, op.required_mode(), op) {
-            Attempt::Granted => {
-                Self::clear_pending(&mut inner, tid, ob);
-                self.waits.clear(tid);
-                Ok(())
+        let mut through: Vec<(Tid, u32)> = Vec::new();
+        let result = {
+            let mut inner = self.shards[sidx].inner.lock();
+            match self.attempt(
+                sidx,
+                &mut inner,
+                tid,
+                ob,
+                op.required_mode(),
+                op,
+                &mut through,
+            ) {
+                Attempt::Granted => {
+                    Self::clear_pending(&mut inner, tid, ob);
+                    self.waits.clear(tid);
+                    Ok(())
+                }
+                Attempt::Blocked(holders) => Err(holders),
             }
-            Attempt::Blocked(holders) => Err(holders),
+        };
+        for (holder, chain) in through {
+            self.obs.record(EventKind::PermitThrough {
+                holder,
+                requester: tid,
+                ob,
+                chain,
+            });
         }
+        result
     }
 
     /// The paper's `read-lock`/`write-lock` algorithm, one shard-local
     /// attempt.
+    /// `through` collects `(holder, chain_hops)` pairs for every conflict a
+    /// permit let through on a *granted* attempt, so the caller can emit
+    /// the causal `PermitThrough` events after the shard guard drops
+    /// (DESIGN.md §7: clock reads and trace events stay outside the stripe
+    /// critical section).
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         sidx: usize,
@@ -404,6 +458,7 @@ impl LockTable {
         ob: Oid,
         mode: LockMode,
         op: Operation,
+        through: &mut Vec<(Tid, u32)>,
     ) -> Attempt {
         let od = inner.objects.entry(ob).or_default();
 
@@ -427,7 +482,7 @@ impl LockTable {
         } else {
             None
         };
-        let mut to_suspend: Vec<Tid> = Vec::new();
+        let mut to_suspend: Vec<(Tid, u32)> = Vec::new();
         let mut blockers: Vec<Tid> = Vec::new();
         for gl in od.granted.iter() {
             if gl.tid == tid || !gl.mode.conflicts(mode) {
@@ -442,7 +497,7 @@ impl LockTable {
                 self.obs.permit_chain_len.record(chain as u64);
             }
             if permitted {
-                to_suspend.push(gl.tid);
+                to_suspend.push((gl.tid, chain as u32));
             } else {
                 blockers.push(gl.tid);
             }
@@ -454,8 +509,11 @@ impl LockTable {
 
         // Step 2: grant. Suspend the permitted conflicting locks, then
         // create or refresh our LRD.
+        if self.obs.tracing_enabled() {
+            through.extend(to_suspend.iter().copied());
+        }
         let od = inner.objects.entry(ob).or_default();
-        for holder in &to_suspend {
+        for (holder, _) in &to_suspend {
             if let Some(gl) = od.granted.iter_mut().find(|g| g.tid == *holder) {
                 if !gl.suspended {
                     gl.suspended = true;
@@ -539,6 +597,15 @@ impl LockTable {
         reason = "blessed: shard/global permit locks are taken in disjoint scopes, one at a time"
     )]
     pub fn permit(&self, grantor: Tid, grantee: Option<Tid>, obs: ObSet, ops: OpSet) {
+        let scope = match &obs {
+            ObSet::All => 0u32,
+            ObSet::Objects(s) => s.len() as u32,
+        };
+        self.obs.record(EventKind::PermitGrant {
+            grantor,
+            grantee: grantee.unwrap_or(Tid::NULL),
+            objects: scope,
+        });
         match self.route(&obs) {
             PermitRoute::Shard(s) => {
                 {
@@ -865,6 +932,40 @@ impl LockTable {
                 wait_ns_total: shard.stats.wait_ns_total.load(Ordering::Relaxed),
                 wait_ns_max: shard.stats.wait_ns_max.load(Ordering::Relaxed),
                 queue_peak: shard.stats.queue_peak.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Point-in-time occupancy of every stripe: resident objects, granted
+    /// and suspended LRDs, pending requests, and shard-local permits.
+    /// Visits stripes one at a time (guard dropped between hops), so a
+    /// monitoring thread — `asset-top` polls this through
+    /// `Database::introspect()` — never holds two stripes or stalls the
+    /// whole table at once.
+    #[verify_allow(
+        lock_order,
+        reason = "blessed: visits shards one at a time in ascending index order, guard dropped between hops"
+    )]
+    pub fn stripe_occupancy(&self) -> Vec<StripeOccupancy> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let inner = shard.inner.lock();
+                let mut occ = StripeOccupancy {
+                    stripe: i,
+                    objects: inner.objects.len(),
+                    granted: 0,
+                    suspended: 0,
+                    waiting: 0,
+                    permits: shard.permit_count.load(Ordering::Relaxed),
+                };
+                for od in inner.objects.values() {
+                    occ.granted += od.granted.len();
+                    occ.suspended += od.granted.iter().filter(|g| g.suspended).count();
+                    occ.waiting += od.pending.len();
+                }
+                occ
             })
             .collect()
     }

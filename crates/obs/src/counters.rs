@@ -46,6 +46,24 @@ macro_rules! define_counters {
                 }
             }
         }
+
+        impl CounterSnapshot {
+            /// Per-counter change between `self` (taken later) and
+            /// `earlier` (saturating, in case the snapshots raced
+            /// in-flight increments).
+            pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)*
+                }
+            }
+
+            /// Visit every counter as a `(name, value)` pair, in
+            /// declaration order — the single registry exporters iterate
+            /// so a new counter can never be silently missing from one.
+            pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+                $(f(stringify!($name), self.$name);)*
+            }
+        }
     };
 }
 
@@ -115,5 +133,37 @@ mod tests {
         assert_eq!(s.txn_initiated, 2);
         assert_eq!(s.delegated_objects, 7);
         assert_eq!(s.txn_committed, 0);
+    }
+
+    #[test]
+    fn delta_subtracts_per_counter() {
+        let c = Counters::default();
+        bump(&c.lock_grants);
+        let earlier = c.snapshot();
+        bump(&c.lock_grants);
+        add(&c.log_appends, 3);
+        let d = c.snapshot().delta(&earlier);
+        assert_eq!(d.lock_grants, 1);
+        assert_eq!(d.log_appends, 3);
+        assert_eq!(d.txn_initiated, 0);
+    }
+
+    #[test]
+    fn for_each_visits_every_counter_once() {
+        let c = Counters::default();
+        bump(&c.cache_hits);
+        let mut names = Vec::new();
+        let mut total = 0;
+        c.snapshot().for_each(|name, v| {
+            names.push(name);
+            total += v;
+        });
+        assert!(names.contains(&"cache_hits"));
+        assert!(names.contains(&"events_recorded"));
+        assert_eq!(total, 1);
+        let mut uniq = names.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
     }
 }

@@ -41,6 +41,27 @@ pub enum ModelKind {
     Mlt,
 }
 
+/// Identifies a named sub-span on a transaction's track, bracketed by
+/// [`EventKind::SpanOpen`]/[`EventKind::SpanClose`] pairs.
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
+pub enum SpanName {
+    /// The commit gate: group collection, re-validation under the group
+    /// lock, and the forced commit record (paper §4.1).
+    CommitGate,
+    /// Rollback: walking the undo chain and restoring before-images.
+    Rollback,
+}
+
+impl SpanName {
+    /// A stable lowercase label for exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanName::CommitGate => "commit-gate",
+            SpanName::Rollback => "rollback",
+        }
+    }
+}
+
 /// What happened. Every variant is `Copy` (labels are `&'static str`) so
 /// recording never allocates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +139,57 @@ pub enum EventKind {
         ti: Tid,
         /// The `tj` argument.
         tj: Tid,
+    },
+    /// `permit` registered a permit descriptor (paper §2, §4.2).
+    PermitGrant {
+        /// The transaction granting the permit.
+        grantor: Tid,
+        /// The permitted transaction (`Tid::NULL` for an any-transaction
+        /// wildcard permit).
+        grantee: Tid,
+        /// Objects in the permit's scope (0 when the scope is "all").
+        objects: u32,
+    },
+    /// A lock conflict was let through by the permit table — the causal
+    /// moment a permit (or a transitive chain of permits) actually took
+    /// effect (§4.2).
+    PermitThrough {
+        /// The holder whose conflicting lock was overridden.
+        holder: Tid,
+        /// The requester admitted past the conflict.
+        requester: Tid,
+        /// The contended object.
+        ob: Oid,
+        /// Permit-chain hops the check walked (1 = a direct permit).
+        chain: u32,
+    },
+    /// A named sub-span opened on a transaction's track. Pairs with the
+    /// next [`SpanClose`](EventKind::SpanClose) carrying the same `tid` and
+    /// `span`.
+    SpanOpen {
+        /// The transaction whose track the span belongs to.
+        tid: Tid,
+        /// Which sub-span.
+        span: SpanName,
+    },
+    /// The matching close for a [`SpanOpen`](EventKind::SpanOpen).
+    SpanClose {
+        /// The transaction whose track the span belongs to.
+        tid: Tid,
+        /// Which sub-span.
+        span: SpanName,
+    },
+    /// The log drained buffered records to the OS / stable storage.
+    LogFlush {
+        /// Bytes handed to the OS by this drain.
+        bytes: u64,
+        /// Nanoseconds the drain took.
+        dur_ns: u64,
+    },
+    /// A cache-latch acquisition had to spin before succeeding.
+    LatchSpin {
+        /// Backoff rounds spent before the latch was acquired.
+        spins: u32,
     },
     /// A blocked requester searched the waits-for graph for a cycle.
     DeadlockSweep {

@@ -131,6 +131,62 @@ impl HistogramSnapshot {
         }
         Some(self.max)
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket containing the quantile rank. The bucket's lower
+    /// edge is the previous boundary (0 for the first bucket); its upper
+    /// edge is its boundary, or the observed `max` for the overflow bucket.
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let before = seen;
+            seen += c;
+            if (seen as f64) >= rank {
+                let lo = if i == 0 { 0 } else { self.boundaries[i - 1] };
+                let hi = self.boundaries.get(i).copied().unwrap_or(self.max).max(lo);
+                let frac = (rank - before as f64) / *c as f64;
+                return Some(lo as f64 + (hi - lo) as f64 * frac.clamp(0.0, 1.0));
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Convenience triple of interpolated `(p50, p95, p99)` estimates
+    /// (all 0.0 when the histogram is empty).
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile(0.50).unwrap_or(0.0),
+            self.quantile(0.95).unwrap_or(0.0),
+            self.quantile(0.99).unwrap_or(0.0),
+        )
+    }
+
+    /// The change between `self` (taken later) and `earlier`: per-bucket
+    /// and total counts are subtracted (saturating, in case the snapshots
+    /// raced in-flight increments). `max` keeps the later value — the
+    /// atomic histogram has no per-interval maximum.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            boundaries: self.boundaries,
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, was)| now.saturating_sub(*was))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +259,64 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.quantile_bound(0.5), Some(10));
         assert_eq!(s.quantile_bound(1.0), Some(1000));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_hit_bucket() {
+        let h = AtomicHistogram::new(&[10, 100, 1000]);
+        for _ in 0..100 {
+            h.record(50); // all in bucket 1: (10, 100]
+        }
+        let s = h.snapshot();
+        // p50 sits halfway through the only occupied bucket: 10 + 0.5*90
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 55.0).abs() < 1e-9, "p50={p50}");
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((p99 - 99.1).abs() < 1e-9, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_spans_buckets_by_rank() {
+        let h = AtomicHistogram::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.record(5); // bucket 0
+        }
+        for _ in 0..10 {
+            h.record(500); // bucket 2
+        }
+        let s = h.snapshot();
+        assert!(s.quantile(0.5).unwrap() <= 10.0);
+        let p95 = s.quantile(0.95).unwrap();
+        assert!((100.0..=1000.0).contains(&p95), "p95={p95}");
+        let (p50, p95b, p99) = s.percentiles();
+        assert!(p50 <= p95b && p95b <= p99);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_caps_at_max() {
+        let h = AtomicHistogram::new(&[10]);
+        h.record(70);
+        h.record(90);
+        let s = h.snapshot();
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99 <= 90.0, "overflow interpolates toward max, p99={p99}");
+        assert!(p99 > 10.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counts_and_sums() {
+        let h = AtomicHistogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        let earlier = h.snapshot();
+        h.record(50);
+        h.record(500);
+        let now = h.snapshot();
+        let d = now.delta(&earlier);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 550);
+        assert_eq!(d.buckets, vec![0, 1, 1]);
+        assert_eq!(d.max, 500);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod snapshot;
 pub use counters::{add, bump, CounterSnapshot, Counters};
 #[cfg(feature = "tracing-bridge")]
 pub use event::EventSink;
-pub use event::{Event, EventKind, EventRecorder, ModelKind, DEFAULT_TRACE_CAPACITY};
+pub use event::{Event, EventKind, EventRecorder, ModelKind, SpanName, DEFAULT_TRACE_CAPACITY};
 pub use hist::{AtomicHistogram, HistogramSnapshot, LATENCY_NS_BOUNDS, SMALL_COUNT_BOUNDS};
 pub use snapshot::MetricsSnapshot;
 
@@ -73,6 +73,9 @@ pub struct Obs {
     pub commit_group_size: AtomicHistogram,
     /// Undo records rolled back per abort.
     pub undo_records: AtomicHistogram,
+    /// End-to-end `commit` latency (recorded only while tracing is
+    /// enabled).
+    pub commit_ns: AtomicHistogram,
     recorder: EventRecorder,
     epoch: Instant,
     #[cfg(feature = "tracing-bridge")]
@@ -97,6 +100,7 @@ impl Obs {
             permit_chain_len: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
             commit_group_size: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
             undo_records: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
+            commit_ns: AtomicHistogram::new(LATENCY_NS_BOUNDS),
             recorder: EventRecorder::new(),
             epoch: Instant::now(),
             #[cfg(feature = "tracing-bridge")]
@@ -187,6 +191,7 @@ impl Obs {
             permit_chain_len: self.permit_chain_len.snapshot(),
             commit_group_size: self.commit_group_size.snapshot(),
             undo_records: self.undo_records.snapshot(),
+            commit_ns: self.commit_ns.snapshot(),
             events_dropped: self.recorder.dropped(),
             tracing_enabled: self.recorder.is_enabled(),
         }

@@ -27,6 +27,9 @@ pub struct MetricsSnapshot {
     pub commit_group_size: HistogramSnapshot,
     /// Undo records rolled back per abort.
     pub undo_records: HistogramSnapshot,
+    /// End-to-end `commit` latency in nanoseconds (recorded only while
+    /// tracing is enabled, like the log latencies).
+    pub commit_ns: HistogramSnapshot,
     /// Events dropped by the ring recorder on slot contention.
     pub events_dropped: u64,
     /// Whether the event recorder was enabled when the snapshot was taken.
@@ -39,45 +42,12 @@ impl MetricsSnapshot {
     /// dumping next to experiment output.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let c = &self.counters;
         let mut s = String::new();
-        let pairs: &[(&str, u64)] = &[
-            ("txn_initiated", c.txn_initiated),
-            ("txn_begun", c.txn_begun),
-            ("txn_committed", c.txn_committed),
-            ("txn_aborted", c.txn_aborted),
-            ("lock_waits", c.lock_waits),
-            ("lock_grants", c.lock_grants),
-            ("deadlock_sweeps", c.deadlock_sweeps),
-            ("deadlocks", c.deadlocks),
-            ("permit_checks", c.permit_checks),
-            ("delegations", c.delegations),
-            ("delegated_objects", c.delegated_objects),
-            ("dep_edges_formed", c.dep_edges_formed),
-            ("dep_edges_resolved", c.dep_edges_resolved),
-            ("cache_hits", c.cache_hits),
-            ("cache_misses", c.cache_misses),
-            ("latch_acquires", c.latch_acquires),
-            ("latch_contended", c.latch_contended),
-            ("log_appends", c.log_appends),
-            ("log_flushes", c.log_flushes),
-            ("log_coalesced", c.log_coalesced),
-            ("events_recorded", c.events_recorded),
-            ("events_dropped", self.events_dropped),
-        ];
-        for (name, v) in pairs {
+        self.counters.for_each(|name, v| {
             let _ = writeln!(s, "{name} {v}");
-        }
-        let hists: &[(&str, &HistogramSnapshot)] = &[
-            ("lock_wait_ns", &self.lock_wait_ns),
-            ("latch_spins", &self.latch_spins),
-            ("log_append_ns", &self.log_append_ns),
-            ("log_flush_ns", &self.log_flush_ns),
-            ("permit_chain_len", &self.permit_chain_len),
-            ("commit_group_size", &self.commit_group_size),
-            ("undo_records", &self.undo_records),
-        ];
-        for (name, h) in hists {
+        });
+        let _ = writeln!(s, "events_dropped {}", self.events_dropped);
+        for (name, h) in self.histograms() {
             let _ = writeln!(
                 s,
                 "{name} count={} mean={:.1} max={}",
@@ -87,5 +57,43 @@ impl MetricsSnapshot {
             );
         }
         s
+    }
+
+    /// Every histogram as a `(name, snapshot)` pair, in declaration order —
+    /// the registry exporters iterate (mirrors
+    /// [`CounterSnapshot::for_each`]).
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 8] {
+        [
+            ("lock_wait_ns", &self.lock_wait_ns),
+            ("latch_spins", &self.latch_spins),
+            ("log_append_ns", &self.log_append_ns),
+            ("log_flush_ns", &self.log_flush_ns),
+            ("permit_chain_len", &self.permit_chain_len),
+            ("commit_group_size", &self.commit_group_size),
+            ("undo_records", &self.undo_records),
+            ("commit_ns", &self.commit_ns),
+        ]
+    }
+
+    /// The change between `self` (taken later) and `earlier`: counters and
+    /// histograms are subtracted field-by-field (saturating), so an
+    /// experiment can report exactly what one run contributed without
+    /// ad-hoc subtraction at every call site. `tracing_enabled` keeps the
+    /// later value; histogram `max` fields keep the later (whole-run)
+    /// maximum.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.delta(&earlier.counters),
+            lock_wait_ns: self.lock_wait_ns.delta(&earlier.lock_wait_ns),
+            latch_spins: self.latch_spins.delta(&earlier.latch_spins),
+            log_append_ns: self.log_append_ns.delta(&earlier.log_append_ns),
+            log_flush_ns: self.log_flush_ns.delta(&earlier.log_flush_ns),
+            permit_chain_len: self.permit_chain_len.delta(&earlier.permit_chain_len),
+            commit_group_size: self.commit_group_size.delta(&earlier.commit_group_size),
+            undo_records: self.undo_records.delta(&earlier.undo_records),
+            commit_ns: self.commit_ns.delta(&earlier.commit_ns),
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+            tracing_enabled: self.tracing_enabled,
+        }
     }
 }

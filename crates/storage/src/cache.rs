@@ -13,7 +13,7 @@
 use crate::latch::Latch;
 use crate::store::ObjectStore;
 use asset_common::{Oid, Result};
-use asset_obs::{bump, Obs};
+use asset_obs::{bump, EventKind, Obs};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::hash_map::Entry;
@@ -69,6 +69,9 @@ impl CachedObject {
         if spins > 0 {
             bump(&self.obs.counters.latch_contended);
             self.obs.latch_spins.record(u64::from(spins));
+            // Ring-buffer recording is drop-don't-block (one CAS), so it is
+            // safe here even though the latch guard is still held.
+            self.obs.record(EventKind::LatchSpin { spins });
         }
     }
 

@@ -19,7 +19,7 @@ pub use record::LogRecord;
 
 use asset_annot::{verify_allow, wal};
 use asset_common::{Durability, Lsn, Result};
-use asset_obs::{bump, Obs};
+use asset_obs::{bump, EventKind, Obs};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -29,6 +29,22 @@ use std::time::Instant;
 
 /// Default user-space buffer watermark (bytes) for `Buffered` durability.
 pub const DEFAULT_FLUSH_WATERMARK: usize = 64 * 1024;
+
+/// Point-in-time durability watermarks of the log, read in one critical
+/// section by [`LogManager::watermarks`] so the fields are mutually
+/// consistent (unlike calling the individual accessors back to back).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogWatermarks {
+    /// The LSN the next record will get (= bytes accepted so far).
+    pub tail: Lsn,
+    /// Records appended through this manager instance.
+    pub records_appended: u64,
+    /// Bytes in the user-space buffer, not yet handed to the OS.
+    pub pending_bytes: usize,
+    /// Bytes handed to the OS but not yet synced — the window a power
+    /// failure can erase.
+    pub unsynced_bytes: usize,
+}
 
 enum Backend {
     Mem(Vec<u8>),
@@ -270,6 +286,7 @@ impl LogManager {
     /// Force everything appended so far to stable storage.
     pub fn flush(&self) -> Result<()> {
         let t0 = self.obs.tracing_enabled().then(Instant::now);
+        let mut drained_bytes = 0u64;
         let mut inner = self.inner.lock();
         let tail = inner.tail;
         if let Backend::File {
@@ -300,6 +317,7 @@ impl LogManager {
                     let _ = file.set_len(tail - drained as u64);
                     return Err(e.into());
                 }
+                drained_bytes = drained as u64;
                 // These bytes are written but not yet synced; they join the
                 // unsynced count until the sync below actually happens (it
                 // may fail, or a fault may elide it).
@@ -315,9 +333,36 @@ impl LogManager {
         }
         drop(inner);
         if let Some(t0) = t0 {
-            self.obs.log_flush_ns.record(t0.elapsed().as_nanos() as u64);
+            let dur_ns = t0.elapsed().as_nanos() as u64;
+            self.obs.log_flush_ns.record(dur_ns);
+            // The flush sub-span on the storage track: recorded after the
+            // log mutex is dropped, same discipline as the latency gauge.
+            self.obs.record(EventKind::LogFlush {
+                bytes: drained_bytes,
+                dur_ns,
+            });
         }
         Ok(())
+    }
+
+    /// The log's durability watermarks in one point-in-time view (feeds
+    /// `Database::introspect()` and the `asset-top` display).
+    pub fn watermarks(&self) -> LogWatermarks {
+        let inner = self.inner.lock();
+        let (pending, unsynced) = match &inner.backend {
+            Backend::Mem(_) => (0, 0),
+            Backend::File {
+                pending,
+                buffered_bytes,
+                ..
+            } => (pending.len(), *buffered_bytes),
+        };
+        LogWatermarks {
+            tail: Lsn(inner.tail),
+            records_appended: inner.records_appended,
+            pending_bytes: pending,
+            unsynced_bytes: unsynced,
+        }
     }
 
     /// Current tail LSN (the LSN the next record will get).

@@ -1,0 +1,649 @@
+//! Causal-graph reconstruction from the flat event ring.
+//!
+//! `asset-obs` records flat, `Copy` [`Event`]s through the drop-don't-block
+//! ring; this module folds a drained trace back into the *causal* shape
+//! the paper's §3 constructions have: one [`Track`] per transaction
+//! (begin → commit/abort), sub-spans for the waits inside it (lock waits,
+//! the commit gate, rollback), and typed [`CausalEdge`]s for the ASSET
+//! primitives that connect transactions — `delegate`, `permit` (including
+//! the transitive chains `permits_across` walks), and `form_dependency`
+//! CD/AD/GC edges. GC components are re-derived from the GC edges so a
+//! group commit shows up as one commit flow fanning out to every member.
+
+use asset_common::{DepType, Oid, Tid};
+use asset_obs::{Event, EventKind, ModelKind, SpanName};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What a [`SubSpan`] measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A lock request blocked on `ob` (stripe + queue depth at first block).
+    LockWait {
+        /// The contended object.
+        ob: Oid,
+        /// Lock-table stripe the object hashed to.
+        stripe: u32,
+        /// Pending-queue depth when the request first blocked.
+        queue_depth: u32,
+    },
+    /// A cache-latch acquisition spun (storage track).
+    LatchSpin {
+        /// Backoff rounds before the latch was acquired.
+        spins: u32,
+    },
+    /// The log drained to the OS / stable storage (storage track).
+    LogFlush {
+        /// Bytes drained from the user-space buffer.
+        bytes: u64,
+    },
+    /// A named open/close span ([`SpanName`]: commit gate, rollback).
+    Named(SpanName),
+}
+
+impl SpanKind {
+    /// Stable lowercase label for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanKind::LockWait { .. } => "lock-wait",
+            SpanKind::LatchSpin { .. } => "latch-spin",
+            SpanKind::LogFlush { .. } => "log-flush",
+            SpanKind::Named(n) => n.label(),
+        }
+    }
+}
+
+/// One timed interval on a track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubSpan {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Start, in nanoseconds since the `Obs` epoch.
+    pub start_ns: u64,
+    /// End (`>= start_ns`).
+    pub end_ns: u64,
+}
+
+/// Terminal outcome of a track.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Outcome {
+    /// No terminal event in the trace (still running, or it fell off the
+    /// ring).
+    #[default]
+    Open,
+    /// Committed (possibly as a GC group member).
+    Committed,
+    /// Aborted.
+    Aborted,
+}
+
+impl Outcome {
+    /// Stable lowercase label for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Open => "open",
+            Outcome::Committed => "committed",
+            Outcome::Aborted => "aborted",
+        }
+    }
+}
+
+/// One transaction's timeline: lifecycle bounds, sub-spans, milestones.
+#[derive(Clone, Debug)]
+pub struct Track {
+    /// The transaction.
+    pub tid: Tid,
+    /// Its initiator (`Tid::NULL` for top-level or unknown).
+    pub parent: Tid,
+    /// The §3 model that tagged this transaction, if any.
+    pub model: Option<ModelKind>,
+    /// `begin` time (ns since epoch), if seen.
+    pub begin_ns: Option<u64>,
+    /// Terminal time (commit/abort), if seen.
+    pub end_ns: Option<u64>,
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Timed sub-spans (lock waits, commit gate, rollback).
+    pub spans: Vec<SubSpan>,
+    /// Point milestones: `(at_ns, label)` — model milestones, completion,
+    /// deadlock victimhood, ambiguous commits.
+    pub milestones: Vec<(u64, &'static str)>,
+}
+
+impl Track {
+    fn new(tid: Tid) -> Track {
+        Track {
+            tid,
+            parent: Tid::NULL,
+            model: None,
+            begin_ns: None,
+            end_ns: None,
+            outcome: Outcome::Open,
+            spans: Vec::new(),
+            milestones: Vec::new(),
+        }
+    }
+
+    /// First known timestamp on this track (begin, else earliest span or
+    /// milestone, else 0).
+    pub fn first_ns(&self) -> u64 {
+        let mut t = self.begin_ns.or(self.end_ns).unwrap_or(u64::MAX);
+        for s in &self.spans {
+            t = t.min(s.start_ns);
+        }
+        for (at, _) in &self.milestones {
+            t = t.min(*at);
+        }
+        if t == u64::MAX {
+            0
+        } else {
+            t
+        }
+    }
+
+    /// Last known timestamp on this track.
+    pub fn last_ns(&self) -> u64 {
+        let mut t = self.end_ns.or(self.begin_ns).unwrap_or(0);
+        for s in &self.spans {
+            t = t.max(s.end_ns);
+        }
+        for (at, _) in &self.milestones {
+            t = t.max(*at);
+        }
+        t
+    }
+}
+
+/// The type of a causal edge between two tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `delegate(from, to)` moved lock responsibility over `objects`.
+    Delegate {
+        /// Objects whose responsibility moved.
+        objects: u32,
+    },
+    /// `permit` registered a descriptor from grantor to grantee.
+    PermitGrant {
+        /// Objects in scope (0 = all).
+        objects: u32,
+    },
+    /// A permit actually admitted a conflicting request (`chain` hops —
+    /// `> 1` means a transitive `permits_across` chain took effect).
+    PermitUsed {
+        /// Permit-chain hops the check walked (1 = direct).
+        chain: u32,
+    },
+    /// `form_dependency(kind, ti, tj)`.
+    Dep(DepType),
+    /// A group commit flow from the committing transaction to a member.
+    CommitGroup,
+}
+
+impl EdgeKind {
+    /// Stable lowercase label for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EdgeKind::Delegate { .. } => "delegate",
+            EdgeKind::PermitGrant { .. } => "permit",
+            EdgeKind::PermitUsed { .. } => "permit-through",
+            EdgeKind::Dep(DepType::CD) => "dep-cd",
+            EdgeKind::Dep(DepType::AD) => "dep-ad",
+            EdgeKind::Dep(DepType::GC) => "dep-gc",
+            EdgeKind::CommitGroup => "group-commit",
+        }
+    }
+}
+
+/// A typed, timestamped edge between two tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalEdge {
+    /// Edge type (and payload).
+    pub kind: EdgeKind,
+    /// Source transaction.
+    pub from: Tid,
+    /// Destination transaction.
+    pub to: Tid,
+    /// When the edge was recorded (ns since epoch).
+    pub at_ns: u64,
+    /// Ring sequence number of the underlying event (unique per edge).
+    pub seq: u64,
+}
+
+/// One group commit: the transaction whose `commit` call carried the
+/// group, and every member (committer included).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitGroup {
+    /// The transaction whose commit call succeeded.
+    pub committer: Tid,
+    /// All members committed together (sorted; includes the committer).
+    pub members: Vec<Tid>,
+    /// Commit-point timestamp.
+    pub at_ns: u64,
+}
+
+/// The reconstructed causal graph of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct CausalGraph {
+    /// One track per transaction, keyed by tid.
+    pub tracks: BTreeMap<Tid, Track>,
+    /// Sub-spans with no owning transaction (log flushes, latch spins).
+    pub storage: Vec<SubSpan>,
+    /// All causal edges, in ring order.
+    pub edges: Vec<CausalEdge>,
+    /// Group commits observed (GC components at their commit points).
+    pub commit_groups: Vec<CommitGroup>,
+}
+
+impl CausalGraph {
+    /// Fold a drained trace (as returned by `Obs::trace()`, oldest first)
+    /// into tracks, edges and commit groups. Tolerant of partial traces:
+    /// events that fell off the ring simply leave spans unopened or tracks
+    /// unterminated.
+    pub fn from_events(events: &[Event]) -> CausalGraph {
+        let mut g = CausalGraph::default();
+        // (tid, span) → open timestamp; closes pop the matching open.
+        let mut open: HashMap<(Tid, SpanName), u64> = HashMap::new();
+        // GC adjacency accumulated from DepFormed edges, for component
+        // discovery at commit points.
+        let mut gc: HashMap<Tid, HashSet<Tid>> = HashMap::new();
+        for e in events {
+            let at = e.at_ns;
+            match e.kind {
+                EventKind::TxnInitiate { tid, parent } => {
+                    let t = g.track(tid);
+                    t.parent = parent;
+                    t.milestones.push((at, "initiate"));
+                }
+                EventKind::TxnBegin { tid } => {
+                    let t = g.track(tid);
+                    if t.begin_ns.is_none() {
+                        t.begin_ns = Some(at);
+                    }
+                }
+                EventKind::TxnCommit { tid, group: _ } => {
+                    let members = component(&gc, tid);
+                    for m in &members {
+                        let t = g.track(*m);
+                        t.outcome = Outcome::Committed;
+                        if t.end_ns.is_none() {
+                            t.end_ns = Some(at);
+                        }
+                    }
+                    for m in &members {
+                        if *m != tid {
+                            g.edges.push(CausalEdge {
+                                kind: EdgeKind::CommitGroup,
+                                from: tid,
+                                to: *m,
+                                at_ns: at,
+                                seq: e.seq,
+                            });
+                        }
+                    }
+                    g.commit_groups.push(CommitGroup {
+                        committer: tid,
+                        members,
+                        at_ns: at,
+                    });
+                }
+                EventKind::TxnAbort { tid, undo_records } => {
+                    let t = g.track(tid);
+                    t.outcome = Outcome::Aborted;
+                    if t.end_ns.is_none() {
+                        t.end_ns = Some(at);
+                    }
+                    if undo_records > 0 {
+                        t.milestones.push((at, "undone"));
+                    }
+                }
+                EventKind::CommitAmbiguous { tid, .. } => {
+                    g.track(tid).milestones.push((at, "commit-ambiguous"));
+                }
+                EventKind::TxnComplete { tid, ok } => {
+                    let label = if ok { "complete" } else { "failed" };
+                    g.track(tid).milestones.push((at, label));
+                }
+                EventKind::LockWait {
+                    tid,
+                    ob,
+                    stripe,
+                    wait_ns,
+                    queue_depth,
+                } => {
+                    g.track(tid).spans.push(SubSpan {
+                        kind: SpanKind::LockWait {
+                            ob,
+                            stripe,
+                            queue_depth,
+                        },
+                        start_ns: at.saturating_sub(wait_ns),
+                        end_ns: at,
+                    });
+                }
+                EventKind::SpanOpen { tid, span } => {
+                    open.insert((tid, span), at);
+                }
+                EventKind::SpanClose { tid, span } => {
+                    let start = open.remove(&(tid, span)).unwrap_or(at);
+                    g.track(tid).spans.push(SubSpan {
+                        kind: SpanKind::Named(span),
+                        start_ns: start,
+                        end_ns: at.max(start),
+                    });
+                }
+                EventKind::LogFlush { bytes, dur_ns } => {
+                    g.storage.push(SubSpan {
+                        kind: SpanKind::LogFlush { bytes },
+                        start_ns: at.saturating_sub(dur_ns),
+                        end_ns: at,
+                    });
+                }
+                EventKind::LatchSpin { spins } => {
+                    g.storage.push(SubSpan {
+                        kind: SpanKind::LatchSpin { spins },
+                        start_ns: at,
+                        end_ns: at,
+                    });
+                }
+                EventKind::Delegate { from, to, objects } => {
+                    g.track(from);
+                    g.track(to);
+                    g.edges.push(CausalEdge {
+                        kind: EdgeKind::Delegate { objects },
+                        from,
+                        to,
+                        at_ns: at,
+                        seq: e.seq,
+                    });
+                }
+                EventKind::PermitGrant {
+                    grantor,
+                    grantee,
+                    objects,
+                } => {
+                    g.track(grantor);
+                    if grantee.is_null() {
+                        // wildcard permit: no destination track to flow to
+                        g.track(grantor).milestones.push((at, "permit-any"));
+                    } else {
+                        g.track(grantee);
+                        g.edges.push(CausalEdge {
+                            kind: EdgeKind::PermitGrant { objects },
+                            from: grantor,
+                            to: grantee,
+                            at_ns: at,
+                            seq: e.seq,
+                        });
+                    }
+                }
+                EventKind::PermitThrough {
+                    holder,
+                    requester,
+                    chain,
+                    ..
+                } => {
+                    g.track(holder);
+                    g.track(requester);
+                    g.edges.push(CausalEdge {
+                        kind: EdgeKind::PermitUsed { chain },
+                        from: holder,
+                        to: requester,
+                        at_ns: at,
+                        seq: e.seq,
+                    });
+                }
+                EventKind::DepFormed { kind, ti, tj } => {
+                    g.track(ti);
+                    g.track(tj);
+                    if kind == DepType::GC {
+                        gc.entry(ti).or_default().insert(tj);
+                        gc.entry(tj).or_default().insert(ti);
+                    }
+                    g.edges.push(CausalEdge {
+                        kind: EdgeKind::Dep(kind),
+                        from: ti,
+                        to: tj,
+                        at_ns: at,
+                        seq: e.seq,
+                    });
+                }
+                EventKind::DeadlockSweep { tid, cycle } => {
+                    if cycle {
+                        g.track(tid).milestones.push((at, "deadlock-victim"));
+                    }
+                }
+                EventKind::Model { model, tid, label } => {
+                    if !tid.is_null() {
+                        let t = g.track(tid);
+                        if t.model.is_none() {
+                            t.model = Some(model);
+                        }
+                        t.milestones.push((at, label));
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn track(&mut self, tid: Tid) -> &mut Track {
+        self.tracks.entry(tid).or_insert_with(|| Track::new(tid))
+    }
+
+    /// Edges of one kind-class, by label (e.g. `"delegate"`).
+    pub fn edges_labeled(&self, label: &str) -> Vec<&CausalEdge> {
+        self.edges
+            .iter()
+            .filter(|e| e.kind.label() == label)
+            .collect()
+    }
+
+    /// Deepest permit chain that actually admitted a request (0 when no
+    /// permit was used).
+    pub fn permit_chain_max(&self) -> u32 {
+        self.edges
+            .iter()
+            .filter_map(|e| match e.kind {
+                EdgeKind::PermitUsed { chain } => Some(chain),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Timestamp bounds of the whole trace `(first, last)`; `(0, 0)` when
+    /// empty.
+    pub fn bounds_ns(&self) -> (u64, u64) {
+        let mut first = u64::MAX;
+        let mut last = 0u64;
+        for t in self.tracks.values() {
+            first = first.min(t.first_ns());
+            last = last.max(t.last_ns());
+        }
+        for s in &self.storage {
+            first = first.min(s.start_ns);
+            last = last.max(s.end_ns);
+        }
+        if first == u64::MAX {
+            (0, 0)
+        } else {
+            (first, last)
+        }
+    }
+}
+
+/// Connected GC component of `t` (always contains `t`), sorted.
+fn component(gc: &HashMap<Tid, HashSet<Tid>>, t: Tid) -> Vec<Tid> {
+    let mut seen: HashSet<Tid> = HashSet::new();
+    let mut stack = vec![t];
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if let Some(peers) = gc.get(&x) {
+            stack.extend(peers.iter().copied());
+        }
+    }
+    let mut out: Vec<Tid> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, at_ns: u64, kind: EventKind) -> Event {
+        Event { seq, at_ns, kind }
+    }
+
+    #[test]
+    fn lifecycle_builds_a_closed_track() {
+        let t1 = Tid(1);
+        let trace = vec![
+            ev(0, 10, EventKind::TxnBegin { tid: t1 }),
+            ev(1, 90, EventKind::TxnCommit { tid: t1, group: 1 }),
+        ];
+        let g = CausalGraph::from_events(&trace);
+        let tr = g.tracks.get(&t1).unwrap();
+        assert_eq!(tr.begin_ns, Some(10));
+        assert_eq!(tr.end_ns, Some(90));
+        assert_eq!(tr.outcome, Outcome::Committed);
+        assert_eq!(g.commit_groups.len(), 1);
+        assert_eq!(g.commit_groups[0].members, vec![t1]);
+    }
+
+    #[test]
+    fn gc_edges_group_the_commit() {
+        let (t1, t2, t3) = (Tid(1), Tid(2), Tid(3));
+        let trace = vec![
+            ev(0, 1, EventKind::TxnBegin { tid: t1 }),
+            ev(1, 2, EventKind::TxnBegin { tid: t2 }),
+            ev(2, 3, EventKind::TxnBegin { tid: t3 }),
+            ev(
+                3,
+                4,
+                EventKind::DepFormed {
+                    kind: DepType::GC,
+                    ti: t1,
+                    tj: t2,
+                },
+            ),
+            ev(4, 9, EventKind::TxnCommit { tid: t1, group: 2 }),
+        ];
+        let g = CausalGraph::from_events(&trace);
+        assert_eq!(g.commit_groups.len(), 1);
+        assert_eq!(g.commit_groups[0].members, vec![t1, t2]);
+        assert_eq!(g.tracks[&t2].outcome, Outcome::Committed);
+        assert_eq!(g.tracks[&t3].outcome, Outcome::Open);
+        // one group-commit flow edge from committer to the other member
+        let flows = g.edges_labeled("group-commit");
+        assert_eq!(flows.len(), 1);
+        assert_eq!((flows[0].from, flows[0].to), (t1, t2));
+    }
+
+    #[test]
+    fn lock_wait_becomes_a_backdated_subspan() {
+        let t1 = Tid(1);
+        let trace = vec![ev(
+            0,
+            100,
+            EventKind::LockWait {
+                tid: t1,
+                ob: Oid(7),
+                stripe: 3,
+                wait_ns: 40,
+                queue_depth: 2,
+            },
+        )];
+        let g = CausalGraph::from_events(&trace);
+        let s = g.tracks[&t1].spans[0];
+        assert_eq!((s.start_ns, s.end_ns), (60, 100));
+        assert_eq!(s.kind.label(), "lock-wait");
+    }
+
+    #[test]
+    fn named_spans_pair_open_and_close() {
+        let t1 = Tid(1);
+        let trace = vec![
+            ev(
+                0,
+                5,
+                EventKind::SpanOpen {
+                    tid: t1,
+                    span: SpanName::CommitGate,
+                },
+            ),
+            ev(
+                1,
+                25,
+                EventKind::SpanClose {
+                    tid: t1,
+                    span: SpanName::CommitGate,
+                },
+            ),
+        ];
+        let g = CausalGraph::from_events(&trace);
+        let s = g.tracks[&t1].spans[0];
+        assert_eq!((s.start_ns, s.end_ns), (5, 25));
+        assert_eq!(s.kind.label(), "commit-gate");
+    }
+
+    #[test]
+    fn permit_and_delegate_edges_carry_payloads() {
+        let (t1, t2) = (Tid(1), Tid(2));
+        let trace = vec![
+            ev(
+                0,
+                1,
+                EventKind::PermitGrant {
+                    grantor: t1,
+                    grantee: t2,
+                    objects: 3,
+                },
+            ),
+            ev(
+                1,
+                2,
+                EventKind::PermitThrough {
+                    holder: t1,
+                    requester: t2,
+                    ob: Oid(9),
+                    chain: 2,
+                },
+            ),
+            ev(
+                2,
+                3,
+                EventKind::Delegate {
+                    from: t1,
+                    to: t2,
+                    objects: 5,
+                },
+            ),
+        ];
+        let g = CausalGraph::from_events(&trace);
+        assert_eq!(g.edges.len(), 3);
+        assert_eq!(g.permit_chain_max(), 2);
+        assert_eq!(g.edges_labeled("delegate").len(), 1);
+        assert_eq!(g.edges_labeled("permit").len(), 1);
+    }
+
+    #[test]
+    fn storage_events_go_to_the_storage_lane() {
+        let trace = vec![
+            ev(
+                0,
+                50,
+                EventKind::LogFlush {
+                    bytes: 128,
+                    dur_ns: 20,
+                },
+            ),
+            ev(1, 60, EventKind::LatchSpin { spins: 4 }),
+        ];
+        let g = CausalGraph::from_events(&trace);
+        assert!(g.tracks.is_empty());
+        assert_eq!(g.storage.len(), 2);
+        assert_eq!(g.storage[0].start_ns, 30);
+    }
+}

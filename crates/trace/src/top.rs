@@ -1,0 +1,157 @@
+//! Frame rendering for `asset-top`, the live terminal monitor.
+//!
+//! [`render_frame`] turns one [`Introspection`] + [`MetricsSnapshot`]
+//! pair into a fixed-width text dashboard: transaction-state counts,
+//! per-stripe lock occupancy and contention, the current waits-for
+//! edges, dependency-graph totals, permit-chain depth, log watermarks
+//! and latency percentiles. The binary redraws it on an interval; tests
+//! and `--once` callers just print it.
+
+use asset_core::Introspection;
+use asset_obs::MetricsSnapshot;
+use std::fmt::Write as _;
+
+fn ns_disp(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.1}µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Render one dashboard frame (plain text, trailing newline, no ANSI —
+/// the binary adds cursor control around it).
+pub fn render_frame(intro: &Introspection, snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let s = &intro.stats;
+
+    let _ = writeln!(
+        out,
+        "asset-top — live: {:>4}  initiated: {:>4}  running: {:>4}  completed: {:>4}  committed: {:>6}  aborted: {:>6}",
+        intro.live, s.initiated, s.running, s.completed, s.committed, s.aborted
+    );
+    let _ = writeln!(
+        out,
+        "deps — active: {}  doomed: {}  CD: {}  AD: {}  GC: {}   permits live: {}  deepest permit chain: {}",
+        intro.deps.active,
+        intro.deps.doomed,
+        intro.deps.cd_edges,
+        intro.deps.ad_edges,
+        intro.deps.gc_links,
+        s.permits,
+        intro.permit_chain_max
+    );
+    let _ = writeln!(
+        out,
+        "log — tail lsn: {}  records: {}  pending: {}B  unsynced: {}B   trace: {} ({} dropped)",
+        intro.log.tail.0,
+        intro.log.records_appended,
+        intro.log.pending_bytes,
+        intro.log.unsynced_bytes,
+        if snap.tracing_enabled { "on" } else { "off" },
+        snap.events_dropped
+    );
+
+    let (p50, p95, p99) = snap.lock_wait_ns.percentiles();
+    let (c50, c95, c99) = snap.commit_ns.percentiles();
+    let _ = writeln!(
+        out,
+        "lock wait — p50 {} / p95 {} / p99 {}   commit — p50 {} / p95 {} / p99 {}",
+        ns_disp(p50),
+        ns_disp(p95),
+        ns_disp(p99),
+        ns_disp(c50),
+        ns_disp(c95),
+        ns_disp(c99)
+    );
+
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>8} {:>9} {:>8} {:>8} | {:>8} {:>8} {:>9} {:>10}",
+        "stripe",
+        "objects",
+        "granted",
+        "suspended",
+        "waiting",
+        "permits",
+        "grants",
+        "blocks",
+        "deadlocks",
+        "wait-max"
+    );
+    for (occ, st) in intro.stripes.iter().zip(intro.stripe_stats.iter()) {
+        // Idle stripes stay out of the table so busy ones are readable;
+        // cumulative activity alone (grants with nothing resident) still
+        // shows.
+        if occ.objects == 0 && st.grants == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>8} {:>9} {:>8} {:>8} | {:>8} {:>8} {:>9} {:>10}",
+            occ.stripe,
+            occ.objects,
+            occ.granted,
+            occ.suspended,
+            occ.waiting,
+            occ.permits,
+            st.grants,
+            st.blocks,
+            st.deadlocks,
+            ns_disp(st.wait_ns_max as f64)
+        );
+    }
+
+    if !intro.waits.is_empty() {
+        out.push('\n');
+        let mut rows: Vec<_> = intro.waits.iter().collect();
+        rows.sort_unstable_by_key(|(w, _)| **w);
+        for (waiter, holders) in rows {
+            let mut hs: Vec<u64> = holders.iter().map(|h| h.raw()).collect();
+            hs.sort_unstable();
+            let list = hs
+                .iter()
+                .map(|h| format!("t{h}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "waiting: t{} -> {}", waiter.raw(), list);
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asset_core::Database;
+
+    #[test]
+    fn frame_reflects_database_state() {
+        let db = Database::in_memory();
+        db.obs().enable_tracing(0);
+        let a = db.new_oid();
+        let committed = db
+            .run(move |ctx| {
+                ctx.write(a, vec![1])?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(committed);
+        let frame = render_frame(&db.introspect(), &db.metrics_snapshot());
+        assert!(frame.contains("asset-top"), "header present");
+        assert!(frame.contains("committed:"), "txn counts present");
+        assert!(frame.contains("trace: on"), "tracing flag shown");
+        assert!(frame.contains("stripe"), "stripe table header present");
+    }
+
+    #[test]
+    fn ns_display_picks_units() {
+        assert_eq!(ns_disp(512.0), "512ns");
+        assert_eq!(ns_disp(1_500.0), "1.5µs");
+        assert_eq!(ns_disp(2_500_000.0), "2.50ms");
+    }
+}

@@ -256,10 +256,10 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    /// Load `crates/{core,lock,storage}/src` under `root`.
+    /// Load `crates/{core,lock,storage,trace}/src` under `root`.
     pub fn from_root(root: &Path) -> io::Result<Self> {
         let mut raw = Vec::new();
-        for krate in ["core", "lock", "storage"] {
+        for krate in ["core", "lock", "storage", "trace"] {
             let src = root.join("crates").join(krate).join("src");
             let mut paths = Vec::new();
             collect_rs(&src, &mut paths)?;

@@ -13,7 +13,7 @@
 //! compensation alike.
 
 use asset::models::{Saga, SagaOutcome};
-use asset::{Database, Oid, TxnCtx};
+use asset::{Database, DepType, ObSet, Oid, OpSet, TxnCtx};
 
 fn balance(db: &Database, acct: Oid) -> i64 {
     i64::from_le_bytes(db.peek(acct).unwrap().unwrap().try_into().unwrap())
@@ -72,6 +72,7 @@ fn payment_saga(payer: Oid, escrow: Oid, fees: Oid, payee: Oid, amount: i64, fee
 fn main() -> asset::Result<()> {
     println!("== banking sagas ==\n");
     let db = Database::in_memory();
+    db.obs().enable_tracing(1 << 14); // record spans for the Chrome export below
 
     // accounts: alice pays bob through an escrow ledger
     let mk = |initial: i64| -> Oid {
@@ -166,5 +167,53 @@ fn main() -> asset::Result<()> {
         balance(&db, fees)
     );
     assert_eq!(balance(&db, escrow), 0, "no money stuck in escrow");
+
+    // -- end of day: the ledger close is handed to an auditor ------------
+    // The close transaction freezes the fee total, lets the auditor read
+    // it early via a permit, then delegates the whole close to the
+    // auditor; a CD-linked report may only commit once the audit
+    // terminates. This is the part of the day that shows up as causal
+    // flow arrows in the trace below.
+    println!("\n-- end of day: close -> audit (permit + delegate), CD-linked report");
+    let fee_total = balance(&db, fees);
+    let close = db.initiate(move |ctx| ctx.write(fees, fee_total.to_le_bytes().to_vec()))?;
+    db.begin(close)?;
+    assert!(db.wait(close)?);
+    let audit = db.initiate(|_| Ok(()))?;
+    db.begin(audit)?;
+    db.permit(close, Some(audit), ObSet::one(fees), OpSet::READ)?;
+    db.delegate(close, audit, None)?;
+    let report = db.initiate(|_| Ok(()))?;
+    db.form_dependency(DepType::CD, audit, report)?;
+    db.begin(report)?;
+    assert!(
+        db.commit(close)?,
+        "close terminates (its work is delegated)"
+    );
+    assert!(db.commit(audit)?, "auditor commits the delegated close");
+    assert!(db.commit(report)?, "report commits after the audit (CD)");
+    println!("   fee total {fee_total} audited and reported");
+
+    // -- export the whole session as a Chrome trace ----------------------
+    let graph = asset::trace::CausalGraph::from_events(&db.obs().trace());
+    assert!(
+        graph.edges.len() >= 3,
+        "the close/audit handoff leaves delegate + permit + CD flows"
+    );
+    let path = "banking_sagas.trace.json";
+    std::fs::write(path, asset::trace::chrome::render(&graph)).unwrap();
+    let snap = db.metrics_snapshot();
+    let (p50, _, p99) = snap.commit_ns.percentiles();
+    println!(
+        "\ntrace: {} txn tracks, {} causal edges -> {path} (open in Perfetto / chrome://tracing)",
+        graph.tracks.len(),
+        graph.edges.len()
+    );
+    println!(
+        "commit latency: p50 {:.1}µs / p99 {:.1}µs over {} commits",
+        p50 / 1e3,
+        p99 / 1e3,
+        snap.counters.txn_committed
+    );
     Ok(())
 }

@@ -50,6 +50,7 @@ fn designer(
 fn main() -> asset::Result<()> {
     println!("== cooperative design session ==\n");
     let db = Database::in_memory();
+    db.obs().enable_tracing(0);
     let design = db.new_oid();
     assert!(db.run(move |ctx| ctx.write(design, Vec::new()))?);
 
@@ -84,9 +85,16 @@ fn main() -> asset::Result<()> {
     assert!(db.commit(reviewer)?, "reviewer commits after (CD ordering)");
     let text = String::from_utf8(db.peek(design)?.unwrap()).unwrap();
     println!("\n   final design after both commits:\n{}", indent(&text));
+    let g = asset::trace::CausalGraph::from_events(&db.obs().trace());
+    println!(
+        "\n   causal trace of the session: {} permit edges (the ping-pong), {} CD edge",
+        g.edges_labeled("permit").len(),
+        g.edges_labeled("dep-cd").len()
+    );
 
     println!("\n-- mutual coupling (GC): the session is all-or-nothing");
     let db = Database::in_memory();
+    db.obs().enable_tracing(0);
     let design = db.new_oid();
     assert!(db.run(move |ctx| ctx.write(design, b"v0: approved baseline".to_vec()))?);
     let t1 = db.initiate(move |ctx: &TxnCtx| {
@@ -109,6 +117,12 @@ fn main() -> asset::Result<()> {
     db.begin(t1)?;
     db.wait(t1)?;
     db.begin(t2)?;
+    // the dependency graph is live while the session is: dump it as DOT
+    let (_waits, deps) = asset::trace::dot::snapshot_pair(&db.introspect());
+    println!(
+        "   dependency graph before the commit attempt:\n{}",
+        indent(&deps)
+    );
     let committed = db.commit(t1)?;
     println!("   session committed? {committed}");
     let text = String::from_utf8(db.peek(design)?.unwrap()).unwrap();

@@ -21,6 +21,7 @@ use std::sync::Arc;
 fn main() -> asset::Result<()> {
     println!("== act 1: the ticket office (escrow counter) ==\n");
     let db = Database::in_memory();
+    db.obs().enable_tracing(1 << 14);
     let sem = Arc::new(SemanticLockTable::new());
     let seats = EscrowCounter::create(&db, 100)?;
     println!("on sale: {} seats", seats.peek(&db));
@@ -85,6 +86,15 @@ fn main() -> asset::Result<()> {
         "every seat is either still on sale or sold — none lost, none oversold"
     );
     assert!(remaining >= 0);
+
+    let snap = db.metrics_snapshot();
+    let (_, _, lw99) = snap.lock_wait_ns.percentiles();
+    println!(
+        "observability: {} events recorded ({} dropped), lock wait p99 {:.1}µs across 10 agents",
+        snap.counters.events_recorded,
+        snap.events_dropped,
+        lw99 / 1e3
+    );
 
     println!("\n== act 2: the paper's department example (§5) ==\n");
     let db = Database::in_memory();

@@ -12,6 +12,7 @@ use asset::{Database, DepType, ObSet, OpSet, TxnStatus};
 
 fn main() -> asset::Result<()> {
     let db = Database::in_memory();
+    db.obs().enable_tracing(0); // default ring; step 7 reads it back
     println!("== ASSET quickstart ==\n");
 
     // ------------------------------------------------------------------
@@ -115,6 +116,25 @@ fn main() -> asset::Result<()> {
     assert_eq!(db.status(t2)?, TxnStatus::Committed);
     println!("   GC: committing t1 committed the pair atomically");
 
-    println!("\nAll six walkthroughs done.");
+    // ------------------------------------------------------------------
+    println!("\n-- 7. introspection: what the tracer saw");
+    let g = asset::trace::CausalGraph::from_events(&db.obs().trace());
+    println!(
+        "   causal graph: {} txn tracks, {} delegation edge(s), {} permit edge(s), {} dependency edge(s)",
+        g.tracks.len(),
+        g.edges_labeled("delegate").len(),
+        g.edges_labeled("permit").len(),
+        g.edges
+            .iter()
+            .filter(|e| e.kind.label().starts_with("dep-"))
+            .count()
+    );
+    println!("   one asset-top frame of this session:");
+    let frame = asset::trace::top::render_frame(&db.introspect(), &db.metrics_snapshot());
+    for line in frame.lines() {
+        println!("      {line}");
+    }
+
+    println!("\nAll seven walkthroughs done.");
     Ok(())
 }

@@ -59,8 +59,20 @@ fn main() -> asset::Result<()> {
 
     // Scenario 3: hotel full — the committed flight is compensated.
     let db = Database::in_memory();
+    db.obs().enable_tracing(1 << 12); // trace the compensation path
     let world = TravelWorld::setup(&db, 3, 3, 3, 0, 2, 2)?;
     describe(&db, &world, "hotel Equator is full")?;
+    let g = asset::trace::CausalGraph::from_events(&db.obs().trace());
+    let aborted = g
+        .tracks
+        .values()
+        .filter(|t| t.outcome == asset::trace::Outcome::Aborted)
+        .count();
+    println!(
+        "   causal trace of this scenario: {} txn tracks, {} aborted (failed/compensated steps)\n",
+        g.tracks.len(),
+        aborted
+    );
 
     // Scenario 4: no cars — X takes public transportation; trip proceeds.
     let db = Database::in_memory();

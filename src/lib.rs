@@ -32,6 +32,10 @@
 //! * [`asset_obs`] — the observability layer: lifecycle counters, wait-free
 //!   histograms, and a structured event trace of every primitive
 //!   (`Database::metrics_snapshot` / `Database::obs`);
+//! * [`asset_trace`] — causal span reconstruction over that event trace,
+//!   plus exporters: Chrome trace-event JSON (Perfetto), a Prometheus
+//!   text endpoint, Graphviz DOT of the waits-for and dependency graphs,
+//!   and the `asset-top` live monitor;
 //! * [`asset_faults`] — deterministic fault injection: named failpoints in
 //!   the storage and transaction layers (compiled in only with the
 //!   `faults` feature) that the crash-recovery matrix drives.
@@ -65,6 +69,7 @@ pub use asset_mlt as mlt;
 pub use asset_models as models;
 pub use asset_obs as obs;
 pub use asset_storage as storage;
+pub use asset_trace as trace;
 
 pub use asset_common::{
     AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid,

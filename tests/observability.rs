@@ -166,6 +166,64 @@ fn metrics_snapshot_reconciles_with_trace() {
     assert_eq!(snap.undo_records.count, snap.counters.txn_aborted);
 }
 
+/// A saturated recorder reports drops instead of blocking: hammer a tiny
+/// ring from several writers while a drainer repeatedly holds the slot
+/// locks, then check the books balance — every attempt either stored
+/// (`events_recorded`) or was dropped (`events_dropped`), and drops
+/// actually happened.
+#[test]
+fn saturated_recorder_reports_drops() {
+    use asset::obs::Obs;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let obs = Arc::new(Obs::new());
+    obs.enable_tracing(8); // smallest ring: 8 slots
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 20_000;
+
+    let done = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let obs = Arc::clone(&obs);
+        let done = Arc::clone(&done);
+        // trace() locks every slot in turn; a writer landing on a held
+        // slot must drop, not wait.
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                let _ = obs.trace();
+            }
+        })
+    };
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let obs = Arc::clone(&obs);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    obs.record(EventKind::TxnBegin {
+                        tid: asset::Tid(w * PER_WRITER + i + 1),
+                    });
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    drainer.join().unwrap();
+
+    let snap = obs.snapshot();
+    assert!(
+        snap.events_dropped > 0,
+        "8-slot ring under 4 writers + a draining reader must drop"
+    );
+    assert_eq!(
+        snap.counters.events_recorded + snap.events_dropped,
+        WRITERS * PER_WRITER,
+        "every record attempt is accounted: stored or dropped"
+    );
+}
+
 /// With the recorder off (the default), counters still count but the trace
 /// stays empty and nothing is charged to `events_recorded`.
 #[test]
