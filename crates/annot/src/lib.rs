@@ -28,10 +28,22 @@ pub fn wal(_attr: TokenStream, item: TokenStream) -> TokenStream {
 ///
 /// `#[verify_allow(lock_order, reason = "ordered multi-lock helper")]`
 /// — the rule name is one of `wal`, `lock_order`, `failpoint_coverage`,
-/// `no_panics`; the `reason` is mandatory and is surfaced by the analyzer
+/// `no_panics`, `exec_step`; the `reason` is mandatory and is surfaced by the analyzer
 /// in `--list-allows` output so suppressions stay auditable.
 #[proc_macro_attribute]
 pub fn verify_allow(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Mark a function as an **executor worker step** for rule **R5**: the
+/// function runs on a worker-pool thread that drives many transactions,
+/// so it must never block — no condvar waits, sleeps, fsyncs, joins,
+/// channel receives, or synchronous flusher submissions. Suspension is
+/// expressed only by *returning* a `TxnStep::Wait*` value; the scheduler
+/// parks the transaction and a wake hook requeues it. `asset-verify`
+/// scans annotated functions for blocking calls.
+#[proc_macro_attribute]
+pub fn exec_step(_attr: TokenStream, item: TokenStream) -> TokenStream {
     item
 }
 

@@ -1,22 +1,38 @@
-//! The experiment harness: prints the E1–E13 tables of `EXPERIMENTS.md`.
+//! The experiment harness: prints the E1–E15 tables of `EXPERIMENTS.md`.
 //!
 //! ```sh
 //! cargo run -p asset-bench --release --bin experiments           # full suite
 //! cargo run -p asset-bench --release --bin experiments -- quick  # smoke scale
 //! cargo run -p asset-bench --release --bin experiments -- e2 e4  # a subset
+//! cargo run -p asset-bench --release --bin experiments -- e15 --txns 200  # executor smoke
 //! ```
+//!
+//! E14 and E15 also serialize their measured runs into `BENCH_obs.json`
+//! (schema `asset-bench-obs/v1`); when both are selected the file holds
+//! the union of their rows.
 
-use asset_bench::experiments::{self, Scale};
+use asset_bench::experiments::{self, ObsBenchRun, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let selected: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|a| *a != "quick")
-        .collect();
+    let mut txns_override: Option<usize> = None;
+    let mut selected: Vec<&str> = Vec::new();
+    let mut it = args.iter().map(|s| s.as_str());
+    while let Some(a) = it.next() {
+        match a {
+            "quick" => {}
+            "--txns" => {
+                txns_override = it.next().and_then(|v| v.parse().ok());
+                if txns_override.is_none() {
+                    eprintln!("experiments: --txns needs a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            other => selected.push(other),
+        }
+    }
 
     println!("ASSET experiment suite (scale factor {:.2})", scale.factor);
     println!("paper: Biliris/Dar/Gehani/Jagadish/Ramamritham, SIGMOD 1994");
@@ -43,7 +59,11 @@ fn main() {
         ("e12", experiments::e12_ablations),
         ("e13", experiments::e13_crash_matrix),
         ("e14", experiments::e14_observability),
+        ("e15", experiments::e15_executor),
     ];
+
+    // E14/E15 measure once and contribute rows to BENCH_obs.json
+    let mut obs_runs: Vec<ObsBenchRun> = Vec::new();
 
     for (name, f) in &all {
         if !selected.is_empty() && !selected.contains(name) {
@@ -51,15 +71,13 @@ fn main() {
         }
         let start = std::time::Instant::now();
         if *name == "e14" {
-            // e14 also emits the machine-readable BENCH_obs.json; measure
-            // once, then both print and serialize
             let runs = experiments::e14_observability_runs(scale);
             println!("{}", experiments::e14_table(&runs));
-            let path = "BENCH_obs.json";
-            match std::fs::write(path, experiments::bench_obs_json(&runs)) {
-                Ok(()) => println!("   [observability bench: {} runs -> {path}]", runs.len()),
-                Err(err) => eprintln!("   [{path} not written: {err}]"),
-            }
+            obs_runs.extend(runs);
+        } else if *name == "e15" {
+            let runs = experiments::e15_executor_runs(scale, txns_override);
+            println!("{}", experiments::e15_table(&runs));
+            obs_runs.extend(runs);
         } else if *name == "e9b" {
             // e9b also captures a structured event trace; dump it next to
             // the experiment output
@@ -83,5 +101,16 @@ fn main() {
             println!("{table}");
         }
         println!("   [{name} took {:.2?}]", start.elapsed());
+    }
+
+    if !obs_runs.is_empty() {
+        let path = "BENCH_obs.json";
+        match std::fs::write(path, experiments::bench_obs_json(&obs_runs)) {
+            Ok(()) => println!(
+                "   [observability bench: {} runs -> {path}]",
+                obs_runs.len()
+            ),
+            Err(err) => eprintln!("   [{path} not written: {err}]"),
+        }
     }
 }

@@ -1,0 +1,176 @@
+//! E15 — the state-machine executor (DESIGN.md §12): worker-pool size ×
+//! flush-window sweep over an uncontended single-write workload, against
+//! a blocking thread-per-transaction baseline issued from the same
+//! submitting thread. Each cell reports throughput and commit
+//! p50/p95/p99 via [`MetricsSnapshot::delta`] between per-run snapshots;
+//! the harness binary merges the runs into `BENCH_obs.json`
+//! (schema `asset-bench-obs/v1`) next to the E14 rows.
+
+use super::{ObsBenchRun, Scale};
+use crate::table::{fmt_duration, fmt_rate, Table};
+use crate::workload::enc_i64;
+use asset_common::{Config, Oid};
+use asset_core::{Database, TryOp, TxnStep};
+use std::time::{Duration, Instant};
+
+/// The sweep: (workers, flush window µs, stable run name). Names are the
+/// keys under which `BENCH_obs.json` tracks the cells across commits.
+const CELLS: &[(usize, u64, &str)] = &[
+    (1, 0, "exec-w1-f0us"),
+    (1, 50, "exec-w1-f50us"),
+    (1, 200, "exec-w1-f200us"),
+    (2, 0, "exec-w2-f0us"),
+    (2, 50, "exec-w2-f50us"),
+    (2, 200, "exec-w2-f200us"),
+    (4, 0, "exec-w4-f0us"),
+    (4, 50, "exec-w4-f50us"),
+    (4, 200, "exec-w4-f200us"),
+    (8, 0, "exec-w8-f0us"),
+    (8, 50, "exec-w8-f50us"),
+    (8, 200, "exec-w8-f200us"),
+];
+
+/// The baseline row's name (always the first returned run).
+pub const E15_BASELINE: &str = "blocking-serial";
+
+fn delta_run(
+    name: &'static str,
+    db: &Database,
+    txns: u64,
+    work: impl FnOnce() -> Duration,
+) -> ObsBenchRun {
+    let before = db.metrics_snapshot();
+    let elapsed = work();
+    let d = db.metrics_snapshot().delta(&before);
+    ObsBenchRun {
+        name,
+        txns,
+        elapsed,
+        lock_wait_ns: d.lock_wait_ns.percentiles(),
+        commit_ns: d.commit_ns.percentiles(),
+        events_recorded: d.counters.events_recorded,
+        events_dropped: d.events_dropped,
+    }
+}
+
+/// One executor cell: `n` disjoint single-write transactions submitted
+/// back-to-back from one thread, then awaited — the pool is the
+/// parallelism, and commit acks ride the shared flush windows.
+fn exec_cell(name: &'static str, workers: usize, window_us: u64, n: usize) -> ObsBenchRun {
+    let db = Database::open(
+        Config::in_memory()
+            .with_exec_workers(workers)
+            .with_commit_flush_window(Duration::from_micros(window_us)),
+    )
+    .expect("in-memory open")
+    .0;
+    db.obs().enable_tracing(1 << 16);
+    let oids: Vec<Oid> = (0..n).map(|_| db.new_oid()).collect();
+    delta_run(name, &db, n as u64, || {
+        let start = Instant::now();
+        let tids: Vec<_> = oids
+            .iter()
+            .map(|&o| {
+                db.submit(move |sc| match sc.try_write(o, enc_i64(1)) {
+                    Ok(TryOp::Done(())) => TxnStep::Done(Ok(())),
+                    Ok(TryOp::WouldBlock) => TxnStep::WaitLock { ob: o },
+                    Err(e) => TxnStep::Done(Err(e)),
+                })
+                .expect("submit")
+            })
+            .collect();
+        for t in tids {
+            assert!(db.outcome(t).expect("outcome"), "uncontended write commits");
+        }
+        start.elapsed()
+    })
+}
+
+/// The blocking baseline: the same uncontended writes as `run` calls —
+/// thread-per-transaction begin, one forced record per commit.
+fn blocking_cell(n: usize) -> ObsBenchRun {
+    let db = Database::in_memory();
+    db.obs().enable_tracing(1 << 16);
+    let oids: Vec<Oid> = (0..n).map(|_| db.new_oid()).collect();
+    delta_run(E15_BASELINE, &db, n as u64, || {
+        let start = Instant::now();
+        for &o in &oids {
+            assert!(db.run(move |ctx| ctx.write(o, enc_i64(1))).expect("run"));
+        }
+        start.elapsed()
+    })
+}
+
+/// Run the E15 sweep. `txns_override` pins the per-cell transaction count
+/// (the CI smoke passes `--txns 200`); otherwise the count scales from a
+/// 2500-per-cell default.
+pub fn e15_executor_runs(scale: Scale, txns_override: Option<usize>) -> Vec<ObsBenchRun> {
+    let n = txns_override.unwrap_or_else(|| scale.n(2500));
+    let mut runs = vec![blocking_cell(n)];
+    for &(workers, window_us, name) in CELLS {
+        runs.push(exec_cell(name, workers, window_us, n));
+    }
+    runs
+}
+
+/// E15 as a harness table (first run is the blocking baseline; the
+/// speedup column is relative to it).
+pub fn e15_table(runs: &[ObsBenchRun]) -> Table {
+    let mut table = Table::new(
+        "E15: state-machine executor, workers x flush window",
+        "uncontended single-write transactions; speedup vs the blocking thread-per-txn baseline issued from the same thread",
+    )
+    .headers(&[
+        "workload",
+        "txns",
+        "throughput",
+        "commit p50/p95/p99",
+        "speedup",
+    ]);
+    let base = runs.first().map_or(0.0, ObsBenchRun::throughput);
+    for r in runs {
+        let (c50, c95, c99) = r.commit_ns;
+        let speedup = if r.name == E15_BASELINE || base == 0.0 {
+            "1.00x (baseline)".to_string()
+        } else {
+            format!("{:.2}x", r.throughput() / base)
+        };
+        table.row(vec![
+            r.name.into(),
+            r.txns.to_string(),
+            fmt_rate(r.txns, r.elapsed),
+            format!(
+                "{} / {} / {}",
+                fmt_duration(Duration::from_nanos(c50 as u64)),
+                fmt_duration(Duration::from_nanos(c95 as u64)),
+                fmt_duration(Duration::from_nanos(c99 as u64)),
+            ),
+            speedup,
+        ]);
+    }
+    table
+}
+
+/// E15 for `run_all`.
+pub fn e15_executor(scale: Scale) -> Table {
+    e15_table(&e15_executor_runs(scale, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_every_cell() {
+        let runs = e15_executor_runs(Scale::quick(), Some(24));
+        assert_eq!(runs.len(), 1 + CELLS.len());
+        assert_eq!(runs[0].name, E15_BASELINE);
+        for r in &runs {
+            assert_eq!(r.txns, 24);
+            assert!(r.throughput() > 0.0, "{}: measured", r.name);
+            assert!(r.commit_ns.2 >= r.commit_ns.0, "{}: p99 >= p50", r.name);
+        }
+        let json = super::super::bench_obs_json(&runs);
+        assert!(json.contains("\"name\": \"exec-w4-f50us\""));
+    }
+}

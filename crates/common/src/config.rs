@@ -53,6 +53,16 @@ pub struct Config {
     /// bytes are pending (or on an explicit/commit-path flush) — one
     /// syscall per watermark instead of one per append.
     pub flush_watermark: usize,
+    /// Number of executor worker threads driving state-machine
+    /// transactions (`Database::submit`). `0` means auto: one worker per
+    /// available core, clamped to [2, 64].
+    pub exec_workers: usize,
+    /// How long the group-commit log flusher waits after the first commit
+    /// record of a window before issuing the window's single write+fsync,
+    /// letting concurrent committers coalesce. `Duration::ZERO` (the
+    /// default) flushes as soon as the flusher thread runs — whatever has
+    /// queued by then still shares one sync.
+    pub commit_flush_window: Duration,
     /// Fault-injection registry consulted by the failpoints compiled into
     /// the storage and core layers. Share one registry between a test
     /// harness and the database it drives to script failures; the default
@@ -91,6 +101,8 @@ impl Config {
             lock_shards: 0,
             txn_shards: 0,
             flush_watermark: 64 * 1024,
+            exec_workers: 0,
+            commit_flush_window: Duration::ZERO,
             #[cfg(feature = "faults")]
             faults: Default::default(),
         }
@@ -163,6 +175,33 @@ impl Config {
     pub fn with_flush_watermark(mut self, bytes: usize) -> Config {
         self.flush_watermark = bytes;
         self
+    }
+
+    /// Builder-style: set the executor worker-pool size (`0` = auto).
+    #[must_use]
+    pub fn with_exec_workers(mut self, n: usize) -> Config {
+        self.exec_workers = n;
+        self
+    }
+
+    /// Builder-style: set the group-commit flush window.
+    #[must_use]
+    pub fn with_commit_flush_window(mut self, window: Duration) -> Config {
+        self.commit_flush_window = window;
+        self
+    }
+
+    /// The effective executor worker count: one per core when `0`, clamped
+    /// to `[2, 64]`.
+    pub fn resolved_exec_workers(&self) -> usize {
+        let n = if self.exec_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        } else {
+            self.exec_workers
+        };
+        n.clamp(2, 64)
     }
 
     /// Builder-style: install a fault-injection registry. Keep a clone of

@@ -50,7 +50,7 @@
 
 use crate::context::TxnCtx;
 use crate::txns::TxnTable;
-use asset_annot::{verify_allow, wal};
+use asset_annot::{exec_step, verify_allow, wal};
 use asset_common::ids::IdGen;
 use asset_common::{AssetError, Config, DepType, ObSet, Oid, OpSet, Result, Tid, TxnStatus};
 use asset_dep::{CommitGate, DepGraph};
@@ -87,8 +87,16 @@ pub(crate) struct TxnSlot {
     /// Is the transaction's thread still executing its closure? While it
     /// is, abort only *marks* (§4.2: "mark tj in its TD structure as
     /// aborting"); the undo steps run when the thread finishes, so a late
-    /// in-flight write can never land after its own undo.
+    /// in-flight write can never land after its own undo. Executor-driven
+    /// transactions set this too: the worker pool plays the role of the
+    /// thread and finalizes marked aborts at the next dispatch.
     pub thread_live: bool,
+    /// A group-commit record containing this transaction is sitting in the
+    /// flusher's window (executor path): its fate is decided solely by the
+    /// flush outcome. While set, `abort_many` must skip the slot and a
+    /// concurrent blocking `commit` parks instead of forcing a second
+    /// record for the same group.
+    pub commit_pending: bool,
 }
 
 pub(crate) struct DbInner {
@@ -107,6 +115,21 @@ pub(crate) struct DbInner {
     /// Observability hub shared with the storage engine and lock table:
     /// lifecycle counters, latency histograms, and the event trace.
     pub obs: Arc<Obs>,
+    /// The state-machine executor (worker pool + run queues), spawned
+    /// lazily by the first [`Database::submit`] so databases that only use
+    /// the thread-per-transaction path pay nothing.
+    pub exec: std::sync::OnceLock<Arc<crate::exec::ExecInner>>,
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        // Workers hold only `Weak<DbInner>`/strong executor handles, so the
+        // executor cannot shut itself down by reference counting alone:
+        // signal it here, once the last database handle is gone.
+        if let Some(exec) = self.exec.get() {
+            exec.begin_shutdown();
+        }
+    }
 }
 
 /// A point-in-time statistics snapshot of a [`Database`].
@@ -223,6 +246,7 @@ impl Database {
             undo_seq: AtomicU64::new(1),
             live_count: AtomicUsize::new(0),
             obs,
+            exec: std::sync::OnceLock::new(),
         });
         Ok((Database { inner }, report))
     }
@@ -288,6 +312,7 @@ impl Database {
                 undo: Vec::new(),
                 abort_performed: false,
                 thread_live: false,
+                commit_pending: false,
             },
         );
         self.inner.deps.lock().register(tid);
@@ -470,6 +495,13 @@ impl Database {
                     TxnStatus::Aborted => Ok(Step::Done(false)),
                     TxnStatus::Aborting => Ok(Step::FinishAbort),
                     TxnStatus::Initiated | TxnStatus::Running => Ok(Step::Park),
+                    // a commit record for this transaction's group already
+                    // sits in the flush window (executor path): park until
+                    // the flush outcome finalizes it rather than forcing a
+                    // second record for the same group
+                    TxnStatus::Completed | TxnStatus::Committing if slot.commit_pending => {
+                        Ok(Step::Park)
+                    }
                     TxnStatus::Completed | TxnStatus::Committing => {
                         slot.status = TxnStatus::Committing;
                         Ok(Step::Gate)
@@ -528,11 +560,16 @@ impl Database {
                     let mut incomplete = false;
                     let mut doomed = false;
                     for m in &group {
-                        match guard.get(*m).map(|s| s.status) {
-                            Some(TxnStatus::Initiated) | Some(TxnStatus::Running) => {
+                        match guard.get(*m).map(|s| (s.status, s.commit_pending)) {
+                            // an executor commit of this group is already in
+                            // the flush window: wait for its outcome
+                            Some((_, true)) => incomplete = true,
+                            Some((TxnStatus::Initiated, _)) | Some((TxnStatus::Running, _)) => {
                                 incomplete = true
                             }
-                            Some(TxnStatus::Aborting) | Some(TxnStatus::Aborted) => doomed = true,
+                            Some((TxnStatus::Aborting, _)) | Some((TxnStatus::Aborted, _)) => {
+                                doomed = true
+                            }
                             Some(_) => {}
                             None => {
                                 return Err(AssetError::TxnNotFound(*m));
@@ -1084,6 +1121,14 @@ impl Database {
         while let Some(x) = queue.pop() {
             let act = self.inner.txns.with(x, |slot| {
                 let Some(slot) = slot else { return Act::Skip };
+                if slot.commit_pending {
+                    // the group's commit record is in the flush window; its
+                    // fate is the flush outcome's to decide. A successful
+                    // flush commits the member (the abort request loses the
+                    // race, exactly as if the forced record had landed
+                    // first); a failed flush re-runs the abort path.
+                    return Act::Skip;
+                }
                 match slot.status {
                     TxnStatus::Committed | TxnStatus::Aborted => Act::Skip,
                     TxnStatus::Running => {
@@ -1187,6 +1232,275 @@ impl Database {
         }
         self.inner.txns.bump();
     }
+
+    // --- executor protocol (crate::exec) -------------------------------
+    //
+    // The worker-pool executor drives transactions as resumable state
+    // machines; these helpers are the non-blocking decomposition of
+    // `begin`/`run_job`/`commit_gated`. None of them may sleep: suspension
+    // is expressed by their return values and the executor parks the
+    // transaction instead (verify rule R5).
+
+    /// Executor-side `begin`: the status transition and Begin record of
+    /// [`begin`](Self::begin) without spawning a thread — the worker pool
+    /// is the thread. Returns `false` when the transaction was doomed
+    /// before it started (the commit phase then reports the abort).
+    #[exec_step]
+    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Running")]
+    pub(crate) fn exec_begin(&self, t: Tid) -> Result<bool> {
+        let started = self.inner.txns.with(t, |slot| -> Result<bool> {
+            let slot = slot.ok_or(AssetError::TxnNotFound(t))?;
+            if slot.status.is_abort_path() {
+                return Ok(false);
+            }
+            if slot.status != TxnStatus::Initiated {
+                return Err(AssetError::InvalidState {
+                    tid: t,
+                    status: slot.status,
+                    op: "begin",
+                });
+            }
+            self.inner.engine.log_record(&LogRecord::Begin { tid: t })?;
+            slot.status = TxnStatus::Running;
+            slot.thread_live = true;
+            // the step program lives in the executor's task, not the slot
+            slot.job = None;
+            Ok(true)
+        })?;
+        if started {
+            bump(&self.inner.obs.counters.txn_begun);
+            self.inner.obs.record(EventKind::TxnBegin { tid: t });
+        }
+        Ok(started)
+    }
+
+    /// Executor-side completion: the tail of `run_job` — publish the
+    /// step program's outcome and finalize a marked abort if one struck
+    /// mid-run. Returns `true` when the transaction completed and the
+    /// worker should proceed to the commit phase.
+    #[exec_step]
+    pub(crate) fn exec_complete(&self, t: Tid, succeeded: bool) -> bool {
+        self.inner.obs.record(EventKind::TxnComplete {
+            tid: t,
+            ok: succeeded,
+        });
+        enum Fin {
+            None,
+            Completed,
+            Abort,
+        }
+        let fin = self.inner.txns.with(t, |slot| {
+            let Some(slot) = slot else { return Fin::None };
+            slot.thread_live = false;
+            match slot.status {
+                TxnStatus::Running if succeeded => {
+                    slot.status = TxnStatus::Completed;
+                    Fin::Completed
+                }
+                TxnStatus::Running => {
+                    slot.status = TxnStatus::Aborting;
+                    Fin::Abort
+                }
+                TxnStatus::Aborting => Fin::Abort,
+                _ => Fin::None,
+            }
+        });
+        match fin {
+            Fin::Completed => {
+                self.inner.txns.bump();
+                true
+            }
+            Fin::Abort => {
+                self.abort_many(&[t]);
+                false
+            }
+            Fin::None => false,
+        }
+    }
+
+    /// One non-blocking pass of the §4.2 commit protocol (the executor's
+    /// counterpart to `commit_gated`). Either resolves the commit
+    /// terminally, asks the worker to park until the next table event, or
+    /// — gate open and re-validated under every member's shard — pins the
+    /// whole GC group with `commit_pending` and hands the group back for
+    /// the caller to submit to the flusher. Durability is unchanged: the
+    /// statuses move to `Committed` only after the flush ack
+    /// ([`exec_finish_commit`](Self::exec_finish_commit)).
+    #[exec_step]
+    pub(crate) fn exec_try_commit(&self, t: Tid) -> Result<ExecCommit> {
+        enum Step {
+            Done,
+            Wait,
+            FinishAbort,
+            Gate,
+        }
+        loop {
+            let step = self.inner.txns.with(t, |slot| -> Result<Step> {
+                let slot = slot.ok_or(AssetError::TxnNotFound(t))?;
+                match slot.status {
+                    TxnStatus::Committed | TxnStatus::Aborted => Ok(Step::Done),
+                    TxnStatus::Aborting => Ok(Step::FinishAbort),
+                    TxnStatus::Initiated | TxnStatus::Running => Ok(Step::Wait),
+                    TxnStatus::Completed | TxnStatus::Committing if slot.commit_pending => {
+                        Ok(Step::Wait)
+                    }
+                    TxnStatus::Completed | TxnStatus::Committing => {
+                        slot.status = TxnStatus::Committing;
+                        Ok(Step::Gate)
+                    }
+                }
+            })?;
+            match step {
+                Step::Done => return Ok(ExecCommit::Done),
+                Step::Wait => return Ok(ExecCommit::Wait),
+                Step::FinishAbort => {
+                    self.abort_many(&[t]);
+                    if self.status(t)? != TxnStatus::Aborted {
+                        // another thread owns the finalization; its bump
+                        // will requeue us
+                        return Ok(ExecCommit::Wait);
+                    }
+                    continue;
+                }
+                Step::Gate => {}
+            }
+            let gate = self.inner.deps.lock().commit_gate(t);
+            match gate {
+                CommitGate::Doomed(group) => {
+                    self.abort_many(&group);
+                    return Ok(ExecCommit::Done);
+                }
+                CommitGate::WaitOn(_) => return Ok(ExecCommit::Wait),
+                CommitGate::Ready(group) => {
+                    // same re-validation as the blocking path: a gate that
+                    // is still Ready under every member's shard commits
+                    // atomically
+                    let mut guard = self.inner.txns.lock_group(&group);
+                    let gate2 = self.inner.deps.lock().commit_gate(t);
+                    let same = matches!(
+                        &gate2,
+                        CommitGate::Ready(g2)
+                            if g2.iter().collect::<BTreeSet<_>>()
+                                == group.iter().collect::<BTreeSet<_>>()
+                    );
+                    if !same {
+                        drop(guard);
+                        continue;
+                    }
+                    let mut incomplete = false;
+                    let mut doomed = false;
+                    for m in &group {
+                        match guard.get(*m).map(|s| (s.status, s.commit_pending)) {
+                            Some((_, true)) => incomplete = true,
+                            Some((TxnStatus::Initiated, _)) | Some((TxnStatus::Running, _)) => {
+                                incomplete = true
+                            }
+                            Some((TxnStatus::Aborting, _)) | Some((TxnStatus::Aborted, _)) => {
+                                doomed = true
+                            }
+                            Some(_) => {}
+                            None => return Err(AssetError::TxnNotFound(*m)),
+                        }
+                    }
+                    if doomed {
+                        drop(guard);
+                        self.abort_many(&group);
+                        return Ok(ExecCommit::Done);
+                    }
+                    if incomplete {
+                        drop(guard);
+                        return Ok(ExecCommit::Wait);
+                    }
+                    // Commit point, phase 1: pin the group. While pinned,
+                    // aborts skip the members and blocking commits park,
+                    // so the window between dropping the shards and the
+                    // window fsync completing admits no state change that
+                    // could contradict the (about to be durable) record.
+                    for m in &group {
+                        // members come from the guard's own locked key set
+                        // verify: allow(no_panics) — guard-internal keys
+                        let slot = guard.get_mut(*m).expect("group member exists");
+                        slot.commit_pending = true;
+                    }
+                    drop(guard);
+                    return Ok(ExecCommit::Flush(group));
+                }
+            }
+        }
+    }
+
+    /// Commit point, phase 2 (flush ack arrived): the group's record is
+    /// durable — unpin and run the blocking path's steps 5–6 (statuses,
+    /// lock release, dependency cleanup, counters).
+    #[exec_step]
+    pub(crate) fn exec_finish_commit(&self, t: Tid, group: &[Tid]) {
+        let mut guard = self.inner.txns.lock_group(group);
+        for m in group {
+            // pinned slots are not terminated, so retirement cannot have
+            // removed them
+            // verify: allow(no_panics) — guard-internal keys
+            let slot = guard.get_mut(*m).expect("group member exists");
+            slot.commit_pending = false;
+            if slot.status != TxnStatus::Committed {
+                slot.status = TxnStatus::Committed;
+                slot.undo.clear();
+                self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+                self.inner.locks.release_all(*m);
+            }
+        }
+        let resolved = {
+            let mut deps = self.inner.deps.lock();
+            let before = deps.edge_count() + deps.gc_link_count();
+            deps.committed(group);
+            before.saturating_sub(deps.edge_count() + deps.gc_link_count())
+        };
+        drop(guard);
+        let obs = &self.inner.obs;
+        add(&obs.counters.txn_committed, group.len() as u64);
+        add(&obs.counters.dep_edges_resolved, resolved as u64);
+        obs.commit_group_size.record(group.len() as u64);
+        obs.record(EventKind::TxnCommit {
+            tid: t,
+            group: group.len() as u32,
+        });
+        self.inner.txns.bump();
+    }
+
+    /// Commit point, phase 2 (flush failed): unpin the group and drive it
+    /// through the abort path — the same ambiguous-commit reconciliation
+    /// as the blocking path (the record may or may not have reached the
+    /// OS; the logged rollback converges both sides of a restart).
+    #[exec_step]
+    pub(crate) fn exec_flush_failed(&self, t: Tid, group: &[Tid]) {
+        {
+            let mut guard = self.inner.txns.lock_group(group);
+            for m in group {
+                if let Some(slot) = guard.get_mut(*m) {
+                    slot.commit_pending = false;
+                }
+            }
+        }
+        bump(&self.inner.obs.counters.commit_log_failures);
+        self.inner.obs.record(EventKind::CommitAmbiguous {
+            tid: t,
+            group: group.len() as u32,
+        });
+        self.abort_many(group);
+    }
+}
+
+/// What one non-blocking commit pass resolved to (executor path).
+pub(crate) enum ExecCommit {
+    /// Terminal (committed or aborted) — the slot status already says
+    /// which, and `outcome` reads it from there.
+    Done,
+    /// Gate closed, group incomplete, or finalization owned elsewhere:
+    /// park until the next transaction-table event.
+    Wait,
+    /// Gate open and re-validated: every member is pinned with
+    /// `commit_pending`; the caller submits the group's commit record to
+    /// the flusher and parks until the ack callback fires.
+    Flush(Vec<Tid>),
 }
 
 /// Thread body for `begin`: run the job, then complete or abort.

@@ -1,0 +1,819 @@
+//! The state-machine transaction executor: a fixed worker pool driving
+//! resumable transactions, replacing thread-per-transaction for
+//! throughput-bound workloads (DESIGN.md §12).
+//!
+//! A transaction submitted through [`Database::submit`] is a **step
+//! program**: a closure called repeatedly with a [`StepCtx`] of
+//! non-blocking operations, returning a [`TxnStep`] after each slice of
+//! work. Workers pull runnable transactions from per-shard run queues and
+//! run steps back-to-back; a program that cannot make progress *returns*
+//! `WaitLock`/`WaitDep`/`WaitFlush` instead of sleeping, and the scheduler
+//! parks the transaction until the matching wake hook fires:
+//!
+//! * `WaitLock` — the lock table's stripe notification (grant-relevant
+//!   state changed on the stripe the request hashed to);
+//! * `WaitDep` — the transaction table's event count (any termination or
+//!   completion event, the same signal the blocking paths park on);
+//! * `WaitFlush` — the group-commit flusher's acknowledgement callback.
+//!
+//! ## No lost wakeups
+//!
+//! Each task carries a scheduling state (`PARKED`/`QUEUED`/`RUNNING`/
+//! `RUNNING_DIRTY`/`DONE`). A wakeup for a `RUNNING` task marks it
+//! `RUNNING_DIRTY`; the worker's park attempt is a CAS `RUNNING → PARKED`
+//! that fails against the dirty mark and requeues instead. On the wait
+//! side, workers register interest (stripe waiter list, dep waiter list)
+//! **before** the final non-blocking re-check, and the notifying side
+//! publishes state before firing the hook — the same
+//! register→re-check→park discipline the event count uses, model-checked
+//! in `tests/loom_executor.rs`.
+//!
+//! ## Commit
+//!
+//! When a program finishes, the worker runs the §4.2 commit protocol
+//! non-blockingly (`Database::exec_try_commit`): once the dependency gate
+//! is open and re-validated, the whole GC group is pinned with
+//! `commit_pending` and its commit record is submitted to the
+//! [`GroupFlusher`](asset_storage::GroupFlusher) with a callback; the
+//! transaction parks on `WaitFlush` and commit acknowledgement is
+//! deferred until the record's flush window has been fsynced — many
+//! transactions' commit records coalesce into one write+sync. Durability
+//! is unchanged: statuses move to `Committed` only after the ack.
+
+use crate::database::{Database, DbInner, ExecCommit, UndoEntry};
+use asset_annot::exec_step;
+use asset_common::sync::{Condvar, Mutex};
+use asset_common::{AssetError, Oid, Operation, Result, Tid, TxnStatus};
+use asset_obs::{bump, EventKind, SpanName};
+use asset_storage::LogRecord;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+/// A step program: called with a [`StepCtx`] until it returns
+/// [`TxnStep::Done`]. Every call re-enters at the top, so programs must be
+/// written resumably — track progress in captured state and treat each
+/// operation as retryable (a re-run of an already-granted `try_write` is
+/// benign: the lock is held and the same image is installed again).
+pub type StepProg = Box<dyn FnMut(&mut StepCtx<'_>) -> TxnStep + Send>;
+
+/// What one call of a step program yielded.
+#[derive(Debug)]
+pub enum TxnStep {
+    /// More work is immediately available; step again.
+    Ready,
+    /// A lock on `ob` was not grantable: park until the owning stripe
+    /// notifies a grant-relevant change (release, permit, delegation).
+    WaitLock {
+        /// The object whose lock the program is waiting for.
+        ob: Oid,
+    },
+    /// Park until the next transaction-table event (dependency gates,
+    /// partner completion — the signal the blocking paths park on).
+    WaitDep,
+    /// Park until a log-flush acknowledgement. Programs rarely return
+    /// this themselves; the commit machinery uses it while a group's
+    /// record sits in the flush window. Treated like [`WaitDep`] when a
+    /// program returns it directly.
+    WaitFlush,
+    /// The program finished: `Ok` proceeds to the group-commit protocol,
+    /// `Err` aborts the transaction.
+    Done(Result<()>),
+}
+
+/// Outcome of a non-blocking [`StepCtx`] operation.
+#[derive(Debug)]
+pub enum TryOp<T> {
+    /// The operation completed with this value.
+    Done(T),
+    /// A transaction-duration lock was not grantable; interest in the
+    /// stripe is registered — return [`TxnStep::WaitLock`] to park.
+    WouldBlock,
+}
+
+// scheduling states (one AtomicU8 per task)
+const PARKED: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_DIRTY: u8 = 3;
+const DONE: u8 = 4;
+
+/// Steps a worker runs back-to-back on one transaction before requeueing
+/// it behind other runnable work (fairness bound).
+const STEP_BUDGET: usize = 64;
+
+enum Phase {
+    Begin,
+    Run,
+    Commit,
+    AwaitFlush,
+}
+
+struct TaskBody {
+    phase: Phase,
+    prog: Option<StepProg>,
+    /// The pinned GC group whose commit record sits in the flush window.
+    group: Vec<Tid>,
+    /// Commit-phase entry time; `Some` only while tracing is enabled, so
+    /// the default path stays clock-free (mirrors the blocking
+    /// [`Database::commit`] instrumentation).
+    commit_t0: Option<std::time::Instant>,
+}
+
+struct Task {
+    tid: Tid,
+    sched: AtomicU8,
+    body: Mutex<TaskBody>,
+    /// Written by the flusher's ack callback, consumed in `AwaitFlush`.
+    flush_result: Mutex<Option<Result<()>>>,
+}
+
+enum StepOutcome {
+    Continue,
+    Park(&'static str),
+    Finished,
+}
+
+/// The worker-pool executor: run queues, task table, wake-hook
+/// registries. One per database, spawned lazily by the first
+/// [`Database::submit`].
+pub struct ExecInner {
+    db: Weak<DbInner>,
+    /// Per-shard run queues, tid-hashed; a pusher never holds a queue
+    /// mutex and the pending mutex at once.
+    queues: Box<[Mutex<VecDeque<Tid>>]>,
+    queue_mask: u64,
+    /// Count of queued tasks; workers park on its condvar when idle.
+    pending: Mutex<usize>,
+    pending_cv: Condvar,
+    shutdown: AtomicBool,
+    tasks: Mutex<HashMap<Tid, Arc<Task>>>,
+    /// Transactions parked on `WaitLock`, listed under the lock-table
+    /// stripe whose notification will make the lock grantable.
+    stripe_waiters: Box<[Mutex<Vec<Tid>>]>,
+    /// Transactions parked on `WaitDep`/commit gates.
+    dep_waiters: Mutex<Vec<Tid>>,
+    /// Worker threads actually running (0 = degraded inline mode). Written
+    /// once inside the `OnceLock` initializer, before any submit sees the
+    /// executor.
+    live_workers: AtomicUsize,
+}
+
+impl ExecInner {
+    fn spawn(inner: &Arc<DbInner>) -> Arc<ExecInner> {
+        let workers = inner.config.resolved_exec_workers();
+        let nq = workers.next_power_of_two().max(2);
+        let stripes = inner.locks.shard_count();
+        let exec = Arc::new(ExecInner {
+            db: Arc::downgrade(inner),
+            queues: (0..nq).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queue_mask: (nq - 1) as u64,
+            pending: Mutex::new(0),
+            pending_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks: Mutex::new(HashMap::new()),
+            stripe_waiters: (0..stripes).map(|_| Mutex::new(Vec::new())).collect(),
+            dep_waiters: Mutex::new(Vec::new()),
+            live_workers: AtomicUsize::new(0),
+        });
+        // Hooks first, then threads: a worker that parks a task after this
+        // point is guaranteed a live wake path. Both hooks hold the
+        // executor weakly so the hook registries never keep it alive.
+        let weak = Arc::downgrade(&exec);
+        inner.locks.set_wake_hook(Arc::new(move |stripe| {
+            if let Some(e) = weak.upgrade() {
+                e.wake_stripe(stripe);
+            }
+        }));
+        let weak = Arc::downgrade(&exec);
+        inner.txns.set_bump_hook(Arc::new(move || {
+            if let Some(e) = weak.upgrade() {
+                e.wake_deps();
+            }
+        }));
+        let mut spawned = 0usize;
+        for w in 0..workers {
+            let e = Arc::clone(&exec);
+            let ok = std::thread::Builder::new()
+                .name(format!("asset-exec-{w}"))
+                .spawn(move || worker_loop(e))
+                .is_ok();
+            if ok {
+                spawned += 1;
+            }
+        }
+        exec.live_workers.store(spawned, Ordering::Release);
+        exec
+    }
+
+    fn degraded(&self) -> bool {
+        self.live_workers.load(Ordering::Acquire) == 0
+    }
+
+    /// Signal shutdown; called when the last database handle drops.
+    /// Workers drain out on their own (they are detached).
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        drop(self.pending.lock());
+        self.pending_cv.notify_all();
+    }
+
+    fn queue_of(&self, tid: Tid) -> usize {
+        let mut h = tid.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        (h & self.queue_mask) as usize
+    }
+
+    fn push(&self, tid: Tid) {
+        {
+            self.queues[self.queue_of(tid)].lock().push_back(tid);
+        }
+        {
+            let mut n = self.pending.lock();
+            *n += 1;
+        }
+        self.pending_cv.notify_one();
+    }
+
+    /// Pop the next runnable transaction, sleeping when every queue is
+    /// empty. This is the worker *idle* loop — the one place a worker
+    /// thread blocks, and deliberately not an executor step.
+    fn next_task(&self, rotor: &mut usize) -> Option<Tid> {
+        let mut pending = self.pending.lock();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if *pending > 0 {
+                let n = self.queues.len();
+                for i in 0..n {
+                    let qi = (*rotor + i) % n;
+                    if let Some(t) = self.queues[qi].lock().pop_front() {
+                        *pending -= 1;
+                        *rotor = (qi + 1) % n;
+                        return Some(t);
+                    }
+                }
+            }
+            self.pending_cv.wait(&mut pending);
+        }
+    }
+
+    /// Wake a parked task (idempotent): `PARKED → QUEUED` pushes it;
+    /// a `RUNNING` task is marked dirty so its park attempt requeues.
+    fn enqueue(&self, tid: Tid) {
+        let task = {
+            match self.tasks.lock().get(&tid) {
+                Some(t) => Arc::clone(t),
+                None => return,
+            }
+        };
+        loop {
+            match task.sched.load(Ordering::Acquire) {
+                PARKED => {
+                    if task
+                        .sched
+                        .compare_exchange(PARKED, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.push(tid);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if task
+                        .sched
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_DIRTY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // QUEUED / RUNNING_DIRTY / DONE: a wakeup is already pending
+                _ => return,
+            }
+        }
+    }
+
+    fn register_stripe_wait(&self, stripe: usize, tid: Tid) {
+        if let Some(list) = self.stripe_waiters.get(stripe) {
+            list.lock().push(tid);
+        }
+    }
+
+    fn register_dep_wait(&self, tid: Tid) {
+        self.dep_waiters.lock().push(tid);
+    }
+
+    fn wake_stripe(&self, stripe: usize) {
+        if stripe >= self.stripe_waiters.len() {
+            // LockTable::ALL_STRIPES: poison / global-permit / cross-shard
+            for s in 0..self.stripe_waiters.len() {
+                self.drain_stripe(s);
+            }
+        } else {
+            self.drain_stripe(stripe);
+        }
+    }
+
+    fn drain_stripe(&self, s: usize) {
+        let woken: Vec<Tid> = std::mem::take(&mut *self.stripe_waiters[s].lock());
+        for t in woken {
+            self.enqueue(t);
+        }
+    }
+
+    fn wake_deps(&self) {
+        let woken: Vec<Tid> = std::mem::take(&mut *self.dep_waiters.lock());
+        for t in woken {
+            self.enqueue(t);
+        }
+    }
+
+    fn flush_acked(&self, tid: Tid, res: Result<()>) {
+        let task = {
+            match self.tasks.lock().get(&tid) {
+                Some(t) => Arc::clone(t),
+                None => return,
+            }
+        };
+        *task.flush_result.lock() = Some(res);
+        self.enqueue(tid);
+    }
+
+    /// Run one dispatched transaction for up to [`STEP_BUDGET`] steps.
+    #[exec_step]
+    fn run_task(exec: &Arc<ExecInner>, db: &Database, tid: Tid) {
+        let task = {
+            match exec.tasks.lock().get(&tid) {
+                Some(t) => Arc::clone(t),
+                None => return,
+            }
+        };
+        if task
+            .sched
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let obs = db.obs();
+        let mut body = task.body.lock();
+        for _ in 0..STEP_BUDGET {
+            bump(&obs.counters.exec_steps);
+            match Self::step_once(exec, db, &task, &mut body) {
+                StepOutcome::Continue => continue,
+                StepOutcome::Park(reason) => {
+                    bump(&obs.counters.exec_parks);
+                    obs.record(EventKind::ExecPark { tid, reason });
+                    drop(body);
+                    if task
+                        .sched
+                        .compare_exchange(RUNNING, PARKED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                    // a wakeup landed mid-step (RUNNING_DIRTY): requeue
+                    bump(&obs.counters.exec_requeues);
+                    task.sched.store(QUEUED, Ordering::Release);
+                    exec.push(tid);
+                    return;
+                }
+                StepOutcome::Finished => {
+                    drop(body);
+                    task.sched.store(DONE, Ordering::Release);
+                    exec.tasks.lock().remove(&tid);
+                    return;
+                }
+            }
+        }
+        // budget exhausted: yield the worker to other runnable work
+        drop(body);
+        task.sched.store(QUEUED, Ordering::Release);
+        exec.push(tid);
+    }
+
+    /// Commit-phase entry: start the latency clock and open the span,
+    /// both gated on tracing exactly as the blocking
+    /// [`Database::commit`] is.
+    #[exec_step]
+    fn open_commit_obs(db: &Database, body: &mut TaskBody, tid: Tid) {
+        let obs = &db.inner.obs;
+        body.commit_t0 = obs.tracing_enabled().then(std::time::Instant::now);
+        if body.commit_t0.is_some() {
+            obs.record(EventKind::SpanOpen {
+                tid,
+                span: SpanName::CommitGate,
+            });
+        }
+    }
+
+    /// Commit-phase exit (committed, aborted, or flush-failed): record
+    /// the end-to-end commit latency and close the span.
+    #[exec_step]
+    fn close_commit_obs(db: &Database, body: &mut TaskBody, tid: Tid) {
+        if let Some(t0) = body.commit_t0.take() {
+            let obs = &db.inner.obs;
+            obs.commit_ns.record(t0.elapsed().as_nanos() as u64);
+            obs.record(EventKind::SpanClose {
+                tid,
+                span: SpanName::CommitGate,
+            });
+        }
+    }
+
+    /// One step of the per-transaction state machine. Never blocks;
+    /// suspension is expressed through the returned [`StepOutcome`].
+    #[exec_step]
+    fn step_once(
+        exec: &Arc<ExecInner>,
+        db: &Database,
+        task: &Task,
+        body: &mut TaskBody,
+    ) -> StepOutcome {
+        let tid = task.tid;
+        match body.phase {
+            Phase::Begin => match db.exec_begin(tid) {
+                Ok(true) => {
+                    body.phase = Phase::Run;
+                    StepOutcome::Continue
+                }
+                Ok(false) => {
+                    // doomed before it started; the commit phase reports it
+                    body.phase = Phase::Commit;
+                    Self::open_commit_obs(db, body, tid);
+                    StepOutcome::Continue
+                }
+                Err(_) => {
+                    db.abort_many(&[tid]);
+                    StepOutcome::Finished
+                }
+            },
+            Phase::Run => {
+                // a marked abort finalizes here, on the owning worker —
+                // the executor equivalent of run_job's unwind path
+                match db.status(tid) {
+                    Ok(TxnStatus::Aborting) | Err(_) => {
+                        let _ = db.exec_complete(tid, false);
+                        return StepOutcome::Finished;
+                    }
+                    Ok(_) => {}
+                }
+                let step = {
+                    let mut sc = StepCtx {
+                        db,
+                        exec,
+                        tid,
+                        blocked_on: None,
+                    };
+                    // step programs invariantly exist until Done
+                    // verify: allow(no_panics) — phase-gated task invariant
+                    let prog = body.prog.as_mut().expect("running task has a program");
+                    match catch_unwind(AssertUnwindSafe(|| prog(&mut sc))) {
+                        Ok(step) => step,
+                        Err(_) => TxnStep::Done(Err(AssetError::TxnAborted(tid))),
+                    }
+                };
+                match step {
+                    TxnStep::Ready => StepOutcome::Continue,
+                    TxnStep::WaitLock { ob } => {
+                        // the failed try-op registered interest already;
+                        // re-register to cover hand-rolled programs, then
+                        // let the dispatcher park (register → re-check on
+                        // requeue → park: no lost wakeup)
+                        exec.register_stripe_wait(db.inner.locks.stripe_of(ob), tid);
+                        StepOutcome::Park("lock")
+                    }
+                    TxnStep::WaitDep | TxnStep::WaitFlush => {
+                        exec.register_dep_wait(tid);
+                        StepOutcome::Park("dep")
+                    }
+                    TxnStep::Done(Ok(())) => {
+                        if db.exec_complete(tid, true) {
+                            body.prog = None;
+                            body.phase = Phase::Commit;
+                            Self::open_commit_obs(db, body, tid);
+                            StepOutcome::Continue
+                        } else {
+                            StepOutcome::Finished
+                        }
+                    }
+                    TxnStep::Done(Err(_)) => {
+                        let _ = db.exec_complete(tid, false);
+                        StepOutcome::Finished
+                    }
+                }
+            }
+            Phase::Commit => {
+                // register before evaluating: a bump landing between the
+                // gate check and the park flips us RUNNING_DIRTY and the
+                // dispatcher requeues instead of parking
+                exec.register_dep_wait(tid);
+                match db.exec_try_commit(tid) {
+                    Ok(ExecCommit::Done) => {
+                        Self::close_commit_obs(db, body, tid);
+                        StepOutcome::Finished
+                    }
+                    Ok(ExecCommit::Wait) => StepOutcome::Park("dep"),
+                    Ok(ExecCommit::Flush(group)) => {
+                        body.group = group.clone();
+                        let rec = LogRecord::Commit {
+                            tids: group.clone(),
+                        };
+                        let weak = Arc::downgrade(exec);
+                        let submitted = db.inner.engine.flusher().submit_with_callback(
+                            rec,
+                            Box::new(move |res| {
+                                if let Some(e) = weak.upgrade() {
+                                    e.flush_acked(tid, res.map(|_| ()));
+                                }
+                            }),
+                        );
+                        match submitted {
+                            Ok(()) => {
+                                body.phase = Phase::AwaitFlush;
+                                StepOutcome::Continue
+                            }
+                            Err(_) => {
+                                db.exec_flush_failed(tid, &group);
+                                Self::close_commit_obs(db, body, tid);
+                                StepOutcome::Finished
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        db.abort_many(&[tid]);
+                        Self::close_commit_obs(db, body, tid);
+                        StepOutcome::Finished
+                    }
+                }
+            }
+            Phase::AwaitFlush => {
+                let res = task.flush_result.lock().take();
+                match res {
+                    Some(Ok(())) => {
+                        db.exec_finish_commit(tid, &body.group);
+                        Self::close_commit_obs(db, body, tid);
+                        StepOutcome::Finished
+                    }
+                    Some(Err(_)) => {
+                        db.exec_flush_failed(tid, &body.group);
+                        Self::close_commit_obs(db, body, tid);
+                        StepOutcome::Finished
+                    }
+                    // the ack callback targets this task directly: no
+                    // registry needed, the enqueue races are absorbed by
+                    // the RUNNING_DIRTY protocol
+                    None => StepOutcome::Park("flush"),
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(exec: Arc<ExecInner>) {
+    let mut rotor = 0usize;
+    loop {
+        let Some(tid) = exec.next_task(&mut rotor) else {
+            return;
+        };
+        let Some(inner) = exec.db.upgrade() else {
+            return;
+        };
+        let db = Database { inner };
+        ExecInner::run_task(&exec, &db, tid);
+    }
+}
+
+/// The context a step program sees: the transaction's identity plus
+/// **non-blocking** data operations. Where [`TxnCtx`](crate::TxnCtx)
+/// blocks on a lock conflict, these return [`TryOp::WouldBlock`] after
+/// registering interest in the stripe — the program then returns
+/// [`TxnStep::WaitLock`] and the worker moves on.
+pub struct StepCtx<'a> {
+    db: &'a Database,
+    exec: &'a ExecInner,
+    tid: Tid,
+    blocked_on: Option<Oid>,
+}
+
+impl StepCtx<'_> {
+    /// `self()`: the executing transaction's id.
+    pub fn id(&self) -> Tid {
+        self.tid
+    }
+
+    /// The object the last failed try-operation blocked on, if any —
+    /// convenience for `sc.park()`-style program tails.
+    pub fn blocked_on(&self) -> Option<Oid> {
+        self.blocked_on
+    }
+
+    fn check_live(&self) -> Result<()> {
+        match self.db.status(self.tid)? {
+            TxnStatus::Running => Ok(()),
+            TxnStatus::Aborting | TxnStatus::Aborted => Err(AssetError::TxnAborted(self.tid)),
+            s => Err(AssetError::InvalidState {
+                tid: self.tid,
+                status: s,
+                op: "operation",
+            }),
+        }
+    }
+
+    /// Register-then-re-check lock acquisition: on conflict, interest in
+    /// the stripe is published **before** the second attempt, so a grant
+    /// that lands in between is observed by the retry and a grant after
+    /// the park is delivered by the stripe hook — no lost wakeup.
+    #[exec_step]
+    fn try_acquire(&mut self, ob: Oid, op: Operation) -> Result<bool> {
+        let inner = &self.db.inner;
+        if inner.locks.try_lock(self.tid, ob, op).is_ok() {
+            self.blocked_on = None;
+            return Ok(true);
+        }
+        self.exec
+            .register_stripe_wait(inner.locks.stripe_of(ob), self.tid);
+        match inner.locks.try_lock(self.tid, ob, op) {
+            Ok(()) => {
+                self.blocked_on = None;
+                Ok(true)
+            }
+            Err(holders) => {
+                // same deadlock policy as the blocking path, applied at
+                // park time instead of sleep time
+                inner.locks.note_blocked(self.tid, &holders)?;
+                self.blocked_on = Some(ob);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Non-blocking read: read-lock (honoring permits) then an S-latched
+    /// read. `Done(None)` if the object does not exist.
+    #[exec_step]
+    pub fn try_read(&mut self, ob: Oid) -> Result<TryOp<Option<Vec<u8>>>> {
+        self.check_live()?;
+        if !self.try_acquire(ob, Operation::Read)? {
+            return Ok(TryOp::WouldBlock);
+        }
+        Ok(TryOp::Done(self.db.inner.engine.read_object(ob)?))
+    }
+
+    /// Non-blocking write: write-lock, X-latched install, before/after
+    /// images logged, undo entry recorded — `TxnCtx::write` without the
+    /// lock wait.
+    #[exec_step]
+    pub fn try_write(&mut self, ob: Oid, bytes: impl Into<Vec<u8>>) -> Result<TryOp<()>> {
+        self.try_install(ob, Some(bytes.into()))
+    }
+
+    /// Non-blocking delete (a write installing a tombstone).
+    #[exec_step]
+    pub fn try_delete(&mut self, ob: Oid) -> Result<TryOp<()>> {
+        self.try_install(ob, None)
+    }
+
+    /// Non-blocking exclusive lock without writing yet (upgrade-avoidance,
+    /// as [`TxnCtx::lock_exclusive`](crate::TxnCtx::lock_exclusive)).
+    #[exec_step]
+    pub fn try_lock_exclusive(&mut self, ob: Oid) -> Result<TryOp<()>> {
+        self.check_live()?;
+        if !self.try_acquire(ob, Operation::Write)? {
+            return Ok(TryOp::WouldBlock);
+        }
+        Ok(TryOp::Done(()))
+    }
+
+    #[exec_step]
+    fn try_install(&mut self, ob: Oid, after: Option<Vec<u8>>) -> Result<TryOp<()>> {
+        self.check_live()?;
+        if !self.try_acquire(ob, Operation::Write)? {
+            return Ok(TryOp::WouldBlock);
+        }
+        let inner = &self.db.inner;
+        let before = inner.engine.write_object(self.tid, ob, after)?;
+        let seq = inner.undo_seq.fetch_add(1, Ordering::Relaxed);
+        inner.txns.with(self.tid, |slot| {
+            if let Some(slot) = slot {
+                slot.undo.push(UndoEntry {
+                    seq,
+                    oid: ob,
+                    before,
+                });
+            }
+        });
+        Ok(TryOp::Done(()))
+    }
+}
+
+impl std::fmt::Debug for StepCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StepCtx({})", self.tid)
+    }
+}
+
+impl Database {
+    fn executor(&self) -> Arc<ExecInner> {
+        Arc::clone(
+            self.inner
+                .exec
+                .get_or_init(|| ExecInner::spawn(&self.inner)),
+        )
+    }
+
+    /// Submit a transaction to the state-machine executor: `initiate` +
+    /// executor-side `begin` + stepwise execution + group commit through
+    /// the batched log flusher, all driven by the worker pool. Returns the
+    /// tid immediately; await the result with [`outcome`](Self::outcome).
+    ///
+    /// The program is re-entered from the top on every step, so it must be
+    /// resumable: track progress in captured state.
+    ///
+    /// ```
+    /// use asset_core::{Database, TryOp, TxnStep};
+    ///
+    /// let db = Database::in_memory();
+    /// let account = db.new_oid();
+    /// let t = db
+    ///     .submit(move |sc| match sc.try_write(account, b"100".to_vec()) {
+    ///         Ok(TryOp::Done(())) => TxnStep::Done(Ok(())),
+    ///         Ok(TryOp::WouldBlock) => TxnStep::WaitLock { ob: account },
+    ///         Err(e) => TxnStep::Done(Err(e)),
+    ///     })
+    ///     .unwrap();
+    /// assert!(db.outcome(t).unwrap(), "committed through the flush window");
+    /// assert_eq!(db.peek(account).unwrap().unwrap(), b"100");
+    /// ```
+    pub fn submit(
+        &self,
+        prog: impl FnMut(&mut StepCtx<'_>) -> TxnStep + Send + 'static,
+    ) -> Result<Tid> {
+        let exec = self.executor();
+        // executor transactions reuse the TD admission path; the slot's
+        // job is a placeholder (the program lives in the task)
+        let t = self.initiate(|_| Ok(()))?;
+        let task = Arc::new(Task {
+            tid: t,
+            sched: AtomicU8::new(QUEUED),
+            body: Mutex::new(TaskBody {
+                phase: Phase::Begin,
+                prog: Some(Box::new(prog)),
+                group: Vec::new(),
+                commit_t0: None,
+            }),
+            flush_result: Mutex::new(None),
+        });
+        exec.tasks.lock().insert(t, Arc::clone(&task));
+        if exec.degraded() {
+            // no worker threads could be spawned: drive the machine here
+            run_inline(&exec, self, &task);
+        } else {
+            exec.push(t);
+        }
+        Ok(t)
+    }
+
+    /// Block until a submitted transaction reaches a terminal state;
+    /// `true` if it committed. (The submitting thread may block — worker
+    /// steps never do.)
+    pub fn outcome(&self, t: Tid) -> Result<bool> {
+        loop {
+            let epoch = self.inner.txns.epoch();
+            match self.status(t)? {
+                TxnStatus::Committed => return Ok(true),
+                TxnStatus::Aborted => return Ok(false),
+                _ => self.inner.txns.wait_event(epoch),
+            }
+        }
+    }
+}
+
+/// Degraded path for environments where no worker thread could be
+/// spawned: drive the task's state machine on the submitting thread,
+/// yielding between parks (wake hooks still flip the task runnable).
+fn run_inline(exec: &Arc<ExecInner>, db: &Database, task: &Arc<Task>) {
+    loop {
+        match task.sched.load(Ordering::Acquire) {
+            DONE => break,
+            QUEUED | RUNNING_DIRTY => {
+                task.sched.store(QUEUED, Ordering::Release);
+                ExecInner::run_task(exec, db, task.tid);
+            }
+            _ => std::thread::yield_now(),
+        }
+    }
+    // nobody drains the run queues in degraded mode; clear the wakeup
+    // residue so it cannot accumulate across submissions
+    for q in exec.queues.iter() {
+        q.lock().clear();
+    }
+    *exec.pending.lock() = 0;
+}

@@ -16,6 +16,12 @@
 //! distinct from commit (locks are retained and changes stay volatile until
 //! the explicit `commit` runs the paper's §4.2 protocol).
 //!
+//! For throughput-bound workloads, [`Database::submit`] instead runs a
+//! transaction as a resumable state machine ([`TxnStep`]) on a fixed
+//! worker pool, and commit records from concurrent transactions are
+//! batched by the group-commit log flusher into one write+fsync per flush
+//! window (DESIGN.md §12).
+//!
 //! ```
 //! use asset_core::Database;
 //!
@@ -34,6 +40,7 @@
 pub mod codec;
 mod context;
 mod database;
+mod exec;
 pub mod failpoints;
 mod txns;
 
@@ -43,6 +50,7 @@ mod tests;
 pub use codec::{Handle, ObjectCodec, RawBytes};
 pub use context::TxnCtx;
 pub use database::{Database, DatabaseStats, Introspection, Job};
+pub use exec::{StepCtx, StepProg, TryOp, TxnStep};
 
 // Re-export the vocabulary so `asset_core` is self-sufficient to use.
 pub use asset_common::{

@@ -30,6 +30,12 @@ pub(crate) struct TxnTable {
     /// Event count: bumped on every status change anyone might wait for.
     epoch: Mutex<u64>,
     event_cv: Condvar,
+    /// Executor wake hook: invoked after every [`bump`](Self::bump) so the
+    /// worker pool can requeue transactions parked on a dependency gate.
+    /// The hook runs on the bumping thread with no shard lock held.
+    bump_hook: Mutex<Option<std::sync::Arc<dyn Fn() + Send + Sync>>>,
+    /// Fast-path skip for the hook check on the bump hot path.
+    bump_hook_set: std::sync::atomic::AtomicBool,
 }
 
 impl TxnTable {
@@ -40,7 +46,16 @@ impl TxnTable {
             mask: (n - 1) as u64,
             epoch: Mutex::new(0),
             event_cv: Condvar::new(),
+            bump_hook: Mutex::new(None),
+            bump_hook_set: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Install the executor wake hook fired after every epoch bump.
+    pub fn set_bump_hook(&self, hook: std::sync::Arc<dyn Fn() + Send + Sync>) {
+        *self.bump_hook.lock() = Some(hook);
+        self.bump_hook_set
+            .store(true, std::sync::atomic::Ordering::Release);
     }
 
     fn shard_index(&self, t: Tid) -> usize {
@@ -117,13 +132,23 @@ impl TxnTable {
         }
     }
 
-    /// Publish a state change: advance the epoch and wake all waiters.
+    /// Publish a state change: advance the epoch and wake all waiters —
+    /// both thread-parked ones (condvar) and executor-parked ones (hook).
     pub fn bump(&self) {
         {
             let mut ep = self.epoch.lock();
             *ep += 1;
         }
         self.event_cv.notify_all();
+        if self
+            .bump_hook_set
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            let hook = self.bump_hook.lock().clone();
+            if let Some(hook) = hook {
+                hook();
+            }
+        }
     }
 }
 

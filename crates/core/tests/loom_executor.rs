@@ -1,0 +1,225 @@
+#![cfg(loom)]
+//! Loom model checks for the executor's park/wake handoff
+//! (`crates/core/src/exec.rs`): a worker that fails to acquire a lock
+//! *registers interest in the stripe, re-checks, and only then parks* via
+//! `CAS RUNNING → PARKED`; the grant side releases, drains the stripe
+//! waiter list, and enqueues each task via `CAS PARKED → QUEUED` (push +
+//! notify) or `CAS RUNNING → RUNNING_DIRTY` (the worker's park CAS then
+//! fails and it requeues itself). The theorem: no interleaving of the
+//! release with the register/re-check/park window strands a parked task
+//! whose lock was granted.
+//!
+//! The scheduling word and queues are crate-private, so the protocol is
+//! mirrored here verbatim over the same `asset_common::sync` primitives;
+//! the last test shows loom *catching* the naive plain-store park (it
+//! erases a concurrent `QUEUED` and deadlocks), which is exactly the bug
+//! the `RUNNING_DIRTY` state exists to prevent.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p asset-core --test
+//! loom_executor --release`.
+
+use asset_common::sync::{Condvar, Mutex};
+use loom::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+use std::collections::VecDeque;
+
+const PARKED: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const RUNNING_DIRTY: u8 = 3;
+
+/// Mirror of one executor task's scheduling state: the per-task word, a
+/// run queue, the stripe waiter list, and the contended lock entry.
+struct Model {
+    sched: AtomicU8,
+    queue: Mutex<VecDeque<u32>>,
+    queue_cv: Condvar,
+    waiters: Mutex<Vec<u32>>,
+    locked: AtomicBool,
+    acquired: AtomicBool,
+}
+
+impl Model {
+    /// Task starts queued (as `Database::submit` leaves it) with the
+    /// stripe entry held by the other transaction.
+    fn new() -> Model {
+        Model {
+            sched: AtomicU8::new(QUEUED),
+            queue: Mutex::new(VecDeque::from([0])),
+            queue_cv: Condvar::new(),
+            waiters: Mutex::new(Vec::new()),
+            locked: AtomicBool::new(true),
+            acquired: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self) {
+        self.queue.lock().push_back(0);
+        self.queue_cv.notify_one();
+    }
+
+    /// Grant-side wakeup (`ExecInner::enqueue`): parked → queue it;
+    /// running → mark dirty so the park CAS fails and the worker requeues
+    /// itself; queued/dirty → someone else already did.
+    fn enqueue(&self) {
+        loop {
+            match self
+                .sched
+                .compare_exchange(PARKED, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.push();
+                    return;
+                }
+                Err(RUNNING) => {
+                    if self
+                        .sched
+                        .compare_exchange(
+                            RUNNING,
+                            RUNNING_DIRTY,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                Err(_) => return, // QUEUED or RUNNING_DIRTY: wakeup already pending
+            }
+        }
+    }
+
+    /// `StepCtx::try_acquire`: try, register interest in the stripe,
+    /// re-check — a grant landing between the two attempts is observed by
+    /// the retry, one landing later is delivered by the drain.
+    fn try_acquire(&self) -> bool {
+        if !self.locked.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.waiters.lock().push(0);
+        !self.locked.load(Ordering::SeqCst)
+    }
+
+    /// Lock release + stripe drain (`LockTable::release_all` firing the
+    /// wake hook): clear the entry first, then wake every registered
+    /// waiter.
+    fn release_and_drain(&self) {
+        self.locked.store(false, Ordering::SeqCst);
+        let drained = std::mem::take(&mut *self.waiters.lock());
+        for _ in drained {
+            self.enqueue();
+        }
+    }
+}
+
+/// One pool worker (`ExecInner::run_task`). `safe_park` selects the real
+/// `CAS RUNNING → PARKED` protocol; `false` models the naive plain store
+/// that erases a concurrent `QUEUED`.
+fn worker(m: &Model, safe_park: bool) {
+    loop {
+        {
+            let mut q = m.queue.lock();
+            while q.pop_front().is_none() {
+                m.queue_cv.wait(&mut q);
+            }
+        }
+        if m.sched
+            .compare_exchange(QUEUED, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            continue; // stale queue entry; the claim raced a newer state
+        }
+        if m.try_acquire() {
+            m.acquired.store(true, Ordering::SeqCst);
+            return;
+        }
+        if safe_park {
+            match m
+                .sched
+                .compare_exchange(RUNNING, PARKED, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {}
+                Err(_) => {
+                    // RUNNING_DIRTY: a grant landed while we were
+                    // stepping; requeue instead of parking
+                    m.sched.store(QUEUED, Ordering::SeqCst);
+                    m.push();
+                }
+            }
+        } else {
+            // BUG: overwrites a concurrent PARKED→QUEUED transition
+            m.sched.store(PARKED, Ordering::SeqCst);
+        }
+    }
+}
+
+#[test]
+fn executor_handoff_never_loses_the_grant() {
+    loom::model(|| {
+        let m = Arc::new(Model::new());
+        let w = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || worker(&m, true))
+        };
+        let g = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.release_and_drain())
+        };
+        w.join().unwrap();
+        g.join().unwrap();
+        assert!(m.acquired.load(Ordering::SeqCst), "grant lost");
+    });
+}
+
+/// Two wake sources race (a stripe drain and the broadcast the txn-table
+/// bump hook performs): the task must still run exactly to completion —
+/// duplicate wakeups collapse into the QUEUED/RUNNING_DIRTY states, and a
+/// stale queue entry is skipped by the claim CAS.
+#[test]
+fn duplicate_wakeups_are_idempotent() {
+    loom::model(|| {
+        let m = Arc::new(Model::new());
+        let w = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || worker(&m, true))
+        };
+        let g = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.release_and_drain())
+        };
+        let b = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.enqueue()) // spurious broadcast wake
+        };
+        w.join().unwrap();
+        g.join().unwrap();
+        b.join().unwrap();
+        assert!(m.acquired.load(Ordering::SeqCst), "grant lost");
+    });
+}
+
+/// The bug `RUNNING_DIRTY` prevents: parking with a plain store. The
+/// grant can land between the failed re-check and the store — enqueue
+/// flips RUNNING→RUNNING_DIRTY (or PARKED→QUEUED), the store erases it,
+/// and the task sleeps forever on an empty queue. Loom finds the
+/// interleaving and reports the deadlock.
+#[test]
+#[should_panic]
+fn naive_plain_store_park_loses_the_wakeup() {
+    loom::model(|| {
+        let m = Arc::new(Model::new());
+        let w = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || worker(&m, false))
+        };
+        let g = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || m.release_and_drain())
+        };
+        w.join().unwrap();
+        g.join().unwrap();
+        assert!(m.acquired.load(Ordering::SeqCst), "grant lost");
+    });
+}

@@ -202,6 +202,10 @@ impl Shard {
     }
 }
 
+/// An installed executor wake hook: `hook(stripe)` requeues transactions
+/// parked on that stripe (see [`LockTable::set_wake_hook`]).
+type WakeHook = Arc<dyn Fn(usize) + Send + Sync>;
+
 /// The lock manager.
 pub struct LockTable {
     shards: Box<[Shard]>,
@@ -225,6 +229,14 @@ pub struct LockTable {
     /// Observability hub: lock-wait histograms, permit-chain lengths,
     /// delegation counts, and lifecycle events.
     obs: Arc<Obs>,
+    /// Executor wake hook: called with a stripe index (or
+    /// [`ALL_STRIPES`](Self::ALL_STRIPES)) after any grant-relevant state
+    /// change has been published and the condvar notified, so a worker-pool
+    /// scheduler can requeue transactions parked on that stripe. Installed
+    /// once at executor start; never invoked with a shard mutex held.
+    wake_hook: RwLock<Option<WakeHook>>,
+    /// Fast-path skip for the hook check on notify sites.
+    wake_hook_set: std::sync::atomic::AtomicBool,
 }
 
 enum Attempt {
@@ -266,6 +278,39 @@ impl LockTable {
             poisoned: Mutex::new(HashSet::new()),
             poison_count: AtomicUsize::new(0),
             obs,
+            wake_hook: RwLock::new(None),
+            wake_hook_set: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// The stripe-index argument [`set_wake_hook`](Self::set_wake_hook)
+    /// receives when a notification concerns every stripe (global permit,
+    /// poison, cross-shard release).
+    pub const ALL_STRIPES: usize = usize::MAX;
+
+    /// Install the executor wake hook (see the `wake_hook` field). The hook
+    /// runs on the notifying thread with no table locks held; it must not
+    /// call back into the lock table.
+    pub fn set_wake_hook(&self, hook: Arc<dyn Fn(usize) + Send + Sync>) {
+        *self.wake_hook.write() = Some(hook);
+        self.wake_hook_set
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// The stripe `ob` hashes to — lets a scheduler register a waiter on
+    /// the same stripe whose condvar a blocking request would park on.
+    pub fn stripe_of(&self, ob: Oid) -> usize {
+        self.shard_index(ob)
+    }
+
+    fn fire_wake_hook(&self, stripe: usize) {
+        if self
+            .wake_hook_set
+            .load(std::sync::atomic::Ordering::Acquire)
+        {
+            if let Some(hook) = self.wake_hook.read().as_ref() {
+                hook(stripe);
+            }
         }
     }
 
@@ -310,6 +355,7 @@ impl LockTable {
             drop(shard.inner.lock());
             shard.cv.notify_all();
         }
+        self.fire_wake_hook(Self::ALL_STRIPES);
     }
 
     /// Acquire a lock for `tid` on `ob` in the mode required by `op`,
@@ -326,6 +372,7 @@ impl LockTable {
         let mut wait_started: Option<Instant> = None;
         let mut queue_depth: u32 = 0;
         let mut through: Vec<(Tid, u32)> = Vec::new();
+        let mut chains: Vec<u32> = Vec::new();
         let result = (|| {
             let mut inner = shard.inner.lock();
             loop {
@@ -336,7 +383,16 @@ impl LockTable {
                     self.waits.clear(tid);
                     return Err(AssetError::TxnAborted(tid));
                 }
-                match self.attempt(sidx, &mut inner, tid, ob, mode, op, &mut through) {
+                match self.attempt(
+                    sidx,
+                    &mut inner,
+                    tid,
+                    ob,
+                    mode,
+                    op,
+                    &mut through,
+                    &mut chains,
+                ) {
                     Attempt::Granted => {
                         Self::clear_pending(&mut inner, tid, ob);
                         self.waits.clear(tid);
@@ -348,10 +404,19 @@ impl LockTable {
                         let depth = inner.objects.get(&ob).map_or(0, |od| od.pending.len()) as u64;
                         shard.stats.queue_peak.fetch_max(depth, Ordering::Relaxed);
                         if wait_started.is_none() {
-                            wait_started = Some(Instant::now());
                             queue_depth = depth as u32;
                             shard.stats.waits.fetch_add(1, Ordering::Relaxed);
                             bump(&self.obs.counters.lock_waits);
+                            // The wait-start clock read happens with the
+                            // stripe mutex released (DESIGN.md §7: no clock
+                            // reads inside the stripe critical section);
+                            // the pending entry is already published, and
+                            // the loop retries from step 1 after
+                            // re-locking, so no grant can be missed.
+                            drop(inner);
+                            wait_started = Some(Instant::now());
+                            inner = shard.inner.lock();
+                            continue;
                         }
                         self.waits.publish(tid, &holders);
                         bump(&self.obs.counters.deadlock_sweeps);
@@ -393,6 +458,9 @@ impl LockTable {
                 queue_depth,
             });
         }
+        for chain in chains {
+            self.obs.permit_chain_len.record(chain as u64);
+        }
         if matches!(result, Err(AssetError::Deadlock(_))) {
             self.obs
                 .record(EventKind::DeadlockSweep { tid, cycle: true });
@@ -412,6 +480,7 @@ impl LockTable {
     pub fn try_lock(&self, tid: Tid, ob: Oid, op: Operation) -> std::result::Result<(), Vec<Tid>> {
         let sidx = self.shard_index(ob);
         let mut through: Vec<(Tid, u32)> = Vec::new();
+        let mut chains: Vec<u32> = Vec::new();
         let result = {
             let mut inner = self.shards[sidx].inner.lock();
             match self.attempt(
@@ -422,6 +491,7 @@ impl LockTable {
                 op.required_mode(),
                 op,
                 &mut through,
+                &mut chains,
             ) {
                 Attempt::Granted => {
                     Self::clear_pending(&mut inner, tid, ob);
@@ -431,6 +501,9 @@ impl LockTable {
                 Attempt::Blocked(holders) => Err(holders),
             }
         };
+        for chain in chains {
+            self.obs.permit_chain_len.record(chain as u64);
+        }
         for (holder, chain) in through {
             self.obs.record(EventKind::PermitThrough {
                 holder,
@@ -442,13 +515,34 @@ impl LockTable {
         result
     }
 
+    /// Publish a blocked *executor* request's waits-for edges and run the
+    /// cycle check — the same deadlock policy the blocking
+    /// [`lock`](Self::lock) path applies before parking. A worker calls
+    /// this after a failed [`try_lock`](Self::try_lock) (with the blockers
+    /// it returned) instead of sleeping on the stripe condvar. Edges are
+    /// cleared when a later `try_lock` grants, or by `release_all`.
+    pub fn note_blocked(&self, tid: Tid, holders: &[Tid]) -> Result<()> {
+        self.waits.publish(tid, holders);
+        bump(&self.obs.counters.deadlock_sweeps);
+        if self.waits.cycle_through(tid) {
+            self.waits.clear(tid);
+            bump(&self.obs.counters.deadlocks);
+            self.obs
+                .record(EventKind::DeadlockSweep { tid, cycle: true });
+            return Err(AssetError::Deadlock(tid));
+        }
+        Ok(())
+    }
+
     /// The paper's `read-lock`/`write-lock` algorithm, one shard-local
     /// attempt.
     /// `through` collects `(holder, chain_hops)` pairs for every conflict a
     /// permit let through on a *granted* attempt, so the caller can emit
-    /// the causal `PermitThrough` events after the shard guard drops
-    /// (DESIGN.md §7: clock reads and trace events stay outside the stripe
-    /// critical section).
+    /// the causal `PermitThrough` events after the shard guard drops;
+    /// `chains` likewise collects walked permit-chain depths for the
+    /// caller to feed the `permit_chain_len` histogram outside the guard
+    /// (DESIGN.md §7: clock reads, histogram updates and trace events stay
+    /// outside the stripe critical section).
     #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
@@ -459,6 +553,7 @@ impl LockTable {
         mode: LockMode,
         op: Operation,
         through: &mut Vec<(Tid, u32)>,
+        chains: &mut Vec<u32>,
     ) -> Attempt {
         let od = inner.objects.entry(ob).or_default();
 
@@ -494,7 +589,7 @@ impl LockTable {
             };
             bump(&self.obs.counters.permit_checks);
             if chain > 0 {
-                self.obs.permit_chain_len.record(chain as u64);
+                chains.push(chain as u32);
             }
             if permitted {
                 to_suspend.push((gl.tid, chain as u32));
@@ -629,6 +724,7 @@ impl LockTable {
                     shard.permit_count.fetch_add(1, Ordering::Relaxed);
                 }
                 shard.cv.notify_all();
+                self.fire_wake_hook(s);
             }
             PermitRoute::Global => {
                 {
@@ -739,6 +835,7 @@ impl LockTable {
                 }
             }
             shard.cv.notify_all();
+            self.fire_wake_hook(s);
         }
         if self.global_permit_count.load(Ordering::Relaxed) > 0 {
             {
@@ -811,6 +908,7 @@ impl LockTable {
                 released.extend(objects);
             }
             shard.cv.notify_all();
+            self.fire_wake_hook(s);
         }
         if self.global_permit_count.load(Ordering::Relaxed) > 0 {
             let removed = {

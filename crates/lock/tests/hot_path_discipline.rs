@@ -1,0 +1,104 @@
+//! Regression guard for the stripe-mutex hot-path discipline (DESIGN.md
+//! §7): no clock read and no histogram update may happen while a stripe
+//! mutex is held on the lock/requeue path.
+//!
+//! The discipline is structural, so the guard is structural too: the test
+//! scans `src/table.rs` (compiled into the test binary via `include_str!`,
+//! so it always sees the sources it was built from) and asserts the two
+//! regressions this PR removed cannot silently come back:
+//!
+//! 1. `attempt()` — the shard-local grant attempt, always called with the
+//!    stripe mutex held — must not touch `Instant::now` or record into any
+//!    histogram; it hands chain depths out through the `chains` out-param.
+//! 2. In `lock()`'s retry loop, the wait-start `Instant::now()` must only
+//!    run after `drop(inner)` releases the stripe guard.
+//!
+//! A behavioral companion checks the wait metrics still arrive.
+
+use asset_common::{AssetError, Oid, Operation, Tid};
+use asset_lock::LockTable;
+use std::time::Duration;
+
+const TABLE_SRC: &str = include_str!("../src/table.rs");
+
+/// The body of one `fn name(` item, up to the next top-level method of the
+/// impl block (crude but stable: methods in table.rs are separated by
+/// `\n    /// ` doc comments or `\n    pub fn ` / `\n    fn ` at 4-space
+/// indent).
+fn fn_body<'a>(src: &'a str, header: &str) -> &'a str {
+    let start = src
+        .find(header)
+        .unwrap_or_else(|| panic!("{header} not found in table.rs"));
+    let rest = &src[start + header.len()..];
+    // End of the item: the next fn definition at impl-block indentation.
+    let end = ["\n    pub fn ", "\n    fn ", "\n    pub const ", "\n}"]
+        .iter()
+        .filter_map(|pat| rest.find(pat))
+        .min()
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn attempt_never_reads_the_clock_or_records_histograms_under_the_guard() {
+    let body = fn_body(TABLE_SRC, "fn attempt(");
+    assert!(
+        !body.contains("Instant::now"),
+        "attempt() runs under the stripe mutex: clock reads moved out in \
+         the executor PR must not come back"
+    );
+    assert!(
+        !body.contains(".record("),
+        "attempt() runs under the stripe mutex: histogram updates must go \
+         through the `chains`/`through` out-params and be recorded by the \
+         caller after the guard drops"
+    );
+}
+
+#[test]
+fn wait_start_clock_read_happens_with_the_stripe_guard_dropped() {
+    let body = fn_body(TABLE_SRC, "pub fn lock(");
+    // Every Instant::now() inside lock()'s locked region must be preceded
+    // (nearby) by dropping the stripe guard. The deadline computation at
+    // the top runs before the stripe mutex is first taken.
+    let locked_region_start = body
+        .find("shard.inner.lock()")
+        .expect("lock() takes the stripe mutex");
+    let locked = &body[locked_region_start..];
+    for (pos, _) in locked.match_indices("Instant::now()") {
+        let window = &locked[pos.saturating_sub(600)..pos];
+        assert!(
+            window.contains("drop(inner)"),
+            "Instant::now() inside lock()'s retry loop must follow \
+             drop(inner); found one without a preceding guard drop"
+        );
+    }
+}
+
+#[test]
+fn blocked_waits_still_record_wait_metrics() {
+    // Behavioral companion: moving the clock read off the mutex must not
+    // lose the wait accounting itself.
+    let t = LockTable::with_shards(4);
+    t.lock(Tid(1), Oid(9), Operation::Write, None).unwrap();
+    let err = t
+        .lock(
+            Tid(2),
+            Oid(9),
+            Operation::Write,
+            Some(Duration::from_millis(30)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, AssetError::LockTimeout { .. }));
+    let stats = t
+        .stripe_stats()
+        .into_iter()
+        .find(|s| s.waits > 0)
+        .expect("the blocked request registered a distinct wait");
+    assert!(stats.blocks >= 1);
+    assert!(
+        stats.wait_ns_total > 0,
+        "wait duration still measured (outside the guard)"
+    );
+    assert_eq!(stats.timeouts, 1);
+}

@@ -115,6 +115,16 @@ define_counters! {
     /// Buffered appends that coalesced (stayed in user space; no write
     /// syscall issued).
     log_coalesced,
+    /// Flush windows the group-commit flusher made durable (each covers
+    /// one or more commit records under a single forced sync).
+    flush_windows,
+    /// State-machine steps executed by the transaction executor's worker
+    /// pool.
+    exec_steps,
+    /// Executor transactions parked on a lock, dependency, or flush wait.
+    exec_parks,
+    /// Executor transactions re-enqueued onto a run queue after a wakeup.
+    exec_requeues,
     /// Events accepted by the ring-buffer recorder.
     events_recorded,
 }

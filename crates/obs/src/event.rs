@@ -186,6 +186,36 @@ pub enum EventKind {
         /// Nanoseconds the drain took.
         dur_ns: u64,
     },
+    /// The group-commit flusher made one flush window durable: every
+    /// commit record queued in the window shares this single write+sync.
+    FlushWindow {
+        /// Monotonic window number (per flusher).
+        window: u64,
+        /// Commit records coalesced into the window.
+        records: u32,
+        /// Log bytes accepted while the window was assembled.
+        bytes: u64,
+        /// Nanoseconds from window assembly to sync completion.
+        dur_ns: u64,
+    },
+    /// A transaction's commit record became durable as part of a flush
+    /// window — the causal hand-off from the committer's track onto the
+    /// shared flush lane.
+    CommitFlushed {
+        /// The committed transaction.
+        tid: Tid,
+        /// The window (matching [`FlushWindow`](EventKind::FlushWindow))
+        /// that carried its commit record.
+        window: u64,
+    },
+    /// An executor-driven transaction parked (left a worker) pending a
+    /// wakeup.
+    ExecPark {
+        /// The parked transaction.
+        tid: Tid,
+        /// Why it parked: `"lock"`, `"dep"`, or `"flush"`.
+        reason: &'static str,
+    },
     /// A cache-latch acquisition had to spin before succeeding.
     LatchSpin {
         /// Backoff rounds spent before the latch was acquired.

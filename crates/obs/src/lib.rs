@@ -76,6 +76,8 @@ pub struct Obs {
     /// End-to-end `commit` latency (recorded only while tracing is
     /// enabled).
     pub commit_ns: AtomicHistogram,
+    /// Commit records coalesced per group-commit flush window.
+    pub flush_batch_len: AtomicHistogram,
     recorder: EventRecorder,
     epoch: Instant,
     #[cfg(feature = "tracing-bridge")]
@@ -101,6 +103,7 @@ impl Obs {
             commit_group_size: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
             undo_records: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
             commit_ns: AtomicHistogram::new(LATENCY_NS_BOUNDS),
+            flush_batch_len: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
             recorder: EventRecorder::new(),
             epoch: Instant::now(),
             #[cfg(feature = "tracing-bridge")]
@@ -192,6 +195,7 @@ impl Obs {
             commit_group_size: self.commit_group_size.snapshot(),
             undo_records: self.undo_records.snapshot(),
             commit_ns: self.commit_ns.snapshot(),
+            flush_batch_len: self.flush_batch_len.snapshot(),
             events_dropped: self.recorder.dropped(),
             tracing_enabled: self.recorder.is_enabled(),
         }

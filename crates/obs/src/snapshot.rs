@@ -30,6 +30,8 @@ pub struct MetricsSnapshot {
     /// End-to-end `commit` latency in nanoseconds (recorded only while
     /// tracing is enabled, like the log latencies).
     pub commit_ns: HistogramSnapshot,
+    /// Commit records coalesced per group-commit flush window.
+    pub flush_batch_len: HistogramSnapshot,
     /// Events dropped by the ring recorder on slot contention.
     pub events_dropped: u64,
     /// Whether the event recorder was enabled when the snapshot was taken.
@@ -62,7 +64,7 @@ impl MetricsSnapshot {
     /// Every histogram as a `(name, snapshot)` pair, in declaration order —
     /// the registry exporters iterate (mirrors
     /// [`CounterSnapshot::for_each`]).
-    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 8] {
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 9] {
         [
             ("lock_wait_ns", &self.lock_wait_ns),
             ("latch_spins", &self.latch_spins),
@@ -72,6 +74,7 @@ impl MetricsSnapshot {
             ("commit_group_size", &self.commit_group_size),
             ("undo_records", &self.undo_records),
             ("commit_ns", &self.commit_ns),
+            ("flush_batch_len", &self.flush_batch_len),
         ]
     }
 
@@ -92,6 +95,7 @@ impl MetricsSnapshot {
             commit_group_size: self.commit_group_size.delta(&earlier.commit_group_size),
             undo_records: self.undo_records.delta(&earlier.undo_records),
             commit_ns: self.commit_ns.delta(&earlier.commit_ns),
+            flush_batch_len: self.flush_batch_len.delta(&earlier.flush_batch_len),
             events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
             tracing_enabled: self.tracing_enabled,
         }

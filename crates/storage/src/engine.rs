@@ -4,7 +4,7 @@
 
 use crate::cache::ObjectCache;
 use crate::heapfile::{FilePageStore, MemPageStore, PageStore};
-use crate::log::{LogManager, LogRecord};
+use crate::log::{GroupFlusher, LogManager, LogRecord};
 use crate::recovery::{recover, RecoveryReport};
 use crate::store::ObjectStore;
 use asset_common::{Config, Durability, Lsn, Oid, Result, Tid};
@@ -15,11 +15,14 @@ use std::sync::Arc;
 ///
 /// All object access during normal operation goes through the shared cache
 /// (the paper's mode of operation); the store is the persistent home,
-/// written at checkpoints, flushes and recovery.
+/// written at checkpoints, flushes and recovery. Commit records are routed
+/// through the [`GroupFlusher`], which batches every commit submitted
+/// within one flush window into a single write+sync.
 pub struct StorageEngine {
     cache: ObjectCache,
     store: ObjectStore,
-    log: LogManager,
+    log: Arc<LogManager>,
+    flusher: GroupFlusher,
     durability: Durability,
     obs: Arc<Obs>,
     #[cfg(feature = "faults")]
@@ -62,12 +65,22 @@ impl StorageEngine {
         log.set_obs(Arc::clone(&obs));
         #[cfg(feature = "faults")]
         log.set_faults(Arc::clone(&config.faults));
+        let log = Arc::new(log);
+        let flusher = GroupFlusher::spawn(
+            Arc::clone(&log),
+            config.durability,
+            config.commit_flush_window,
+            Arc::clone(&obs),
+            #[cfg(feature = "faults")]
+            Arc::clone(&config.faults),
+        );
         let store = ObjectStore::open(page_store, config.buffer_pool_pages)?;
         let cache = ObjectCache::with_obs(Arc::clone(&obs));
         let engine = StorageEngine {
             cache,
             store,
             log,
+            flusher,
             durability: config.durability,
             obs,
             #[cfg(feature = "faults")]
@@ -135,13 +148,21 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Log a record (commit/abort/delegate/begin), forcing commits under
-    /// strict durability.
+    /// Log a record (commit/abort/delegate/begin). Commit records go
+    /// through the [`GroupFlusher`]: the call blocks until the record's
+    /// flush window is durable, so acknowledgement semantics match the old
+    /// per-commit forced append while concurrent committers share one sync.
     pub fn log_record(&self, rec: &LogRecord) -> Result<Lsn> {
         match rec {
-            LogRecord::Commit { .. } => self.log.append_forced(rec),
+            LogRecord::Commit { .. } => self.flusher.submit_and_wait(rec.clone()),
             _ => self.log.append(rec),
         }
+    }
+
+    /// The group-commit flusher (asynchronous acknowledgement path for the
+    /// state-machine executor).
+    pub fn flusher(&self) -> &GroupFlusher {
+        &self.flusher
     }
 
     /// Quiescent checkpoint: flush the cache and pool, truncate the log,

@@ -39,6 +39,17 @@ pub const CHECKPOINT_BEFORE_TRUNCATE: &str = "checkpoint.before_truncate";
 /// after the log is truncated, before the checkpoint marker is appended.
 pub const CHECKPOINT_AFTER_TRUNCATE: &str = "checkpoint.after_truncate";
 
+/// In [`GroupFlusher`](crate::log::GroupFlusher): while the flusher thread
+/// assembles a flush window, before any of the window's commit records is
+/// appended. `Torn` appends a prefix of the window's records (tickets, not
+/// bytes), then crashes — modelling a crash with the window half-written.
+pub const FLUSH_WINDOW_ASSEMBLE: &str = "flush.window.assemble";
+
+/// In [`GroupFlusher`](crate::log::GroupFlusher): guarding the single
+/// forced sync that makes a whole flush window durable. `ElideSync` skips
+/// the sync while acknowledging every commit in the window.
+pub const FLUSH_WINDOW_SYNC: &str = "flush.window.sync";
+
 /// Every failpoint the storage layer registers, for matrix sweeps.
 pub const ALL: &[&str] = &[
     LOG_APPEND,
@@ -48,4 +59,6 @@ pub const ALL: &[&str] = &[
     STORE_SYNC,
     CHECKPOINT_BEFORE_TRUNCATE,
     CHECKPOINT_AFTER_TRUNCATE,
+    FLUSH_WINDOW_ASSEMBLE,
+    FLUSH_WINDOW_SYNC,
 ];

@@ -39,6 +39,6 @@ pub mod store;
 pub use cache::{CachedObject, ObjectCache};
 pub use engine::{CompactionReport, StorageEngine};
 pub use latch::Latch;
-pub use log::{LogManager, LogRecord, LogWatermarks};
+pub use log::{FlushCallback, GroupFlusher, LogManager, LogRecord, LogWatermarks};
 pub use recovery::{analyze, recover, LogAnalysis, PendingUpdate, RecoveryReport};
 pub use store::ObjectStore;

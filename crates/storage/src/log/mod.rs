@@ -13,8 +13,10 @@
 //! force, as before — the coalescing only widens the crash window of a mode
 //! whose contract already tolerates losing the tail.
 
+mod flusher;
 mod record;
 
+pub use flusher::{FlushCallback, GroupFlusher};
 pub use record::LogRecord;
 
 use asset_annot::{verify_allow, wal};

@@ -175,6 +175,11 @@ fn span_args(kind: &SpanKind) -> String {
         ),
         SpanKind::LatchSpin { spins } => format!(r#""spins":{spins}"#),
         SpanKind::LogFlush { bytes } => format!(r#""bytes":{bytes}"#),
+        SpanKind::FlushWindow {
+            window,
+            records,
+            bytes,
+        } => format!(r#""window":{window},"records":{records},"bytes":{bytes}"#),
         SpanKind::Named(_) => String::new(),
     }
 }
@@ -269,6 +274,21 @@ pub fn render(g: &CausalGraph) -> String {
         );
     }
 
+    // Commit flows onto shared flush windows: the arrow leaves the
+    // committer's track and lands on the storage lane, so several
+    // transactions' commits visibly terminate on one flush-window span.
+    for f in &g.flush_flows {
+        flow(
+            &mut out,
+            &mut first,
+            f.seq,
+            &format!("commit-flush (window {})", f.window),
+            f.tid,
+            Tid(STORAGE_TID),
+            f.at_ns,
+        );
+    }
+
     out.push_str("\n]}\n");
     out
 }
@@ -341,9 +361,62 @@ mod tests {
             .iter()
             .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
             .count();
-        assert_eq!(s_count, g.edges.len());
-        assert_eq!(f_count, g.edges.len());
+        assert_eq!(s_count, g.edges.len() + g.flush_flows.len());
+        assert_eq!(f_count, g.edges.len() + g.flush_flows.len());
         assert!(s_count >= 2, "delegate + CD dep expected");
+    }
+
+    #[test]
+    fn commit_flows_terminate_on_the_shared_flush_window() {
+        let (t1, t2, t3) = (Tid(1), Tid(2), Tid(3));
+        let mut trace = vec![
+            ev(0, 1_000, EventKind::TxnBegin { tid: t1 }),
+            ev(1, 1_100, EventKind::TxnBegin { tid: t2 }),
+            ev(2, 1_200, EventKind::TxnBegin { tid: t3 }),
+            ev(
+                3,
+                5_000,
+                EventKind::FlushWindow {
+                    window: 1,
+                    records: 3,
+                    bytes: 96,
+                    dur_ns: 700,
+                },
+            ),
+        ];
+        for (seq, t) in [(4, t1), (5, t2), (6, t3)] {
+            trace.push(ev(
+                seq,
+                5_000 + seq,
+                EventKind::CommitFlushed { tid: t, window: 1 },
+            ));
+        }
+        let g = CausalGraph::from_events(&trace);
+        assert_eq!(g.flush_flows.len(), 3);
+        assert!(g.flush_flows.iter().all(|f| f.window == 1));
+        let doc = render(&g);
+        let v = json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // One flush-window span on the storage lane (tid 0)...
+        let windows: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(|n| n.as_str()) == Some("flush-window")
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("X")
+            })
+            .collect();
+        assert_eq!(windows.len(), 1);
+        // ...and three commit flows finishing on it.
+        let finishes = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("f")
+                    && e.get("name")
+                        .and_then(|n| n.as_str())
+                        .is_some_and(|n| n.starts_with("commit-flush"))
+            })
+            .count();
+        assert_eq!(finishes, 3);
     }
 
     #[test]

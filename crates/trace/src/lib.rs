@@ -55,4 +55,6 @@ pub mod prom;
 pub mod span;
 pub mod top;
 
-pub use span::{CausalEdge, CausalGraph, CommitGroup, EdgeKind, Outcome, SpanKind, SubSpan, Track};
+pub use span::{
+    CausalEdge, CausalGraph, CommitGroup, EdgeKind, FlushFlow, Outcome, SpanKind, SubSpan, Track,
+};

@@ -36,6 +36,18 @@ pub enum SpanKind {
         /// Bytes drained from the user-space buffer.
         bytes: u64,
     },
+    /// A group-commit flush window became durable (storage track): one
+    /// shared write+sync covering `records` commit records. The
+    /// [`CausalGraph::flush_flows`] edges from each committer terminate on
+    /// this span.
+    FlushWindow {
+        /// Monotonic window number (per flusher).
+        window: u64,
+        /// Commit records coalesced into the window.
+        records: u32,
+        /// Log bytes accepted while the window was assembled.
+        bytes: u64,
+    },
     /// A named open/close span ([`SpanName`]: commit gate, rollback).
     Named(SpanName),
 }
@@ -47,6 +59,7 @@ impl SpanKind {
             SpanKind::LockWait { .. } => "lock-wait",
             SpanKind::LatchSpin { .. } => "latch-spin",
             SpanKind::LogFlush { .. } => "log-flush",
+            SpanKind::FlushWindow { .. } => "flush-window",
             SpanKind::Named(n) => n.label(),
         }
     }
@@ -208,6 +221,21 @@ pub struct CausalEdge {
     pub seq: u64,
 }
 
+/// A commit flow terminating on a shared flush window: `tid`'s commit
+/// record became durable as part of window `window` on the storage lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushFlow {
+    /// The committed transaction.
+    pub tid: Tid,
+    /// The flush window that carried its commit record (matches a
+    /// [`SpanKind::FlushWindow`] span in [`CausalGraph::storage`]).
+    pub window: u64,
+    /// When the acknowledgement was recorded (ns since epoch).
+    pub at_ns: u64,
+    /// Ring sequence number of the underlying event (unique per flow).
+    pub seq: u64,
+}
+
 /// One group commit: the transaction whose `commit` call carried the
 /// group, and every member (committer included).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -231,6 +259,10 @@ pub struct CausalGraph {
     pub edges: Vec<CausalEdge>,
     /// Group commits observed (GC components at their commit points).
     pub commit_groups: Vec<CommitGroup>,
+    /// Commit flows onto shared flush windows: many transactions' commits
+    /// terminating on one `flush-window` span is the group-commit flusher
+    /// working as intended.
+    pub flush_flows: Vec<FlushFlow>,
 }
 
 impl CausalGraph {
@@ -336,6 +368,40 @@ impl CausalGraph {
                         start_ns: at.saturating_sub(dur_ns),
                         end_ns: at,
                     });
+                }
+                EventKind::FlushWindow {
+                    window,
+                    records,
+                    bytes,
+                    dur_ns,
+                } => {
+                    g.storage.push(SubSpan {
+                        kind: SpanKind::FlushWindow {
+                            window,
+                            records,
+                            bytes,
+                        },
+                        start_ns: at.saturating_sub(dur_ns),
+                        end_ns: at,
+                    });
+                }
+                EventKind::CommitFlushed { tid, window } => {
+                    g.track(tid);
+                    g.flush_flows.push(FlushFlow {
+                        tid,
+                        window,
+                        at_ns: at,
+                        seq: e.seq,
+                    });
+                }
+                EventKind::ExecPark { tid, reason } => {
+                    let label = match reason {
+                        "lock" => "park-lock",
+                        "dep" => "park-dep",
+                        "flush" => "park-flush",
+                        _ => "park",
+                    };
+                    g.track(tid).milestones.push((at, label));
                 }
                 EventKind::LatchSpin { spins } => {
                     g.storage.push(SubSpan {

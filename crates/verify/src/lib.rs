@@ -2,7 +2,7 @@
 //!
 //! A workspace invariant analyzer for the ASSET codebase. It parses the
 //! runtime crates (`asset-core`, `asset-lock`, `asset-storage`) with a
-//! purpose-built lexer (no external parser dependencies) and enforces four
+//! purpose-built lexer (no external parser dependencies) and enforces five
 //! named rules:
 //!
 //! - **R1 `wal`** — WAL discipline: functions annotated
@@ -21,6 +21,11 @@
 //!   `failpoint_sync!` evaluation or a call to a failpoint-checker fn.
 //! - **R4 `no_panics`** — no `.unwrap()`, `.expect()`, `panic!`,
 //!   `unimplemented!`, or `todo!` in runtime (non-`#[cfg(test)]`) paths.
+//! - **R5 `exec_step`** — no blocking call inside an executor worker step:
+//!   functions annotated `#[exec_step]` must not call condvar waits,
+//!   sleeps, fsyncs, joins, channel receives, or synchronous flusher
+//!   submissions; suspension is expressed only by returning a
+//!   `TxnStep::Wait*` value.
 //!
 //! Suppressions are explicit and auditable: `#[verify_allow(rule,
 //! reason = "...")]` on a function, or `// verify: allow(rule) — reason`
@@ -49,6 +54,7 @@ pub fn rule_id(rule: &str) -> &'static str {
         "lock_order" => "R2",
         "failpoint_coverage" => "R3",
         "no_panics" => "R4",
+        "exec_step" => "R5",
         _ => "R0",
     }
 }
@@ -164,7 +170,7 @@ pub const DURABLE_WRITES: [&str; 5] = [
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule name (`wal`, `lock_order`, `failpoint_coverage`, `no_panics`,
-    /// or `meta` for analyzer-consistency findings).
+    /// `exec_step`, or `meta` for analyzer-consistency findings).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -452,6 +458,7 @@ impl Workspace {
         rules::lock_order::run(self, &mut raw);
         rules::failpoints::run(self, &mut raw);
         rules::no_panics::run(self, &mut raw);
+        rules::exec_step::run(self, &mut raw);
 
         let mut out = Analysis::default();
         for f in raw {

@@ -21,7 +21,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "asset-verify — workspace invariant analyzer\n\
-                     rules: R1 wal, R2 lock_order, R3 failpoint_coverage, R4 no_panics\n\
+                     rules: R1 wal, R2 lock_order, R3 failpoint_coverage, R4 no_panics, \
+                     R5 exec_step\n\
                      usage: asset-verify [--root PATH] [--list-allows]"
                 );
                 return ExitCode::SUCCESS;
@@ -74,7 +75,7 @@ fn main() -> ExitCode {
 
     if analysis.findings.is_empty() {
         println!(
-            "asset-verify: OK — 4 rules, 0 findings, {} audited suppression(s)",
+            "asset-verify: OK — 5 rules, 0 findings, {} audited suppression(s)",
             analysis.allows.len()
         );
         ExitCode::SUCCESS

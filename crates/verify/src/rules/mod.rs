@@ -2,6 +2,7 @@
 //! and pushes raw findings; suppression filtering happens centrally in
 //! [`crate::Workspace::analyze`].
 
+pub mod exec_step;
 pub mod failpoints;
 pub mod lock_order;
 pub mod no_panics;

@@ -137,6 +137,38 @@ fn r4_accepts_test_code_and_audited_suppressions() {
 }
 
 #[test]
+fn r5_detects_blocking_calls_inside_executor_steps() {
+    let a = analyze(
+        "core",
+        "tests/fixtures/r5_violating.rs",
+        include_str!("fixtures/r5_violating.rs"),
+    );
+    assert_eq!(
+        rendered(&a),
+        [
+            "R5 exec_step: tests/fixtures/r5_violating.rs:10 in `exec_commit_blocking` — \
+             blocking call `wait_event` inside an executor step; return TxnStep::Wait* and \
+             park instead",
+            "R5 exec_step: tests/fixtures/r5_violating.rs:12 in `exec_commit_blocking` — \
+             blocking call `submit_and_wait` inside an executor step; return TxnStep::Wait* \
+             and park instead",
+            "R5 exec_step: tests/fixtures/r5_violating.rs:18 in `exec_backoff` — blocking \
+             call `sleep` inside an executor step; return TxnStep::Wait* and park instead",
+        ]
+    );
+}
+
+#[test]
+fn r5_accepts_returned_suspension_and_unannotated_blocking_paths() {
+    let a = analyze(
+        "core",
+        "tests/fixtures/r5_conforming.rs",
+        include_str!("fixtures/r5_conforming.rs"),
+    );
+    assert_eq!(rendered(&a), [] as [&str; 0]);
+}
+
+#[test]
 fn meta_blessed_helper_must_declare_its_exemption() {
     let src = "impl LockTable {\n    pub fn release_all(&self, tid: Tid) -> Vec<Oid> {\n        Vec::new()\n    }\n}\n";
     let a = analyze("lock", "table.rs", src);

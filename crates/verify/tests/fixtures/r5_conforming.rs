@@ -1,0 +1,26 @@
+//! R5 fixture (conforming) — suspension is returned, not awaited: the
+//! step hands back a `TxnStep::Wait*` so the scheduler can park the
+//! transaction, and the flusher submission takes an acknowledgement
+//! callback instead of blocking on the window sync. Blocking is fine on
+//! un-annotated paths (the submitting thread may wait on the outcome).
+
+impl Database {
+    #[exec_step]
+    pub(crate) fn exec_commit_step(&self, t: Tid) -> Result<TxnStep> {
+        if !self.gate_open(t) {
+            return Ok(TxnStep::WaitDep);
+        }
+        let rec = LogRecord::Commit { tids: vec![t] };
+        self.engine
+            .flusher()
+            .submit_with_callback(rec, Box::new(|_| {}))?;
+        Ok(TxnStep::WaitFlush)
+    }
+
+    // not annotated: the submitting thread is allowed to block
+    pub fn outcome(&self, t: Tid) -> Result<bool> {
+        let epoch = self.txns.epoch();
+        self.txns.wait_event(epoch);
+        self.status(t)
+    }
+}

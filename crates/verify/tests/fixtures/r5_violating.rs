@@ -1,0 +1,20 @@
+//! R5 fixture (violating) — blocking calls inside executor worker steps:
+//! a worker-pool thread multiplexes many transactions, so a step that
+//! sleeps, waits on the event count, or awaits the flusher synchronously
+//! stalls every transaction queued behind it.
+
+impl Database {
+    #[exec_step]
+    pub(crate) fn exec_commit_blocking(&self, t: Tid) -> Result<()> {
+        let epoch = self.txns.epoch();
+        self.txns.wait_event(epoch);
+        let rec = LogRecord::Commit { tids: vec![t] };
+        self.engine.flusher().submit_and_wait(rec)?;
+        Ok(())
+    }
+
+    #[exec_step]
+    fn exec_backoff(&self) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

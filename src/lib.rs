@@ -17,6 +17,11 @@
 //! | `permit(ti, tj, obs, ops)` | allow conflicting operations, transitively |
 //! | `form_dependency(CD/AD/GC, ti, tj)` | commit / abort / group-commit dependencies |
 //!
+//! For throughput-bound workloads, [`Database::submit`] runs a transaction
+//! as a resumable state machine ([`TxnStep`]) on a fixed worker pool, with
+//! commit records batched by the group-commit log flusher into one
+//! write+fsync per flush window (`DESIGN.md` §12).
+//!
 //! This facade re-exports the whole workspace:
 //!
 //! * [`asset_core`] ([`Database`], [`TxnCtx`]) — the primitives;
@@ -75,7 +80,7 @@ pub use asset_common::{
     AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid,
     TxnStatus,
 };
-pub use asset_core::{Database, Handle, ObjectCodec, TxnCtx};
+pub use asset_core::{Database, Handle, ObjectCodec, StepCtx, StepProg, TryOp, TxnCtx, TxnStep};
 pub use asset_models::{
     run_atomic, run_contingent, run_distributed, run_nested, subtransaction, Saga, SagaOutcome,
     Workflow, WorkflowOutcome,

@@ -375,6 +375,159 @@ fn torn_matrix_delegation() {
 }
 
 // ---------------------------------------------------------------------------
+// Workload 5: the executor's batched flush window (DESIGN.md §12) — three
+// transactions submitted to the worker-pool executor while the group
+// flusher's window failpoints are armed. The executor path never unwinds
+// into the submitter: a crashed window acknowledges the callback with an
+// error and the members are driven through the ambiguous-commit abort
+// path, so every outcome is observable here. Invariant: `outcome == true`
+// is a durable acknowledgement (the value survives recovery); anything
+// else recovers to exactly the baseline or the new value; and an executor
+// commit acknowledged *before* the fault always survives it.
+// ---------------------------------------------------------------------------
+
+use asset::{TryOp, TxnStep};
+
+const WINDOW_POINTS: [&str; 2] = [
+    storage::failpoints::FLUSH_WINDOW_ASSEMBLE,
+    storage::failpoints::FLUSH_WINDOW_SYNC,
+];
+
+/// A resumable one-write executor program: re-entered from the top on
+/// every step, it simply re-attempts the write until granted.
+fn write_prog(
+    o: Oid,
+    val: &'static [u8],
+) -> impl FnMut(&mut asset::StepCtx<'_>) -> TxnStep + Send + 'static {
+    move |sc| match sc.try_write(o, val.to_vec()) {
+        Ok(TryOp::Done(())) => TxnStep::Done(Ok(())),
+        Ok(TryOp::WouldBlock) => TxnStep::WaitLock { ob: o },
+        Err(e) => TxnStep::Done(Err(e)),
+    }
+}
+
+fn exec_window_sweep(action: FaultAction) {
+    for point in WINDOW_POINTS {
+        let mut case = Case::new("w5");
+        // a non-zero window so concurrent submissions coalesce into the
+        // faulted flush
+        case.config = case
+            .config
+            .clone()
+            .with_commit_flush_window(std::time::Duration::from_millis(2));
+        let (o0, others);
+        {
+            // fault-free baseline: one executor commit acknowledged
+            // before the fault is armed
+            let db = case.open();
+            o0 = db.new_oid();
+            others = [db.new_oid(), db.new_oid(), db.new_oid()];
+            for o in others {
+                put(&db, o, b"e0");
+            }
+            let t = db.submit(write_prog(o0, b"acked")).unwrap();
+            assert!(db.outcome(t).unwrap(), "[{point}] fault-free submit");
+        }
+
+        case.faults.arm(point, Trigger::Once, action);
+        let acked = Arc::new(Mutex::new([false; 3]));
+        let acked2 = Arc::clone(&acked);
+        let _ = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+            let db = case.open();
+            let tids: Vec<_> = others
+                .iter()
+                .map(|&o| db.submit(write_prog(o, b"e1")))
+                .collect::<Result<_>>()?;
+            for (i, t) in tids.into_iter().enumerate() {
+                if db.outcome(t)? {
+                    acked2.lock().unwrap()[i] = true;
+                }
+            }
+            Ok(())
+        }));
+
+        let db = case.reopen_clean();
+        assert_eq!(
+            &get(&db, o0)[..],
+            b"acked",
+            "[{point}] pre-fault acknowledged executor commit lost"
+        );
+        let acked = *acked.lock().unwrap();
+        let vals: Vec<Vec<u8>> = others.iter().map(|&o| get(&db, o)).collect();
+        for (i, v) in vals.iter().enumerate() {
+            if acked[i] {
+                assert_eq!(&v[..], b"e1", "[{point}] acknowledged window commit lost");
+            } else {
+                assert!(
+                    v == b"e0" || v == b"e1",
+                    "[{point}] torn flush window left mixed state {v:?}"
+                );
+            }
+        }
+        drop(db);
+
+        let db = case.reopen_clean();
+        let again: Vec<Vec<u8>> = others.iter().map(|&o| get(&db, o)).collect();
+        assert_eq!(again, vals, "[{point}] recovery not idempotent");
+    }
+}
+
+#[test]
+fn crash_matrix_exec_flush_window() {
+    exec_window_sweep(FaultAction::Crash);
+}
+
+#[test]
+fn torn_matrix_exec_flush_window() {
+    exec_window_sweep(FaultAction::Torn {
+        keep_per_mille: 500,
+    });
+}
+
+#[test]
+fn error_matrix_exec_flush_window() {
+    exec_window_sweep(FaultAction::Error);
+}
+
+/// Crash at window *assembly* fires before any record of the window
+/// reaches the log, so there is no ambiguity to tolerate: every commit in
+/// the torn window is unacknowledged and MUST be undone at recovery.
+#[test]
+fn exec_crash_at_window_assembly_undoes_every_unacked_commit() {
+    let case = Case::new("w5a");
+    let (db0, oids) = {
+        let db = case.open();
+        let oids = [db.new_oid(), db.new_oid(), db.new_oid()];
+        for o in oids {
+            put(&db, o, b"e0");
+        }
+        (db, oids)
+    };
+    case.faults.arm(
+        storage::failpoints::FLUSH_WINDOW_ASSEMBLE,
+        Trigger::Once,
+        FaultAction::Crash,
+    );
+    for o in oids {
+        let t = db0.submit(write_prog(o, b"e1")).unwrap();
+        assert!(
+            !db0.outcome(t).unwrap(),
+            "no commit can be acknowledged once the registry is crashed"
+        );
+    }
+    drop(db0);
+
+    let db = case.reopen_clean();
+    for o in oids {
+        assert_eq!(
+            &get(&db, o)[..],
+            b"e0",
+            "unacknowledged commit in the crashed window must be undone"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Error sweep: the process survives the fault. After the workload drives
 // every transaction to a terminal state, the live in-memory state must agree
 // with what a restart recovers — the property the torn-group-commit bug

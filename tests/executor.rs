@@ -1,0 +1,205 @@
+//! Integration tests for the state-machine transaction executor
+//! (DESIGN.md §12): `Database::submit` drives a resumable program on the
+//! worker pool, parks on lock conflicts, commits through the batched
+//! group-commit flusher, and leaves a causal trace whose commit flows
+//! terminate on shared flush-window spans.
+
+use asset::trace::{chrome, CausalGraph};
+use asset::{AssetError, Config, Database, Oid, StepCtx, TryOp, TxnStep};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// A resumable one-write program: re-entered from the top on every step,
+/// it re-attempts the write until the lock is granted.
+fn write_prog(
+    o: Oid,
+    val: &'static [u8],
+) -> impl FnMut(&mut StepCtx<'_>) -> TxnStep + Send + 'static {
+    move |sc| match sc.try_write(o, val.to_vec()) {
+        Ok(TryOp::Done(())) => TxnStep::Done(Ok(())),
+        Ok(TryOp::WouldBlock) => TxnStep::WaitLock { ob: o },
+        Err(e) => TxnStep::Done(Err(e)),
+    }
+}
+
+/// A resumable read-modify-write increment taking the exclusive lock
+/// first (no S→X upgrade, so contending copies cannot deadlock).
+fn incr_prog(o: Oid) -> impl FnMut(&mut StepCtx<'_>) -> TxnStep + Send + 'static {
+    move |sc| {
+        match sc.try_lock_exclusive(o) {
+            Ok(TryOp::Done(())) => {}
+            Ok(TryOp::WouldBlock) => return TxnStep::WaitLock { ob: o },
+            Err(e) => return TxnStep::Done(Err(e)),
+        }
+        let cur = match sc.try_read(o) {
+            Ok(TryOp::Done(v)) => v
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte counter")))
+                .unwrap_or(0),
+            Ok(TryOp::WouldBlock) => return TxnStep::WaitLock { ob: o },
+            Err(e) => return TxnStep::Done(Err(e)),
+        };
+        match sc.try_write(o, (cur + 1).to_le_bytes().to_vec()) {
+            Ok(TryOp::Done(())) => TxnStep::Done(Ok(())),
+            Ok(TryOp::WouldBlock) => TxnStep::WaitLock { ob: o },
+            Err(e) => TxnStep::Done(Err(e)),
+        }
+    }
+}
+
+#[test]
+fn submitted_transaction_commits_and_is_visible() {
+    let db = Database::in_memory();
+    let o = db.new_oid();
+    let t = db.submit(write_prog(o, b"v1")).unwrap();
+    assert!(db.outcome(t).unwrap());
+    assert_eq!(db.peek(o).unwrap().unwrap(), b"v1");
+    let snap = db.metrics_snapshot();
+    assert!(snap.counters.exec_steps >= 1, "steps were counted");
+    assert_eq!(snap.counters.txn_committed, 1);
+    assert_eq!(snap.counters.txn_aborted, 0);
+}
+
+#[test]
+fn a_submission_batch_shares_flush_windows() {
+    let db = Database::open(Config::in_memory().with_commit_flush_window(Duration::from_millis(2)))
+        .unwrap()
+        .0;
+    let n = 32;
+    let oids: Vec<Oid> = (0..n).map(|_| db.new_oid()).collect();
+    let tids: Vec<_> = oids
+        .iter()
+        .map(|&o| db.submit(write_prog(o, b"w")).unwrap())
+        .collect();
+    for t in tids {
+        assert!(db.outcome(t).unwrap());
+    }
+    for o in oids {
+        assert_eq!(db.peek(o).unwrap().unwrap(), b"w");
+    }
+    let windows = db.engine().flusher().windows_flushed();
+    assert!(
+        windows < n as u64,
+        "{n} concurrent commits within a 2ms window must share flushes, got {windows} windows"
+    );
+    assert_eq!(db.metrics_snapshot().counters.txn_committed, n as u64);
+}
+
+#[test]
+fn contended_increments_serialize_through_the_pool() {
+    let db = Database::in_memory();
+    let o = db.new_oid();
+    let n = 24;
+    let tids: Vec<_> = (0..n).map(|_| db.submit(incr_prog(o)).unwrap()).collect();
+    for t in tids {
+        assert!(db.outcome(t).unwrap(), "contended increment must commit");
+    }
+    let v = db.peek(o).unwrap().unwrap();
+    assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), n as u64);
+}
+
+#[test]
+fn a_failing_program_aborts_and_rolls_back() {
+    let db = Database::in_memory();
+    let o = db.new_oid();
+    assert!(db.run(move |ctx| ctx.write(o, b"keep".to_vec())).unwrap());
+    let t = db
+        .submit(move |sc| match sc.try_write(o, b"dirty".to_vec()) {
+            Ok(TryOp::Done(())) => TxnStep::Done(Err(AssetError::TxnAborted(sc.id()))),
+            Ok(TryOp::WouldBlock) => TxnStep::WaitLock { ob: o },
+            Err(e) => TxnStep::Done(Err(e)),
+        })
+        .unwrap();
+    assert!(!db.outcome(t).unwrap(), "failing program must abort");
+    assert_eq!(db.peek(o).unwrap().unwrap(), b"keep");
+    assert_eq!(db.metrics_snapshot().counters.txn_aborted, 1);
+}
+
+/// A blocking-path transaction holds the exclusive lock while an executor
+/// transaction is submitted against the same object: the task parks (no
+/// worker thread is consumed by the wait) and the stripe wakeup requeues
+/// it after the blocking commit releases — so the executor write always
+/// lands second.
+#[test]
+fn executor_parks_behind_a_blocking_writer_and_is_requeued() {
+    let db = Database::in_memory();
+    let o = db.new_oid();
+    let (locked_tx, locked_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let tb = db
+        .initiate(move |ctx| {
+            ctx.write(o, b"block".to_vec())?;
+            let _ = locked_tx.send(());
+            let _ = release_rx.recv();
+            Ok(())
+        })
+        .unwrap();
+    db.begin(tb).unwrap();
+    locked_rx.recv().unwrap(); // the blocking txn now holds X on o
+    let te = db.submit(write_prog(o, b"exec")).unwrap();
+    // give the task a chance to run into the conflict and park
+    std::thread::sleep(Duration::from_millis(20));
+    release_tx.send(()).unwrap();
+    assert!(db.commit(tb).unwrap());
+    assert!(db.outcome(te).unwrap());
+    assert_eq!(
+        db.peek(o).unwrap().unwrap(),
+        b"exec",
+        "the parked executor write must land after the blocking commit"
+    );
+}
+
+/// The acceptance shape for the whole feature: every executor commit in
+/// the trace is a flow terminating on a flush-window span of the storage
+/// lane, and (pigeonhole over `windows_flushed`) flows genuinely share
+/// windows when the flusher coalesced.
+#[test]
+fn commit_flows_terminate_on_shared_flush_windows() {
+    let db = Database::open(Config::in_memory().with_commit_flush_window(Duration::from_millis(2)))
+        .unwrap()
+        .0;
+    db.obs().enable_tracing(16384);
+    let n = 8usize;
+    let tids: Vec<_> = (0..n)
+        .map(|_| {
+            let o = db.new_oid();
+            db.submit(write_prog(o, b"f")).unwrap()
+        })
+        .collect();
+    for t in tids {
+        assert!(db.outcome(t).unwrap());
+    }
+    let windows_flushed = db.engine().flusher().windows_flushed();
+
+    let trace = db.obs().trace();
+    let g = CausalGraph::from_events(&trace);
+    assert_eq!(
+        g.flush_flows.len(),
+        n,
+        "every executor commit terminates on a flush window"
+    );
+    let mut per_window: HashMap<u64, usize> = HashMap::new();
+    for f in &g.flush_flows {
+        *per_window.entry(f.window).or_default() += 1;
+        assert!(
+            g.storage.iter().any(|s| matches!(
+                s.kind,
+                asset::trace::SpanKind::FlushWindow { window, records, .. }
+                    if window == f.window && records >= 1
+            )),
+            "flow window {} has a matching flush-window span",
+            f.window
+        );
+    }
+    if windows_flushed < n as u64 {
+        assert!(
+            per_window.values().any(|&c| c >= 2),
+            "coalesced windows must carry multiple commit flows"
+        );
+    }
+    let doc = chrome::render(&g);
+    assert!(
+        doc.contains("flush-window"),
+        "chrome export renders the shared flush lane"
+    );
+}

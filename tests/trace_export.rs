@@ -114,7 +114,8 @@ fn chrome_export_has_one_track_per_txn_and_one_flow_per_edge() {
     assert_eq!(thread_names, expected_lanes);
 
     // every causal edge (delegation, permit, dependency, group-commit)
-    // shows as exactly one s/f flow pair
+    // shows as exactly one s/f flow pair, as does every commit landing on
+    // a shared flush window
     let s_count = events
         .iter()
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("s"))
@@ -123,8 +124,13 @@ fn chrome_export_has_one_track_per_txn_and_one_flow_per_edge() {
         .iter()
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("f"))
         .count();
-    assert_eq!(s_count, g.edges.len());
-    assert_eq!(f_count, g.edges.len());
+    assert_eq!(s_count, g.edges.len() + g.flush_flows.len());
+    assert_eq!(f_count, g.edges.len() + g.flush_flows.len());
+    assert!(
+        !g.flush_flows.is_empty(),
+        "durable commits route through the group flusher, so their flows \
+         must terminate on flush-window spans"
+    );
     // and the delegation/dependency edges specifically are all present
     assert_eq!(g.edges_labeled("delegate").len(), delegations);
     let dep_edges = g.edges_labeled("dep-cd").len()
