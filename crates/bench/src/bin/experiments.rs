@@ -1,4 +1,4 @@
-//! The experiment harness: prints the E1–E15 tables of `EXPERIMENTS.md`.
+//! The experiment harness: prints the E1–E16 tables of `EXPERIMENTS.md`.
 //!
 //! ```sh
 //! cargo run -p asset-bench --release --bin experiments           # full suite
@@ -7,9 +7,9 @@
 //! cargo run -p asset-bench --release --bin experiments -- e15 --txns 200  # executor smoke
 //! ```
 //!
-//! E14 and E15 also serialize their measured runs into `BENCH_obs.json`
-//! (schema `asset-bench-obs/v1`); when both are selected the file holds
-//! the union of their rows.
+//! E14, E15, and E16 also serialize their measured runs into
+//! `BENCH_obs.json` (schema `asset-bench-obs/v1`); when several are
+//! selected the file holds the union of their rows.
 
 use asset_bench::experiments::{self, ObsBenchRun, Scale};
 
@@ -60,9 +60,10 @@ fn main() {
         ("e13", experiments::e13_crash_matrix),
         ("e14", experiments::e14_observability),
         ("e15", experiments::e15_executor),
+        ("e16", experiments::e16_ledger),
     ];
 
-    // E14/E15 measure once and contribute rows to BENCH_obs.json
+    // E14/E15/E16 measure once and contribute rows to BENCH_obs.json
     let mut obs_runs: Vec<ObsBenchRun> = Vec::new();
 
     for (name, f) in &all {
@@ -77,6 +78,10 @@ fn main() {
         } else if *name == "e15" {
             let runs = experiments::e15_executor_runs(scale, txns_override);
             println!("{}", experiments::e15_table(&runs));
+            obs_runs.extend(runs);
+        } else if *name == "e16" {
+            let runs = experiments::e16_ledger_runs(scale);
+            println!("{}", experiments::e16_table(&runs));
             obs_runs.extend(runs);
         } else if *name == "e9b" {
             // e9b also captures a structured event trace; dump it next to

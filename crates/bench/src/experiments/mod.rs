@@ -1,4 +1,4 @@
-//! The E1–E15 experiment suite (see `EXPERIMENTS.md` at the repo root).
+//! The E1–E16 experiment suite (see `EXPERIMENTS.md` at the repo root).
 //!
 //! Each experiment is a function returning a [`Table`]; the
 //! `experiments` binary prints them all. A [`Scale`] knob shrinks the
@@ -8,6 +8,7 @@ mod ablations;
 mod concurrency;
 mod crashes;
 mod exec_exp;
+mod ledger_exp;
 mod models_exp;
 mod obs_exp;
 mod primitives;
@@ -16,6 +17,7 @@ pub use ablations::e12_ablations;
 pub use concurrency::{e2_permits_vs_2pl, e6_cursor_stability, e7_split_early_release};
 pub use crashes::e13_crash_matrix;
 pub use exec_exp::{e15_executor, e15_executor_runs, e15_table, E15_BASELINE};
+pub use ledger_exp::{e16_ledger, e16_ledger_runs, e16_table, E16_FAULT_CELL};
 pub use models_exp::{e11_contingent, e3_nested, e4_sagas, e8_workflow};
 pub use obs_exp::{
     bench_obs_json, e14_observability, e14_observability_runs, e14_table, ObsBenchRun,
@@ -70,6 +72,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e13_crash_matrix(scale),
         e14_observability(scale),
         e15_executor(scale),
+        e16_ledger(scale),
     ]
 }
 
@@ -83,7 +86,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables() {
         let tables = run_all(Scale::quick());
-        assert_eq!(tables.len(), 16);
+        assert_eq!(tables.len(), 17);
         for t in &tables {
             assert!(!t.headers.is_empty(), "{} has headers", t.title);
             assert!(!t.rows.is_empty(), "{} has rows", t.title);

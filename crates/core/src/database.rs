@@ -97,6 +97,13 @@ pub(crate) struct TxnSlot {
     /// concurrent blocking `commit` parks instead of forcing a second
     /// record for the same group.
     pub commit_pending: bool,
+    /// A commit record containing this transaction failed at the commit
+    /// point: it may or may not have reached stable storage, so the
+    /// transaction's durable fate is unknown even though the live system
+    /// drove it through abort. Read by [`Database::outcome_kind`] to
+    /// report [`TxnOutcome`](crate::TxnOutcome)`::CommitAmbiguous`
+    /// instead of a plain abort.
+    pub commit_ambiguous: bool,
 }
 
 pub(crate) struct DbInner {
@@ -313,6 +320,7 @@ impl Database {
                 abort_performed: false,
                 thread_live: false,
                 commit_pending: false,
+                commit_ambiguous: false,
             },
         );
         self.inner.deps.lock().register(tid);
@@ -639,6 +647,11 @@ impl Database {
                         // commit record, so redo followed by the logged
                         // rollback converges to "not committed" on both
                         // sides of a restart.
+                        for m in &group {
+                            if let Some(slot) = guard.get_mut(*m) {
+                                slot.commit_ambiguous = true;
+                            }
+                        }
                         drop(guard);
                         bump(&self.inner.obs.counters.commit_log_failures);
                         self.inner.obs.record(EventKind::CommitAmbiguous {
@@ -1477,6 +1490,7 @@ impl Database {
             for m in group {
                 if let Some(slot) = guard.get_mut(*m) {
                     slot.commit_pending = false;
+                    slot.commit_ambiguous = true;
                 }
             }
         }

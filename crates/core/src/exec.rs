@@ -74,9 +74,17 @@ pub enum TxnStep {
     WaitDep,
     /// Park until a log-flush acknowledgement. Programs rarely return
     /// this themselves; the commit machinery uses it while a group's
-    /// record sits in the flush window. Treated like [`WaitDep`] when a
-    /// program returns it directly.
+    /// record sits in the flush window. Treated like [`Self::WaitDep`]
+    /// when a program returns it directly.
     WaitFlush,
+    /// Park until an explicit [`Database::nudge`]. Unlike the other
+    /// waits no wake registry is armed: the nudging side must publish
+    /// whatever the program will look at (a mailbox entry, a flag)
+    /// *before* calling `nudge`, and the `RUNNING_DIRTY` protocol
+    /// absorbs the race with a concurrent park. This is the suspension
+    /// point for interactive transactions fed by an external request
+    /// stream — `asset-server` sessions park here between wire requests.
+    WaitExternal,
     /// The program finished: `Ok` proceeds to the group-commit protocol,
     /// `Err` aborts the transaction.
     Done(Result<()>),
@@ -495,6 +503,10 @@ impl ExecInner {
                         exec.register_dep_wait(tid);
                         StepOutcome::Park("dep")
                     }
+                    // no registry: the wake path is an explicit nudge,
+                    // and push-then-nudge plus RUNNING_DIRTY covers the
+                    // publish/park race
+                    TxnStep::WaitExternal => StepOutcome::Park("external"),
                     TxnStep::Done(Ok(())) => {
                         if db.exec_complete(tid, true) {
                             body.prog = None;
@@ -794,6 +806,62 @@ impl Database {
             }
         }
     }
+
+    /// Like [`outcome`](Self::outcome), but distinguishes the ambiguous
+    /// commit failure from an ordinary abort: a transaction whose group
+    /// commit record failed at the commit point is driven through abort
+    /// locally, yet the record may have reached stable storage — after a
+    /// restart, recovery can legitimately resolve it either way. Remote
+    /// clients need the distinction (retrying an "aborted" transfer is
+    /// safe; retrying an "unknown" one can double-apply), so the wire
+    /// protocol maps this to its own error code (DESIGN.md §13).
+    pub fn outcome_kind(&self, t: Tid) -> Result<TxnOutcome> {
+        loop {
+            let epoch = self.inner.txns.epoch();
+            let st = self
+                .inner
+                .txns
+                .with(t, |slot| slot.map(|s| (s.status, s.commit_ambiguous)))
+                .ok_or(AssetError::TxnNotFound(t))?;
+            match st {
+                (TxnStatus::Committed, _) => return Ok(TxnOutcome::Committed),
+                (TxnStatus::Aborted, true) => return Ok(TxnOutcome::CommitAmbiguous),
+                (TxnStatus::Aborted, false) => return Ok(TxnOutcome::Aborted),
+                _ => self.inner.txns.wait_event(epoch),
+            }
+        }
+    }
+
+    /// Wake a submitted transaction parked on [`TxnStep::WaitExternal`].
+    /// Idempotent and cheap: a no-op when the executor was never spawned,
+    /// the transaction is not (or no longer) a task, or a wakeup is
+    /// already pending. Callers must publish the state the program will
+    /// consume (push to the mailbox, set the flag) **before** nudging;
+    /// the executor's `RUNNING_DIRTY` mark then guarantees the program
+    /// observes it even if the nudge lands mid-step.
+    pub fn nudge(&self, t: Tid) {
+        if let Some(exec) = self.inner.exec.get() {
+            exec.enqueue(t);
+        }
+    }
+}
+
+/// Terminal result of a submitted transaction, as reported by
+/// [`Database::outcome_kind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The commit record is durable; effects are visible and permanent.
+    Committed,
+    /// The transaction aborted: its effects were rolled back and its
+    /// commit record (if any was attempted) never entered the log.
+    Aborted,
+    /// The group commit record **failed at the commit point** — it may or
+    /// may not have reached stable storage. The live system drove the
+    /// group through abort (rollback is logged after the ambiguous
+    /// record, so both sides of a restart converge on "not committed"),
+    /// but a client must treat the operation's fate as unknown rather
+    /// than cleanly aborted.
+    CommitAmbiguous,
 }
 
 /// Degraded path for environments where no worker thread could be

@@ -50,7 +50,7 @@ mod tests;
 pub use codec::{Handle, ObjectCodec, RawBytes};
 pub use context::TxnCtx;
 pub use database::{Database, DatabaseStats, Introspection, Job};
-pub use exec::{StepCtx, StepProg, TryOp, TxnStep};
+pub use exec::{StepCtx, StepProg, TryOp, TxnOutcome, TxnStep};
 
 // Re-export the vocabulary so `asset_core` is self-sufficient to use.
 pub use asset_common::{

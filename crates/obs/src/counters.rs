@@ -127,6 +127,15 @@ define_counters! {
     exec_requeues,
     /// Events accepted by the ring-buffer recorder.
     events_recorded,
+    /// Network connections accepted by `asset-server`.
+    server_connections,
+    /// Wire requests decoded and dispatched by `asset-server` sessions.
+    server_requests,
+    /// Wire frames rejected as malformed (bad version, opcode, or body).
+    server_protocol_errors,
+    /// Transactions begun over the wire (`BEGIN` requests that admitted
+    /// a session transaction).
+    session_txns,
 }
 
 #[cfg(test)]

@@ -50,6 +50,10 @@ pub enum SpanName {
     CommitGate,
     /// Rollback: walking the undo chain and restoring before-images.
     Rollback,
+    /// A network session transaction: opened when a wire `BEGIN` maps a
+    /// connection onto a transaction, closed when that transaction
+    /// reaches a terminal state (DESIGN.md §13).
+    Session,
 }
 
 impl SpanName {
@@ -58,6 +62,7 @@ impl SpanName {
         match self {
             SpanName::CommitGate => "commit-gate",
             SpanName::Rollback => "rollback",
+            SpanName::Session => "session",
         }
     }
 }
@@ -213,7 +218,8 @@ pub enum EventKind {
     ExecPark {
         /// The parked transaction.
         tid: Tid,
-        /// Why it parked: `"lock"`, `"dep"`, or `"flush"`.
+        /// Why it parked: `"lock"`, `"dep"`, `"flush"`, or `"external"`
+        /// (an interactive program awaiting its next request).
         reason: &'static str,
     },
     /// A cache-latch acquisition had to spin before succeeding.

@@ -1,0 +1,79 @@
+//! Standalone ASSET server binary.
+//!
+//! ```text
+//! asset-server [--addr HOST:PORT] [--dir PATH] [--workers N]
+//!
+//!   --addr     listen address          (default 127.0.0.1:4994)
+//!   --dir      durable database dir    (default: in-memory)
+//!   --workers  executor worker threads (default 0 = one per core)
+//! ```
+//!
+//! Runs until a wire `SHUTDOWN` request (or the process is killed; the
+//! log's commit records make restart recovery safe for a `--dir`
+//! database).
+
+use asset_common::Config;
+use asset_core::Database;
+use asset_server::AssetServer;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:4994");
+    let mut dir: Option<String> = None;
+    let mut workers: usize = 0;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        let r = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| addr = v),
+            "--dir" => take("--dir").map(|v| dir = Some(v)),
+            "--workers" => take("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--help" | "-h" => {
+                eprintln!("usage: asset-server [--addr HOST:PORT] [--dir PATH] [--workers N]");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument {other:?} (try --help)")),
+        };
+        if let Err(msg) = r {
+            eprintln!("asset-server: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut config = match &dir {
+        Some(d) => Config::on_disk(d),
+        None => Config::in_memory(),
+    };
+    if workers > 0 {
+        config = config.with_exec_workers(workers);
+    }
+
+    let (db, recovery) = match Database::open(config) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("asset-server: open failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "asset-server: recovered (winners={}, losers={}, redone={}, undone={})",
+        recovery.winners, recovery.losers, recovery.redone, recovery.undone
+    );
+
+    let server = match AssetServer::spawn(db, &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("asset-server: bind {addr} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("asset-server: listening on {}", server.local_addr());
+    server.join();
+    eprintln!("asset-server: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,597 @@
+//! The ASSET wire protocol: length-prefixed binary frames over TCP.
+//!
+//! This module is the implementation of the **normative specification in
+//! `DESIGN.md` §13**; the example frames documented there are asserted
+//! byte-for-byte against this code by the
+//! `design_section_13_example_frames` test below. If you change anything
+//! here, change the spec in the same commit.
+//!
+//! ## Frame layout
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len      u32 LE: bytes that follow this field
+//! 4       1     version  0x01
+//! 5       1     opcode   see [`opcode`]
+//! 6       4     reqid    u32 LE: chosen by the client, echoed verbatim
+//! 10      len-6 body     opcode-specific payload
+//! ```
+//!
+//! A response frame carries the request's opcode and reqid; its body
+//! begins with a **status byte** (see [`status`]): `0x00` = OK followed
+//! by the opcode's result payload, anything else is an error code
+//! followed by an optional UTF-8 diagnostic message (non-normative).
+//! Responses are returned in request order, so clients may pipeline:
+//! write several requests, then read as many responses.
+//!
+//! ## Round-trip
+//!
+//! ```
+//! use asset_server::protocol::{opcode, Frame, PROTOCOL_VERSION};
+//!
+//! let req = Frame {
+//!     opcode: opcode::BEGIN,
+//!     reqid: 7,
+//!     body: 0u64.to_le_bytes().to_vec(),
+//! };
+//! let bytes = req.encode();
+//! assert_eq!(bytes[4], PROTOCOL_VERSION);
+//! assert_eq!(Frame::decode(&bytes)?, req);
+//! # Ok::<(), asset_server::protocol::WireError>(())
+//! ```
+
+use asset_common::AssetError;
+use std::io::{self, Read, Write};
+
+/// The protocol version this build speaks (frame byte 4).
+pub const PROTOCOL_VERSION: u8 = 0x01;
+
+/// Upper bound on the `len` field: frames larger than this are rejected
+/// without being read (a corrupt or hostile length prefix must not make
+/// the peer allocate gigabytes).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Bytes of header covered by `len` before the body begins
+/// (version + opcode + reqid).
+pub const HEADER_LEN: usize = 6;
+
+/// Request opcodes (frame byte 5). Responses echo the request's opcode.
+pub mod opcode {
+    /// Liveness probe. Body: empty. OK payload: empty.
+    pub const PING: u8 = 0x01;
+    /// Version handshake. Body: empty. OK payload: `u8` — the server's
+    /// protocol version.
+    pub const HELLO: u8 = 0x02;
+    /// Map this connection onto a new transaction. Body: `u64` parent
+    /// tid — **reserved, must be 0** (a future revision maps it onto
+    /// nested initiation). OK payload: `u64` tid.
+    pub const BEGIN: u8 = 0x10;
+    /// Transactional read. Body: `u64` tid, `u64` oid. OK payload:
+    /// `u8` present flag (0 or 1), then the value bytes when present.
+    pub const READ: u8 = 0x11;
+    /// Transactional write. Body: `u64` tid, `u64` oid, value bytes to
+    /// end of frame. OK payload: empty.
+    pub const WRITE: u8 = 0x12;
+    /// Commit. Body: `u64` tid. OK payload: empty — and OK is sent only
+    /// after the transaction's commit record is durable (the ack rides
+    /// the group-commit flush window). Distinguished failures:
+    /// [`super::status::ERR_COMMIT_ABORTED`] vs
+    /// [`super::status::ERR_COMMIT_AMBIGUOUS`].
+    pub const COMMIT: u8 = 0x13;
+    /// Abort and roll back. Body: `u64` tid. OK payload: empty.
+    pub const ABORT: u8 = 0x14;
+    /// `delegate(from, to, obs)` — move lock + undo responsibility.
+    /// Body: `u64` from, `u64` to, `u8` all flag, `u32` n, n×`u64` oids
+    /// (all=1 requires n=0 and means every delegable object). OK
+    /// payload: empty.
+    pub const DELEGATE: u8 = 0x20;
+    /// `permit(grantor, grantee, obs, ops)`. Body: `u64` grantor,
+    /// `u64` grantee (0 = any-transaction wildcard), `u8` ops bitmask
+    /// (1 = read, 2 = write), `u8` all flag, `u32` n, n×`u64` oids.
+    /// OK payload: empty.
+    pub const PERMIT: u8 = 0x21;
+    /// `form_dependency(kind, ti, tj)`. Body: `u8` kind (1 = CD,
+    /// 2 = AD, 3 = GC), `u64` ti, `u64` tj. OK payload: empty.
+    pub const FORM_DEP: u8 = 0x22;
+    /// Allocate one object id. Body: empty. OK payload: `u64` oid.
+    pub const NEW_OID: u8 = 0x30;
+    /// Bulk-create `count` objects each holding `initial` as an i64
+    /// counter, committed server-side in chunked transactions. Body:
+    /// `u64` count, `i64` initial. OK payload: `u64` first oid,
+    /// `u64` count. MINT requests are serialized by the server; the
+    /// oids are consecutive unless another connection allocates
+    /// concurrently — mint before opening the workload.
+    pub const MINT: u8 = 0x31;
+    /// Sum the committed i64 values of oids `first..first+count`
+    /// (missing or non-8-byte objects are skipped). A **non-
+    /// transactional diagnostic**: values are read with `peek`, so the
+    /// result is only a consistent snapshot while no writer is active.
+    /// Body: `u64` first, `u64` count. OK payload: `i64` sum,
+    /// `u64` objects present.
+    pub const SUM: u8 = 0x32;
+    /// Server statistics. Body: empty. OK payload: 4×`u64` —
+    /// transactions committed, transactions aborted, live (non-
+    /// terminated) transactions, commit log failures.
+    pub const STATS: u8 = 0x33;
+    /// Stop accepting connections and shut the server down after the OK
+    /// response is written. Body: empty. OK payload: empty.
+    pub const SHUTDOWN: u8 = 0x7F;
+}
+
+/// Response status codes (first body byte of every response).
+pub mod status {
+    /// Success; the opcode's result payload follows.
+    pub const OK: u8 = 0x00;
+    /// The frame or body could not be decoded.
+    pub const ERR_MALFORMED: u8 = 0x01;
+    /// The frame's version byte is not one the server speaks.
+    pub const ERR_BAD_VERSION: u8 = 0x02;
+    /// Unknown opcode.
+    pub const ERR_BAD_OPCODE: u8 = 0x03;
+    /// The tid does not name a transaction of this session.
+    pub const ERR_TXN_NOT_FOUND: u8 = 0x04;
+    /// The operation is invalid in the transaction's current status.
+    pub const ERR_INVALID_STATE: u8 = 0x05;
+    /// Admission control refused a new transaction.
+    pub const ERR_RESOURCE_EXHAUSTED: u8 = 0x06;
+    /// `form_dependency` would create a cycle.
+    pub const ERR_DEPENDENCY_CYCLE: u8 = 0x07;
+    /// The transaction was chosen as a deadlock victim.
+    pub const ERR_DEADLOCK: u8 = 0x08;
+    /// A lock wait exceeded the configured timeout.
+    pub const ERR_LOCK_TIMEOUT: u8 = 0x09;
+    /// The transaction is aborted (or was aborted by this failure).
+    pub const ERR_TXN_ABORTED: u8 = 0x0A;
+    /// The object does not exist.
+    pub const ERR_OBJECT_NOT_FOUND: u8 = 0x0B;
+    /// Stored state failed validation.
+    pub const ERR_CORRUPT: u8 = 0x0C;
+    /// An I/O error outside the commit point.
+    pub const ERR_IO: u8 = 0x0D;
+    /// COMMIT only: the transaction **aborted cleanly** — its commit
+    /// record never entered the log and no effect survives. Retrying
+    /// the work in a new transaction is safe.
+    pub const ERR_COMMIT_ABORTED: u8 = 0x0E;
+    /// COMMIT only: the commit record **failed at the commit point** —
+    /// it may or may not have reached stable storage. The live system
+    /// drove the transaction through abort (DESIGN.md §13.4), but the
+    /// client must treat the outcome as unknown, not as aborted:
+    /// blindly retrying can double-apply.
+    pub const ERR_COMMIT_AMBIGUOUS: u8 = 0x0F;
+}
+
+/// A diagnostic name for a status code (stable; used in error messages
+/// and tests, not on the wire).
+pub fn status_name(s: u8) -> &'static str {
+    match s {
+        status::OK => "ok",
+        status::ERR_MALFORMED => "malformed",
+        status::ERR_BAD_VERSION => "bad-version",
+        status::ERR_BAD_OPCODE => "bad-opcode",
+        status::ERR_TXN_NOT_FOUND => "txn-not-found",
+        status::ERR_INVALID_STATE => "invalid-state",
+        status::ERR_RESOURCE_EXHAUSTED => "resource-exhausted",
+        status::ERR_DEPENDENCY_CYCLE => "dependency-cycle",
+        status::ERR_DEADLOCK => "deadlock",
+        status::ERR_LOCK_TIMEOUT => "lock-timeout",
+        status::ERR_TXN_ABORTED => "txn-aborted",
+        status::ERR_OBJECT_NOT_FOUND => "object-not-found",
+        status::ERR_CORRUPT => "corrupt",
+        status::ERR_IO => "io",
+        status::ERR_COMMIT_ABORTED => "commit-aborted",
+        status::ERR_COMMIT_AMBIGUOUS => "commit-ambiguous",
+        _ => "unknown",
+    }
+}
+
+/// Map a facility error onto its wire status code (DESIGN.md §13.3).
+pub fn status_of(e: &AssetError) -> u8 {
+    match e {
+        AssetError::TxnNotFound(_) => status::ERR_TXN_NOT_FOUND,
+        AssetError::InvalidState { .. } => status::ERR_INVALID_STATE,
+        AssetError::ResourceExhausted { .. } => status::ERR_RESOURCE_EXHAUSTED,
+        AssetError::DependencyCycle { .. } => status::ERR_DEPENDENCY_CYCLE,
+        AssetError::Deadlock(_) => status::ERR_DEADLOCK,
+        AssetError::LockTimeout { .. } => status::ERR_LOCK_TIMEOUT,
+        AssetError::TxnAborted(_) => status::ERR_TXN_ABORTED,
+        AssetError::ObjectNotFound(_) => status::ERR_OBJECT_NOT_FOUND,
+        AssetError::Corrupt(_) => status::ERR_CORRUPT,
+        AssetError::Io(_) => status::ERR_IO,
+    }
+}
+
+/// Why a byte sequence failed to decode as a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the layout requires.
+    Truncated,
+    /// The length prefix disagrees with the bytes present.
+    LengthMismatch {
+        /// Bytes the prefix promised after itself.
+        declared: u32,
+        /// Bytes actually present after the prefix.
+        present: u32,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is shorter than
+    /// the fixed header).
+    BadLength(u32),
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::LengthMismatch { declared, present } => {
+                write!(f, "length prefix {declared} but {present} bytes present")
+            }
+            WireError::BadLength(n) => write!(f, "length prefix {n} out of range"),
+            WireError::BadVersion(v) => {
+                write!(f, "version {v:#04x}, expected {PROTOCOL_VERSION:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// One wire frame (request or response), without transport state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The operation (see [`opcode`]); responses echo the request's.
+    pub opcode: u8,
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub reqid: u32,
+    /// Opcode-specific payload. For responses, begins with the status
+    /// byte.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Serialize to bytes, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let len = (HEADER_LEN + self.body.len()) as u32;
+        let mut out = Vec::with_capacity(4 + len as usize);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(PROTOCOL_VERSION);
+        out.push(self.opcode);
+        out.extend_from_slice(&self.reqid.to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a complete frame (length prefix included). The inverse of
+    /// [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        // the slice bound was just checked
+        // verify: allow(no_panics) — length checked above
+        let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+        if len < HEADER_LEN as u32 || len > MAX_FRAME_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let present = (buf.len() - 4) as u32;
+        if present != len {
+            return Err(WireError::LengthMismatch {
+                declared: len,
+                present,
+            });
+        }
+        let version = buf[4];
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let opcode = buf[5];
+        // the slice bound follows from len >= HEADER_LEN
+        // verify: allow(no_panics) — length checked above
+        let reqid = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
+        Ok(Frame {
+            opcode,
+            reqid,
+            body: buf[10..].to_vec(),
+        })
+    }
+
+    /// Write the frame to a stream (one `write_all` of the encoding).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Read one frame from a stream. Returns `Ok(None)` on a clean EOF
+    /// at a frame boundary; a mid-frame EOF, an out-of-range length, or
+    /// a version mismatch is an error.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 4];
+        let mut got = 0;
+        while got < 4 {
+            match r.read(&mut len_buf[got..])? {
+                0 if got == 0 => return Ok(None),
+                0 => return Err(io::ErrorKind::UnexpectedEof.into()),
+                n => got += n,
+            }
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len < HEADER_LEN as u32 || len > MAX_FRAME_LEN {
+            return Err(WireError::BadLength(len).into());
+        }
+        let mut rest = vec![0u8; len as usize];
+        r.read_exact(&mut rest)?;
+        let mut full = len_buf.to_vec();
+        full.extend_from_slice(&rest);
+        Frame::decode(&full).map(Some).map_err(Into::into)
+    }
+
+    /// Build an OK response to a request frame with the given payload.
+    pub fn ok_response(req: &Frame, payload: &[u8]) -> Frame {
+        let mut body = Vec::with_capacity(1 + payload.len());
+        body.push(status::OK);
+        body.extend_from_slice(payload);
+        Frame {
+            opcode: req.opcode,
+            reqid: req.reqid,
+            body,
+        }
+    }
+
+    /// Build an error response to a request frame.
+    pub fn err_response(req: &Frame, code: u8, message: &str) -> Frame {
+        let mut body = Vec::with_capacity(1 + message.len());
+        body.push(code);
+        body.extend_from_slice(message.as_bytes());
+        Frame {
+            opcode: req.opcode,
+            reqid: req.reqid,
+            body,
+        }
+    }
+}
+
+/// Read a `u64` (LE) at `off`, or [`WireError::Truncated`].
+pub fn get_u64(b: &[u8], off: usize) -> Result<u64, WireError> {
+    b.get(off..off + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or(WireError::Truncated)
+}
+
+/// Read an `i64` (LE) at `off`, or [`WireError::Truncated`].
+pub fn get_i64(b: &[u8], off: usize) -> Result<i64, WireError> {
+    get_u64(b, off).map(|v| v as i64)
+}
+
+/// Read a `u32` (LE) at `off`, or [`WireError::Truncated`].
+pub fn get_u32(b: &[u8], off: usize) -> Result<u32, WireError> {
+    b.get(off..off + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or(WireError::Truncated)
+}
+
+/// Read a `u8` at `off`, or [`WireError::Truncated`].
+pub fn get_u8(b: &[u8], off: usize) -> Result<u8, WireError> {
+    b.get(off).copied().ok_or(WireError::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_empty_and_payload_bodies() {
+        for body in [Vec::new(), vec![0xAB; 3], vec![0u8; 4096]] {
+            let f = Frame {
+                opcode: opcode::WRITE,
+                reqid: 0xDEAD_BEEF,
+                body,
+            };
+            assert_eq!(Frame::decode(&f.encode()), Ok(f));
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_and_clean_eof() {
+        let a = Frame {
+            opcode: opcode::PING,
+            reqid: 1,
+            body: vec![],
+        };
+        let b = Frame {
+            opcode: opcode::READ,
+            reqid: 2,
+            body: vec![7; 16],
+        };
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        b.write_to(&mut buf).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(Frame::read_from(&mut r).unwrap(), Some(a));
+        assert_eq!(Frame::read_from(&mut r).unwrap(), Some(b));
+        assert_eq!(Frame::read_from(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let f = Frame {
+            opcode: opcode::PING,
+            reqid: 1,
+            body: vec![1, 2, 3],
+        };
+        let bytes = f.encode();
+        let mut r = &bytes[..bytes.len() - 1];
+        assert!(Frame::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn bad_version_and_bad_length_rejected() {
+        let f = Frame {
+            opcode: opcode::PING,
+            reqid: 1,
+            body: vec![],
+        };
+        let mut bytes = f.encode();
+        bytes[4] = 0x02;
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadVersion(0x02)));
+        let mut short = f.encode();
+        short[0] = 2; // < HEADER_LEN
+        assert_eq!(Frame::decode(&short), Err(WireError::BadLength(2)));
+        let mut r = &short[..];
+        assert!(Frame::read_from(&mut r).is_err());
+        let oversize = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        let mut r = &oversize[..];
+        assert!(Frame::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let f = Frame {
+            opcode: opcode::PING,
+            reqid: 1,
+            body: vec![1, 2],
+        };
+        let mut bytes = f.encode();
+        bytes[0] += 1;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    /// The example frames documented in DESIGN.md §13.5, byte for byte.
+    /// If this test changes, the spec must change in the same commit.
+    #[test]
+    fn design_section_13_example_frames() {
+        // Example 1: BEGIN request, reqid 7, parent 0.
+        let begin = Frame {
+            opcode: opcode::BEGIN,
+            reqid: 7,
+            body: 0u64.to_le_bytes().to_vec(),
+        };
+        assert_eq!(
+            begin.encode(),
+            [
+                0x0E, 0x00, 0x00, 0x00, // len = 14
+                0x01, // version
+                0x10, // opcode BEGIN
+                0x07, 0x00, 0x00, 0x00, // reqid = 7
+                0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // parent = 0
+            ]
+        );
+        // Example 2: OK response carrying tid 3.
+        let ok = Frame::ok_response(&begin, &3u64.to_le_bytes());
+        assert_eq!(
+            ok.encode(),
+            [
+                0x0F, 0x00, 0x00, 0x00, // len = 15
+                0x01, // version
+                0x10, // opcode echoed
+                0x07, 0x00, 0x00, 0x00, // reqid echoed
+                0x00, // status OK
+                0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // tid = 3
+            ]
+        );
+        // Example 3: COMMIT (tid 3, reqid 9) answered with
+        // ERR_COMMIT_AMBIGUOUS and a diagnostic message.
+        let commit = Frame {
+            opcode: opcode::COMMIT,
+            reqid: 9,
+            body: 3u64.to_le_bytes().to_vec(),
+        };
+        assert_eq!(
+            commit.encode(),
+            [
+                0x0E, 0x00, 0x00, 0x00, // len = 14
+                0x01, // version
+                0x13, // opcode COMMIT
+                0x09, 0x00, 0x00, 0x00, // reqid = 9
+                0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // tid = 3
+            ]
+        );
+        let ambiguous =
+            Frame::err_response(&commit, status::ERR_COMMIT_AMBIGUOUS, "commit fate unknown");
+        let mut expect = vec![
+            0x1A, 0x00, 0x00, 0x00, // len = 26 (6 + 1 + 19)
+            0x01, // version
+            0x13, // opcode echoed
+            0x09, 0x00, 0x00, 0x00, // reqid echoed
+            0x0F, // status ERR_COMMIT_AMBIGUOUS
+        ];
+        expect.extend_from_slice(b"commit fate unknown");
+        assert_eq!(ambiguous.encode(), expect);
+    }
+
+    #[test]
+    fn status_codes_cover_every_error_variant() {
+        use asset_common::{Oid, Tid, TxnStatus};
+        let cases = [
+            (
+                status_of(&AssetError::TxnNotFound(Tid(1))),
+                status::ERR_TXN_NOT_FOUND,
+            ),
+            (
+                status_of(&AssetError::InvalidState {
+                    tid: Tid(1),
+                    status: TxnStatus::Running,
+                    op: "x",
+                }),
+                status::ERR_INVALID_STATE,
+            ),
+            (
+                status_of(&AssetError::ResourceExhausted { limit: 1 }),
+                status::ERR_RESOURCE_EXHAUSTED,
+            ),
+            (
+                status_of(&AssetError::DependencyCycle {
+                    dependent: Tid(1),
+                    on: Tid(2),
+                }),
+                status::ERR_DEPENDENCY_CYCLE,
+            ),
+            (
+                status_of(&AssetError::Deadlock(Tid(1))),
+                status::ERR_DEADLOCK,
+            ),
+            (
+                status_of(&AssetError::LockTimeout {
+                    tid: Tid(1),
+                    ob: Oid(2),
+                }),
+                status::ERR_LOCK_TIMEOUT,
+            ),
+            (
+                status_of(&AssetError::TxnAborted(Tid(1))),
+                status::ERR_TXN_ABORTED,
+            ),
+            (
+                status_of(&AssetError::ObjectNotFound(Oid(1))),
+                status::ERR_OBJECT_NOT_FOUND,
+            ),
+            (
+                status_of(&AssetError::Corrupt("x".into())),
+                status::ERR_CORRUPT,
+            ),
+            (
+                status_of(&AssetError::Io(std::io::ErrorKind::Other.into())),
+                status::ERR_IO,
+            ),
+        ];
+        for (got, want) in cases {
+            assert_eq!(got, want);
+        }
+        // every named status renders a distinct diagnostic name
+        let mut names: Vec<&str> = (0x00..=0x0F).map(status_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+}

@@ -1,0 +1,502 @@
+//! The network server: a `std::net::TcpListener` accept loop, one
+//! handler thread per connection, requests dispatched onto the
+//! executor through per-transaction mailboxes ([`crate::session`]).
+//!
+//! The server owns no transaction state of its own — a connection is a
+//! map from wire tids to [`SessionTxn`]s, and everything transactional
+//! lives in the [`Database`]. Dropping a connection aborts its live
+//! transactions (queued as terminal ops; the executor rolls them back).
+
+use crate::protocol::{self, get_i64, get_u32, get_u64, get_u8, opcode, status, Frame, WireError};
+use crate::session::{OpReply, SessionTxn, TxnOp};
+use asset_core::{AssetError, Database, DepType, ObSet, Oid, OpSet, Tid, TxnOutcome};
+use asset_obs::{bump, EventKind, SpanName};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Objects written per server-side transaction while servicing a MINT
+/// request. Bounds undo-chain length and lock footprint for
+/// million-object mints.
+const MINT_CHUNK: u64 = 10_000;
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+struct Shared {
+    db: Database,
+    shutdown: AtomicBool,
+    /// Serializes MINT requests so each mint's oids are consecutive
+    /// (unless an unrelated connection allocates concurrently).
+    mint: Mutex<()>,
+}
+
+/// A running ASSET network server.
+///
+/// Spawned with [`AssetServer::spawn`]; stopped with
+/// [`AssetServer::shutdown`] + [`AssetServer::join`], or by a wire
+/// `SHUTDOWN` request.
+///
+/// The server requires a database configured with live executor worker
+/// threads (`Config::with_exec_workers(n)`, `n >= 1`): session
+/// transactions park on [`asset_core::TxnStep::WaitExternal`] between
+/// requests, which the degraded inline executor (0 workers) cannot run.
+pub struct AssetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AssetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting
+    /// connections against `db`.
+    pub fn spawn(db: Database, addr: &str) -> std::io::Result<AssetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            shutdown: AtomicBool::new(false),
+            mint: Mutex::new(()),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("asset-accept".into())
+                .spawn(move || accept_loop(listener, shared, conns))?
+        };
+        Ok(AssetServer {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The database this server fronts.
+    pub fn database(&self) -> &Database {
+        &self.shared.db
+    }
+
+    /// Ask the server to stop: no new connections are accepted and
+    /// handler threads exit at their next poll tick. Does not wait —
+    /// call [`join`](Self::join).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // unblock the accept loop with a throwaway connection
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Wait for the accept loop and every connection handler to exit.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        bump(&shared.db.obs().counters.server_connections);
+        let shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("asset-conn".into())
+            .spawn(move || {
+                let _ = Connection::new(shared, &stream).serve(stream);
+            });
+        if let Ok(h) = spawned {
+            conns.lock().push(h);
+        }
+    }
+}
+
+/// Per-connection state: the wire-visible transactions this connection
+/// opened and has not yet finished.
+struct Connection {
+    shared: Arc<Shared>,
+    txns: HashMap<u64, SessionTxn>,
+}
+
+impl Connection {
+    fn new(shared: Arc<Shared>, stream: &TcpStream) -> Connection {
+        // poll-read so handler threads notice the shutdown flag even
+        // while a client is idle
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_nodelay(true);
+        Connection {
+            shared,
+            txns: HashMap::new(),
+        }
+    }
+
+    fn serve(mut self, stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let frame = match Frame::read_from(&mut reader) {
+                Ok(Some(f)) => f,
+                Ok(None) => break, // clean EOF
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue; // poll tick: re-check shutdown
+                }
+                Err(_) => {
+                    bump(&self.shared.db.obs().counters.server_protocol_errors);
+                    break; // mid-frame EOF / bad version / bad length
+                }
+            };
+            bump(&self.shared.db.obs().counters.server_requests);
+            let resp = self.dispatch(&frame);
+            resp.write_to(&mut writer)?;
+            // flush per request unless more are already queued (cheap
+            // pipelining: a burst of requests gets one syscall)
+            writer.flush()?;
+            if frame.opcode == opcode::SHUTDOWN {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                // unblock the accept loop
+                let _ = TcpStream::connect(reader.local_addr()?);
+                break;
+            }
+        }
+        self.abort_leftovers();
+        Ok(())
+    }
+
+    /// Abort every transaction the connection left open (client gone or
+    /// server stopping). Terminal ops are queued and nudged; the
+    /// executor performs the rollbacks.
+    fn abort_leftovers(&mut self) {
+        let db = &self.shared.db;
+        for (_, st) in self.txns.drain() {
+            st.finishing(db, TxnOp::Abort);
+            db.obs().record(EventKind::SpanClose {
+                tid: st.tid,
+                span: SpanName::Session,
+            });
+        }
+    }
+
+    fn dispatch(&mut self, req: &Frame) -> Frame {
+        match self.dispatch_inner(req) {
+            Ok(f) => f,
+            Err(e) => {
+                bump(&self.shared.db.obs().counters.server_protocol_errors);
+                Frame::err_response(req, status::ERR_MALFORMED, &e.to_string())
+            }
+        }
+    }
+
+    fn dispatch_inner(&mut self, req: &Frame) -> Result<Frame, WireError> {
+        let db = self.shared.db.clone();
+        let b = &req.body;
+        Ok(match req.opcode {
+            opcode::PING => Frame::ok_response(req, &[]),
+            opcode::HELLO => Frame::ok_response(req, &[protocol::PROTOCOL_VERSION]),
+            opcode::BEGIN => {
+                let parent = get_u64(b, 0)?;
+                if parent != 0 {
+                    return Ok(Frame::err_response(
+                        req,
+                        status::ERR_MALFORMED,
+                        "parent tid is reserved and must be 0",
+                    ));
+                }
+                match SessionTxn::submit(&db) {
+                    Ok(st) => {
+                        let tid = st.tid;
+                        self.txns.insert(tid.0, st);
+                        bump(&db.obs().counters.session_txns);
+                        db.obs().record(EventKind::SpanOpen {
+                            tid,
+                            span: SpanName::Session,
+                        });
+                        Frame::ok_response(req, &tid.0.to_le_bytes())
+                    }
+                    Err(e) => err_of(req, &e),
+                }
+            }
+            opcode::READ => {
+                let tid = get_u64(b, 0)?;
+                let oid = Oid(get_u64(b, 8)?);
+                self.txn_op(req, tid, TxnOp::Read(oid))
+            }
+            opcode::WRITE => {
+                let tid = get_u64(b, 0)?;
+                let oid = Oid(get_u64(b, 8)?);
+                let value = b.get(16..).ok_or(WireError::Truncated)?.to_vec();
+                self.txn_op(req, tid, TxnOp::Write(oid, value))
+            }
+            opcode::COMMIT => {
+                let tid = get_u64(b, 0)?;
+                self.finish_txn(req, tid, TxnOp::Commit)
+            }
+            opcode::ABORT => {
+                let tid = get_u64(b, 0)?;
+                self.finish_txn(req, tid, TxnOp::Abort)
+            }
+            opcode::DELEGATE => {
+                let from = Tid(get_u64(b, 0)?);
+                let to = Tid(get_u64(b, 8)?);
+                let obs = decode_obset(b, 16)?;
+                // all=1 delegates everything delegable (`None` per the
+                // Database API); an explicit list delegates just those
+                let obs = match obs {
+                    ObSet::All => None,
+                    objects => Some(objects),
+                };
+                ack(req, db.delegate(from, to, obs))
+            }
+            opcode::PERMIT => {
+                let grantor = Tid(get_u64(b, 0)?);
+                let grantee = match get_u64(b, 8)? {
+                    0 => None,
+                    t => Some(Tid(t)),
+                };
+                let ops = match get_u8(b, 16)? {
+                    0 => OpSet::NONE,
+                    1 => OpSet::READ,
+                    2 => OpSet::WRITE,
+                    3 => OpSet::ALL,
+                    _ => {
+                        return Ok(Frame::err_response(
+                            req,
+                            status::ERR_MALFORMED,
+                            "ops bitmask out of range (0..=3)",
+                        ))
+                    }
+                };
+                let obs = decode_obset(b, 17)?;
+                ack(req, db.permit(grantor, grantee, obs, ops))
+            }
+            opcode::FORM_DEP => {
+                let kind = match get_u8(b, 0)? {
+                    1 => DepType::CD,
+                    2 => DepType::AD,
+                    3 => DepType::GC,
+                    _ => {
+                        return Ok(Frame::err_response(
+                            req,
+                            status::ERR_MALFORMED,
+                            "dependency kind out of range (1=CD, 2=AD, 3=GC)",
+                        ))
+                    }
+                };
+                let ti = Tid(get_u64(b, 1)?);
+                let tj = Tid(get_u64(b, 9)?);
+                ack(req, db.form_dependency(kind, ti, tj))
+            }
+            opcode::NEW_OID => Frame::ok_response(req, &db.new_oid().0.to_le_bytes()),
+            opcode::MINT => {
+                let count = get_u64(b, 0)?;
+                let initial = get_i64(b, 8)?;
+                self.mint(req, count, initial)
+            }
+            opcode::SUM => {
+                let first = get_u64(b, 0)?;
+                let count = get_u64(b, 8)?;
+                let mut sum = 0i64;
+                let mut present = 0u64;
+                for oid in first..first.saturating_add(count) {
+                    if let Ok(Some(bytes)) = db.peek(Oid(oid)) {
+                        if let Ok(arr) = <[u8; 8]>::try_from(bytes.as_slice()) {
+                            sum = sum.wrapping_add(i64::from_le_bytes(arr));
+                            present += 1;
+                        }
+                    }
+                }
+                let mut payload = sum.to_le_bytes().to_vec();
+                payload.extend_from_slice(&present.to_le_bytes());
+                Frame::ok_response(req, &payload)
+            }
+            opcode::STATS => {
+                let c = db.metrics_snapshot().counters;
+                let mut payload = Vec::with_capacity(32);
+                payload.extend_from_slice(&c.txn_committed.to_le_bytes());
+                payload.extend_from_slice(&c.txn_aborted.to_le_bytes());
+                payload.extend_from_slice(&(db.live_transactions() as u64).to_le_bytes());
+                payload.extend_from_slice(&c.commit_log_failures.to_le_bytes());
+                Frame::ok_response(req, &payload)
+            }
+            opcode::SHUTDOWN => Frame::ok_response(req, &[]),
+            _ => {
+                bump(&db.obs().counters.server_protocol_errors);
+                Frame::err_response(req, status::ERR_BAD_OPCODE, "unknown opcode")
+            }
+        })
+    }
+
+    /// Run a non-terminal op (READ/WRITE) on one of this connection's
+    /// transactions. A `Fail` reply or a missing reply means the
+    /// transaction terminated — drop it from the session map.
+    fn txn_op(&mut self, req: &Frame, tid: u64, op: TxnOp) -> Frame {
+        let db = &self.shared.db;
+        let Some(st) = self.txns.get(&tid) else {
+            return Frame::err_response(
+                req,
+                status::ERR_TXN_NOT_FOUND,
+                "tid does not name a transaction of this session",
+            );
+        };
+        match st.call(db, op) {
+            Some(OpReply::Value(v)) => {
+                let mut payload = vec![u8::from(v.is_some())];
+                if let Some(bytes) = v {
+                    payload.extend_from_slice(&bytes);
+                }
+                Frame::ok_response(req, &payload)
+            }
+            Some(OpReply::Done) => Frame::ok_response(req, &[]),
+            Some(OpReply::Fail(code, msg)) => {
+                self.close_session(tid);
+                Frame::err_response(req, code, &msg)
+            }
+            None => {
+                self.close_session(tid);
+                Frame::err_response(
+                    req,
+                    status::ERR_TXN_ABORTED,
+                    "transaction terminated before answering",
+                )
+            }
+        }
+    }
+
+    /// COMMIT/ABORT: queue the terminal op, then block on the
+    /// transaction's outcome — for COMMIT the OK therefore rides the
+    /// group-commit flush window (DESIGN.md §13.2), and ambiguous
+    /// commit-point failures surface as their own status (§13.4).
+    fn finish_txn(&mut self, req: &Frame, tid: u64, op: TxnOp) -> Frame {
+        let db = self.shared.db.clone();
+        let Some(st) = self.txns.remove(&tid) else {
+            return Frame::err_response(
+                req,
+                status::ERR_TXN_NOT_FOUND,
+                "tid does not name a transaction of this session",
+            );
+        };
+        let wanted_commit = matches!(op, TxnOp::Commit);
+        st.finishing(&db, op);
+        let outcome = db.outcome_kind(st.tid);
+        db.obs().record(EventKind::SpanClose {
+            tid: st.tid,
+            span: SpanName::Session,
+        });
+        match (outcome, wanted_commit) {
+            (Ok(TxnOutcome::Committed), true) => Frame::ok_response(req, &[]),
+            (Ok(TxnOutcome::Committed), false) => Frame::err_response(
+                req,
+                status::ERR_INVALID_STATE,
+                "transaction already committed",
+            ),
+            (Ok(TxnOutcome::Aborted), true) => Frame::err_response(
+                req,
+                status::ERR_COMMIT_ABORTED,
+                "transaction aborted cleanly; no effect survives",
+            ),
+            (Ok(TxnOutcome::Aborted), false) => Frame::ok_response(req, &[]),
+            (Ok(TxnOutcome::CommitAmbiguous), _) => {
+                Frame::err_response(req, status::ERR_COMMIT_AMBIGUOUS, "commit fate unknown")
+            }
+            (Err(e), _) => err_of(req, &e),
+        }
+    }
+
+    fn close_session(&mut self, tid: u64) {
+        if self.txns.remove(&tid).is_some() {
+            self.shared.db.obs().record(EventKind::SpanClose {
+                tid: Tid(tid),
+                span: SpanName::Session,
+            });
+        }
+    }
+
+    /// Bulk-create `count` objects holding `initial` as an i64 counter.
+    /// Serialized under the mint mutex so the allocated oids are
+    /// consecutive; written in [`MINT_CHUNK`]-sized server-side
+    /// transactions.
+    fn mint(&self, req: &Frame, count: u64, initial: i64) -> Frame {
+        let db = &self.shared.db;
+        let _serial = self.shared.mint.lock();
+        let oids: Vec<Oid> = (0..count).map(|_| db.new_oid()).collect();
+        let first = oids.first().map(|o| o.0).unwrap_or(0);
+        for chunk in oids.chunks(MINT_CHUNK as usize) {
+            let chunk = chunk.to_vec();
+            let ran = db.run(move |ctx| {
+                for oid in &chunk {
+                    ctx.write(*oid, initial.to_le_bytes().to_vec())?;
+                }
+                Ok(())
+            });
+            match ran {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Frame::err_response(
+                        req,
+                        status::ERR_TXN_ABORTED,
+                        "mint transaction aborted",
+                    )
+                }
+                Err(e) => return err_of(req, &e),
+            }
+        }
+        let mut payload = first.to_le_bytes().to_vec();
+        payload.extend_from_slice(&count.to_le_bytes());
+        Frame::ok_response(req, &payload)
+    }
+}
+
+/// Decode the `u8` all flag + `u32` n + n×`u64` oids object-set shape
+/// shared by DELEGATE and PERMIT bodies.
+fn decode_obset(b: &[u8], off: usize) -> Result<ObSet, WireError> {
+    let all = get_u8(b, off)?;
+    let n = get_u32(b, off + 1)?;
+    if all == 1 {
+        if n != 0 {
+            return Err(WireError::Truncated);
+        }
+        return Ok(ObSet::All);
+    }
+    let mut set = BTreeSet::new();
+    for i in 0..n as usize {
+        set.insert(Oid(get_u64(b, off + 5 + 8 * i)?));
+    }
+    Ok(ObSet::Objects(set))
+}
+
+/// OK or the facility error mapped onto its wire status (§13.3).
+fn ack(req: &Frame, r: Result<(), AssetError>) -> Frame {
+    match r {
+        Ok(()) => Frame::ok_response(req, &[]),
+        Err(e) => err_of(req, &e),
+    }
+}
+
+fn err_of(req: &Frame, e: &AssetError) -> Frame {
+    Frame::err_response(req, protocol::status_of(e), &e.to_string())
+}

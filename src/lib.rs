@@ -43,7 +43,14 @@
 //!   and the `asset-top` live monitor;
 //! * [`asset_faults`] — deterministic fault injection: named failpoints in
 //!   the storage and transaction layers (compiled in only with the
-//!   `faults` feature) that the crash-recovery matrix drives.
+//!   `faults` feature) that the crash-recovery matrix drives;
+//! * [`asset_server`] — the network server: the `DESIGN.md` §13
+//!   length-prefixed wire protocol over TCP, connections mapped onto
+//!   executor-driven session transactions, commit acks riding the
+//!   group-commit flush window;
+//! * [`asset_client`] — the blocking wire client: pipelined requests,
+//!   typed operations, and the conservation-preserving money-ledger
+//!   helpers the E16 workload drives.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +72,7 @@
 
 #![warn(missing_docs)]
 
+pub use asset_client as client;
 pub use asset_common as common;
 pub use asset_core as txn;
 pub use asset_dep as dep;
@@ -73,6 +81,7 @@ pub use asset_lock as lock;
 pub use asset_mlt as mlt;
 pub use asset_models as models;
 pub use asset_obs as obs;
+pub use asset_server as server;
 pub use asset_storage as storage;
 pub use asset_trace as trace;
 
@@ -80,7 +89,9 @@ pub use asset_common::{
     AssetError, Config, DepType, Durability, LockMode, ObSet, Oid, OpSet, Operation, Result, Tid,
     TxnStatus,
 };
-pub use asset_core::{Database, Handle, ObjectCodec, StepCtx, StepProg, TryOp, TxnCtx, TxnStep};
+pub use asset_core::{
+    Database, Handle, ObjectCodec, StepCtx, StepProg, TryOp, TxnCtx, TxnOutcome, TxnStep,
+};
 pub use asset_models::{
     run_atomic, run_contingent, run_distributed, run_nested, subtransaction, Saga, SagaOutcome,
     Workflow, WorkflowOutcome,

@@ -170,7 +170,10 @@ fn metrics_snapshot_reconciles_with_trace() {
 /// ring from several writers while a drainer repeatedly holds the slot
 /// locks, then check the books balance — every attempt either stored
 /// (`events_recorded`) or was dropped (`events_dropped`), and drops
-/// actually happened.
+/// actually happened. Whether a writer really lands on a held slot is
+/// scheduler-dependent (a single-CPU host can serialize the threads), so
+/// the saturation pass repeats until a drop is observed; the accounting
+/// invariant is checked cumulatively across passes.
 #[test]
 fn saturated_recorder_reports_drops() {
     use asset::obs::Obs;
@@ -181,45 +184,54 @@ fn saturated_recorder_reports_drops() {
     obs.enable_tracing(8); // smallest ring: 8 slots
     const WRITERS: u64 = 4;
     const PER_WRITER: u64 = 20_000;
+    const MAX_PASSES: u64 = 25;
 
-    let done = Arc::new(AtomicBool::new(false));
-    let drainer = {
-        let obs = Arc::clone(&obs);
-        let done = Arc::clone(&done);
-        // trace() locks every slot in turn; a writer landing on a held
-        // slot must drop, not wait.
-        std::thread::spawn(move || {
-            while !done.load(Ordering::Relaxed) {
-                let _ = obs.trace();
-            }
-        })
-    };
-    let writers: Vec<_> = (0..WRITERS)
-        .map(|w| {
+    let mut passes = 0;
+    while passes < MAX_PASSES {
+        passes += 1;
+        let done = Arc::new(AtomicBool::new(false));
+        let drainer = {
             let obs = Arc::clone(&obs);
+            let done = Arc::clone(&done);
+            // trace() locks every slot in turn; a writer landing on a
+            // held slot must drop, not wait.
             std::thread::spawn(move || {
-                for i in 0..PER_WRITER {
-                    obs.record(EventKind::TxnBegin {
-                        tid: asset::Tid(w * PER_WRITER + i + 1),
-                    });
+                while !done.load(Ordering::Relaxed) {
+                    let _ = obs.trace();
                 }
             })
-        })
-        .collect();
-    for t in writers {
-        t.join().unwrap();
+        };
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let obs = Arc::clone(&obs);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        obs.record(EventKind::TxnBegin {
+                            tid: asset::Tid(w * PER_WRITER + i + 1),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in writers {
+            t.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        drainer.join().unwrap();
+        if obs.snapshot().events_dropped > 0 {
+            break;
+        }
     }
-    done.store(true, Ordering::Relaxed);
-    drainer.join().unwrap();
 
     let snap = obs.snapshot();
     assert!(
         snap.events_dropped > 0,
-        "8-slot ring under 4 writers + a draining reader must drop"
+        "8-slot ring under 4 writers + a draining reader must drop \
+         (no collision in {MAX_PASSES} passes)"
     );
     assert_eq!(
         snap.counters.events_recorded + snap.events_dropped,
-        WRITERS * PER_WRITER,
+        WRITERS * PER_WRITER * passes,
         "every record attempt is accounted: stored or dropped"
     );
 }

@@ -1,0 +1,259 @@
+//! End-to-end tests of the network server + wire client against the
+//! money-ledger workload: conservation under concurrent clients, wire
+//! error taxonomy, and (with `--features faults`) the regression that a
+//! commit-point failure surfaces as `ERR_COMMIT_AMBIGUOUS` — not as a
+//! generic error or a clean abort (DESIGN.md §13.4).
+
+use asset::client::{Client, TxnFate};
+use asset::server::protocol::{opcode, status, Frame};
+use asset::server::AssetServer;
+use asset::{Config, Database};
+use std::time::Duration;
+
+fn spawn_server(config: Config) -> AssetServer {
+    let (db, _) = Database::open(config).expect("open database");
+    AssetServer::spawn(db, "127.0.0.1:0").expect("bind server")
+}
+
+fn connect(s: &AssetServer) -> Client {
+    Client::connect(&s.local_addr().to_string()).expect("connect")
+}
+
+fn test_config() -> Config {
+    Config::in_memory()
+        .with_exec_workers(4)
+        .with_commit_flush_window(Duration::from_micros(200))
+}
+
+/// Tiny deterministic PRNG (xorshift64*), enough to pick account pairs.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn concurrent_clients_conserve_money() {
+    const CLIENTS: usize = 8;
+    const TRANSFERS: usize = 40;
+    const ACCOUNTS: u64 = 64;
+    const INITIAL: i64 = 1_000;
+
+    let server = spawn_server(test_config());
+    let mut admin = connect(&server);
+    let (first, n) = admin.mint(ACCOUNTS, INITIAL).unwrap();
+    assert_eq!(n, ACCOUNTS);
+
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("worker connect");
+                let mut rng = Rng(0x9E37_79B9 + c as u64);
+                let (mut committed, mut aborted) = (0u64, 0u64);
+                for _ in 0..TRANSFERS {
+                    // distinct accounts: a self-transfer is a client-side
+                    // no-op and would not reach the server's counters
+                    let a = rng.next() % ACCOUNTS;
+                    let b = (a + 1 + rng.next() % (ACCOUNTS - 1)) % ACCOUNTS;
+                    let (from, to) = (first + a, first + b);
+                    let amount = (rng.next() % 50) as i64;
+                    match client.transfer(from, to, amount).expect("transfer") {
+                        TxnFate::Committed => committed += 1,
+                        // deadlock victims and upgrade races abort
+                        // cleanly; the movement simply did not happen
+                        TxnFate::Aborted(_) | TxnFate::Insufficient => aborted += 1,
+                        TxnFate::Ambiguous => panic!("ambiguity without faults"),
+                    }
+                }
+                (committed, aborted)
+            })
+        })
+        .collect();
+    let mut committed = 0;
+    for h in handles {
+        committed += h.join().expect("worker").0;
+    }
+    assert!(committed > 0, "no transfer committed");
+
+    let (sum, present) = admin.sum(first, ACCOUNTS).unwrap();
+    assert_eq!(present, ACCOUNTS);
+    assert_eq!(
+        sum,
+        ACCOUNTS as i64 * INITIAL,
+        "conservation of money violated"
+    );
+    let stats = admin.stats().unwrap();
+    assert!(stats.committed >= committed);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn wire_error_taxonomy() {
+    let server = spawn_server(test_config());
+    let mut c = connect(&server);
+
+    // unknown opcode
+    c.send(0x6E, Vec::new()).unwrap();
+    let resp = c.recv().unwrap();
+    assert_eq!(resp.status, status::ERR_BAD_OPCODE);
+
+    // truncated body
+    c.send(opcode::READ, vec![1, 2, 3]).unwrap();
+    assert_eq!(c.recv().unwrap().status, status::ERR_MALFORMED);
+
+    // reserved parent tid
+    c.send(opcode::BEGIN, 7u64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(c.recv().unwrap().status, status::ERR_MALFORMED);
+
+    // operating on a transaction this session never opened
+    let mut body = 424_242u64.to_le_bytes().to_vec();
+    body.extend_from_slice(&1u64.to_le_bytes());
+    c.send(opcode::READ, body).unwrap();
+    assert_eq!(c.recv().unwrap().status, status::ERR_TXN_NOT_FOUND);
+
+    // double-commit: the first consumes the session transaction
+    let tid = c.begin().unwrap();
+    assert_eq!(c.commit(tid).unwrap(), TxnFate::Committed);
+    c.send(opcode::COMMIT, tid.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(c.recv().unwrap().status, status::ERR_TXN_NOT_FOUND);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn delegate_permit_and_form_dependency_over_the_wire() {
+    let server = spawn_server(test_config());
+    let mut c = connect(&server);
+    let oid = c.new_oid().unwrap();
+
+    // t1 writes, then delegates everything to t2; t2 commits and the
+    // write survives even though t1 aborts.
+    let t1 = c.begin().unwrap();
+    let t2 = c.begin().unwrap();
+    c.write(t1, oid, b"delegated").unwrap();
+    c.delegate(t1, t2, None).unwrap();
+    c.abort(t1).unwrap();
+    assert_eq!(c.commit(t2).unwrap(), TxnFate::Committed);
+    assert_eq!(
+        c.read_i64_committed(oid).unwrap(),
+        None,
+        "value is not an i64 counter"
+    );
+    let t3 = c.begin().unwrap();
+    assert_eq!(c.read(t3, oid).unwrap().as_deref(), Some(&b"delegated"[..]));
+    c.abort(t3).unwrap();
+
+    // permit + form_dependency round-trip (wildcard grantee, CD edge)
+    let t4 = c.begin().unwrap();
+    let t5 = c.begin().unwrap();
+    c.permit(t4, None, Some(&[oid]), 3).unwrap();
+    c.form_dependency(1, t5, t4).unwrap();
+    // a cycle is refused with its own status
+    match c.form_dependency(1, t4, t5) {
+        Err(asset::client::ClientError::Server { status: s, .. }) => {
+            assert_eq!(s, status::ERR_DEPENDENCY_CYCLE)
+        }
+        other => panic!("expected dependency-cycle, got {other:?}"),
+    }
+    c.abort(t5).unwrap();
+    c.abort(t4).unwrap();
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn example_frames_match_the_spec_on_a_live_connection() {
+    // DESIGN.md §13.5's BEGIN example, pushed through a real server:
+    // the request bytes are accepted and the response has the documented
+    // shape (status OK + 8-byte tid).
+    let server = spawn_server(test_config());
+    let mut c = connect(&server);
+    let reqid = c.send(opcode::BEGIN, 0u64.to_le_bytes().to_vec()).unwrap();
+    let frame = Frame {
+        opcode: opcode::BEGIN,
+        reqid,
+        body: 0u64.to_le_bytes().to_vec(),
+    };
+    assert_eq!(frame.encode()[4..6], [0x01, 0x10], "version + opcode bytes");
+    let resp = c.recv().unwrap();
+    assert_eq!(resp.status, status::OK);
+    assert_eq!(resp.payload.len(), 8, "OK payload is one u64 tid");
+    let tid = u64::from_le_bytes(resp.payload.try_into().unwrap());
+    c.abort(tid).unwrap();
+    server.shutdown();
+    server.join();
+}
+
+/// Commit-point failures must surface as `ERR_COMMIT_AMBIGUOUS`, never
+/// as a clean abort — a client that saw `ERR_COMMIT_ABORTED` would
+/// blindly retry and double-apply if the record had in fact reached
+/// stable storage.
+#[cfg(feature = "faults")]
+mod ambiguity {
+    use super::*;
+    use asset::faults::{FaultAction, FaultRegistry, Trigger};
+    use std::sync::Arc;
+
+    #[test]
+    fn commit_point_failure_maps_to_the_ambiguous_wire_status() {
+        let dir =
+            std::env::temp_dir().join(format!("asset-server-ambiguity-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = Arc::new(FaultRegistry::new());
+        let config = Config::on_disk(&dir)
+            .with_exec_workers(2)
+            .with_commit_flush_window(Duration::from_micros(200))
+            .with_faults(Arc::clone(&faults));
+        let server = spawn_server(config);
+        let mut c = connect(&server);
+        let (first, _) = c.mint(4, 100).unwrap();
+
+        // the next flush window fails at its sync: every commit in it
+        // is ambiguous
+        faults.arm(
+            asset::storage::failpoints::FLUSH_WINDOW_SYNC,
+            Trigger::Once,
+            FaultAction::Error,
+        );
+        let tid = c.begin().unwrap();
+        c.write(tid, first, &25i64.to_le_bytes()).unwrap();
+        c.send(opcode::COMMIT, tid.to_le_bytes().to_vec()).unwrap();
+        let resp = c.recv().unwrap();
+        assert_eq!(
+            resp.status,
+            status::ERR_COMMIT_AMBIGUOUS,
+            "commit-point failure must be distinguishable from a clean abort, got {}",
+            asset::server::protocol::status_name(resp.status)
+        );
+
+        // a clean abort still reports ERR_COMMIT_ABORTED, not ambiguous
+        let t2 = c.begin().unwrap();
+        c.write(t2, first + 1, &1i64.to_le_bytes()).unwrap();
+        c.abort(t2).unwrap();
+        c.send(opcode::COMMIT, t2.to_le_bytes().to_vec()).unwrap();
+        assert_eq!(c.recv().unwrap().status, status::ERR_TXN_NOT_FOUND);
+
+        // the fault was Once: the system keeps committing afterwards,
+        // and transfers conserve even across the ambiguous commit
+        assert_eq!(
+            c.transfer(first + 1, first + 2, 40).unwrap(),
+            TxnFate::Committed
+        );
+        let (sum, present) = c.sum(first, 4).unwrap();
+        assert_eq!(present, 4);
+        assert_eq!(sum, 400, "pure movements conserve the total");
+
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
