@@ -333,7 +333,10 @@ impl Client {
     }
 
     /// Bulk-create `count` accounts holding `initial` units each;
-    /// returns `(first_oid, count)`.
+    /// returns `(first_oid, count)`. The server caps one request at
+    /// `MAX_MINT_COUNT` (DESIGN.md §13.3) — mint larger populations in
+    /// multiple calls. On an error no funded accounts remain: the
+    /// server deletes any chunks that had committed before the failure.
     pub fn mint(&mut self, count: u64, initial: i64) -> Result<(u64, u64), ClientError> {
         let mut body = count.to_le_bytes().to_vec();
         body.extend_from_slice(&initial.to_le_bytes());
@@ -343,7 +346,9 @@ impl Client {
 
     /// Sum committed i64 counters over `first..first+count`; returns
     /// `(sum, objects_present)`. Non-transactional — quiesce writers
-    /// first for an exact answer.
+    /// first for an exact answer. The server caps one request's range
+    /// at `MAX_SUM_COUNT` (DESIGN.md §13.3); sweep wider ranges in
+    /// multiple calls.
     pub fn sum(&mut self, first: u64, count: u64) -> Result<(i64, u64), ClientError> {
         let mut body = first.to_le_bytes().to_vec();
         body.extend_from_slice(&count.to_le_bytes());

@@ -741,6 +741,18 @@ impl Database {
         )
     }
 
+    /// Live executor worker threads (spawning the pool on first call).
+    /// Normally `Config::resolved_exec_workers()`; `0` means every
+    /// worker spawn failed and the executor runs in **degraded inline
+    /// mode**, where [`submit`](Self::submit) drives the whole program
+    /// on the calling thread. Embedders whose programs park on
+    /// [`TxnStep::WaitExternal`] (e.g. a network server's session
+    /// transactions) must refuse to run in that mode — inline `submit`
+    /// would never return.
+    pub fn executor_workers(&self) -> usize {
+        self.executor().live_workers.load(Ordering::Acquire)
+    }
+
     /// Submit a transaction to the state-machine executor: `initiate` +
     /// executor-side `begin` + stepwise execution + group commit through
     /// the batched log flusher, all driven by the worker pool. Returns the

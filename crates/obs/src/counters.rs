@@ -136,6 +136,10 @@ define_counters! {
     /// Transactions begun over the wire (`BEGIN` requests that admitted
     /// a session transaction).
     session_txns,
+    /// Compensating deletes of a failed MINT's already-committed chunks
+    /// that themselves failed, leaving funded orphan objects behind.
+    /// Nonzero means a conservation audit needs a manual sweep.
+    mint_rollback_failures,
 }
 
 #[cfg(test)]

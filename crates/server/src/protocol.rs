@@ -57,6 +57,19 @@ pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 /// (version + opcode + reqid).
 pub const HEADER_LEN: usize = 6;
 
+/// Server-side cap on one MINT request's `count` (DESIGN.md §13.3). A
+/// larger count is rejected with [`status::ERR_RESOURCE_EXHAUSTED`]
+/// before any object is created — an attacker must not be able to make
+/// the server allocate or write without bound from one small frame.
+/// Larger workloads mint in multiple requests.
+pub const MAX_MINT_COUNT: u64 = 1 << 22;
+
+/// Server-side cap on one SUM request's `count` (DESIGN.md §13.3). A
+/// larger range is rejected with [`status::ERR_RESOURCE_EXHAUSTED`]
+/// before any object is read — a sweep must not be able to pin a
+/// connection thread without bound.
+pub const MAX_SUM_COUNT: u64 = 1 << 24;
+
 /// Request opcodes (frame byte 5). Responses echo the request's opcode.
 pub mod opcode {
     /// Liveness probe. Body: empty. OK payload: empty.
@@ -100,14 +113,21 @@ pub mod opcode {
     /// Bulk-create `count` objects each holding `initial` as an i64
     /// counter, committed server-side in chunked transactions. Body:
     /// `u64` count, `i64` initial. OK payload: `u64` first oid,
-    /// `u64` count. MINT requests are serialized by the server; the
-    /// oids are consecutive unless another connection allocates
-    /// concurrently — mint before opening the workload.
+    /// `u64` count. A count above [`super::MAX_MINT_COUNT`] is rejected
+    /// with `ERR_RESOURCE_EXHAUSTED` before any object is created. MINT
+    /// requests are serialized by the server; the oids are consecutive
+    /// unless another connection allocates concurrently — mint before
+    /// opening the workload. On any error the server deletes the chunks
+    /// that had already committed (best-effort compensation), so a
+    /// failed MINT leaves no funded orphan accounts; the oid space may
+    /// still contain gaps.
     pub const MINT: u8 = 0x31;
     /// Sum the committed i64 values of oids `first..first+count`
     /// (missing or non-8-byte objects are skipped). A **non-
     /// transactional diagnostic**: values are read with `peek`, so the
     /// result is only a consistent snapshot while no writer is active.
+    /// A count above [`super::MAX_SUM_COUNT`] is rejected with
+    /// `ERR_RESOURCE_EXHAUSTED` before any object is read.
     /// Body: `u64` first, `u64` count. OK payload: `i64` sum,
     /// `u64` objects present.
     pub const SUM: u8 = 0x32;
@@ -308,28 +328,15 @@ impl Frame {
         w.write_all(&self.encode())
     }
 
-    /// Read one frame from a stream. Returns `Ok(None)` on a clean EOF
-    /// at a frame boundary; a mid-frame EOF, an out-of-range length, or
-    /// a version mismatch is an error.
+    /// Read one frame from a **blocking** stream. Returns `Ok(None)` on
+    /// a clean EOF at a frame boundary; a mid-frame EOF, an out-of-range
+    /// length, or a version mismatch is an error.
+    ///
+    /// On a stream with a read timeout, a `WouldBlock`/`TimedOut` error
+    /// loses any bytes already consumed — use a persistent
+    /// [`FrameReader`] there instead.
     pub fn read_from(r: &mut impl Read) -> io::Result<Option<Frame>> {
-        let mut len_buf = [0u8; 4];
-        let mut got = 0;
-        while got < 4 {
-            match r.read(&mut len_buf[got..])? {
-                0 if got == 0 => return Ok(None),
-                0 => return Err(io::ErrorKind::UnexpectedEof.into()),
-                n => got += n,
-            }
-        }
-        let len = u32::from_le_bytes(len_buf);
-        if len < HEADER_LEN as u32 || len > MAX_FRAME_LEN {
-            return Err(WireError::BadLength(len).into());
-        }
-        let mut rest = vec![0u8; len as usize];
-        r.read_exact(&mut rest)?;
-        let mut full = len_buf.to_vec();
-        full.extend_from_slice(&rest);
-        Frame::decode(&full).map(Some).map_err(Into::into)
+        FrameReader::new().read_from(r)
     }
 
     /// Build an OK response to a request frame with the given payload.
@@ -353,6 +360,104 @@ impl Frame {
             opcode: req.opcode,
             reqid: req.reqid,
             body,
+        }
+    }
+}
+
+/// An incremental frame reader that survives read timeouts.
+///
+/// [`Frame::read_from`] assumes a blocking stream: if the read errors
+/// mid-frame, the bytes already consumed are gone and the stream is
+/// desynchronized. A `FrameReader` keeps the partial frame across
+/// calls: a `WouldBlock`/`TimedOut` error from the underlying stream
+/// propagates to the caller, but the bytes consumed so far stay
+/// buffered and the next `read_from` call resumes exactly where the
+/// previous one stopped. This is what lets the server poll-read with a
+/// timeout (to notice shutdown) without ever tearing a frame that
+/// straddles two poll ticks.
+///
+/// ```
+/// use asset_server::protocol::{opcode, Frame, FrameReader};
+/// use std::io::{self, Read};
+///
+/// /// Yields its bytes, then `WouldBlock` (like a read timeout).
+/// struct Timeout<'a>(&'a [u8]);
+/// impl Read for Timeout<'_> {
+///     fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+///         if self.0.is_empty() {
+///             return Err(io::ErrorKind::WouldBlock.into());
+///         }
+///         self.0.read(out)
+///     }
+/// }
+///
+/// let f = Frame { opcode: opcode::PING, reqid: 1, body: vec![] };
+/// let bytes = f.encode();
+/// let (a, b) = bytes.split_at(5);
+/// let mut fr = FrameReader::new();
+/// // first poll tick times out mid-frame: the 5 bytes stay buffered
+/// let err = fr.read_from(&mut Timeout(a)).unwrap_err();
+/// assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+/// assert_eq!(fr.buffered(), 5);
+/// // the rest of the frame arrives on the next tick
+/// assert_eq!(fr.read_from(&mut Timeout(b)).unwrap(), Some(f));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Bytes of the current frame consumed so far, length prefix first.
+    buf: Vec<u8>,
+    /// Total bytes of the current frame (4 + len) once the length
+    /// prefix is complete and validated; 0 while it is not.
+    need: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Bytes of the current frame buffered so far (0 = at a boundary).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read one frame, resuming any partial frame from a previous call.
+    /// Returns `Ok(None)` on EOF at a frame boundary; EOF mid-frame, an
+    /// out-of-range length, or a version mismatch is an error. A
+    /// `WouldBlock`/`TimedOut` error leaves the partial state intact
+    /// for the next call.
+    pub fn read_from(&mut self, r: &mut impl Read) -> io::Result<Option<Frame>> {
+        loop {
+            if self.need == 0 && self.buf.len() == 4 {
+                // the slice bound was just checked
+                // verify: allow(no_panics) — length checked above
+                let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes"));
+                if len < HEADER_LEN as u32 || len > MAX_FRAME_LEN {
+                    return Err(WireError::BadLength(len).into());
+                }
+                self.need = 4 + len as usize;
+            }
+            if self.need != 0 && self.buf.len() == self.need {
+                let frame = Frame::decode(&self.buf);
+                self.buf.clear();
+                self.need = 0;
+                return frame.map(Some).map_err(Into::into);
+            }
+            let want = if self.need == 0 {
+                4 - self.buf.len()
+            } else {
+                self.need - self.buf.len()
+            };
+            let mut tmp = [0u8; 16 * 1024];
+            let want = want.min(tmp.len());
+            match r.read(&mut tmp[..want]) {
+                Ok(0) if self.buf.is_empty() => return Ok(None),
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
         }
     }
 }
@@ -450,6 +555,81 @@ mod tests {
         let oversize = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
         let mut r = &oversize[..];
         assert!(Frame::read_from(&mut r).is_err());
+    }
+
+    /// A reader that delivers tiny chunks and interleaves `WouldBlock`
+    /// errors between them, like a socket with a read timeout firing
+    /// mid-frame.
+    struct Choppy<'a> {
+        data: &'a [u8],
+        pos: usize,
+        calls: usize,
+    }
+
+    impl std::io::Read for Choppy<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(2) && self.pos < self.data.len() {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = out.len().min(3).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_partial_frames_across_timeouts() {
+        let a = Frame {
+            opcode: opcode::WRITE,
+            reqid: 5,
+            body: vec![9; 300],
+        };
+        let b = Frame {
+            opcode: opcode::PING,
+            reqid: 6,
+            body: vec![],
+        };
+        let mut bytes = a.encode();
+        bytes.extend_from_slice(&b.encode());
+        let mut r = Choppy {
+            data: &bytes,
+            pos: 0,
+            calls: 0,
+        };
+        let mut fr = FrameReader::new();
+        let mut got = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match fr.read_from(&mut r) {
+                Ok(Some(f)) => got.push(f),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, vec![a, b], "frames reassembled across timeouts");
+        assert!(timeouts > 0, "the reader was actually interrupted");
+        assert_eq!(fr.buffered(), 0, "ends at a frame boundary");
+    }
+
+    #[test]
+    fn frame_reader_still_rejects_bad_lengths_and_mid_frame_eof() {
+        let oversize = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut fr = FrameReader::new();
+        assert!(fr.read_from(&mut &oversize[..]).is_err());
+
+        let f = Frame {
+            opcode: opcode::PING,
+            reqid: 1,
+            body: vec![1, 2, 3],
+        };
+        let bytes = f.encode();
+        let mut fr = FrameReader::new();
+        let mut partial = &bytes[..bytes.len() - 1];
+        // a slice EOFs rather than blocking, so the torn frame errors
+        assert!(fr.read_from(&mut partial).is_err());
     }
 
     #[test]

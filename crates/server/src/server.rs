@@ -57,7 +57,21 @@ pub struct AssetServer {
 impl AssetServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start accepting
     /// connections against `db`.
+    ///
+    /// Fails with `InvalidInput` if `db`'s executor has no live worker
+    /// threads: session transactions park on `WaitExternal`, which the
+    /// degraded inline executor cannot do (`Database::submit` would
+    /// drive the program on the connection thread and never return from
+    /// the first `BEGIN`). Failing fast here beats hanging there.
     pub fn spawn(db: Database, addr: &str) -> std::io::Result<AssetServer> {
+        if db.executor_workers() == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "asset-server requires a live executor worker pool; \
+                 the degraded inline executor cannot run session \
+                 transactions (see Config::with_exec_workers)",
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -138,6 +152,16 @@ struct Connection {
     txns: HashMap<u64, SessionTxn>,
 }
 
+/// The abort-leftovers guarantee lives in `Drop`, not at the end of
+/// [`Connection::serve`]: an I/O error (or panic) anywhere in the serve
+/// loop must still release the session's transactions, or they would
+/// hold their locks forever while parked on `WaitExternal`.
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.abort_leftovers();
+    }
+}
+
 impl Connection {
     fn new(shared: Arc<Shared>, stream: &TcpStream) -> Connection {
         // poll-read so handler threads notice the shutdown flag even
@@ -150,21 +174,30 @@ impl Connection {
         }
     }
 
+    /// Serve the connection until EOF, error, or shutdown. Open
+    /// transactions are aborted by [`Drop`] on **every** exit path —
+    /// including a `?` on a write error (a client disconnecting
+    /// mid-response is routine) and a panic — so a dead session can
+    /// never park transactions on `WaitExternal` holding locks forever.
     fn serve(mut self, stream: TcpStream) -> std::io::Result<()> {
         let mut reader = stream.try_clone()?;
         let mut writer = BufWriter::new(stream);
+        // persists partial frames across poll-tick timeouts: the 100ms
+        // read timeout may fire with half a frame consumed, and those
+        // bytes must not be discarded or the stream desynchronizes
+        let mut frames = protocol::FrameReader::new();
         loop {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let frame = match Frame::read_from(&mut reader) {
+            let frame = match frames.read_from(&mut reader) {
                 Ok(Some(f)) => f,
                 Ok(None) => break, // clean EOF
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    continue; // poll tick: re-check shutdown
+                    continue; // poll tick: re-check shutdown, then resume
                 }
                 Err(_) => {
                     bump(&self.shared.db.obs().counters.server_protocol_errors);
@@ -184,7 +217,6 @@ impl Connection {
                 break;
             }
         }
-        self.abort_leftovers();
         Ok(())
     }
 
@@ -320,6 +352,16 @@ impl Connection {
             opcode::SUM => {
                 let first = get_u64(b, 0)?;
                 let count = get_u64(b, 8)?;
+                if count > protocol::MAX_SUM_COUNT {
+                    return Ok(Frame::err_response(
+                        req,
+                        status::ERR_RESOURCE_EXHAUSTED,
+                        &format!(
+                            "sum count {count} exceeds the per-request cap {}",
+                            protocol::MAX_SUM_COUNT
+                        ),
+                    ));
+                }
                 let mut sum = 0i64;
                 let mut present = 0u64;
                 for oid in first..first.saturating_add(count) {
@@ -438,36 +480,90 @@ impl Connection {
 
     /// Bulk-create `count` objects holding `initial` as an i64 counter.
     /// Serialized under the mint mutex so the allocated oids are
-    /// consecutive; written in [`MINT_CHUNK`]-sized server-side
-    /// transactions.
+    /// consecutive; oids are allocated and written one
+    /// [`MINT_CHUNK`]-sized server-side transaction at a time, so peak
+    /// allocation is bounded by the chunk, not the request.
+    ///
+    /// Counts above [`protocol::MAX_MINT_COUNT`] are rejected before
+    /// any work. On a mid-mint failure the chunks that had already
+    /// committed are deleted again ([`Self::unmint`]) so a failed MINT
+    /// leaves no funded orphan accounts behind.
     fn mint(&self, req: &Frame, count: u64, initial: i64) -> Frame {
         let db = &self.shared.db;
+        if count > protocol::MAX_MINT_COUNT {
+            return Frame::err_response(
+                req,
+                status::ERR_RESOURCE_EXHAUSTED,
+                &format!(
+                    "mint count {count} exceeds the per-request cap {}",
+                    protocol::MAX_MINT_COUNT
+                ),
+            );
+        }
         let _serial = self.shared.mint.lock();
-        let oids: Vec<Oid> = (0..count).map(|_| db.new_oid()).collect();
-        let first = oids.first().map(|o| o.0).unwrap_or(0);
-        for chunk in oids.chunks(MINT_CHUNK as usize) {
-            let chunk = chunk.to_vec();
+        let mut first = 0u64;
+        let mut minted: Vec<Oid> = Vec::new();
+        let mut remaining = count;
+        let failed = loop {
+            if remaining == 0 {
+                break None;
+            }
+            let n = remaining.min(MINT_CHUNK) as usize;
+            let chunk: Vec<Oid> = (0..n).map(|_| db.new_oid()).collect();
+            if minted.is_empty() {
+                first = chunk.first().map(|o| o.0).unwrap_or(0);
+            }
+            let written = chunk.clone();
             let ran = db.run(move |ctx| {
-                for oid in &chunk {
+                for oid in &written {
                     ctx.write(*oid, initial.to_le_bytes().to_vec())?;
                 }
                 Ok(())
             });
             match ran {
-                Ok(true) => {}
+                Ok(true) => {
+                    minted.extend_from_slice(&chunk);
+                    remaining -= n as u64;
+                }
                 Ok(false) => {
-                    return Frame::err_response(
+                    break Some(Frame::err_response(
                         req,
                         status::ERR_TXN_ABORTED,
                         "mint transaction aborted",
-                    )
+                    ))
                 }
-                Err(e) => return err_of(req, &e),
+                Err(e) => break Some(err_of(req, &e)),
             }
+        };
+        if let Some(err) = failed {
+            self.unmint(&minted);
+            return err;
         }
         let mut payload = first.to_le_bytes().to_vec();
         payload.extend_from_slice(&count.to_le_bytes());
         Frame::ok_response(req, &payload)
+    }
+
+    /// Compensate a failed MINT: delete the objects of every chunk that
+    /// had already committed, so the failure is all-or-nothing as far
+    /// as funded accounts are concerned (DESIGN.md §13.3). Best-effort:
+    /// a compensating delete that itself fails bumps
+    /// `mint_rollback_failures` — nonzero means a conservation audit
+    /// must sweep for orphans by hand.
+    fn unmint(&self, minted: &[Oid]) {
+        let db = &self.shared.db;
+        for chunk in minted.chunks(MINT_CHUNK as usize) {
+            let chunk = chunk.to_vec();
+            let ran = db.run(move |ctx| {
+                for oid in &chunk {
+                    ctx.delete(*oid)?;
+                }
+                Ok(())
+            });
+            if !matches!(ran, Ok(true)) {
+                bump(&db.obs().counters.mint_rollback_failures);
+            }
+        }
     }
 }
 
@@ -499,4 +595,49 @@ fn ack(req: &Frame, r: Result<(), AssetError>) -> Frame {
 
 fn err_of(req: &Frame, e: &AssetError) -> Frame {
     Frame::err_response(req, protocol::status_of(e), &e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asset_common::Config;
+
+    /// The REVIEW-driven regression for leaked sessions: a `Connection`
+    /// that goes away without reaching the end of `serve()` (write
+    /// error, panic) must still abort its parked transactions and
+    /// release their locks — the guarantee lives in `Drop`.
+    #[test]
+    fn dropping_a_connection_aborts_its_open_transactions() {
+        let (db, _) = Database::open(
+            Config::in_memory()
+                .with_exec_workers(2)
+                .with_commit_flush_window(Duration::from_micros(100)),
+        )
+        .expect("in-memory open");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        let shared = Arc::new(Shared {
+            db: db.clone(),
+            shutdown: AtomicBool::new(false),
+            mint: Mutex::new(()),
+        });
+        let mut conn = Connection::new(shared, &stream);
+        let st = SessionTxn::submit(&db).expect("submit");
+        let tid = st.tid;
+        let oid = db.new_oid();
+        assert!(matches!(
+            st.call(&db, TxnOp::Write(oid, vec![1])),
+            Some(OpReply::Done)
+        ));
+        conn.txns.insert(tid.0, st);
+
+        // the write lock is held while the session txn parks
+        drop(conn);
+
+        assert_eq!(db.outcome_kind(tid).unwrap(), TxnOutcome::Aborted);
+        // the lock was released: another writer gets through
+        assert!(db.run(move |ctx| ctx.write(oid, vec![2])).unwrap());
+    }
 }

@@ -193,6 +193,34 @@ fn example_frames_match_the_spec_on_a_live_connection() {
     server.join();
 }
 
+#[test]
+fn oversized_mint_and_sum_are_rejected_before_any_work() {
+    use asset::server::protocol::{MAX_MINT_COUNT, MAX_SUM_COUNT};
+    let server = spawn_server(test_config());
+    let mut c = connect(&server);
+
+    // a 16-byte frame must not be able to make the server allocate or
+    // scan without bound (remote-DoS regression)
+    let mut body = (MAX_MINT_COUNT + 1).to_le_bytes().to_vec();
+    body.extend_from_slice(&1i64.to_le_bytes());
+    c.send(opcode::MINT, body).unwrap();
+    assert_eq!(c.recv().unwrap().status, status::ERR_RESOURCE_EXHAUSTED);
+
+    let mut body = 0u64.to_le_bytes().to_vec();
+    body.extend_from_slice(&(MAX_SUM_COUNT + 1).to_le_bytes());
+    c.send(opcode::SUM, body).unwrap();
+    assert_eq!(c.recv().unwrap().status, status::ERR_RESOURCE_EXHAUSTED);
+
+    // nothing was created by the rejected MINT, and within-cap
+    // requests still work
+    let (first, n) = c.mint(4, 5).unwrap();
+    assert_eq!(n, 4);
+    let (sum, present) = c.sum(first, 4).unwrap();
+    assert_eq!((sum, present), (20, 4));
+    server.shutdown();
+    server.join();
+}
+
 /// Commit-point failures must surface as `ERR_COMMIT_AMBIGUOUS`, never
 /// as a clean abort — a client that saw `ERR_COMMIT_ABORTED` would
 /// blindly retry and double-apply if the record had in fact reached
@@ -251,6 +279,45 @@ mod ambiguity {
         let (sum, present) = c.sum(first, 4).unwrap();
         assert_eq!(present, 4);
         assert_eq!(sum, 400, "pure movements conserve the total");
+
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A MINT that fails between chunks must not leave the earlier,
+    /// already-committed chunks behind as funded orphan accounts — the
+    /// server compensates by deleting them (DESIGN.md §13.3).
+    #[test]
+    fn failed_mint_rolls_back_committed_chunks() {
+        let dir = std::env::temp_dir().join(format!("asset-server-mint-rb-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = Arc::new(FaultRegistry::new());
+        let config = Config::on_disk(&dir)
+            .with_exec_workers(2)
+            .with_commit_flush_window(Duration::from_micros(200))
+            .with_faults(Arc::clone(&faults));
+        let server = spawn_server(config);
+        let mut c = connect(&server);
+
+        // MINT is chunked at 10k objects per transaction, so 25k takes
+        // three; fail the second chunk's flush window
+        faults.arm(
+            asset::storage::failpoints::FLUSH_WINDOW_SYNC,
+            Trigger::Nth(2),
+            FaultAction::Error,
+        );
+        assert!(c.mint(25_000, 7).is_err(), "mid-mint failure surfaces");
+
+        // the first chunk had committed; the compensation deleted it
+        let (sum, present) = c.sum(0, 40_000).unwrap();
+        assert_eq!(present, 0, "a failed MINT leaves no funded orphans");
+        assert_eq!(sum, 0);
+
+        // the server stays healthy: a fresh mint works end to end
+        let (first, n) = c.mint(8, 3).unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(c.sum(first, 8).unwrap(), (24, 8));
 
         server.shutdown();
         server.join();
