@@ -1,4 +1,4 @@
-//! The experiment harness: prints the E1–E16 tables of `EXPERIMENTS.md`.
+//! The experiment harness: prints the E1–E17 tables of `EXPERIMENTS.md`.
 //!
 //! ```sh
 //! cargo run -p asset-bench --release --bin experiments           # full suite
@@ -7,7 +7,7 @@
 //! cargo run -p asset-bench --release --bin experiments -- e15 --txns 200  # executor smoke
 //! ```
 //!
-//! E14, E15, and E16 also serialize their measured runs into
+//! E14, E15, E16, and E17 also serialize their measured runs into
 //! `BENCH_obs.json` (schema `asset-bench-obs/v1`); when several are
 //! selected the file holds the union of their rows.
 
@@ -61,9 +61,10 @@ fn main() {
         ("e14", experiments::e14_observability),
         ("e15", experiments::e15_executor),
         ("e16", experiments::e16_ledger),
+        ("e17", experiments::e17_coord),
     ];
 
-    // E14/E15/E16 measure once and contribute rows to BENCH_obs.json
+    // E14/E15/E16/E17 measure once and contribute rows to BENCH_obs.json
     let mut obs_runs: Vec<ObsBenchRun> = Vec::new();
 
     for (name, f) in &all {
@@ -82,6 +83,10 @@ fn main() {
         } else if *name == "e16" {
             let runs = experiments::e16_ledger_runs(scale);
             println!("{}", experiments::e16_table(&runs));
+            obs_runs.extend(runs);
+        } else if *name == "e17" {
+            let runs = experiments::e17_coord_runs(scale);
+            println!("{}", experiments::e17_table(&runs));
             obs_runs.extend(runs);
         } else if *name == "e9b" {
             // e9b also captures a structured event trace; dump it next to

@@ -1,0 +1,333 @@
+//! E17 — distributed commit: 2PC blocking vs Paxos Commit
+//! (`EXPERIMENTS.md` E17): a nodes × failure-mode sweep over both
+//! coordinators, measuring **outcome latency** (stage → decision
+//! delivered everywhere) and **blocked time** (how long prepared
+//! participants sit in doubt, locks held, before a recovery pass
+//! resolves them).
+//!
+//! The point being measured is the protocols' defining asymmetry: after
+//! a coordinator crash, 2PC's only durable copy of the decision state
+//! is the dead coordinator's log, so participants stay blocked for the
+//! whole coordinator outage (modeled here as a fixed
+//! [`COORD_DOWNTIME`] before the restarted coordinator reruns its
+//! log); Paxos Commit keeps the decision at an acceptor quorum, so a
+//! recovery coordinator resolves the very same crash immediately —
+//! blocked time collapses to one round of consensus reads.
+//!
+//! Every number is wall-clock measured on in-process clusters whose
+//! transport delays each message by [`LINK_DELAY`] (so protocol round
+//! counts are visible in the latencies, not just scheduler noise).
+//! Failure cells crash the coordinator via the `coord.before_decide` /
+//! `coord.after_decide` failpoints, which are compiled unconditionally
+//! — E17 needs no feature flag.
+
+use super::{ObsBenchRun, Scale};
+use crate::table::{fmt_duration, Table};
+use asset_common::Config;
+use asset_coord::failpoints::{COORD_AFTER_DECIDE, COORD_BEFORE_DECIDE};
+use asset_coord::{
+    Acceptor, ChannelTransport, CommitTransport, CoordLog, Decision, GlobalTxn, ParticipantNode,
+    PaxosCommit, TwoPhase,
+};
+use asset_faults::{FaultAction, FaultRegistry, Trigger};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-message transport delay: models a LAN link so that round counts
+/// dominate latency.
+const LINK_DELAY: Duration = Duration::from_micros(200);
+
+/// How long a crashed 2PC coordinator (and with it, its log) stays
+/// unreachable before recovery can run. Paxos recovery does not wait
+/// for it — that is the experiment.
+const COORD_DOWNTIME: Duration = Duration::from_millis(10);
+
+/// Global transactions per cell before scaling.
+const TXNS_BASE: usize = 48;
+
+/// Which protocol drives a cell.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    TwoPc,
+    Paxos,
+}
+
+/// The failure script of a cell.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Failure {
+    /// Happy path: the coordinator lives, `commit` runs to completion.
+    None,
+    /// The coordinator dies after every vote is in but before the
+    /// decision is durable — the canonical 2PC blocking window.
+    BeforeDecide,
+    /// The coordinator dies with the decision durable but undelivered.
+    AfterDecide,
+}
+
+impl Failure {
+    fn point(self) -> Option<&'static str> {
+        match self {
+            Failure::None => None,
+            Failure::BeforeDecide => Some(COORD_BEFORE_DECIDE),
+            Failure::AfterDecide => Some(COORD_AFTER_DECIDE),
+        }
+    }
+}
+
+/// The sweep: (protocol, nodes, failure, stable run name).
+const CELLS: &[(Proto, usize, Failure, &str)] = &[
+    (Proto::TwoPc, 2, Failure::None, "coord-2pc-n2-ok"),
+    (Proto::Paxos, 2, Failure::None, "coord-paxos-n2-ok"),
+    (Proto::TwoPc, 4, Failure::None, "coord-2pc-n4-ok"),
+    (Proto::Paxos, 4, Failure::None, "coord-paxos-n4-ok"),
+    (
+        Proto::TwoPc,
+        3,
+        Failure::BeforeDecide,
+        "coord-2pc-n3-crash-before",
+    ),
+    (
+        Proto::Paxos,
+        3,
+        Failure::BeforeDecide,
+        "coord-paxos-n3-crash-before",
+    ),
+    (
+        Proto::TwoPc,
+        3,
+        Failure::AfterDecide,
+        "coord-2pc-n3-crash-after",
+    ),
+    (
+        Proto::Paxos,
+        3,
+        Failure::AfterDecide,
+        "coord-paxos-n3-crash-after",
+    ),
+];
+
+struct Cluster {
+    transport: Arc<ChannelTransport>,
+    log: Arc<CoordLog>,
+    acceptors: Vec<Arc<Acceptor>>,
+}
+
+fn cluster(nodes: usize) -> Cluster {
+    let nodes: Vec<Arc<ParticipantNode>> = (0..nodes)
+        .map(|_| Arc::new(ParticipantNode::open(Config::in_memory()).expect("open node")))
+        .collect();
+    Cluster {
+        transport: Arc::new(ChannelTransport::new(nodes).with_delay(LINK_DELAY)),
+        log: Arc::new(CoordLog::in_memory()),
+        acceptors: (0..3).map(|_| Arc::new(Acceptor::new())).collect(),
+    }
+}
+
+impl Cluster {
+    /// Stage one finished-but-undecided write per node; the global txn.
+    fn stage(&self, gid: u64) -> GlobalTxn {
+        let mut g = GlobalTxn::new(gid);
+        for i in 0..self.transport.nodes() {
+            let db = self.transport.node(i).db();
+            let oid = db.new_oid();
+            let t = db
+                .initiate(move |ctx| ctx.write(oid, gid.to_le_bytes().to_vec()))
+                .expect("initiate");
+            db.begin(t).expect("begin");
+            db.wait(t).expect("wait");
+            g.add_member(i as u32, t);
+        }
+        g
+    }
+
+    fn in_doubt(&self) -> usize {
+        (0..self.transport.nodes())
+            .map(|i| self.transport.node(i).db().in_doubt_transactions().len())
+            .sum()
+    }
+
+    fn commit(&self, proto: Proto, faults: Arc<FaultRegistry>, g: &GlobalTxn) -> bool {
+        match proto {
+            Proto::TwoPc => TwoPhase::new(self.transport.clone(), self.log.clone())
+                .with_faults(faults)
+                .commit(g)
+                .is_ok(),
+            Proto::Paxos => PaxosCommit::new(self.transport.clone(), self.acceptors.clone())
+                .with_faults(faults)
+                .commit(g)
+                .is_ok(),
+        }
+    }
+
+    fn recover(&self, proto: Proto, ballot: u64, g: &GlobalTxn) -> Decision {
+        match proto {
+            Proto::TwoPc => TwoPhase::new(self.transport.clone(), self.log.clone())
+                .recover(g)
+                .expect("2pc recover"),
+            Proto::Paxos => {
+                PaxosCommit::recovery(self.transport.clone(), self.acceptors.clone(), ballot)
+                    .recover(g)
+                    .expect("paxos recover")
+            }
+        }
+    }
+}
+
+fn percentiles(mut ns: Vec<u64>) -> (f64, f64, f64) {
+    ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if ns.is_empty() {
+            0.0
+        } else {
+            ns[((ns.len() - 1) as f64 * p) as usize] as f64
+        }
+    };
+    (pct(0.50), pct(0.95), pct(0.99))
+}
+
+/// Run one cell: `iters` global transactions, each staged fresh,
+/// driven to a decision (with the scripted coordinator crash and a
+/// recovery pass for failure cells), asserting convergence every time.
+fn run_cell(
+    proto: Proto,
+    nodes: usize,
+    failure: Failure,
+    name: &'static str,
+    iters: usize,
+) -> ObsBenchRun {
+    let c = cluster(nodes);
+    let mut outcome_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut blocked_ns: Vec<u64> = Vec::with_capacity(iters);
+    let wall = Instant::now();
+    for i in 0..iters {
+        let gid = 1 + i as u64;
+        let g = c.stage(gid);
+        let faults = Arc::new(FaultRegistry::new());
+        if let Some(point) = failure.point() {
+            faults.arm(point, Trigger::Once, FaultAction::Error);
+        }
+        let t0 = Instant::now();
+        let finished = c.commit(proto, faults, &g);
+        match failure {
+            Failure::None => {
+                assert!(finished, "{name}: happy path must finish");
+                outcome_ns.push(t0.elapsed().as_nanos() as u64);
+                blocked_ns.push(0);
+            }
+            Failure::BeforeDecide | Failure::AfterDecide => {
+                assert!(!finished, "{name}: the scripted crash must surface");
+                // participants are prepared, in doubt, locks held
+                let b0 = Instant::now();
+                assert!(c.in_doubt() > 0, "{name}: someone must be blocked");
+                if proto == Proto::TwoPc {
+                    // 2PC cannot proceed without the dead coordinator's
+                    // log: participants block for the whole outage
+                    std::thread::sleep(COORD_DOWNTIME);
+                }
+                let d = c.recover(proto, 1 + i as u64, &g);
+                let blocked = b0.elapsed().as_nanos() as u64;
+                assert_eq!(c.in_doubt(), 0, "{name}: recovery must resolve all");
+                let want = match failure {
+                    Failure::BeforeDecide => Decision::Abort,
+                    _ => Decision::Commit,
+                };
+                assert_eq!(d, want, "{name}: recovered decision");
+                outcome_ns.push(t0.elapsed().as_nanos() as u64);
+                blocked_ns.push(blocked);
+            }
+        }
+    }
+    ObsBenchRun {
+        name,
+        txns: iters as u64,
+        elapsed: wall.elapsed(),
+        // blocked-time percentiles ride the lock-wait column: in-doubt
+        // participants are exactly transactions stuck holding locks
+        lock_wait_ns: percentiles(blocked_ns),
+        commit_ns: percentiles(outcome_ns),
+        events_recorded: 0,
+        events_dropped: 0,
+    }
+}
+
+/// Run the E17 sweep at `scale`.
+pub fn e17_coord_runs(scale: Scale) -> Vec<ObsBenchRun> {
+    CELLS
+        .iter()
+        .map(|&(proto, nodes, failure, name)| {
+            run_cell(proto, nodes, failure, name, scale.n(TXNS_BASE))
+        })
+        .collect()
+}
+
+/// Format already-measured runs as the E17 table.
+pub fn e17_table(runs: &[ObsBenchRun]) -> Table {
+    let mut table = Table::new(
+        "E17: distributed commit, 2PC blocking vs Paxos Commit",
+        "global txns over in-process clusters (200us link delay); outcome = stage..decision everywhere; blocked = prepared participants in doubt until recovery (2PC waits out a 10ms coordinator outage, Paxos reads the acceptor quorum immediately)",
+    )
+    .headers(&[
+        "cell",
+        "txns",
+        "outcome p50/p99",
+        "blocked p50",
+        "blocked p99",
+    ]);
+    for r in runs {
+        let (o50, _, o99) = r.commit_ns;
+        let (b50, _, b99) = r.lock_wait_ns;
+        table.row(vec![
+            r.name.into(),
+            r.txns.to_string(),
+            format!(
+                "{} / {}",
+                fmt_duration(Duration::from_nanos(o50 as u64)),
+                fmt_duration(Duration::from_nanos(o99 as u64)),
+            ),
+            fmt_duration(Duration::from_nanos(b50 as u64)),
+            fmt_duration(Duration::from_nanos(b99 as u64)),
+        ]);
+    }
+    table
+}
+
+/// E17 as a harness table.
+pub fn e17_coord(scale: Scale) -> Table {
+    e17_table(&e17_coord_runs(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_and_converges_at_tiny_scale() {
+        let runs = e17_coord_runs(Scale { factor: 0.05 });
+        assert_eq!(runs.len(), CELLS.len());
+        for r in &runs {
+            assert!(r.txns > 0, "{}: drove transactions", r.name);
+        }
+        // the headline asymmetry must be visible even at smoke scale:
+        // 2PC's blocked time includes the coordinator outage, Paxos's
+        // does not
+        let blocked = |name: &str| -> f64 {
+            runs.iter()
+                .find(|r| r.name == name)
+                .expect("cell present")
+                .lock_wait_ns
+                .0
+        };
+        let two_pc = blocked("coord-2pc-n3-crash-after");
+        let paxos = blocked("coord-paxos-n3-crash-after");
+        assert!(
+            two_pc >= COORD_DOWNTIME.as_nanos() as f64,
+            "2PC blocks for at least the outage ({two_pc} ns)"
+        );
+        assert!(
+            paxos < COORD_DOWNTIME.as_nanos() as f64,
+            "Paxos must not wait out the outage ({paxos} ns)"
+        );
+        let json = super::super::bench_obs_json(&runs);
+        assert!(json.contains("\"name\": \"coord-paxos-n3-crash-after\""));
+    }
+}

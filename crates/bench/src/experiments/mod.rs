@@ -1,4 +1,4 @@
-//! The E1–E16 experiment suite (see `EXPERIMENTS.md` at the repo root).
+//! The E1–E17 experiment suite (see `EXPERIMENTS.md` at the repo root).
 //!
 //! Each experiment is a function returning a [`Table`]; the
 //! `experiments` binary prints them all. A [`Scale`] knob shrinks the
@@ -6,6 +6,7 @@
 
 mod ablations;
 mod concurrency;
+mod coord_exp;
 mod crashes;
 mod exec_exp;
 mod ledger_exp;
@@ -15,6 +16,7 @@ mod primitives;
 
 pub use ablations::e12_ablations;
 pub use concurrency::{e2_permits_vs_2pl, e6_cursor_stability, e7_split_early_release};
+pub use coord_exp::{e17_coord, e17_coord_runs, e17_table};
 pub use crashes::e13_crash_matrix;
 pub use exec_exp::{e15_executor, e15_executor_runs, e15_table, E15_BASELINE};
 pub use ledger_exp::{e16_ledger, e16_ledger_runs, e16_table, E16_FAULT_CELL};
@@ -73,6 +75,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e14_observability(scale),
         e15_executor(scale),
         e16_ledger(scale),
+        e17_coord(scale),
     ]
 }
 
@@ -86,7 +89,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables() {
         let tables = run_all(Scale::quick());
-        assert_eq!(tables.len(), 17);
+        assert_eq!(tables.len(), 18);
         for t in &tables {
             assert!(!t.headers.is_empty(), "{} has headers", t.title);
             assert!(!t.rows.is_empty(), "{} has rows", t.title);

@@ -42,8 +42,10 @@
 //! ```
 
 use asset_server::protocol::{
-    get_i64, get_u64, get_u8, opcode, status, status_name, Frame, WireError, PROTOCOL_VERSION,
+    get_i64, get_u32, get_u64, get_u8, opcode, status, status_name, Frame, WireError,
+    PROTOCOL_VERSION,
 };
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
@@ -155,13 +157,34 @@ pub struct ServerStats {
     pub commit_log_failures: u64,
 }
 
+/// The distributed-commit state of a transaction as reported by the
+/// wire `PREPARED` query (DESIGN.md §14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PreparedState {
+    /// The server does not know the tid (never existed, or committed/
+    /// aborted before a restart and since forgotten).
+    Unknown,
+    /// Prepared — durable-but-undecided, awaiting the coordinator.
+    Prepared,
+    /// Committed.
+    Committed,
+    /// Aborted (or aborting).
+    Aborted,
+    /// Live but not prepared (running, completed, committing).
+    Other,
+}
+
 /// A blocking connection to an ASSET server.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_reqid: u32,
-    /// Requests written but not yet answered (pipelining depth).
-    inflight: usize,
+    /// Reqids written but not yet answered, in request order. The
+    /// protocol answers strictly in order, so [`Client::recv`] matches
+    /// each response against the front — **error responses included**:
+    /// a mid-pipeline failure consumes exactly one entry, keeping the
+    /// stream and this queue in lockstep.
+    pending: VecDeque<u32>,
 }
 
 impl Client {
@@ -174,7 +197,7 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             next_reqid: 1,
-            inflight: 0,
+            pending: VecDeque::new(),
         };
         let payload = c.call(opcode::HELLO, Vec::new())?.into_ok()?;
         let server_version = get_u8(&payload, 0)?;
@@ -205,8 +228,15 @@ impl Client {
             body,
         }
         .write_to(&mut self.writer)?;
-        self.inflight += 1;
+        self.pending.push_back(reqid);
         Ok(reqid)
+    }
+
+    /// Test hook: set the next request id, e.g. near `u32::MAX` to
+    /// exercise reqid wraparound under pipelining.
+    #[doc(hidden)]
+    pub fn set_next_reqid(&mut self, reqid: u32) {
+        self.next_reqid = reqid;
     }
 
     /// Push buffered requests onto the wire.
@@ -217,11 +247,35 @@ impl Client {
 
     /// Read the next response (in request order). Flushes first so a
     /// `send`/`recv` loop cannot deadlock on buffered bytes.
+    ///
+    /// The response's reqid is matched against the oldest unanswered
+    /// request — a mismatch means the stream desynchronized (a response
+    /// was dropped or reordered) and surfaces as an `InvalidData`
+    /// transport error rather than silently attributing one request's
+    /// answer to another. Error statuses are normal responses here:
+    /// they consume exactly one pending slot, so a pipelined batch with
+    /// a mid-batch failure still matches every later response to the
+    /// right request.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
         self.flush()?;
+        let Some(want) = self.pending.front().copied() else {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "recv with no request in flight",
+            )));
+        };
         let frame = Frame::read_from(&mut self.reader)?
             .ok_or_else(|| ClientError::Io(std::io::ErrorKind::UnexpectedEof.into()))?;
-        self.inflight = self.inflight.saturating_sub(1);
+        if frame.reqid != want {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "response reqid {} but oldest unanswered request is {want}",
+                    frame.reqid
+                ),
+            )));
+        }
+        self.pending.pop_front();
         let status = get_u8(&frame.body, 0)?;
         Ok(Response {
             opcode: frame.opcode,
@@ -233,16 +287,23 @@ impl Client {
 
     /// Requests written but not yet answered.
     pub fn inflight(&self) -> usize {
-        self.inflight
+        self.pending.len()
     }
 
     fn call(&mut self, op: u8, body: Vec<u8>) -> Result<Response, ClientError> {
         let reqid = self.send(op, body)?;
+        // recv matches the response against the oldest pending request;
+        // a typed call issued with older requests still unanswered
+        // would get their response, so refuse the mixture explicitly
         let resp = self.recv()?;
         if resp.reqid != reqid {
             return Err(ClientError::Io(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("response reqid {} for request {reqid}", resp.reqid),
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "typed call (reqid {reqid}) answered with reqid {} — \
+                     drain pipelined requests with recv() first",
+                    resp.reqid
+                ),
             )));
         }
         Ok(resp)
@@ -345,9 +406,10 @@ impl Client {
     }
 
     /// Sum committed i64 counters over `first..first+count`; returns
-    /// `(sum, objects_present)`. Non-transactional — quiesce writers
-    /// first for an exact answer. The server caps one request's range
-    /// at `MAX_SUM_COUNT` (DESIGN.md §13.3); sweep wider ranges in
+    /// `(sum, objects_present)`. Runs as one server-side read
+    /// transaction, so the answer is a consistent snapshot even while
+    /// writers are active. The server caps one request's range at
+    /// `MAX_SUM_COUNT` (DESIGN.md §13.3); sweep wider ranges in
     /// multiple calls.
     pub fn sum(&mut self, first: u64, count: u64) -> Result<(i64, u64), ClientError> {
         let mut body = first.to_le_bytes().to_vec();
@@ -365,6 +427,54 @@ impl Client {
             live: get_u64(&payload, 16)?,
             commit_log_failures: get_u64(&payload, 24)?,
         })
+    }
+
+    // --- distributed commit (DESIGN.md §14) ------------------------------
+
+    /// Prepare this connection's transactions `tids` as one
+    /// distributed-commit group. An `Ok` return **is** the yes vote:
+    /// the participant's `Prepared` record is durable and the returned
+    /// group (the union of the tids' GC groups) awaits the
+    /// coordinator's decision — [`commit_decide`](Self::commit_decide)
+    /// or [`abort_decide`](Self::abort_decide). Any error is a no vote;
+    /// the transactions are aborted server-side.
+    pub fn prepare(&mut self, tids: &[u64]) -> Result<Vec<u64>, ClientError> {
+        let payload = self
+            .call(opcode::PREPARE, encode_tid_list(tids))?
+            .into_ok()?;
+        decode_tid_list_payload(&payload).map_err(Into::into)
+    }
+
+    /// Query a transaction's distributed-commit state — usable for tids
+    /// of any session, including after the server restarted.
+    pub fn prepared_state(&mut self, tid: u64) -> Result<PreparedState, ClientError> {
+        let payload = self
+            .call(opcode::PREPARED, tid.to_le_bytes().to_vec())?
+            .into_ok()?;
+        Ok(match get_u8(&payload, 0)? {
+            1 => PreparedState::Prepared,
+            2 => PreparedState::Committed,
+            3 => PreparedState::Aborted,
+            4 => PreparedState::Other,
+            _ => PreparedState::Unknown,
+        })
+    }
+
+    /// Deliver the coordinator's **commit** decision for a prepared
+    /// group. Sessionless and idempotent; the OK is written only after
+    /// the participant's commit record is durable.
+    pub fn commit_decide(&mut self, tids: &[u64]) -> Result<(), ClientError> {
+        self.call(opcode::COMMIT_DECIDE, encode_tid_list(tids))?
+            .into_ok()
+            .map(|_| ())
+    }
+
+    /// Deliver the coordinator's **abort** decision for a prepared
+    /// group. Sessionless and idempotent.
+    pub fn abort_decide(&mut self, tids: &[u64]) -> Result<(), ClientError> {
+        self.call(opcode::ABORT_DECIDE, encode_tid_list(tids))?
+            .into_ok()
+            .map(|_| ())
     }
 
     /// Ask the server to shut down (acknowledged before it stops).
@@ -497,6 +607,26 @@ fn decode_commit_status(resp: Response) -> Result<TxnFate, ClientError> {
             message: String::from_utf8_lossy(&resp.payload).into_owned(),
         }),
     }
+}
+
+/// Encode the `u32` n + n×`u64` tids list shape shared by PREPARE and
+/// the decide opcodes.
+fn encode_tid_list(tids: &[u64]) -> Vec<u8> {
+    let mut body = (tids.len() as u32).to_le_bytes().to_vec();
+    for t in tids {
+        body.extend_from_slice(&t.to_le_bytes());
+    }
+    body
+}
+
+/// Decode a `u32` m + m×`u64` tids payload (the PREPARE OK body).
+fn decode_tid_list_payload(payload: &[u8]) -> Result<Vec<u64>, WireError> {
+    let n = get_u32(payload, 0)? as usize;
+    let mut tids = Vec::with_capacity(n.min(payload.len() / 8));
+    for i in 0..n {
+        tids.push(get_u64(payload, 4 + 8 * i)?);
+    }
+    Ok(tids)
 }
 
 /// Encode the shared object-set body shape: `u8` all flag, `u32` n,
@@ -634,6 +764,134 @@ mod tests {
             "responses arrive in request order"
         );
         assert_eq!(c.commit(tid).unwrap(), TxnFate::Committed);
+        s.shutdown();
+        s.join();
+    }
+
+    /// Satellite regression (ISSUE 8): a deliberate error response in
+    /// the middle of a pipelined batch must consume exactly one pending
+    /// slot — every later response still matches its request, and the
+    /// connection remains usable.
+    #[test]
+    fn mid_pipeline_error_does_not_desync_the_stream() {
+        use asset_server::protocol::MAX_SUM_COUNT;
+        let s = server();
+        let mut c = connect(&s);
+        let (first, _) = c.mint(2, 10).unwrap();
+        let mut sum_body = first.to_le_bytes().to_vec();
+        sum_body.extend_from_slice(&u64::MAX.to_le_bytes());
+        const { assert!(u64::MAX > MAX_SUM_COUNT) };
+        // good, bad (oversized SUM → ERR_RESOURCE_EXHAUSTED), good
+        let a = c.send(opcode::PING, Vec::new()).unwrap();
+        let b = c.send(opcode::SUM, sum_body).unwrap();
+        let d = c.send(opcode::PING, Vec::new()).unwrap();
+        assert_eq!(c.inflight(), 3);
+        let ra = c.recv().unwrap();
+        assert_eq!((ra.reqid, ra.status), (a, status::OK));
+        let rb = c.recv().unwrap();
+        assert_eq!((rb.reqid, rb.status), (b, status::ERR_RESOURCE_EXHAUSTED));
+        let rd = c.recv().unwrap();
+        assert_eq!((rd.reqid, rd.status), (d, status::OK));
+        assert_eq!(c.inflight(), 0);
+        // the connection still works for typed calls after the error
+        assert_eq!(c.sum(first, 2).unwrap(), (20, 2));
+        s.shutdown();
+        s.join();
+    }
+
+    /// Satellite regression (ISSUE 8): reqids are correlation ids, not
+    /// sequence numbers — a pipelined batch that wraps `u32::MAX` keeps
+    /// matching responses to requests.
+    #[test]
+    fn reqid_wraparound_keeps_responses_matched() {
+        let s = server();
+        let mut c = connect(&s);
+        let (first, _) = c.mint(1, 7).unwrap();
+        c.set_next_reqid(u32::MAX - 1);
+        let ids: Vec<u32> = (0..4)
+            .map(|_| c.send(opcode::PING, Vec::new()).unwrap())
+            .collect();
+        assert_eq!(ids, vec![u32::MAX - 1, u32::MAX, 0, 1]);
+        for want in ids {
+            let r = c.recv().unwrap();
+            assert_eq!((r.reqid, r.status), (want, status::OK));
+        }
+        // typed calls keep working across the wrapped space
+        assert_eq!(c.sum(first, 1).unwrap(), (7, 1));
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn recv_without_inflight_is_refused() {
+        let s = server();
+        let mut c = connect(&s);
+        assert!(matches!(c.recv(), Err(ClientError::Io(_))));
+        // refusing early left no stream state behind
+        c.ping().unwrap();
+        s.shutdown();
+        s.join();
+    }
+
+    /// Wire PREPARE / decide round trip: prepare survives the client
+    /// disconnecting, and a second connection delivers the decision.
+    #[test]
+    fn prepare_then_decide_over_the_wire() {
+        let s = server();
+        let oid;
+        let group;
+        {
+            let mut c = connect(&s);
+            oid = c.new_oid().unwrap();
+            let tid = c.begin().unwrap();
+            c.write(tid, oid, b"staged").unwrap();
+            group = c.prepare(&[tid]).unwrap();
+            assert_eq!(group, vec![tid]);
+            assert_eq!(c.prepared_state(tid).unwrap(), PreparedState::Prepared);
+            // the session no longer owns the prepared txn
+            match c.write(tid, oid, b"x") {
+                Err(ClientError::Server { status, .. }) => {
+                    assert_eq!(status, status::ERR_TXN_NOT_FOUND)
+                }
+                other => panic!("expected txn-not-found, got {other:?}"),
+            }
+            // disconnect with the vote cast: must NOT abort it
+        }
+        let mut c2 = connect(&s);
+        assert_eq!(
+            c2.prepared_state(group[0]).unwrap(),
+            PreparedState::Prepared,
+            "disconnect does not abort a prepared transaction"
+        );
+        c2.commit_decide(&group).unwrap();
+        assert_eq!(
+            c2.prepared_state(group[0]).unwrap(),
+            PreparedState::Committed
+        );
+        assert_eq!(c2.read_i64_committed(oid).map(|_| ()).unwrap(), ());
+        let t = c2.begin().unwrap();
+        assert_eq!(c2.read(t, oid).unwrap().as_deref(), Some(&b"staged"[..]));
+        c2.abort(t).unwrap();
+        // idempotent re-decide
+        c2.commit_decide(&group).unwrap();
+        s.shutdown();
+        s.join();
+    }
+
+    /// The abort decision rolls a prepared group back.
+    #[test]
+    fn prepare_then_abort_decide_over_the_wire() {
+        let s = server();
+        let mut c = connect(&s);
+        let oid = c.new_oid().unwrap();
+        let tid = c.begin().unwrap();
+        c.write(tid, oid, b"doomed").unwrap();
+        let group = c.prepare(&[tid]).unwrap();
+        c.abort_decide(&group).unwrap();
+        assert_eq!(c.prepared_state(tid).unwrap(), PreparedState::Aborted);
+        let t = c.begin().unwrap();
+        assert_eq!(c.read(t, oid).unwrap(), None, "prepared write undone");
+        c.abort(t).unwrap();
         s.shutdown();
         s.join();
     }

@@ -22,6 +22,10 @@ use std::fmt;
 /// * *Committing* / *Aborting*: the §4.2 protocols are in progress. A
 ///   transaction that another transaction's abort marks as doomed sits in
 ///   *Aborting* until its own `commit`/`abort` call performs the undo steps.
+/// * *Prepared*: durable-but-undecided distributed-commit participant
+///   (DESIGN.md §14): its updates and a `Prepared` WAL record are forced,
+///   locks are retained, and only the coordinator's decision may move it —
+///   to *Committed* or through *Aborting* to *Aborted*. Survives restart.
 /// * *Committed* / *Aborted*: terminal.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TxnStatus {
@@ -33,6 +37,9 @@ pub enum TxnStatus {
     Completed,
     /// Commit protocol in progress (may block on dependencies).
     Committing,
+    /// Durable-but-undecided distributed-commit participant; awaiting the
+    /// coordinator's decision, locks retained (DESIGN.md §14).
+    Prepared,
     /// Terminal: effects durable, locks released.
     Committed,
     /// Abort requested or forced; undo pending or in progress.
@@ -54,7 +61,11 @@ impl TxnStatus {
     pub fn is_active(self) -> bool {
         matches!(
             self,
-            TxnStatus::Running | TxnStatus::Completed | TxnStatus::Committing | TxnStatus::Aborting
+            TxnStatus::Running
+                | TxnStatus::Completed
+                | TxnStatus::Committing
+                | TxnStatus::Prepared
+                | TxnStatus::Aborting
         )
     }
 
@@ -65,6 +76,7 @@ impl TxnStatus {
             self,
             TxnStatus::Completed
                 | TxnStatus::Committing
+                | TxnStatus::Prepared
                 | TxnStatus::Committed
                 | TxnStatus::Aborted
         )
@@ -89,6 +101,11 @@ impl TxnStatus {
             (Running, Completed) => true,
             (Completed, Committing) => true,
             (Committing, Committed) => true,
+            // distributed commit: a completed participant prepares; only the
+            // coordinator's decision moves it out of Prepared (§14)
+            (Completed | Committing, Prepared) => true,
+            (Prepared, Committed) => true,
+            (Prepared, Aborting) => true,
             // commit discovered a doomed transaction, or abort was called
             (Initiated | Running | Completed | Committing, Aborting) => true,
             (Aborting, Aborted) => true,
@@ -106,6 +123,7 @@ impl fmt::Display for TxnStatus {
             TxnStatus::Running => "running",
             TxnStatus::Completed => "completed",
             TxnStatus::Committing => "committing",
+            TxnStatus::Prepared => "prepared",
             TxnStatus::Committed => "committed",
             TxnStatus::Aborting => "aborting",
             TxnStatus::Aborted => "aborted",
@@ -137,6 +155,11 @@ mod tests {
         assert!(Aborting.is_abort_path());
         assert!(Aborted.is_abort_path());
         assert!(!Committing.is_abort_path());
+
+        assert!(Prepared.is_active());
+        assert!(Prepared.is_complete());
+        assert!(!Prepared.is_terminated());
+        assert!(!Prepared.is_abort_path());
     }
 
     #[test]
@@ -148,6 +171,10 @@ mod tests {
         assert!(Committing.can_transition_to(Aborting));
         assert!(Aborting.can_transition_to(Aborted));
         assert!(Initiated.can_transition_to(Aborting));
+        assert!(Completed.can_transition_to(Prepared));
+        assert!(Committing.can_transition_to(Prepared));
+        assert!(Prepared.can_transition_to(Committed));
+        assert!(Prepared.can_transition_to(Aborting));
     }
 
     #[test]
@@ -157,6 +184,9 @@ mod tests {
         assert!(!Initiated.can_transition_to(Completed));
         assert!(!Running.can_transition_to(Committing));
         assert!(!Committed.can_transition_to(Committed));
+        assert!(!Running.can_transition_to(Prepared));
+        assert!(!Prepared.can_transition_to(Running));
+        assert!(!Prepared.can_transition_to(Aborted));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Distributed-commit smoke test for CI: a 3-node in-process cluster,
+//! a scripted coordinator crash at each decision-window failpoint, and
+//! a recovery coordinator asserting the cluster converges to one
+//! outcome under both protocols. Exits non-zero on any violation.
+//!
+//! Run: `cargo run -p asset-coord --bin coord-smoke`
+
+use asset_annot::verify_allow;
+use asset_common::{Config, Oid, Tid};
+use asset_coord::failpoints::{COORD_AFTER_DECIDE, COORD_BEFORE_DECIDE};
+use asset_coord::{
+    Acceptor, ChannelTransport, CoordLog, Decision, GlobalTxn, ParticipantNode, PaxosCommit,
+    TwoPhase,
+};
+use asset_faults::{FaultAction, FaultRegistry, Trigger};
+use std::sync::Arc;
+
+const NODES: usize = 3;
+
+struct Cluster {
+    transport: Arc<ChannelTransport>,
+    oids: Vec<Oid>,
+}
+
+#[verify_allow(
+    no_panics,
+    reason = "CI smoke harness: a panic here is the failure signal the job exists to raise"
+)]
+fn cluster() -> Cluster {
+    let nodes: Vec<Arc<ParticipantNode>> = (0..NODES)
+        .map(|_| Arc::new(ParticipantNode::open(Config::in_memory()).expect("open node")))
+        .collect();
+    let oids = nodes.iter().map(|n| n.db().new_oid()).collect();
+    Cluster {
+        transport: Arc::new(ChannelTransport::new(nodes)),
+        oids,
+    }
+}
+
+impl Cluster {
+    /// Stage one finished-but-undecided write per node; the global txn.
+    #[verify_allow(
+        no_panics,
+        reason = "CI smoke harness: a panic here is the failure signal the job exists to raise"
+    )]
+    fn stage(&self, gid: u64) -> GlobalTxn {
+        let mut g = GlobalTxn::new(gid);
+        for (i, oid) in self.oids.iter().enumerate() {
+            let db = self.transport.node(i).db();
+            let (oid, val) = (*oid, format!("gid{gid}").into_bytes());
+            let t: Tid = db
+                .initiate(move |ctx| ctx.write(oid, val.clone()))
+                .expect("initiate");
+            db.begin(t).expect("begin");
+            db.wait(t).expect("wait");
+            g.add_member(i as u32, t);
+        }
+        g
+    }
+
+    /// Every node's value for its oid, plus whether anything is in doubt.
+    #[verify_allow(
+        no_panics,
+        reason = "CI smoke harness: a panic here is the failure signal the job exists to raise"
+    )]
+    fn outcomes(&self) -> (Vec<Option<Vec<u8>>>, usize) {
+        let mut vals = Vec::new();
+        let mut in_doubt = 0;
+        for (i, oid) in self.oids.iter().enumerate() {
+            let db = self.transport.node(i).db();
+            vals.push(db.peek(*oid).expect("peek"));
+            in_doubt += db.in_doubt_transactions().len();
+        }
+        (vals, in_doubt)
+    }
+}
+
+/// Assert the cluster reached `want` atomically: all nodes agree, no
+/// one is left in doubt.
+fn assert_converged(c: &Cluster, gid: u64, want: Decision, label: &str) {
+    let (vals, in_doubt) = c.outcomes();
+    let expected = match want {
+        Decision::Commit => Some(format!("gid{gid}").into_bytes()),
+        Decision::Abort => None,
+    };
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(
+            *v, expected,
+            "{label}: node {i} diverged (mixed outcome in a cross-node group)"
+        );
+    }
+    assert_eq!(in_doubt, 0, "{label}: transactions left in doubt");
+    println!("  ok: {label} -> {want:?}, all {NODES} nodes agree, none in doubt");
+}
+
+#[verify_allow(
+    no_panics,
+    reason = "CI smoke harness: a panic here is the failure signal the job exists to raise"
+)]
+fn twopc_scenarios() {
+    // happy path
+    let c = cluster();
+    let g = c.stage(1);
+    let log = Arc::new(CoordLog::in_memory());
+    let coord = TwoPhase::new(c.transport.clone(), log.clone());
+    assert_eq!(coord.commit(&g).expect("2pc commit"), Decision::Commit);
+    assert_converged(&c, 1, Decision::Commit, "2pc/no-fault");
+
+    // coordinator dies before the decision is logged: presumed abort
+    let c = cluster();
+    let g = c.stage(2);
+    let log = Arc::new(CoordLog::in_memory());
+    let faults = Arc::new(FaultRegistry::new());
+    faults.arm(COORD_BEFORE_DECIDE, Trigger::Once, FaultAction::Error);
+    let coord = TwoPhase::new(c.transport.clone(), log.clone()).with_faults(faults);
+    assert!(coord.commit(&g).is_err(), "scripted crash must surface");
+    let (_, in_doubt) = c.outcomes();
+    assert_eq!(in_doubt, NODES, "all participants prepared and in doubt");
+    let recovery = TwoPhase::new(c.transport.clone(), log);
+    assert_eq!(recovery.recover(&g).expect("recover"), Decision::Abort);
+    assert_converged(&c, 2, Decision::Abort, "2pc/crash-before-decide");
+
+    // coordinator dies after logging commit: recovery re-delivers it
+    let c = cluster();
+    let g = c.stage(3);
+    let log = Arc::new(CoordLog::in_memory());
+    let faults = Arc::new(FaultRegistry::new());
+    faults.arm(COORD_AFTER_DECIDE, Trigger::Once, FaultAction::Error);
+    let coord = TwoPhase::new(c.transport.clone(), log.clone()).with_faults(faults);
+    assert!(coord.commit(&g).is_err(), "scripted crash must surface");
+    let recovery = TwoPhase::new(c.transport.clone(), log);
+    assert_eq!(recovery.recover(&g).expect("recover"), Decision::Commit);
+    assert_converged(&c, 3, Decision::Commit, "2pc/crash-after-decide");
+}
+
+#[verify_allow(
+    no_panics,
+    reason = "CI smoke harness: a panic here is the failure signal the job exists to raise"
+)]
+fn paxos_scenarios() {
+    let acceptors =
+        || -> Vec<Arc<Acceptor>> { (0..3).map(|_| Arc::new(Acceptor::new())).collect() };
+
+    // happy path
+    let c = cluster();
+    let g = c.stage(4);
+    let acc = acceptors();
+    let coord = PaxosCommit::new(c.transport.clone(), acc);
+    assert_eq!(coord.commit(&g).expect("paxos commit"), Decision::Commit);
+    assert_converged(&c, 4, Decision::Commit, "paxos/no-fault");
+
+    // coordinator dies before any instance decides: free instances, abort
+    let c = cluster();
+    let g = c.stage(5);
+    let acc = acceptors();
+    let faults = Arc::new(FaultRegistry::new());
+    faults.arm(COORD_BEFORE_DECIDE, Trigger::Once, FaultAction::Error);
+    let coord = PaxosCommit::new(c.transport.clone(), acc.clone()).with_faults(faults);
+    assert!(coord.commit(&g).is_err(), "scripted crash must surface");
+    let recovery = PaxosCommit::recovery(c.transport.clone(), acc, 1);
+    assert_eq!(recovery.recover(&g).expect("recover"), Decision::Abort);
+    assert_converged(&c, 5, Decision::Abort, "paxos/crash-before-decide");
+
+    // coordinator dies after the quorum accepted: recovery finds Commit
+    // with no trace of the dead coordinator — the non-blocking property
+    let c = cluster();
+    let g = c.stage(6);
+    let acc = acceptors();
+    let faults = Arc::new(FaultRegistry::new());
+    faults.arm(COORD_AFTER_DECIDE, Trigger::Once, FaultAction::Error);
+    let coord = PaxosCommit::new(c.transport.clone(), acc.clone()).with_faults(faults);
+    assert!(coord.commit(&g).is_err(), "scripted crash must surface");
+    let recovery = PaxosCommit::recovery(c.transport.clone(), acc, 1);
+    assert_eq!(recovery.recover(&g).expect("recover"), Decision::Commit);
+    assert_converged(&c, 6, Decision::Commit, "paxos/crash-after-decide");
+
+    // one dead acceptor is a non-event
+    let c = cluster();
+    let g = c.stage(7);
+    let acc = acceptors();
+    acc[2].kill();
+    let coord = PaxosCommit::new(c.transport.clone(), acc);
+    assert_eq!(coord.commit(&g).expect("paxos commit"), Decision::Commit);
+    assert_converged(&c, 7, Decision::Commit, "paxos/one-acceptor-down");
+}
+
+fn main() {
+    asset_faults::silence_crash_panics();
+    println!("coord-smoke: {NODES}-node cluster, 2PC + Paxos Commit");
+    twopc_scenarios();
+    paxos_scenarios();
+    println!("coord-smoke: all scenarios converged");
+}

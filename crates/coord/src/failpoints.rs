@@ -1,0 +1,41 @@
+//! Named failpoints of the coordinator layer.
+//!
+//! Companions to `asset_core::failpoints` (`prepare.record`,
+//! `prepare.after_record` — the participant-side windows): these sit in
+//! the coordinator's own protocol steps and in the message transport.
+//! Unlike the storage/transaction points they are compiled
+//! unconditionally — the coordinator is not a hot path, and a disarmed
+//! registry costs one relaxed load — so crash-matrix harnesses work
+//! against every build; participant-side points still need the
+//! `faults` feature.
+
+/// After every vote is collected but **before** the decision is made
+/// durable: `Crash` models the classic 2PC blocking window — prepared
+/// participants are in doubt and the crashed coordinator logged
+/// nothing, so recovery must presume abort (2PC) or read the acceptor
+/// quorum (Paxos Commit, which finds no accepted value and aborts).
+pub const COORD_BEFORE_DECIDE: &str = "coord.before_decide";
+
+/// After the decision is durable (coordinator log / acceptor quorum)
+/// but **before** any participant is told: `Crash` leaves every
+/// participant prepared; recovery must recover the *same* decision and
+/// deliver it.
+pub const COORD_AFTER_DECIDE: &str = "coord.after_decide";
+
+/// In the transport, before a `Prepare` message is delivered: `Error`
+/// drops the request (the coordinator sees the node as unreachable and
+/// must vote no on its behalf).
+pub const MSG_PREPARE_DROP: &str = "coord.msg.prepare";
+
+/// In the transport, before a decide message is delivered: `Error`
+/// drops it — the participant stays prepared and a later termination
+/// pass must re-deliver.
+pub const MSG_DECIDE_DROP: &str = "coord.msg.decide";
+
+/// Every coordinator-layer failpoint, for matrix sweeps.
+pub const ALL: &[&str] = &[
+    COORD_BEFORE_DECIDE,
+    COORD_AFTER_DECIDE,
+    MSG_PREPARE_DROP,
+    MSG_DECIDE_DROP,
+];

@@ -1,0 +1,223 @@
+//! # asset-coord — distributed commit across ASSET nodes
+//!
+//! The normative specification is `DESIGN.md` §14; this crate is its
+//! implementation. Several [`asset_core::Database`] instances act as
+//! **participant nodes**; a coordinator drives an atomic commit
+//! protocol over one pluggable message transport:
+//!
+//! * [`TwoPhase`] — classic two-phase commit with a durable
+//!   coordinator log and presumed abort. Safe, but **blocking**: while
+//!   the coordinator (and its log) is unreachable, a prepared
+//!   participant can only wait.
+//! * [`PaxosCommit`] — Gray & Lamport's non-blocking commit: each
+//!   participant's vote is an instance of Paxos consensus decided by an
+//!   **acceptor quorum**, so any recovery coordinator that can reach a
+//!   majority of acceptors finishes the protocol without the failed
+//!   coordinator's state. 2PC is exactly Paxos Commit with one
+//!   acceptor.
+//!
+//! Both protocols speak the same participant vocabulary
+//! ([`CommitMessage`] over a [`CommitTransport`]), which maps 1:1 onto
+//! the §13 wire opcodes `PREPARE`/`PREPARED`/`COMMIT_DECIDE`/
+//! `ABORT_DECIDE`:
+//!
+//! * **prepare**: the participant forces one `Prepared` WAL record for
+//!   the union of the seed transactions' GC groups
+//!   ([`Database::prepare_group`]). The yes vote rides the record's
+//!   durability — a prepared transaction survives restart in doubt,
+//!   holding its locks, and only a decide message resolves it.
+//! * **decide**: idempotent commit/abort of the prepared group
+//!   ([`Database::decide_commit_group`] /
+//!   [`Database::decide_abort_group`]).
+//!
+//! Transports: [`ChannelTransport`] calls in-process
+//! [`ParticipantNode`]s directly (tests, crash matrices);
+//! [`TcpTransport`] speaks the §13 wire protocol through
+//! [`asset_client::Client`].
+//!
+//! ```
+//! use asset_coord::{ChannelTransport, CoordLog, Decision, GlobalTxn, ParticipantNode, TwoPhase};
+//! use asset_common::Config;
+//! use std::sync::Arc;
+//!
+//! // two in-process participant nodes
+//! let nodes: Vec<Arc<ParticipantNode>> = (0..2)
+//!     .map(|_| Arc::new(ParticipantNode::open(Config::in_memory()).unwrap()))
+//!     .collect();
+//! // one transaction on each node, finished but neither committed nor
+//! // aborted (locks held)
+//! let oids: Vec<_> = nodes.iter().map(|n| n.db().new_oid()).collect();
+//! let mut g = GlobalTxn::new(1);
+//! for (i, n) in nodes.iter().enumerate() {
+//!     let oid = oids[i];
+//!     let t = n.db().initiate(move |ctx| ctx.write(oid, b"x".to_vec())).unwrap();
+//!     n.db().begin(t).unwrap();
+//!     n.db().wait(t).unwrap();
+//!     g.add_member(i as u32, t);
+//! }
+//! let coord = TwoPhase::new(Arc::new(ChannelTransport::new(nodes.clone())), Arc::new(CoordLog::in_memory()));
+//! assert_eq!(coord.commit(&g).unwrap(), Decision::Commit);
+//! for (i, n) in nodes.iter().enumerate() {
+//!     assert_eq!(n.db().peek(oids[i]).unwrap().unwrap(), b"x");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod failpoints;
+pub mod node;
+pub mod paxos;
+pub mod transport;
+pub mod twopc;
+
+pub use node::ParticipantNode;
+pub use paxos::{Acceptor, PaxosCommit};
+pub use transport::{
+    ChannelTransport, CommitMessage, CommitTransport, CoordError, ParticipantState, TcpTransport,
+};
+pub use twopc::{CoordLog, TwoPhase};
+
+use asset_common::Tid;
+use asset_dep::{CrossGroup, NodeId};
+
+#[cfg(doc)]
+use asset_core::Database;
+
+/// The coordinator's verdict on a global transaction. Durable (in the
+/// coordinator log for 2PC, at an acceptor quorum for Paxos Commit)
+/// before any participant learns it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Every participant voted yes; all members commit.
+    Commit,
+    /// Some participant voted no, was unreachable, or the transaction
+    /// is presumed aborted; all members abort.
+    Abort,
+}
+
+/// One global transaction: an id chosen by the application plus the
+/// cross-node membership ([`CrossGroup`]) that must reach one outcome.
+#[derive(Clone, Debug)]
+pub struct GlobalTxn {
+    /// Application-chosen global transaction id; names the coordinator
+    /// log record (2PC) and the consensus instances (Paxos Commit).
+    pub gid: u64,
+    /// The members, across nodes. Only seeds are needed: each
+    /// participant widens its members to their local GC components
+    /// during prepare.
+    pub group: CrossGroup,
+}
+
+impl GlobalTxn {
+    /// An empty global transaction.
+    pub fn new(gid: u64) -> GlobalTxn {
+        GlobalTxn {
+            gid,
+            group: CrossGroup::new(),
+        }
+    }
+
+    /// Add the member `tid` on node `node` (a transport index).
+    pub fn add_member(&mut self, node: u32, tid: Tid) {
+        self.group = std::mem::take(&mut self.group).with(NodeId(node), tid);
+    }
+
+    /// The per-node membership, the unit of one prepare/decide exchange.
+    pub fn members(&self) -> Vec<(NodeId, Vec<Tid>)> {
+        self.group.by_node()
+    }
+}
+
+/// Cooperative termination (DESIGN.md §14.4): given a durable decision,
+/// drive every member node to it, tolerating participants that already
+/// learned it and participants that restarted in doubt. Used by both
+/// protocols' recovery paths and retried delivery.
+///
+/// Per node: query the first seed's state; a committed node is done; a
+/// prepared node is re-prepared (idempotent — this recovers the full
+/// widened group, which a restarted coordinator no longer knows) and
+/// sent the decision; anything else is only legal on the abort path,
+/// where an idempotent abort-decide of the seeds suffices.
+pub(crate) fn terminate(
+    transport: &dyn CommitTransport,
+    members: &[(NodeId, Vec<Tid>)],
+    decision: Decision,
+) -> Result<(), CoordError> {
+    for (node, tids) in members {
+        let n = node.0 as usize;
+        let state = match transport.send(n, CommitMessage::QueryState { tid: tids[0] })? {
+            CommitMessage::State(s) => s,
+            other => return Err(CoordError::protocol("query-state", &other)),
+        };
+        match (state, decision) {
+            (ParticipantState::Committed, Decision::Commit) => continue,
+            (ParticipantState::Committed, Decision::Abort) => {
+                return Err(CoordError::Protocol(format!(
+                    "{node} already committed but the decision is abort"
+                )))
+            }
+            (ParticipantState::Prepared, _) => {
+                let group =
+                    match transport.send(n, CommitMessage::Prepare { tids: tids.clone() })? {
+                        CommitMessage::Vote { yes: true, group } => group,
+                        other => return Err(CoordError::protocol("re-prepare", &other)),
+                    };
+                let msg = match decision {
+                    Decision::Commit => CommitMessage::CommitDecide { tids: group },
+                    Decision::Abort => CommitMessage::AbortDecide { tids: group },
+                };
+                match transport.send(n, msg)? {
+                    CommitMessage::Ack => {}
+                    other => return Err(CoordError::protocol("decide", &other)),
+                }
+            }
+            (_, Decision::Abort) => {
+                // never prepared (or already aborted): abort-decide is
+                // an idempotent abort_many of whatever is still live
+                let _ = transport.send(n, CommitMessage::AbortDecide { tids: tids.clone() })?;
+            }
+            (s, Decision::Commit) => {
+                return Err(CoordError::Protocol(format!(
+                    "{node} is {s:?} on the commit path — a logged commit \
+                     decision implies every participant prepared"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asset_common::Config;
+    use std::sync::Arc;
+
+    /// Stage one finished-but-undecided txn writing `val` on `node`.
+    pub(crate) fn stage(node: &ParticipantNode, oid: asset_common::Oid, val: &[u8]) -> Tid {
+        let db = node.db();
+        let v = val.to_vec();
+        let t = db.initiate(move |ctx| ctx.write(oid, v.clone())).unwrap();
+        db.begin(t).unwrap();
+        db.wait(t).unwrap();
+        t
+    }
+
+    pub(crate) fn mem_nodes(n: usize) -> Vec<Arc<ParticipantNode>> {
+        (0..n)
+            .map(|_| Arc::new(ParticipantNode::open(Config::in_memory()).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn global_txn_members_fold_per_node() {
+        let mut g = GlobalTxn::new(9);
+        g.add_member(1, Tid(4));
+        g.add_member(0, Tid(4));
+        g.add_member(1, Tid(5));
+        let m = g.members();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], (NodeId(0), vec![Tid(4)]));
+        assert_eq!(m[1], (NodeId(1), vec![Tid(4), Tid(5)]));
+    }
+}

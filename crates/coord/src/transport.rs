@@ -1,0 +1,326 @@
+//! The message layer between a coordinator and its participant nodes.
+//!
+//! One trait, two implementations: [`ChannelTransport`] calls
+//! in-process [`ParticipantNode`]s directly (tests and crash matrices —
+//! with scripted message drops and delivery delay), and
+//! [`TcpTransport`] speaks the §13 wire protocol through
+//! [`asset_client::Client`] (opcodes `PREPARE`, `PREPARED`,
+//! `COMMIT_DECIDE`, `ABORT_DECIDE`). Coordinators are written against
+//! the trait and cannot tell the difference.
+
+use crate::failpoints;
+use crate::node::ParticipantNode;
+use asset_client::{Client, PreparedState};
+use asset_common::Tid;
+use asset_faults::{FaultAction, FaultRegistry};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One protocol message (request or reply). The vocabulary maps 1:1
+/// onto the §13 wire opcodes; see `DESIGN.md` §14.2.
+#[derive(Clone, Debug)]
+pub enum CommitMessage {
+    /// Coordinator → participant: prepare these seed transactions (the
+    /// participant widens them to their GC components and forces one
+    /// `Prepared` record).
+    Prepare {
+        /// Seed tids on the receiving node.
+        tids: Vec<Tid>,
+    },
+    /// Participant → coordinator: the vote. `yes` means the `Prepared`
+    /// record is durable and `group` is the full prepared group; `no`
+    /// means nothing was written and the local group is aborted.
+    Vote {
+        /// Yes = prepared and durable; no = aborted locally.
+        yes: bool,
+        /// The full prepared group (yes votes only).
+        group: Vec<Tid>,
+    },
+    /// Coordinator → participant: commit the prepared group. Idempotent.
+    CommitDecide {
+        /// The prepared group on the receiving node.
+        tids: Vec<Tid>,
+    },
+    /// Coordinator → participant: abort the group. Idempotent; also
+    /// legal for groups that never prepared.
+    AbortDecide {
+        /// The group on the receiving node.
+        tids: Vec<Tid>,
+    },
+    /// Participant → coordinator: a decide landed.
+    Ack,
+    /// Coordinator → participant: what state is this transaction in?
+    QueryState {
+        /// The tid to query on the receiving node.
+        tid: Tid,
+    },
+    /// Participant → coordinator: the queried state.
+    State(ParticipantState),
+    /// Participant → coordinator: the request failed (diagnostic only —
+    /// coordinators treat it like any protocol violation).
+    Failed {
+        /// Human-readable cause.
+        info: String,
+    },
+}
+
+/// A transaction's distributed-commit state as a participant reports it
+/// (the wire `PREPARED` query's payload).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParticipantState {
+    /// The node does not know the tid.
+    Unknown,
+    /// Prepared — in doubt, awaiting a decision.
+    Prepared,
+    /// Committed.
+    Committed,
+    /// Aborted (or aborting).
+    Aborted,
+    /// Live but not prepared.
+    Other,
+}
+
+/// Why a message exchange failed.
+#[derive(Debug)]
+pub enum CoordError {
+    /// The node did not answer (killed, crashed mid-request, or
+    /// unreachable).
+    NodeDown(usize),
+    /// The transport dropped the message (scripted fault).
+    MessageDropped(&'static str),
+    /// Fewer than a majority of acceptors answered (Paxos Commit only).
+    NoQuorum {
+        /// The consensus instance (participant index) that failed.
+        instance: u32,
+    },
+    /// The durable decision could not be recorded.
+    Io(std::io::Error),
+    /// The peer answered something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl CoordError {
+    pub(crate) fn protocol(expectation: &str, got: &CommitMessage) -> CoordError {
+        CoordError::Protocol(format!("{expectation}: unexpected reply {got:?}"))
+    }
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::NodeDown(n) => write!(f, "node {n} is down"),
+            CoordError::MessageDropped(p) => write!(f, "message dropped at failpoint `{p}`"),
+            CoordError::NoQuorum { instance } => {
+                write!(f, "no acceptor quorum for instance {instance}")
+            }
+            CoordError::Io(e) => write!(f, "coordinator log: {e}"),
+            CoordError::Protocol(s) => write!(f, "protocol violation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl From<std::io::Error> for CoordError {
+    fn from(e: std::io::Error) -> CoordError {
+        CoordError::Io(e)
+    }
+}
+
+/// How coordinators reach participants. `send` is a blocking
+/// request/reply exchange; an error means the reply never arrived (the
+/// request may or may not have been processed — exactly the ambiguity
+/// real networks have, which is why every decide is idempotent).
+pub trait CommitTransport: Send + Sync {
+    /// How many participant nodes are reachable through this transport.
+    fn nodes(&self) -> usize;
+    /// Deliver `msg` to `node` and wait for its reply.
+    fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError>;
+}
+
+/// In-process transport: messages are direct calls into
+/// [`ParticipantNode`]s, with scripted drops
+/// ([`failpoints::MSG_PREPARE_DROP`] / [`failpoints::MSG_DECIDE_DROP`])
+/// and optional per-message delivery delay. A participant that crashes
+/// mid-request (a `CrashPoint` unwind from a participant failpoint) is
+/// marked dead — later sends fail with [`CoordError::NodeDown`] until
+/// the harness restarts it.
+pub struct ChannelTransport {
+    nodes: Vec<Arc<ParticipantNode>>,
+    faults: Arc<FaultRegistry>,
+    delay: Option<Duration>,
+}
+
+impl ChannelTransport {
+    /// A transport over `nodes` with no faults armed.
+    pub fn new(nodes: Vec<Arc<ParticipantNode>>) -> ChannelTransport {
+        ChannelTransport {
+            nodes,
+            faults: Arc::new(FaultRegistry::new()),
+            delay: None,
+        }
+    }
+
+    /// Builder-style: script message faults through `faults` (arm
+    /// [`failpoints::MSG_PREPARE_DROP`] / [`failpoints::MSG_DECIDE_DROP`]
+    /// with `FaultAction::Error` to drop).
+    pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> ChannelTransport {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style: delay every delivery by `d` (models link latency;
+    /// E17 uses it to separate protocol latency from transport latency).
+    pub fn with_delay(mut self, d: Duration) -> ChannelTransport {
+        self.delay = Some(d);
+        self
+    }
+
+    /// The node handles (for harnesses that kill/restart them).
+    pub fn node(&self, i: usize) -> &Arc<ParticipantNode> {
+        &self.nodes[i]
+    }
+}
+
+impl CommitTransport for ChannelTransport {
+    fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+        let point = match &msg {
+            CommitMessage::Prepare { .. } => failpoints::MSG_PREPARE_DROP,
+            CommitMessage::CommitDecide { .. } | CommitMessage::AbortDecide { .. } => {
+                failpoints::MSG_DECIDE_DROP
+            }
+            _ => "",
+        };
+        if !point.is_empty() {
+            if let Some(act) = self.faults.check(point) {
+                match act {
+                    FaultAction::Crash | FaultAction::Torn { .. } => self.faults.crash_now(point),
+                    _ => return Err(CoordError::MessageDropped(point)),
+                }
+            }
+        }
+        if let Some(d) = self.delay {
+            std::thread::sleep(d);
+        }
+        let n = self
+            .nodes
+            .get(node)
+            .ok_or(CoordError::NodeDown(node))?
+            .clone();
+        match catch_unwind(AssertUnwindSafe(|| n.handle(msg))) {
+            Ok(Some(reply)) => Ok(reply),
+            Ok(None) => Err(CoordError::NodeDown(node)),
+            Err(payload) => {
+                if payload.downcast_ref::<asset_faults::CrashPoint>().is_some() {
+                    // the participant "process" died mid-request: kill
+                    // the node so later sends see it down too
+                    n.kill();
+                    Err(CoordError::NodeDown(node))
+                } else {
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        }
+    }
+}
+
+/// Wire transport: each node is an ASSET server address, reached with a
+/// lazily (re)connected [`Client`] per node. A transport error closes
+/// the connection so the next send reconnects — a restarted server is
+/// picked up transparently (prepare and decide are idempotent).
+pub struct TcpTransport {
+    addrs: Vec<String>,
+    conns: Mutex<Vec<Option<Client>>>,
+}
+
+impl TcpTransport {
+    /// A transport over the given server addresses.
+    pub fn new(addrs: Vec<String>) -> TcpTransport {
+        let conns = Mutex::new(addrs.iter().map(|_| None).collect());
+        TcpTransport { addrs, conns }
+    }
+
+    fn with_client<T>(
+        &self,
+        node: usize,
+        f: impl FnOnce(&mut Client) -> Result<T, asset_client::ClientError>,
+    ) -> Result<T, CoordError> {
+        let addr = self.addrs.get(node).ok_or(CoordError::NodeDown(node))?;
+        let mut conns = self.conns.lock();
+        if conns[node].is_none() {
+            conns[node] = Some(Client::connect(addr).map_err(|_| CoordError::NodeDown(node))?);
+        }
+        // verify: allow(no_panics) — connected just above
+        let c = conns[node].as_mut().expect("connected");
+        match f(c) {
+            Ok(v) => Ok(v),
+            Err(asset_client::ClientError::Io(_)) => {
+                // drop the connection; the next send reconnects
+                conns[node] = None;
+                Err(CoordError::NodeDown(node))
+            }
+            Err(e) => Err(CoordError::Protocol(e.to_string())),
+        }
+    }
+}
+
+impl CommitTransport for TcpTransport {
+    fn nodes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+        let raw = |tids: &[Tid]| tids.iter().map(|t| t.0).collect::<Vec<u64>>();
+        match msg {
+            CommitMessage::Prepare { tids } => {
+                let wire = raw(&tids);
+                // a server-reported error is a no vote; transport (Io)
+                // errors propagate through with_client's reconnect path
+                let vote = self.with_client(node, |c| match c.prepare(&wire) {
+                    Ok(group) => Ok(Some(group)),
+                    Err(asset_client::ClientError::Server { .. }) => Ok(None),
+                    Err(e) => Err(e),
+                })?;
+                Ok(match vote {
+                    Some(group) => CommitMessage::Vote {
+                        yes: true,
+                        group: group.into_iter().map(Tid).collect(),
+                    },
+                    None => CommitMessage::Vote {
+                        yes: false,
+                        group: Vec::new(),
+                    },
+                })
+            }
+            CommitMessage::CommitDecide { tids } => {
+                let wire = raw(&tids);
+                self.with_client(node, |c| c.commit_decide(&wire))?;
+                Ok(CommitMessage::Ack)
+            }
+            CommitMessage::AbortDecide { tids } => {
+                let wire = raw(&tids);
+                self.with_client(node, |c| c.abort_decide(&wire))?;
+                Ok(CommitMessage::Ack)
+            }
+            CommitMessage::QueryState { tid } => {
+                let s = self.with_client(node, |c| c.prepared_state(tid.0))?;
+                Ok(CommitMessage::State(match s {
+                    PreparedState::Unknown => ParticipantState::Unknown,
+                    PreparedState::Prepared => ParticipantState::Prepared,
+                    PreparedState::Committed => ParticipantState::Committed,
+                    PreparedState::Aborted => ParticipantState::Aborted,
+                    PreparedState::Other => ParticipantState::Other,
+                }))
+            }
+            other => Err(CoordError::Protocol(format!(
+                "transport cannot send {other:?}"
+            ))),
+        }
+    }
+}

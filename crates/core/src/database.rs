@@ -255,6 +255,63 @@ impl Database {
             obs,
             exec: std::sync::OnceLock::new(),
         });
+        // Restore prepared-but-undecided participants (§14.3): each
+        // in-doubt transaction re-enters the table as `Prepared` — undo
+        // chain rebuilt from the log (for a later decide-abort), X locks
+        // reacquired on its updated objects (uncontended: nothing else
+        // runs yet), GC links re-formed within its group — and waits for
+        // the coordinator's decision.
+        for d in &report.in_doubt {
+            let undo: Vec<UndoEntry> = d
+                .updates
+                .iter()
+                .map(|u| UndoEntry {
+                    seq: inner.undo_seq.fetch_add(1, Ordering::Relaxed),
+                    oid: u.oid,
+                    before: u.before.clone(),
+                })
+                .collect();
+            let oids: BTreeSet<Oid> = d.updates.iter().map(|u| u.oid).collect();
+            for oid in oids {
+                if inner
+                    .locks
+                    .try_lock(d.tid, oid, asset_common::Operation::Write)
+                    .is_err()
+                {
+                    return Err(AssetError::Corrupt(format!(
+                        "in-doubt lock conflict on {oid} restoring {}",
+                        d.tid
+                    )));
+                }
+            }
+            inner.txns.insert(
+                d.tid,
+                TxnSlot {
+                    parent: Tid::NULL,
+                    status: TxnStatus::Prepared,
+                    job: None,
+                    undo,
+                    abort_performed: false,
+                    thread_live: false,
+                    commit_pending: false,
+                    commit_ambiguous: false,
+                },
+            );
+            inner.live_count.fetch_add(1, Ordering::Relaxed);
+            inner.deps.lock().register(d.tid);
+        }
+        {
+            let present: BTreeSet<Tid> = report.in_doubt.iter().map(|d| d.tid).collect();
+            let mut deps = inner.deps.lock();
+            for d in &report.in_doubt {
+                for m in &d.group {
+                    if *m != d.tid && present.contains(m) {
+                        // re-link the surviving group (ignore duplicates)
+                        let _ = deps.form(DepType::GC, d.tid, *m);
+                    }
+                }
+            }
+        }
         Ok((Database { inner }, report))
     }
 
@@ -430,9 +487,10 @@ impl Database {
         loop {
             let epoch = self.inner.txns.epoch();
             match self.status(t)? {
-                TxnStatus::Completed | TxnStatus::Committing | TxnStatus::Committed => {
-                    return Ok(true)
-                }
+                TxnStatus::Completed
+                | TxnStatus::Committing
+                | TxnStatus::Prepared
+                | TxnStatus::Committed => return Ok(true),
                 TxnStatus::Aborted => return Ok(false),
                 TxnStatus::Initiated | TxnStatus::Running | TxnStatus::Aborting => {
                     // Aborting is transient (the victim's thread finalizes
@@ -503,6 +561,13 @@ impl Database {
                     TxnStatus::Aborted => Ok(Step::Done(false)),
                     TxnStatus::Aborting => Ok(Step::FinishAbort),
                     TxnStatus::Initiated | TxnStatus::Running => Ok(Step::Park),
+                    // a prepared participant's fate belongs to the commit
+                    // coordinator (§14); local commit must not decide it
+                    TxnStatus::Prepared => Err(AssetError::InvalidState {
+                        tid: t,
+                        status: TxnStatus::Prepared,
+                        op: "commit",
+                    }),
                     // a commit record for this transaction's group already
                     // sits in the flush window (executor path): park until
                     // the flush outcome finalizes it rather than forcing a
@@ -1032,7 +1097,7 @@ impl Database {
         self.inner.txns.for_each(|_, s| match s.status {
             TxnStatus::Initiated => c.0 += 1,
             TxnStatus::Running => c.1 += 1,
-            TxnStatus::Completed | TxnStatus::Committing => c.2 += 1,
+            TxnStatus::Completed | TxnStatus::Committing | TxnStatus::Prepared => c.2 += 1,
             TxnStatus::Committed => c.3 += 1,
             TxnStatus::Aborting | TxnStatus::Aborted => c.4 += 1,
         });
@@ -1246,6 +1311,275 @@ impl Database {
         self.inner.txns.bump();
     }
 
+    // --- distributed commit participant (§14) --------------------------
+    //
+    // A node participating in cross-node commit exposes three primitives
+    // to the coordinator: `prepare_group` (the vote), and the two decide
+    // calls. Prepared transactions are durable-but-undecided: locks held,
+    // updates forced, fate owned by the coordinator — they survive
+    // restart via the `Prepared` WAL record and the in-doubt restoration
+    // in `open`.
+
+    /// Prepare the local GC group(s) of `seeds` for distributed commit
+    /// (DESIGN.md §14.2): wait for every member to complete execution and
+    /// every commit gate to open, then force one `Prepared` record
+    /// through the group-commit flusher and move the whole group to
+    /// [`TxnStatus::Prepared`] with locks retained. Returns the full
+    /// prepared group (the union of the seeds' GC components).
+    ///
+    /// A successful return is this participant's *yes* vote: the group
+    /// can no longer abort or commit locally — only
+    /// [`decide_commit_group`](Self::decide_commit_group) or
+    /// [`decide_abort_group`](Self::decide_abort_group) may resolve it.
+    /// An error is a *no* vote (nothing durable marks the group prepared,
+    /// and doomed groups are aborted locally) — **except** when the error
+    /// surfaces after the record became durable (see
+    /// [`PART_AFTER_PREPARE`](crate::failpoints::PART_AFTER_PREPARE)), in
+    /// which case the group stays `Prepared` awaiting the decision.
+    /// Idempotent: re-preparing an already-prepared group returns it.
+    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Prepared")]
+    pub fn prepare_group(&self, seeds: &[Tid]) -> Result<Vec<Tid>> {
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
+        loop {
+            let epoch = self.inner.txns.epoch();
+            // resolve every seed's gate; union the Ready groups
+            let mut group: BTreeSet<Tid> = BTreeSet::new();
+            let mut waiting = false;
+            let mut doomed: Option<(Vec<Tid>, Tid)> = None;
+            {
+                let deps = self.inner.deps.lock();
+                for s in seeds {
+                    match deps.commit_gate(*s) {
+                        CommitGate::Ready(g) => group.extend(g),
+                        CommitGate::WaitOn(_) => waiting = true,
+                        CommitGate::Doomed(g) => {
+                            doomed = Some((g, *s));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some((g, s)) = doomed {
+                self.abort_many(&g);
+                return Err(AssetError::TxnAborted(s));
+            }
+            if waiting {
+                self.inner.txns.wait_event(epoch);
+                continue;
+            }
+            let group: Vec<Tid> = group.into_iter().collect();
+            let mut guard = self.inner.txns.lock_group(&group);
+            // re-validate under the guards (same discipline as commit)
+            let same = {
+                let deps = self.inner.deps.lock();
+                let mut g2: BTreeSet<Tid> = BTreeSet::new();
+                let mut ok = true;
+                for s in seeds {
+                    match deps.commit_gate(*s) {
+                        CommitGate::Ready(g) => g2.extend(g),
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                ok && g2 == group.iter().copied().collect::<BTreeSet<Tid>>()
+            };
+            if !same {
+                drop(guard);
+                continue;
+            }
+            // every member must have completed execution; terminal or
+            // doomed members fail the vote
+            let mut incomplete = false;
+            let mut prepared = 0usize;
+            let mut vote_no: Option<AssetError> = None;
+            for m in &group {
+                match guard.get(*m).map(|s| (s.status, s.commit_pending)) {
+                    Some((_, true)) => incomplete = true,
+                    Some((TxnStatus::Initiated | TxnStatus::Running, _)) => incomplete = true,
+                    Some((TxnStatus::Aborting | TxnStatus::Aborted, _)) => {
+                        vote_no = Some(AssetError::TxnAborted(*m));
+                        break;
+                    }
+                    Some((TxnStatus::Committed, _)) => {
+                        vote_no = Some(AssetError::InvalidState {
+                            tid: *m,
+                            status: TxnStatus::Committed,
+                            op: "prepare",
+                        });
+                        break;
+                    }
+                    Some((TxnStatus::Prepared, _)) => prepared += 1,
+                    Some((TxnStatus::Completed | TxnStatus::Committing, _)) => {}
+                    None => return Err(AssetError::TxnNotFound(*m)),
+                }
+            }
+            if let Some(e) = vote_no {
+                drop(guard);
+                self.abort_many(&group);
+                return Err(e);
+            }
+            if incomplete {
+                drop(guard);
+                self.inner.txns.wait_event(epoch);
+                continue;
+            }
+            if prepared == group.len() {
+                // idempotent re-prepare
+                return Ok(group);
+            }
+            // the vote: one forced Prepared record for the group
+            #[allow(unused_mut)]
+            let mut prep_res: Result<()> = Ok(());
+            asset_faults::failpoint!(
+                &self.inner.config.faults,
+                crate::failpoints::PREPARE_RECORD,
+                |act| {
+                    prep_res = Err(self
+                        .inner
+                        .config
+                        .faults
+                        .realize_plain(crate::failpoints::PREPARE_RECORD, act)
+                        .into());
+                }
+            );
+            if prep_res.is_ok() {
+                prep_res = self
+                    .inner
+                    .engine
+                    .log_record(&LogRecord::Prepared {
+                        tids: group.clone(),
+                    })
+                    .map(|_| ());
+            }
+            if let Err(e) = prep_res {
+                // nothing durable marks the group prepared: vote no and
+                // abort locally so held locks drain
+                drop(guard);
+                self.abort_many(&group);
+                return Err(e);
+            }
+            for m in &group {
+                // members come from the guard's own locked key set
+                // verify: allow(no_panics) — guard-internal keys
+                let slot = guard.get_mut(*m).expect("group member exists");
+                slot.status = TxnStatus::Prepared;
+            }
+            drop(guard);
+            self.inner.txns.bump();
+            // the record is durable and the group is Prepared; a failure
+            // here models the participant dying (Crash) or the vote being
+            // lost in transit (Error) — either way the group must STAY
+            // prepared: only the coordinator's decision resolves it
+            #[cfg(feature = "faults")]
+            if let Some(act) = self
+                .inner
+                .config
+                .faults
+                .check(crate::failpoints::PART_AFTER_PREPARE)
+            {
+                return Err(self
+                    .inner
+                    .config
+                    .faults
+                    .realize_plain(crate::failpoints::PART_AFTER_PREPARE, act)
+                    .into());
+            }
+            return Ok(group);
+        }
+    }
+
+    /// Apply the coordinator's *commit* decision to a prepared group
+    /// (DESIGN.md §14.2): force the group's `Commit` record, move every
+    /// member to `Committed`, and release locks and dependencies.
+    /// Idempotent — re-deciding a committed group is a no-op, so the
+    /// coordinator may re-send decisions after a crash. Rejects groups
+    /// with unprepared members (`InvalidState`): a decide may only follow
+    /// a successful prepare.
+    #[wal(logs = "log_record", mutates = "slot.status = TxnStatus::Committed")]
+    pub fn decide_commit_group(&self, group: &[Tid]) -> Result<()> {
+        if group.is_empty() {
+            return Ok(());
+        }
+        let mut guard = self.inner.txns.lock_group(group);
+        let mut pending: Vec<Tid> = Vec::with_capacity(group.len());
+        for m in group {
+            match guard.get(*m).map(|s| s.status) {
+                Some(TxnStatus::Committed) => {} // already decided
+                Some(TxnStatus::Prepared) => pending.push(*m),
+                Some(status) => {
+                    return Err(AssetError::InvalidState {
+                        tid: *m,
+                        status,
+                        op: "decide-commit",
+                    })
+                }
+                None => return Err(AssetError::TxnNotFound(*m)),
+            }
+        }
+        if pending.is_empty() {
+            return Ok(()); // idempotent re-decide
+        }
+        self.inner.engine.log_record(&LogRecord::Commit {
+            tids: pending.clone(),
+        })?;
+        for m in &pending {
+            // members come from the guard's own locked key set
+            // verify: allow(no_panics) — guard-internal keys
+            let slot = guard.get_mut(*m).expect("group member exists");
+            slot.status = TxnStatus::Committed;
+            slot.undo.clear();
+            self.inner.live_count.fetch_sub(1, Ordering::Relaxed);
+            self.inner.locks.release_all(*m);
+        }
+        let resolved = {
+            let mut deps = self.inner.deps.lock();
+            let before = deps.edge_count() + deps.gc_link_count();
+            deps.committed(&pending);
+            before.saturating_sub(deps.edge_count() + deps.gc_link_count())
+        };
+        drop(guard);
+        let obs = &self.inner.obs;
+        add(&obs.counters.txn_committed, pending.len() as u64);
+        add(&obs.counters.dep_edges_resolved, resolved as u64);
+        obs.commit_group_size.record(pending.len() as u64);
+        obs.record(EventKind::TxnCommit {
+            tid: pending[0],
+            group: pending.len() as u32,
+        });
+        self.inner.txns.bump();
+        Ok(())
+    }
+
+    /// Apply the coordinator's *abort* decision to a prepared group
+    /// (DESIGN.md §14.2): roll every member back through the standard
+    /// abort protocol (before images + CLRs + `Abort` records — exactly
+    /// what a restart would replay). Idempotent: already-aborted members
+    /// are skipped; members that committed are left untouched (the
+    /// coordinator never mixes decisions within one group).
+    pub fn decide_abort_group(&self, group: &[Tid]) {
+        self.abort_many(group);
+    }
+
+    /// Every transaction currently in [`TxnStatus::Prepared`] — after
+    /// [`open`](Self::open), the in-doubt set restart recovery restored
+    /// (DESIGN.md §14.3), ascending. A recovering coordinator queries
+    /// this (wire opcode `PREPARED`) to learn which decisions are still
+    /// owed.
+    pub fn in_doubt_transactions(&self) -> Vec<Tid> {
+        let mut out = Vec::new();
+        self.inner.txns.for_each(|t, s| {
+            if s.status == TxnStatus::Prepared {
+                out.push(t);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
     // --- executor protocol (crate::exec) -------------------------------
     //
     // The worker-pool executor drives transactions as resumable state
@@ -1354,6 +1688,13 @@ impl Database {
                     TxnStatus::Committed | TxnStatus::Aborted => Ok(Step::Done),
                     TxnStatus::Aborting => Ok(Step::FinishAbort),
                     TxnStatus::Initiated | TxnStatus::Running => Ok(Step::Wait),
+                    // a prepared participant's fate belongs to the commit
+                    // coordinator (§14); the executor must not decide it
+                    TxnStatus::Prepared => Err(AssetError::InvalidState {
+                        tid: t,
+                        status: TxnStatus::Prepared,
+                        op: "commit",
+                    }),
                     TxnStatus::Completed | TxnStatus::Committing if slot.commit_pending => {
                         Ok(Step::Wait)
                     }

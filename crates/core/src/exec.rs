@@ -85,6 +85,14 @@ pub enum TxnStep {
     /// point for interactive transactions fed by an external request
     /// stream — `asset-server` sessions park here between wire requests.
     WaitExternal,
+    /// The program finished *without* entering the local commit
+    /// protocol: the transaction rests at `Completed` — locks retained,
+    /// changes volatile — for an external commit authority to resolve
+    /// (a distributed-commit coordinator via
+    /// [`Database::prepare_group`] + the decide calls, DESIGN.md §14).
+    /// The task is retired from the executor exactly as for
+    /// [`Self::Done`]`(Err(_))`, but nothing is aborted or committed.
+    Hold,
     /// The program finished: `Ok` proceeds to the group-commit protocol,
     /// `Err` aborts the transaction.
     Done(Result<()>),
@@ -507,6 +515,15 @@ impl ExecInner {
                     // and push-then-nudge plus RUNNING_DIRTY covers the
                     // publish/park race
                     TxnStep::WaitExternal => StepOutcome::Park("external"),
+                    TxnStep::Hold => {
+                        // completion without local commit: the txn rests
+                        // at Completed (locks held) for an external
+                        // commit authority — prepare/decide (§14) — and
+                        // the task retires from the executor
+                        let _ = db.exec_complete(tid, true);
+                        body.prog = None;
+                        StepOutcome::Finished
+                    }
                     TxnStep::Done(Ok(())) => {
                         if db.exec_complete(tid, true) {
                             body.prog = None;
@@ -851,6 +868,18 @@ impl Database {
     /// consume (push to the mailbox, set the flag) **before** nudging;
     /// the executor's `RUNNING_DIRTY` mark then guarantees the program
     /// observes it even if the nudge lands mid-step.
+    ///
+    /// **Stale and unknown tids are safe.** This is a contract, not an
+    /// accident: server sessions race their nudges against transaction
+    /// completion, so a nudge may land after the task reached `DONE` and
+    /// was retired, after the tid was never submitted (plain
+    /// `initiate`/`begin` transactions), or with a tid this database has
+    /// never seen. All of these are silent no-ops — `enqueue` consults
+    /// the task table under its lock and ignores missing entries, and a
+    /// `DONE` task's scheduling byte rejects the requeue. A nudge can
+    /// never panic, abort, or misdirect a *different* transaction: tids
+    /// are never reused within a database (the `IdGen` is monotonic),
+    /// so a retired tid cannot alias a live one.
     pub fn nudge(&self, t: Tid) {
         if let Some(exec) = self.inner.exec.get() {
             exec.enqueue(t);

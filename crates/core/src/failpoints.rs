@@ -28,10 +28,23 @@ pub const ABORT_CLR: &str = "abort.clr";
 /// delegation with no state moved.
 pub const DELEGATE_RECORD: &str = "delegate.record";
 
+/// In `prepare_group`, before the `Prepared` record is forced: `Error`
+/// makes the participant vote *no* with nothing written (the coordinator
+/// must abort the global transaction).
+pub const PREPARE_RECORD: &str = "prepare.record";
+
+/// In `prepare_group`, after the `Prepared` record is durable but before
+/// the vote can reach the coordinator: `Crash` models the participant
+/// dying prepared — restart recovery must restore it in-doubt, holding its
+/// locks, until the coordinator's decision arrives (§14.3).
+pub const PART_AFTER_PREPARE: &str = "prepare.after_record";
+
 /// Every failpoint the transaction layer registers, for matrix sweeps.
 pub const ALL: &[&str] = &[
     COMMIT_RECORD,
     COMMIT_AFTER_RECORD,
     ABORT_CLR,
     DELEGATE_RECORD,
+    PREPARE_RECORD,
+    PART_AFTER_PREPARE,
 ];

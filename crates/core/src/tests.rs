@@ -967,3 +967,257 @@ fn database_stats_snapshot() {
     assert!(text.contains("committed"));
     assert!(text.contains("log records"));
 }
+
+// --- distributed commit participant (§14) ------------------------------------
+
+/// Two completed transactions in one GC group, ready to prepare.
+fn completed_pair(db: &Database) -> (Tid, Tid, Oid, Oid) {
+    let (a, b) = (db.new_oid(), db.new_oid());
+    let t1 = db
+        .initiate(move |ctx| ctx.write(a, b"one".to_vec()))
+        .unwrap();
+    let t2 = db
+        .initiate(move |ctx| ctx.write(b, b"two".to_vec()))
+        .unwrap();
+    db.form_dependency(DepType::GC, t1, t2).unwrap();
+    db.begin_many(&[t1, t2]).unwrap();
+    assert!(db.wait(t1).unwrap());
+    assert!(db.wait(t2).unwrap());
+    (t1, t2, a, b)
+}
+
+#[test]
+fn prepare_then_decide_commit() {
+    let db = db();
+    let (t1, t2, a, b) = completed_pair(&db);
+    let group = db.prepare_group(&[t1]).unwrap();
+    assert_eq!(
+        group
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>(),
+        [t1, t2].into_iter().collect()
+    );
+    assert_eq!(db.status(t1).unwrap(), TxnStatus::Prepared);
+    assert_eq!(db.status(t2).unwrap(), TxnStatus::Prepared);
+    // a prepared participant's fate belongs to the coordinator
+    assert!(matches!(
+        db.commit(t1),
+        Err(AssetError::InvalidState { op: "commit", .. })
+    ));
+    // idempotent re-prepare
+    assert_eq!(db.prepare_group(&[t2]).unwrap().len(), 2);
+    db.decide_commit_group(&group).unwrap();
+    assert_eq!(db.status(t1).unwrap(), TxnStatus::Committed);
+    assert_eq!(db.status(t2).unwrap(), TxnStatus::Committed);
+    assert_eq!(db.peek(a).unwrap().unwrap(), b"one");
+    assert_eq!(db.peek(b).unwrap().unwrap(), b"two");
+    // idempotent re-decide
+    db.decide_commit_group(&group).unwrap();
+}
+
+#[test]
+fn prepare_then_decide_abort() {
+    let db = db();
+    let (t1, t2, a, b) = completed_pair(&db);
+    let group = db.prepare_group(&[t1]).unwrap();
+    db.decide_abort_group(&group);
+    assert_eq!(db.status(t1).unwrap(), TxnStatus::Aborted);
+    assert_eq!(db.status(t2).unwrap(), TxnStatus::Aborted);
+    assert_eq!(db.peek(a).unwrap(), None, "creation rolled back");
+    assert_eq!(db.peek(b).unwrap(), None);
+    // idempotent re-decide
+    db.decide_abort_group(&group);
+}
+
+#[test]
+fn prepared_locks_stay_held_until_decision() {
+    let db = Database::open(
+        asset_common::Config::in_memory().with_lock_timeout(Some(Duration::from_millis(50))),
+    )
+    .unwrap()
+    .0;
+    let oid = seed(&db, b"orig");
+    let t = db
+        .initiate(move |ctx| ctx.write(oid, b"prepared".to_vec()))
+        .unwrap();
+    db.begin(t).unwrap();
+    db.wait(t).unwrap();
+    let group = db.prepare_group(&[t]).unwrap();
+    // the X lock is retained: a conflicting writer times out
+    let blocked = db
+        .run(move |ctx| ctx.write(oid, b"blocked".to_vec()))
+        .unwrap();
+    assert!(!blocked, "conflicting writer must abort on lock timeout");
+    db.decide_commit_group(&group).unwrap();
+    // decision releases the lock
+    assert!(db
+        .run(move |ctx| ctx.write(oid, b"after".to_vec()))
+        .unwrap());
+    assert_eq!(db.peek(oid).unwrap().unwrap(), b"after");
+}
+
+#[test]
+fn prepare_votes_no_on_aborted_member() {
+    let db = db();
+    let (t1, t2, _, _) = completed_pair(&db);
+    db.abort(t2).unwrap();
+    let err = db.prepare_group(&[t1]).unwrap_err();
+    assert!(matches!(err, AssetError::TxnAborted(_)));
+    // the vote-no aborted the group locally
+    assert_eq!(db.status(t1).unwrap(), TxnStatus::Aborted);
+}
+
+#[test]
+fn decide_commit_rejects_unprepared_members() {
+    let db = db();
+    let (t1, _, _, _) = completed_pair(&db);
+    // never prepared: decide must refuse rather than invent a commit
+    let err = db.decide_commit_group(&[t1]).unwrap_err();
+    assert!(matches!(
+        err,
+        AssetError::InvalidState {
+            op: "decide-commit",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn prepared_survives_crash_and_commits_after_restart() {
+    let dir = std::env::temp_dir().join(format!("asset-core-prep-commit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config =
+        asset_common::Config::on_disk(&dir).with_lock_timeout(Some(Duration::from_millis(50)));
+    let (oid, group) = {
+        let (db, _) = Database::open(config.clone()).unwrap();
+        let oid = seed(&db, b"orig");
+        let t = db
+            .initiate(move |ctx| ctx.write(oid, b"prepared".to_vec()))
+            .unwrap();
+        db.begin(t).unwrap();
+        db.wait(t).unwrap();
+        let group = db.prepare_group(&[t]).unwrap();
+        (oid, group)
+        // crash: drop the db with the group prepared, no decision
+    };
+    let (db, report) = Database::open(config.clone()).unwrap();
+    assert_eq!(
+        report.in_doubt.len(),
+        1,
+        "recovery surfaces the in-doubt group"
+    );
+    assert_eq!(db.in_doubt_transactions(), group);
+    // still undecided: the restored participant holds its X lock
+    let blocked = db
+        .run(move |ctx| ctx.write(oid, b"blocked".to_vec()))
+        .unwrap();
+    assert!(!blocked, "in-doubt lock must still be held after restart");
+    // local commit still refused
+    assert!(db.commit(group[0]).is_err());
+    // the coordinator's decision arrives: commit
+    db.decide_commit_group(&group).unwrap();
+    assert_eq!(db.peek(oid).unwrap().unwrap(), b"prepared");
+    drop(db);
+    // a second restart finds nothing in doubt
+    let (db, report) = Database::open(config).unwrap();
+    assert!(report.in_doubt.is_empty());
+    assert!(db.in_doubt_transactions().is_empty());
+    assert_eq!(db.peek(oid).unwrap().unwrap(), b"prepared");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn prepared_survives_crash_and_aborts_after_restart() {
+    let dir = std::env::temp_dir().join(format!("asset-core-prep-abort-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = asset_common::Config::on_disk(&dir);
+    let (oid, group) = {
+        let (db, _) = Database::open(config.clone()).unwrap();
+        let oid = seed(&db, b"orig");
+        let t = db
+            .initiate(move |ctx| ctx.write(oid, b"prepared".to_vec()))
+            .unwrap();
+        db.begin(t).unwrap();
+        db.wait(t).unwrap();
+        let group = db.prepare_group(&[t]).unwrap();
+        (oid, group)
+    };
+    let (db, report) = Database::open(config.clone()).unwrap();
+    assert_eq!(report.in_doubt.len(), 1);
+    // the coordinator's decision arrives: abort — the restored undo chain
+    // rolls the update back
+    db.decide_abort_group(&group);
+    assert_eq!(db.status(group[0]).unwrap(), TxnStatus::Aborted);
+    assert_eq!(db.peek(oid).unwrap().unwrap(), b"orig");
+    drop(db);
+    let (db, report) = Database::open(config).unwrap();
+    assert!(report.in_doubt.is_empty());
+    assert_eq!(db.peek(oid).unwrap().unwrap(), b"orig");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn in_doubt_group_restores_its_gc_links() {
+    let dir = std::env::temp_dir().join(format!("asset-core-prep-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = asset_common::Config::on_disk(&dir);
+    let (a, b, group) = {
+        let (db, _) = Database::open(config.clone()).unwrap();
+        let (t1, t2, a, b) = completed_pair(&db);
+        let group = db.prepare_group(&[t1]).unwrap();
+        assert_eq!(group.len(), 2);
+        let _ = t2;
+        (a, b, group)
+    };
+    let (db, report) = Database::open(config).unwrap();
+    assert_eq!(report.in_doubt.len(), 2);
+    for d in &report.in_doubt {
+        assert_eq!(d.group.len(), 2, "each member knows its full group");
+    }
+    // one decision resolves the whole restored group, atomically
+    db.decide_commit_group(&group).unwrap();
+    assert_eq!(db.peek(a).unwrap().unwrap(), b"one");
+    assert_eq!(db.peek(b).unwrap().unwrap(), b"two");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// --- nudge on stale / unknown tids (documented no-op) ------------------------
+
+#[test]
+fn nudge_unknown_tid_is_a_noop() {
+    let db = db();
+    // executor never spawned: nudge must not panic or spawn anything
+    db.nudge(Tid(12345));
+    // spawn the executor, then nudge a tid it has never seen
+    let t = db.submit(|_| crate::TxnStep::Done(Ok(()))).unwrap();
+    assert!(db.outcome(t).unwrap());
+    db.nudge(Tid(999_999));
+    db.nudge(Tid::NULL);
+}
+
+#[test]
+fn nudge_after_done_is_a_noop() {
+    let db = db();
+    let oid = db.new_oid();
+    let t = db
+        .submit(move |ctx| match ctx.try_write(oid, b"v".to_vec()) {
+            Ok(crate::TryOp::Done(_)) => crate::TxnStep::Done(Ok(())),
+            Ok(crate::TryOp::WouldBlock) => crate::TxnStep::WaitLock { ob: oid },
+            Err(e) => crate::TxnStep::Done(Err(e)),
+        })
+        .unwrap();
+    assert!(db.outcome(t).unwrap(), "committed");
+    // the task is DONE and retired: late nudges (the server-session race)
+    // must be silent no-ops and must not disturb the terminal state
+    for _ in 0..16 {
+        db.nudge(t);
+    }
+    assert_eq!(db.status(t).unwrap(), TxnStatus::Committed);
+    assert_eq!(db.peek(oid).unwrap().unwrap(), b"v");
+    // a plain (non-submitted) transaction can also be nudged harmlessly
+    let t2 = db.initiate(|_| Ok(())).unwrap();
+    db.nudge(t2);
+    db.begin(t2).unwrap();
+    assert!(db.commit(t2).unwrap());
+}

@@ -1,0 +1,145 @@
+//! Cross-node transaction identity for distributed commit (DESIGN.md
+//! §14).
+//!
+//! A single node's dependency graph names transactions by [`Tid`]; a
+//! coordinator spanning several nodes needs the pair — *which node* and
+//! *which tid there*. A [`CrossGroup`] is the distributed analogue of a
+//! GC component: the set of `(node, tid)` members that must reach one
+//! outcome together. The coordinator drives one prepare/decide exchange
+//! per node, so the canonical view of a group is
+//! [`CrossGroup::by_node`]: the members folded into per-node tid lists.
+
+use asset_common::Tid;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A participant node's identity within one coordinator's cluster.
+///
+/// Indexes into the coordinator's transport — node `k` is the `k`-th
+/// participant the transport can reach. Purely local to one cluster
+/// configuration; nothing durable encodes a `NodeId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A transaction named across the cluster: the node it lives on plus
+/// its tid there. Tids are only unique per node — two nodes can both
+/// have a transaction 7 — so every cross-node structure keys on the
+/// pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GlobalTid {
+    /// The node the transaction runs on.
+    pub node: NodeId,
+    /// Its tid on that node.
+    pub tid: Tid,
+}
+
+impl GlobalTid {
+    /// Name `tid` on `node`.
+    pub fn new(node: NodeId, tid: Tid) -> GlobalTid {
+        GlobalTid { node, tid }
+    }
+}
+
+impl fmt::Display for GlobalTid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.node, self.tid)
+    }
+}
+
+/// The distributed analogue of a GC component: transactions on several
+/// nodes that must commit or abort **as one** (DESIGN.md §14.1). The
+/// coordinator prepares every member's node and delivers one decision;
+/// per-node GC closure (a member's local group-commit component) is
+/// computed by each participant's `prepare_group`, so a `CrossGroup`
+/// needs to name only the seed transactions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CrossGroup {
+    members: Vec<GlobalTid>,
+}
+
+impl CrossGroup {
+    /// An empty group.
+    pub fn new() -> CrossGroup {
+        CrossGroup::default()
+    }
+
+    /// Add a member; duplicates are ignored.
+    pub fn add(&mut self, member: GlobalTid) {
+        if !self.members.contains(&member) {
+            self.members.push(member);
+        }
+    }
+
+    /// Builder-style [`add`](Self::add).
+    pub fn with(mut self, node: NodeId, tid: Tid) -> CrossGroup {
+        self.add(GlobalTid::new(node, tid));
+        self
+    }
+
+    /// Every member, in insertion order.
+    pub fn members(&self) -> &[GlobalTid] {
+        &self.members
+    }
+
+    /// No members?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The nodes that participate, each with its members' tids — the
+    /// unit the coordinator sends one `PREPARE` (and later one decide)
+    /// per entry. Nodes are returned in ascending id order, tids in
+    /// insertion order.
+    pub fn by_node(&self) -> Vec<(NodeId, Vec<Tid>)> {
+        let mut map: BTreeMap<NodeId, Vec<Tid>> = BTreeMap::new();
+        for m in &self.members {
+            map.entry(m.node).or_default().push(m.tid);
+        }
+        map.into_iter().collect()
+    }
+}
+
+impl FromIterator<GlobalTid> for CrossGroup {
+    fn from_iter<I: IntoIterator<Item = GlobalTid>>(iter: I) -> CrossGroup {
+        let mut g = CrossGroup::new();
+        for m in iter {
+            g.add(m);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_fold_members_per_node() {
+        let g = CrossGroup::new()
+            .with(NodeId(1), Tid(7))
+            .with(NodeId(0), Tid(7))
+            .with(NodeId(1), Tid(9))
+            .with(NodeId(1), Tid(7)); // duplicate ignored
+        assert_eq!(g.members().len(), 3);
+        assert_eq!(
+            g.by_node(),
+            vec![(NodeId(0), vec![Tid(7)]), (NodeId(1), vec![Tid(7), Tid(9)]),]
+        );
+    }
+
+    #[test]
+    fn same_tid_on_two_nodes_is_two_members() {
+        let a = GlobalTid::new(NodeId(0), Tid(3));
+        let b = GlobalTid::new(NodeId(1), Tid(3));
+        assert_ne!(a, b);
+        let g: CrossGroup = [a, b].into_iter().collect();
+        assert_eq!(g.members().len(), 2);
+        assert_eq!(a.to_string(), "node0/t3");
+    }
+}

@@ -43,9 +43,14 @@ pub fn run_distributed(db: &Database, components: Vec<Component>) -> Result<bool
     }
     db.begin_many(&tids)?;
     let outcome = db.commit(tids[0])?;
-    // the remaining commits are no-ops that must agree with the outcome
+    // The remaining commits are no-ops that must agree with the outcome.
+    // They are not optional: each waits for its member's finalization, so
+    // a self-aborted component's undo is complete before we return. (This
+    // once lived inside a debug_assert!, which release builds skip — the
+    // caller could then read a rolled-back member's write.)
     for t in &tids[1..] {
-        debug_assert_eq!(db.commit(*t)?, outcome);
+        let later = db.commit(*t)?;
+        debug_assert_eq!(later, outcome);
     }
     Ok(outcome)
 }

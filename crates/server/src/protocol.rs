@@ -123,10 +123,13 @@ pub mod opcode {
     /// still contain gaps.
     pub const MINT: u8 = 0x31;
     /// Sum the committed i64 values of oids `first..first+count`
-    /// (missing or non-8-byte objects are skipped). A **non-
-    /// transactional diagnostic**: values are read with `peek`, so the
-    /// result is only a consistent snapshot while no writer is active.
-    /// A count above [`super::MAX_SUM_COUNT`] is rejected with
+    /// (missing or non-8-byte objects are skipped). Runs as one
+    /// **server-side read transaction**: every object in the range is
+    /// S-locked (in ascending oid order, the same order writers take
+    /// their locks) before the first value is added, so the sum is a
+    /// consistent snapshot even while writers are active — a transfer
+    /// is seen either entirely or not at all. A count above
+    /// [`super::MAX_SUM_COUNT`] is rejected with
     /// `ERR_RESOURCE_EXHAUSTED` before any object is read.
     /// Body: `u64` first, `u64` count. OK payload: `i64` sum,
     /// `u64` objects present.
@@ -135,6 +138,33 @@ pub mod opcode {
     /// transactions committed, transactions aborted, live (non-
     /// terminated) transactions, commit log failures.
     pub const STATS: u8 = 0x33;
+    /// Distributed commit (DESIGN.md §14): prepare this session's named
+    /// transactions as one group. Body: `u32` n, n×`u64` tids — each
+    /// must name a transaction of **this session**. The server finishes
+    /// each program leaving the transaction `Completed` (locks held),
+    /// then drives `Database::prepare_group`, forcing one `Prepared`
+    /// WAL record for the union of the tids' GC groups. OK payload:
+    /// `u32` m, m×`u64` tids — the full prepared group; OK **is** the
+    /// yes vote (the record is durable before the response is written).
+    /// Any error is a no vote and the group is aborted locally.
+    /// Prepared transactions leave the session: disconnecting no longer
+    /// aborts them, and only a decide opcode resolves them.
+    pub const PREPARE: u8 = 0x40;
+    /// Query a transaction's distributed-commit state — usable by a
+    /// recovery coordinator for tids from any session, including before
+    /// a crash. Body: `u64` tid. OK payload: `u8` —
+    /// 0 = unknown, 1 = prepared (in doubt), 2 = committed, 3 = aborted,
+    /// 4 = other (live, not prepared).
+    pub const PREPARED: u8 = 0x41;
+    /// Coordinator decision: commit a prepared group (DESIGN.md §14).
+    /// Body: `u32` n, n×`u64` tids. Sessionless and idempotent — works
+    /// after the preparing connection (or the whole node) restarted.
+    /// OK payload: empty, written only after the commit record is
+    /// durable.
+    pub const COMMIT_DECIDE: u8 = 0x42;
+    /// Coordinator decision: abort a prepared group. Body: `u32` n,
+    /// n×`u64` tids. Sessionless and idempotent. OK payload: empty.
+    pub const ABORT_DECIDE: u8 = 0x43;
     /// Stop accepting connections and shut the server down after the OK
     /// response is written. Body: empty. OK payload: empty.
     pub const SHUTDOWN: u8 = 0x7F;

@@ -9,7 +9,7 @@
 
 use crate::protocol::{self, get_i64, get_u32, get_u64, get_u8, opcode, status, Frame, WireError};
 use crate::session::{OpReply, SessionTxn, TxnOp};
-use asset_core::{AssetError, Database, DepType, ObSet, Oid, OpSet, Tid, TxnOutcome};
+use asset_core::{AssetError, Database, DepType, ObSet, Oid, OpSet, Tid, TxnOutcome, TxnStatus};
 use asset_obs::{bump, EventKind, SpanName};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
@@ -28,6 +28,10 @@ const MINT_CHUNK: u64 = 10_000;
 /// How often a blocked connection read wakes up to check the shutdown
 /// flag.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How many times a SUM's read transaction is retried when it loses a
+/// deadlock against concurrent writers before the request fails.
+const SUM_RETRIES: usize = 16;
 
 struct Shared {
     db: Database,
@@ -222,11 +226,17 @@ impl Connection {
 
     /// Abort every transaction the connection left open (client gone or
     /// server stopping). Terminal ops are queued and nudged; the
-    /// executor performs the rollbacks.
+    /// executor performs the rollbacks, and this thread **waits for
+    /// each outcome** so the drain is deterministic: once every handler
+    /// has exited (`AssetServer::join`), no session transaction still
+    /// holds a lock or is mid-rollback. Prepared transactions are never
+    /// here — a successful PREPARE removes them from the session, so a
+    /// shutdown or disconnect cannot abort a cast vote (§14.2).
     fn abort_leftovers(&mut self) {
         let db = &self.shared.db;
         for (_, st) in self.txns.drain() {
             st.finishing(db, TxnOp::Abort);
+            let _ = db.outcome_kind(st.tid);
             db.obs().record(EventKind::SpanClose {
                 tid: st.tid,
                 span: SpanName::Session,
@@ -362,19 +372,7 @@ impl Connection {
                         ),
                     ));
                 }
-                let mut sum = 0i64;
-                let mut present = 0u64;
-                for oid in first..first.saturating_add(count) {
-                    if let Ok(Some(bytes)) = db.peek(Oid(oid)) {
-                        if let Ok(arr) = <[u8; 8]>::try_from(bytes.as_slice()) {
-                            sum = sum.wrapping_add(i64::from_le_bytes(arr));
-                            present += 1;
-                        }
-                    }
-                }
-                let mut payload = sum.to_le_bytes().to_vec();
-                payload.extend_from_slice(&present.to_le_bytes());
-                Frame::ok_response(req, &payload)
+                self.sum(req, first, count)
             }
             opcode::STATS => {
                 let c = db.metrics_snapshot().counters;
@@ -384,6 +382,30 @@ impl Connection {
                 payload.extend_from_slice(&(db.live_transactions() as u64).to_le_bytes());
                 payload.extend_from_slice(&c.commit_log_failures.to_le_bytes());
                 Frame::ok_response(req, &payload)
+            }
+            opcode::PREPARE => {
+                let tids = decode_tid_list(b)?;
+                self.prepare(req, &tids)
+            }
+            opcode::PREPARED => {
+                let tid = Tid(get_u64(b, 0)?);
+                let state: u8 = match db.status(tid) {
+                    Ok(TxnStatus::Prepared) => 1,
+                    Ok(TxnStatus::Committed) => 2,
+                    Ok(TxnStatus::Aborting) | Ok(TxnStatus::Aborted) => 3,
+                    Ok(_) => 4,
+                    Err(_) => 0,
+                };
+                Frame::ok_response(req, &[state])
+            }
+            opcode::COMMIT_DECIDE => {
+                let tids = decode_tid_list(b)?;
+                ack(req, db.decide_commit_group(&tids))
+            }
+            opcode::ABORT_DECIDE => {
+                let tids = decode_tid_list(b)?;
+                db.decide_abort_group(&tids);
+                Frame::ok_response(req, &[])
             }
             opcode::SHUTDOWN => Frame::ok_response(req, &[]),
             _ => {
@@ -466,6 +488,136 @@ impl Connection {
                 Frame::err_response(req, status::ERR_COMMIT_AMBIGUOUS, "commit fate unknown")
             }
             (Err(e), _) => err_of(req, &e),
+        }
+    }
+
+    /// SUM as one server-side read transaction (DESIGN.md §13.3): every
+    /// object in the range is S-locked in ascending oid order — the
+    /// same order writers acquire theirs — before any value is summed,
+    /// so the result is a consistent snapshot even under a concurrent
+    /// transfer storm. If the reader still loses a deadlock (writers
+    /// that lock out of order), the transaction is retried.
+    fn sum(&self, req: &Frame, first: u64, count: u64) -> Frame {
+        let db = &self.shared.db;
+        for _ in 0..SUM_RETRIES {
+            let result = Arc::new(Mutex::new((0i64, 0u64)));
+            let out = Arc::clone(&result);
+            let ran = db.run(move |ctx| {
+                let mut sum = 0i64;
+                let mut present = 0u64;
+                for oid in first..first.saturating_add(count) {
+                    if let Some(bytes) = ctx.read(Oid(oid))? {
+                        if let Ok(arr) = <[u8; 8]>::try_from(bytes.as_slice()) {
+                            sum = sum.wrapping_add(i64::from_le_bytes(arr));
+                            present += 1;
+                        }
+                    }
+                }
+                *out.lock() = (sum, present);
+                Ok(())
+            });
+            match ran {
+                Ok(true) => {
+                    let (sum, present) = *result.lock();
+                    let mut payload = sum.to_le_bytes().to_vec();
+                    payload.extend_from_slice(&present.to_le_bytes());
+                    return Frame::ok_response(req, &payload);
+                }
+                Ok(false) => continue, // deadlock victim: retry
+                Err(e) => return err_of(req, &e),
+            }
+        }
+        Frame::err_response(
+            req,
+            status::ERR_TXN_ABORTED,
+            "sum transaction aborted repeatedly under contention",
+        )
+    }
+
+    /// Wire PREPARE (DESIGN.md §14.2): finish each named session
+    /// transaction's program leaving it `Completed` with locks held,
+    /// then force the group's `Prepared` record through
+    /// [`Database::prepare_group`]. The OK response **is** the yes
+    /// vote; any error is a no vote and every named transaction is
+    /// aborted (unless its record landed and only the vote was lost —
+    /// it is then in doubt and the coordinator must resolve it).
+    /// Prepared transactions leave the session map so a later
+    /// disconnect or shutdown cannot abort a cast vote.
+    fn prepare(&mut self, req: &Frame, tids: &[Tid]) -> Frame {
+        let db = self.shared.db.clone();
+        if tids.is_empty() {
+            return Frame::err_response(req, status::ERR_MALFORMED, "empty prepare group");
+        }
+        for t in tids {
+            if !self.txns.contains_key(&t.0) {
+                return Frame::err_response(
+                    req,
+                    status::ERR_TXN_NOT_FOUND,
+                    "tid does not name a transaction of this session",
+                );
+            }
+        }
+        for t in tids {
+            // verify: allow(no_panics) — membership checked above
+            let st = &self.txns[&t.0];
+            match st.call(&db, TxnOp::Hold) {
+                Some(OpReply::Done) => {}
+                other => {
+                    // vote no: a member died before it could hold.
+                    // Held members have no program left, so abort at
+                    // the database, not through the mailbox.
+                    self.drop_prepare_failures(&db, tids, true);
+                    return match other {
+                        Some(OpReply::Fail(code, msg)) => Frame::err_response(req, code, &msg),
+                        _ => Frame::err_response(
+                            req,
+                            status::ERR_TXN_ABORTED,
+                            "transaction terminated before it could prepare",
+                        ),
+                    };
+                }
+            }
+        }
+        match db.prepare_group(tids) {
+            Ok(group) => {
+                for t in tids {
+                    self.close_session(t.0);
+                }
+                let mut payload = (group.len() as u32).to_le_bytes().to_vec();
+                for t in &group {
+                    payload.extend_from_slice(&t.0.to_le_bytes());
+                }
+                Frame::ok_response(req, &payload)
+            }
+            Err(e) => {
+                // prepare_group already aborted the group on a no vote
+                self.drop_prepare_failures(&db, tids, false);
+                err_of(req, &e)
+            }
+        }
+    }
+
+    /// Drop the named transactions from the session after a failed
+    /// prepare, waiting out each rollback so the no vote is
+    /// deterministic. A transaction whose `Prepared` record landed but
+    /// whose vote was lost in transit stays in doubt — it is released
+    /// from the session without being touched (§14.3).
+    fn drop_prepare_failures(&mut self, db: &Database, tids: &[Tid], abort: bool) {
+        for t in tids {
+            if let Some(st) = self.txns.remove(&t.0) {
+                if matches!(db.status(st.tid), Ok(TxnStatus::Prepared)) {
+                    // in doubt: only the coordinator may resolve it
+                } else {
+                    if abort {
+                        let _ = db.abort(st.tid);
+                    }
+                    let _ = db.outcome_kind(st.tid);
+                }
+                db.obs().record(EventKind::SpanClose {
+                    tid: st.tid,
+                    span: SpanName::Session,
+                });
+            }
         }
     }
 
@@ -565,6 +717,22 @@ impl Connection {
             }
         }
     }
+}
+
+/// Decode the `u32` n + n×`u64` tids list shape shared by PREPARE,
+/// COMMIT_DECIDE, and ABORT_DECIDE bodies. The length is validated
+/// against the bytes present before anything is allocated, so a
+/// hostile count cannot reserve gigabytes.
+fn decode_tid_list(b: &[u8]) -> Result<Vec<Tid>, WireError> {
+    let n = get_u32(b, 0)? as usize;
+    if b.len() < 4 + 8 * n {
+        return Err(WireError::Truncated);
+    }
+    let mut tids = Vec::with_capacity(n);
+    for i in 0..n {
+        tids.push(Tid(get_u64(b, 4 + 8 * i)?));
+    }
+    Ok(tids)
 }
 
 /// Decode the `u8` all flag + `u32` n + n×`u64` oids object-set shape

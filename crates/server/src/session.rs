@@ -42,6 +42,12 @@ pub(crate) enum TxnOp {
     Commit,
     /// Finish the program with an abort.
     Abort,
+    /// Finish the program leaving the transaction `Completed` — locks
+    /// held, nothing committed or aborted — for the distributed-commit
+    /// prepare path (wire `PREPARE`, DESIGN.md §14): the session thread
+    /// then drives [`Database::prepare_group`] and the coordinator's
+    /// decision resolves the transaction.
+    Hold,
 }
 
 /// What the program reports back for one consumed [`TxnOp`].
@@ -162,6 +168,12 @@ impl SessionTxn {
                 TxnOp::Abort => {
                     mb.consume_silently();
                     return TxnStep::Done(Err(AssetError::TxnAborted(sc.id())));
+                }
+                TxnOp::Hold => {
+                    // reply first so the session thread unblocks, then
+                    // retire the task with the txn resting at Completed
+                    mb.finish(OpReply::Done);
+                    return TxnStep::Hold;
                 }
             }
         })?;

@@ -148,13 +148,17 @@ impl StorageEngine {
         Ok(())
     }
 
-    /// Log a record (commit/abort/delegate/begin). Commit records go
-    /// through the [`GroupFlusher`]: the call blocks until the record's
-    /// flush window is durable, so acknowledgement semantics match the old
-    /// per-commit forced append while concurrent committers share one sync.
+    /// Log a record (commit/abort/delegate/begin). Commit and Prepared
+    /// records go through the [`GroupFlusher`]: the call blocks until the
+    /// record's flush window is durable, so acknowledgement semantics match
+    /// the old per-commit forced append while concurrent committers share
+    /// one sync. (A Prepared record is a participant's vote — it must be
+    /// durable before the vote rides back to the coordinator, §14.2.)
     pub fn log_record(&self, rec: &LogRecord) -> Result<Lsn> {
         match rec {
-            LogRecord::Commit { .. } => self.flusher.submit_and_wait(rec.clone()),
+            LogRecord::Commit { .. } | LogRecord::Prepared { .. } => {
+                self.flusher.submit_and_wait(rec.clone())
+            }
             _ => self.log.append(rec),
         }
     }
@@ -247,6 +251,15 @@ impl StorageEngine {
                 })?;
                 after += 1;
             }
+        }
+        // Re-log one Prepared record per in-doubt group so prepared-but-
+        // undecided participants stay in-doubt across compaction (§14.3).
+        let mut groups: Vec<Vec<Tid>> = analysis.prepared.values().cloned().collect();
+        groups.sort_unstable();
+        groups.dedup();
+        for tids in groups {
+            self.log.append(&LogRecord::Prepared { tids })?;
+            after += 1;
         }
         if self.durability == Durability::Strict {
             self.log.flush()?;

@@ -40,5 +40,5 @@ pub use cache::{CachedObject, ObjectCache};
 pub use engine::{CompactionReport, StorageEngine};
 pub use latch::Latch;
 pub use log::{FlushCallback, GroupFlusher, LogManager, LogRecord, LogWatermarks};
-pub use recovery::{analyze, recover, LogAnalysis, PendingUpdate, RecoveryReport};
+pub use recovery::{analyze, recover, InDoubt, LogAnalysis, PendingUpdate, RecoveryReport};
 pub use store::ObjectStore;

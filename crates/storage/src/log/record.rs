@@ -79,6 +79,16 @@ pub enum LogRecord {
         /// The restored image (`None` = the undo deleted the object).
         image: Option<Vec<u8>>,
     },
+    /// The listed transactions (a local GC group acting as one distributed-
+    /// commit participant) are **prepared**: durable but undecided. Their
+    /// updates must survive a restart — redone, never undone — until a
+    /// `Commit` or `Abort` record resolves them. A prepared group with no
+    /// later resolution is reported as *in-doubt* by recovery (DESIGN.md
+    /// §14.3); the decision belongs to the commit coordinator.
+    Prepared {
+        /// The prepared group.
+        tids: Vec<Tid>,
+    },
 }
 
 const KIND_BEGIN: u8 = 1;
@@ -88,6 +98,7 @@ const KIND_ABORT: u8 = 4;
 const KIND_DELEGATE: u8 = 5;
 const KIND_CHECKPOINT: u8 = 6;
 const KIND_CLR: u8 = 7;
+const KIND_PREPARED: u8 = 8;
 
 fn put_opt_bytes(out: &mut Vec<u8>, v: &Option<Vec<u8>>) {
     match v {
@@ -231,6 +242,17 @@ impl LogRecord {
                 }
             }
             LogRecord::Checkpoint => out.push(KIND_CHECKPOINT),
+            LogRecord::Prepared { tids } => {
+                out.push(KIND_PREPARED);
+                let mut b = [0u8; 4];
+                put_u32(&mut b, 0, tids.len() as u32);
+                out.extend_from_slice(&b);
+                for t in tids {
+                    let mut b = [0u8; 8];
+                    put_u64(&mut b, 0, t.raw());
+                    out.extend_from_slice(&b);
+                }
+            }
             LogRecord::Clr { oid, image } => {
                 out.push(KIND_CLR);
                 let mut b = [0u8; 8];
@@ -280,6 +302,14 @@ impl LogRecord {
                 LogRecord::Delegate { from, to, obs }
             }
             KIND_CHECKPOINT => LogRecord::Checkpoint,
+            KIND_PREPARED => {
+                let n = c.u32()? as usize;
+                let mut tids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tids.push(Tid(c.u64()?));
+                }
+                LogRecord::Prepared { tids }
+            }
             KIND_CLR => LogRecord::Clr {
                 oid: Oid(c.u64()?),
                 image: c.opt_bytes()?,
@@ -384,6 +414,10 @@ mod tests {
             obs: Some(vec![Oid(5), Oid(6)]),
         });
         roundtrip(LogRecord::Checkpoint);
+        roundtrip(LogRecord::Prepared { tids: vec![Tid(8)] });
+        roundtrip(LogRecord::Prepared {
+            tids: vec![Tid(8), Tid(9)],
+        });
         roundtrip(LogRecord::Clr {
             oid: Oid(9),
             image: Some(vec![1, 2]),

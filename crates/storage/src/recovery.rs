@@ -40,10 +40,26 @@ pub struct RecoveryReport {
     pub losers: usize,
     /// Highest transaction id seen in the log (new tids must exceed it).
     pub max_tid: u64,
+    /// Prepared transactions with no later decision: durable but undecided
+    /// (DESIGN.md §14.3). Their updates were redone, not undone; the caller
+    /// must restore them as `Prepared` and await the coordinator's decision.
+    pub in_doubt: Vec<InDoubt>,
+}
+
+/// A prepared-but-undecided transaction surfaced by recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InDoubt {
+    /// The in-doubt transaction.
+    pub tid: Tid,
+    /// Its full prepared group (every tid in the `Prepared` record).
+    pub group: Vec<Tid>,
+    /// The updates it is responsible for, in LSN order — the undo set a
+    /// later `decide abort` must install, and the lock set to reacquire.
+    pub updates: Vec<PendingUpdate>,
 }
 
 /// One uncommitted update a transaction is currently responsible for.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PendingUpdate {
     /// Original position in the log (ordering key).
     pub lsn: Lsn,
@@ -68,6 +84,9 @@ pub struct LogAnalysis {
     pub aborted: HashSet<Tid>,
     /// Every update in log order (redo list), across all transactions.
     pub redo: Vec<(Lsn, Oid, Option<Vec<u8>>)>,
+    /// tid → its prepared group, for transactions with a `Prepared` record
+    /// and no later `Commit`/`Abort` (in-doubt at this point in the log).
+    pub prepared: HashMap<Tid, Vec<Tid>>,
     /// Highest tid mentioned anywhere.
     pub max_tid: u64,
 }
@@ -102,6 +121,7 @@ pub fn analyze(records: &[(Lsn, LogRecord)]) -> LogAnalysis {
                     a.committed.insert(*t);
                     // a committed transaction's pending updates are winners
                     a.pending.remove(t);
+                    a.prepared.remove(t);
                 }
             }
             LogRecord::Abort { tid } => {
@@ -112,6 +132,13 @@ pub fn analyze(records: &[(Lsn, LogRecord)]) -> LogAnalysis {
                 // it is not a loser and must not be re-undone (that would
                 // clobber later committed overwrites).
                 a.pending.remove(tid);
+                a.prepared.remove(tid);
+            }
+            LogRecord::Prepared { tids } => {
+                for t in tids {
+                    a.max_tid = a.max_tid.max(t.raw());
+                    a.prepared.insert(*t, tids.clone());
+                }
             }
             LogRecord::Delegate { from, to, obs } => {
                 a.max_tid = a.max_tid.max(from.raw().max(to.raw()));
@@ -146,6 +173,7 @@ pub fn analyze(records: &[(Lsn, LogRecord)]) -> LogAnalysis {
                 a.committed.clear();
                 a.aborted.clear();
                 a.redo.clear();
+                a.prepared.clear();
             }
         }
     }
@@ -163,10 +191,11 @@ pub fn recover(
 
     let analysis = analyze(&records);
     let LogAnalysis {
-        pending,
+        mut pending,
         committed,
         aborted: _aborted,
         redo,
+        prepared,
         max_tid,
     } = analysis;
     report.max_tid = max_tid;
@@ -176,6 +205,21 @@ pub fn recover(
         cache.install(*oid, after.clone());
         report.redone += 1;
     }
+
+    // --- In-doubt ---------------------------------------------------------
+    // A prepared transaction with no later decision is neither winner nor
+    // loser: its updates stay redone (durable-but-undecided) and the caller
+    // resolves it when the coordinator's decision arrives (DESIGN.md §14.3).
+    let mut in_doubt: Vec<InDoubt> = prepared
+        .iter()
+        .map(|(tid, group)| InDoubt {
+            tid: *tid,
+            group: group.clone(),
+            updates: pending.remove(tid).unwrap_or_default(),
+        })
+        .collect();
+    in_doubt.sort_by_key(|d| d.tid.raw());
+    report.in_doubt = in_doubt;
 
     // --- Undo -------------------------------------------------------------
     // Losers: any transaction still responsible for updates and not in the
@@ -504,6 +548,106 @@ mod tests {
             .unwrap();
         recover(&log, &cache, &store).unwrap();
         assert_eq!(get(&store, Oid(1)).unwrap(), b"v0");
+    }
+
+    #[test]
+    fn prepared_without_decision_is_in_doubt_not_undone() {
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"v0").unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"v0".to_vec()),
+            after: Some(b"prepared".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Prepared {
+            tids: vec![Tid(1), Tid(2)],
+        })
+        .unwrap();
+        // crash: no Commit/Abort — the decision belongs to the coordinator
+        let report = recover(&log, &cache, &store).unwrap();
+        assert_eq!(report.losers, 0, "prepared is not a loser");
+        assert_eq!(report.undone, 0);
+        assert_eq!(
+            get(&store, Oid(1)).unwrap(),
+            b"prepared",
+            "in-doubt updates stay redone"
+        );
+        assert_eq!(report.in_doubt.len(), 2);
+        let d = &report.in_doubt[0];
+        assert_eq!(d.tid, Tid(1));
+        assert_eq!(d.group, vec![Tid(1), Tid(2)]);
+        assert_eq!(d.updates.len(), 1);
+        assert_eq!(d.updates[0].oid, Oid(1));
+        assert_eq!(d.updates[0].before, Some(b"v0".to_vec()));
+        // Tid(2) prepared without updates: still in-doubt, empty undo set
+        assert_eq!(report.in_doubt[1].tid, Tid(2));
+        assert!(report.in_doubt[1].updates.is_empty());
+    }
+
+    #[test]
+    fn prepared_then_committed_is_a_winner() {
+        let (log, cache, store) = setup();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: None,
+            after: Some(b"v".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Prepared { tids: vec![Tid(1)] })
+            .unwrap();
+        log.append(&LogRecord::Commit { tids: vec![Tid(1)] })
+            .unwrap();
+        let report = recover(&log, &cache, &store).unwrap();
+        assert!(report.in_doubt.is_empty());
+        assert_eq!(report.winners, 1);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"v");
+    }
+
+    #[test]
+    fn prepared_then_aborted_replays_clean() {
+        // decide-abort at runtime logs CLRs + Abort, like any abort
+        let (log, cache, store) = setup();
+        store.put(Oid(1), b"v0").unwrap();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: Some(b"v0".to_vec()),
+            after: Some(b"x".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Prepared { tids: vec![Tid(1)] })
+            .unwrap();
+        log.append(&LogRecord::Clr {
+            oid: Oid(1),
+            image: Some(b"v0".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Abort { tid: Tid(1) }).unwrap();
+        let report = recover(&log, &cache, &store).unwrap();
+        assert!(report.in_doubt.is_empty());
+        assert_eq!(report.losers, 0);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"v0");
+    }
+
+    #[test]
+    fn in_doubt_recovery_is_idempotent() {
+        let (log, cache, store) = setup();
+        log.append(&LogRecord::Update {
+            tid: Tid(1),
+            oid: Oid(1),
+            before: None,
+            after: Some(b"p".to_vec()),
+        })
+        .unwrap();
+        log.append(&LogRecord::Prepared { tids: vec![Tid(1)] })
+            .unwrap();
+        let r1 = recover(&log, &cache, &store).unwrap();
+        let r2 = recover(&log, &ObjectCache::new(), &store).unwrap();
+        assert_eq!(r1.in_doubt, r2.in_doubt);
+        assert_eq!(get(&store, Oid(1)).unwrap(), b"p");
     }
 
     #[test]

@@ -262,11 +262,13 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    /// Load `crates/{core,lock,storage,trace,server,client}/src` under
-    /// `root`.
+    /// Load `crates/{core,lock,storage,trace,server,client,coord}/src`
+    /// under `root`.
     pub fn from_root(root: &Path) -> io::Result<Self> {
         let mut raw = Vec::new();
-        for krate in ["core", "lock", "storage", "trace", "server", "client"] {
+        for krate in [
+            "core", "lock", "storage", "trace", "server", "client", "coord",
+        ] {
             let src = root.join("crates").join(krate).join("src");
             let mut paths = Vec::new();
             collect_rs(&src, &mut paths)?;

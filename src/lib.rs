@@ -50,7 +50,11 @@
 //!   group-commit flush window;
 //! * [`asset_client`] — the blocking wire client: pipelined requests,
 //!   typed operations, and the conservation-preserving money-ledger
-//!   helpers the E16 workload drives.
+//!   helpers the E16 workload drives;
+//! * [`asset_coord`] — distributed commit across nodes (`DESIGN.md`
+//!   §14): classic 2PC and non-blocking Paxos Commit coordinators over
+//!   the participants' prepare/decide primitive, with in-process and
+//!   TCP transports.
 //!
 //! ## Quickstart
 //!
@@ -74,6 +78,7 @@
 
 pub use asset_client as client;
 pub use asset_common as common;
+pub use asset_coord as coord;
 pub use asset_core as txn;
 pub use asset_dep as dep;
 pub use asset_faults as faults;

@@ -94,6 +94,124 @@ fn concurrent_clients_conserve_money() {
     server.join();
 }
 
+/// Regression (PR 8): `SUM` used to loop `peek` per account — a
+/// lock-free point read per object — so a transfer could move money
+/// between the two peeks and the scan would observe a total that never
+/// existed. `SUM` now runs as one server-side read transaction; every
+/// snapshot it returns must show *exact* conservation even while a
+/// transfer storm is in full flight.
+#[test]
+fn sum_is_a_consistent_snapshot_under_a_transfer_storm() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const WRITERS: usize = 6;
+    const ACCOUNTS: u64 = 32;
+    const INITIAL: i64 = 500;
+    const SNAPSHOTS: usize = 25;
+
+    let server = spawn_server(test_config());
+    let mut admin = connect(&server);
+    let (first, _) = admin.mint(ACCOUNTS, INITIAL).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = server.local_addr().to_string();
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("writer connect");
+                let mut rng = Rng(0xDEAD_BEEF + w as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let a = rng.next() % ACCOUNTS;
+                    let b = (a + 1 + rng.next() % (ACCOUNTS - 1)) % ACCOUNTS;
+                    let amount = (rng.next() % 100) as i64;
+                    // aborts (deadlock victims) are fine — they move
+                    // nothing; only a torn observation would be a bug
+                    let _ = client
+                        .transfer(first + a, first + b, amount)
+                        .expect("transfer");
+                }
+            })
+        })
+        .collect();
+
+    // every snapshot, mid-storm, shows the exact total
+    for i in 0..SNAPSHOTS {
+        let (sum, present) = admin.sum(first, ACCOUNTS).unwrap();
+        assert_eq!(present, ACCOUNTS, "snapshot {i} lost accounts");
+        assert_eq!(
+            sum,
+            ACCOUNTS as i64 * INITIAL,
+            "snapshot {i} observed a torn (non-transactional) total"
+        );
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("writer");
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// Regression (PR 8): SHUTDOWN used to race live sessions — a parked
+/// session transaction could outlive the accept loop and leak its
+/// locks. Shutting down under a herd of active connections (some with
+/// open, lock-holding transactions; some parked mid-pipeline) must
+/// drain deterministically: `join` returns, and every lock is released
+/// so a direct user of the same database can immediately write the very
+/// objects the dead sessions had locked.
+#[test]
+fn shutdown_under_active_connections_leaks_no_locks() {
+    const CONNS: usize = 16;
+
+    let config = test_config().with_lock_timeout(Some(Duration::from_secs(2)));
+    let (db, _) = Database::open(config).expect("open database");
+    let server = AssetServer::spawn(db.clone(), "127.0.0.1:0").expect("bind server");
+
+    let mut admin = connect(&server);
+    let (first, _) = admin.mint(CONNS as u64, 10).unwrap();
+
+    // 16 live sessions, each holding an X lock on its own account via
+    // an open (uncommitted) transaction
+    let mut sessions = Vec::new();
+    for i in 0..CONNS {
+        let mut c = connect(&server);
+        let t = c.begin().unwrap();
+        c.write(t, first + i as u64, &99i64.to_le_bytes()).unwrap();
+        sessions.push((c, t));
+    }
+
+    // shutdown races all of them; join must not hang
+    server.shutdown();
+    server.join();
+
+    // every session's lock must be gone: a direct transaction can lock
+    // and write all 16 accounts well inside the 2 s lock timeout
+    let committed = db
+        .run(move |ctx| {
+            for i in 0..CONNS as u64 {
+                ctx.write(asset::Oid(first + i), 7i64.to_le_bytes().to_vec())?;
+            }
+            Ok(())
+        })
+        .expect("post-shutdown transaction");
+    assert!(committed, "post-shutdown writer must not be a victim");
+
+    // and none of the aborted sessions' dirty writes survived
+    for i in 0..CONNS as u64 {
+        let v = db.peek(asset::Oid(first + i)).unwrap().unwrap();
+        assert_eq!(
+            i64::from_le_bytes(v.try_into().unwrap()),
+            7,
+            "session writes must be rolled back, then overwritten by ours"
+        );
+    }
+    drop(sessions); // keep the TCP connections alive through shutdown
+}
+
 #[test]
 fn wire_error_taxonomy() {
     let server = spawn_server(test_config());
