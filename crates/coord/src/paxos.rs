@@ -231,11 +231,13 @@ impl PaxosCommit {
                     tids: group.clone(),
                 },
             };
+            // verify: allow(status_flow) — decision is Paxos-durable; learners re-deliver lost decides
             let _ = self.transport.send(node.0 as usize, msg);
         }
         if decision == Decision::Abort {
             for (node, tids) in &members {
                 if !prepared.iter().any(|(n, _)| n == node) {
+                    // verify: allow(status_flow) — abort decide is best-effort; participants time out
                     let _ = self.transport.send(
                         node.0 as usize,
                         CommitMessage::AbortDecide { tids: tids.clone() },

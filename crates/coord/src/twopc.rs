@@ -187,6 +187,7 @@ impl TwoPhase {
             };
             // best-effort: a dropped decide leaves the node prepared;
             // recover() re-delivers
+            // verify: allow(status_flow) — decision is durable; recover() re-delivers lost decides
             let _ = self.transport.send(node.0 as usize, msg);
         }
         if decision == Decision::Abort {
@@ -194,6 +195,7 @@ impl TwoPhase {
             // nodes) may still have live transactions: abort them too
             for (node, tids) in &members {
                 if !prepared.iter().any(|(n, _)| n == node) {
+                    // verify: allow(status_flow) — abort decide is best-effort; participants time out
                     let _ = self.transport.send(
                         node.0 as usize,
                         CommitMessage::AbortDecide { tids: tids.clone() },

@@ -136,6 +136,11 @@ define_counters! {
     /// Transactions begun over the wire (`BEGIN` requests that admitted
     /// a session transaction).
     session_txns,
+    /// Session drains (disconnect, shutdown, failed prepare) that found
+    /// a transaction in the `CommitAmbiguous` state: its commit record
+    /// may or may not be durable (§13.4). Nonzero means an operator or
+    /// recovery pass must resolve the fate from the log.
+    session_drain_ambiguous,
     /// Compensating deletes of a failed MINT's already-committed chunks
     /// that themselves failed, leaving funded orphan objects behind.
     /// Nonzero means a conservation audit needs a manual sweep.

@@ -115,6 +115,7 @@ impl AssetServer {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // unblock the accept loop with a throwaway connection
+        // verify: allow(status_flow) — wake-up connection; no transaction outcome flows here
         let _ = TcpStream::connect(self.addr);
     }
 
@@ -141,6 +142,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
         let spawned = std::thread::Builder::new()
             .name("asset-conn".into())
             .spawn(move || {
+                // connection-level I/O errors only: txn fates are
+                // written to the wire before serve returns, and dangling
+                // sessions are drained by abort_leftovers
+                // verify: allow(status_flow) — txn outcomes surfaced via wire statuses and the drain counter
                 let _ = Connection::new(shared, &stream).serve(stream);
             });
         if let Ok(h) = spawned {
@@ -217,6 +222,7 @@ impl Connection {
             if frame.opcode == opcode::SHUTDOWN {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
                 // unblock the accept loop
+                // verify: allow(status_flow) — wake-up connection; no transaction outcome flows here
                 let _ = TcpStream::connect(reader.local_addr()?);
                 break;
             }
@@ -236,7 +242,11 @@ impl Connection {
         let db = &self.shared.db;
         for (_, st) in self.txns.drain() {
             st.finishing(db, TxnOp::Abort);
-            let _ = db.outcome_kind(st.tid);
+            if matches!(db.outcome_kind(st.tid), Ok(TxnOutcome::CommitAmbiguous)) {
+                // the commit record may already be durable; surface the
+                // ambiguity instead of silently dropping it (§13.4)
+                bump(&db.obs().counters.session_drain_ambiguous);
+            }
             db.obs().record(EventKind::SpanClose {
                 tid: st.tid,
                 span: SpanName::Session,
@@ -609,9 +619,15 @@ impl Connection {
                     // in doubt: only the coordinator may resolve it
                 } else {
                     if abort {
+                        // enqueue errors mean the txn is already
+                        // terminal; the outcome probe below reports its
+                        // actual fate either way
+                        // verify: allow(status_flow) — outcome consumed by the probe below
                         let _ = db.abort(st.tid);
                     }
-                    let _ = db.outcome_kind(st.tid);
+                    if matches!(db.outcome_kind(st.tid), Ok(TxnOutcome::CommitAmbiguous)) {
+                        bump(&db.obs().counters.session_drain_ambiguous);
+                    }
                 }
                 db.obs().record(EventKind::SpanClose {
                     tid: st.tid,

@@ -26,6 +26,18 @@
 //!   sleeps, fsyncs, joins, channel receives, or synchronous flusher
 //!   submissions; suspension is expressed only by returning a
 //!   `TxnStep::Wait*` value.
+//! - **R6 `spec_drift`** — the normative DESIGN.md tables (§13.3 opcode
+//!   and status tables, §14.1 coordinator opcodes, the WAL record-type
+//!   inventory) must agree bidirectionally with the code constants and
+//!   the dispatch/decode/mapping functions that consume them.
+//! - **R7 `status_flow`** — a `CommitAmbiguous` outcome must never be
+//!   swallowed (`let _ =`, `.ok()`, empty `Err(_)` arm) in `server`,
+//!   `client`, or `coord` before reaching a wire status or `TxnFate`
+//!   (the §13.4 contract as a checked property).
+//! - **R8 `state_machine`** — the `TxnStatus` transition relation and the
+//!   coordinator's participant-state report map must match the declared
+//!   tables derived from §14.2–§14.3, and `Prepared` is only entered via
+//!   a forced WAL record.
 //!
 //! Suppressions are explicit and auditable: `#[verify_allow(rule,
 //! reason = "...")]` on a function, or `// verify: allow(rule) — reason`
@@ -34,7 +46,9 @@
 
 pub mod lexer;
 pub mod parse;
+pub mod report;
 pub mod rules;
+pub mod spec;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -55,9 +69,54 @@ pub fn rule_id(rule: &str) -> &'static str {
         "failpoint_coverage" => "R3",
         "no_panics" => "R4",
         "exec_step" => "R5",
+        "spec_drift" => "R6",
+        "status_flow" => "R7",
+        "state_machine" => "R8",
         _ => "R0",
     }
 }
+
+/// The rule catalog: `(name, id, one-line description)`, in id order.
+/// Drives `--help`, the SARIF `tool.driver.rules` array, and the CLI's
+/// rule count.
+pub const RULES: [(&str, &str, &str); 8] = [
+    (
+        "wal",
+        "R1",
+        "WAL discipline: log records land before the mutations they cover",
+    ),
+    (
+        "lock_order",
+        "R2",
+        "stripe lock order: txn-shard -> lock-stripe -> storage-latch",
+    ),
+    (
+        "failpoint_coverage",
+        "R3",
+        "every durable write in asset-storage is dominated by a failpoint evaluation",
+    ),
+    ("no_panics", "R4", "no unwrap/expect/panic in runtime paths"),
+    (
+        "exec_step",
+        "R5",
+        "no blocking calls inside #[exec_step] executor steps",
+    ),
+    (
+        "spec_drift",
+        "R6",
+        "code constants and dispatch match the normative DESIGN.md tables bidirectionally",
+    ),
+    (
+        "status_flow",
+        "R7",
+        "CommitAmbiguous outcomes are never swallowed before reaching a wire status or TxnFate",
+    ),
+    (
+        "state_machine",
+        "R8",
+        "TxnStatus and participant transitions match the declared legal-transition tables",
+    ),
+];
 
 /// Methods whose receiver spine decides whether they are tracked lock
 /// acquisitions.
@@ -259,15 +318,24 @@ pub struct Workspace {
     pub acquire: BTreeMap<String, BTreeSet<u8>>,
     /// Failpoint-checker function names (R3 coverage sources).
     pub checkers: BTreeSet<String>,
+    /// Normative spec tables parsed from `DESIGN.md` (R6/R8 inputs);
+    /// empty for fixture workspaces built without a spec document.
+    pub spec: spec::SpecTables,
+    /// Display path of the spec document (spec-side finding location).
+    pub spec_file: String,
+    /// Analyze the `faults`-feature configuration: functions gated
+    /// `#[cfg(feature = "faults")]` are scanned and `#[cfg(not(...))]`
+    /// counterparts are skipped (the default mode does the reverse).
+    pub cfg_faults: bool,
 }
 
 impl Workspace {
-    /// Load `crates/{core,lock,storage,trace,server,client,coord}/src`
-    /// under `root`.
+    /// Load `crates/{common,core,lock,storage,trace,server,client,coord}/src`
+    /// and the normative spec tables of `DESIGN.md` under `root`.
     pub fn from_root(root: &Path) -> io::Result<Self> {
         let mut raw = Vec::new();
         for krate in [
-            "core", "lock", "storage", "trace", "server", "client", "coord",
+            "common", "core", "lock", "storage", "trace", "server", "client", "coord",
         ] {
             let src = root.join("crates").join(krate).join("src");
             let mut paths = Vec::new();
@@ -283,7 +351,21 @@ impl Workspace {
                 raw.push((krate.to_string(), rel, text));
             }
         }
-        Ok(Self::from_sources(raw))
+        let spec_md = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+        Ok(Self::from_sources_with_spec(raw, "DESIGN.md", &spec_md))
+    }
+
+    /// Build a workspace from in-memory sources plus a spec document
+    /// (used by the R6/R8 fixture tests and [`Self::from_root`]).
+    pub fn from_sources_with_spec(
+        raw: Vec<(String, String, String)>,
+        spec_file: &str,
+        spec_md: &str,
+    ) -> Self {
+        let mut ws = Self::from_sources(raw);
+        ws.spec = spec::SpecTables::parse(spec_md);
+        ws.spec_file = spec_file.to_string();
+        ws
     }
 
     /// Build a workspace from in-memory sources (used by fixture tests).
@@ -343,13 +425,23 @@ impl Workspace {
         ws
     }
 
-    /// Iterate non-test functions with their file.
+    /// Iterate non-test functions with their file, honoring the active
+    /// `faults` configuration (functions gated on the other cfg are
+    /// skipped, mirroring what the compiler would build).
     pub fn runtime_fns(&self) -> impl Iterator<Item = (&SrcFile, &FnItem)> {
-        self.files.iter().flat_map(|f| {
+        let cfg_faults = self.cfg_faults;
+        self.files.iter().flat_map(move |f| {
             f.parsed
                 .fns
                 .iter()
                 .filter(move |i| !i.is_test && !f.is_test_file)
+                .filter(move |i| {
+                    match i.attrs.iter().find_map(|a| a.cfg_faults_gate()) {
+                        Some(true) => cfg_faults,   // only with the feature
+                        Some(false) => !cfg_faults, // only without it
+                        None => true,
+                    }
+                })
                 .map(move |i| (f, i))
         })
     }
@@ -462,6 +554,9 @@ impl Workspace {
         rules::failpoints::run(self, &mut raw);
         rules::no_panics::run(self, &mut raw);
         rules::exec_step::run(self, &mut raw);
+        rules::spec_drift::run(self, &mut raw);
+        rules::status_flow::run(self, &mut raw);
+        rules::state_machine::run(self, &mut raw);
 
         let mut out = Analysis::default();
         for f in raw {
@@ -574,5 +669,13 @@ fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
 
 /// Load and analyze the workspace under `root`.
 pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
-    Ok(Workspace::from_root(root)?.analyze())
+    analyze_root_cfg(root, false)
+}
+
+/// Load and analyze the workspace under `root` in the given `faults`
+/// configuration.
+pub fn analyze_root_cfg(root: &Path, cfg_faults: bool) -> io::Result<Analysis> {
+    let mut ws = Workspace::from_root(root)?;
+    ws.cfg_faults = cfg_faults;
+    Ok(ws.analyze())
 }

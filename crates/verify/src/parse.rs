@@ -66,6 +66,39 @@ impl Attr {
     pub fn is_cfg_test(&self) -> bool {
         self.name == "cfg" && self.mentions_outside_not("test")
     }
+
+    /// For `#[cfg(...)]` attributes mentioning the `faults` feature:
+    /// `Some(true)` if the item only exists **with** the feature,
+    /// `Some(false)` if only **without** it (`not(feature = "faults")`),
+    /// `None` when the attribute does not gate on it. The feature name
+    /// appears as a string literal, so both token text and string
+    /// interiors are checked.
+    pub fn cfg_faults_gate(&self) -> Option<bool> {
+        if self.name != "cfg" {
+            return None;
+        }
+        let mut paren = 0i32;
+        let mut not_at: Vec<i32> = Vec::new();
+        for t in &self.args {
+            match t.text.as_str() {
+                "not" => not_at.push(paren + 1),
+                "(" => paren += 1,
+                ")" => {
+                    if not_at.last() == Some(&paren) {
+                        not_at.pop();
+                    }
+                    paren -= 1;
+                }
+                _ => {
+                    let is_faults = t.text == "faults" || t.raw_str.as_deref() == Some("faults");
+                    if is_faults {
+                        return Some(not_at.is_empty());
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 /// One extracted function.
@@ -468,5 +501,20 @@ mod tests {
         let p = fns("fn outer() { fn inner() {} }");
         let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn cfg_faults_gates_resolve_in_both_polarities() {
+        let p = fns("#[cfg(feature = \"faults\")] fn with() {}\n\
+             #[cfg(not(feature = \"faults\"))] fn without() {}\n\
+             #[cfg(all(unix, not(feature = \"faults\")))] fn nested() {}\n\
+             #[cfg(feature = \"other\")] fn unrelated() {}\n\
+             fn plain() {}");
+        let gate = |i: usize| p.fns[i].attrs.iter().find_map(|a| a.cfg_faults_gate());
+        assert_eq!(gate(0), Some(true));
+        assert_eq!(gate(1), Some(false));
+        assert_eq!(gate(2), Some(false));
+        assert_eq!(gate(3), None);
+        assert_eq!(gate(4), None);
     }
 }

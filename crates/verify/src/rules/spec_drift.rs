@@ -1,0 +1,448 @@
+//! **R6 `spec_drift`** — the code and the normative DESIGN.md tables
+//! must agree, bidirectionally.
+//!
+//! The spec tables (parsed by [`crate::spec`]) are cross-checked against
+//! the code constants and the dispatch/decode/mapping functions that
+//! consume them:
+//!
+//! - §13.3 **opcode table** ↔ `mod opcode` constants in crate `server`:
+//!   every spec row needs a constant with the matching value, every
+//!   constant a spec row, and the server's opcode dispatcher (the fn
+//!   with the most distinct `opcode::*` match references) needs an arm
+//!   per opcode.
+//! - §13.3 **status table** ↔ `mod status` constants: bidirectional
+//!   value check, plus every status must be referenced somewhere in
+//!   crate `server` (a status the server can never produce or name is
+//!   drift), and the client's commit-fate mapping must distinguish
+//!   `OK` / `ERR_COMMIT_ABORTED` / `ERR_COMMIT_AMBIGUOUS` (§13.4).
+//! - §14.1 **coordinator message table**: each row's wire opcode must
+//!   exist in the opcode table with the same value, and each message
+//!   must be matched as `CommitMessage::X` in crate `coord`.
+//! - **WAL record inventory** ↔ `KIND_*` tag constants in crate
+//!   `storage`, plus the record decoder (the fn with the most distinct
+//!   `KIND_*` references) needs an arm per tag.
+//!
+//! Checks whose spec table or code crate is absent are skipped, so
+//! fixture workspaces exercise exactly the surfaces they provide.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Kind, Tok};
+use crate::{Finding, SrcFile, Workspace};
+
+/// Run R6 over the workspace.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    check_value_table(
+        ws,
+        out,
+        &ws.spec.opcodes,
+        "server",
+        Anchor::Mod("opcode"),
+        "opcode",
+    );
+    check_value_table(
+        ws,
+        out,
+        &ws.spec.statuses,
+        "server",
+        Anchor::Mod("status"),
+        "status",
+    );
+    check_value_table(
+        ws,
+        out,
+        &ws.spec.wal_records,
+        "storage",
+        Anchor::Prefix("KIND_"),
+        "WAL record",
+    );
+    check_dispatch(ws, out);
+    check_status_consumption(ws, out);
+    check_client_fate_map(ws, out);
+    check_coord_ops(ws, out);
+    check_record_decoder(ws, out);
+}
+
+/// Where a table's code-side constants live.
+enum Anchor {
+    /// Constants inside `mod <name> { ... }`.
+    Mod(&'static str),
+    /// File-level constants named `<prefix>*`.
+    Prefix(&'static str),
+}
+
+/// Bidirectional row ↔ constant check for one value table.
+fn check_value_table(
+    ws: &Workspace,
+    out: &mut Vec<Finding>,
+    rows: &[crate::spec::ValueRow],
+    krate: &str,
+    anchor: Anchor,
+    table: &str,
+) {
+    if rows.is_empty() || !crate_present(ws, krate) {
+        return;
+    }
+    let mut consts: Vec<(String, u64, u32, String)> = Vec::new();
+    for f in ws.files.iter().filter(|f| f.krate == krate) {
+        let found = match anchor {
+            Anchor::Mod(m) => mod_consts(f, m),
+            Anchor::Prefix(p) => prefixed_consts(f, p),
+        };
+        for (name, value, line) in found {
+            consts.push((name, value, line, f.path.clone()));
+        }
+    }
+    let (func, anchor_desc) = match anchor {
+        Anchor::Mod(m) => (m, format!("{krate}'s `mod {m}`")),
+        Anchor::Prefix(p) => (krate, format!("{krate}'s `{p}*` tag constants")),
+    };
+    for row in rows {
+        match consts.iter().find(|(n, ..)| *n == row.name) {
+            None => out.push(Finding {
+                rule: "spec_drift",
+                file: ws.spec_file.clone(),
+                line: row.line,
+                func: format!("{table}-table"),
+                msg: format!(
+                    "spec row `{}` = {} has no matching constant in {anchor_desc}",
+                    row.name,
+                    fmt_val(table, row.value)
+                ),
+            }),
+            Some((_, v, line, path)) if *v != row.value => out.push(Finding {
+                rule: "spec_drift",
+                file: path.clone(),
+                line: *line,
+                func: func.to_string(),
+                msg: format!(
+                    "constant `{}` = {} disagrees with the DESIGN.md {table} table \
+                     row at line {} (spec says {})",
+                    row.name,
+                    fmt_val(table, *v),
+                    row.line,
+                    fmt_val(table, row.value)
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, value, line, path) in &consts {
+        if !rows.iter().any(|r| r.name == *name) {
+            out.push(Finding {
+                rule: "spec_drift",
+                file: path.clone(),
+                line: *line,
+                func: func.to_string(),
+                msg: format!(
+                    "constant `{name}` = {} has no row in the DESIGN.md {table} table",
+                    fmt_val(table, *value)
+                ),
+            });
+        }
+    }
+}
+
+/// The server's opcode dispatcher must have an arm (or explicit reject)
+/// per spec opcode.
+fn check_dispatch(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.opcodes.is_empty() || !crate_present(ws, "server") {
+        return;
+    }
+    let Some((file, item, refs)) =
+        densest_path_refs(ws, "server", |body| path_refs(body, "opcode"))
+    else {
+        out.push(Finding {
+            rule: "spec_drift",
+            file: ws.spec_file.clone(),
+            line: ws.spec.opcodes[0].line,
+            func: "opcode-table".to_string(),
+            msg: "crate server has no opcode dispatch function (a fn matching \
+                  on `opcode::*` arms)"
+                .to_string(),
+        });
+        return;
+    };
+    for row in &ws.spec.opcodes {
+        if !refs.contains(&row.name) {
+            out.push(Finding {
+                rule: "spec_drift",
+                file: file.path.clone(),
+                line: item.line,
+                func: item.name.clone(),
+                msg: format!(
+                    "dispatch has no arm for spec opcode `{}` ({}); add a match \
+                     arm or an explicit reject",
+                    row.name,
+                    fmt_val("opcode", row.value)
+                ),
+            });
+        }
+    }
+}
+
+/// Every spec status must be referenced somewhere in crate `server`.
+fn check_status_consumption(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.statuses.is_empty() || !crate_present(ws, "server") {
+        return;
+    }
+    let mut union = BTreeSet::new();
+    for (file, item) in ws.runtime_fns() {
+        if file.krate == "server" {
+            union.extend(path_refs(ws.body(file, item), "status"));
+        }
+    }
+    for row in &ws.spec.statuses {
+        if !union.contains(&row.name) {
+            out.push(Finding {
+                rule: "spec_drift",
+                file: ws.spec_file.clone(),
+                line: row.line,
+                func: "status-table".to_string(),
+                msg: format!(
+                    "spec status `{}` ({}) is referenced nowhere in crate server \
+                     — it can neither be produced nor named",
+                    row.name,
+                    fmt_val("status", row.value)
+                ),
+            });
+        }
+    }
+}
+
+/// The client fn mapping commit fates must distinguish the §13.4 trio.
+fn check_client_fate_map(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.statuses.is_empty() || !crate_present(ws, "client") {
+        return;
+    }
+    let mapper = ws.runtime_fns().find(|(file, item)| {
+        file.krate == "client" && path_refs(ws.body(file, item), "TxnFate").contains("Ambiguous")
+    });
+    let Some((file, item)) = mapper else {
+        out.push(Finding {
+            rule: "spec_drift",
+            file: ws.spec_file.clone(),
+            line: ws.spec.statuses[0].line,
+            func: "status-table".to_string(),
+            msg: "crate client never maps `TxnFate::Ambiguous`; the §13.4 \
+                  ambiguous outcome would be unrepresentable"
+                .to_string(),
+        });
+        return;
+    };
+    let refs = path_refs(ws.body(file, item), "status");
+    for required in ["OK", "ERR_COMMIT_ABORTED", "ERR_COMMIT_AMBIGUOUS"] {
+        if ws.spec.statuses.iter().any(|r| r.name == required) && !refs.contains(required) {
+            out.push(Finding {
+                rule: "spec_drift",
+                file: file.path.clone(),
+                line: item.line,
+                func: item.name.clone(),
+                msg: format!(
+                    "commit-fate mapping does not reference `status::{required}`; \
+                     §13.4 requires the clean-abort/ambiguous split to be explicit"
+                ),
+            });
+        }
+    }
+}
+
+/// §14.1 rows: wire opcode consistent with §13.3, message matched in coord.
+fn check_coord_ops(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.coord_ops.is_empty() {
+        return;
+    }
+    for row in &ws.spec.coord_ops {
+        if !ws.spec.opcodes.is_empty() {
+            match ws.spec.opcodes.iter().find(|o| o.name == row.opcode_name) {
+                None => out.push(Finding {
+                    rule: "spec_drift",
+                    file: ws.spec_file.clone(),
+                    line: row.line,
+                    func: "coord-op-table".to_string(),
+                    msg: format!(
+                        "§14.1 wire opcode `{}` is not in the §13.3 opcode table",
+                        row.opcode_name
+                    ),
+                }),
+                Some(o) if o.value != row.value => out.push(Finding {
+                    rule: "spec_drift",
+                    file: ws.spec_file.clone(),
+                    line: row.line,
+                    func: "coord-op-table".to_string(),
+                    msg: format!(
+                        "§14.1 says `{}` = {} but the §13.3 opcode table says {}",
+                        row.opcode_name,
+                        fmt_val("opcode", row.value),
+                        fmt_val("opcode", o.value)
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+        if crate_present(ws, "coord") {
+            let handled = ws.runtime_fns().any(|(file, item)| {
+                file.krate == "coord"
+                    && path_refs(ws.body(file, item), "CommitMessage").contains(&row.message)
+            });
+            if !handled {
+                out.push(Finding {
+                    rule: "spec_drift",
+                    file: ws.spec_file.clone(),
+                    line: row.line,
+                    func: "coord-op-table".to_string(),
+                    msg: format!(
+                        "coordinator message `{m}` is never matched as \
+                         `CommitMessage::{m}` in crate coord",
+                        m = row.message
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The storage record decoder must have an arm per WAL record tag.
+fn check_record_decoder(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.wal_records.is_empty() || !crate_present(ws, "storage") {
+        return;
+    }
+    let Some((file, item, refs)) =
+        densest_path_refs(ws, "storage", |body| idents_with_prefix(body, "KIND_"))
+    else {
+        out.push(Finding {
+            rule: "spec_drift",
+            file: ws.spec_file.clone(),
+            line: ws.spec.wal_records[0].line,
+            func: "WAL record-table".to_string(),
+            msg: "crate storage has no log-record decode function (a fn matching \
+                  on `KIND_*` tags)"
+                .to_string(),
+        });
+        return;
+    };
+    for row in &ws.spec.wal_records {
+        if !refs.contains(&row.name) {
+            out.push(Finding {
+                rule: "spec_drift",
+                file: file.path.clone(),
+                line: item.line,
+                func: item.name.clone(),
+                msg: format!(
+                    "log-record decoder has no arm for spec tag `{}` ({})",
+                    row.name, row.value
+                ),
+            });
+        }
+    }
+}
+
+fn crate_present(ws: &Workspace, krate: &str) -> bool {
+    ws.files.iter().any(|f| f.krate == krate)
+}
+
+/// Values print as hex for wire tables, decimal for record tags.
+fn fmt_val(table: &str, v: u64) -> String {
+    if table == "WAL record" {
+        format!("{v}")
+    } else {
+        format!("{v:#04x}")
+    }
+}
+
+/// Distinct `X` of `head :: X` token sequences in a body.
+pub(crate) fn path_refs(body: &[Tok], head: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0usize;
+    while i + 2 < body.len() {
+        if body[i].text == head && body[i + 1].text == "::" && body[i + 2].kind == Kind::Ident {
+            out.insert(body[i + 2].text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Distinct identifiers starting with `prefix` in a body.
+fn idents_with_prefix(body: &[Tok], prefix: &str) -> BTreeSet<String> {
+    body.iter()
+        .filter(|t| t.kind == Kind::Ident && t.text.starts_with(prefix))
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// The runtime fn of `krate` whose body has the most (≥ 2) distinct
+/// references per `refs_of` — the dispatcher/decoder heuristic.
+fn densest_path_refs<'a>(
+    ws: &'a Workspace,
+    krate: &str,
+    refs_of: impl Fn(&[Tok]) -> BTreeSet<String>,
+) -> Option<(&'a SrcFile, &'a crate::parse::FnItem, BTreeSet<String>)> {
+    let mut best: Option<(&SrcFile, &crate::parse::FnItem, BTreeSet<String>)> = None;
+    for (file, item) in ws.runtime_fns() {
+        if file.krate != krate {
+            continue;
+        }
+        let refs = refs_of(ws.body(file, item));
+        if refs.len() >= 2 && best.as_ref().is_none_or(|(.., b)| refs.len() > b.len()) {
+            best = Some((file, item, refs));
+        }
+    }
+    best
+}
+
+/// Constants declared inside `mod <mod_name> { ... }` of one file:
+/// `(name, value, line)`.
+fn mod_consts(file: &SrcFile, mod_name: &str) -> Vec<(String, u64, u32)> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].text == "mod" && toks[i + 1].text == mod_name && toks[i + 2].text == "{" {
+            let close = crate::parse::matching_brace(toks, i + 2, toks.len());
+            collect_consts(&toks[i + 2..=close], |_| true, &mut out);
+            i = close;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// File-level constants whose name starts with `prefix`.
+fn prefixed_consts(file: &SrcFile, prefix: &str) -> Vec<(String, u64, u32)> {
+    let mut out = Vec::new();
+    collect_consts(&file.toks, |n| n.starts_with(prefix), &mut out);
+    out
+}
+
+/// Scan `const NAME: ... = <int literal>;` items in a token slice.
+fn collect_consts(toks: &[Tok], keep: impl Fn(&str) -> bool, out: &mut Vec<(String, u64, u32)>) {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].text == "const" && toks[i + 1].kind == Kind::Ident && keep(&toks[i + 1].text) {
+            let name = toks[i + 1].text.clone();
+            let line = toks[i + 1].line;
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "=" && toks[j].text != ";" {
+                j += 1;
+            }
+            if j + 1 < toks.len() && toks[j].text == "=" && toks[j + 1].kind == Kind::Lit {
+                if let Some(v) = parse_int(&toks[j + 1].text) {
+                    out.push((name, v, line));
+                }
+            }
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+/// `0xNN` hex or decimal literal text (tolerating `_` separators).
+fn parse_int(s: &str) -> Option<u64> {
+    let s = s.replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

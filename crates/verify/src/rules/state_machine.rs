@@ -1,0 +1,303 @@
+//! **R8 `state_machine`** — the transaction status machine and the
+//! coordinator/participant transitions must match the declared tables
+//! derived from DESIGN.md §14.2–§14.3.
+//!
+//! Three checks:
+//!
+//! - the `TxnStatus` transition relation is extracted from the match
+//!   arms of `can_transition_to` (crate `common`) and compared
+//!   **bidirectionally** against the declared `| from | to |` table:
+//!   a code-allowed pair missing from the table is undocumented
+//!   behavior; a declared pair the code rejects is an unimplemented
+//!   spec row.
+//! - `Prepared` may only be **entered via a forced WAL record**
+//!   (§14.2): any function assigning `status = TxnStatus::Prepared`
+//!   must construct `LogRecord::Prepared` earlier in its body (the
+//!   recovery path re-materializes the state via struct init, a
+//!   different shape, and is deliberately exempt).
+//! - the participant report map (`TxnStatus` → `ParticipantState`
+//!   arms in crate `coord`) is compared bidirectionally against the
+//!   declared `| txn status | reported state |` table.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Kind, Tok};
+use crate::{Finding, Workspace};
+
+/// Run R8 over the workspace.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    check_transition_relation(ws, out);
+    check_prepared_entry(ws, out);
+    check_report_map(ws, out);
+}
+
+/// Extracted `(from, to)` pair with the line of its match arm.
+struct CodePair {
+    from: String,
+    to: String,
+    line: u32,
+}
+
+fn check_transition_relation(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.transitions.is_empty() {
+        return;
+    }
+    let machine = ws
+        .runtime_fns()
+        .find(|(_, item)| item.name == "can_transition_to");
+    let Some((file, item)) = machine else {
+        if ws.files.iter().any(|f| f.krate == "common") {
+            out.push(Finding {
+                rule: "state_machine",
+                file: ws.spec_file.clone(),
+                line: ws.spec.transitions[0].line,
+                func: "transition-table".to_string(),
+                msg: "a transition table is declared but no `can_transition_to` \
+                      fn was found in the workspace"
+                    .to_string(),
+            });
+        }
+        return;
+    };
+    let code = tuple_arms(ws.body(file, item));
+    for p in &code {
+        if !ws
+            .spec
+            .transitions
+            .iter()
+            .any(|r| r.from == p.from && r.to == p.to)
+        {
+            out.push(Finding {
+                rule: "state_machine",
+                file: file.path.clone(),
+                line: p.line,
+                func: item.name.clone(),
+                msg: format!(
+                    "transition {} → {} is allowed in code but absent from the \
+                     declared table (DESIGN.md §11)",
+                    p.from, p.to
+                ),
+            });
+        }
+    }
+    for r in &ws.spec.transitions {
+        if !code.iter().any(|p| p.from == r.from && p.to == r.to) {
+            out.push(Finding {
+                rule: "state_machine",
+                file: ws.spec_file.clone(),
+                line: r.line,
+                func: "transition-table".to_string(),
+                msg: format!(
+                    "declared transition {} → {} is not allowed by \
+                     `can_transition_to`",
+                    r.from, r.to
+                ),
+            });
+        }
+    }
+}
+
+/// `(A | B, C) => true` match arms of the status machine, expanded to
+/// ordered pairs. Variant idents are collected per tuple side; the
+/// enum-path prefix (`TxnStatus::`) and `_` wildcards are ignored, and
+/// only arms whose result is literally `true` contribute.
+fn tuple_arms(body: &[Tok]) -> Vec<CodePair> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].text != "(" {
+            i += 1;
+            continue;
+        }
+        // collect the parenthesized pattern
+        let open = i;
+        let mut depth = 0i64;
+        let mut comma_at = None;
+        let mut j = i;
+        while j < body.len() {
+            match body[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "," if depth == 1 && comma_at.is_none() => comma_at = Some(j),
+                _ => {}
+            }
+            j += 1;
+        }
+        // an arm pattern is `( .. , .. ) => true`
+        let is_arm = j + 2 < body.len()
+            && body[j + 1].text == "=>"
+            && body[j + 2].text == "true"
+            && comma_at.is_some();
+        if is_arm {
+            let comma = comma_at.unwrap();
+            let lhs = variant_idents(&body[open + 1..comma]);
+            let rhs = variant_idents(&body[comma + 1..j]);
+            for f in &lhs {
+                for t in &rhs {
+                    out.push(CodePair {
+                        from: f.clone(),
+                        to: t.clone(),
+                        line: body[open].line,
+                    });
+                }
+            }
+            i = j + 3;
+        } else {
+            i = open + 1;
+        }
+    }
+    out
+}
+
+/// Variant identifiers in a pattern fragment, skipping enum path heads.
+fn variant_idents(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // skip `TxnStatus` in `TxnStatus :: X` (path head before `::`)
+        if k + 1 < toks.len() && toks[k + 1].text == "::" {
+            continue;
+        }
+        out.push(t.text.clone());
+    }
+    out
+}
+
+/// §14.2: entering `Prepared` requires a forced `LogRecord::Prepared`
+/// earlier in the same function body.
+fn check_prepared_entry(ws: &Workspace, out: &mut Vec<Finding>) {
+    for (file, item) in ws.runtime_fns() {
+        let body = ws.body(file, item);
+        let mut assign_at = None;
+        for i in 0..body.len().saturating_sub(4) {
+            if body[i].text == "status"
+                && i > 0
+                && body[i - 1].text == "."
+                && body[i + 1].text == "="
+                && body[i + 2].text == "TxnStatus"
+                && body[i + 3].text == "::"
+                && body[i + 4].text == "Prepared"
+            {
+                assign_at = Some(i);
+                break;
+            }
+        }
+        let Some(at) = assign_at else { continue };
+        let logged_before = (0..at).any(|i| {
+            body[i].text == "LogRecord"
+                && i + 2 < body.len()
+                && body[i + 1].text == "::"
+                && body[i + 2].text == "Prepared"
+        });
+        if !logged_before {
+            out.push(Finding {
+                rule: "state_machine",
+                file: file.path.clone(),
+                line: body[at].line,
+                func: item.name.clone(),
+                msg: "`status = TxnStatus::Prepared` without a forced \
+                      `LogRecord::Prepared` earlier in the function — the \
+                      prepared state must be entered via a forced WAL record \
+                      (§14.2)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Bidirectional check of the participant report map in crate `coord`.
+fn check_report_map(ws: &Workspace, out: &mut Vec<Finding>) {
+    if ws.spec.reports.is_empty() || !ws.files.iter().any(|f| f.krate == "coord") {
+        return;
+    }
+    let mut code: Vec<CodePair> = Vec::new();
+    for (file, item) in ws.runtime_fns() {
+        if file.krate != "coord" {
+            continue;
+        }
+        let body = ws.body(file, item);
+        let mut pending: Vec<(String, u32)> = Vec::new();
+        let mut i = 0usize;
+        while i + 2 < body.len() {
+            if body[i].text == "TxnStatus" && body[i + 1].text == "::" {
+                pending.push((body[i + 2].text.clone(), body[i].line));
+            } else if body[i].text == "ParticipantState" && body[i + 1].text == "::" {
+                for (from, line) in pending.drain(..) {
+                    code.push(CodePair {
+                        from,
+                        to: body[i + 2].text.clone(),
+                        line,
+                    });
+                }
+            }
+            i += 1;
+        }
+        for p in &code {
+            if code_pair_reported(p, ws) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "state_machine",
+                file: file.path.clone(),
+                line: p.line,
+                func: item.name.clone(),
+                msg: format!(
+                    "participant report maps TxnStatus::{} → ParticipantState::{}, \
+                     absent from the declared report table (DESIGN.md §11)",
+                    p.from, p.to
+                ),
+            });
+        }
+        code.clear();
+    }
+    // spec → code direction needs the union over every coord fn
+    let mut union: BTreeSet<(String, String)> = BTreeSet::new();
+    for (file, item) in ws.runtime_fns() {
+        if file.krate != "coord" {
+            continue;
+        }
+        let body = ws.body(file, item);
+        let mut pending: Vec<String> = Vec::new();
+        let mut i = 0usize;
+        while i + 2 < body.len() {
+            if body[i].text == "TxnStatus" && body[i + 1].text == "::" {
+                pending.push(body[i + 2].text.clone());
+            } else if body[i].text == "ParticipantState" && body[i + 1].text == "::" {
+                for from in pending.drain(..) {
+                    union.insert((from, body[i + 2].text.clone()));
+                }
+            }
+            i += 1;
+        }
+    }
+    for r in &ws.spec.reports {
+        if !union.contains(&(r.from.clone(), r.to.clone())) {
+            out.push(Finding {
+                rule: "state_machine",
+                file: ws.spec_file.clone(),
+                line: r.line,
+                func: "report-table".to_string(),
+                msg: format!(
+                    "declared report mapping TxnStatus::{} → ParticipantState::{} \
+                     is not implemented in crate coord",
+                    r.from, r.to
+                ),
+            });
+        }
+    }
+}
+
+/// Is the code pair present in the declared report table?
+fn code_pair_reported(p: &CodePair, ws: &Workspace) -> bool {
+    ws.spec
+        .reports
+        .iter()
+        .any(|r| r.from == p.from && r.to == p.to)
+}

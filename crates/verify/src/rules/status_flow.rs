@@ -1,0 +1,287 @@
+//! **R7 `status_flow`** — the §13.4 ambiguity contract as a checked
+//! property: a `CommitAmbiguous` / flush-window-failure outcome must
+//! never be silently swallowed on its way to a wire status or
+//! `TxnFate`.
+//!
+//! The pass is interprocedural over the existing name-based call
+//! graph. *Mention* functions are those whose bodies touch the
+//! ambiguity vocabulary (`CommitAmbiguous`, `commit_ambiguous`,
+//! `ERR_COMMIT_AMBIGUOUS`, `TxnFate::Ambiguous`); a *carrier* is any
+//! function that reaches a mention function through the call graph
+//! (depth-capped, blocked at [`crate::COMMON_NAMES`] so std-colliding
+//! methods don't leak). In the boundary crates (`server`, `client`,
+//! `coord`) three swallow shapes are flagged when they discard a
+//! carrier's result:
+//!
+//! - `let _ = carrier(...)` (without a `?` propagating the error);
+//! - `carrier(...).ok()` — the error path evaporates into an `Option`;
+//! - a `match` on a carrier call with an empty `Err(_) => {}` arm.
+//!
+//! Producers (engine, flusher, coord decision paths) are free to
+//! *construct* ambiguity; only the paths that should report it are
+//! held to the contract.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Kind, Tok};
+use crate::parse::matching_brace;
+use crate::{Finding, Workspace, COMMON_NAMES};
+
+/// Identifiers that mark a function as part of the ambiguity flow.
+const MENTION_IDENTS: [&str; 4] = [
+    "CommitAmbiguous",
+    "commit_ambiguous",
+    "ERR_COMMIT_AMBIGUOUS",
+    "Ambiguous",
+];
+
+/// Crates whose code must surface ambiguity rather than swallow it.
+const BOUNDARY_CRATES: [&str; 3] = ["server", "client", "coord"];
+
+/// Run R7 over the workspace.
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mentions: BTreeSet<String> = ws
+        .runtime_fns()
+        .filter(|(file, item)| {
+            ws.body(file, item)
+                .iter()
+                .any(|t| t.kind == Kind::Ident && MENTION_IDENTS.contains(&t.text.as_str()))
+        })
+        .map(|(_, item)| item.name.clone())
+        .collect();
+    if mentions.is_empty() {
+        return;
+    }
+    let mut cache: BTreeMap<String, bool> = BTreeMap::new();
+    for (file, item) in ws.runtime_fns() {
+        if !BOUNDARY_CRATES.contains(&file.krate.as_str()) {
+            continue;
+        }
+        let body = ws.body(file, item);
+        scan_let_discard(ws, &mentions, &mut cache, body, file, item, out);
+        scan_ok_swallow(ws, &mentions, &mut cache, body, file, item, out);
+        scan_empty_err_arm(ws, &mentions, &mut cache, body, file, item, out);
+    }
+}
+
+/// `let _ = carrier(...);` without a `?` in the statement.
+#[allow(clippy::too_many_arguments)]
+fn scan_let_discard(
+    ws: &Workspace,
+    mentions: &BTreeSet<String>,
+    cache: &mut BTreeMap<String, bool>,
+    body: &[Tok],
+    file: &crate::SrcFile,
+    item: &crate::parse::FnItem,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i + 2 < body.len() {
+        if body[i].text == "let" && body[i + 1].text == "_" && body[i + 2].text == "=" {
+            let mut j = i + 3;
+            let mut depth = 0i64;
+            let mut propagated = false;
+            let mut callee: Option<&str> = None;
+            while j < body.len() {
+                match body[j].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "?" if depth == 0 => propagated = true,
+                    _ => {}
+                }
+                if callee.is_none()
+                    && body[j].kind == Kind::Ident
+                    && j + 1 < body.len()
+                    && body[j + 1].text == "("
+                    && carries(ws, mentions, cache, &body[j].text)
+                {
+                    callee = Some(&body[j].text);
+                }
+                j += 1;
+            }
+            if let (Some(c), false) = (callee, propagated) {
+                out.push(Finding {
+                    rule: "status_flow",
+                    file: file.path.clone(),
+                    line: body[i].line,
+                    func: item.name.clone(),
+                    msg: format!(
+                        "`let _ =` discards the result of `{c}`, which can carry a \
+                         CommitAmbiguous outcome; consume it and surface the \
+                         ambiguity (§13.4)"
+                    ),
+                });
+            }
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+/// `carrier(...).ok()`.
+#[allow(clippy::too_many_arguments)]
+fn scan_ok_swallow(
+    ws: &Workspace,
+    mentions: &BTreeSet<String>,
+    cache: &mut BTreeMap<String, bool>,
+    body: &[Tok],
+    file: &crate::SrcFile,
+    item: &crate::parse::FnItem,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i + 1 < body.len() {
+        if body[i].kind == Kind::Ident
+            && body[i + 1].text == "("
+            && carries(ws, mentions, cache, &body[i].text)
+        {
+            let mut j = i + 1;
+            let mut depth = 0i64;
+            while j < body.len() {
+                match body[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j + 4 < body.len()
+                && body[j + 1].text == "."
+                && body[j + 2].text == "ok"
+                && body[j + 3].text == "("
+                && body[j + 4].text == ")"
+            {
+                out.push(Finding {
+                    rule: "status_flow",
+                    file: file.path.clone(),
+                    line: body[j + 2].line,
+                    func: item.name.clone(),
+                    msg: format!(
+                        "`.ok()` swallows the error path of `{}`, which can carry \
+                         a CommitAmbiguous outcome (§13.4)",
+                        body[i].text
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `match carrier(...) { ... Err(_) => {} ... }`.
+#[allow(clippy::too_many_arguments)]
+fn scan_empty_err_arm(
+    ws: &Workspace,
+    mentions: &BTreeSet<String>,
+    cache: &mut BTreeMap<String, bool>,
+    body: &[Tok],
+    file: &crate::SrcFile,
+    item: &crate::parse::FnItem,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0usize;
+    while i < body.len() {
+        if body[i].text != "match" {
+            i += 1;
+            continue;
+        }
+        // scrutinee: tokens to the first `{` at delimiter depth 0
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        let mut callee: Option<String> = None;
+        while j < body.len() {
+            match body[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            if callee.is_none()
+                && body[j].kind == Kind::Ident
+                && j + 1 < body.len()
+                && body[j + 1].text == "("
+                && carries(ws, mentions, cache, &body[j].text)
+            {
+                callee = Some(body[j].text.clone());
+            }
+            j += 1;
+        }
+        let Some(c) = callee else {
+            i = j;
+            continue;
+        };
+        if j >= body.len() {
+            break;
+        }
+        let close = matching_brace(body, j, body.len());
+        let mut k = j;
+        while k + 6 <= close {
+            if body[k].text == "Err"
+                && body[k + 1].text == "("
+                && body[k + 2].text == "_"
+                && body[k + 3].text == ")"
+                && body[k + 4].text == "=>"
+                && ((body[k + 5].text == "{" && body[k + 6].text == "}")
+                    || (body[k + 5].text == "(" && body[k + 6].text == ")"))
+            {
+                out.push(Finding {
+                    rule: "status_flow",
+                    file: file.path.clone(),
+                    line: body[k].line,
+                    func: item.name.clone(),
+                    msg: format!(
+                        "empty `Err(_)` arm swallows an error from `{c}`, which can \
+                         carry a CommitAmbiguous outcome (§13.4)"
+                    ),
+                });
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+}
+
+/// Can a call to `name` carry an ambiguous outcome? True when `name`
+/// reaches a mention function through the call graph.
+fn carries(
+    ws: &Workspace,
+    mentions: &BTreeSet<String>,
+    cache: &mut BTreeMap<String, bool>,
+    name: &str,
+) -> bool {
+    if let Some(&v) = cache.get(name) {
+        return v;
+    }
+    if COMMON_NAMES.contains(&name) {
+        cache.insert(name.to_string(), false);
+        return false;
+    }
+    let mut seen = BTreeSet::new();
+    let mut frontier = vec![(name.to_string(), 0usize)];
+    let mut hit = false;
+    while let Some((n, d)) = frontier.pop() {
+        if mentions.contains(&n) {
+            hit = true;
+            break;
+        }
+        if d > 12 || !seen.insert(n.clone()) {
+            continue;
+        }
+        if d > 0 && COMMON_NAMES.contains(&n.as_str()) {
+            continue;
+        }
+        if let Some(callees) = ws.graph.get(&n) {
+            for c in callees {
+                frontier.push((c.clone(), d + 1));
+            }
+        }
+    }
+    cache.insert(name.to_string(), hit);
+    hit
+}

@@ -1,0 +1,317 @@
+//! Parser for the normative spec tables in `DESIGN.md` (the inputs of
+//! R6 `spec_drift` and R8 `state_machine`).
+//!
+//! The grammar is deliberately small (DESIGN.md §11): a *spec table* is
+//! a GitHub-flavored markdown table recognized by its **header row**;
+//! value cells are backtick code spans holding `0xNN` hex or decimal
+//! integers; name cells are bare identifiers or code spans. Recognized
+//! headers:
+//!
+//! | header starts with            | table                             |
+//! |-------------------------------|-----------------------------------|
+//! | `\| opcode \| name \|`        | §13.3 wire opcode table           |
+//! | `\| status \| name \|`        | §13.3 wire status table           |
+//! | `\| message \| wire opcode \|`| §14.1 coordinator message table   |
+//! | `\| tag \| record \|`         | §11 WAL record-type inventory     |
+//! | `\| from \| to \|`            | §11 declared `TxnStatus` machine  |
+//! | `\| txn status \| reported state \|` | §11 participant report map |
+//!
+//! Unrecognized tables are ignored; rows whose value cell does not
+//! parse are skipped (prose rows like "—" never become constants).
+
+/// One `name = value` row of a value table, with its `DESIGN.md` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueRow {
+    /// Constant name the row binds (`PING`, `ERR_IO`, `KIND_BEGIN`).
+    pub name: String,
+    /// The row's numeric value.
+    pub value: u64,
+    /// 1-based line in the spec document.
+    pub line: u32,
+}
+
+/// One §14.1 row: a coordinator message and its wire opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordRow {
+    /// `CommitMessage` variant name (`Prepare`, `CommitDecide`, ...).
+    pub message: String,
+    /// The wire opcode constant it rides (`PREPARE`, ...).
+    pub opcode_name: String,
+    /// The wire opcode value the row claims.
+    pub value: u64,
+    /// 1-based line in the spec document.
+    pub line: u32,
+}
+
+/// One ordered pair row (`from` → `to`) of a relation table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairRow {
+    /// Left element (source state).
+    pub from: String,
+    /// Right element (target state).
+    pub to: String,
+    /// 1-based line in the spec document.
+    pub line: u32,
+}
+
+/// Every normative table extracted from one spec document.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTables {
+    /// §13.3 opcode table: wire opcode name → value.
+    pub opcodes: Vec<ValueRow>,
+    /// §13.3 status table: wire status name → value.
+    pub statuses: Vec<ValueRow>,
+    /// §14.1 coordinator messages and their wire opcodes.
+    pub coord_ops: Vec<CoordRow>,
+    /// WAL record-type inventory: record-tag constant name → tag value.
+    pub wal_records: Vec<ValueRow>,
+    /// Declared legal `TxnStatus` transitions (from → to).
+    pub transitions: Vec<PairRow>,
+    /// Declared participant-state report map (`TxnStatus` →
+    /// `ParticipantState`).
+    pub reports: Vec<PairRow>,
+}
+
+impl SpecTables {
+    /// No table was found (fixture workspaces without a spec document).
+    pub fn is_empty(&self) -> bool {
+        self.opcodes.is_empty()
+            && self.statuses.is_empty()
+            && self.coord_ops.is_empty()
+            && self.wal_records.is_empty()
+            && self.transitions.is_empty()
+            && self.reports.is_empty()
+    }
+
+    /// Parse every recognized spec table out of a markdown document.
+    pub fn parse(md: &str) -> SpecTables {
+        let mut out = SpecTables::default();
+        let lines: Vec<&str> = md.lines().collect();
+        let mut i = 0usize;
+        while i < lines.len() {
+            let cells = row_cells(lines[i]);
+            if cells.is_empty() {
+                i += 1;
+                continue;
+            }
+            let header: Vec<String> = cells
+                .iter()
+                .map(|c| strip_spans(c).to_ascii_lowercase())
+                .collect();
+            let kind = match header.as_slice() {
+                [a, b, ..] if a == "opcode" && b == "name" => Some(Table::Opcodes),
+                [a, b, ..] if a == "status" && b == "name" => Some(Table::Statuses),
+                [a, b, ..] if a == "message" && b == "wire opcode" => Some(Table::CoordOps),
+                [a, b, ..] if a == "tag" && b == "record" => Some(Table::WalRecords),
+                [a, b, ..] if a == "from" && b == "to" => Some(Table::Transitions),
+                [a, b, ..] if a == "txn status" && b == "reported state" => Some(Table::Reports),
+                _ => None,
+            };
+            let Some(kind) = kind else {
+                i += 1;
+                continue;
+            };
+            // skip the header and the |---| separator row
+            i += 2;
+            while i < lines.len() {
+                let cells = row_cells(lines[i]);
+                if cells.is_empty() {
+                    break;
+                }
+                let line = (i + 1) as u32;
+                match kind {
+                    Table::Opcodes => push_value(&mut out.opcodes, &cells, 0, 1, line),
+                    Table::Statuses => push_value(&mut out.statuses, &cells, 0, 1, line),
+                    Table::WalRecords => push_value(&mut out.wal_records, &cells, 0, 2, line),
+                    Table::CoordOps => push_coord(&mut out.coord_ops, &cells, line),
+                    Table::Transitions => push_pair(&mut out.transitions, &cells, line),
+                    Table::Reports => push_pair(&mut out.reports, &cells, line),
+                }
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Table {
+    Opcodes,
+    Statuses,
+    CoordOps,
+    WalRecords,
+    Transitions,
+    Reports,
+}
+
+/// Split a markdown table row into trimmed cells; non-rows (and the
+/// `|---|` separator) yield an empty vec.
+fn row_cells(line: &str) -> Vec<String> {
+    let t = line.trim();
+    if !t.starts_with('|') {
+        return Vec::new();
+    }
+    let cells: Vec<String> = t
+        .trim_matches('|')
+        .split('|')
+        .map(|c| c.trim().to_string())
+        .collect();
+    if cells
+        .iter()
+        .all(|c| !c.is_empty() && c.chars().all(|ch| ch == '-' || ch == ':'))
+    {
+        return Vec::new(); // separator row
+    }
+    cells
+}
+
+/// The content of the first backtick code span, or the whole cell.
+fn code_span(cell: &str) -> &str {
+    let mut parts = cell.split('`');
+    match (parts.next(), parts.next()) {
+        (_, Some(span)) => span,
+        _ => cell,
+    }
+}
+
+/// Remove backticks (for header normalization and name cells).
+fn strip_spans(cell: &str) -> String {
+    cell.replace('`', "").trim().to_string()
+}
+
+/// Parse `0xNN` hex or decimal out of a value cell's code span.
+fn parse_value(cell: &str) -> Option<u64> {
+    let s = code_span(cell).trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// First identifier in a cell (`Prepare { tids }` → `Prepare`).
+fn first_ident(cell: &str) -> Option<String> {
+    let s = strip_spans(cell);
+    let ident: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+fn push_value(out: &mut Vec<ValueRow>, cells: &[String], vcol: usize, ncol: usize, line: u32) {
+    let (Some(vc), Some(nc)) = (cells.get(vcol), cells.get(ncol)) else {
+        return;
+    };
+    let (Some(value), Some(name)) = (parse_value(vc), first_ident(nc)) else {
+        return;
+    };
+    out.push(ValueRow { name, value, line });
+}
+
+fn push_coord(out: &mut Vec<CoordRow>, cells: &[String], line: u32) {
+    let (Some(mc), Some(oc)) = (cells.first(), cells.get(1)) else {
+        return;
+    };
+    let Some(message) = first_ident(mc) else {
+        return;
+    };
+    // opcode cell shape: `0x40` PREPARE — value in the span, name after
+    let Some(value) = parse_value(oc) else { return };
+    let after = strip_spans(oc);
+    let opcode_name = after
+        .split_whitespace()
+        .find(|w| w.chars().all(|c| c.is_ascii_uppercase() || c == '_'))
+        .unwrap_or("")
+        .to_string();
+    if opcode_name.is_empty() {
+        return;
+    }
+    out.push(CoordRow {
+        message,
+        opcode_name,
+        value,
+        line,
+    });
+}
+
+fn push_pair(out: &mut Vec<PairRow>, cells: &[String], line: u32) {
+    let (Some(fc), Some(tc)) = (cells.first(), cells.get(1)) else {
+        return;
+    };
+    let (Some(from), Some(to)) = (first_ident(fc), first_ident(tc)) else {
+        return;
+    };
+    out.push(PairRow { from, to, line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_four_value_and_relation_shapes() {
+        let md = "\
+| opcode | name | body | OK payload |
+|---|---|---|---|
+| `0x01` | PING | — | — |
+| `0x13` | COMMIT | `u64` tid | — |
+
+| status | name | meaning |
+|---|---|---|
+| `0x0F` | ERR_COMMIT_AMBIGUOUS | fate unknown |
+
+| message | wire opcode | participant action |
+|---|---|---|
+| `Prepare { tids }` | `0x40` PREPARE | force a record |
+
+| tag | record | constant | payload |
+|---|---|---|---|
+| `1` | Begin | `KIND_BEGIN` | tid |
+
+| from | to | via |
+|---|---|---|
+| `Initiated` | `Running` | `begin` |
+
+| txn status | reported state |
+|---|---|
+| `Prepared` | `Prepared` |
+";
+        let s = SpecTables::parse(md);
+        assert_eq!(s.opcodes.len(), 2);
+        assert_eq!(s.opcodes[1].name, "COMMIT");
+        assert_eq!(s.opcodes[1].value, 0x13);
+        assert_eq!(s.opcodes[1].line, 4);
+        assert_eq!(s.statuses[0].name, "ERR_COMMIT_AMBIGUOUS");
+        assert_eq!(s.statuses[0].value, 0x0F);
+        assert_eq!(s.coord_ops[0].message, "Prepare");
+        assert_eq!(s.coord_ops[0].opcode_name, "PREPARE");
+        assert_eq!(s.coord_ops[0].value, 0x40);
+        assert_eq!(s.wal_records[0].name, "KIND_BEGIN");
+        assert_eq!(s.wal_records[0].value, 1);
+        assert_eq!(s.transitions[0].from, "Initiated");
+        assert_eq!(s.transitions[0].to, "Running");
+        assert_eq!(s.reports[0].from, "Prepared");
+        assert_eq!(s.reports[0].to, "Prepared");
+    }
+
+    #[test]
+    fn unrecognized_tables_and_prose_rows_are_skipped() {
+        let md = "\
+| Exp | Reproduces |
+|---|---|
+| E1 | something |
+
+| opcode | name | body | OK payload |
+|---|---|---|---|
+| prose | not a row |
+";
+        let s = SpecTables::parse(md);
+        assert!(s.opcodes.is_empty());
+        assert!(s.is_empty());
+    }
+}

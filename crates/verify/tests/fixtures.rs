@@ -168,6 +168,119 @@ fn r5_accepts_returned_suspension_and_unannotated_blocking_paths() {
     assert_eq!(rendered(&a), [] as [&str; 0]);
 }
 
+fn analyze_with_spec(krate: &str, path: &str, src: &str, spec: &str) -> Analysis {
+    Workspace::from_sources_with_spec(
+        vec![(krate.to_string(), path.to_string(), src.to_string())],
+        "DESIGN.md",
+        spec,
+    )
+    .analyze()
+}
+
+#[test]
+fn r6_detects_opcode_table_drift_in_all_four_directions() {
+    let a = analyze_with_spec(
+        "server",
+        "tests/fixtures/r6_violating.rs",
+        include_str!("fixtures/r6_violating.rs"),
+        include_str!("fixtures/r6_spec.md"),
+    );
+    assert_eq!(
+        rendered(&a),
+        [
+            "R6 spec_drift: DESIGN.md:5 in `opcode-table` — spec row `ABORT` = 0x14 has no \
+             matching constant in server's `mod opcode`",
+            "R6 spec_drift: tests/fixtures/r6_violating.rs:9 in `opcode` — constant `COMMIT` \
+             = 0x16 disagrees with the DESIGN.md opcode table row at line 4 (spec says 0x13)",
+            "R6 spec_drift: tests/fixtures/r6_violating.rs:11 in `opcode` — constant \
+             `SHUTDOWN` = 0x7f has no row in the DESIGN.md opcode table",
+            "R6 spec_drift: tests/fixtures/r6_violating.rs:15 in `dispatch` — dispatch has \
+             no arm for spec opcode `ABORT` (0x14); add a match arm or an explicit reject",
+        ]
+    );
+}
+
+#[test]
+fn r6_accepts_agreeing_constants_and_dispatch() {
+    let a = analyze_with_spec(
+        "server",
+        "tests/fixtures/r6_conforming.rs",
+        include_str!("fixtures/r6_conforming.rs"),
+        include_str!("fixtures/r6_spec.md"),
+    );
+    assert_eq!(rendered(&a), [] as [&str; 0]);
+}
+
+#[test]
+fn r7_detects_the_three_swallow_shapes() {
+    let a = analyze(
+        "server",
+        "tests/fixtures/r7_violating.rs",
+        include_str!("fixtures/r7_violating.rs"),
+    );
+    assert_eq!(
+        rendered(&a),
+        [
+            "R7 status_flow: tests/fixtures/r7_violating.rs:26 in `drain_session` — \
+             `let _ =` discards the result of `outcome_kind`, which can carry a \
+             CommitAmbiguous outcome; consume it and surface the ambiguity (§13.4)",
+            "R7 status_flow: tests/fixtures/r7_violating.rs:31 in `probe` — `.ok()` \
+             swallows the error path of `outcome_kind`, which can carry a CommitAmbiguous \
+             outcome (§13.4)",
+            "R7 status_flow: tests/fixtures/r7_violating.rs:38 in `report` — empty \
+             `Err(_)` arm swallows an error from `outcome_kind`, which can carry a \
+             CommitAmbiguous outcome (§13.4)",
+        ]
+    );
+}
+
+#[test]
+fn r7_accepts_consumed_and_surfaced_outcomes() {
+    let a = analyze(
+        "server",
+        "tests/fixtures/r7_conforming.rs",
+        include_str!("fixtures/r7_conforming.rs"),
+    );
+    assert_eq!(rendered(&a), [] as [&str; 0]);
+}
+
+#[test]
+fn r8_detects_relation_drift_and_unforced_prepared_entry() {
+    let a = analyze_with_spec(
+        "common",
+        "tests/fixtures/r8_violating.rs",
+        include_str!("fixtures/r8_violating.rs"),
+        include_str!("fixtures/r8_spec.md"),
+    );
+    assert_eq!(
+        rendered(&a),
+        [
+            "R8 state_machine: DESIGN.md:4 in `transition-table` — declared transition \
+             Running → Aborting is not allowed by `can_transition_to`",
+            "R8 state_machine: DESIGN.md:5 in `transition-table` — declared transition \
+             Aborting → Aborted is not allowed by `can_transition_to`",
+            "R8 state_machine: tests/fixtures/r8_violating.rs:25 in `can_transition_to` — \
+             transition Running → Aborted is allowed in code but absent from the declared \
+             table (DESIGN.md §11)",
+            "R8 state_machine: tests/fixtures/r8_violating.rs:39 in `mark_prepared` — \
+             `status = TxnStatus::Prepared` without a forced `LogRecord::Prepared` earlier \
+             in the function — the prepared state must be entered via a forced WAL record \
+             (§14.2)",
+        ]
+    );
+}
+
+#[test]
+fn r8_accepts_the_declared_relation_and_forced_prepared_entry() {
+    let a = analyze_with_spec(
+        "common",
+        "tests/fixtures/r8_conforming.rs",
+        include_str!("fixtures/r8_conforming.rs"),
+        include_str!("fixtures/r8_spec.md"),
+    );
+    assert_eq!(rendered(&a), [] as [&str; 0]);
+}
+
 #[test]
 fn meta_blessed_helper_must_declare_its_exemption() {
     let src = "impl LockTable {\n    pub fn release_all(&self, tid: Tid) -> Vec<Oid> {\n        Vec::new()\n    }\n}\n";

@@ -1,0 +1,21 @@
+//! R6 fixture: constants, spec rows, and the dispatcher agree with
+//! the table in `r6_spec.md`.
+
+pub mod opcode {
+    /// Liveness probe.
+    pub const PING: u8 = 0x01;
+    /// Commit point.
+    pub const COMMIT: u8 = 0x13;
+    /// Session abort.
+    pub const ABORT: u8 = 0x14;
+}
+
+/// Dispatcher with one arm per declared opcode.
+pub fn dispatch(op: u8) -> u8 {
+    match op {
+        opcode::PING => 1,
+        opcode::COMMIT => 2,
+        opcode::ABORT => 3,
+        _ => 0,
+    }
+}

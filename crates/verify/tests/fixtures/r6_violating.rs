@@ -1,0 +1,21 @@
+//! R6 fixture: the wire-protocol constants drifted from the spec
+//! table — one value disagreement, one constant missing its row, one
+//! spec row with no constant, and a dispatcher missing an arm.
+
+pub mod opcode {
+    /// Matches the spec.
+    pub const PING: u8 = 0x01;
+    /// Spec says 0x13: value drift.
+    pub const COMMIT: u8 = 0x16;
+    /// No spec row at all.
+    pub const SHUTDOWN: u8 = 0x7F;
+}
+
+/// Frame dispatcher: references two opcodes, never `ABORT`.
+pub fn dispatch(op: u8) -> u8 {
+    match op {
+        opcode::PING => 1,
+        opcode::COMMIT => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,34 @@
+//! R7 fixture: the same carrier, consumed and surfaced.
+
+/// Commit outcome as the engine reports it.
+pub enum TxnOutcome {
+    /// Commit record durable.
+    Committed,
+    /// Rolled back cleanly.
+    Aborted,
+    /// Fate unknown: the flush window failed (§13.4).
+    CommitAmbiguous,
+}
+
+/// Producer.
+pub fn outcome_kind(flush_failed: bool) -> Result<TxnOutcome, u8> {
+    if flush_failed {
+        Ok(TxnOutcome::CommitAmbiguous)
+    } else {
+        Ok(TxnOutcome::Committed)
+    }
+}
+
+/// The drain consumes the outcome and surfaces ambiguity.
+pub fn drain_session(flush_failed: bool) -> bool {
+    matches!(outcome_kind(flush_failed), Ok(TxnOutcome::CommitAmbiguous))
+}
+
+/// The wire projection names every arm explicitly.
+pub fn report(flush_failed: bool) -> u8 {
+    match outcome_kind(flush_failed) {
+        Ok(TxnOutcome::CommitAmbiguous) => 0x0F,
+        Ok(_) => 0x00,
+        Err(code) => code,
+    }
+}

@@ -1,0 +1,40 @@
+//! R7 fixture: the three swallow shapes applied to a carrier of
+//! `CommitAmbiguous` (the exact shape the real `abort_leftovers`
+//! drain had before the `session_drain_ambiguous` counter).
+
+/// Commit outcome as the engine reports it.
+pub enum TxnOutcome {
+    /// Commit record durable.
+    Committed,
+    /// Rolled back cleanly.
+    Aborted,
+    /// Fate unknown: the flush window failed (§13.4).
+    CommitAmbiguous,
+}
+
+/// Producer — constructing ambiguity is allowed.
+pub fn outcome_kind(flush_failed: bool) -> Result<TxnOutcome, u8> {
+    if flush_failed {
+        Ok(TxnOutcome::CommitAmbiguous)
+    } else {
+        Ok(TxnOutcome::Committed)
+    }
+}
+
+/// Swallow shape 1: the result is discarded outright.
+pub fn drain_session(flush_failed: bool) {
+    let _ = outcome_kind(flush_failed);
+}
+
+/// Swallow shape 2: the error path evaporates into an `Option`.
+pub fn probe(flush_failed: bool) -> Option<TxnOutcome> {
+    outcome_kind(flush_failed).ok()
+}
+
+/// Swallow shape 3: the error arm is empty.
+pub fn report(flush_failed: bool) {
+    match outcome_kind(flush_failed) {
+        Ok(_) => {}
+        Err(_) => {}
+    }
+}

@@ -1,0 +1,51 @@
+//! R8 fixture: the relation matches the declared table and `Prepared`
+//! is entered via the forced record.
+
+/// Transaction status (fixture subset).
+#[derive(Clone, Copy)]
+pub enum TxnStatus {
+    /// Created.
+    Initiated,
+    /// Executing.
+    Running,
+    /// Undo walk in progress.
+    Aborting,
+    /// Terminal.
+    Aborted,
+    /// Durable but undecided (§14.2).
+    Prepared,
+}
+
+/// WAL records (fixture subset).
+pub enum LogRecord {
+    /// The prepared group.
+    Prepared {
+        /// Members.
+        tids: Vec<u64>,
+    },
+}
+
+impl TxnStatus {
+    /// The declared transition relation.
+    pub fn can_transition_to(self, next: TxnStatus) -> bool {
+        use TxnStatus::*;
+        match (self, next) {
+            (Initiated, Running) => true,
+            (Running, Aborting) => true,
+            (Aborting, Aborted) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A transaction slot.
+pub struct Slot {
+    /// Current status.
+    pub status: TxnStatus,
+}
+
+/// Forces the record, then enters `Prepared` (§14.2).
+pub fn mark_prepared(slot: &mut Slot, log: &mut Vec<LogRecord>) {
+    log.push(LogRecord::Prepared { tids: Vec::new() });
+    slot.status = TxnStatus::Prepared;
+}

@@ -1,0 +1,40 @@
+//! R8 fixture: an undocumented transition, two unimplemented spec
+//! rows, and a `Prepared` entry without its forced record.
+
+/// Transaction status (fixture subset).
+#[derive(Clone, Copy)]
+pub enum TxnStatus {
+    /// Created.
+    Initiated,
+    /// Executing.
+    Running,
+    /// Undo walk in progress.
+    Aborting,
+    /// Terminal.
+    Aborted,
+    /// Durable but undecided (§14.2).
+    Prepared,
+}
+
+impl TxnStatus {
+    /// The (drifted) transition relation.
+    pub fn can_transition_to(self, next: TxnStatus) -> bool {
+        use TxnStatus::*;
+        match (self, next) {
+            (Initiated, Running) => true,
+            (Running, Aborted) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A transaction slot.
+pub struct Slot {
+    /// Current status.
+    pub status: TxnStatus,
+}
+
+/// Enters `Prepared` without forcing the WAL record first.
+pub fn mark_prepared(slot: &mut Slot) {
+    slot.status = TxnStatus::Prepared;
+}

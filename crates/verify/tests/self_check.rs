@@ -1,17 +1,17 @@
 //! The analyzer must pass over the workspace that ships it: zero findings,
-//! and every suppression justified. This is the test the CI `verify` job
-//! duplicates as a binary run; keeping it as a test too means plain
-//! `cargo test` catches invariant regressions without the extra job.
+//! in both `faults` configurations, and every suppression justified. This
+//! is the test the CI `verify` job duplicates as a binary run; keeping it
+//! as a test too means plain `cargo test` catches invariant regressions
+//! without the extra job.
 
 use std::path::Path;
 
-#[test]
-fn workspace_is_clean_and_all_suppressions_are_justified() {
+fn check(cfg_faults: bool) {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
-    let a = asset_verify::analyze_root(&root).expect("workspace sources load");
+    let a = asset_verify::analyze_root_cfg(&root, cfg_faults).expect("workspace sources load");
     assert!(
         a.findings.is_empty(),
-        "asset-verify findings:\n{}",
+        "asset-verify findings (cfg_faults = {cfg_faults}):\n{}",
         a.findings
             .iter()
             .map(|f| f.to_string())
@@ -22,5 +22,23 @@ fn workspace_is_clean_and_all_suppressions_are_justified() {
         !a.allows.is_empty(),
         "expected the audited suppressions to load"
     );
-    assert!(a.allows.iter().all(|al| !al.reason.is_empty()));
+    for al in &a.allows {
+        assert!(
+            !al.reason.is_empty(),
+            "reason-less suppression at {}:{} in `{}`",
+            al.file,
+            al.line,
+            al.func
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean_and_all_suppressions_are_justified() {
+    check(false);
+}
+
+#[test]
+fn workspace_is_clean_under_the_faults_cfg_too() {
+    check(true);
 }

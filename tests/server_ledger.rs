@@ -398,7 +398,20 @@ mod ambiguity {
         assert_eq!(present, 4);
         assert_eq!(sum, 400, "pure movements conserve the total");
 
+        // the ambiguity was surfaced on the wire (ERR_COMMIT_AMBIGUOUS
+        // above), so the session drain must NOT have found an
+        // unreported ambiguous transaction — `session_drain_ambiguous`
+        // counts only fates that would otherwise have been swallowed
+        // (DESIGN.md §13.4; asset-verify R7)
+        drop(c);
         server.shutdown();
+        let drained = server
+            .database()
+            .obs()
+            .counters
+            .snapshot()
+            .session_drain_ambiguous;
+        assert_eq!(drained, 0, "wire-surfaced fates are not drain findings");
         server.join();
         let _ = std::fs::remove_dir_all(&dir);
     }
