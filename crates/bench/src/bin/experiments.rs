@@ -1,4 +1,4 @@
-//! The experiment harness: prints the E1–E17 tables of `EXPERIMENTS.md`.
+//! The experiment harness: prints the E1–E18 tables of `EXPERIMENTS.md`.
 //!
 //! ```sh
 //! cargo run -p asset-bench --release --bin experiments           # full suite
@@ -7,9 +7,10 @@
 //! cargo run -p asset-bench --release --bin experiments -- e15 --txns 200  # executor smoke
 //! ```
 //!
-//! E14, E15, E16, and E17 also serialize their measured runs into
+//! E14, E15, E16, E17, and E18 also serialize their measured runs into
 //! `BENCH_obs.json` (schema `asset-bench-obs/v1`); when several are
-//! selected the file holds the union of their rows.
+//! selected the file holds the union of their rows. E18 additionally
+//! writes its merged multi-node Chrome trace to `asset-trace-e18.json`.
 
 use asset_bench::experiments::{self, ObsBenchRun, Scale};
 
@@ -62,6 +63,7 @@ fn main() {
         ("e15", experiments::e15_executor),
         ("e16", experiments::e16_ledger),
         ("e17", experiments::e17_coord),
+        ("e18", experiments::e18_dist_obs),
     ];
 
     // E14/E15/E16/E17 measure once and contribute rows to BENCH_obs.json
@@ -88,6 +90,16 @@ fn main() {
             let runs = experiments::e17_coord_runs(scale);
             println!("{}", experiments::e17_table(&runs));
             obs_runs.extend(runs);
+        } else if *name == "e18" {
+            let runs = experiments::e18_dist_obs_runs(scale, txns_override);
+            println!("{}", experiments::e18_table(&runs));
+            obs_runs.extend(runs);
+            // the merged multi-node trace is E18's second artifact
+            let path = "asset-trace-e18.json";
+            match std::fs::write(path, experiments::e18_merged_trace()) {
+                Ok(()) => println!("   [merged fleet trace -> {path}]"),
+                Err(err) => eprintln!("   [{path} not written: {err}]"),
+            }
         } else if *name == "e9b" {
             // e9b also captures a structured event trace; dump it next to
             // the experiment output

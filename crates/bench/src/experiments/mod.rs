@@ -1,4 +1,4 @@
-//! The E1–E17 experiment suite (see `EXPERIMENTS.md` at the repo root).
+//! The E1–E18 experiment suite (see `EXPERIMENTS.md` at the repo root).
 //!
 //! Each experiment is a function returning a [`Table`]; the
 //! `experiments` binary prints them all. A [`Scale`] knob shrinks the
@@ -8,6 +8,7 @@ mod ablations;
 mod concurrency;
 mod coord_exp;
 mod crashes;
+mod dist_exp;
 mod exec_exp;
 mod ledger_exp;
 mod models_exp;
@@ -18,6 +19,7 @@ pub use ablations::e12_ablations;
 pub use concurrency::{e2_permits_vs_2pl, e6_cursor_stability, e7_split_early_release};
 pub use coord_exp::{e17_coord, e17_coord_runs, e17_table};
 pub use crashes::e13_crash_matrix;
+pub use dist_exp::{e18_dist_obs, e18_dist_obs_runs, e18_merged_trace, e18_overhead, e18_table};
 pub use exec_exp::{e15_executor, e15_executor_runs, e15_table, E15_BASELINE};
 pub use ledger_exp::{e16_ledger, e16_ledger_runs, e16_table, E16_FAULT_CELL};
 pub use models_exp::{e11_contingent, e3_nested, e4_sagas, e8_workflow};
@@ -76,6 +78,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e15_executor(scale),
         e16_ledger(scale),
         e17_coord(scale),
+        e18_dist_obs(scale),
     ]
 }
 
@@ -89,7 +92,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables() {
         let tables = run_all(Scale::quick());
-        assert_eq!(tables.len(), 18);
+        assert_eq!(tables.len(), 19);
         for t in &tables {
             assert!(!t.headers.is_empty(), "{} has headers", t.title);
             assert!(!t.rows.is_empty(), "{} has rows", t.title);

@@ -41,13 +41,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use asset_obs::{EventKind, MetricsSnapshot, Obs, TraceCtx};
 use asset_server::protocol::{
     get_i64, get_u32, get_u64, get_u8, opcode, status, status_name, Frame, WireError,
-    PROTOCOL_VERSION,
+    PROTOCOL_VERSION, STATS_BODY_REVISION,
 };
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 
 /// Errors surfaced by the client.
 #[derive(Debug)]
@@ -185,6 +187,23 @@ pub struct Client {
     /// a mid-pipeline failure consumes exactly one entry, keeping the
     /// stream and this queue in lockstep.
     pending: VecDeque<u32>,
+    /// Cross-node tracing (DESIGN.md §7.2), set by
+    /// [`enable_tracing`](Self::enable_tracing): every request frame is
+    /// stamped with the context and mirrored as `MsgSend`/`MsgAck`
+    /// events into the local observability hub.
+    trace: Option<ClientTrace>,
+}
+
+/// The tracing state of a [`Client`] (see [`Client::enable_tracing`]).
+struct ClientTrace {
+    /// Context stamped onto every outgoing request frame.
+    ctx: TraceCtx,
+    /// The server's node id (tags `MsgSend`/`MsgAck` events so the
+    /// multi-node merge can pair them with that node's
+    /// `MsgRecv`/`MsgReply`).
+    peer: u32,
+    /// The hub the send/ack events are recorded into.
+    obs: Arc<Obs>,
 }
 
 impl Client {
@@ -198,6 +217,7 @@ impl Client {
             writer: BufWriter::new(stream),
             next_reqid: 1,
             pending: VecDeque::new(),
+            trace: None,
         };
         let payload = c.call(opcode::HELLO, Vec::new())?.into_ok()?;
         let server_version = get_u8(&payload, 0)?;
@@ -225,11 +245,34 @@ impl Client {
         Frame {
             opcode: op,
             reqid,
+            ctx: self.trace.as_ref().map(|t| t.ctx),
             body,
         }
         .write_to(&mut self.writer)?;
+        if let Some(t) = &self.trace {
+            t.obs.record(EventKind::MsgSend {
+                node: t.peer,
+                opcode: op,
+                root: t.ctx.root,
+            });
+        }
         self.pending.push_back(reqid);
         Ok(reqid)
+    }
+
+    /// Stamp every subsequent request with `ctx` (sent as a version
+    /// `0x02` traced frame, DESIGN.md §13.1) and mirror each request/
+    /// response pair as `MsgSend`/`MsgAck` events into `obs`, tagged
+    /// with the server's node id `peer`. The multi-node trace merge
+    /// (`asset-trace`) pairs these with the server's `MsgRecv`/
+    /// `MsgReply` events to draw cross-node flow edges.
+    pub fn enable_tracing(&mut self, ctx: TraceCtx, peer: u32, obs: Arc<Obs>) {
+        self.trace = Some(ClientTrace { ctx, peer, obs });
+    }
+
+    /// Stop stamping requests; frames revert to plain version `0x01`.
+    pub fn disable_tracing(&mut self) {
+        self.trace = None;
     }
 
     /// Test hook: set the next request id, e.g. near `u32::MAX` to
@@ -276,6 +319,13 @@ impl Client {
             )));
         }
         self.pending.pop_front();
+        if let Some(t) = &self.trace {
+            t.obs.record(EventKind::MsgAck {
+                node: t.peer,
+                opcode: frame.opcode,
+                root: t.ctx.root,
+            });
+        }
         let status = get_u8(&frame.body, 0)?;
         Ok(Response {
             opcode: frame.opcode,
@@ -418,15 +468,40 @@ impl Client {
         Ok((get_i64(&payload, 0)?, get_u64(&payload, 8)?))
     }
 
-    /// Aggregate server counters.
+    /// Aggregate server counters — a compact summary derived from the
+    /// full [`metrics`](Self::metrics) snapshot.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
-        let payload = self.call(opcode::STATS, Vec::new())?.into_ok()?;
+        let (live, snap) = self.metrics()?;
         Ok(ServerStats {
-            committed: get_u64(&payload, 0)?,
-            aborted: get_u64(&payload, 8)?,
-            live: get_u64(&payload, 16)?,
-            commit_log_failures: get_u64(&payload, 24)?,
+            committed: snap.counters.txn_committed,
+            aborted: snap.counters.txn_aborted,
+            live,
+            commit_log_failures: snap.counters.commit_log_failures,
         })
+    }
+
+    /// The server's full metrics snapshot (every counter and histogram
+    /// of its observability hub) plus its live-transaction gauge, from
+    /// the versioned `STATS` body (DESIGN.md §13.3). The body is
+    /// self-describing, so a newer server's extra metrics are skipped
+    /// rather than failing the call.
+    pub fn metrics(&mut self) -> Result<(u64, MetricsSnapshot), ClientError> {
+        let payload = self.call(opcode::STATS, Vec::new())?.into_ok()?;
+        let rev = get_u8(&payload, 0)?;
+        if rev != STATS_BODY_REVISION {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("STATS body revision {rev}, expected {STATS_BODY_REVISION}"),
+            )));
+        }
+        let live = get_u64(&payload, 1)?;
+        let snap = asset_obs::wire::decode_snapshot(&payload[9..]).ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "STATS metrics snapshot failed to decode",
+            ))
+        })?;
+        Ok((live, snap))
     }
 
     // --- distributed commit (DESIGN.md §14) ------------------------------

@@ -4,15 +4,28 @@
 //! outcome under both protocols. Exits non-zero on any violation.
 //!
 //! Run: `cargo run -p asset-coord --bin coord-smoke`
+//!
+//! With `--tcp [--trace-out PATH]` it instead boots two wire servers
+//! ([`AssetServer`]) with per-node Prometheus endpoints, drives a 2PC
+//! and a Paxos commit through [`TcpTransport`] with tracing on, scrapes
+//! both endpoints live, merges the three per-node event rings into one
+//! fleet trace, asserts the cross-node flow edges, and (optionally)
+//! writes the merged Chrome trace to `PATH`.
 
 use asset_annot::verify_allow;
 use asset_common::{Config, Oid, Tid};
 use asset_coord::failpoints::{COORD_AFTER_DECIDE, COORD_BEFORE_DECIDE};
 use asset_coord::{
-    Acceptor, ChannelTransport, CoordLog, Decision, GlobalTxn, ParticipantNode, PaxosCommit,
-    TwoPhase,
+    Acceptor, ChannelTransport, CoordLog, CoordObs, Decision, GlobalTxn, ParticipantNode,
+    PaxosCommit, TcpTransport, TwoPhase,
 };
+use asset_core::Database;
 use asset_faults::{FaultAction, FaultRegistry, Trigger};
+use asset_obs::Obs;
+use asset_server::{protocol::opcode, AssetServer};
+use asset_trace::chrome;
+use asset_trace::prom::{self, PromServer};
+use asset_trace::span::CausalGraph;
 use std::sync::Arc;
 
 const NODES: usize = 3;
@@ -184,8 +197,213 @@ fn paxos_scenarios() {
     assert_converged(&c, 7, Decision::Commit, "paxos/one-acceptor-down");
 }
 
+/// Wire-mode node count and the coordinator's own fleet node id
+/// (distinct from every participant index, per the [`TcpTransport`]
+/// node-id convention).
+const TCP_NODES: usize = 2;
+const COORD_NODE: u32 = 2;
+
+/// `--tcp`: the full observability path end to end — wire servers,
+/// traced coordinator, live Prometheus scrapes, merged fleet trace.
+#[verify_allow(
+    no_panics,
+    reason = "CI smoke harness: a panic here is the failure signal the job exists to raise"
+)]
+fn tcp_scenario(trace_out: Option<&str>) {
+    // Two in-process wire servers; --node-id equals the transport index
+    // so the merged trace lanes line up. Each gets its own Prometheus
+    // endpoint, exactly like `asset-server --serve-metrics`.
+    let mut servers = Vec::new();
+    let mut exporters = Vec::new();
+    let mut addrs = Vec::new();
+    for i in 0..TCP_NODES {
+        let (db, _) =
+            Database::open(Config::in_memory().with_exec_workers(2)).expect("open node db");
+        db.obs().enable_tracing(4096);
+        let server =
+            AssetServer::spawn_node(db, "127.0.0.1:0", i as u32).expect("bind wire server");
+        let exporter =
+            PromServer::spawn("127.0.0.1:0", server.metrics_source()).expect("bind metrics");
+        addrs.push(server.local_addr().to_string());
+        exporters.push(exporter);
+        servers.push(server);
+    }
+
+    let hub = Obs::shared();
+    hub.enable_tracing(4096);
+    let transport = Arc::new(TcpTransport::new(addrs).with_obs(Arc::clone(&hub)));
+
+    // Stage one write per node over the wire. PREPARE only accepts the
+    // requesting session's transactions, so staging goes through the
+    // transport's own cached connections (`with_node`).
+    let stage = |gid: u64| -> (GlobalTxn, Vec<u64>) {
+        let mut g = GlobalTxn::new(gid);
+        let mut oids = Vec::new();
+        for i in 0..TCP_NODES {
+            let (tid, oid) = transport
+                .with_node(i, |c| {
+                    let oid = c.new_oid()?;
+                    let t = c.begin()?;
+                    c.write(t, oid, format!("gid{gid}").as_bytes())?;
+                    Ok((t, oid))
+                })
+                .expect("stage over wire");
+            g.add_member(i as u32, Tid(tid));
+            oids.push(oid);
+        }
+        (g, oids)
+    };
+    let check_committed = |servers: &[AssetServer], oids: &[u64], gid: u64, label: &str| {
+        for (i, oid) in oids.iter().enumerate() {
+            let v = servers[i].database().peek(Oid(*oid)).expect("peek");
+            let want = Some(format!("gid{gid}").into_bytes());
+            assert_eq!(v, want, "{label}: node {i} missing the committed value");
+        }
+    };
+
+    // 2PC over TCP, traced end to end.
+    let (g, oids) = stage(10);
+    let log = Arc::new(CoordLog::in_memory());
+    let coord =
+        TwoPhase::new(transport.clone(), log).with_obs(CoordObs::new(COORD_NODE, Arc::clone(&hub)));
+    assert_eq!(coord.commit(&g).expect("2pc over tcp"), Decision::Commit);
+    check_committed(&servers, &oids, 10, "tcp/2pc");
+    println!("  ok: tcp/2pc -> Commit, {TCP_NODES} wire nodes agree");
+
+    // Paxos Commit over TCP, same transport and hub.
+    let (g, oids) = stage(11);
+    let acc: Vec<Arc<Acceptor>> = (0..3).map(|_| Arc::new(Acceptor::new())).collect();
+    let pax = PaxosCommit::new(transport.clone(), acc)
+        .with_obs(CoordObs::new(COORD_NODE, Arc::clone(&hub)));
+    assert_eq!(pax.commit(&g).expect("paxos over tcp"), Decision::Commit);
+    check_committed(&servers, &oids, 11, "tcp/paxos");
+    println!("  ok: tcp/paxos -> Commit, {TCP_NODES} wire nodes agree");
+
+    // Live scrape of both per-node endpoints: the node is up, nothing
+    // is left in doubt, and the prepare service-time histogram filled.
+    for (i, ex) in exporters.iter().enumerate() {
+        let body = prom::scrape(ex.addr()).expect("scrape node endpoint");
+        let up = prom::sample(&body, &format!("asset_node_up{{node=\"{i}\"}}"));
+        assert_eq!(
+            up,
+            Some(1.0),
+            "tcp/metrics: node {i} must export asset_node_up"
+        );
+        let in_doubt = prom::sample(&body, &format!("asset_server_in_doubt{{node=\"{i}\"}}"));
+        assert_eq!(
+            in_doubt,
+            Some(0.0),
+            "tcp/metrics: decisions delivered, node {i} must not be in doubt"
+        );
+        let prepared = prom::sample(&body, "asset_server_op_prepare_ns_count");
+        assert_eq!(
+            prepared,
+            Some(2.0),
+            "tcp/metrics: node {i} served one PREPARE per protocol"
+        );
+    }
+    println!(
+        "  ok: tcp/metrics {} endpoints scraped live",
+        exporters.len()
+    );
+
+    // Coordinator-side histograms and counters filled under tracing.
+    let snap = hub.snapshot();
+    assert_eq!(
+        snap.decision_ns.count, 2,
+        "one decision-latency sample per protocol"
+    );
+    assert_eq!(snap.counters.coord_msg_prepare, (2 * TCP_NODES) as u64);
+    assert_eq!(
+        snap.counters.coord_msg_commit_decide,
+        (2 * TCP_NODES) as u64
+    );
+
+    // Merge the coordinator hub ring with each server's ring into one
+    // fleet trace and assert the cross-node flow edges exist.
+    let mut graphs = vec![CausalGraph::from_node_events(COORD_NODE, &hub.trace())];
+    for s in &servers {
+        graphs.push(CausalGraph::from_node_events(
+            s.node_id(),
+            &s.database().obs().trace(),
+        ));
+    }
+    let fleet = CausalGraph::merge(graphs);
+    let prepares = fleet
+        .flows
+        .iter()
+        .filter(|f| f.opcode == opcode::PREPARE)
+        .count();
+    let decides = fleet
+        .flows
+        .iter()
+        .filter(|f| f.opcode == opcode::COMMIT_DECIDE)
+        .count();
+    assert!(
+        prepares >= 2 * TCP_NODES,
+        "expected a PREPARE flow per node per protocol, got {prepares}"
+    );
+    assert!(
+        decides >= 2 * TCP_NODES,
+        "expected COMMIT_DECIDE fan-out flows to every node, got {decides}"
+    );
+    println!(
+        "  ok: tcp/trace merged {} node lanes, {} cross-node flows",
+        fleet.nodes.len(),
+        fleet.flows.len()
+    );
+
+    if let Some(path) = trace_out {
+        std::fs::write(path, chrome::render_fleet(&fleet)).expect("write merged trace");
+        println!("  ok: tcp/trace wrote merged Chrome trace to {path}");
+    }
+
+    // Drop the coordinator's connections before asking servers to stop.
+    drop(coord);
+    drop(pax);
+    drop(transport);
+    for s in servers {
+        s.shutdown();
+        s.join();
+    }
+    for mut ex in exporters {
+        ex.shutdown();
+    }
+}
+
 fn main() {
     asset_faults::silence_crash_panics();
+    let mut tcp = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tcp" => tcp = true,
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("coord-smoke: --trace-out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: coord-smoke [--tcp [--trace-out PATH]]");
+                return;
+            }
+            other => {
+                eprintln!("coord-smoke: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if tcp {
+        println!(
+            "coord-smoke: {TCP_NODES} wire servers + traced coordinator, 2PC + Paxos over TCP"
+        );
+        tcp_scenario(trace_out.as_deref());
+        println!("coord-smoke: tcp scenario converged");
+        return;
+    }
     println!("coord-smoke: {NODES}-node cluster, 2PC + Paxos Commit");
     twopc_scenarios();
     paxos_scenarios();

@@ -79,9 +79,80 @@ pub use twopc::{CoordLog, TwoPhase};
 
 use asset_common::Tid;
 use asset_dep::{CrossGroup, NodeId};
+use asset_obs::{bump, Obs, TraceCtx};
+use std::sync::Arc;
 
 #[cfg(doc)]
 use asset_core::Database;
+
+/// Coordinator-side observability (DESIGN.md §7.2): the hub that
+/// receives the coordinator's per-opcode message counters
+/// (`coord_msg_*`), its `decision_ns` latency histogram, and — when
+/// tracing is enabled on the hub — the `MsgSend`/`MsgAck` trace
+/// events of every protocol exchange; plus the fleet node id stamped
+/// as the **origin** of every propagated trace context.
+///
+/// Attach one to a coordinator with [`TwoPhase::with_obs`] /
+/// [`PaxosCommit::with_obs`]. The root span id of each context is the
+/// global transaction's `gid`, so every message of one distributed
+/// commit shares a root across all node lanes of a merged trace.
+pub struct CoordObs {
+    node: u32,
+    obs: Arc<Obs>,
+}
+
+impl CoordObs {
+    /// Coordinator observability recording into `obs`, stamping `node`
+    /// as the origin of outgoing trace contexts. Pick a node id
+    /// distinct from every participant's, or the merged trace folds
+    /// the coordinator lane into a participant's.
+    pub fn new(node: u32, obs: Arc<Obs>) -> CoordObs {
+        CoordObs { node, obs }
+    }
+
+    /// The coordinator's fleet node id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The underlying hub (snapshot it for scraping, or enable tracing
+    /// on it to capture the coordinator's event lane).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The trace context stamped onto messages of global txn `gid`.
+    pub(crate) fn ctx(&self, gid: u64) -> TraceCtx {
+        TraceCtx {
+            origin: self.node,
+            root: gid,
+        }
+    }
+}
+
+/// Send `msg` for global txn `gid` through `transport`, threading the
+/// coordinator's observability when present: bump the per-opcode
+/// `coord_msg_*` counter and propagate a trace context so transports
+/// mirror the exchange into the event rings on both ends.
+pub(crate) fn coord_send(
+    transport: &dyn CommitTransport,
+    co: Option<&CoordObs>,
+    gid: u64,
+    node: usize,
+    msg: CommitMessage,
+) -> Result<CommitMessage, CoordError> {
+    let Some(co) = co else {
+        return transport.send(node, msg);
+    };
+    match &msg {
+        CommitMessage::Prepare { .. } => bump(&co.obs.counters.coord_msg_prepare),
+        CommitMessage::QueryState { .. } => bump(&co.obs.counters.coord_msg_prepared),
+        CommitMessage::CommitDecide { .. } => bump(&co.obs.counters.coord_msg_commit_decide),
+        CommitMessage::AbortDecide { .. } => bump(&co.obs.counters.coord_msg_abort_decide),
+        _ => {}
+    }
+    transport.send_traced(node, msg, Some(co.ctx(gid)))
+}
 
 /// The coordinator's verdict on a global transaction. Durable (in the
 /// coordinator log for 2PC, at an acceptor quorum for Paxos Commit)
@@ -140,12 +211,20 @@ impl GlobalTxn {
 /// where an idempotent abort-decide of the seeds suffices.
 pub(crate) fn terminate(
     transport: &dyn CommitTransport,
+    co: Option<&CoordObs>,
+    gid: u64,
     members: &[(NodeId, Vec<Tid>)],
     decision: Decision,
 ) -> Result<(), CoordError> {
     for (node, tids) in members {
         let n = node.0 as usize;
-        let state = match transport.send(n, CommitMessage::QueryState { tid: tids[0] })? {
+        let state = match coord_send(
+            transport,
+            co,
+            gid,
+            n,
+            CommitMessage::QueryState { tid: tids[0] },
+        )? {
             CommitMessage::State(s) => s,
             other => return Err(CoordError::protocol("query-state", &other)),
         };
@@ -157,16 +236,21 @@ pub(crate) fn terminate(
                 )))
             }
             (ParticipantState::Prepared, _) => {
-                let group =
-                    match transport.send(n, CommitMessage::Prepare { tids: tids.clone() })? {
-                        CommitMessage::Vote { yes: true, group } => group,
-                        other => return Err(CoordError::protocol("re-prepare", &other)),
-                    };
+                let group = match coord_send(
+                    transport,
+                    co,
+                    gid,
+                    n,
+                    CommitMessage::Prepare { tids: tids.clone() },
+                )? {
+                    CommitMessage::Vote { yes: true, group } => group,
+                    other => return Err(CoordError::protocol("re-prepare", &other)),
+                };
                 let msg = match decision {
                     Decision::Commit => CommitMessage::CommitDecide { tids: group },
                     Decision::Abort => CommitMessage::AbortDecide { tids: group },
                 };
-                match transport.send(n, msg)? {
+                match coord_send(transport, co, gid, n, msg)? {
                     CommitMessage::Ack => {}
                     other => return Err(CoordError::protocol("decide", &other)),
                 }
@@ -174,7 +258,13 @@ pub(crate) fn terminate(
             (_, Decision::Abort) => {
                 // never prepared (or already aborted): abort-decide is
                 // an idempotent abort_many of whatever is still live
-                let _ = transport.send(n, CommitMessage::AbortDecide { tids: tids.clone() })?;
+                let _ = coord_send(
+                    transport,
+                    co,
+                    gid,
+                    n,
+                    CommitMessage::AbortDecide { tids: tids.clone() },
+                )?;
             }
             (s, Decision::Commit) => {
                 return Err(CoordError::Protocol(format!(
@@ -207,6 +297,62 @@ mod tests {
         (0..n)
             .map(|_| Arc::new(ParticipantNode::open(Config::in_memory()).unwrap()))
             .collect()
+    }
+
+    #[test]
+    fn coordinator_obs_counts_messages_and_mirrors_trace_events() {
+        let nodes = mem_nodes(2);
+        for n in &nodes {
+            n.db().obs().enable_tracing(64);
+        }
+        let oids: Vec<_> = nodes.iter().map(|n| n.db().new_oid()).collect();
+        let hub = Obs::shared();
+        hub.enable_tracing(64);
+        let transport = Arc::new(ChannelTransport::new(nodes.clone()).with_obs(Arc::clone(&hub)));
+        let coord = TwoPhase::new(transport, Arc::new(CoordLog::in_memory()))
+            .with_obs(CoordObs::new(7, Arc::clone(&hub)));
+        let mut g = GlobalTxn::new(41);
+        for (i, oid) in oids.iter().enumerate() {
+            let t = stage(&nodes[i], *oid, b"obs");
+            g.add_member(i as u32, t);
+        }
+        assert_eq!(coord.commit(&g).unwrap(), Decision::Commit);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counters.coord_msg_prepare, 2);
+        assert_eq!(snap.counters.coord_msg_commit_decide, 2);
+        assert_eq!(snap.counters.coord_msg_abort_decide, 0);
+        assert_eq!(snap.decision_ns.count, 1, "one decision recorded");
+        // the coordinator lane has a send/ack pair per delivered message
+        let events = hub.trace();
+        let sends = events
+            .iter()
+            .filter(|e| matches!(e.kind, asset_obs::EventKind::MsgSend { root: 41, .. }))
+            .count();
+        let acks = events
+            .iter()
+            .filter(|e| matches!(e.kind, asset_obs::EventKind::MsgAck { root: 41, .. }))
+            .count();
+        assert_eq!(sends, 4, "2 prepares + 2 commit decides");
+        assert_eq!(acks, 4);
+        // each participant mirrored recv/reply pairs tagged with the
+        // coordinator's origin node id
+        for n in &nodes {
+            let events = n.db().obs().trace();
+            let recvs = events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        asset_obs::EventKind::MsgRecv {
+                            origin: 7,
+                            root: 41,
+                            ..
+                        }
+                    )
+                })
+                .count();
+            assert_eq!(recvs, 2, "prepare + commit decide received");
+        }
     }
 
     #[test]

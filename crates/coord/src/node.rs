@@ -9,10 +9,11 @@
 //! logic backs [`ChannelTransport`](crate::ChannelTransport); over TCP
 //! the equivalent mapping lives in the server's dispatch.
 
-use crate::transport::{CommitMessage, ParticipantState};
+use crate::transport::{wire_opcode, CommitMessage, ParticipantState};
 use asset_annot::verify_allow;
 use asset_common::{Config, Result, Tid, TxnStatus};
 use asset_core::Database;
+use asset_obs::{EventKind, TraceCtx};
 use parking_lot::Mutex;
 
 /// One participant node: a [`Database`] that can be killed and
@@ -77,8 +78,29 @@ impl ParticipantNode {
     /// `CrashPoint` panic when a participant failpoint fires —
     /// transports catch that and mark the node dead.
     pub fn handle(&self, msg: CommitMessage) -> Option<CommitMessage> {
+        self.handle_traced(msg, None)
+    }
+
+    /// [`handle`](Self::handle) with a propagated trace context: the
+    /// request/reply pair is mirrored as `MsgRecv`/`MsgReply` events in
+    /// this node's database hub (DESIGN.md §7.2), tagged with the
+    /// coordinator's origin node id and root span so the multi-node
+    /// merge can pair them with the coordinator's `MsgSend`/`MsgAck`.
+    pub fn handle_traced(
+        &self,
+        msg: CommitMessage,
+        ctx: Option<TraceCtx>,
+    ) -> Option<CommitMessage> {
         let db = self.db.lock().clone()?;
-        Some(match msg {
+        let op = ctx.and_then(|_| wire_opcode(&msg));
+        if let (Some(ctx), Some(op)) = (ctx, op) {
+            db.obs().record(EventKind::MsgRecv {
+                opcode: op,
+                origin: ctx.origin,
+                root: ctx.root,
+            });
+        }
+        let reply = Some(match msg {
             CommitMessage::Prepare { tids } => match db.prepare_group(&tids) {
                 Ok(group) => CommitMessage::Vote { yes: true, group },
                 Err(_) => CommitMessage::Vote {
@@ -106,7 +128,21 @@ impl ParticipantNode {
             other => CommitMessage::Failed {
                 info: format!("participant cannot handle {other:?}"),
             },
-        })
+        });
+        if let (Some(ctx), Some(op)) = (ctx, op) {
+            let status = match &reply {
+                Some(CommitMessage::Vote { yes: false, .. })
+                | Some(CommitMessage::Failed { .. }) => 1,
+                _ => 0,
+            };
+            db.obs().record(EventKind::MsgReply {
+                opcode: op,
+                origin: ctx.origin,
+                root: ctx.root,
+                status,
+            });
+        }
+        reply
     }
 }
 

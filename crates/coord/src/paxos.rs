@@ -27,7 +27,7 @@
 
 use crate::failpoints::{COORD_AFTER_DECIDE, COORD_BEFORE_DECIDE};
 use crate::transport::{CommitMessage, CommitTransport, CoordError};
-use crate::{terminate, Decision, GlobalTxn};
+use crate::{coord_send, terminate, CoordObs, Decision, GlobalTxn};
 use asset_common::Tid;
 use asset_dep::NodeId;
 use asset_faults::{FaultAction, FaultRegistry};
@@ -35,6 +35,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One consensus instance: the vote of participant `node` in global
 /// transaction `gid`.
@@ -120,6 +121,7 @@ pub struct PaxosCommit {
     /// may skip phase 1), higher for recovery coordinators.
     ballot: u64,
     faults: Arc<FaultRegistry>,
+    obs: Option<CoordObs>,
 }
 
 impl PaxosCommit {
@@ -130,6 +132,7 @@ impl PaxosCommit {
             acceptors,
             ballot: 0,
             faults: Arc::new(FaultRegistry::new()),
+            obs: None,
         }
     }
 
@@ -147,6 +150,7 @@ impl PaxosCommit {
             acceptors,
             ballot,
             faults: Arc::new(FaultRegistry::new()),
+            obs: None,
         }
     }
 
@@ -154,6 +158,19 @@ impl PaxosCommit {
     pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> PaxosCommit {
         self.faults = faults;
         self
+    }
+
+    /// Builder-style: record coordinator-side observability into `co` —
+    /// `coord_msg_*` counters, the `decision_ns` histogram, and (with
+    /// tracing enabled on the hub) `MsgSend`/`MsgAck` events plus a
+    /// trace context on every message (DESIGN.md §7.2).
+    pub fn with_obs(mut self, co: CoordObs) -> PaxosCommit {
+        self.obs = Some(co);
+        self
+    }
+
+    fn send(&self, gid: u64, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+        coord_send(self.transport.as_ref(), self.obs.as_ref(), gid, node, msg)
     }
 
     fn quorum(&self) -> usize {
@@ -179,12 +196,14 @@ impl PaxosCommit {
     /// Requires a quorum — with a majority of acceptors down the
     /// protocol (correctly) cannot decide.
     pub fn commit(&self, txn: &GlobalTxn) -> Result<Decision, CoordError> {
+        let started = Instant::now();
         let members = txn.members();
         // participant voting round, identical to 2PC phase 1
         let mut prepared: Vec<(NodeId, Vec<Tid>)> = Vec::new();
         let mut votes: Vec<(u32, bool)> = Vec::new();
         for (node, tids) in &members {
-            let sent = self.transport.send(
+            let sent = self.send(
+                txn.gid,
                 node.0 as usize,
                 CommitMessage::Prepare { tids: tids.clone() },
             );
@@ -213,6 +232,12 @@ impl PaxosCommit {
         for (node, yes) in &votes {
             self.decide_instance((txn.gid, *node), *yes)?;
         }
+        if let Some(co) = &self.obs {
+            // decision latency: first prepare sent → quorum durable
+            co.obs()
+                .decision_ns
+                .record(started.elapsed().as_nanos() as u64);
+        }
         let decision = if votes.iter().all(|(_, yes)| *yes) {
             Decision::Commit
         } else {
@@ -232,13 +257,14 @@ impl PaxosCommit {
                 },
             };
             // verify: allow(status_flow) — decision is Paxos-durable; learners re-deliver lost decides
-            let _ = self.transport.send(node.0 as usize, msg);
+            let _ = self.send(txn.gid, node.0 as usize, msg);
         }
         if decision == Decision::Abort {
             for (node, tids) in &members {
                 if !prepared.iter().any(|(n, _)| n == node) {
                     // verify: allow(status_flow) — abort decide is best-effort; participants time out
-                    let _ = self.transport.send(
+                    let _ = self.send(
+                        txn.gid,
                         node.0 as usize,
                         CommitMessage::AbortDecide { tids: tids.clone() },
                     );
@@ -285,7 +311,13 @@ impl PaxosCommit {
         } else {
             Decision::Abort
         };
-        terminate(self.transport.as_ref(), &members, decision)?;
+        terminate(
+            self.transport.as_ref(),
+            self.obs.as_ref(),
+            txn.gid,
+            &members,
+            decision,
+        )?;
         Ok(decision)
     }
 

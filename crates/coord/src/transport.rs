@@ -13,10 +13,27 @@ use crate::node::ParticipantNode;
 use asset_client::{Client, PreparedState};
 use asset_common::Tid;
 use asset_faults::{FaultAction, FaultRegistry};
+use asset_obs::{EventKind, Obs, TraceCtx};
+use asset_server::protocol::opcode;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// The §13 wire opcode a coordinator-originated message rides, or
+/// `None` for reply-only messages (which a coordinator never sends).
+/// Trace events mirror protocol messages under these opcodes so a
+/// channel-transport exchange and its TCP equivalent produce the same
+/// merged trace.
+pub(crate) fn wire_opcode(msg: &CommitMessage) -> Option<u8> {
+    match msg {
+        CommitMessage::Prepare { .. } => Some(opcode::PREPARE),
+        CommitMessage::QueryState { .. } => Some(opcode::PREPARED),
+        CommitMessage::CommitDecide { .. } => Some(opcode::COMMIT_DECIDE),
+        CommitMessage::AbortDecide { .. } => Some(opcode::ABORT_DECIDE),
+        _ => None,
+    }
+}
 
 /// One protocol message (request or reply). The vocabulary maps 1:1
 /// onto the §13 wire opcodes; see `DESIGN.md` §14.2.
@@ -138,6 +155,22 @@ pub trait CommitTransport: Send + Sync {
     fn nodes(&self) -> usize;
     /// Deliver `msg` to `node` and wait for its reply.
     fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError>;
+    /// Deliver `msg` to `node` carrying the trace context `ctx`
+    /// (DESIGN.md §7.2). A context-propagating transport mirrors the
+    /// exchange as `MsgSend`/`MsgAck` events on the coordinator's hub
+    /// and `MsgRecv`/`MsgReply` on the participant's, which the
+    /// multi-node trace merge pairs into cross-node flow edges. The
+    /// default ignores the context and behaves exactly like
+    /// [`send`](Self::send).
+    fn send_traced(
+        &self,
+        node: usize,
+        msg: CommitMessage,
+        ctx: Option<TraceCtx>,
+    ) -> Result<CommitMessage, CoordError> {
+        let _ = ctx;
+        self.send(node, msg)
+    }
 }
 
 /// In-process transport: messages are direct calls into
@@ -151,6 +184,7 @@ pub struct ChannelTransport {
     nodes: Vec<Arc<ParticipantNode>>,
     faults: Arc<FaultRegistry>,
     delay: Option<Duration>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl ChannelTransport {
@@ -160,7 +194,17 @@ impl ChannelTransport {
             nodes,
             faults: Arc::new(FaultRegistry::new()),
             delay: None,
+            obs: None,
         }
+    }
+
+    /// Builder-style: mirror traced exchanges as `MsgSend`/`MsgAck`
+    /// events into the coordinator's hub `obs`. Participant-side
+    /// `MsgRecv`/`MsgReply` events land in each node's own database
+    /// hub; enable tracing on both for a mergeable fleet trace.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> ChannelTransport {
+        self.obs = Some(obs);
+        self
     }
 
     /// Builder-style: script message faults through `faults` (arm
@@ -184,12 +228,13 @@ impl ChannelTransport {
     }
 }
 
-impl CommitTransport for ChannelTransport {
-    fn nodes(&self) -> usize {
-        self.nodes.len()
-    }
-
-    fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+impl ChannelTransport {
+    fn deliver(
+        &self,
+        node: usize,
+        msg: CommitMessage,
+        ctx: Option<TraceCtx>,
+    ) -> Result<CommitMessage, CoordError> {
         let point = match &msg {
             CommitMessage::Prepare { .. } => failpoints::MSG_PREPARE_DROP,
             CommitMessage::CommitDecide { .. } | CommitMessage::AbortDecide { .. } => {
@@ -213,8 +258,28 @@ impl CommitTransport for ChannelTransport {
             .get(node)
             .ok_or(CoordError::NodeDown(node))?
             .clone();
-        match catch_unwind(AssertUnwindSafe(|| n.handle(msg))) {
-            Ok(Some(reply)) => Ok(reply),
+        // a fault-dropped message records no event: the merge pairs the
+        // k-th send with the k-th recv, so only delivered exchanges may
+        // appear on the coordinator lane
+        let op = ctx.and_then(|_| wire_opcode(&msg));
+        if let (Some(obs), Some(ctx), Some(op)) = (&self.obs, ctx, op) {
+            obs.record(EventKind::MsgSend {
+                node: node as u32,
+                opcode: op,
+                root: ctx.root,
+            });
+        }
+        match catch_unwind(AssertUnwindSafe(|| n.handle_traced(msg, ctx))) {
+            Ok(Some(reply)) => {
+                if let (Some(obs), Some(ctx), Some(op)) = (&self.obs, ctx, op) {
+                    obs.record(EventKind::MsgAck {
+                        node: node as u32,
+                        opcode: op,
+                        root: ctx.root,
+                    });
+                }
+                Ok(reply)
+            }
             Ok(None) => Err(CoordError::NodeDown(node)),
             Err(payload) => {
                 if payload.downcast_ref::<asset_faults::CrashPoint>().is_some() {
@@ -230,6 +295,25 @@ impl CommitTransport for ChannelTransport {
     }
 }
 
+impl CommitTransport for ChannelTransport {
+    fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+        self.deliver(node, msg, None)
+    }
+
+    fn send_traced(
+        &self,
+        node: usize,
+        msg: CommitMessage,
+        ctx: Option<TraceCtx>,
+    ) -> Result<CommitMessage, CoordError> {
+        self.deliver(node, msg, ctx)
+    }
+}
+
 /// Wire transport: each node is an ASSET server address, reached with a
 /// lazily (re)connected [`Client`] per node. A transport error closes
 /// the connection so the next send reconnects — a restarted server is
@@ -237,13 +321,42 @@ impl CommitTransport for ChannelTransport {
 pub struct TcpTransport {
     addrs: Vec<String>,
     conns: Mutex<Vec<Option<Client>>>,
+    obs: Option<Arc<Obs>>,
 }
 
 impl TcpTransport {
     /// A transport over the given server addresses.
     pub fn new(addrs: Vec<String>) -> TcpTransport {
         let conns = Mutex::new(addrs.iter().map(|_| None).collect());
-        TcpTransport { addrs, conns }
+        TcpTransport {
+            addrs,
+            conns,
+            obs: None,
+        }
+    }
+
+    /// Builder-style: mirror traced exchanges as `MsgSend`/`MsgAck`
+    /// events into the coordinator's hub `obs` (via each node's
+    /// [`Client::enable_tracing`]). Events are tagged with the
+    /// transport index as the peer node id, so run each server with
+    /// `--node-id` equal to its index here for a mergeable trace.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> TcpTransport {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Run `f` against the transport's cached wire session for `node`
+    /// (connecting lazily, like a send). Distributed work must be
+    /// staged on the **same** session that later votes: wire `PREPARE`
+    /// only accepts transactions owned by the requesting session
+    /// (DESIGN.md §14.2), and this transport holds one connection per
+    /// node for the coordinator's whole run.
+    pub fn with_node<T>(
+        &self,
+        node: usize,
+        f: impl FnOnce(&mut Client) -> Result<T, asset_client::ClientError>,
+    ) -> Result<T, CoordError> {
+        self.with_client(node, f)
     }
 
     fn with_client<T>(
@@ -276,16 +389,35 @@ impl CommitTransport for TcpTransport {
     }
 
     fn send(&self, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+        self.send_traced(node, msg, None)
+    }
+
+    fn send_traced(
+        &self,
+        node: usize,
+        msg: CommitMessage,
+        ctx: Option<TraceCtx>,
+    ) -> Result<CommitMessage, CoordError> {
         let raw = |tids: &[Tid]| tids.iter().map(|t| t.0).collect::<Vec<u64>>();
+        // arm (or clear) the per-node client's frame stamping before the
+        // exchange: the client records the MsgSend/MsgAck pair itself
+        let trace = ctx.and_then(|c| self.obs.clone().map(|o| (c, o)));
+        let armed = |c: &mut Client| match &trace {
+            Some((ctx, obs)) => c.enable_tracing(*ctx, node as u32, Arc::clone(obs)),
+            None => c.disable_tracing(),
+        };
         match msg {
             CommitMessage::Prepare { tids } => {
                 let wire = raw(&tids);
                 // a server-reported error is a no vote; transport (Io)
                 // errors propagate through with_client's reconnect path
-                let vote = self.with_client(node, |c| match c.prepare(&wire) {
-                    Ok(group) => Ok(Some(group)),
-                    Err(asset_client::ClientError::Server { .. }) => Ok(None),
-                    Err(e) => Err(e),
+                let vote = self.with_client(node, |c| {
+                    armed(c);
+                    match c.prepare(&wire) {
+                        Ok(group) => Ok(Some(group)),
+                        Err(asset_client::ClientError::Server { .. }) => Ok(None),
+                        Err(e) => Err(e),
+                    }
                 })?;
                 Ok(match vote {
                     Some(group) => CommitMessage::Vote {
@@ -300,16 +432,25 @@ impl CommitTransport for TcpTransport {
             }
             CommitMessage::CommitDecide { tids } => {
                 let wire = raw(&tids);
-                self.with_client(node, |c| c.commit_decide(&wire))?;
+                self.with_client(node, |c| {
+                    armed(c);
+                    c.commit_decide(&wire)
+                })?;
                 Ok(CommitMessage::Ack)
             }
             CommitMessage::AbortDecide { tids } => {
                 let wire = raw(&tids);
-                self.with_client(node, |c| c.abort_decide(&wire))?;
+                self.with_client(node, |c| {
+                    armed(c);
+                    c.abort_decide(&wire)
+                })?;
                 Ok(CommitMessage::Ack)
             }
             CommitMessage::QueryState { tid } => {
-                let s = self.with_client(node, |c| c.prepared_state(tid.0))?;
+                let s = self.with_client(node, |c| {
+                    armed(c);
+                    c.prepared_state(tid.0)
+                })?;
                 Ok(CommitMessage::State(match s {
                     PreparedState::Unknown => ParticipantState::Unknown,
                     PreparedState::Prepared => ParticipantState::Prepared,

@@ -14,7 +14,7 @@
 
 use crate::failpoints::{COORD_AFTER_DECIDE, COORD_BEFORE_DECIDE};
 use crate::transport::{CommitMessage, CommitTransport, CoordError};
-use crate::{terminate, Decision, GlobalTxn};
+use crate::{coord_send, terminate, CoordObs, Decision, GlobalTxn};
 use asset_common::Tid;
 use asset_dep::NodeId;
 use asset_faults::{FaultAction, FaultRegistry};
@@ -24,6 +24,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The coordinator's durable decision log: `gid → decision`, forced
 /// before any participant learns the outcome. On disk each record is 9
@@ -109,6 +110,7 @@ pub struct TwoPhase {
     transport: Arc<dyn CommitTransport>,
     log: Arc<CoordLog>,
     faults: Arc<FaultRegistry>,
+    obs: Option<CoordObs>,
 }
 
 impl TwoPhase {
@@ -118,6 +120,7 @@ impl TwoPhase {
             transport,
             log,
             faults: Arc::new(FaultRegistry::new()),
+            obs: None,
         }
     }
 
@@ -126,6 +129,19 @@ impl TwoPhase {
     pub fn with_faults(mut self, faults: Arc<FaultRegistry>) -> TwoPhase {
         self.faults = faults;
         self
+    }
+
+    /// Builder-style: record coordinator-side observability into `co` —
+    /// `coord_msg_*` counters, the `decision_ns` histogram, and (with
+    /// tracing enabled on the hub) `MsgSend`/`MsgAck` events plus a
+    /// trace context on every message (DESIGN.md §7.2).
+    pub fn with_obs(mut self, co: CoordObs) -> TwoPhase {
+        self.obs = Some(co);
+        self
+    }
+
+    fn send(&self, gid: u64, node: usize, msg: CommitMessage) -> Result<CommitMessage, CoordError> {
+        coord_send(self.transport.as_ref(), self.obs.as_ref(), gid, node, msg)
     }
 
     /// The decision log (a recovery coordinator reuses it).
@@ -139,12 +155,14 @@ impl TwoPhase {
     /// [`recover`](Self::recover) re-delivers to anyone that missed
     /// it).
     pub fn commit(&self, txn: &GlobalTxn) -> Result<Decision, CoordError> {
+        let started = Instant::now();
         let members = txn.members();
         // --- phase 1: collect votes -----------------------------------
         let mut prepared: Vec<(NodeId, Vec<Tid>)> = Vec::new();
         let mut all_yes = true;
         for (node, tids) in &members {
-            let sent = self.transport.send(
+            let sent = self.send(
+                txn.gid,
                 node.0 as usize,
                 CommitMessage::Prepare { tids: tids.clone() },
             );
@@ -172,6 +190,12 @@ impl TwoPhase {
             Decision::Abort
         };
         self.log.record(txn.gid, decision)?;
+        if let Some(co) = &self.obs {
+            // decision latency: first prepare sent → decision durable
+            co.obs()
+                .decision_ns
+                .record(started.elapsed().as_nanos() as u64);
+        }
         if let Some(act) = self.faults.check(COORD_AFTER_DECIDE) {
             return Err(self.realize(COORD_AFTER_DECIDE, act));
         }
@@ -188,7 +212,7 @@ impl TwoPhase {
             // best-effort: a dropped decide leaves the node prepared;
             // recover() re-delivers
             // verify: allow(status_flow) — decision is durable; recover() re-delivers lost decides
-            let _ = self.transport.send(node.0 as usize, msg);
+            let _ = self.send(txn.gid, node.0 as usize, msg);
         }
         if decision == Decision::Abort {
             // members that never prepared (no-voters, unreachable
@@ -196,7 +220,8 @@ impl TwoPhase {
             for (node, tids) in &members {
                 if !prepared.iter().any(|(n, _)| n == node) {
                     // verify: allow(status_flow) — abort decide is best-effort; participants time out
-                    let _ = self.transport.send(
+                    let _ = self.send(
+                        txn.gid,
                         node.0 as usize,
                         CommitMessage::AbortDecide { tids: tids.clone() },
                     );
@@ -214,7 +239,13 @@ impl TwoPhase {
     pub fn recover(&self, txn: &GlobalTxn) -> Result<Decision, CoordError> {
         let decision = self.log.decision(txn.gid).unwrap_or(Decision::Abort);
         self.log.record(txn.gid, decision)?;
-        terminate(self.transport.as_ref(), &txn.members(), decision)?;
+        terminate(
+            self.transport.as_ref(),
+            self.obs.as_ref(),
+            txn.gid,
+            &txn.members(),
+            decision,
+        )?;
         Ok(decision)
     }
 

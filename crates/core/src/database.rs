@@ -126,6 +126,13 @@ pub(crate) struct DbInner {
     /// lazily by the first [`Database::submit`] so databases that only use
     /// the thread-per-transaction path pay nothing.
     pub exec: std::sync::OnceLock<Arc<crate::exec::ExecInner>>,
+    /// Prepare-force instants for in-doubt members (§14.2): written by
+    /// `prepare_group` once its `Prepared` record is durable, consumed by
+    /// the decide paths to feed `Obs::in_doubt_ns`. Taken only *after*
+    /// every transaction-shard guard is dropped (the §7 rule: no obs
+    /// bookkeeping under a stripe mutex). Absent entries — a restart
+    /// between prepare and decide — simply record nothing.
+    pub prepared_at: Mutex<std::collections::HashMap<Tid, std::time::Instant>>,
 }
 
 impl Drop for DbInner {
@@ -254,6 +261,7 @@ impl Database {
             live_count: AtomicUsize::new(0),
             obs,
             exec: std::sync::OnceLock::new(),
+            prepared_at: Mutex::new(std::collections::HashMap::new()),
         });
         // Restore prepared-but-undecided participants (§14.3): each
         // in-doubt transaction re-enters the table as `Prepared` — undo
@@ -1470,6 +1478,19 @@ impl Database {
             }
             drop(guard);
             self.inner.txns.bump();
+            // in-doubt clock starts at the durable prepare force (§14.2);
+            // guard already dropped, so the map lock nests inside nothing
+            {
+                let now = std::time::Instant::now();
+                let mut at = self.inner.prepared_at.lock();
+                for m in &group {
+                    at.insert(*m, now);
+                }
+            }
+            self.inner.obs.record(EventKind::PrepareForced {
+                tid: group[0],
+                group: group.len() as u32,
+            });
             // the record is durable and the group is Prepared; a failure
             // here models the participant dying (Crash) or the vote being
             // lost in transit (Error) — either way the group must STAY
@@ -1550,8 +1571,33 @@ impl Database {
             tid: pending[0],
             group: pending.len() as u32,
         });
+        self.record_decide(&pending, true);
         self.inner.txns.bump();
         Ok(())
+    }
+
+    /// Close the in-doubt window for `members` (§14.2 observability):
+    /// record each member's prepare-force → decision duration into
+    /// `Obs::in_doubt_ns` and emit one `DecideApplied` event. Members
+    /// without a recorded prepare instant (restart recovery restored
+    /// them) record nothing. Never called with a shard guard held.
+    fn record_decide(&self, members: &[Tid], commit: bool) {
+        let decided: Vec<std::time::Instant> = {
+            let mut at = self.inner.prepared_at.lock();
+            members.iter().filter_map(|m| at.remove(m)).collect()
+        };
+        if decided.is_empty() {
+            return;
+        }
+        let obs = &self.inner.obs;
+        for t0 in &decided {
+            obs.in_doubt_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        obs.record(EventKind::DecideApplied {
+            tid: members[0],
+            commit,
+            group: decided.len() as u32,
+        });
     }
 
     /// Apply the coordinator's *abort* decision to a prepared group
@@ -1561,6 +1607,9 @@ impl Database {
     /// are skipped; members that committed are left untouched (the
     /// coordinator never mixes decisions within one group).
     pub fn decide_abort_group(&self, group: &[Tid]) {
+        // capture the in-doubt window before the rollback clears state;
+        // non-prepared members have no entry and record nothing
+        self.record_decide(group, false);
         self.abort_many(group);
     }
 

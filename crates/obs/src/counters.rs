@@ -63,6 +63,20 @@ macro_rules! define_counters {
             pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
                 $(f(stringify!($name), self.$name);)*
             }
+
+            /// Set the counter named `name` (the inverse of
+            /// [`for_each`](Self::for_each), used by the wire decoder).
+            /// Returns `false` for an unknown name — a peer speaking a
+            /// newer snapshot revision — which callers skip, not fail.
+            pub fn set(&mut self, name: &str, value: u64) -> bool {
+                match name {
+                    $(stringify!($name) => {
+                        self.$name = value;
+                        true
+                    })*
+                    _ => false,
+                }
+            }
         }
     };
 }
@@ -145,6 +159,18 @@ define_counters! {
     /// that themselves failed, leaving funded orphan objects behind.
     /// Nonzero means a conservation audit needs a manual sweep.
     mint_rollback_failures,
+    /// `PREPARE` (`0x40`) messages sent by a coordinator through its
+    /// transport (DESIGN.md §14.1).
+    coord_msg_prepare,
+    /// `PREPARED` state queries (`0x41`) sent by a coordinator.
+    coord_msg_prepared,
+    /// `COMMIT_DECIDE` (`0x42`) messages sent by a coordinator.
+    coord_msg_commit_decide,
+    /// `ABORT_DECIDE` (`0x43`) messages sent by a coordinator.
+    coord_msg_abort_decide,
+    /// Wire frames received that carried a propagated trace context
+    /// (version `0x02` frames, DESIGN.md §13.1).
+    server_traced_frames,
 }
 
 #[cfg(test)]

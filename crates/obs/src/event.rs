@@ -244,6 +244,71 @@ pub enum EventKind {
         /// A static milestone label (e.g. `"step"`, `"compensate"`).
         label: &'static str,
     },
+    /// This node sent a wire request (client→server frame or coordinator
+    /// opcode) to a peer, stamped with the propagated trace context
+    /// (DESIGN.md §7.2). Pairs with the peer's
+    /// [`MsgRecv`](EventKind::MsgRecv) carrying the same `(root, opcode)`
+    /// and, on the reply path, with this node's own
+    /// [`MsgAck`](EventKind::MsgAck).
+    MsgSend {
+        /// The destination node id.
+        node: u32,
+        /// Wire opcode of the request (§13.3).
+        opcode: u8,
+        /// Root span id of the trace context (the gid for coordinator
+        /// opcodes).
+        root: u64,
+    },
+    /// The reply to an earlier [`MsgSend`](EventKind::MsgSend) arrived
+    /// back on the sending node.
+    MsgAck {
+        /// The node that answered.
+        node: u32,
+        /// Wire opcode of the request being acknowledged.
+        opcode: u8,
+        /// Root span id of the trace context.
+        root: u64,
+    },
+    /// This node received a wire request carrying a trace context.
+    MsgRecv {
+        /// Wire opcode of the request (§13.3).
+        opcode: u8,
+        /// Origin node id from the propagated trace context.
+        origin: u32,
+        /// Root span id from the propagated trace context.
+        root: u64,
+    },
+    /// This node finished serving a traced wire request and is replying.
+    MsgReply {
+        /// Wire opcode of the request being answered.
+        opcode: u8,
+        /// Origin node id from the propagated trace context.
+        origin: u32,
+        /// Root span id from the propagated trace context.
+        root: u64,
+        /// Wire status byte of the reply (§13.3).
+        status: u8,
+    },
+    /// A `Prepared` record for a distributed-commit group became durable
+    /// on this participant (DESIGN.md §14.2) — the in-doubt window opens
+    /// here and closes at [`DecideApplied`](EventKind::DecideApplied).
+    PrepareForced {
+        /// Lowest member tid of the prepared group.
+        tid: Tid,
+        /// Size of the prepared group.
+        group: u32,
+    },
+    /// The coordinator's decision reached this participant and was
+    /// applied, closing the in-doubt window that
+    /// [`PrepareForced`](EventKind::PrepareForced) opened.
+    DecideApplied {
+        /// Lowest member tid of the resolved group.
+        tid: Tid,
+        /// `true` for a commit decision, `false` for abort.
+        commit: bool,
+        /// Size of the resolved group.
+        group: u32,
+    },
 }
 
 /// One recorded event.

@@ -106,6 +106,18 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// An all-zero snapshot over `boundaries` — the shape a fresh
+    /// [`AtomicHistogram`] would snapshot to (used by the wire decoder).
+    pub fn empty(boundaries: &'static [u64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            boundaries,
+            buckets: vec![0; boundaries.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
     /// Mean observed value (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

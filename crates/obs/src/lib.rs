@@ -41,6 +41,7 @@ mod counters;
 mod event;
 mod hist;
 mod snapshot;
+pub mod wire;
 
 pub use counters::{add, bump, CounterSnapshot, Counters};
 #[cfg(feature = "tracing-bridge")]
@@ -51,6 +52,43 @@ pub use snapshot::MetricsSnapshot;
 
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The compact cross-node trace context propagated on wire frames and
+/// coordinator messages (DESIGN.md §7.2, §13.1): which node originated
+/// the distributed operation and which root span (the gid, for
+/// distributed commit) it belongs to. Twelve bytes on the wire, `Copy`
+/// in memory — cheap enough to stamp on every message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Originating node id (coordinator or client-assigned).
+    pub origin: u32,
+    /// Root span id tying every hop of the operation together.
+    pub root: u64,
+}
+
+impl TraceCtx {
+    /// Encoded size on the wire.
+    pub const WIRE_LEN: usize = 12;
+
+    /// The wire encoding: `origin` then `root`, little-endian.
+    pub fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
+        let mut b = [0u8; Self::WIRE_LEN];
+        b[..4].copy_from_slice(&self.origin.to_le_bytes());
+        b[4..].copy_from_slice(&self.root.to_le_bytes());
+        b
+    }
+
+    /// Decode a wire trace context; `None` if `b` is too short.
+    pub fn from_bytes(b: &[u8]) -> Option<TraceCtx> {
+        if b.len() < Self::WIRE_LEN {
+            return None;
+        }
+        Some(TraceCtx {
+            origin: u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            root: u64::from_le_bytes([b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11]]),
+        })
+    }
+}
 
 /// The observability hub: one per database (or per standalone component).
 ///
@@ -78,6 +116,14 @@ pub struct Obs {
     pub commit_ns: AtomicHistogram,
     /// Commit records coalesced per group-commit flush window.
     pub flush_batch_len: AtomicHistogram,
+    /// Nanoseconds a prepared distributed-commit group spent in doubt on
+    /// this participant: from the forced `Prepared` record to the
+    /// coordinator's decision being applied (DESIGN.md §14.2).
+    pub in_doubt_ns: AtomicHistogram,
+    /// Coordinator-side decision latency in nanoseconds: from the first
+    /// `Prepare` sent to the decision becoming durable (log force or
+    /// acceptor quorum).
+    pub decision_ns: AtomicHistogram,
     recorder: EventRecorder,
     epoch: Instant,
     #[cfg(feature = "tracing-bridge")]
@@ -104,6 +150,8 @@ impl Obs {
             undo_records: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
             commit_ns: AtomicHistogram::new(LATENCY_NS_BOUNDS),
             flush_batch_len: AtomicHistogram::new(SMALL_COUNT_BOUNDS),
+            in_doubt_ns: AtomicHistogram::new(LATENCY_NS_BOUNDS),
+            decision_ns: AtomicHistogram::new(LATENCY_NS_BOUNDS),
             recorder: EventRecorder::new(),
             epoch: Instant::now(),
             #[cfg(feature = "tracing-bridge")]
@@ -196,6 +244,8 @@ impl Obs {
             undo_records: self.undo_records.snapshot(),
             commit_ns: self.commit_ns.snapshot(),
             flush_batch_len: self.flush_batch_len.snapshot(),
+            in_doubt_ns: self.in_doubt_ns.snapshot(),
+            decision_ns: self.decision_ns.snapshot(),
             events_dropped: self.recorder.dropped(),
             tracing_enabled: self.recorder.is_enabled(),
         }

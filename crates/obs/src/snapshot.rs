@@ -32,6 +32,12 @@ pub struct MetricsSnapshot {
     pub commit_ns: HistogramSnapshot,
     /// Commit records coalesced per group-commit flush window.
     pub flush_batch_len: HistogramSnapshot,
+    /// Nanoseconds a prepared distributed-commit group spent in doubt
+    /// on this participant (prepare-force → decision applied, §14.2).
+    pub in_doubt_ns: HistogramSnapshot,
+    /// Coordinator decision latency in nanoseconds (first `Prepare` sent
+    /// → decision durable).
+    pub decision_ns: HistogramSnapshot,
     /// Events dropped by the ring recorder on slot contention.
     pub events_dropped: u64,
     /// Whether the event recorder was enabled when the snapshot was taken.
@@ -39,6 +45,48 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// An all-zero snapshot with the same shape `Obs::new().snapshot()`
+    /// produces — the starting point for the wire decoder.
+    pub fn empty() -> MetricsSnapshot {
+        use crate::hist::{LATENCY_NS_BOUNDS, SMALL_COUNT_BOUNDS};
+        MetricsSnapshot {
+            counters: CounterSnapshot::default(),
+            lock_wait_ns: HistogramSnapshot::empty(LATENCY_NS_BOUNDS),
+            latch_spins: HistogramSnapshot::empty(SMALL_COUNT_BOUNDS),
+            log_append_ns: HistogramSnapshot::empty(LATENCY_NS_BOUNDS),
+            log_flush_ns: HistogramSnapshot::empty(LATENCY_NS_BOUNDS),
+            permit_chain_len: HistogramSnapshot::empty(SMALL_COUNT_BOUNDS),
+            commit_group_size: HistogramSnapshot::empty(SMALL_COUNT_BOUNDS),
+            undo_records: HistogramSnapshot::empty(SMALL_COUNT_BOUNDS),
+            commit_ns: HistogramSnapshot::empty(LATENCY_NS_BOUNDS),
+            flush_batch_len: HistogramSnapshot::empty(SMALL_COUNT_BOUNDS),
+            in_doubt_ns: HistogramSnapshot::empty(LATENCY_NS_BOUNDS),
+            decision_ns: HistogramSnapshot::empty(LATENCY_NS_BOUNDS),
+            events_dropped: 0,
+            tracing_enabled: false,
+        }
+    }
+
+    /// Mutable access to the histogram named `name` (the inverse of
+    /// [`histograms`](Self::histograms), used by the wire decoder).
+    /// `None` for unknown names, which decoders skip, not fail.
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut HistogramSnapshot> {
+        Some(match name {
+            "lock_wait_ns" => &mut self.lock_wait_ns,
+            "latch_spins" => &mut self.latch_spins,
+            "log_append_ns" => &mut self.log_append_ns,
+            "log_flush_ns" => &mut self.log_flush_ns,
+            "permit_chain_len" => &mut self.permit_chain_len,
+            "commit_group_size" => &mut self.commit_group_size,
+            "undo_records" => &mut self.undo_records,
+            "commit_ns" => &mut self.commit_ns,
+            "flush_batch_len" => &mut self.flush_batch_len,
+            "in_doubt_ns" => &mut self.in_doubt_ns,
+            "decision_ns" => &mut self.decision_ns,
+            _ => return None,
+        })
+    }
+
     /// A compact multi-line textual rendering (one `name value` pair per
     /// line for counters, then one summary line per histogram) — handy for
     /// dumping next to experiment output.
@@ -64,7 +112,7 @@ impl MetricsSnapshot {
     /// Every histogram as a `(name, snapshot)` pair, in declaration order —
     /// the registry exporters iterate (mirrors
     /// [`CounterSnapshot::for_each`]).
-    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 9] {
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 11] {
         [
             ("lock_wait_ns", &self.lock_wait_ns),
             ("latch_spins", &self.latch_spins),
@@ -75,6 +123,8 @@ impl MetricsSnapshot {
             ("undo_records", &self.undo_records),
             ("commit_ns", &self.commit_ns),
             ("flush_batch_len", &self.flush_batch_len),
+            ("in_doubt_ns", &self.in_doubt_ns),
+            ("decision_ns", &self.decision_ns),
         ]
     }
 
@@ -96,6 +146,8 @@ impl MetricsSnapshot {
             undo_records: self.undo_records.delta(&earlier.undo_records),
             commit_ns: self.commit_ns.delta(&earlier.commit_ns),
             flush_batch_len: self.flush_batch_len.delta(&earlier.flush_batch_len),
+            in_doubt_ns: self.in_doubt_ns.delta(&earlier.in_doubt_ns),
+            decision_ns: self.decision_ns.delta(&earlier.decision_ns),
             events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
             tracing_enabled: self.tracing_enabled,
         }

@@ -13,11 +13,18 @@
 //! ```text
 //! offset  size  field
 //! 0       4     len      u32 LE: bytes that follow this field
-//! 4       1     version  0x01
+//! 4       1     version  0x01 plain, 0x02 traced
 //! 5       1     opcode   see [`opcode`]
 //! 6       4     reqid    u32 LE: chosen by the client, echoed verbatim
 //! 10      len-6 body     opcode-specific payload
 //! ```
+//!
+//! A **traced** frame (version `0x02`) carries a 12-byte trace context
+//! between `reqid` and `body` — `u32` LE origin node id, `u64` LE root
+//! span id (DESIGN.md §7.2) — shifting the body to offset 22. Version
+//! `0x01` frames are byte-identical to every earlier revision, and
+//! responses are always version `0x01` (the context flows one way:
+//! requester → executor).
 //!
 //! A response frame carries the request's opcode and reqid; its body
 //! begins with a **status byte** (see [`status`]): `0x00` = OK followed
@@ -29,24 +36,36 @@
 //! ## Round-trip
 //!
 //! ```
-//! use asset_server::protocol::{opcode, Frame, PROTOCOL_VERSION};
+//! use asset_obs::TraceCtx;
+//! use asset_server::protocol::{opcode, Frame, PROTOCOL_VERSION, PROTOCOL_VERSION_TRACED};
 //!
-//! let req = Frame {
-//!     opcode: opcode::BEGIN,
-//!     reqid: 7,
-//!     body: 0u64.to_le_bytes().to_vec(),
-//! };
+//! let req = Frame::new(opcode::BEGIN, 7, 0u64.to_le_bytes().to_vec());
 //! let bytes = req.encode();
 //! assert_eq!(bytes[4], PROTOCOL_VERSION);
 //! assert_eq!(Frame::decode(&bytes)?, req);
+//!
+//! let traced = Frame {
+//!     ctx: Some(TraceCtx { origin: 2, root: 9 }),
+//!     ..req
+//! };
+//! let bytes = traced.encode();
+//! assert_eq!(bytes[4], PROTOCOL_VERSION_TRACED);
+//! assert_eq!(Frame::decode(&bytes)?, traced);
 //! # Ok::<(), asset_server::protocol::WireError>(())
 //! ```
 
 use asset_common::AssetError;
+use asset_obs::TraceCtx;
 use std::io::{self, Read, Write};
 
 /// The protocol version this build speaks (frame byte 4).
 pub const PROTOCOL_VERSION: u8 = 0x01;
+
+/// Frame byte 4 of a traced frame: the header carries a 12-byte
+/// [`TraceCtx`] between `reqid` and the body (DESIGN.md §13.1). Either
+/// version is accepted on any request; responses always use
+/// [`PROTOCOL_VERSION`].
+pub const PROTOCOL_VERSION_TRACED: u8 = 0x02;
 
 /// Upper bound on the `len` field: frames larger than this are rejected
 /// without being read (a corrupt or hostile length prefix must not make
@@ -56,6 +75,15 @@ pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 /// Bytes of header covered by `len` before the body begins
 /// (version + opcode + reqid).
 pub const HEADER_LEN: usize = 6;
+
+/// Bytes covered by `len` before the body of a **traced** frame
+/// (version + opcode + reqid + 12-byte trace context).
+pub const TRACED_HEADER_LEN: usize = HEADER_LEN + TraceCtx::WIRE_LEN;
+
+/// First byte of the `STATS` OK payload (DESIGN.md §13.3): the
+/// revision of the versioned metrics body that follows (`u64` live
+/// transactions, then the `asset-obs` self-describing snapshot).
+pub const STATS_BODY_REVISION: u8 = 1;
 
 /// Server-side cap on one MINT request's `count` (DESIGN.md §13.3). A
 /// larger count is rejected with [`status::ERR_RESOURCE_EXHAUSTED`]
@@ -267,7 +295,9 @@ pub enum WireError {
     /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is shorter than
     /// the fixed header).
     BadLength(u32),
-    /// The version byte is not [`PROTOCOL_VERSION`].
+    /// The version byte is neither [`PROTOCOL_VERSION`] nor
+    /// [`PROTOCOL_VERSION_TRACED`] — or a traced frame is too short to
+    /// hold its trace context.
     BadVersion(u8),
 }
 
@@ -301,20 +331,48 @@ pub struct Frame {
     pub opcode: u8,
     /// Client-chosen correlation id, echoed verbatim in the response.
     pub reqid: u32,
+    /// Propagated trace context (DESIGN.md §7.2). `Some` encodes the
+    /// frame as version [`PROTOCOL_VERSION_TRACED`]; `None` keeps the
+    /// byte-identical version `0x01` layout. Responses never carry one.
+    pub ctx: Option<TraceCtx>,
     /// Opcode-specific payload. For responses, begins with the status
     /// byte.
     pub body: Vec<u8>,
 }
 
 impl Frame {
+    /// A plain (untraced, version `0x01`) frame.
+    pub fn new(opcode: u8, reqid: u32, body: Vec<u8>) -> Frame {
+        Frame {
+            opcode,
+            reqid,
+            ctx: None,
+            body,
+        }
+    }
+
     /// Serialize to bytes, length prefix included.
     pub fn encode(&self) -> Vec<u8> {
-        let len = (HEADER_LEN + self.body.len()) as u32;
+        let header = match self.ctx {
+            Some(_) => TRACED_HEADER_LEN,
+            None => HEADER_LEN,
+        };
+        let len = (header + self.body.len()) as u32;
         let mut out = Vec::with_capacity(4 + len as usize);
         out.extend_from_slice(&len.to_le_bytes());
-        out.push(PROTOCOL_VERSION);
-        out.push(self.opcode);
-        out.extend_from_slice(&self.reqid.to_le_bytes());
+        match self.ctx {
+            Some(ctx) => {
+                out.push(PROTOCOL_VERSION_TRACED);
+                out.push(self.opcode);
+                out.extend_from_slice(&self.reqid.to_le_bytes());
+                out.extend_from_slice(&ctx.to_bytes());
+            }
+            None => {
+                out.push(PROTOCOL_VERSION);
+                out.push(self.opcode);
+                out.extend_from_slice(&self.reqid.to_le_bytes());
+            }
+        }
         out.extend_from_slice(&self.body);
         out
     }
@@ -339,17 +397,30 @@ impl Frame {
             });
         }
         let version = buf[4];
-        if version != PROTOCOL_VERSION {
-            return Err(WireError::BadVersion(version));
-        }
+        let ctx = match version {
+            PROTOCOL_VERSION => None,
+            PROTOCOL_VERSION_TRACED => {
+                // a traced header must fit its 12-byte context
+                match TraceCtx::from_bytes(&buf[10..]) {
+                    Some(ctx) => Some(ctx),
+                    None => return Err(WireError::BadVersion(version)),
+                }
+            }
+            other => return Err(WireError::BadVersion(other)),
+        };
         let opcode = buf[5];
         // the slice bound follows from len >= HEADER_LEN
         // verify: allow(no_panics) — length checked above
         let reqid = u32::from_le_bytes(buf[6..10].try_into().expect("4 bytes"));
+        let body_off = match ctx {
+            Some(_) => 4 + TRACED_HEADER_LEN,
+            None => 4 + HEADER_LEN,
+        };
         Ok(Frame {
             opcode,
             reqid,
-            body: buf[10..].to_vec(),
+            ctx,
+            body: buf[body_off..].to_vec(),
         })
     }
 
@@ -370,15 +441,13 @@ impl Frame {
     }
 
     /// Build an OK response to a request frame with the given payload.
+    /// Responses are always version `0x01`: the trace context flows
+    /// requester → executor only.
     pub fn ok_response(req: &Frame, payload: &[u8]) -> Frame {
         let mut body = Vec::with_capacity(1 + payload.len());
         body.push(status::OK);
         body.extend_from_slice(payload);
-        Frame {
-            opcode: req.opcode,
-            reqid: req.reqid,
-            body,
-        }
+        Frame::new(req.opcode, req.reqid, body)
     }
 
     /// Build an error response to a request frame.
@@ -386,11 +455,7 @@ impl Frame {
         let mut body = Vec::with_capacity(1 + message.len());
         body.push(code);
         body.extend_from_slice(message.as_bytes());
-        Frame {
-            opcode: req.opcode,
-            reqid: req.reqid,
-            body,
-        }
+        Frame::new(req.opcode, req.reqid, body)
     }
 }
 
@@ -421,7 +486,7 @@ impl Frame {
 ///     }
 /// }
 ///
-/// let f = Frame { opcode: opcode::PING, reqid: 1, body: vec![] };
+/// let f = Frame::new(opcode::PING, 1, vec![]);
 /// let bytes = f.encode();
 /// let (a, b) = bytes.split_at(5);
 /// let mut fr = FrameReader::new();
@@ -525,27 +590,15 @@ mod tests {
     #[test]
     fn round_trip_empty_and_payload_bodies() {
         for body in [Vec::new(), vec![0xAB; 3], vec![0u8; 4096]] {
-            let f = Frame {
-                opcode: opcode::WRITE,
-                reqid: 0xDEAD_BEEF,
-                body,
-            };
+            let f = Frame::new(opcode::WRITE, 0xDEAD_BEEF, body);
             assert_eq!(Frame::decode(&f.encode()), Ok(f));
         }
     }
 
     #[test]
     fn stream_round_trip_and_clean_eof() {
-        let a = Frame {
-            opcode: opcode::PING,
-            reqid: 1,
-            body: vec![],
-        };
-        let b = Frame {
-            opcode: opcode::READ,
-            reqid: 2,
-            body: vec![7; 16],
-        };
+        let a = Frame::new(opcode::PING, 1, vec![]);
+        let b = Frame::new(opcode::READ, 2, vec![7; 16]);
         let mut buf = Vec::new();
         a.write_to(&mut buf).unwrap();
         b.write_to(&mut buf).unwrap();
@@ -557,11 +610,7 @@ mod tests {
 
     #[test]
     fn mid_frame_eof_is_an_error() {
-        let f = Frame {
-            opcode: opcode::PING,
-            reqid: 1,
-            body: vec![1, 2, 3],
-        };
+        let f = Frame::new(opcode::PING, 1, vec![1, 2, 3]);
         let bytes = f.encode();
         let mut r = &bytes[..bytes.len() - 1];
         assert!(Frame::read_from(&mut r).is_err());
@@ -569,13 +618,12 @@ mod tests {
 
     #[test]
     fn bad_version_and_bad_length_rejected() {
-        let f = Frame {
-            opcode: opcode::PING,
-            reqid: 1,
-            body: vec![],
-        };
+        let f = Frame::new(opcode::PING, 1, vec![]);
         let mut bytes = f.encode();
-        bytes[4] = 0x02;
+        bytes[4] = 0x03;
+        assert_eq!(Frame::decode(&bytes), Err(WireError::BadVersion(0x03)));
+        // version 0x02 with no room for the 12-byte context is rejected
+        bytes[4] = PROTOCOL_VERSION_TRACED;
         assert_eq!(Frame::decode(&bytes), Err(WireError::BadVersion(0x02)));
         let mut short = f.encode();
         short[0] = 2; // < HEADER_LEN
@@ -611,16 +659,8 @@ mod tests {
 
     #[test]
     fn frame_reader_resumes_partial_frames_across_timeouts() {
-        let a = Frame {
-            opcode: opcode::WRITE,
-            reqid: 5,
-            body: vec![9; 300],
-        };
-        let b = Frame {
-            opcode: opcode::PING,
-            reqid: 6,
-            body: vec![],
-        };
+        let a = Frame::new(opcode::WRITE, 5, vec![9; 300]);
+        let b = Frame::new(opcode::PING, 6, vec![]);
         let mut bytes = a.encode();
         bytes.extend_from_slice(&b.encode());
         let mut r = Choppy {
@@ -650,11 +690,7 @@ mod tests {
         let mut fr = FrameReader::new();
         assert!(fr.read_from(&mut &oversize[..]).is_err());
 
-        let f = Frame {
-            opcode: opcode::PING,
-            reqid: 1,
-            body: vec![1, 2, 3],
-        };
+        let f = Frame::new(opcode::PING, 1, vec![1, 2, 3]);
         let bytes = f.encode();
         let mut fr = FrameReader::new();
         let mut partial = &bytes[..bytes.len() - 1];
@@ -663,12 +699,39 @@ mod tests {
     }
 
     #[test]
-    fn length_mismatch_rejected() {
-        let f = Frame {
-            opcode: opcode::PING,
-            reqid: 1,
-            body: vec![1, 2],
+    fn traced_frames_round_trip_and_responses_stay_plain() {
+        let ctx = TraceCtx {
+            origin: 3,
+            root: 0x0102_0304_0506_0708,
         };
+        for body in [Vec::new(), vec![0xAB; 3], vec![0u8; 4096]] {
+            let f = Frame {
+                ctx: Some(ctx),
+                ..Frame::new(opcode::PREPARE, 11, body)
+            };
+            let bytes = f.encode();
+            assert_eq!(bytes[4], PROTOCOL_VERSION_TRACED);
+            assert_eq!(Frame::decode(&bytes), Ok(f.clone()));
+            // responses to a traced request carry no context
+            let ok = Frame::ok_response(&f, &[]);
+            assert_eq!(ok.ctx, None);
+            assert_eq!(ok.encode()[4], PROTOCOL_VERSION);
+            let err = Frame::err_response(&f, status::ERR_MALFORMED, "x");
+            assert_eq!(err.ctx, None);
+        }
+        // a traced frame streams through the incremental reader too
+        let f = Frame {
+            ctx: Some(ctx),
+            ..Frame::new(opcode::COMMIT_DECIDE, 2, vec![1, 2, 3])
+        };
+        let bytes = f.encode();
+        let mut r = &bytes[..];
+        assert_eq!(Frame::read_from(&mut r).unwrap(), Some(f));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let f = Frame::new(opcode::PING, 1, vec![1, 2]);
         let mut bytes = f.encode();
         bytes[0] += 1;
         assert!(matches!(
@@ -682,11 +745,7 @@ mod tests {
     #[test]
     fn design_section_13_example_frames() {
         // Example 1: BEGIN request, reqid 7, parent 0.
-        let begin = Frame {
-            opcode: opcode::BEGIN,
-            reqid: 7,
-            body: 0u64.to_le_bytes().to_vec(),
-        };
+        let begin = Frame::new(opcode::BEGIN, 7, 0u64.to_le_bytes().to_vec());
         assert_eq!(
             begin.encode(),
             [
@@ -712,11 +771,7 @@ mod tests {
         );
         // Example 3: COMMIT (tid 3, reqid 9) answered with
         // ERR_COMMIT_AMBIGUOUS and a diagnostic message.
-        let commit = Frame {
-            opcode: opcode::COMMIT,
-            reqid: 9,
-            body: 3u64.to_le_bytes().to_vec(),
-        };
+        let commit = Frame::new(opcode::COMMIT, 9, 3u64.to_le_bytes().to_vec());
         assert_eq!(
             commit.encode(),
             [
@@ -738,6 +793,23 @@ mod tests {
         ];
         expect.extend_from_slice(b"commit fate unknown");
         assert_eq!(ambiguous.encode(), expect);
+        // Example 4: traced PING request (reqid 1) from origin node 2,
+        // root span 9.
+        let traced = Frame {
+            ctx: Some(TraceCtx { origin: 2, root: 9 }),
+            ..Frame::new(opcode::PING, 1, Vec::new())
+        };
+        assert_eq!(
+            traced.encode(),
+            [
+                0x12, 0x00, 0x00, 0x00, // len = 18
+                0x02, // version (traced)
+                0x01, // opcode PING
+                0x01, 0x00, 0x00, 0x00, // reqid = 1
+                0x02, 0x00, 0x00, 0x00, // trace origin node = 2
+                0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // root span = 9
+            ]
+        );
     }
 
     #[test]

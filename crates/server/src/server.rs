@@ -10,15 +10,15 @@
 use crate::protocol::{self, get_i64, get_u32, get_u64, get_u8, opcode, status, Frame, WireError};
 use crate::session::{OpReply, SessionTxn, TxnOp};
 use asset_core::{AssetError, Database, DepType, ObSet, Oid, OpSet, Tid, TxnOutcome, TxnStatus};
-use asset_obs::{bump, EventKind, SpanName};
+use asset_obs::{bump, AtomicHistogram, EventKind, SpanName, LATENCY_NS_BOUNDS};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Objects written per server-side transaction while servicing a MINT
 /// request. Bounds undo-chain length and lock footprint for
@@ -39,6 +39,119 @@ struct Shared {
     /// Serializes MINT requests so each mint's oids are consecutive
     /// (unless an unrelated connection allocates concurrently).
     mint: Mutex<()>,
+    /// This node's id in a fleet — stamped on fleet metrics and matched
+    /// against trace contexts when per-node traces are merged (§7.2).
+    node_id: u32,
+    metrics: ServerMetrics,
+}
+
+/// Fleet metrics local to the server layer (DESIGN.md §7.2): service
+/// time per wire opcode plus live connection/session gauges. Everything
+/// here is wait-free atomics, recorded on the connection thread after
+/// the response is built — never inside the executor or a lock stripe.
+struct ServerMetrics {
+    /// `(opcode, metric label, service-time histogram)` per §13.3 wire
+    /// opcode, in table order.
+    ops: Vec<(u8, &'static str, AtomicHistogram)>,
+    /// Fallback for opcodes outside the §13.3 table (answered with
+    /// `ERR_BAD_OPCODE` but still timed).
+    other: AtomicHistogram,
+    /// Currently-open client connections.
+    live_connections: AtomicU64,
+    /// Session transactions currently open across all connections
+    /// (BEGIN'd, neither finished nor released to a coordinator).
+    live_sessions: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let ops = [
+            (opcode::PING, "ping"),
+            (opcode::HELLO, "hello"),
+            (opcode::BEGIN, "begin"),
+            (opcode::READ, "read"),
+            (opcode::WRITE, "write"),
+            (opcode::COMMIT, "commit"),
+            (opcode::ABORT, "abort"),
+            (opcode::DELEGATE, "delegate"),
+            (opcode::PERMIT, "permit"),
+            (opcode::FORM_DEP, "form_dep"),
+            (opcode::NEW_OID, "new_oid"),
+            (opcode::MINT, "mint"),
+            (opcode::SUM, "sum"),
+            (opcode::STATS, "stats"),
+            (opcode::PREPARE, "prepare"),
+            (opcode::PREPARED, "prepared"),
+            (opcode::COMMIT_DECIDE, "commit_decide"),
+            (opcode::ABORT_DECIDE, "abort_decide"),
+            (opcode::SHUTDOWN, "shutdown"),
+        ]
+        .into_iter()
+        .map(|(op, name)| (op, name, AtomicHistogram::new(LATENCY_NS_BOUNDS)))
+        .collect();
+        ServerMetrics {
+            ops,
+            other: AtomicHistogram::new(LATENCY_NS_BOUNDS),
+            live_connections: AtomicU64::new(0),
+            live_sessions: AtomicU64::new(0),
+        }
+    }
+
+    fn op_hist(&self, op: u8) -> &AtomicHistogram {
+        self.ops
+            .iter()
+            .find(|(o, _, _)| *o == op)
+            .map(|(_, _, h)| h)
+            .unwrap_or(&self.other)
+    }
+}
+
+impl Shared {
+    /// The node's Prometheus scrape body — see
+    /// [`AssetServer::metrics_text`].
+    fn metrics_text(&self) -> String {
+        let snap = self.db.metrics_snapshot();
+        let stripes = self.db.locks().stripe_stats();
+        let mut out = asset_trace::prom::render_node(&snap, &stripes, self.node_id);
+        use std::fmt::Write as _;
+        for (_, name, h) in &self.metrics.ops {
+            asset_trace::prom::render_histogram(
+                &mut out,
+                &format!("asset_server_op_{name}_ns"),
+                "Wire-request service time on this node (ns).",
+                &h.snapshot(),
+            );
+        }
+        let node = self.node_id;
+        for (name, help, v) in [
+            (
+                "asset_server_live_connections",
+                "Open client connections on this node.",
+                self.metrics.live_connections.load(Ordering::Relaxed),
+            ),
+            (
+                "asset_server_live_sessions",
+                "Open session transactions on this node.",
+                self.metrics.live_sessions.load(Ordering::Relaxed),
+            ),
+            (
+                "asset_server_live_transactions",
+                "Live transactions in this node's database.",
+                self.db.live_transactions() as u64,
+            ),
+            (
+                "asset_server_in_doubt",
+                "Prepared distributed-commit transactions awaiting a \
+                 coordinator decision on this node (DESIGN.md 14.2).",
+                self.db.in_doubt_transactions().len() as u64,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{node=\"{node}\"}} {v}");
+        }
+        out
+    }
 }
 
 /// A running ASSET network server.
@@ -68,6 +181,14 @@ impl AssetServer {
     /// drive the program on the connection thread and never return from
     /// the first `BEGIN`). Failing fast here beats hanging there.
     pub fn spawn(db: Database, addr: &str) -> std::io::Result<AssetServer> {
+        Self::spawn_node(db, addr, 0)
+    }
+
+    /// [`spawn`](Self::spawn) with an explicit fleet node id. The id is
+    /// stamped on this node's Prometheus series and is the `origin` a
+    /// trace merge matches this node's events against (§7.2); single-node
+    /// deployments use node 0.
+    pub fn spawn_node(db: Database, addr: &str, node_id: u32) -> std::io::Result<AssetServer> {
         if db.executor_workers() == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -82,6 +203,8 @@ impl AssetServer {
             db,
             shutdown: AtomicBool::new(false),
             mint: Mutex::new(()),
+            node_id,
+            metrics: ServerMetrics::new(),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -107,6 +230,31 @@ impl AssetServer {
     /// The database this server fronts.
     pub fn database(&self) -> &Database {
         &self.shared.db
+    }
+
+    /// This node's fleet id (see [`spawn_node`](Self::spawn_node)).
+    pub fn node_id(&self) -> u32 {
+        self.shared.node_id
+    }
+
+    /// Render this node's full metrics in Prometheus text format: the
+    /// database snapshot and stripe stats, node-attributed fleet series
+    /// (`asset_events_dropped{node=...}`), per-opcode service-time
+    /// histograms, and the live connection/session gauges. This is the
+    /// body served by the binary's `--serve-metrics` endpoint; callers
+    /// embedding the server can serve it through
+    /// [`asset_trace::prom::PromServer`] via [`metrics_source`](Self::metrics_source).
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// A `Fn() -> String` scrape source for
+    /// [`asset_trace::prom::PromServer::spawn`], detached from the
+    /// server's lifetime (the closure holds its own handle on the shared
+    /// state, so the exporter may outlive [`join`](Self::join)).
+    pub fn metrics_source(&self) -> impl Fn() -> String + Send + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.metrics_text()
     }
 
     /// Ask the server to stop: no new connections are accepted and
@@ -138,6 +286,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
         }
         let Ok(stream) = stream else { continue };
         bump(&shared.db.obs().counters.server_connections);
+        shared
+            .metrics
+            .live_connections
+            .fetch_add(1, Ordering::Relaxed);
         let shared = Arc::clone(&shared);
         let spawned = std::thread::Builder::new()
             .name("asset-conn".into())
@@ -146,7 +298,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
                 // written to the wire before serve returns, and dangling
                 // sessions are drained by abort_leftovers
                 // verify: allow(status_flow) — txn outcomes surfaced via wire statuses and the drain counter
-                let _ = Connection::new(shared, &stream).serve(stream);
+                let _ = Connection::new(Arc::clone(&shared), &stream).serve(stream);
+                shared
+                    .metrics
+                    .live_connections
+                    .fetch_sub(1, Ordering::Relaxed);
             });
         if let Ok(h) = spawned {
             conns.lock().push(h);
@@ -214,7 +370,31 @@ impl Connection {
                 }
             };
             bump(&self.shared.db.obs().counters.server_requests);
+            // §7.2: a traced frame lands its MsgRecv/MsgReply pair in
+            // this node's event ring so a fleet merge can draw the
+            // cross-node edge back to the origin's MsgSend/MsgAck.
+            if let Some(ctx) = frame.ctx {
+                bump(&self.shared.db.obs().counters.server_traced_frames);
+                self.shared.db.obs().record(EventKind::MsgRecv {
+                    opcode: frame.opcode,
+                    origin: ctx.origin,
+                    root: ctx.root,
+                });
+            }
+            let started = Instant::now();
             let resp = self.dispatch(&frame);
+            self.shared
+                .metrics
+                .op_hist(frame.opcode)
+                .record(started.elapsed().as_nanos() as u64);
+            if let Some(ctx) = frame.ctx {
+                self.shared.db.obs().record(EventKind::MsgReply {
+                    opcode: frame.opcode,
+                    origin: ctx.origin,
+                    root: ctx.root,
+                    status: resp.body.first().copied().unwrap_or(status::OK),
+                });
+            }
             resp.write_to(&mut writer)?;
             // flush per request unless more are already queued (cheap
             // pipelining: a burst of requests gets one syscall)
@@ -241,6 +421,10 @@ impl Connection {
     fn abort_leftovers(&mut self) {
         let db = &self.shared.db;
         for (_, st) in self.txns.drain() {
+            self.shared
+                .metrics
+                .live_sessions
+                .fetch_sub(1, Ordering::Relaxed);
             st.finishing(db, TxnOp::Abort);
             if matches!(db.outcome_kind(st.tid), Ok(TxnOutcome::CommitAmbiguous)) {
                 // the commit record may already be durable; surface the
@@ -283,6 +467,10 @@ impl Connection {
                     Ok(st) => {
                         let tid = st.tid;
                         self.txns.insert(tid.0, st);
+                        self.shared
+                            .metrics
+                            .live_sessions
+                            .fetch_add(1, Ordering::Relaxed);
                         bump(&db.obs().counters.session_txns);
                         db.obs().record(EventKind::SpanOpen {
                             tid,
@@ -385,12 +573,13 @@ impl Connection {
                 self.sum(req, first, count)
             }
             opcode::STATS => {
-                let c = db.metrics_snapshot().counters;
-                let mut payload = Vec::with_capacity(32);
-                payload.extend_from_slice(&c.txn_committed.to_le_bytes());
-                payload.extend_from_slice(&c.txn_aborted.to_le_bytes());
+                // §13.3: revision byte, live-transaction gauge, then the
+                // full self-describing metrics snapshot
+                let mut payload = Vec::with_capacity(2048);
+                payload.push(protocol::STATS_BODY_REVISION);
                 payload.extend_from_slice(&(db.live_transactions() as u64).to_le_bytes());
-                payload.extend_from_slice(&c.commit_log_failures.to_le_bytes());
+                payload
+                    .extend_from_slice(&asset_obs::wire::encode_snapshot(&db.metrics_snapshot()));
                 Frame::ok_response(req, &payload)
             }
             opcode::PREPARE => {
@@ -474,6 +663,10 @@ impl Connection {
                 "tid does not name a transaction of this session",
             );
         };
+        self.shared
+            .metrics
+            .live_sessions
+            .fetch_sub(1, Ordering::Relaxed);
         let wanted_commit = matches!(op, TxnOp::Commit);
         st.finishing(&db, op);
         let outcome = db.outcome_kind(st.tid);
@@ -615,6 +808,10 @@ impl Connection {
     fn drop_prepare_failures(&mut self, db: &Database, tids: &[Tid], abort: bool) {
         for t in tids {
             if let Some(st) = self.txns.remove(&t.0) {
+                self.shared
+                    .metrics
+                    .live_sessions
+                    .fetch_sub(1, Ordering::Relaxed);
                 if matches!(db.status(st.tid), Ok(TxnStatus::Prepared)) {
                     // in doubt: only the coordinator may resolve it
                 } else {
@@ -639,6 +836,10 @@ impl Connection {
 
     fn close_session(&mut self, tid: u64) {
         if self.txns.remove(&tid).is_some() {
+            self.shared
+                .metrics
+                .live_sessions
+                .fetch_sub(1, Ordering::Relaxed);
             self.shared.db.obs().record(EventKind::SpanClose {
                 tid: Tid(tid),
                 span: SpanName::Session,
@@ -806,6 +1007,8 @@ mod tests {
             db: db.clone(),
             shutdown: AtomicBool::new(false),
             mint: Mutex::new(()),
+            node_id: 0,
+            metrics: ServerMetrics::new(),
         });
         let mut conn = Connection::new(shared, &stream);
         let st = SessionTxn::submit(&db).expect("submit");

@@ -8,14 +8,20 @@
 //!
 //! ```text
 //! asset-top [--frames N] [--interval-ms MS] [--once] [--serve ADDR]
+//!           [--nodes A,B,...]
 //! ```
 //!
 //! * `--frames N` — stop after `N` redraws (default 20).
 //! * `--interval-ms MS` — redraw period (default 500).
 //! * `--once` — render a single frame without ANSI cursor control and
-//!   exit (what the CI smoke job runs).
+//!   exit (what the CI smoke job runs). With `--nodes`, a failed
+//!   scrape exits non-zero instead of rendering an empty frame.
 //! * `--serve ADDR` — additionally expose the Prometheus endpoint on
 //!   `ADDR` (e.g. `127.0.0.1:9187`) while running.
+//! * `--nodes A,B,...` — fleet mode: instead of driving a local
+//!   workload, scrape each listed Prometheus endpoint
+//!   (`asset-server --serve-metrics`) every frame and render the
+//!   fleet dashboard ([`asset_trace::top::render_fleet_frame`]).
 
 use asset_core::{Database, DepType, ObSet, OpSet};
 use asset_trace::{prom, top};
@@ -28,6 +34,7 @@ struct Opts {
     interval: Duration,
     once: bool,
     serve: Option<String>,
+    nodes: Vec<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -36,6 +43,7 @@ fn parse_args() -> Result<Opts, String> {
         interval: Duration::from_millis(500),
         once: false,
         serve: None,
+        nodes: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,9 +61,21 @@ fn parse_args() -> Result<Opts, String> {
             "--serve" => {
                 opts.serve = Some(args.next().ok_or("--serve needs an address")?);
             }
+            "--nodes" => {
+                let v = args.next().ok_or("--nodes needs a,b,... addresses")?;
+                opts.nodes = v
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if opts.nodes.is_empty() {
+                    return Err("--nodes: no addresses given".to_string());
+                }
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: asset-top [--frames N] [--interval-ms MS] [--once] [--serve ADDR]"
+                    "usage: asset-top [--frames N] [--interval-ms MS] [--once] [--serve ADDR] \
+                     [--nodes A,B,...]"
                         .to_string(),
                 )
             }
@@ -63,6 +83,49 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     Ok(opts)
+}
+
+/// Scrape every node once; a failed scrape becomes a `DOWN` row.
+fn scrape_fleet(nodes: &[String]) -> (Vec<top::NodeVitals>, usize) {
+    let mut rows = Vec::with_capacity(nodes.len());
+    let mut failures = 0;
+    for addr in nodes {
+        let body = addr.parse().ok().and_then(|sock| prom::scrape(sock).ok());
+        match body {
+            Some(body) => rows.push(top::NodeVitals::from_scrape(addr, &body)),
+            None => {
+                failures += 1;
+                rows.push(top::NodeVitals::down(addr));
+            }
+        }
+    }
+    (rows, failures)
+}
+
+/// Fleet mode: scrape + render per frame. Returns the process exit
+/// code — in `--once` mode a failed scrape is an error, not an empty
+/// frame.
+fn run_fleet(opts: &Opts) -> i32 {
+    if opts.once {
+        let (rows, failures) = scrape_fleet(&opts.nodes);
+        print!("{}", top::render_fleet_frame(&rows));
+        if failures > 0 {
+            eprintln!(
+                "asset-top: {failures} of {} scrape(s) failed",
+                opts.nodes.len()
+            );
+            return 1;
+        }
+        return 0;
+    }
+    for _ in 0..opts.frames {
+        std::thread::sleep(opts.interval);
+        let (rows, _) = scrape_fleet(&opts.nodes);
+        print!("\x1b[2J\x1b[H{}", top::render_fleet_frame(&rows));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    }
+    0
 }
 
 /// One delegation + permit handoff over `o`: t1 writes, permits t2,
@@ -139,6 +202,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if !opts.nodes.is_empty() {
+        std::process::exit(run_fleet(&opts));
+    }
 
     let db = Database::in_memory();
     db.obs().enable_tracing(0);

@@ -2,8 +2,8 @@
 //!
 //! The layout maps the causal graph onto the trace-event model:
 //!
-//! * one **track** per transaction (`pid` 1, `tid` = the raw ASSET tid),
-//!   named by an `"M"` (metadata) `thread_name` record — `t<id> [model]`;
+//! * one **track** per transaction (`tid` = the raw ASSET tid), named by
+//!   an `"M"` (metadata) `thread_name` record — `t<id> [model]`;
 //! * the transaction lifetime and each sub-span become `"X"` (complete)
 //!   events with microsecond `ts`/`dur`;
 //! * every causal edge (delegate, permit, permit-through, CD/AD/GC
@@ -13,20 +13,29 @@
 //! * milestones (model tags, deadlock victimhood, ambiguous commits)
 //!   become `"i"` instant events;
 //! * storage activity (log flushes, latch spins) lands on a dedicated
-//!   track with `tid` 0.
+//!   track with `tid` 0, cross-node message hops on a `wire` track;
+//! * participant in-doubt windows (§14.2) become `in-doubt` spans on the
+//!   prepared transaction's track.
+//!
+//! [`render`] emits one graph as a single process (`pid` 1).
+//! [`render_fleet`] emits a merged [`FleetGraph`] with **one process
+//! lane per node** (`pid` = node id + 1, named by `process_name`
+//! metadata) and the matched cross-node request/response flows as
+//! `"s"`/`"f"` arrows between the nodes' wire tracks.
 //!
 //! All timestamps are nanoseconds-since-`Obs`-epoch converted to
 //! fractional microseconds (`ns / 1000.0`, three decimals), which keeps
 //! sub-microsecond spans visible.
 
-use crate::span::{CausalGraph, EdgeKind, Outcome, SpanKind, Track};
-use asset_common::Tid;
+use crate::span::{CausalGraph, EdgeKind, FleetGraph, FlowKind, MsgDir, Outcome, SpanKind, Track};
 use std::fmt::Write as _;
 
-/// Emulated process id for all ASSET tracks.
+/// Emulated process id for single-graph renders.
 const PID: u64 = 1;
 /// Track id for storage-lane events (no real transaction owns them).
 const STORAGE_TID: u64 = 0;
+/// Track id for the cross-node message lane of each node.
+const WIRE_TID: u64 = u64::MAX;
 
 fn us(ns: u64) -> f64 {
     ns as f64 / 1000.0
@@ -53,6 +62,33 @@ fn esc(s: &str) -> String {
     out
 }
 
+/// Human name of a §13.3 wire opcode for trace labels (kept in sync with
+/// the server's `opcode` module by the trace-smoke CI check).
+fn opname(op: u8) -> &'static str {
+    match op {
+        0x01 => "PING",
+        0x02 => "HELLO",
+        0x10 => "BEGIN",
+        0x11 => "READ",
+        0x12 => "WRITE",
+        0x13 => "COMMIT",
+        0x14 => "ABORT",
+        0x20 => "DELEGATE",
+        0x21 => "PERMIT",
+        0x22 => "FORM_DEP",
+        0x30 => "NEW_OID",
+        0x31 => "MINT",
+        0x32 => "SUM",
+        0x33 => "STATS",
+        0x40 => "PREPARE",
+        0x41 => "PREPARED",
+        0x42 => "COMMIT_DECIDE",
+        0x43 => "ABORT_DECIDE",
+        0x7F => "SHUTDOWN",
+        _ => "OP",
+    }
+}
+
 fn track_name(t: &Track) -> String {
     match t.model {
         Some(m) => format!("t{} [{:?}]", t.tid.raw(), m),
@@ -70,12 +106,12 @@ fn push_event(out: &mut String, first: &mut bool, body: &str) {
     out.push_str(body);
 }
 
-fn meta_thread(out: &mut String, first: &mut bool, tid: u64, name: &str, sort: u64) {
+fn meta_thread(out: &mut String, first: &mut bool, pid: u64, tid: u64, name: &str, sort: u64) {
     push_event(
         out,
         first,
         &format!(
-            r#"{{"ph":"M","pid":{PID},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
             esc(name)
         ),
     );
@@ -83,14 +119,34 @@ fn meta_thread(out: &mut String, first: &mut bool, tid: u64, name: &str, sort: u
         out,
         first,
         &format!(
-            r#"{{"ph":"M","pid":{PID},"tid":{tid},"name":"thread_sort_index","args":{{"sort_index":{sort}}}}}"#
+            r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_sort_index","args":{{"sort_index":{sort}}}}}"#
         ),
     );
 }
 
+fn meta_process(out: &mut String, first: &mut bool, pid: u64, name: &str) {
+    push_event(
+        out,
+        first,
+        &format!(
+            r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_name","args":{{"name":"{}"}}}}"#,
+            esc(name)
+        ),
+    );
+    push_event(
+        out,
+        first,
+        &format!(
+            r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_sort_index","args":{{"sort_index":{pid}}}}}"#
+        ),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
 fn complete(
     out: &mut String,
     first: &mut bool,
+    pid: u64,
     tid: u64,
     name: &str,
     ts_ns: u64,
@@ -101,7 +157,7 @@ fn complete(
         out,
         first,
         &format!(
-            r#"{{"ph":"X","pid":{PID},"tid":{tid},"name":"{}","cat":"asset","ts":{:.3},"dur":{:.3},"args":{{{args}}}}}"#,
+            r#"{{"ph":"X","pid":{pid},"tid":{tid},"name":"{}","cat":"asset","ts":{:.3},"dur":{:.3},"args":{{{args}}}}}"#,
             esc(name),
             us(ts_ns),
             us(dur_ns),
@@ -109,40 +165,54 @@ fn complete(
     );
 }
 
-fn instant(out: &mut String, first: &mut bool, tid: u64, name: &str, ts_ns: u64) {
+fn instant(out: &mut String, first: &mut bool, pid: u64, tid: u64, name: &str, ts_ns: u64) {
     push_event(
         out,
         first,
         &format!(
-            r#"{{"ph":"i","pid":{PID},"tid":{tid},"name":"{}","cat":"asset","ts":{:.3},"s":"t"}}"#,
+            r#"{{"ph":"i","pid":{pid},"tid":{tid},"name":"{}","cat":"asset","ts":{:.3},"s":"t"}}"#,
             esc(name),
             us(ts_ns),
         ),
     );
 }
 
-fn flow(out: &mut String, first: &mut bool, id: u64, name: &str, from: Tid, to: Tid, at_ns: u64) {
-    // The flow-start sits on the source track at the edge timestamp; the
-    // flow-finish lands on the destination track 1ns later so viewers have
-    // a strictly positive arrow length.
+/// One flow arrow: `"s"` on `(from_pid, from_tid)` at `start_ns`, `"f"`
+/// on `(to_pid, to_tid)` at `end_ns` (floored 1ns later so viewers have
+/// a strictly positive arrow length). `cat` distinguishes intra-node
+/// causal edges (`asset-edge`) from cross-node flows (`asset-flow`).
+#[allow(clippy::too_many_arguments)]
+fn flow(
+    out: &mut String,
+    first: &mut bool,
+    id: u64,
+    cat: &str,
+    name: &str,
+    from: (u64, u64),
+    to: (u64, u64),
+    start_ns: u64,
+    end_ns: u64,
+) {
     push_event(
         out,
         first,
         &format!(
-            r#"{{"ph":"s","pid":{PID},"tid":{},"id":{id},"name":"{}","cat":"asset-edge","ts":{:.3}}}"#,
-            from.raw(),
+            r#"{{"ph":"s","pid":{},"tid":{},"id":{id},"name":"{}","cat":"{cat}","ts":{:.3}}}"#,
+            from.0,
+            from.1,
             esc(name),
-            us(at_ns),
+            us(start_ns),
         ),
     );
+    let end = (us(end_ns)).max(us(start_ns) + 0.001);
     push_event(
         out,
         first,
         &format!(
-            r#"{{"ph":"f","pid":{PID},"tid":{},"id":{id},"name":"{}","cat":"asset-edge","ts":{:.3},"bp":"e"}}"#,
-            to.raw(),
+            r#"{{"ph":"f","pid":{},"tid":{},"id":{id},"name":"{}","cat":"{cat}","ts":{end:.3},"bp":"e"}}"#,
+            to.0,
+            to.1,
             esc(name),
-            us(at_ns) + 0.001,
         ),
     );
 }
@@ -184,29 +254,21 @@ fn span_args(kind: &SpanKind) -> String {
     }
 }
 
-/// Render a [`CausalGraph`] as a Chrome trace-event JSON document (the
-/// `{"traceEvents": [...]}` object form).
-///
-/// Load the result in [Perfetto](https://ui.perfetto.dev) or
-/// `chrome://tracing`: each transaction is a named track, causal edges are
-/// flow arrows between tracks.
-pub fn render(g: &CausalGraph) -> String {
-    let mut out = String::with_capacity(4096);
-    out.push_str("{\"traceEvents\": [\n");
-    let mut first = true;
-
-    // Track metadata: storage lane first, then one thread per transaction.
+/// Render one graph's events into `out` under process `pid`, allocating
+/// flow ids from `next_id` (flow ids bind `"s"` to `"f"` per category
+/// document-wide, so they must be unique across every node of a fleet
+/// render).
+fn render_graph(out: &mut String, first: &mut bool, pid: u64, g: &CausalGraph, next_id: &mut u64) {
+    // Track metadata: storage lane first, then one thread per
+    // transaction, then the wire lane (if the node exchanged messages).
     if !g.storage.is_empty() {
-        meta_thread(&mut out, &mut first, STORAGE_TID, "storage", 0);
+        meta_thread(out, first, pid, STORAGE_TID, "storage", 0);
     }
     for (i, t) in g.tracks.values().enumerate() {
-        meta_thread(
-            &mut out,
-            &mut first,
-            t.tid.raw(),
-            &track_name(t),
-            i as u64 + 1,
-        );
+        meta_thread(out, first, pid, t.tid.raw(), &track_name(t), i as u64 + 1);
+    }
+    if !g.msgs.is_empty() {
+        meta_thread(out, first, pid, WIRE_TID, "wire", g.tracks.len() as u64 + 1);
     }
 
     // Transaction lifetime + sub-spans + milestones.
@@ -222,8 +284,9 @@ pub fn render(g: &CausalGraph) -> String {
         );
         if t.outcome != Outcome::Open || t.begin_ns.is_some() {
             complete(
-                &mut out,
-                &mut first,
+                out,
+                first,
+                pid,
                 t.tid.raw(),
                 &name,
                 start,
@@ -233,8 +296,9 @@ pub fn render(g: &CausalGraph) -> String {
         }
         for s in &t.spans {
             complete(
-                &mut out,
-                &mut first,
+                out,
+                first,
+                pid,
                 t.tid.raw(),
                 s.kind.label(),
                 s.start_ns,
@@ -243,15 +307,40 @@ pub fn render(g: &CausalGraph) -> String {
             );
         }
         for (at, label) in &t.milestones {
-            instant(&mut out, &mut first, t.tid.raw(), label, *at);
+            instant(out, first, pid, t.tid.raw(), label, *at);
         }
+    }
+
+    // Participant in-doubt windows (§14.2) on the prepared txn's track.
+    for w in &g.in_doubt {
+        let end = w.end_ns.unwrap_or(w.start_ns);
+        let args = format!(
+            r#""group":{},"decision":"{}""#,
+            w.group,
+            match w.commit {
+                Some(true) => "commit",
+                Some(false) => "abort",
+                None => "open",
+            }
+        );
+        complete(
+            out,
+            first,
+            pid,
+            w.tid.raw(),
+            "in-doubt",
+            w.start_ns,
+            end.saturating_sub(w.start_ns),
+            &args,
+        );
     }
 
     // Storage lane.
     for s in &g.storage {
         complete(
-            &mut out,
-            &mut first,
+            out,
+            first,
+            pid,
             STORAGE_TID,
             s.kind.label(),
             s.start_ns,
@@ -260,16 +349,31 @@ pub fn render(g: &CausalGraph) -> String {
         );
     }
 
-    // Causal edges as flow pairs. Flow ids must be unique per arrow; the
-    // ring sequence number of the underlying event is exactly that.
+    // Wire lane: every cross-node hop this node recorded.
+    for m in &g.msgs {
+        let dir = match m.dir {
+            MsgDir::Send => "send",
+            MsgDir::Ack => "ack",
+            MsgDir::Recv => "recv",
+            MsgDir::Reply => "reply",
+        };
+        let name = format!("{dir} {} root={} peer={}", opname(m.opcode), m.root, m.peer);
+        instant(out, first, pid, WIRE_TID, &name, m.at_ns);
+    }
+
+    // Causal edges as flow pairs.
     for e in &g.edges {
+        let id = *next_id;
+        *next_id += 1;
         flow(
-            &mut out,
-            &mut first,
-            e.seq,
+            out,
+            first,
+            id,
+            "asset-edge",
             &edge_args(&e.kind),
-            e.from,
-            e.to,
+            (pid, e.from.raw()),
+            (pid, e.to.raw()),
+            e.at_ns,
             e.at_ns,
         );
     }
@@ -278,26 +382,87 @@ pub fn render(g: &CausalGraph) -> String {
     // committer's track and lands on the storage lane, so several
     // transactions' commits visibly terminate on one flush-window span.
     for f in &g.flush_flows {
+        let id = *next_id;
+        *next_id += 1;
         flow(
-            &mut out,
-            &mut first,
-            f.seq,
+            out,
+            first,
+            id,
+            "asset-edge",
             &format!("commit-flush (window {})", f.window),
-            f.tid,
-            Tid(STORAGE_TID),
+            (pid, f.tid.raw()),
+            (pid, STORAGE_TID),
+            f.at_ns,
             f.at_ns,
         );
     }
+}
 
+/// Render a [`CausalGraph`] as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form).
+///
+/// Load the result in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`: each transaction is a named track, causal edges are
+/// flow arrows between tracks.
+pub fn render(g: &CausalGraph) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut next_id = 1u64;
+    render_graph(&mut out, &mut first, PID, g, &mut next_id);
     out.push_str("\n]}\n");
     out
+}
+
+/// Render a merged [`FleetGraph`] as one Chrome trace-event document:
+/// one process lane per node (named `node <id>`), each holding that
+/// node's transaction/storage/wire tracks, plus `"s"`/`"f"` flow arrows
+/// for every matched cross-node request and response
+/// (`cat: "asset-flow"`) between the nodes' wire lanes.
+pub fn render_fleet(f: &FleetGraph) -> String {
+    let mut out = String::with_capacity(16384);
+    out.push_str("{\"traceEvents\": [\n");
+    let mut first = true;
+    let mut next_id = 1u64;
+    for g in &f.nodes {
+        let pid = node_pid(g.node);
+        meta_process(&mut out, &mut first, pid, &format!("node {}", g.node));
+        render_graph(&mut out, &mut first, pid, g, &mut next_id);
+    }
+    for fl in &f.flows {
+        let leg = match fl.kind {
+            FlowKind::Request => "request",
+            FlowKind::Response => "response",
+        };
+        let id = next_id;
+        next_id += 1;
+        flow(
+            &mut out,
+            &mut first,
+            id,
+            "asset-flow",
+            &format!("{} {leg} root={}", opname(fl.opcode), fl.root),
+            (node_pid(fl.from_node), WIRE_TID),
+            (node_pid(fl.to_node), WIRE_TID),
+            fl.from_ns,
+            fl.to_ns,
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Chrome `pid` of a fleet node (node ids start at 0; pid 0 renders
+/// poorly in viewers, so lanes are numbered from 1).
+fn node_pid(node: u32) -> u64 {
+    node as u64 + 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::json;
-    use asset_common::DepType;
+    use asset_common::{DepType, Tid};
     use asset_obs::{Event, EventKind};
 
     fn ev(seq: u64, at_ns: u64, kind: EventKind) -> Event {
@@ -417,6 +582,85 @@ mod tests {
             })
             .count();
         assert_eq!(finishes, 3);
+    }
+
+    #[test]
+    fn fleet_render_has_a_process_lane_per_node_and_cross_node_flows() {
+        let coord = CausalGraph::from_node_events(
+            0,
+            &[
+                ev(
+                    0,
+                    1_000,
+                    EventKind::MsgSend {
+                        node: 1,
+                        opcode: 0x40,
+                        root: 7,
+                    },
+                ),
+                ev(
+                    1,
+                    5_000,
+                    EventKind::MsgAck {
+                        node: 1,
+                        opcode: 0x40,
+                        root: 7,
+                    },
+                ),
+            ],
+        );
+        let part = CausalGraph::from_node_events(
+            1,
+            &[
+                ev(
+                    0,
+                    2_000,
+                    EventKind::MsgRecv {
+                        opcode: 0x40,
+                        origin: 0,
+                        root: 7,
+                    },
+                ),
+                ev(
+                    1,
+                    3_000,
+                    EventKind::MsgReply {
+                        opcode: 0x40,
+                        origin: 0,
+                        root: 7,
+                        status: 0,
+                    },
+                ),
+            ],
+        );
+        let fleet = CausalGraph::merge(vec![coord, part]);
+        assert_eq!(fleet.flows.len(), 2, "request + response flow");
+        let doc = render_fleet(&fleet);
+        let v = json::parse(&doc).expect("fleet trace must be valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let process_names: Vec<String> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str().map(str::to_string))
+            .collect();
+        assert_eq!(process_names, vec!["node 0", "node 1"]);
+        // One s/f pair per cross-node flow, in the asset-flow category,
+        // and the PREPARE request goes node 0 → node 1.
+        let flows: Vec<&json::Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("asset-flow"))
+            .collect();
+        assert_eq!(flows.len(), 4);
+        let req_start = flows
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|p| p.as_str()) == Some("s")
+                    && e.get("name")
+                        .and_then(|n| n.as_str())
+                        .is_some_and(|n| n.starts_with("PREPARE request"))
+            })
+            .expect("request flow start");
+        assert_eq!(req_start.get("pid").and_then(|p| p.as_f64()), Some(1.0));
     }
 
     #[test]

@@ -28,7 +28,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn hist(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+/// Append one histogram in exposition format (`_bucket{le=...}` /
+/// `_sum` / `_count`, cumulative buckets) under `name`. Public so other
+/// crates (the server's `--serve-metrics` endpoint, the coordinator)
+/// can add their own families next to a [`render`]ed snapshot.
+pub fn render_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
     // Prometheus buckets are cumulative and each carries its upper bound.
@@ -86,7 +90,7 @@ pub fn render(snap: &MetricsSnapshot, stripes: &[StripeStats]) -> String {
 
     for (name, h) in snap.histograms() {
         let full = format!("asset_{name}");
-        hist(&mut out, &full, "ASSET latency/size distribution.", h);
+        render_histogram(&mut out, &full, "ASSET latency/size distribution.", h);
     }
 
     if !stripes.is_empty() {
@@ -123,6 +127,28 @@ pub fn render(snap: &MetricsSnapshot, stripes: &[StripeStats]) -> String {
         }
     }
 
+    out
+}
+
+/// [`render`] plus node-attributed fleet series (DESIGN.md §7.2): an
+/// `asset_events_dropped{node="..."}` gauge so dropped trace events stay
+/// attributable when several exporters are aggregated, and an
+/// `asset_node_up{node="..."} 1` liveness marker per scrape.
+pub fn render_node(snap: &MetricsSnapshot, stripes: &[StripeStats], node: u32) -> String {
+    let mut out = render(snap, stripes);
+    let _ = writeln!(
+        out,
+        "# HELP asset_events_dropped Trace events dropped by this node's ring recorder."
+    );
+    let _ = writeln!(out, "# TYPE asset_events_dropped gauge");
+    let _ = writeln!(
+        out,
+        "asset_events_dropped{{node=\"{node}\"}} {}",
+        snap.events_dropped
+    );
+    let _ = writeln!(out, "# HELP asset_node_up This node answered the scrape.");
+    let _ = writeln!(out, "# TYPE asset_node_up gauge");
+    let _ = writeln!(out, "asset_node_up{{node=\"{node}\"}} 1");
     out
 }
 
@@ -289,6 +315,18 @@ mod tests {
             sample(&body, "asset_stripe_queue_peak{stripe=\"3\"}"),
             Some(2.0)
         );
+    }
+
+    #[test]
+    fn render_node_labels_dropped_events_by_node() {
+        let obs = Obs::new();
+        let mut snap = obs.snapshot();
+        snap.events_dropped = 5;
+        let body = render_node(&snap, &[], 3);
+        assert_eq!(sample(&body, "asset_events_dropped{node=\"3\"}"), Some(5.0));
+        assert_eq!(sample(&body, "asset_node_up{node=\"3\"}"), Some(1.0));
+        // the fleet-agnostic series are still present
+        assert_eq!(sample(&body, "asset_events_dropped_total"), Some(5.0));
     }
 
     #[test]

@@ -124,6 +124,152 @@ pub fn render_frame(intro: &Introspection, snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// One node's vitals for the fleet dashboard, pulled out of a
+/// Prometheus scrape body (`asset-top --nodes a,b,c` mode).
+#[derive(Debug, Clone)]
+pub struct NodeVitals {
+    /// The node's metrics endpoint address (row label).
+    pub addr: String,
+    /// Did the scrape succeed? A down node renders as a dashed row.
+    pub up: bool,
+    /// `asset_txn_committed_total`.
+    pub committed: f64,
+    /// `asset_txn_aborted_total`.
+    pub aborted: f64,
+    /// `asset_server_requests_total`.
+    pub requests: f64,
+    /// `asset_server_live_connections` gauge.
+    pub live_connections: f64,
+    /// `asset_server_live_sessions` gauge.
+    pub live_sessions: f64,
+    /// `asset_server_live_transactions` gauge.
+    pub live_transactions: f64,
+    /// `asset_server_in_doubt` gauge — prepared, undecided groups.
+    pub in_doubt: f64,
+    /// `asset_events_dropped` gauge — ring-buffer drops.
+    pub events_dropped: f64,
+}
+
+/// Sample a series by bare name, tolerating a `{label}` set — the
+/// per-node exporter tags its gauges with `{node="N"}`, which
+/// [`crate::prom::sample`]'s exact match would miss.
+pub fn fleet_sample(body: &str, series: &str) -> Option<f64> {
+    body.lines().filter(|l| !l.starts_with('#')).find_map(|l| {
+        let (name, value) = l.split_once(' ')?;
+        let bare = name.split('{').next()?;
+        if bare == series {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+impl NodeVitals {
+    /// Vitals parsed out of a successful scrape of `addr`.
+    pub fn from_scrape(addr: &str, body: &str) -> NodeVitals {
+        let get = |series: &str| fleet_sample(body, series).unwrap_or(0.0);
+        NodeVitals {
+            addr: addr.to_string(),
+            up: true,
+            committed: get("asset_txn_committed_total"),
+            aborted: get("asset_txn_aborted_total"),
+            requests: get("asset_server_requests_total"),
+            live_connections: get("asset_server_live_connections"),
+            live_sessions: get("asset_server_live_sessions"),
+            live_transactions: get("asset_server_live_transactions"),
+            in_doubt: get("asset_server_in_doubt"),
+            events_dropped: get("asset_events_dropped"),
+        }
+    }
+
+    /// The row for a node whose scrape failed.
+    pub fn down(addr: &str) -> NodeVitals {
+        NodeVitals {
+            addr: addr.to_string(),
+            up: false,
+            committed: 0.0,
+            aborted: 0.0,
+            requests: 0.0,
+            live_connections: 0.0,
+            live_sessions: 0.0,
+            live_transactions: 0.0,
+            in_doubt: 0.0,
+            events_dropped: 0.0,
+        }
+    }
+}
+
+/// Render the fleet dashboard: one row per scraped node, plus a totals
+/// row. Plain text, same contract as [`render_frame`].
+pub fn render_fleet_frame(nodes: &[NodeVitals]) -> String {
+    let mut out = String::with_capacity(1024);
+    let up = nodes.iter().filter(|n| n.up).count();
+    let _ = writeln!(
+        out,
+        "asset-top — fleet: {} node(s), {} up, {} down",
+        nodes.len(),
+        up,
+        nodes.len() - up
+    );
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "{:<22} {:>4} {:>10} {:>8} {:>10} {:>6} {:>9} {:>6} {:>8} {:>8}",
+        "node",
+        "up",
+        "committed",
+        "aborted",
+        "requests",
+        "conns",
+        "sessions",
+        "txns",
+        "in-doubt",
+        "dropped"
+    );
+    for n in nodes {
+        if !n.up {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>4} {:>10} {:>8} {:>10} {:>6} {:>9} {:>6} {:>8} {:>8}",
+                n.addr, "DOWN", "-", "-", "-", "-", "-", "-", "-", "-"
+            );
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>4} {:>10} {:>8} {:>10} {:>6} {:>9} {:>6} {:>8} {:>8}",
+            n.addr,
+            "ok",
+            n.committed,
+            n.aborted,
+            n.requests,
+            n.live_connections,
+            n.live_sessions,
+            n.live_transactions,
+            n.in_doubt,
+            n.events_dropped
+        );
+    }
+    let live: Vec<&NodeVitals> = nodes.iter().filter(|n| n.up).collect();
+    let sum = |f: fn(&NodeVitals) -> f64| live.iter().map(|n| f(n)).sum::<f64>();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>4} {:>10} {:>8} {:>10} {:>6} {:>9} {:>6} {:>8} {:>8}",
+        "total",
+        "",
+        sum(|n| n.committed),
+        sum(|n| n.aborted),
+        sum(|n| n.requests),
+        sum(|n| n.live_connections),
+        sum(|n| n.live_sessions),
+        sum(|n| n.live_transactions),
+        sum(|n| n.in_doubt),
+        sum(|n| n.events_dropped)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +299,29 @@ mod tests {
         assert_eq!(ns_disp(512.0), "512ns");
         assert_eq!(ns_disp(1_500.0), "1.5µs");
         assert_eq!(ns_disp(2_500_000.0), "2.50ms");
+    }
+
+    #[test]
+    fn fleet_sample_ignores_label_sets() {
+        let body =
+            "# HELP x y\nasset_server_in_doubt{node=\"3\"} 2\nasset_txn_committed_total 41\n";
+        assert_eq!(fleet_sample(body, "asset_server_in_doubt"), Some(2.0));
+        assert_eq!(fleet_sample(body, "asset_txn_committed_total"), Some(41.0));
+        assert_eq!(fleet_sample(body, "asset_missing"), None);
+    }
+
+    #[test]
+    fn fleet_frame_has_a_row_per_node_and_totals() {
+        let a = NodeVitals {
+            committed: 10.0,
+            in_doubt: 1.0,
+            ..NodeVitals::from_scrape("127.0.0.1:9001", "")
+        };
+        let b = NodeVitals::down("127.0.0.1:9002");
+        let frame = render_fleet_frame(&[a, b]);
+        assert!(frame.contains("2 node(s), 1 up, 1 down"));
+        assert!(frame.contains("127.0.0.1:9001"));
+        assert!(frame.contains("DOWN"));
+        assert!(frame.contains("total"));
     }
 }

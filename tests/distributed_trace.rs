@@ -1,0 +1,312 @@
+//! Ground truth for the §7.2 distributed tracing pipeline: a
+//! 3-participant 2PC and Paxos commit driven through the in-process
+//! transport must merge into a fleet graph whose cross-node flow edges
+//! match the protocol's known message pattern (prepare to every node,
+//! decide fan-out to every node, one root per global transaction), and
+//! the participant in-doubt duration histogram must be populated by —
+//! and only by — the window between prepare-force and decision
+//! delivery. A final test scrapes the fleet metrics live over HTTP:
+//! the server's Prometheus endpoint across an open in-doubt window,
+//! and the coordinator hub's decision-latency histogram.
+
+use asset::coord::{
+    Acceptor, ChannelTransport, CommitMessage, CommitTransport, CoordLog, CoordObs, Decision,
+    GlobalTxn, ParticipantNode, PaxosCommit, TwoPhase,
+};
+use asset::obs::Obs;
+use asset::server::{protocol::opcode, AssetServer};
+use asset::trace::prom::{self, PromServer};
+use asset::trace::span::{CausalGraph, CrossFlow, FleetGraph, FlowKind};
+use asset::{Config, Database};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: usize = 3;
+
+/// Coordinator lane id — outside the participant index range.
+const COORD_NODE: u32 = 9;
+
+/// A traced cluster: [`NODES`] participants with event rings on, one
+/// coordinator hub, wired through a [`ChannelTransport`] that mirrors
+/// every exchange into the rings on both ends.
+fn traced_cluster() -> (Arc<ChannelTransport>, Arc<Obs>) {
+    let nodes: Vec<Arc<ParticipantNode>> = (0..NODES)
+        .map(|_| Arc::new(ParticipantNode::open(Config::in_memory()).expect("open node")))
+        .collect();
+    let hub = Obs::shared();
+    hub.enable_tracing(1 << 14);
+    for n in &nodes {
+        n.db().obs().enable_tracing(1 << 14);
+    }
+    let transport = Arc::new(ChannelTransport::new(nodes).with_obs(Arc::clone(&hub)));
+    (transport, hub)
+}
+
+/// Stage one write per node and collect the membership.
+fn stage(transport: &ChannelTransport, gid: u64) -> GlobalTxn {
+    let mut g = GlobalTxn::new(gid);
+    for i in 0..transport.nodes() {
+        let db = transport.node(i).db();
+        let oid = db.new_oid();
+        let t = db
+            .initiate(move |ctx| ctx.write(oid, gid.to_le_bytes().to_vec()))
+            .expect("initiate");
+        db.begin(t).expect("begin");
+        db.wait(t).expect("wait");
+        g.add_member(i as u32, t);
+    }
+    g
+}
+
+/// Merge the coordinator lane and every participant lane.
+fn merge(transport: &ChannelTransport, hub: &Obs) -> FleetGraph {
+    let mut graphs = vec![CausalGraph::from_node_events(COORD_NODE, &hub.trace())];
+    for i in 0..transport.nodes() {
+        graphs.push(CausalGraph::from_node_events(
+            i as u32,
+            &transport.node(i).db().obs().trace(),
+        ));
+    }
+    CausalGraph::merge(graphs)
+}
+
+/// The protocol's ground truth, checked against the merged flows: for
+/// global txn `gid`, a request flow coordinator→node for every node on
+/// both the prepare and the decide opcode, a vote response back for
+/// every prepare, and on each node the prepare departs before the
+/// decide.
+fn assert_commit_flow_pattern(fleet: &FleetGraph, gid: u64) {
+    assert_eq!(
+        fleet.nodes.len(),
+        NODES + 1,
+        "one lane per node + coordinator"
+    );
+    assert_eq!(fleet.offsets.len(), NODES + 1);
+    let of = |op: u8, kind: FlowKind| -> Vec<&CrossFlow> {
+        fleet
+            .flows
+            .iter()
+            .filter(|f| f.opcode == op && f.kind == kind && f.root == gid)
+            .collect()
+    };
+    let prepares = of(opcode::PREPARE, FlowKind::Request);
+    let votes = of(opcode::PREPARE, FlowKind::Response);
+    let decides = of(opcode::COMMIT_DECIDE, FlowKind::Request);
+    for n in 0..NODES as u32 {
+        let p = prepares
+            .iter()
+            .find(|f| f.from_node == COORD_NODE && f.to_node == n)
+            .unwrap_or_else(|| panic!("prepare flow coordinator->{n}"));
+        assert!(
+            votes
+                .iter()
+                .any(|f| f.from_node == n && f.to_node == COORD_NODE),
+            "vote flow {n}->coordinator"
+        );
+        let d = decides
+            .iter()
+            .find(|f| f.from_node == COORD_NODE && f.to_node == n)
+            .unwrap_or_else(|| panic!("decide fan-out coordinator->{n}"));
+        assert!(
+            p.from_ns <= d.from_ns,
+            "node {n}: prepare departs before the decision"
+        );
+    }
+    assert!(
+        of(opcode::ABORT_DECIDE, FlowKind::Request).is_empty(),
+        "a committed txn has no abort fan-out"
+    );
+}
+
+#[test]
+fn two_pc_flows_match_protocol_ground_truth() {
+    let (transport, hub) = traced_cluster();
+    let g = stage(&transport, 41);
+    let d = TwoPhase::new(transport.clone(), Arc::new(CoordLog::in_memory()))
+        .with_obs(CoordObs::new(COORD_NODE, Arc::clone(&hub)))
+        .commit(&g)
+        .expect("2pc commit");
+    assert_eq!(d, Decision::Commit);
+
+    let snap = hub.snapshot();
+    assert_eq!(snap.counters.coord_msg_prepare, NODES as u64);
+    assert_eq!(snap.counters.coord_msg_commit_decide, NODES as u64);
+    assert_eq!(snap.decision_ns.count, 1, "one decision latency recorded");
+
+    assert_commit_flow_pattern(&merge(&transport, &hub), 41);
+}
+
+#[test]
+fn paxos_flows_match_protocol_ground_truth() {
+    let (transport, hub) = traced_cluster();
+    let g = stage(&transport, 42);
+    let acceptors: Vec<Arc<Acceptor>> = (0..3).map(|_| Arc::new(Acceptor::new())).collect();
+    let d = PaxosCommit::new(transport.clone(), acceptors)
+        .with_obs(CoordObs::new(COORD_NODE, Arc::clone(&hub)))
+        .commit(&g)
+        .expect("paxos commit");
+    assert_eq!(d, Decision::Commit);
+    assert_eq!(hub.snapshot().decision_ns.count, 1);
+
+    assert_commit_flow_pattern(&merge(&transport, &hub), 42);
+}
+
+/// The in-doubt duration histogram measures exactly the window between
+/// prepare-force and decision delivery: empty before prepare, still
+/// empty while the group sits in doubt (the live set is non-empty
+/// instead), and populated — with at least the window's length — once
+/// the decision lands. The traced in-doubt window carries the same
+/// bounds.
+#[test]
+fn in_doubt_histogram_spans_prepare_to_decision() {
+    const WINDOW: Duration = Duration::from_millis(5);
+    let (transport, _hub) = traced_cluster();
+
+    // stage one member per node, then drive 2PC by hand so the test
+    // controls how long the cluster stays in doubt
+    let mut members = Vec::new();
+    for i in 0..transport.nodes() {
+        let db = transport.node(i).db();
+        let oid = db.new_oid();
+        let t = db
+            .initiate(move |ctx| ctx.write(oid, b"w".to_vec()))
+            .expect("initiate");
+        db.begin(t).expect("begin");
+        db.wait(t).expect("wait");
+        assert_eq!(
+            db.obs().snapshot().in_doubt_ns.count,
+            0,
+            "empty before prepare"
+        );
+        members.push((i, t));
+    }
+
+    let mut groups = Vec::new();
+    for (i, t) in &members {
+        let vote = transport
+            .send(*i, CommitMessage::Prepare { tids: vec![*t] })
+            .expect("prepare");
+        match vote {
+            CommitMessage::Vote { yes: true, group } => groups.push((*i, group)),
+            other => panic!("expected a yes vote, got {other:?}"),
+        }
+        let db = transport.node(*i).db();
+        assert!(
+            !db.in_doubt_transactions().is_empty(),
+            "node {i} is in doubt"
+        );
+        assert_eq!(
+            db.obs().snapshot().in_doubt_ns.count,
+            0,
+            "nothing recorded while the window is open"
+        );
+    }
+
+    std::thread::sleep(WINDOW);
+
+    for (i, group) in &groups {
+        let ack = transport
+            .send(
+                *i,
+                CommitMessage::CommitDecide {
+                    tids: group.clone(),
+                },
+            )
+            .expect("decide");
+        assert!(matches!(ack, CommitMessage::Ack));
+        let db = transport.node(*i).db();
+        assert!(db.in_doubt_transactions().is_empty(), "node {i} resolved");
+        let h = db.obs().snapshot().in_doubt_ns;
+        assert_eq!(h.count, 1, "node {i}: one in-doubt duration recorded");
+        assert!(
+            h.sum >= WINDOW.as_nanos() as u64,
+            "node {i}: the duration covers the window ({} < {})",
+            h.sum,
+            WINDOW.as_nanos()
+        );
+    }
+
+    // the traced window agrees: prepare-force → decision-applied,
+    // closed by a commit, at least WINDOW long
+    let g = CausalGraph::from_events(&transport.node(0).db().obs().trace());
+    assert_eq!(g.in_doubt.len(), 1);
+    let w = g.in_doubt[0];
+    let end = w.end_ns.expect("window closed by the decision");
+    assert_eq!(w.commit, Some(true));
+    assert!(end - w.start_ns >= WINDOW.as_nanos() as u64);
+}
+
+/// Live HTTP scrapes of the fleet metrics: the server's endpoint shows
+/// the in-doubt gauge rise and fall around the in-doubt window (and the
+/// duration histogram fill only at its close), and a hub exporter
+/// serves the coordinator's decision-latency histogram.
+#[test]
+fn fleet_metrics_scraped_live() {
+    // -- participant: a real server, scraped across the window --------
+    let db = Database::in_memory();
+    let server = AssetServer::spawn_node(db, "127.0.0.1:0", 5).expect("spawn server");
+    let mut exporter =
+        PromServer::spawn("127.0.0.1:0", server.metrics_source()).expect("spawn exporter");
+    let mut c = asset::client::Client::connect(&server.local_addr().to_string()).expect("connect");
+    let oid = c.new_oid().expect("oid");
+    let t = c.begin().expect("begin");
+    c.write(t, oid, b"scraped").expect("write");
+    let group = c.prepare(&[t]).expect("prepare");
+
+    let mid = prom::scrape(exporter.addr()).expect("scrape mid-window");
+    assert_eq!(
+        prom::sample(&mid, "asset_server_in_doubt{node=\"5\"}"),
+        Some(1.0),
+        "gauge counts the open in-doubt group"
+    );
+    assert_eq!(
+        prom::sample(&mid, "asset_in_doubt_ns_count"),
+        Some(0.0),
+        "histogram still empty mid-window"
+    );
+    assert_eq!(prom::sample(&mid, "asset_node_up{node=\"5\"}"), Some(1.0));
+
+    c.commit_decide(&group).expect("decide");
+    let after = prom::scrape(exporter.addr()).expect("scrape after decision");
+    assert_eq!(
+        prom::sample(&after, "asset_server_in_doubt{node=\"5\"}"),
+        Some(0.0)
+    );
+    assert_eq!(prom::sample(&after, "asset_in_doubt_ns_count"), Some(1.0));
+    assert_eq!(
+        prom::sample(&after, "asset_server_op_prepare_ns_count"),
+        Some(1.0),
+        "per-opcode service-time histogram saw the prepare"
+    );
+    drop(c);
+    exporter.shutdown();
+    server.shutdown();
+    server.join();
+
+    // -- coordinator: hub histograms behind their own exporter --------
+    let (transport, hub) = traced_cluster();
+    let g = stage(&transport, 43);
+    let d = TwoPhase::new(transport.clone(), Arc::new(CoordLog::in_memory()))
+        .with_obs(CoordObs::new(COORD_NODE, Arc::clone(&hub)))
+        .commit(&g)
+        .expect("2pc commit");
+    assert_eq!(d, Decision::Commit);
+
+    let hub_for_scrape = Arc::clone(&hub);
+    let mut coord_exporter = PromServer::spawn("127.0.0.1:0", move || {
+        prom::render(&hub_for_scrape.snapshot(), &[])
+    })
+    .expect("spawn coord exporter");
+    let body = prom::scrape(coord_exporter.addr()).expect("scrape coordinator");
+    assert_eq!(
+        prom::sample(&body, "asset_decision_ns_count"),
+        Some(1.0),
+        "decision-latency histogram scraped live"
+    );
+    assert_eq!(
+        prom::sample(&body, "asset_coord_msg_prepare_total"),
+        Some(NODES as f64),
+        "per-opcode coordinator counters scraped live"
+    );
+    coord_exporter.shutdown();
+}

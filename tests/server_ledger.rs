@@ -296,11 +296,7 @@ fn example_frames_match_the_spec_on_a_live_connection() {
     let server = spawn_server(test_config());
     let mut c = connect(&server);
     let reqid = c.send(opcode::BEGIN, 0u64.to_le_bytes().to_vec()).unwrap();
-    let frame = Frame {
-        opcode: opcode::BEGIN,
-        reqid,
-        body: 0u64.to_le_bytes().to_vec(),
-    };
+    let frame = Frame::new(opcode::BEGIN, reqid, 0u64.to_le_bytes().to_vec());
     assert_eq!(frame.encode()[4..6], [0x01, 0x10], "version + opcode bytes");
     let resp = c.recv().unwrap();
     assert_eq!(resp.status, status::OK);
